@@ -1,0 +1,81 @@
+// E7 — Figures 2-6 machinery at scale: runs the Section IV-VI decomposition
+// over many random First Fit packings and reports structural statistics plus
+// the verified invariants (equation (1) residual, Lemma 2 violations).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "algorithms/any_fit.h"
+#include "analysis/subperiods.h"
+#include "analysis/supplier.h"
+#include "analysis/usage_periods.h"
+#include "bench_common.h"
+#include "core/simulation.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  using namespace mutdbp;
+  bench::print_header(
+      "E7: analysis machinery statistics (Figures 2-6)",
+      "usage-period split (Fig 2), l/h subperiods (Fig 3), supplier periods "
+      "and consolidation (Fig 4-6), Lemma 2",
+      "eq(1) residual ~ 0 and zero Lemma 2 violations on every instance; "
+      "l-subperiod share of V shrinks as mu grows");
+
+  Table table({"mu", "bins", "V_share%", "l_subs", "h_subs", "pairs", "consolidated",
+               "amortized_l_level", "eq1_resid", "missing_sup", "lemma2_viol"});
+  for (const double mu : {2.0, 4.0, 8.0, 16.0}) {
+    RunningStats bins;
+    RunningStats v_share;
+    RunningStats amortized_level;
+    std::size_t l_total = 0;
+    std::size_t h_total = 0;
+    std::size_t pairs = 0;
+    std::size_t consolidated = 0;
+    std::size_t missing = 0;
+    std::size_t violations = 0;
+    double worst_residual = 0.0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const ItemList items = workload::generate(bench::bimodal_spec(mu, seed, 250));
+      FirstFit ff;
+      const PackingResult result = simulate(items, ff);
+      const analysis::UsagePeriodDecomposition decomposition(result);
+      bins.add(static_cast<double>(result.bins_opened()));
+      v_share.add(100.0 * decomposition.total_v() / result.total_usage_time());
+      worst_residual = std::max(
+          worst_residual,
+          std::abs(result.total_usage_time() -
+                   (decomposition.total_v() + items.span())));
+      const analysis::SubperiodAnalysis subs(items, result);
+      l_total += subs.all_l_subperiods().size();
+      h_total += subs.all_h_subperiods().size();
+      const analysis::SupplierAnalysis sup(items, result, subs);
+      for (const auto& infos : sup.per_bin()) {
+        for (const auto& info : infos) pairs += info.pairs_with_next ? 1 : 0;
+      }
+      for (const auto& group : sup.groups()) {
+        consolidated += group.consolidated() ? 1 : 0;
+      }
+      missing += sup.missing_suppliers();
+      violations += sup.count_intersections();
+      const auto amortized = sup.low_period_demand(result);
+      if (amortized.length > 0.0) amortized_level.add(amortized.level());
+    }
+    table.add_row({Table::num(mu, 0), Table::num(bins.mean(), 1),
+                   Table::num(v_share.mean(), 1), Table::num(l_total),
+                   Table::num(h_total), Table::num(pairs), Table::num(consolidated),
+                   Table::num(amortized_level.mean(), 3),
+                   Table::num(worst_residual, 9), Table::num(missing),
+                   Table::num(violations)});
+  }
+  std::cout << table;
+  csv_export.add("analysis_machinery", table);
+  std::printf("\ninvariants: eq1_resid ~ 1e-12 (equation (1)), missing_sup = 0,\n"
+              "lemma2_viol = 0 — the paper's structural lemmas hold empirically.\n"
+              "amortized_l_level is SS VII's quantity: the average bin level over\n"
+              "l-subperiods plus their supplier periods (bounded below in the proof\n"
+              "to compensate the potentially low utilization of l-subperiods).\n");
+  return 0;
+}

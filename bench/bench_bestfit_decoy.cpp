@@ -1,0 +1,48 @@
+// E5b — Best Fit vs First Fit on the decoy family. The paper states Best
+// Fit's competitive ratio is unbounded for any mu [15,16]; this family
+// demonstrates the mechanism: Best Fit chases the fullest bin and strands a
+// long pin in every round's decoy bin, while First Fit returns pins to the
+// earliest (collector) bin. Best Fit pays Theta(rounds*mu); First Fit O(1)x.
+#include <cstdio>
+#include <iostream>
+
+#include "algorithms/any_fit.h"
+#include "bench_common.h"
+#include "core/simulation.h"
+#include "util/table.h"
+#include "workload/adversarial.h"
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  using namespace mutdbp;
+  bench::print_header(
+      "E5b: Best Fit decoy family",
+      "\"the competitive ratio of Best Fit packing is not bounded for any "
+      "given mu\" (SS I, citing [15],[16])",
+      "BF/FF cost ratio grows with rounds (~mu/2.5 asymptotically) while FF "
+      "stays near OPT");
+
+  Table table({"rounds", "mu", "BestFit", "FirstFit", "BF/FF", "BF_ratio", "FF_ratio"});
+  SimulationOptions options;
+  options.fit_epsilon = 0.0;
+  for (const std::size_t rounds : {4u, 8u, 16u, 32u, 44u}) {
+    const double mu = 1.5 * static_cast<double>(rounds - 1) + 1.0;
+    const auto instance = workload::best_fit_decoy_instance(rounds, mu);
+    BestFit bf(0.0);
+    FirstFit ff(0.0);
+    const double bf_cost = simulate(instance.items, bf, options).total_usage_time();
+    const double ff_cost = simulate(instance.items, ff, options).total_usage_time();
+    table.add_row({Table::num(rounds), Table::num(mu, 1), Table::num(bf_cost, 1),
+                   Table::num(ff_cost, 1), Table::num(bf_cost / ff_cost, 2),
+                   Table::num(bf_cost / instance.predicted_opt_cost, 2),
+                   Table::num(ff_cost / instance.predicted_opt_cost, 2)});
+  }
+  std::cout << table;
+  csv_export.add("bestfit_decoy", table);
+  std::printf(
+      "\nnote: the full unboundedness construction of [16] is out of the scope of\n"
+      "this paper's text (cited, not given); this family reproduces the stated\n"
+      "separation — Best Fit degrades with mu on instances where First Fit does "
+      "not.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E10 — pay-as-you-go billing on the cloud gaming workload (§I): how the
+// billing granularity inflates the MinUsageTime objective into actual cost,
+// per algorithm. Coarser billing punishes algorithms that open many
+// short-lived servers (Next Fit, NewBinPerItem) hardest.
+#include <cstdio>
+#include <iostream>
+
+#include <algorithm>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "bench_common.h"
+#include "cloud/billing.h"
+#include "cloud/fleet.h"
+#include "cloud/gaming.h"
+#include "core/simulation.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  using namespace mutdbp;
+  bench::print_header(
+      "E10: billing granularity on the cloud-gaming workload",
+      "SS I: on-demand instances charged per running hour (pay-as-you-go)",
+      "cost ordering follows usage ordering; rounding overhead grows with "
+      "granularity and with the number of short server rentals");
+
+  cloud::GamingWorkloadSpec spec;
+  spec.num_sessions = 3000;
+  const ItemList sessions = cloud::generate_gaming_workload(spec);
+  std::printf("sessions: %zu, span %.1f h, mu %.2f\n\n", sessions.size(),
+              sessions.span(), sessions.mu());
+
+  Table table({"granularity_h", "algorithm", "servers", "usage_h", "cost",
+               "rounding_overhead"});
+  for (const double granularity : {0.0, 0.25, 1.0, 2.0}) {
+    for (const auto& name : {"FirstFit", "BestFit", "NextFit", "HybridFirstFit",
+                             "NewBinPerItem"}) {
+      const auto algo = make_algorithm(name);
+      const PackingResult result = simulate(sessions, *algo);
+      const cloud::BillingSummary bill =
+          cloud::bill(result, cloud::BillingPolicy{granularity, 1.0});
+      table.add_row({Table::num(granularity, 2), std::string(name),
+                     Table::num(bill.servers_used), Table::num(bill.total_usage, 1),
+                     Table::num(bill.total_cost, 1),
+                     Table::num(bill.rounding_overhead(), 3)});
+    }
+  }
+  std::cout << table;
+  csv_export.add("cloud_billing", table);
+  std::printf("\nreading: at granularity 0 cost == usage (the MinUsageTime objective);\n"
+              "coarser billing multiplies the penalty for opening many servers.\n");
+
+  // Heterogeneous fleet: route sessions to small/large GPU instances and
+  // compare against the single-type deployment (sub-linear pricing makes
+  // large instances attractive, the paper's single-type model is the
+  // "full" row packed alone).
+  std::printf("\n-- heterogeneous fleet (hourly billing) --\n");
+  cloud::FleetOptions fleet_options;
+  fleet_options.types = {
+      {"gpu-half", 0.5, cloud::BillingPolicy{1.0, 0.6}},
+      {"gpu-full", 1.0, cloud::BillingPolicy{1.0, 1.0}},
+  };
+  Table fleet_table({"routing", "servers", "usage_h", "cost"});
+  for (const auto routing : {cloud::RoutingPolicy::kSmallestFitting,
+                             cloud::RoutingPolicy::kCheapestPerCapacity}) {
+    fleet_options.routing = routing;
+    cloud::FleetDispatcher fleet(fleet_options);
+    struct Event {
+      Time t;
+      bool arrival;
+      const Item* session;
+    };
+    std::vector<Event> events;
+    for (const auto& session : sessions) {
+      events.push_back({session.arrival(), true, &session});
+      events.push_back({session.departure(), false, &session});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.arrival != b.arrival) return !a.arrival;
+      return a.session->id < b.session->id;
+    });
+    for (const auto& event : events) {
+      if (event.arrival) {
+        fleet.submit(event.session->id, event.session->size, event.t);
+      } else {
+        fleet.complete(event.session->id, event.t);
+      }
+    }
+    const auto report = fleet.finish();
+    fleet_table.add_row(
+        {routing == cloud::RoutingPolicy::kSmallestFitting ? "smallest-fitting"
+                                                           : "cheapest-per-capacity",
+         Table::num(report.servers_used()), Table::num(report.total_usage(), 1),
+         Table::num(report.total_cost(), 1)});
+  }
+  std::cout << fleet_table;
+  csv_export.add("cloud_billing_fleet", fleet_table);
+  std::printf("\nreading: with sub-linear pricing (full GPU = 1.0/h vs half = 0.6/h),\n"
+              "cheapest-per-capacity routes everything to full instances and matches\n"
+              "the single-type FirstFit row; smallest-fitting fragments sessions onto\n"
+              "many half instances and pays for it — consolidation wins again.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E16 — the synthetic VM-cluster trace (heavy-tailed lifetimes, bursty
+// arrivals): how do the algorithms fare in the high-µ regime the theory
+// targets, and how does capping VM lifetimes (reducing µ) change the cost?
+// Production cloud traces are not available offline; DESIGN.md documents
+// this synthetic substitute.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "algorithms/registry.h"
+#include "bench_common.h"
+#include "core/simulation.h"
+#include "opt/lower_bounds.h"
+#include "util/table.h"
+#include "workload/cluster.h"
+
+namespace {
+
+using namespace mutdbp;
+
+ItemList cap_lifetimes(const ItemList& vms, double max_lifetime) {
+  std::vector<Item> capped;
+  capped.reserve(vms.size());
+  for (const auto& vm : vms) {
+    const double lifetime = std::min(vm.duration(), max_lifetime);
+    capped.push_back(make_item(vm.id, vm.size, vm.arrival(), vm.arrival() + lifetime));
+  }
+  return ItemList(std::move(capped));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  bench::print_header(
+      "E16: synthetic VM-cluster trace",
+      "the paper's cloud-server setting at realistic scale (heavy-tailed "
+      "lifetimes -> large mu)",
+      "ratios stay far below mu+4 even at mu ~ 672; capping lifetimes "
+      "(smaller mu) barely moves the random-trace ratio — the mu dependence "
+      "is a worst-case, not an average-case, phenomenon");
+
+  workload::ClusterWorkloadSpec spec;
+  const ItemList full = workload::generate_cluster(spec);
+  std::printf("VMs: %zu over %.0f hours\n\n", full.size(), full.span());
+
+  Table table({"lifetime_cap_h", "mu", "algorithm", "servers", "usage_h", "ratio_ub",
+               "bound(mu+4)"});
+  for (const double cap : {168.0, 24.0, 4.0}) {
+    const ItemList vms = cap_lifetimes(full, cap);
+    const double opt_lb = opt::combined_lower_bound(vms);
+    const double mu = vms.mu();
+    for (const auto& name : {"FirstFit", "BestFit", "NextFit", "HybridFirstFit"}) {
+      const auto algo = make_algorithm(name);
+      const PackingResult result = simulate(vms, *algo);
+      table.add_row({Table::num(cap, 1), Table::num(mu, 0), std::string(name),
+                     Table::num(result.bins_opened()),
+                     Table::num(result.total_usage_time(), 0),
+                     Table::num(result.total_usage_time() / opt_lb, 3),
+                     Table::num(mu + 4.0, 0)});
+    }
+  }
+  std::cout << table;
+  csv_export.add("cluster_trace", table);
+  std::printf("\nratio_ub = usage / closed-form OPT lower bound (exact OPT is\n"
+              "intractable at this scale); still certified <= the true ratio's\n"
+              "denominator, so values are upper estimates.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the experiment benches (see DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/generators.h"
+
+namespace mutdbp::bench {
+
+/// Optional machine-readable output: every experiment bench accepts
+/// --csv_dir <dir> and then writes each printed table as <dir>/<name>.csv.
+class CsvExporter {
+ public:
+  CsvExporter(int argc, const char* const* argv) {
+    Flags flags(argc, argv);
+    dir_ = flags.get_string("csv_dir", "",
+                            "directory to also write result tables as CSV");
+    if (flags.finish("Experiment bench; prints tables, see DESIGN.md SS7")) {
+      std::exit(0);
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+
+  void add(const std::string& name, const Table& table) const {
+    if (!enabled()) return;
+    const std::string path = dir_ + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("CsvExporter: cannot open " + path);
+    table.write_csv(out);
+    std::printf("[csv written to %s]\n", path.c_str());
+  }
+
+ private:
+  std::string dir_;
+};
+
+/// Canonical random workload for a µ sweep: Poisson arrivals, uniform sizes,
+/// durations uniform in [1, µ].
+[[nodiscard]] inline workload::RandomWorkloadSpec sweep_spec(double mu,
+                                                             std::uint64_t seed,
+                                                             std::size_t n = 400) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = n;
+  spec.seed = seed;
+  spec.arrival_rate = 2.0;
+  spec.size_min = 0.02;
+  spec.size_max = 1.0;
+  spec.duration_min = 1.0;
+  spec.duration_max = mu;
+  return spec;
+}
+
+/// Same, but with the bimodal size/duration mix that stresses the analysis
+/// (many small long items + large short items).
+[[nodiscard]] inline workload::RandomWorkloadSpec bimodal_spec(double mu,
+                                                               std::uint64_t seed,
+                                                               std::size_t n = 400) {
+  auto spec = sweep_spec(mu, seed, n);
+  spec.size_dist = workload::SizeDistribution::kBimodal;
+  spec.duration_dist = workload::DurationDistribution::kBimodal;
+  return spec;
+}
+
+inline void print_header(const char* experiment, const char* paper_artifact,
+                         const char* expectation) {
+  std::printf("## %s\n", experiment);
+  std::printf("paper artifact: %s\n", paper_artifact);
+  std::printf("expected shape: %s\n\n", expectation);
+}
+
+}  // namespace mutdbp::bench

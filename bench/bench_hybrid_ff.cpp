@@ -1,0 +1,89 @@
+// E9 — Hybrid First Fit ablation: size-classified First Fit ([16]) with
+// different class boundaries vs plain First Fit across mu. Classification
+// helps on bimodal loads (small long items no longer pin bins opened for
+// large short items) and costs a little on benign loads.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/hybrid_first_fit.h"
+#include "bench_common.h"
+#include "core/simulation.h"
+#include "opt/opt_integral.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/adversarial.h"
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  using namespace mutdbp;
+  bench::print_header(
+      "E9: Hybrid First Fit ablation",
+      "Hybrid First Fit achieves ~(8/7)mu + O(1) [16] by classifying items",
+      "HFF pays a small average-case tax on random loads (it refuses mixed "
+      "bins) but crushes the adversarial pinning family where FF hits ~mu");
+
+  struct Config {
+    const char* label;
+    std::vector<double> boundaries;  // empty = plain First Fit
+  };
+  const std::vector<Config> configs{
+      {"FirstFit", {}},
+      {"HFF{1/2}", {0.5, 1.0}},
+      {"HFF{1/3,1/2}", {1.0 / 3.0, 0.5, 1.0}},
+      {"HFF{1/4,1/2,3/4}", {0.25, 0.5, 0.75, 1.0}},
+  };
+
+  Table table({"workload", "mu", "config", "mean_ratio", "worst_ratio"});
+  for (const bool bimodal : {true, false}) {
+    for (const double mu : {2.0, 8.0, 16.0}) {
+      for (const auto& config : configs) {
+        RunningStats ratios;
+        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+          const auto spec = bimodal ? bench::bimodal_spec(mu, seed, 250)
+                                    : bench::sweep_spec(mu, seed, 250);
+          const ItemList items = workload::generate(spec);
+          std::unique_ptr<PackingAlgorithm> algo;
+          if (config.boundaries.empty()) {
+            algo = std::make_unique<FirstFit>();
+          } else {
+            algo = std::make_unique<HybridFirstFit>(config.boundaries);
+          }
+          const PackingResult result = simulate(items, *algo);
+          const opt::OptIntegral integral = opt::opt_total(items);
+          ratios.add(result.total_usage_time() / integral.upper);
+        }
+        table.add_row({bimodal ? "bimodal" : "uniform", Table::num(mu, 0), config.label,
+                       Table::num(ratios.mean(), 3), Table::num(ratios.max(), 3)});
+      }
+    }
+  }
+  std::cout << table;
+  csv_export.add("hybrid_ff", table);
+
+  // Where classification pays: the pinning family that drives every Any Fit
+  // algorithm (FF included) to ~mu. HFF sends the long tiny pins to their
+  // own small-class bin and stays near OPT.
+  std::printf("\n-- adversarial pinning family (n=40) --\n");
+  Table adv({"mu", "FirstFit_ratio", "HFF{1/2}_ratio"});
+  SimulationOptions strict;
+  strict.fit_epsilon = 0.0;
+  for (const double mu : {4.0, 8.0, 16.0, 32.0}) {
+    const auto instance = workload::any_fit_pinning_instance(40, mu);
+    FirstFit ff(0.0);
+    HybridFirstFit hff({0.5, 1.0}, 0.0);
+    const double ff_cost = simulate(instance.items, ff, strict).total_usage_time();
+    const double hff_cost = simulate(instance.items, hff, strict).total_usage_time();
+    adv.add_row({Table::num(mu, 0),
+                 Table::num(ff_cost / instance.predicted_opt_cost, 3),
+                 Table::num(hff_cost / instance.predicted_opt_cost, 3)});
+  }
+  std::cout << adv;
+  csv_export.add("hybrid_ff_adversarial", adv);
+  std::printf("\nreading: on random loads the {1/2} split costs ~5-10%% (it refuses\n"
+              "to mix classes); on the adversarial family it removes the mu blowup\n"
+              "entirely — the worst-case/average-case trade of [16].\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E3 — Propositions 1 and 2: how tight are the closed-form lower bounds on
+// OPT_total against the exact repacking integral? Reports bound/OPT ratios
+// (1.0 = tight) per workload family; the load-ceiling bound must dominate
+// both propositions and never exceed the integral.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "opt/lower_bounds.h"
+#include "opt/opt_integral.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  using namespace mutdbp;
+  bench::print_header(
+      "E3: lower-bound tightness (Propositions 1-2)",
+      "Prop 1: OPT >= sum s(r)|I(r)|; Prop 2: OPT >= span(R)",
+      "all bound/OPT ratios <= 1; max(bounds) close to 1 on dense workloads");
+
+  Table table({"family", "mu", "prop1/OPT", "prop2/OPT", "ceil/OPT", "combined/OPT",
+               "OPT_exact%"});
+  for (const double mu : {1.0, 4.0, 16.0}) {
+    for (const bool bimodal : {false, true}) {
+      RunningStats p1;
+      RunningStats p2;
+      RunningStats lc;
+      RunningStats combined;
+      std::size_t exact = 0;
+      const std::size_t trials = 10;
+      for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+        const auto spec = bimodal ? bench::bimodal_spec(mu, seed, 60)
+                                  : bench::sweep_spec(mu, seed, 60);
+        const ItemList items = workload::generate(spec);
+        const opt::OptIntegral integral = opt::opt_total(items);
+        if (integral.exact) ++exact;
+        const double reference = integral.upper;
+        p1.add(opt::prop1_time_space_bound(items) / reference);
+        p2.add(opt::prop2_span_bound(items) / reference);
+        lc.add(opt::load_ceiling_bound(items) / reference);
+        combined.add(opt::combined_lower_bound(items) / reference);
+      }
+      table.add_row({bimodal ? "bimodal" : "uniform", Table::num(mu, 0),
+                     Table::num(p1.mean(), 3), Table::num(p2.mean(), 3),
+                     Table::num(lc.mean(), 3), Table::num(combined.mean(), 3),
+                     Table::num(100.0 * static_cast<double>(exact) / trials, 0)});
+    }
+  }
+  std::cout << table;
+  csv_export.add("opt_bounds", table);
+  std::printf("\nreading: ceil/OPT dominates prop1 and prop2 and stays <= 1;\n"
+              "prop2 (span) is weak when load is high, prop1 when load is spiky.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E8 — systems microbenchmark (google-benchmark): packing throughput of the
+// simulation engine per algorithm and instance size, in items/second.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/registry.h"
+#include "core/simulation.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace mutdbp;
+
+ItemList workload_of_size(std::size_t n) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = n;
+  spec.seed = 42;
+  spec.arrival_rate = 4.0;  // keeps a healthy number of bins concurrently open
+  spec.duration_max = 8.0;
+  spec.size_min = 0.02;
+  spec.size_max = 0.6;
+  return workload::generate(spec);
+}
+
+void run_algorithm(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ItemList items = workload_of_size(n);
+  const auto algo = make_algorithm(name);
+  SimulationOptions options;
+  options.record_timelines = false;  // measure the packing engine itself
+  for (auto _ : state) {
+    const PackingResult result = simulate(items, *algo, options);
+    benchmark::DoNotOptimize(result.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_FirstFit(benchmark::State& state) { run_algorithm(state, "FirstFit"); }
+void BM_BestFit(benchmark::State& state) { run_algorithm(state, "BestFit"); }
+void BM_NextFit(benchmark::State& state) { run_algorithm(state, "NextFit"); }
+void BM_HybridFirstFit(benchmark::State& state) {
+  run_algorithm(state, "HybridFirstFit");
+}
+
+void BM_SimulatorWithTimelines(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ItemList items = workload_of_size(n);
+  const auto algo = make_algorithm("FirstFit");
+  for (auto _ : state) {
+    const PackingResult result = simulate(items, *algo);  // timelines on
+    benchmark::DoNotOptimize(result.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FirstFit)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_BestFit)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_NextFit)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_HybridFirstFit)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_SimulatorWithTimelines)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// E14 — empirical worst-case search: a restart hill-climber over small
+// instances maximizing First Fit's ratio against the exact repacking OPT.
+// Probes how much of the [µ, µ+4] band between the universal lower bound
+// and Theorem 1's guarantee is reachable — structured constructions (the
+// pinning family, given as one seed) dominate what random search finds.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "bench_common.h"
+#include "core/simulation.h"
+#include "opt/opt_integral.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/adversarial.h"
+
+namespace {
+
+using namespace mutdbp;
+
+double score(const std::vector<Item>& genome) {
+  try {
+    const ItemList items(genome);
+    FirstFit ff;
+    const PackingResult result = simulate(items, ff);
+    const opt::OptIntegral integral = opt::opt_total(items);
+    return result.total_usage_time() / integral.upper;
+  } catch (const std::exception&) {
+    return 0.0;  // invalid mutation
+  }
+}
+
+std::vector<Item> random_genome(Rng& rng, std::size_t n, double mu) {
+  std::vector<Item> genome;
+  for (ItemId id = 0; id < n; ++id) {
+    const double arrival = rng.uniform(0.0, 4.0);
+    const double duration = rng.bernoulli(0.5) ? 1.0 : rng.uniform(1.0, mu);
+    genome.push_back(make_item(id, rng.uniform(0.05, 1.0), arrival, arrival + duration));
+  }
+  return genome;
+}
+
+void mutate(Rng& rng, std::vector<Item>& genome, double mu) {
+  Item& item = genome[rng.index(genome.size())];
+  switch (rng.uniform_u64(0, 2)) {
+    case 0:
+      item.size = rng.bernoulli(0.3) ? rng.uniform(0.001, 0.05)  // tiny pins
+                                     : rng.uniform(0.05, 1.0);
+      break;
+    case 1: {
+      const double duration = item.duration();
+      const double arrival = std::max(0.0, item.arrival() + rng.normal(0.0, 0.5));
+      item.active = {arrival, arrival + duration};
+      break;
+    }
+    default: {
+      const double duration =
+          rng.bernoulli(0.5) ? (rng.bernoulli(0.5) ? 1.0 : mu) : rng.uniform(1.0, mu);
+      item.active = {item.arrival(), item.arrival() + duration};
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  bench::print_header(
+      "E14: empirical worst-case search for First Fit",
+      "the [mu, mu+4] band between the universal lower bound and Theorem 1",
+      "hill-climbing finds ratios well above random workloads but below the "
+      "structured pinning family; nothing approaches mu+4");
+
+  const std::size_t n = 20;
+  Table table({"mu", "random_workload", "search_best", "pinning_seeded",
+               "lower_bound(mu)", "guarantee(mu+4)"});
+  for (const double mu : {2.0, 4.0, 8.0}) {
+    Rng rng(static_cast<std::uint64_t>(mu) * 1000 + 17);
+    // Baseline: the best ratio among plain random genomes.
+    double random_best = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      random_best = std::max(random_best, score(random_genome(rng, n, mu)));
+    }
+    // Restart hill climbing from random genomes.
+    double search_best = 0.0;
+    for (int restart = 0; restart < 10; ++restart) {
+      std::vector<Item> genome = random_genome(rng, n, mu);
+      double current = score(genome);
+      for (int step = 0; step < 1500; ++step) {
+        std::vector<Item> candidate = genome;
+        mutate(rng, candidate, mu);
+        const double candidate_score = score(candidate);
+        if (candidate_score > current) {
+          current = candidate_score;
+          genome = std::move(candidate);
+        }
+      }
+      search_best = std::max(search_best, current);
+    }
+    // Structured seed: the pinning construction, then hill climbing.
+    std::vector<Item> pinning =
+        workload::any_fit_pinning_instance(n / 2, mu).items.items();
+    double pinning_score = score(pinning);
+    for (int step = 0; step < 1500; ++step) {
+      std::vector<Item> candidate = pinning;
+      mutate(rng, candidate, mu);
+      const double candidate_score = score(candidate);
+      if (candidate_score > pinning_score) {
+        pinning_score = candidate_score;
+        pinning = std::move(candidate);
+      }
+    }
+    table.add_row({Table::num(mu, 0), Table::num(random_best, 3),
+                   Table::num(search_best, 3), Table::num(pinning_score, 3),
+                   Table::num(mu, 0), Table::num(mu + 4.0, 0)});
+  }
+  std::cout << table;
+  csv_export.add("worst_search", table);
+  std::printf("\nreading: search finds ratios around (or slightly above, at small mu)\n"
+              "the asymptotic lower bound mu, but far from mu+4 — consistent with\n"
+              "First Fit's true worst case lying a small constant above mu.\n");
+  return 0;
+}

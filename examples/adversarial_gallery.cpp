@@ -1,0 +1,71 @@
+// Gallery of the adversarial constructions: Section VIII's Next Fit family,
+// the Any Fit pinning family (Ω(µ)), and the Best Fit decoy family, each
+// rendered as an ASCII packing so the bad behaviour is visible.
+//
+//   ./examples/adversarial_gallery [--mu 6] [--n 8]
+#include <cstdio>
+#include <iostream>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/next_fit.h"
+#include "analysis/ascii.h"
+#include "core/simulation.h"
+#include "util/flags.h"
+#include "workload/adversarial.h"
+
+namespace {
+
+void show(const char* title, const mutdbp::workload::AdversarialInstance& instance,
+          mutdbp::PackingAlgorithm& algorithm) {
+  using namespace mutdbp;
+  SimulationOptions options;
+  options.fit_epsilon = instance.recommended_fit_epsilon;
+  const PackingResult result = simulate(instance.items, algorithm, options);
+  std::printf("=== %s (algorithm: %s) ===\n", title,
+              std::string(algorithm.name()).c_str());
+  std::printf("items: %zu, mu: %.2f\n", instance.items.size(), instance.items.mu());
+  analysis::RenderOptions render;
+  render.show_levels = false;
+  std::cout << analysis::render_bins(instance.items, result, render);
+  std::printf("simulated cost: %.3f (predicted %.3f), described OPT: %.3f, ratio %.3f\n\n",
+              result.total_usage_time(), instance.predicted_algorithm_cost,
+              instance.predicted_opt_cost,
+              result.total_usage_time() / instance.predicted_opt_cost);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mutdbp;
+  Flags flags(argc, argv);
+  const double mu = flags.get_double("mu", 6.0, "max/min duration ratio");
+  const auto n =
+      static_cast<std::size_t>(flags.get_int("n", 8, "instance size parameter"));
+  if (flags.finish("Adversarial construction gallery")) return 0;
+
+  {
+    NextFit nf;
+    show("Section VIII: Next Fit lower bound (ratio -> 2mu)",
+         workload::next_fit_lower_bound_instance(n, mu), nf);
+  }
+  {
+    FirstFit ff(0.0);
+    show("Any Fit pinning family (ratio -> mu, here against First Fit)",
+         workload::any_fit_pinning_instance(n, mu), ff);
+  }
+  {
+    const double decoy_mu = std::max(mu, 1.5 * static_cast<double>(n - 1) + 1.0);
+    const auto instance = workload::best_fit_decoy_instance(n, decoy_mu);
+    BestFit bf(0.0);
+    show("Best Fit decoy family (Best Fit strands pins; First Fit does not)",
+         instance, bf);
+    FirstFit ff(0.0);
+    SimulationOptions options;
+    options.fit_epsilon = 0.0;
+    const PackingResult ff_result = simulate(instance.items, ff, options);
+    std::printf("First Fit on the same instance: %.3f (%.2fx cheaper)\n\n",
+                ff_result.total_usage_time(),
+                instance.predicted_algorithm_cost / ff_result.total_usage_time());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Multi-dimensional cloud allocation (the paper's §IX extension): VMs
+// demand CPU and memory fractions of a server; compare the MD packing
+// rules as demand correlation varies.
+//
+//   ./examples/multidim_vm [--vms 800] [--correlation 0.0] [--seed 5]
+#include <cstdio>
+#include <iostream>
+
+#include "multidim/md_algorithms.h"
+#include "multidim/md_workload.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mutdbp;
+  using namespace mutdbp::md;
+  Flags flags(argc, argv);
+  MDWorkloadSpec spec;
+  spec.num_items = static_cast<std::size_t>(flags.get_int("vms", 800, "number of VMs"));
+  spec.dimensions = 2;  // CPU, memory
+  spec.correlation =
+      flags.get_double("correlation", 0.0, "CPU/memory demand correlation [-1,1]");
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed", 5, "workload seed"));
+  spec.duration_max = 8.0;
+  if (flags.finish("2-D (CPU+memory) online VM allocation")) return 0;
+
+  const MDItemList vms = generate_md(spec);
+  std::printf("VMs: %zu, dimensions: CPU+memory, correlation %.2f, mu %.2f\n",
+              vms.size(), spec.correlation, vms.mu());
+  const double lower = vms.load_ceiling_bound();
+  std::printf("lower bound on total server hours: %.1f\n\n", lower);
+
+  Table table({"algorithm", "servers", "server_hours", "vs_lower_bound"});
+  for (const auto& name : md_algorithm_names()) {
+    const auto algo = make_md_algorithm(name);
+    const MDPackingResult result = md_simulate(vms, *algo);
+    table.add_row({std::string(name), Table::num(result.bins_opened()),
+                   Table::num(result.total_usage_time(), 1),
+                   Table::num(result.total_usage_time() / lower, 3)});
+  }
+  std::cout << table;
+  std::printf("\ntry --correlation -1 (anti-correlated CPU/memory): every rule pays\n"
+              "for stranded capacity; note how rules that consolidate (FirstFit,\n"
+              "BestFit) beat balance-seeking ones under the usage-time objective.\n");
+  return 0;
+}

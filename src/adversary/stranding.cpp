@@ -1,0 +1,98 @@
+#include "adversary/stranding.h"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mutdbp::adversary {
+
+GameResult play_stranding(PackingAlgorithm& algorithm, const StrandingSpec& spec,
+                          SimulationOptions options) {
+  if (spec.mu < 1.0) throw std::invalid_argument("play_stranding: mu >= 1");
+  if (!(spec.size_min > 0.0) || spec.size_min > spec.size_max ||
+      spec.size_max > options.capacity) {
+    throw std::invalid_argument("play_stranding: bad size range");
+  }
+  if (!(spec.inter_arrival > 0.0)) {
+    throw std::invalid_argument("play_stranding: inter_arrival must be > 0");
+  }
+
+  algorithm.reset();
+  Simulation sim(algorithm, options);
+  Rng rng(spec.seed);
+
+  struct PendingDeparture {
+    ItemId id;
+    bool forced;  // true: the item reached arrival + mu and must leave
+  };
+  // Decision/departure schedule, ordered by time (multimap: ties in id order
+  // of insertion).
+  std::multimap<Time, PendingDeparture> schedule;
+  std::unordered_map<ItemId, Time> arrival_of;
+  std::unordered_map<ItemId, double> size_of;
+  std::vector<Item> realized;
+  realized.reserve(spec.num_items);
+
+  std::size_t next_item = 0;
+  auto release_next = [&](Time now) {
+    const ItemId id = next_item;
+    const double size = rng.uniform(spec.size_min, spec.size_max);
+    sim.arrive(id, size, now);
+    arrival_of[id] = now;
+    size_of[id] = size;
+    schedule.emplace(now + 1.0, PendingDeparture{id, false});
+    ++next_item;
+  };
+
+  auto depart = [&](ItemId id, Time now) {
+    realized.push_back(make_item(id, size_of[id], arrival_of[id], now));
+    sim.depart(id, now);
+  };
+
+  while (next_item < spec.num_items || !schedule.empty()) {
+    const Time next_arrival_time =
+        next_item < spec.num_items
+            ? static_cast<double>(next_item) * spec.inter_arrival
+            : std::numeric_limits<double>::infinity();
+    const Time next_decision_time =
+        schedule.empty() ? std::numeric_limits<double>::infinity()
+                         : schedule.begin()->first;
+    if (next_decision_time <= next_arrival_time) {
+      // Departures/decisions strictly before (or at) the arrival: matches
+      // the departures-before-arrivals convention at equal times.
+      const auto entry = schedule.begin();
+      const Time now = entry->first;
+      const PendingDeparture pending = entry->second;
+      schedule.erase(entry);
+      // The adversary's decision point: is the item alone in its bin?
+      const BinIndex bin = sim.bin_of_active(pending.id);
+      bool alone = true;
+      for (const auto& snap : sim.open_snapshots()) {
+        if (snap.index == bin) {
+          alone = snap.item_count == 1;
+          break;
+        }
+      }
+      if (pending.forced || !alone) {
+        depart(pending.id, now);
+      } else {
+        // Keep the lone item pinned until its maximum duration.
+        schedule.emplace(arrival_of[pending.id] + spec.mu,
+                         PendingDeparture{pending.id, true});
+      }
+    } else {
+      release_next(next_arrival_time);
+    }
+  }
+
+  GameResult result;
+  result.items = ItemList(std::move(realized), options.capacity);
+  result.packing = sim.finish();
+  return result;
+}
+
+}  // namespace mutdbp::adversary

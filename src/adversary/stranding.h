@@ -1,0 +1,53 @@
+// Adaptive adversary games. In MinUsageTime DBP the adversary's real power
+// is choosing departure times *after* observing the algorithm's placements
+// (the online algorithm never sees departures). This module implements that
+// game on top of the incremental Simulation.
+//
+// The stranding adversary feeds a stream of items and adaptively decides,
+// when an item reaches its minimum duration, whether to depart it now or
+// keep it until the maximum duration µ:
+//   * if the item currently shares its bin with other active items, it
+//     departs immediately (it is not needed to keep the bin open), and
+//   * if it is the last item in its bin, it stays until arrival + µ,
+//     pinning the bin for the maximum time at minimum volume.
+// Every bin the algorithm ever opens therefore ends up pinned by exactly
+// one cheap item — an adaptive, algorithm-agnostic version of the lower
+// bound constructions of Section VIII / [12] / [16].
+#pragma once
+
+#include <cstdint>
+
+#include "core/item_list.h"
+#include "core/packing_result.h"
+#include "core/simulation.h"
+
+namespace mutdbp::adversary {
+
+struct StrandingSpec {
+  std::size_t num_items = 200;
+  /// Max/min duration ratio: items live either 1 (shared bin) or mu (alone).
+  double mu = 10.0;
+  /// Arrival i happens at time i * inter_arrival.
+  double inter_arrival = 0.25;
+  std::uint64_t seed = 1;
+  double size_min = 0.1;
+  double size_max = 0.45;
+};
+
+struct GameResult {
+  /// The realized instance (departures as the adversary chose them). Any
+  /// offline bound (opt::opt_total etc.) can be evaluated on it.
+  ItemList items;
+  PackingResult packing;
+
+  [[nodiscard]] double algorithm_cost() const noexcept {
+    return packing.total_usage_time();
+  }
+};
+
+/// Plays the stranding game against `algorithm`. Deterministic per spec.
+[[nodiscard]] GameResult play_stranding(PackingAlgorithm& algorithm,
+                                        const StrandingSpec& spec,
+                                        SimulationOptions options = {});
+
+}  // namespace mutdbp::adversary

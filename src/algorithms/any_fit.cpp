@@ -1,0 +1,51 @@
+#include "algorithms/any_fit.h"
+
+namespace mutdbp {
+
+Placement AnyFitAlgorithm::place(const ArrivalView& item,
+                                 std::span<const BinSnapshot> open_bins) {
+  fitting_.clear();
+  for (const auto& bin : open_bins) {
+    if (fits(bin, item.size, fit_epsilon_)) fitting_.push_back(bin);
+  }
+  if (fitting_.empty()) return std::nullopt;  // the Any Fit property
+  return pick(item, fitting_);
+}
+
+BinIndex FirstFit::pick(const ArrivalView& /*item*/,
+                        std::span<const BinSnapshot> fitting) {
+  return fitting.front().index;  // fitting is sorted by opening order
+}
+
+BinIndex BestFit::pick(const ArrivalView& /*item*/,
+                       std::span<const BinSnapshot> fitting) {
+  BinIndex best = fitting.front().index;
+  double best_level = fitting.front().level;
+  for (const auto& bin : fitting.subspan(1)) {
+    if (bin.level > best_level) {
+      best_level = bin.level;
+      best = bin.index;
+    }
+  }
+  return best;
+}
+
+BinIndex WorstFit::pick(const ArrivalView& /*item*/,
+                        std::span<const BinSnapshot> fitting) {
+  BinIndex best = fitting.front().index;
+  double best_level = fitting.front().level;
+  for (const auto& bin : fitting.subspan(1)) {
+    if (bin.level < best_level) {
+      best_level = bin.level;
+      best = bin.index;
+    }
+  }
+  return best;
+}
+
+BinIndex LastFit::pick(const ArrivalView& /*item*/,
+                       std::span<const BinSnapshot> fitting) {
+  return fitting.back().index;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,81 @@
+// The Any Fit family (§I): algorithms that open a new bin only when no
+// currently open bin can accommodate the incoming item. The base class
+// guarantees that property; subclasses only choose *which* fitting bin.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+class AnyFitAlgorithm : public PackingAlgorithm {
+ public:
+  explicit AnyFitAlgorithm(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : fit_epsilon_(fit_epsilon) {}
+
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) final;
+
+  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
+
+ protected:
+  /// Chooses among `fitting` (non-empty, sorted by bin index). Returns the
+  /// chosen bin's global index.
+  [[nodiscard]] virtual BinIndex pick(const ArrivalView& item,
+                                      std::span<const BinSnapshot> fitting) = 0;
+
+ private:
+  double fit_epsilon_;
+  std::vector<BinSnapshot> fitting_;  // reused across calls
+};
+
+/// First Fit (§III.B): "places the item in the bin which was opened earliest
+/// among these bins" — i.e. the lowest-indexed fitting bin.
+class FirstFit final : public AnyFitAlgorithm {
+ public:
+  using AnyFitAlgorithm::AnyFitAlgorithm;
+  [[nodiscard]] std::string_view name() const noexcept override { return "FirstFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const ArrivalView& item,
+                              std::span<const BinSnapshot> fitting) override;
+};
+
+/// Best Fit: fullest fitting bin (ties: lowest index). The paper notes its
+/// competitive ratio is unbounded for MinUsageTime DBP.
+class BestFit final : public AnyFitAlgorithm {
+ public:
+  using AnyFitAlgorithm::AnyFitAlgorithm;
+  [[nodiscard]] std::string_view name() const noexcept override { return "BestFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const ArrivalView& item,
+                              std::span<const BinSnapshot> fitting) override;
+};
+
+/// Worst Fit: emptiest fitting bin (ties: lowest index).
+class WorstFit final : public AnyFitAlgorithm {
+ public:
+  using AnyFitAlgorithm::AnyFitAlgorithm;
+  [[nodiscard]] std::string_view name() const noexcept override { return "WorstFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const ArrivalView& item,
+                              std::span<const BinSnapshot> fitting) override;
+};
+
+/// Last Fit: most recently opened fitting bin.
+class LastFit final : public AnyFitAlgorithm {
+ public:
+  using AnyFitAlgorithm::AnyFitAlgorithm;
+  [[nodiscard]] std::string_view name() const noexcept override { return "LastFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const ArrivalView& item,
+                              std::span<const BinSnapshot> fitting) override;
+};
+
+}  // namespace mutdbp

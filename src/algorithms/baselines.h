@@ -1,0 +1,21 @@
+// Trivial baselines that bracket the interesting algorithms.
+#pragma once
+
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+/// Opens a fresh bin for every item. Its usage time equals the sum of item
+/// durations — the worst reasonable packing, and a useful sanity ceiling.
+class NewBinPerItem final : public PackingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "NewBinPerItem"; }
+  [[nodiscard]] Placement place(const ArrivalView& /*item*/,
+                                std::span<const BinSnapshot> /*open_bins*/) override {
+    return std::nullopt;
+  }
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,83 @@
+#include "algorithms/classified_next_fit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mutdbp {
+
+std::vector<double> harmonic_boundaries(std::size_t k, double capacity) {
+  if (k == 0) throw std::invalid_argument("harmonic_boundaries: k must be >= 1");
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("harmonic_boundaries: capacity must be > 0");
+  }
+  std::vector<double> boundaries;
+  boundaries.reserve(k);
+  for (std::size_t c = k; c >= 1; --c) {
+    boundaries.push_back(capacity / static_cast<double>(c));
+  }
+  return boundaries;
+}
+
+ClassifiedNextFit::ClassifiedNextFit(std::vector<double> boundaries, double fit_epsilon,
+                                     std::string display_name)
+    : boundaries_(std::move(boundaries)), fit_epsilon_(fit_epsilon) {
+  if (boundaries_.empty() || !std::is_sorted(boundaries_.begin(), boundaries_.end()) ||
+      std::adjacent_find(boundaries_.begin(), boundaries_.end()) != boundaries_.end() ||
+      boundaries_.front() <= 0.0) {
+    throw std::invalid_argument(
+        "ClassifiedNextFit: boundaries must be strictly increasing and > 0");
+  }
+  available_.assign(boundaries_.size(), std::nullopt);
+  if (!display_name.empty()) {
+    name_ = std::move(display_name);
+    return;
+  }
+  name_ = "ClassifiedNextFit(";
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%g", i ? "," : "", boundaries_[i]);
+    name_ += buf;
+  }
+  name_ += ")";
+}
+
+std::size_t ClassifiedNextFit::classify(double size) const {
+  for (std::size_t c = 0; c < boundaries_.size(); ++c) {
+    if (size <= boundaries_[c] + fit_epsilon_) return c;
+  }
+  throw std::invalid_argument("ClassifiedNextFit: item exceeds the last boundary");
+}
+
+Placement ClassifiedNextFit::place(const ArrivalView& item,
+                                   std::span<const BinSnapshot> open_bins) {
+  const std::size_t cls = classify(item.size);
+  pending_class_ = cls;
+  if (available_[cls].has_value()) {
+    for (const auto& bin : open_bins) {
+      if (bin.index == *available_[cls]) {
+        if (fits(bin, item.size, fit_epsilon_)) return bin.index;
+        break;
+      }
+    }
+    available_[cls].reset();  // the class's bin is retired forever
+  }
+  return std::nullopt;
+}
+
+void ClassifiedNextFit::on_bin_opened(BinIndex bin, const ArrivalView& /*first_item*/) {
+  available_[pending_class_] = bin;
+}
+
+void ClassifiedNextFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  for (auto& slot : available_) {
+    if (slot == bin) slot.reset();
+  }
+}
+
+void ClassifiedNextFit::reset() {
+  available_.assign(boundaries_.size(), std::nullopt);
+  pending_class_ = 0;
+}
+
+}  // namespace mutdbp

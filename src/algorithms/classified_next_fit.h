@@ -1,0 +1,50 @@
+// Size-classified Next Fit (the semi-online "hybrid Next Fit" direction of
+// §II / [2, Kamali & López-Ortiz]): items are routed into size classes and
+// each class runs its own Next Fit (one available bin per class). Like
+// HybridFirstFit this is not an Any Fit algorithm.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+/// Harmonic class boundaries {1/k, 1/(k-1), ..., 1/2, 1} (relative to
+/// `capacity`): items in (1/(c+1), 1/c] share a class, as in the classical
+/// Harmonic online bin packing algorithm of Lee & Lee. Feeding these into
+/// ClassifiedNextFit yields the Harmonic(k) analogue for MinUsageTime DBP.
+[[nodiscard]] std::vector<double> harmonic_boundaries(std::size_t k,
+                                                      double capacity = 1.0);
+
+class ClassifiedNextFit final : public PackingAlgorithm {
+ public:
+  /// `boundaries` as in HybridFirstFit: strictly increasing, last = capacity.
+  /// `display_name` overrides the generated name (used for presets like
+  /// Harmonic4).
+  explicit ClassifiedNextFit(std::vector<double> boundaries = {0.5, 1.0},
+                             double fit_epsilon = kDefaultFitEpsilon,
+                             std::string display_name = "");
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) override;
+  void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t classify(double size) const;
+
+ private:
+  std::vector<double> boundaries_;
+  double fit_epsilon_;
+  std::string name_;
+  std::vector<std::optional<BinIndex>> available_;  ///< per class
+  std::size_t pending_class_ = 0;
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,57 @@
+#include "algorithms/hybrid_first_fit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mutdbp {
+
+HybridFirstFit::HybridFirstFit(std::vector<double> boundaries, double fit_epsilon)
+    : boundaries_(std::move(boundaries)), fit_epsilon_(fit_epsilon) {
+  if (boundaries_.empty() || !std::is_sorted(boundaries_.begin(), boundaries_.end()) ||
+      std::adjacent_find(boundaries_.begin(), boundaries_.end()) != boundaries_.end() ||
+      boundaries_.front() <= 0.0) {
+    throw std::invalid_argument("HybridFirstFit: boundaries must be strictly increasing and > 0");
+  }
+  name_ = "HybridFirstFit(";
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%g", i ? "," : "", boundaries_[i]);
+    name_ += buf;
+  }
+  name_ += ")";
+}
+
+std::size_t HybridFirstFit::classify(double size) const {
+  for (std::size_t c = 0; c < boundaries_.size(); ++c) {
+    if (size <= boundaries_[c] + fit_epsilon_) return c;
+  }
+  throw std::invalid_argument("HybridFirstFit: item size exceeds the last class boundary");
+}
+
+Placement HybridFirstFit::place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) {
+  const std::size_t cls = classify(item.size);
+  for (const auto& bin : open_bins) {
+    const auto it = bin_class_.find(bin.index);
+    if (it == bin_class_.end() || it->second != cls) continue;
+    if (fits(bin, item.size, fit_epsilon_)) return bin.index;  // first fit in class
+  }
+  pending_class_ = cls;
+  return std::nullopt;
+}
+
+void HybridFirstFit::on_bin_opened(BinIndex bin, const ArrivalView& /*first_item*/) {
+  bin_class_[bin] = pending_class_;
+}
+
+void HybridFirstFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  bin_class_.erase(bin);
+}
+
+void HybridFirstFit::reset() {
+  bin_class_.clear();
+  pending_class_ = 0;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,47 @@
+// Size-classified First Fit ("Hybrid First Fit", [16]): items are divided
+// into size classes; each class is packed by First Fit into bins dedicated
+// to that class. Keeping long small items away from bins opened for large
+// items is what improves the multiplicative factor to 8/7 in [16].
+//
+// The class boundaries are configurable (experiment E9 sweeps them); the
+// default {1/3, 1/2, 1} gives classes (0,1/3], (1/3,1/2], (1/2,1].
+// Note this is NOT an Any Fit algorithm: it may open a new bin while a bin
+// of a different class still has room.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+class HybridFirstFit final : public PackingAlgorithm {
+ public:
+  /// `boundaries` must be strictly increasing and end with the bin capacity
+  /// (relative sizes: 1.0). Class c holds sizes in (boundaries[c-1], boundaries[c]].
+  explicit HybridFirstFit(std::vector<double> boundaries = {1.0 / 3.0, 0.5, 1.0},
+                          double fit_epsilon = kDefaultFitEpsilon);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) override;
+  void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t classify(double size) const;
+  [[nodiscard]] std::size_t class_count() const noexcept { return boundaries_.size(); }
+
+ private:
+  std::vector<double> boundaries_;
+  double fit_epsilon_;
+  std::string name_;
+  std::unordered_map<BinIndex, std::size_t> bin_class_;
+  std::size_t pending_class_ = 0;  // class of the item that caused a new bin
+};
+
+}  // namespace mutdbp

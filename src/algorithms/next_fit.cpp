@@ -1,0 +1,32 @@
+#include "algorithms/next_fit.h"
+
+namespace mutdbp {
+
+Placement NextFit::place(const ArrivalView& item,
+                         std::span<const BinSnapshot> open_bins) {
+  if (available_.has_value()) {
+    for (const auto& bin : open_bins) {
+      if (bin.index == *available_) {
+        if (fits(bin, item.size, fit_epsilon_)) return bin.index;
+        break;
+      }
+    }
+    // Doesn't fit: the available bin becomes unavailable forever.
+    available_.reset();
+  }
+  return std::nullopt;  // open a new bin; on_bin_opened marks it available
+}
+
+void NextFit::on_bin_opened(BinIndex bin, const ArrivalView& /*first_item*/) {
+  available_ = bin;
+}
+
+void NextFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  // An available bin can close (all its items depart); the next arrival then
+  // opens a fresh bin.
+  if (available_ == bin) available_.reset();
+}
+
+void NextFit::reset() { available_.reset(); }
+
+}  // namespace mutdbp

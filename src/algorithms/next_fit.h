@@ -1,0 +1,38 @@
+// Next Fit (§VIII): "keeps exactly one bin available for receiving new items
+// at any time. If an incoming item does not fit in the available bin, the
+// available bin is marked unavailable and a new bin is opened (and marked
+// available). Unavailable bins are never marked available again and are
+// closed when all the items in the bin depart."
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+class NextFit final : public PackingAlgorithm {
+ public:
+  explicit NextFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : fit_epsilon_(fit_epsilon) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "NextFit"; }
+
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) override;
+  void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  /// The currently available bin, if any (exposed for tests).
+  [[nodiscard]] std::optional<BinIndex> available_bin() const noexcept {
+    return available_;
+  }
+
+ private:
+  double fit_epsilon_;
+  std::optional<BinIndex> available_;
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,10 @@
+#include "algorithms/random_fit.h"
+
+namespace mutdbp {
+
+BinIndex RandomFit::pick(const ArrivalView& /*item*/,
+                         std::span<const BinSnapshot> fitting) {
+  return fitting[rng_.index(fitting.size())].index;
+}
+
+}  // namespace mutdbp

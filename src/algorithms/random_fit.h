@@ -1,0 +1,31 @@
+// Random Fit: an Any Fit algorithm that picks a fitting bin uniformly at
+// random. Deterministic under a fixed seed (see util/rng.h).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "algorithms/any_fit.h"
+#include "util/rng.h"
+
+namespace mutdbp {
+
+class RandomFit final : public AnyFitAlgorithm {
+ public:
+  explicit RandomFit(std::uint64_t seed = 1,
+                     double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : AnyFitAlgorithm(fit_epsilon), seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "RandomFit"; }
+  void reset() override { rng_.reseed(seed_); }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const ArrivalView& item,
+                              std::span<const BinSnapshot> fitting) override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,46 @@
+#include "algorithms/registry.h"
+
+#include <stdexcept>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/baselines.h"
+#include "algorithms/classified_next_fit.h"
+#include "algorithms/hybrid_first_fit.h"
+#include "algorithms/next_fit.h"
+#include "algorithms/random_fit.h"
+
+namespace mutdbp {
+
+std::vector<std::string> algorithm_names() {
+  return {"FirstFit",       "BestFit",           "WorstFit",
+          "LastFit",        "RandomFit",         "NextFit",
+          "HybridFirstFit", "ClassifiedNextFit", "Harmonic4",
+          "NewBinPerItem"};
+}
+
+std::unique_ptr<PackingAlgorithm> make_algorithm(std::string_view name,
+                                                 std::uint64_t seed,
+                                                 double fit_epsilon) {
+  if (name == "FirstFit") return std::make_unique<FirstFit>(fit_epsilon);
+  if (name == "BestFit") return std::make_unique<BestFit>(fit_epsilon);
+  if (name == "WorstFit") return std::make_unique<WorstFit>(fit_epsilon);
+  if (name == "LastFit") return std::make_unique<LastFit>(fit_epsilon);
+  if (name == "RandomFit") return std::make_unique<RandomFit>(seed, fit_epsilon);
+  if (name == "NextFit") return std::make_unique<NextFit>(fit_epsilon);
+  if (name == "HybridFirstFit") {
+    return std::make_unique<HybridFirstFit>(std::vector<double>{1.0 / 3.0, 0.5, 1.0},
+                                            fit_epsilon);
+  }
+  if (name == "ClassifiedNextFit") {
+    return std::make_unique<ClassifiedNextFit>(std::vector<double>{0.5, 1.0},
+                                               fit_epsilon);
+  }
+  if (name == "Harmonic4") {
+    return std::make_unique<ClassifiedNextFit>(harmonic_boundaries(4), fit_epsilon,
+                                               "Harmonic4");
+  }
+  if (name == "NewBinPerItem") return std::make_unique<NewBinPerItem>();
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+}  // namespace mutdbp

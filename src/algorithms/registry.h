@@ -1,0 +1,26 @@
+// Algorithm factory: benches, examples, and the trace replayer select
+// algorithms by name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+/// Names accepted by make_algorithm, in canonical comparison order.
+[[nodiscard]] std::vector<std::string> algorithm_names();
+
+/// Creates an algorithm by name: "FirstFit", "BestFit", "WorstFit",
+/// "LastFit", "RandomFit", "NextFit", "HybridFirstFit",
+/// "ClassifiedNextFit", "NewBinPerItem".
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<PackingAlgorithm> make_algorithm(
+    std::string_view name, std::uint64_t seed = 1,
+    double fit_epsilon = kDefaultFitEpsilon);
+
+}  // namespace mutdbp

@@ -1,0 +1,93 @@
+#include "analysis/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mutdbp::analysis {
+namespace {
+
+class TimeScale {
+ public:
+  TimeScale(Interval period, std::size_t width) : period_(period), width_(width) {}
+
+  [[nodiscard]] std::size_t column(Time t) const {
+    if (period_.length() <= 0.0) return 0;
+    const double frac = (t - period_.left) / period_.length();
+    const auto col = static_cast<long>(std::floor(frac * static_cast<double>(width_)));
+    return static_cast<std::size_t>(std::clamp(col, 0L, static_cast<long>(width_) - 1));
+  }
+
+  /// Paints [from, to) with `fill` into the row.
+  void paint(std::string& row, Interval iv, char fill) const {
+    if (iv.empty()) return;
+    const std::size_t lo = column(iv.left);
+    std::size_t hi = column(iv.right);
+    if (iv.right < period_.right && hi > lo) --hi;  // right end exclusive
+    for (std::size_t c = lo; c <= hi && c < row.size(); ++c) row[c] = fill;
+  }
+
+ private:
+  Interval period_;
+  std::size_t width_;
+};
+
+char level_char(double level, double capacity) {
+  const double frac = level / capacity;
+  if (frac >= 0.999) return 'X';
+  const int digit = static_cast<int>(std::floor(frac * 10.0));
+  return static_cast<char>('0' + std::clamp(digit, 0, 9));
+}
+
+}  // namespace
+
+std::string render_bins(const ItemList& items, const PackingResult& result,
+                        const RenderOptions& options) {
+  std::ostringstream out;
+  const Interval period = items.packing_period();
+  const TimeScale scale(period, options.width);
+  out << "time " << to_string(period) << ", one row per bin\n";
+  for (const auto& bin : result.bins()) {
+    std::string row(options.width, ' ');
+    scale.paint(row, bin.usage, '=');
+    row[scale.column(bin.usage.left)] = '[';
+    row[scale.column(bin.usage.right)] = ')';
+    char label[32];
+    std::snprintf(label, sizeof(label), "b%-3zu |", bin.index + 1);
+    out << label << row << "|\n";
+    if (options.show_levels && !bin.timeline.times.empty()) {
+      std::string levels(options.width, ' ');
+      for (std::size_t i = 0; i < bin.timeline.times.size(); ++i) {
+        const Time from = bin.timeline.times[i];
+        const Time to = (i + 1 < bin.timeline.times.size()) ? bin.timeline.times[i + 1]
+                                                            : bin.usage.right;
+        if (bin.timeline.levels[i] <= 0.0) continue;
+        scale.paint(levels, {from, to},
+                    level_char(bin.timeline.levels[i], items.capacity()));
+      }
+      out << "     |" << levels << "| level (0-9 tenths, X=full)\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_usage_split(const ItemList& items, const PackingResult& result,
+                               const RenderOptions& options) {
+  std::ostringstream out;
+  const Interval period = items.packing_period();
+  const TimeScale scale(period, options.width);
+  const UsagePeriodDecomposition decomposition(result);
+  out << "V_k ('v') and W_k ('w') split per bin (eq. (1): total = sum V + span)\n";
+  for (const auto& bin : decomposition.bins()) {
+    std::string row(options.width, ' ');
+    scale.paint(row, bin.v, 'v');
+    scale.paint(row, bin.w, 'w');
+    char label[32];
+    std::snprintf(label, sizeof(label), "b%-3zu |", bin.index + 1);
+    out << label << row << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace mutdbp::analysis

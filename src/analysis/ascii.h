@@ -1,0 +1,29 @@
+// ASCII rendering of packings: the textual counterpart of the paper's
+// Figures 1 and 2, used by the examples.
+#pragma once
+
+#include <string>
+
+#include "analysis/usage_periods.h"
+#include "core/item_list.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::analysis {
+
+struct RenderOptions {
+  std::size_t width = 72;   ///< characters across the packing period
+  bool show_levels = true;  ///< digit rows encoding 10*level under each bin
+};
+
+/// One row per bin: its usage period drawn over the packing period, with
+/// '[' at opening, ')' at closing, and '=' in between. With show_levels, a
+/// second row renders the bin level (0-9, 'X' for full) over time.
+[[nodiscard]] std::string render_bins(const ItemList& items, const PackingResult& result,
+                                      const RenderOptions& options = {});
+
+/// Figure 2 style: V_k / W_k split per bin ('v' and 'w' runs).
+[[nodiscard]] std::string render_usage_split(const ItemList& items,
+                                             const PackingResult& result,
+                                             const RenderOptions& options = {});
+
+}  // namespace mutdbp::analysis

@@ -1,0 +1,81 @@
+#include "analysis/bounds_catalog.h"
+
+#include <cstdio>
+
+namespace mutdbp::analysis {
+
+const std::vector<PublishedBound>& bounds_catalog() {
+  // Constants the OCR source lost are reconstructed per DESIGN.md §6.
+  static const std::vector<PublishedBound> catalog{
+      // This paper's contribution.
+      {"FirstFit", BoundKind::kUpper, 1.0, 4.0, "Theorem 1 (this paper)", false},
+      // Prior First Fit bound it improves on.
+      {"FirstFit", BoundKind::kUpper, 2.0, 7.0, "[16] SPAA'14 (superseded)", false},
+      // Universal lower bound for every online algorithm.
+      {"Any", BoundKind::kLower, 1.0, 0.0, "[12] Kamali, [16]", false},
+      // Any Fit family lower bound.
+      {"AnyFit", BoundKind::kLower, 1.0, 1.0, "[16]", false},
+      // Next Fit.
+      {"NextFit", BoundKind::kUpper, 2.0, 1.0, "[12] Kamali & Lopez-Ortiz", false},
+      {"NextFit", BoundKind::kLower, 2.0, 0.0, "Section VIII (this paper)", false},
+      // Best Fit: no f(mu) bound exists.
+      {"BestFit", BoundKind::kUnbounded, 0.0, 0.0, "[15],[16]", false},
+      // Hybrid (size-classified) First Fit.
+      {"HybridFirstFit", BoundKind::kUpper, 8.0 / 7.0, 2.0, "[16] (approx.)", false},
+      // Semi-online classified algorithms (mu known a priori).
+      {"ClassifiedFirstFit", BoundKind::kUpper, 1.0, 5.0, "[5] (semi-online)", true},
+      {"ClassifiedNextFit", BoundKind::kUpper, 2.0, 2.0, "[12] (semi-online, approx.)",
+       true},
+  };
+  return catalog;
+}
+
+std::optional<double> best_upper_bound(std::string_view algorithm, double mu) {
+  std::optional<double> best;
+  auto consider = [&](std::string_view name) {
+    for (const auto& bound : bounds_catalog()) {
+      if (bound.algorithm != name || bound.kind != BoundKind::kUpper) continue;
+      const double value = bound.at(mu);
+      if (!best || value < *best) best = value;
+    }
+  };
+  consider(algorithm);
+  // Every algorithm is also an online algorithm; Any-Fit members share the
+  // family's bounds (none are upper bounds today, but keep the lookup
+  // uniform).
+  return best;
+}
+
+std::string bound_label(std::string_view algorithm, double mu) {
+  std::optional<const PublishedBound*> chosen;
+  for (const auto& bound : bounds_catalog()) {
+    if (bound.algorithm != algorithm) continue;
+    if (bound.kind == BoundKind::kUnbounded) return "unbounded " + std::string(bound.source);
+    if (bound.kind != BoundKind::kUpper) continue;
+    if (!chosen || bound.at(mu) < (*chosen)->at(mu)) chosen = &bound;
+  }
+  if (!chosen) {
+    // Members of the Any Fit family inherit the family lower bound.
+    const bool is_any_fit = algorithm == "FirstFit" || algorithm == "BestFit" ||
+                            algorithm == "WorstFit" || algorithm == "LastFit" ||
+                            algorithm == "RandomFit";
+    if (is_any_fit) {
+      for (const auto& bound : bounds_catalog()) {
+        if (bound.algorithm == "AnyFit" && bound.kind == BoundKind::kLower) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), ">= %.1f (AnyFit LB %s)", bound.at(mu),
+                        std::string(bound.source).c_str());
+          return buf;
+        }
+      }
+    }
+    return "-";
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.1f %s%s", (*chosen)->at(mu),
+                std::string((*chosen)->source).c_str(),
+                (*chosen)->semi_online ? " [semi-online]" : "");
+  return buf;
+}
+
+}  // namespace mutdbp::analysis

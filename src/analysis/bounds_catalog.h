@@ -1,0 +1,43 @@
+// The §I/§II competitive-ratio catalogue for MinUsageTime DBP as data:
+// every published bound the paper states or cites, evaluable at a given µ.
+// Benches print these next to measured ratios; tests pin the values.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp::analysis {
+
+enum class BoundKind { kUpper, kLower, kUnbounded };
+
+struct PublishedBound {
+  std::string_view algorithm;  ///< registry name or family ("AnyFit", "Any")
+  BoundKind kind = BoundKind::kUpper;
+  /// ratio(µ) = slope*µ + offset (ignored for kUnbounded).
+  double slope = 0.0;
+  double offset = 0.0;
+  std::string_view source;  ///< citation, paper's numbering
+  bool semi_online = false; ///< requires µ known a priori
+
+  [[nodiscard]] double at(double mu) const noexcept {
+    return kind == BoundKind::kUnbounded
+               ? std::numeric_limits<double>::infinity()
+               : slope * mu + offset;
+  }
+};
+
+/// All bounds discussed in the paper, Theorem 1 included.
+[[nodiscard]] const std::vector<PublishedBound>& bounds_catalog();
+
+/// The best (smallest) published upper bound for a registry algorithm name
+/// at a given µ; nullopt if none is known (e.g. Best Fit: unbounded).
+[[nodiscard]] std::optional<double> best_upper_bound(std::string_view algorithm,
+                                                     double mu);
+
+/// Human-readable bound label for tables ("mu+4 (Thm 1)" style).
+[[nodiscard]] std::string bound_label(std::string_view algorithm, double mu);
+
+}  // namespace mutdbp::analysis

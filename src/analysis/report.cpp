@@ -1,0 +1,33 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "opt/lower_bounds.h"
+
+namespace mutdbp::analysis {
+
+Evaluation evaluate(const ItemList& items, PackingAlgorithm& algorithm,
+                    const EvalOptions& options) {
+  Evaluation eval;
+  eval.algorithm = std::string(algorithm.name());
+  eval.mu = items.mu();
+
+  const PackingResult result = simulate(items, algorithm, options.sim);
+  eval.total_usage = result.total_usage_time();
+  eval.bins_opened = result.bins_opened();
+  eval.max_concurrent = result.max_concurrent_bins();
+  eval.average_utilization = result.average_utilization();
+
+  eval.opt_lower = opt::combined_lower_bound(items);
+  // OPT can never cost more than any online algorithm's packing.
+  eval.opt_upper = eval.total_usage;
+  if (options.exact_opt) {
+    const opt::OptIntegral integral = opt::opt_total(items, options.opt_options);
+    eval.opt_lower = std::max(eval.opt_lower, integral.lower);
+    eval.opt_upper = std::min(eval.opt_upper, integral.upper);
+  }
+  eval.opt_exact = eval.opt_lower >= eval.opt_upper - 1e-9;
+  return eval;
+}
+
+}  // namespace mutdbp::analysis

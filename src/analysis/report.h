@@ -1,0 +1,48 @@
+// One-call evaluation of an algorithm on an item list against the offline
+// optimum: the quantity every bench reports.
+#pragma once
+
+#include <string>
+
+#include "core/item_list.h"
+#include "core/simulation.h"
+#include "opt/opt_integral.h"
+
+namespace mutdbp::analysis {
+
+struct EvalOptions {
+  /// Compute the exact repacking integral (expensive) instead of using the
+  /// closed-form lower bounds only.
+  bool exact_opt = false;
+  opt::OptIntegralOptions opt_options{};
+  SimulationOptions sim{};
+};
+
+struct Evaluation {
+  std::string algorithm;
+  double total_usage = 0.0;          ///< the MinUsageTime objective
+  std::size_t bins_opened = 0;
+  std::size_t max_concurrent = 0;    ///< classic DBP objective
+  double average_utilization = 0.0;
+  double mu = 1.0;
+
+  double opt_lower = 0.0;  ///< proven lower bound on OPT_total
+  double opt_upper = 0.0;  ///< proven upper bound on OPT_total
+  bool opt_exact = false;  ///< opt_lower == opt_upper
+
+  /// total_usage / opt_lower: an upper estimate of the achieved ratio
+  /// (the number to compare against the µ+4 guarantee).
+  [[nodiscard]] double ratio_upper_estimate() const noexcept {
+    return opt_lower > 0.0 ? total_usage / opt_lower : 1.0;
+  }
+  /// total_usage / opt_upper: a certified lower estimate of the ratio
+  /// (what lower-bound constructions report).
+  [[nodiscard]] double ratio_lower_estimate() const noexcept {
+    return opt_upper > 0.0 ? total_usage / opt_upper : 1.0;
+  }
+};
+
+[[nodiscard]] Evaluation evaluate(const ItemList& items, PackingAlgorithm& algorithm,
+                                  const EvalOptions& options = {});
+
+}  // namespace mutdbp::analysis

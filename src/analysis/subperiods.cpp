@@ -1,0 +1,149 @@
+#include "analysis/subperiods.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mutdbp::analysis {
+namespace {
+
+struct SmallArrival {
+  ItemId id = 0;
+  double size = 0.0;
+  Time arrival = 0.0;
+  std::size_t order = 0;  // placement order within the bin
+};
+
+}  // namespace
+
+std::vector<Subperiod> BinSubperiods::l_subperiods() const {
+  std::vector<Subperiod> out;
+  for (const auto& sp : subperiods) {
+    if (sp.kind == SubperiodKind::kLow) out.push_back(sp);
+  }
+  return out;
+}
+
+std::vector<Subperiod> BinSubperiods::h_subperiods() const {
+  std::vector<Subperiod> out;
+  for (const auto& sp : subperiods) {
+    if (sp.kind == SubperiodKind::kHigh) out.push_back(sp);
+  }
+  return out;
+}
+
+SubperiodAnalysis::SubperiodAnalysis(const ItemList& items, const PackingResult& result,
+                                     SubperiodConfig config)
+    : usage_(result) {
+  window_ = std::isnan(config.window) ? items.mu() * items.min_duration() : config.window;
+  if (!(window_ > 0.0)) {
+    throw std::invalid_argument("SubperiodAnalysis: window must be > 0");
+  }
+  small_abs_ = config.small_threshold * items.capacity();
+
+  per_bin_.reserve(result.bins().size());
+  for (std::size_t k = 0; k < result.bins().size(); ++k) {
+    const auto& record = result.bins()[k];
+    const Interval v = usage_.bins()[k].v;
+
+    BinSubperiods bin;
+    bin.bin = record.index;
+    bin.v = v;
+    if (v.empty()) {
+      per_bin_.push_back(std::move(bin));
+      continue;
+    }
+
+    // Small items placed in this bin during V_k, in placement order
+    // (placements are recorded in arrival order).
+    std::vector<SmallArrival> smalls;
+    for (std::size_t pos = 0; pos < record.items.size(); ++pos) {
+      const auto& placed = record.items[pos];
+      if (placed.size < small_abs_ && v.contains(placed.active.left)) {
+        smalls.push_back({placed.item, placed.size, placed.active.left, pos});
+      }
+    }
+
+    // ---- selection (§V, Figure 3) ----
+    std::vector<SmallArrival> selected;
+    if (!smalls.empty()) {
+      std::size_t cur = 0;  // index into `smalls`
+      while (true) {
+        selected.push_back(smalls[cur]);
+        // Condition (i): selected item arrives within `window` (inclusive)
+        // of the end of V_k.
+        if (smalls[cur].arrival >= v.right - window_) break;
+        // Condition (ii): selected item is the last small arrival in V_k.
+        if (cur + 1 == smalls.size()) break;
+        // Small items placed after `cur` within (arrival, arrival+window].
+        std::size_t last_in_window = cur;
+        for (std::size_t j = cur + 1; j < smalls.size(); ++j) {
+          if (smalls[j].arrival <= smalls[cur].arrival + window_) {
+            last_in_window = j;
+          } else {
+            break;  // arrivals are non-decreasing in placement order
+          }
+        }
+        cur = (last_in_window > cur) ? last_in_window : cur + 1;
+      }
+    }
+    for (const auto& s : selected) bin.selected.push_back(s.id);
+
+    // ---- period split (x_0, x_1, ...) and l/h subdivision ----
+    auto emit = [&](SubperiodKind kind, Interval period, std::size_t origin,
+                    const SmallArrival* sel) {
+      if (period.empty()) return;
+      Subperiod sp;
+      sp.bin = record.index;
+      sp.kind = kind;
+      sp.period = period;
+      sp.origin_index = origin;
+      if (sel != nullptr) {
+        sp.selected_item = sel->id;
+        sp.selected_size = sel->size;
+      }
+      bin.subperiods.push_back(sp);
+    };
+
+    if (selected.empty()) {
+      // No small item during V_k: x_0 = V_k, entirely an h-subperiod.
+      emit(SubperiodKind::kHigh, v, 0, nullptr);
+    } else {
+      emit(SubperiodKind::kHigh, {v.left, selected.front().arrival}, 0, nullptr);
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        const Time start = selected[i].arrival;
+        const Time end = (i + 1 < selected.size()) ? selected[i + 1].arrival : v.right;
+        const Interval x{start, end};
+        if (x.length() > window_) {
+          emit(SubperiodKind::kLow, {start, start + window_}, i + 1, &selected[i]);
+          emit(SubperiodKind::kHigh, {start + window_, end}, i + 1, &selected[i]);
+        } else {
+          emit(SubperiodKind::kLow, x, i + 1, &selected[i]);
+        }
+      }
+    }
+    per_bin_.push_back(std::move(bin));
+  }
+}
+
+std::vector<Subperiod> SubperiodAnalysis::all_l_subperiods() const {
+  std::vector<Subperiod> out;
+  for (const auto& bin : per_bin_) {
+    for (const auto& sp : bin.subperiods) {
+      if (sp.kind == SubperiodKind::kLow) out.push_back(sp);
+    }
+  }
+  return out;
+}
+
+std::vector<Subperiod> SubperiodAnalysis::all_h_subperiods() const {
+  std::vector<Subperiod> out;
+  for (const auto& bin : per_bin_) {
+    for (const auto& sp : bin.subperiods) {
+      if (sp.kind == SubperiodKind::kHigh) out.push_back(sp);
+    }
+  }
+  return out;
+}
+
+}  // namespace mutdbp::analysis

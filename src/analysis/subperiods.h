@@ -1,0 +1,86 @@
+// Section V machinery: small/large item classification, selection of small
+// items, and the split of each V_k into l-subperiods and h-subperiods
+// (Figure 3), executable so Propositions 3-7 become testable properties.
+//
+// Selection (per bin b_k, within V_k): start from the first small item ever
+// placed in b_k; from the current selected item r, if other small items are
+// placed in b_k within (r.arrival, r.arrival + window], the next selected is
+// the LAST of them, otherwise the FIRST small item placed after the window.
+// Selection stops once a selected item arrives within `window` of V_k's end
+// (condition i) or is the last small arrival in V_k (condition ii).
+//
+// The selected arrivals cut V_k into x_0, x_1, ...; every x_i longer than
+// the window is split into an l-subperiod of length `window` and an
+// h-subperiod holding the rest; x_0 is entirely an h-subperiod.
+//
+// Parameters (paper values): small threshold 1/2 (of capacity), window µ.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "analysis/usage_periods.h"
+#include "core/item_list.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::analysis {
+
+struct SubperiodConfig {
+  /// Items with size < small_threshold * capacity are "small".
+  double small_threshold = 0.5;
+  /// Selection window and l-subperiod cap; the paper uses µ (max duration).
+  /// NaN means "use µ of the item list".
+  double window = std::numeric_limits<double>::quiet_NaN();
+};
+
+enum class SubperiodKind { kLow, kHigh };  // l-subperiod / h-subperiod
+
+struct Subperiod {
+  BinIndex bin = 0;
+  SubperiodKind kind = SubperiodKind::kLow;
+  Interval period;
+  /// Index i of the period x_i this subperiod came from (0 = before the
+  /// first selected small item).
+  std::size_t origin_index = 0;
+  /// For l-subperiods: the selected small item arriving at period.left.
+  ItemId selected_item = 0;
+  double selected_size = 0.0;
+};
+
+struct BinSubperiods {
+  BinIndex bin = 0;
+  Interval v;                         ///< the V_k that was subdivided
+  std::vector<ItemId> selected;       ///< selected small items, in order
+  std::vector<Subperiod> subperiods;  ///< in temporal order
+
+  [[nodiscard]] std::vector<Subperiod> l_subperiods() const;
+  [[nodiscard]] std::vector<Subperiod> h_subperiods() const;
+};
+
+class SubperiodAnalysis {
+ public:
+  SubperiodAnalysis(const ItemList& items, const PackingResult& result,
+                    SubperiodConfig config = {});
+
+  [[nodiscard]] const std::vector<BinSubperiods>& per_bin() const noexcept {
+    return per_bin_;
+  }
+  [[nodiscard]] const UsagePeriodDecomposition& usage_periods() const noexcept {
+    return usage_;
+  }
+  [[nodiscard]] double window() const noexcept { return window_; }
+  [[nodiscard]] double small_threshold_abs() const noexcept { return small_abs_; }
+
+  /// All l-subperiods of all bins, in (bin, time) order.
+  [[nodiscard]] std::vector<Subperiod> all_l_subperiods() const;
+  [[nodiscard]] std::vector<Subperiod> all_h_subperiods() const;
+
+ private:
+  UsagePeriodDecomposition usage_;
+  std::vector<BinSubperiods> per_bin_;
+  double window_ = 0.0;
+  double small_abs_ = 0.0;
+};
+
+}  // namespace mutdbp::analysis

@@ -1,0 +1,107 @@
+#include "analysis/supplier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mutdbp::analysis {
+
+Time SupplierGroup::members_length() const noexcept {
+  Time total = 0.0;
+  for (const auto& m : members) total += m.period.length();
+  return total;
+}
+
+SupplierAnalysis::SupplierAnalysis(const ItemList& items, const PackingResult& result,
+                                   const SubperiodAnalysis& subperiods,
+                                   SupplierConfig config) {
+  const double window = subperiods.window();
+  rho_ = std::isnan(config.rho) ? items.min_duration() / (2.0 * window) : config.rho;
+
+  // ---- supplier bin of every l-subperiod ----
+  const auto& bins = result.bins();
+  for (const auto& bin_sub : subperiods.per_bin()) {
+    std::vector<LSubperiodInfo> infos;
+    for (const auto& sp : bin_sub.subperiods) {
+      if (sp.kind != SubperiodKind::kLow) continue;
+      LSubperiodInfo info;
+      info.sub = sp;
+      const Time t = sp.period.left;
+      // Highest-indexed earlier-opened bin open at t. Bin indices equal the
+      // positions in `bins` (PackingResult sorts by index).
+      for (std::size_t j = sp.bin; j-- > 0;) {
+        if (bins[j].usage.contains(t)) {
+          info.supplier = bins[j].index;
+          break;
+        }
+      }
+      if (!info.supplier.has_value()) ++missing_;
+      const double half = rho_ * sp.period.length();
+      info.single_supplier_period = {t - half, t + half};
+      infos.push_back(info);
+    }
+    // Definition 1: consecutive l-subperiods pair iff same supplier bin and
+    // single-form supplier periods overlap.
+    for (std::size_t i = 0; i + 1 < infos.size(); ++i) {
+      infos[i].pairs_with_next =
+          infos[i].supplier.has_value() && infos[i + 1].supplier.has_value() &&
+          *infos[i].supplier == *infos[i + 1].supplier &&
+          infos[i].single_supplier_period.overlaps(infos[i + 1].single_supplier_period);
+    }
+    per_bin_.push_back(std::move(infos));
+  }
+
+  // ---- Definition 2: maximal pair chains -> consolidated groups ----
+  for (const auto& infos : per_bin_) {
+    std::size_t i = 0;
+    while (i < infos.size()) {
+      std::size_t j = i;
+      while (j + 1 < infos.size() && infos[j].pairs_with_next) ++j;
+      if (infos[i].supplier.has_value()) {
+        SupplierGroup group;
+        group.bin = infos[i].sub.bin;
+        group.supplier = *infos[i].supplier;
+        for (std::size_t k = i; k <= j; ++k) group.members.push_back(infos[k].sub);
+        // Union of the members' single-form periods; consecutive members
+        // overlap, so this is one interval.
+        group.supplier_period = {infos[i].single_supplier_period.left,
+                                 infos[j].single_supplier_period.right};
+        groups_.push_back(std::move(group));
+      }
+      i = j + 1;
+    }
+  }
+}
+
+SupplierAnalysis::AmortizedDemand SupplierAnalysis::low_period_demand(
+    const PackingResult& result) const {
+  AmortizedDemand total;
+  for (const auto& group : groups_) {
+    const auto& own_bin = result.bins()[group.bin];
+    const auto& supplier_bin = result.bins()[group.supplier];
+    for (const auto& member : group.members) {
+      total.demand += own_bin.demand_over(member.period);
+      total.length += member.period.length();
+    }
+    // Clip the supplier period to the supplier bin's usage (the paper's
+    // accounting only needs the demand inside the bin's life).
+    const Interval clipped = group.supplier_period.intersect(supplier_bin.usage);
+    total.demand += supplier_bin.demand_over(clipped);
+    total.length += group.supplier_period.length();
+  }
+  return total;
+}
+
+std::size_t SupplierAnalysis::count_intersections() const {
+  // Two supplier periods intersect iff they belong to the same supplier bin
+  // and their intervals overlap (§VI).
+  std::size_t violations = 0;
+  for (std::size_t a = 0; a < groups_.size(); ++a) {
+    for (std::size_t b = a + 1; b < groups_.size(); ++b) {
+      if (groups_[a].supplier != groups_[b].supplier) continue;
+      if (groups_[a].supplier_period.overlaps(groups_[b].supplier_period)) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace mutdbp::analysis

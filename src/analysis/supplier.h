@@ -1,0 +1,100 @@
+// Sections V-VI machinery: supplier bins, supplier periods, the pair
+// relation (Definition 1), consolidation (Definition 2), and the
+// non-intersection property (Lemma 2) as checkable data.
+//
+// Supplier bin of an l-subperiod with left endpoint t produced from bin b_k:
+// the highest-indexed bin opened before b_k that is open at t. It must exist
+// (otherwise b_k would be the lowest-indexed open bin at t and the period
+// would lie in W_k, not V_k) — tests assert missing_suppliers() == 0.
+//
+// Supplier period of a single l-subperiod (left endpoint t, length L):
+//   u = [t - rho*L, t + rho*L)
+// The OCR of the paper loses the scaling factor, so rho is a parameter
+// (DESIGN.md "OCR reconstructions"); the default rho = d_min / (2*window)
+// (= 1/(2µ) with the paper's normalization d_min = 1, window = µ) is the
+// value for which Lemma 2 is provable from the paper's ingredients:
+// same-supplier l-subperiods in different bins have left endpoints >= d_min
+// apart (inequality (5)), and lengths are <= window (Proposition 3).
+//
+// Definition 1 (pair), stated in §V as "the condition for the supplier
+// periods of two consecutive l-subperiods to overlap if they were single":
+// consecutive l-subperiods pair iff they share a supplier bin and their
+// single-form supplier periods overlap. Maximal chains of pairs are
+// consolidated; a consolidated supplier period is the union of its members'
+// (one interval, because consecutive members overlap).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "analysis/subperiods.h"
+
+namespace mutdbp::analysis {
+
+struct SupplierConfig {
+  /// Supplier period half-width as a fraction of the l-subperiod length.
+  /// NaN -> d_min / (2 * window), the provable default.
+  double rho = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct LSubperiodInfo {
+  Subperiod sub;
+  std::optional<BinIndex> supplier;  ///< nullopt = violation (tests assert none)
+  Interval single_supplier_period;   ///< the would-be single-form period
+  bool pairs_with_next = false;      ///< Definition 1 w.r.t. the next l-subperiod
+};
+
+/// A single l-subperiod or a consolidated chain, with its supplier period.
+struct SupplierGroup {
+  BinIndex bin = 0;       ///< the bin the l-subperiods came from
+  BinIndex supplier = 0;  ///< their common supplier bin
+  std::vector<Subperiod> members;
+  Interval supplier_period;
+
+  [[nodiscard]] bool consolidated() const noexcept { return members.size() > 1; }
+  [[nodiscard]] Time members_length() const noexcept;
+};
+
+class SupplierAnalysis {
+ public:
+  SupplierAnalysis(const ItemList& items, const PackingResult& result,
+                   const SubperiodAnalysis& subperiods, SupplierConfig config = {});
+
+  [[nodiscard]] const std::vector<SupplierGroup>& groups() const noexcept {
+    return groups_;
+  }
+  /// Per-bin l-subperiod details, ordered as in SubperiodAnalysis.
+  [[nodiscard]] const std::vector<std::vector<LSubperiodInfo>>& per_bin() const noexcept {
+    return per_bin_;
+  }
+  [[nodiscard]] double rho() const noexcept { return rho_; }
+  [[nodiscard]] std::size_t missing_suppliers() const noexcept { return missing_; }
+
+  /// Lemma 2: number of intersecting supplier-period pairs (same supplier
+  /// bin + overlapping intervals). The paper proves this is 0.
+  [[nodiscard]] std::size_t count_intersections() const;
+
+  /// §VII accounting: aggregated time-space demand over every group's
+  /// l-subperiods (in the group's own bin) plus its supplier period (in the
+  /// supplier bin), against the aggregated period lengths. The ratio
+  /// demand/length is the amortized bin level the paper bounds from below
+  /// to obtain Theorem 1.
+  struct AmortizedDemand {
+    double demand = 0.0;
+    double length = 0.0;
+    [[nodiscard]] double level() const noexcept {
+      return length > 0.0 ? demand / length : 0.0;
+    }
+  };
+  [[nodiscard]] AmortizedDemand low_period_demand(const PackingResult& result) const;
+
+ private:
+  std::vector<std::vector<LSubperiodInfo>> per_bin_;
+  std::vector<SupplierGroup> groups_;
+  double rho_ = 0.0;
+  std::size_t missing_ = 0;
+};
+
+}  // namespace mutdbp::analysis

@@ -1,0 +1,54 @@
+#include "analysis/usage_periods.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mutdbp::analysis {
+
+UsagePeriodDecomposition::UsagePeriodDecomposition(const PackingResult& result) {
+  const auto& records = result.bins();
+  bins_.reserve(records.size());
+  // PackingResult bins are sorted by index = opening order, which is also
+  // non-decreasing opening time (the paper's b_1 ... b_m).
+  Time latest_close = 0.0;
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    const auto& record = records[k];
+    if (k > 0 && record.usage.left < records[k - 1].usage.left) {
+      throw std::logic_error("UsagePeriodDecomposition: bins not in opening order");
+    }
+    BinUsageSplit split;
+    split.index = record.index;
+    split.usage = record.usage;
+    split.e_k = (k == 0) ? record.usage.left : latest_close;
+
+    const Time v_end = std::min(record.usage.right, split.e_k);
+    split.v = {record.usage.left, v_end};          // empty when E_k <= U_k^-
+    split.w = {std::max(record.usage.left, v_end), record.usage.right};
+    if (split.v.empty()) split.v = {record.usage.left, record.usage.left};
+    if (split.w.empty()) split.w = {record.usage.right, record.usage.right};
+
+    latest_close = (k == 0) ? record.usage.right
+                            : std::max(latest_close, record.usage.right);
+    bins_.push_back(split);
+  }
+}
+
+Time UsagePeriodDecomposition::total_v() const noexcept {
+  Time total = 0.0;
+  for (const auto& bin : bins_) total += bin.v.length();
+  return total;
+}
+
+Time UsagePeriodDecomposition::total_w() const noexcept {
+  Time total = 0.0;
+  for (const auto& bin : bins_) total += bin.w.length();
+  return total;
+}
+
+Time UsagePeriodDecomposition::total_usage() const noexcept {
+  Time total = 0.0;
+  for (const auto& bin : bins_) total += bin.usage.length();
+  return total;
+}
+
+}  // namespace mutdbp::analysis

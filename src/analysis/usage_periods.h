@@ -1,0 +1,43 @@
+// Section IV machinery: usage periods U_k, the latest-earlier-closing times
+// E_k, and the V_k / W_k split of each usage period.
+//
+//   E_k = max{ U_i^+ : i < k }          (E_1 = U_1^-)
+//   V_k = [U_k^-, min(U_k^+, E_k))      (empty if E_k <= U_k^-)
+//   W_k = U_k \ V_k
+//
+// Identities proved in the paper and verified by tests:
+//   * the W_k are pairwise disjoint,
+//   * Σ|W_k| = span(R),
+//   * FF_total(R) = Σ|V_k| + span(R)   (equation (1)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::analysis {
+
+struct BinUsageSplit {
+  BinIndex index = 0;
+  Interval usage;  ///< U_k
+  Time e_k = 0.0;  ///< latest closing time of bins opened before this one
+  Interval v;      ///< V_k (may be empty)
+  Interval w;      ///< W_k (may be empty)
+};
+
+class UsagePeriodDecomposition {
+ public:
+  explicit UsagePeriodDecomposition(const PackingResult& result);
+
+  [[nodiscard]] const std::vector<BinUsageSplit>& bins() const noexcept { return bins_; }
+  [[nodiscard]] Time total_v() const noexcept;
+  [[nodiscard]] Time total_w() const noexcept;
+  [[nodiscard]] Time total_usage() const noexcept;
+
+ private:
+  std::vector<BinUsageSplit> bins_;
+};
+
+}  // namespace mutdbp::analysis

@@ -1,0 +1,99 @@
+#include "clairvoyant/clairvoyant.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/simulation.h"
+
+namespace mutdbp::clairvoyant {
+
+Placement AlignedFit::choose(const Item& item,
+                             std::span<const ClairvoyantBin> fitting) {
+  if (fitting.empty()) return std::nullopt;
+  const ClairvoyantBin* best = nullptr;
+  double best_extension = 0.0;
+  for (const auto& bin : fitting) {
+    const double extension = std::max(0.0, item.departure() - bin.scheduled_close);
+    if (best == nullptr || extension < best_extension ||
+        (extension == best_extension && bin.scheduled_close > best->scheduled_close)) {
+      best = &bin;
+      best_extension = extension;
+    }
+  }
+  return best->index;
+}
+
+namespace {
+
+/// Relays an externally computed decision into the Simulation, so the
+/// clairvoyant driver reuses all of the simulator's bookkeeping and
+/// placement validation.
+class InjectedDecision final : public PackingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Clairvoyant";
+  }
+  [[nodiscard]] Placement place(const ArrivalView&,
+                                std::span<const BinSnapshot>) override {
+    return next_;
+  }
+  void set(Placement next) { next_ = next; }
+
+ private:
+  Placement next_;
+};
+
+}  // namespace
+
+PackingResult clairvoyant_simulate(const ItemList& items, ClairvoyantPolicy& policy,
+                                   double fit_epsilon) {
+  policy.reset();
+  InjectedDecision relay;
+  SimulationOptions options;
+  options.capacity = items.capacity();
+  options.fit_epsilon = fit_epsilon;
+  Simulation sim(relay, options);
+
+  // scheduled close per open bin = max departure among its items so far.
+  std::unordered_map<BinIndex, Time> scheduled_close;
+
+  struct Event {
+    Time t;
+    bool is_arrival;
+    const Item* item;
+  };
+  std::vector<Event> events;
+  events.reserve(items.size() * 2);
+  for (const auto& item : items) {
+    events.push_back({item.arrival(), true, &item});
+    events.push_back({item.departure(), false, &item});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.is_arrival != b.is_arrival) return !a.is_arrival;
+    return a.item->id < b.item->id;
+  });
+
+  std::vector<ClairvoyantBin> fitting;
+  for (const auto& event : events) {
+    const Item& item = *event.item;
+    if (!event.is_arrival) {
+      sim.depart(item.id, event.t);
+      continue;
+    }
+    fitting.clear();
+    for (const auto& snap : sim.open_snapshots()) {
+      if (!fits(snap, item.size, fit_epsilon)) continue;
+      fitting.push_back(ClairvoyantBin{snap.index, snap.level, snap.capacity,
+                                       snap.open_time, scheduled_close.at(snap.index),
+                                       snap.item_count});
+    }
+    relay.set(policy.choose(item, fitting));
+    const BinIndex placed = sim.arrive(item.id, item.size, event.t);
+    auto [it, inserted] = scheduled_close.try_emplace(placed, item.departure());
+    if (!inserted) it->second = std::max(it->second, item.departure());
+  }
+  return sim.finish();
+}
+
+}  // namespace mutdbp::clairvoyant

@@ -1,0 +1,74 @@
+// Clairvoyant packing: what is knowing departure times worth?
+//
+// The paper's model makes departures invisible to the algorithm (§I); its
+// related-work section contrasts this with interval scheduling, where "the
+// ending times of jobs are known". This module implements that middle
+// ground: non-migratory packing rules that DO see each item's departure at
+// placement time (but still cannot repack). Comparing them with the online
+// algorithms and with the repacking OPT splits the competitive gap into
+// "cost of not knowing departures" vs "cost of not migrating".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/item_list.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::clairvoyant {
+
+/// What a clairvoyant rule sees about an open bin.
+struct ClairvoyantBin {
+  BinIndex index = 0;
+  double level = 0.0;
+  double capacity = 1.0;
+  Time open_time = 0.0;
+  /// Latest departure among the bin's active items = when the bin would
+  /// close if nothing more is added.
+  Time scheduled_close = 0.0;
+  std::size_t item_count = 0;
+};
+
+class ClairvoyantPolicy {
+ public:
+  virtual ~ClairvoyantPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// The full item (including departure) is visible. `open_bins` is sorted
+  /// by index and pre-filtered to bins the item fits in; empty -> new bin.
+  [[nodiscard]] virtual Placement choose(const Item& item,
+                                         std::span<const ClairvoyantBin> fitting) = 0;
+  virtual void reset() {}
+};
+
+/// Departure-aligned fit: choose the fitting bin minimizing the usage-time
+/// increase, i.e. max(0, item.departure - bin.scheduled_close); ties go to
+/// the bin with the latest scheduled close (best alignment).
+class AlignedFit final : public ClairvoyantPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "AlignedFit"; }
+  [[nodiscard]] Placement choose(const Item& item,
+                                 std::span<const ClairvoyantBin> fitting) override;
+};
+
+/// First Fit with departures visible but ignored — the control policy: any
+/// difference between this and AlignedFit is pure departure knowledge.
+class ClairvoyantFirstFit final : public ClairvoyantPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ClairvoyantFirstFit";
+  }
+  [[nodiscard]] Placement choose(const Item&,
+                                 std::span<const ClairvoyantBin> fitting) override {
+    return fitting.empty() ? Placement{} : Placement{fitting.front().index};
+  }
+};
+
+/// Runs a clairvoyant policy over the item list (non-migratory, like the
+/// online simulator, but the policy sees departures).
+[[nodiscard]] PackingResult clairvoyant_simulate(const ItemList& items,
+                                                 ClairvoyantPolicy& policy,
+                                                 double fit_epsilon = kDefaultFitEpsilon);
+
+}  // namespace mutdbp::clairvoyant

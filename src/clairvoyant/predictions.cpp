@@ -1,0 +1,111 @@
+#include "clairvoyant/predictions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "clairvoyant/clairvoyant.h"
+#include "core/simulation.h"
+#include "util/rng.h"
+
+namespace mutdbp::clairvoyant {
+
+std::unordered_map<ItemId, Time> predict_departures(const ItemList& items,
+                                                    const PredictionModel& model) {
+  std::unordered_map<ItemId, Time> predicted;
+  predicted.reserve(items.size());
+  for (const auto& item : items) {
+    // Per-item deterministic noise, independent of iteration order.
+    SplitMix64 mix(model.seed ^ (item.id * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL));
+    Rng rng(mix.next());
+    const double noise = model.sigma > 0.0 ? std::exp(rng.normal(0.0, model.sigma)) : 1.0;
+    // The prediction errs on the duration (a departure before the arrival
+    // would be meaningless).
+    predicted[item.id] = item.arrival() + item.duration() * noise;
+  }
+  return predicted;
+}
+
+namespace {
+
+class InjectedDecision final : public PackingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "PredictedAlignedFit";
+  }
+  [[nodiscard]] Placement place(const ArrivalView&,
+                                std::span<const BinSnapshot>) override {
+    return next_;
+  }
+  void set(Placement next) { next_ = next; }
+
+ private:
+  Placement next_;
+};
+
+}  // namespace
+
+PackingResult predicted_aligned_simulate(
+    const ItemList& items, const std::unordered_map<ItemId, Time>& predicted,
+    double fit_epsilon) {
+  InjectedDecision relay;
+  SimulationOptions options;
+  options.capacity = items.capacity();
+  options.fit_epsilon = fit_epsilon;
+  Simulation sim(relay, options);
+
+  // Predicted departures of the active items per bin (multiset: max = the
+  // bin's predicted close).
+  std::unordered_map<BinIndex, std::multiset<Time>> bin_predictions;
+  std::unordered_map<ItemId, BinIndex> placed_bin;
+
+  struct Event {
+    Time t;
+    bool is_arrival;
+    const Item* item;
+  };
+  std::vector<Event> events;
+  events.reserve(items.size() * 2);
+  for (const auto& item : items) {
+    events.push_back({item.arrival(), true, &item});
+    events.push_back({item.departure(), false, &item});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.is_arrival != b.is_arrival) return !a.is_arrival;
+    return a.item->id < b.item->id;
+  });
+
+  AlignedFit aligner;
+  std::vector<ClairvoyantBin> fitting;
+  for (const auto& event : events) {
+    const Item& item = *event.item;
+    if (!event.is_arrival) {
+      const BinIndex bin = placed_bin.at(item.id);
+      auto& preds = bin_predictions.at(bin);
+      preds.erase(preds.find(predicted.at(item.id)));
+      sim.depart(item.id, event.t);
+      continue;
+    }
+    fitting.clear();
+    for (const auto& snap : sim.open_snapshots()) {
+      if (!fits(snap, item.size, fit_epsilon)) continue;
+      const auto& preds = bin_predictions.at(snap.index);
+      fitting.push_back(ClairvoyantBin{snap.index, snap.level, snap.capacity,
+                                       snap.open_time,
+                                       preds.empty() ? snap.open_time : *preds.rbegin(),
+                                       snap.item_count});
+    }
+    // The policy sees the *predicted* departure, never the true one.
+    Item believed = item;
+    believed.active.right = predicted.at(item.id);
+    relay.set(aligner.choose(believed, fitting));
+    const BinIndex bin = sim.arrive(item.id, item.size, event.t);
+    placed_bin[item.id] = bin;
+    bin_predictions[bin].insert(predicted.at(item.id));
+  }
+  return sim.finish();
+}
+
+}  // namespace mutdbp::clairvoyant

@@ -1,0 +1,36 @@
+// Learning-augmented packing: departure times are not known (the online
+// model) but a *prediction* of each departure is available — e.g. from a
+// session-length model in the cloud-gaming application of §I. The policy
+// aligns departures like clairvoyant::AlignedFit, but on predicted values;
+// sweeping the prediction error interpolates between the clairvoyant and
+// purely online regimes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/item_list.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::clairvoyant {
+
+struct PredictionModel {
+  /// Multiplicative lognormal error: predicted = true * exp(N(0, sigma)).
+  /// sigma = 0 reproduces the clairvoyant AlignedFit exactly.
+  double sigma = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministically generates a predicted departure for every item.
+[[nodiscard]] std::unordered_map<ItemId, Time> predict_departures(
+    const ItemList& items, const PredictionModel& model);
+
+/// Runs departure-aligned fit using `predicted` departures; actual
+/// departures still drive the simulation (and are never shown to the
+/// policy). Bins track a predicted close = max predicted departure of
+/// their active items.
+[[nodiscard]] PackingResult predicted_aligned_simulate(
+    const ItemList& items, const std::unordered_map<ItemId, Time>& predicted,
+    double fit_epsilon = kDefaultFitEpsilon);
+
+}  // namespace mutdbp::clairvoyant

@@ -1,0 +1,39 @@
+#include "cloud/billing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mutdbp::cloud {
+namespace {
+
+Time billed_time(Time usage, const BillingPolicy& policy) {
+  if (usage <= 0.0) return 0.0;
+  if (policy.granularity == 0.0) return usage;  // exact billing
+  // The 1e-9 tolerance keeps accumulated floating-point residue in usage
+  // times (sums of event differences) from being billed as an extra quantum.
+  const double quanta = std::ceil(usage / policy.granularity - 1e-9);
+  return quanta * policy.granularity;
+}
+
+}  // namespace
+
+double billed_cost(Time usage, const BillingPolicy& policy) {
+  if (policy.granularity < 0.0 || policy.price_per_unit < 0.0) {
+    throw std::invalid_argument("billed_cost: negative granularity or price");
+  }
+  return billed_time(usage, policy) * policy.price_per_unit;
+}
+
+BillingSummary bill(const PackingResult& result, const BillingPolicy& policy) {
+  BillingSummary summary;
+  summary.servers_used = result.bins_opened();
+  for (const auto& bin : result.bins()) {
+    const Time usage = bin.usage_time();
+    summary.total_usage += usage;
+    summary.total_billed_time += billed_time(usage, policy);
+    summary.total_cost += billed_cost(usage, policy);
+  }
+  return summary;
+}
+
+}  // namespace mutdbp::cloud

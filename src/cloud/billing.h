@@ -1,0 +1,39 @@
+// Pay-as-you-go billing (§I: on-demand instances "are normally charged
+// according to their running hours"): usage is quantized up to a billing
+// granularity, then priced per unit.
+#pragma once
+
+#include <cstddef>
+
+#include "core/interval.h"
+#include "core/packing_result.h"
+
+namespace mutdbp::cloud {
+
+struct BillingPolicy {
+  /// Billing quantum (e.g. 1.0 = one hour with hour time units). A server
+  /// running 1.2 quanta is charged for 2. Zero means exact (per-second)
+  /// billing — the MinUsageTime objective itself.
+  double granularity = 1.0;
+  double price_per_unit = 1.0;  ///< price per granularity unit
+};
+
+/// Billed cost of a single server running for `usage` time.
+[[nodiscard]] double billed_cost(Time usage, const BillingPolicy& policy);
+
+struct BillingSummary {
+  double total_cost = 0.0;
+  Time total_usage = 0.0;        ///< raw usage (MinUsageTime objective)
+  Time total_billed_time = 0.0;  ///< usage rounded up per server
+  std::size_t servers_used = 0;
+
+  /// billed/raw time: the overhead introduced by quantization.
+  [[nodiscard]] double rounding_overhead() const noexcept {
+    return total_usage > 0.0 ? total_billed_time / total_usage : 1.0;
+  }
+};
+
+/// Bills every bin (= rented server) of a packing.
+[[nodiscard]] BillingSummary bill(const PackingResult& result, const BillingPolicy& policy);
+
+}  // namespace mutdbp::cloud

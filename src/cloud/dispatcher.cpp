@@ -1,0 +1,22 @@
+#include "cloud/dispatcher.h"
+
+namespace mutdbp::cloud {
+
+JobDispatcher::JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options)
+    : options_(options),
+      sim_(algorithm,
+           SimulationOptions{options.capacity, options.fit_epsilon, true}) {}
+
+ServerId JobDispatcher::submit(JobId job, double demand, Time now) {
+  return sim_.arrive(job, demand, now);
+}
+
+void JobDispatcher::complete(JobId job, Time now) { sim_.depart(job, now); }
+
+JobDispatcher::Report JobDispatcher::finish() {
+  Report report{sim_.finish(), {}};
+  report.billing = bill(report.packing, options_.billing);
+  return report;
+}
+
+}  // namespace mutdbp::cloud

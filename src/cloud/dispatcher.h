@@ -1,0 +1,57 @@
+// The cloud-facing layer: a JobDispatcher assigns arriving jobs to rented
+// servers using any online packing algorithm. Jobs map to items, servers to
+// bins; a server is rented when its first job arrives and released when its
+// last job completes. Completion times are unknown at submission, exactly
+// as in the paper's model — the dispatcher wraps the incremental Simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/billing.h"
+#include "core/simulation.h"
+
+namespace mutdbp::cloud {
+
+using JobId = ItemId;
+using ServerId = BinIndex;
+
+struct DispatcherOptions {
+  /// Server resource capacity (job demands are fractions of it).
+  double capacity = 1.0;
+  BillingPolicy billing{};
+  double fit_epsilon = kDefaultFitEpsilon;
+};
+
+class JobDispatcher {
+ public:
+  JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options = {});
+
+  /// Assigns a job to a server (renting a new one if needed).
+  ServerId submit(JobId job, double demand, Time now);
+  /// Marks a job finished; releases the server if it becomes idle.
+  void complete(JobId job, Time now);
+
+  [[nodiscard]] std::size_t running_jobs() const noexcept { return sim_.active_items(); }
+  [[nodiscard]] std::size_t rented_servers() const noexcept {
+    return sim_.open_bin_count();
+  }
+  [[nodiscard]] std::size_t servers_ever_rented() const noexcept {
+    return sim_.bins_opened();
+  }
+  [[nodiscard]] ServerId server_of(JobId job) const { return sim_.bin_of_active(job); }
+
+  /// Finishes the run (all jobs must be complete) and bills every server.
+  struct Report {
+    PackingResult packing;
+    BillingSummary billing;
+  };
+  [[nodiscard]] Report finish();
+
+ private:
+  DispatcherOptions options_;
+  Simulation sim_;
+};
+
+}  // namespace mutdbp::cloud

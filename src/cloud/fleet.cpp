@@ -1,0 +1,113 @@
+#include "cloud/fleet.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "algorithms/registry.h"
+
+namespace mutdbp::cloud {
+
+FleetDispatcher::FleetDispatcher(FleetOptions options) : options_(std::move(options)) {
+  if (options_.types.empty()) {
+    throw std::invalid_argument("FleetDispatcher: no server types");
+  }
+  for (const auto& type : options_.types) {
+    if (!(type.capacity > 0.0)) {
+      throw std::invalid_argument("FleetDispatcher: type '" + type.name +
+                                  "' has non-positive capacity");
+    }
+    algorithms_.push_back(make_algorithm(options_.algorithm, /*seed=*/1,
+                                         options_.fit_epsilon));
+    SimulationOptions sim;
+    sim.capacity = type.capacity;
+    sim.fit_epsilon = options_.fit_epsilon;
+    simulations_.push_back(std::make_unique<Simulation>(*algorithms_.back(), sim));
+  }
+}
+
+std::size_t FleetDispatcher::route(double demand) const {
+  std::size_t best = options_.types.size();
+  double best_key = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < options_.types.size(); ++t) {
+    const ServerType& type = options_.types[t];
+    if (demand > type.capacity + options_.fit_epsilon) continue;
+    double key = 0.0;
+    switch (options_.routing) {
+      case RoutingPolicy::kSmallestFitting:
+        key = type.capacity;
+        break;
+      case RoutingPolicy::kCheapestPerCapacity:
+        key = type.billing.price_per_unit / type.capacity;
+        break;
+    }
+    if (key < best_key) {
+      best_key = key;
+      best = t;
+    }
+  }
+  if (best == options_.types.size()) {
+    throw std::invalid_argument("FleetDispatcher: no server type fits demand " +
+                                std::to_string(demand));
+  }
+  return best;
+}
+
+FleetServerId FleetDispatcher::submit(JobId job, double demand, Time now) {
+  const std::size_t type = route(demand);
+  const BinIndex server = simulations_[type]->arrive(job, demand, now);
+  type_of_[job] = type;
+  return {type, server};
+}
+
+void FleetDispatcher::complete(JobId job, Time now) {
+  const auto it = type_of_.find(job);
+  if (it == type_of_.end()) {
+    throw std::invalid_argument("FleetDispatcher: unknown job " + std::to_string(job));
+  }
+  simulations_[it->second]->depart(job, now);
+  type_of_.erase(it);
+}
+
+std::size_t FleetDispatcher::running_jobs() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sim : simulations_) total += sim->active_items();
+  return total;
+}
+
+std::size_t FleetDispatcher::rented_servers() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sim : simulations_) total += sim->open_bin_count();
+  return total;
+}
+
+FleetDispatcher::Report FleetDispatcher::finish() {
+  Report report;
+  for (std::size_t t = 0; t < simulations_.size(); ++t) {
+    TypeReport tr;
+    tr.type_name = options_.types[t].name;
+    tr.packing = simulations_[t]->finish();
+    tr.billing = bill(tr.packing, options_.types[t].billing);
+    report.per_type.push_back(std::move(tr));
+  }
+  return report;
+}
+
+double FleetDispatcher::Report::total_cost() const noexcept {
+  double total = 0.0;
+  for (const auto& tr : per_type) total += tr.billing.total_cost;
+  return total;
+}
+
+Time FleetDispatcher::Report::total_usage() const noexcept {
+  Time total = 0.0;
+  for (const auto& tr : per_type) total += tr.billing.total_usage;
+  return total;
+}
+
+std::size_t FleetDispatcher::Report::servers_used() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tr : per_type) total += tr.billing.servers_used;
+  return total;
+}
+
+}  // namespace mutdbp::cloud

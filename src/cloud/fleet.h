@@ -1,0 +1,81 @@
+// Heterogeneous server fleet: multiple rentable instance types (capacity,
+// price, billing granularity), each packed independently by its own online
+// algorithm instance. The paper's model is the single-type special case;
+// the fleet layer is what a production deployment of it looks like when the
+// provider offers several instance sizes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "cloud/dispatcher.h"
+#include "core/simulation.h"
+
+namespace mutdbp::cloud {
+
+struct ServerType {
+  std::string name = "m1";
+  double capacity = 1.0;        ///< absolute resource units
+  BillingPolicy billing{};      ///< price and quantum for this type
+};
+
+enum class RoutingPolicy {
+  /// Smallest-capacity type the job fits: densest packing per server.
+  kSmallestFitting,
+  /// Cheapest price per unit of capacity among fitting types: optimizes the
+  /// money spent per packed resource when types are priced non-linearly.
+  kCheapestPerCapacity,
+};
+
+struct FleetOptions {
+  std::vector<ServerType> types;
+  RoutingPolicy routing = RoutingPolicy::kSmallestFitting;
+  /// Registry name of the per-type packing algorithm.
+  std::string algorithm = "FirstFit";
+  double fit_epsilon = kDefaultFitEpsilon;
+};
+
+struct FleetServerId {
+  std::size_t type = 0;  ///< index into FleetOptions::types
+  BinIndex server = 0;   ///< bin index within that type's simulation
+
+  [[nodiscard]] bool operator==(const FleetServerId&) const noexcept = default;
+};
+
+class FleetDispatcher {
+ public:
+  explicit FleetDispatcher(FleetOptions options);
+
+  /// Routes the job to a type (by policy), then packs it there online.
+  /// Throws std::invalid_argument if no type can hold the demand.
+  FleetServerId submit(JobId job, double demand, Time now);
+  void complete(JobId job, Time now);
+
+  [[nodiscard]] std::size_t running_jobs() const noexcept;
+  [[nodiscard]] std::size_t rented_servers() const noexcept;
+
+  struct TypeReport {
+    std::string type_name;
+    PackingResult packing;
+    BillingSummary billing;
+  };
+  struct Report {
+    std::vector<TypeReport> per_type;
+    [[nodiscard]] double total_cost() const noexcept;
+    [[nodiscard]] Time total_usage() const noexcept;
+    [[nodiscard]] std::size_t servers_used() const noexcept;
+  };
+  [[nodiscard]] Report finish();
+
+ private:
+  [[nodiscard]] std::size_t route(double demand) const;
+
+  FleetOptions options_;
+  std::vector<std::unique_ptr<PackingAlgorithm>> algorithms_;
+  std::vector<std::unique_ptr<Simulation>> simulations_;
+  std::unordered_map<JobId, std::size_t> type_of_;
+};
+
+}  // namespace mutdbp::cloud

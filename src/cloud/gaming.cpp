@@ -1,0 +1,76 @@
+#include "cloud/gaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mutdbp::cloud {
+namespace {
+
+std::size_t title_index(const GamingWorkloadSpec& spec, ItemId id) {
+  double total = 0.0;
+  for (const auto& title : spec.titles) total += title.popularity;
+  // Per-session deterministic draw, independent of the arrival stream.
+  SplitMix64 mix(spec.seed ^ (0x51ed2701a9b4d5e3ULL + id * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(mix.next() >> 11) * 0x1.0p-53 * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < spec.titles.size(); ++i) {
+    acc += spec.titles[i].popularity;
+    if (u < acc) return i;
+  }
+  return spec.titles.size() - 1;
+}
+
+}  // namespace
+
+const GameTitle& title_of(const GamingWorkloadSpec& spec, ItemId id) {
+  if (spec.titles.empty()) throw std::invalid_argument("gaming: no titles");
+  return spec.titles[title_index(spec, id)];
+}
+
+ItemList generate_gaming_workload(const GamingWorkloadSpec& spec) {
+  if (spec.titles.empty()) throw std::invalid_argument("gaming: no titles");
+  if (spec.diurnal_swing < 1.0) {
+    throw std::invalid_argument("gaming: diurnal_swing must be >= 1");
+  }
+  if (!(spec.min_session_hours > 0.0) ||
+      spec.min_session_hours > spec.max_session_hours) {
+    throw std::invalid_argument("gaming: bad session length range");
+  }
+  for (const auto& title : spec.titles) {
+    if (!(title.gpu_fraction > 0.0) || title.gpu_fraction > 1.0) {
+      throw std::invalid_argument("gaming: gpu_fraction must be in (0, 1]");
+    }
+  }
+
+  Rng rng(spec.seed);
+  // Diurnal rate lambda(t) = base * (1 + a sin(2 pi t / 24)), with the
+  // peak-to-trough ratio (1+a)/(1-a) = diurnal_swing. Arrivals are drawn by
+  // thinning against lambda_max.
+  const double a = (spec.diurnal_swing - 1.0) / (spec.diurnal_swing + 1.0);
+  const double lambda_max = spec.base_rate_per_hour * (1.0 + a);
+
+  std::vector<Item> items;
+  items.reserve(spec.num_sessions);
+  double clock = 0.0;
+  const double log_median = std::log(spec.median_session_hours);
+  for (ItemId id = 0; id < spec.num_sessions; ++id) {
+    while (true) {
+      clock += rng.exponential(lambda_max);
+      const double lambda =
+          spec.base_rate_per_hour *
+          (1.0 + a * std::sin(2.0 * std::numbers::pi * clock / 24.0));
+      if (rng.next_double() * lambda_max <= lambda) break;
+    }
+    const double hours = std::clamp(rng.lognormal(log_median, spec.session_sigma),
+                                    spec.min_session_hours, spec.max_session_hours);
+    const GameTitle& title = spec.titles[title_index(spec, id)];
+    items.push_back(make_item(id, title.gpu_fraction, clock, clock + hours));
+  }
+  return ItemList(std::move(items));
+}
+
+}  // namespace mutdbp::cloud

@@ -1,0 +1,51 @@
+// Cloud gaming workload model (§I's motivating application): play sessions
+// arrive with a diurnal rate, demand a GPU fraction determined by the game
+// title, and last a lognormal-ish time clipped to [min, max]. The paper's
+// setting maps 1:1 — sessions are items, GPU servers are bins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/item_list.h"
+
+namespace mutdbp::cloud {
+
+struct GameTitle {
+  const char* name = "game";
+  double gpu_fraction = 0.25;  ///< share of one server's GPU
+  double popularity = 1.0;     ///< relative request share
+};
+
+struct GamingWorkloadSpec {
+  std::size_t num_sessions = 2000;
+  std::uint64_t seed = 7;
+
+  /// Mean arrival rate (sessions per hour); modulated by a day/night sine.
+  double base_rate_per_hour = 60.0;
+  /// Peak-to-trough ratio of the diurnal modulation (1 = flat).
+  double diurnal_swing = 3.0;
+
+  /// Session length distribution: lognormal with this median (hours),
+  /// clipped into [min_session_hours, max_session_hours].
+  double median_session_hours = 1.0;
+  double session_sigma = 0.8;
+  double min_session_hours = 0.25;
+  double max_session_hours = 6.0;
+
+  /// Default catalogue: light / medium / heavy / exclusive titles.
+  std::vector<GameTitle> titles{
+      {"pixel-quest", 0.125, 4.0},
+      {"kart-league", 0.25, 3.0},
+      {"shader-souls", 0.5, 2.0},
+      {"raytrace-royale", 1.0, 1.0},
+  };
+};
+
+/// Generates sessions; item id i corresponds to title_of(spec, i).
+[[nodiscard]] ItemList generate_gaming_workload(const GamingWorkloadSpec& spec);
+
+/// Title assigned to session `id` under `spec` (deterministic re-derivation).
+[[nodiscard]] const GameTitle& title_of(const GamingWorkloadSpec& spec, ItemId id);
+
+}  // namespace mutdbp::cloud

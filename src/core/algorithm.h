@@ -1,0 +1,80 @@
+// The online packing algorithm interface.
+//
+// The online constraint of MinUsageTime DBP (§I: "the departure time of a job
+// is not known at the time of its arrival") is enforced structurally: an
+// algorithm sees only the arriving item's size and arrival time plus
+// snapshots of the currently open bins. Departure times never cross this
+// interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/interval.h"
+#include "core/item.h"
+
+namespace mutdbp {
+
+/// Bins are numbered 0,1,2,... in the temporal order of their openings
+/// (the paper's b_1, b_2, ..., b_m indexing, zero-based).
+using BinIndex = std::size_t;
+
+/// What an online algorithm may know about an open bin.
+struct BinSnapshot {
+  BinIndex index = 0;        ///< global opening-order index
+  double level = 0.0;        ///< total size of active items in the bin
+  double capacity = 1.0;
+  Time open_time = 0.0;
+  std::size_t item_count = 0;
+
+  [[nodiscard]] constexpr double gap() const noexcept { return capacity - level; }
+};
+
+/// What an online algorithm may know about an arriving item.
+struct ArrivalView {
+  ItemId id = 0;
+  double size = 0.0;
+  Time time = 0.0;
+};
+
+/// nullopt = open a new bin; otherwise the chosen bin's global index.
+using Placement = std::optional<BinIndex>;
+
+class PackingAlgorithm {
+ public:
+  virtual ~PackingAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Decide where `item` goes. `open_bins` is sorted by bin index (i.e., by
+  /// opening time) and contains every currently open bin. Returning a bin
+  /// the item does not fit in, or a closed/unknown index, is a logic error
+  /// and the simulation will throw.
+  [[nodiscard]] virtual Placement place(const ArrivalView& item,
+                                        std::span<const BinSnapshot> open_bins) = 0;
+
+  /// Notification hooks (NextFit and HybridFirstFit need them).
+  virtual void on_bin_opened(BinIndex /*bin*/, const ArrivalView& /*first_item*/) {}
+  virtual void on_bin_closed(BinIndex /*bin*/, Time /*close_time*/) {}
+
+  /// Resets all internal state so the instance can run a fresh simulation.
+  virtual void reset() {}
+};
+
+/// Tolerance used in fit checks (level + size <= capacity + epsilon). It
+/// absorbs floating-point accumulation when sizes are not exactly
+/// representable (e.g. 1/3). Algorithms and the simulator must agree on it;
+/// both default to this constant. Adversarial constructions whose sizes are
+/// dyadic rationals (exact in binary) may run with epsilon 0.
+inline constexpr double kDefaultFitEpsilon = 1e-9;
+
+/// Fit predicate shared by all algorithms and the simulator's validation.
+[[nodiscard]] inline bool fits(const BinSnapshot& bin, double size,
+                               double fit_epsilon = kDefaultFitEpsilon) noexcept {
+  return bin.level + size <= bin.capacity + fit_epsilon;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,59 @@
+#include "core/interval.h"
+
+#include <cstdio>
+
+namespace mutdbp {
+
+std::string to_string(const Interval& iv) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g)", iv.left, iv.right);
+  return buf;
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  // Find the range of existing pieces that touch or overlap `iv` and merge.
+  // "Touching" ([0,1) + [1,2)) merges into one piece: for span computation a
+  // zero-length gap is no gap.
+  auto first = std::lower_bound(
+      pieces_.begin(), pieces_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.right < b.left; });
+  auto last = first;
+  while (last != pieces_.end() && last->left <= iv.right) {
+    iv.left = std::min(iv.left, last->left);
+    iv.right = std::max(iv.right, last->right);
+    ++last;
+  }
+  const auto pos = pieces_.erase(first, last);
+  pieces_.insert(pos, iv);
+}
+
+Time IntervalSet::total_length() const noexcept {
+  Time total = 0.0;
+  for (const auto& p : pieces_) total += p.length();
+  return total;
+}
+
+bool IntervalSet::contains(Time t) const noexcept {
+  for (const auto& p : pieces_) {
+    if (p.contains(t)) return true;
+    if (p.left > t) break;
+  }
+  return false;
+}
+
+bool IntervalSet::intersects(const Interval& iv) const noexcept {
+  if (iv.empty()) return false;
+  for (const auto& p : pieces_) {
+    if (p.overlaps(iv)) return true;
+    if (p.left >= iv.right) break;
+  }
+  return false;
+}
+
+Interval IntervalSet::hull() const noexcept {
+  if (pieces_.empty()) return {};
+  return {pieces_.front().left, pieces_.back().right};
+}
+
+}  // namespace mutdbp

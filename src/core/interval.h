@@ -1,0 +1,67 @@
+// Half-open time intervals [left, right), the paper's basic object (§III.A):
+// "for technical reasons, we shall view intervals as half-open".
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mutdbp {
+
+/// Continuous time. Durations in this codebase are normalized so the minimum
+/// item duration is 1 (the paper's convention), but nothing enforces that:
+/// ItemList::mu() computes the actual ratio.
+using Time = double;
+
+/// Half-open interval [left, right). Empty iff right <= left.
+struct Interval {
+  Time left = 0.0;
+  Time right = 0.0;
+
+  [[nodiscard]] constexpr Time length() const noexcept {
+    return right > left ? right - left : 0.0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return right <= left; }
+  [[nodiscard]] constexpr bool contains(Time t) const noexcept {
+    return t >= left && t < right;
+  }
+  /// Half-open overlap: [0,1) and [1,2) do NOT overlap.
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const noexcept {
+    return std::max(left, o.left) < std::min(right, o.right);
+  }
+  [[nodiscard]] constexpr Interval intersect(const Interval& o) const noexcept {
+    return {std::max(left, o.left), std::min(right, o.right)};
+  }
+  /// True if `o` is fully inside this interval (empty `o` is contained).
+  [[nodiscard]] constexpr bool contains(const Interval& o) const noexcept {
+    return o.empty() || (o.left >= left && o.right <= right);
+  }
+  [[nodiscard]] constexpr bool operator==(const Interval&) const noexcept = default;
+};
+
+[[nodiscard]] std::string to_string(const Interval& iv);
+
+/// A normalized union of disjoint half-open intervals, kept sorted.
+/// Used for spans (Figure 1), the W_k periods (§IV), and coverage checks.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  void insert(Interval iv);
+
+  [[nodiscard]] Time total_length() const noexcept;
+  [[nodiscard]] bool contains(Time t) const noexcept;
+  [[nodiscard]] bool intersects(const Interval& iv) const noexcept;
+  [[nodiscard]] const std::vector<Interval>& pieces() const noexcept { return pieces_; }
+  [[nodiscard]] bool empty() const noexcept { return pieces_.empty(); }
+
+  /// Bounding interval [min left, max right); empty set -> empty interval.
+  [[nodiscard]] Interval hull() const noexcept;
+
+ private:
+  std::vector<Interval> pieces_;  // sorted, pairwise disjoint, non-empty
+};
+
+}  // namespace mutdbp

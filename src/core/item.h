@@ -1,0 +1,39 @@
+// Items (jobs): size = resource demand, interval = [arrival, departure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/interval.h"
+
+namespace mutdbp {
+
+using ItemId = std::uint64_t;
+
+struct Item {
+  ItemId id = 0;
+  double size = 0.0;        ///< resource demand, in (0, capacity]
+  Interval active;          ///< [arrival, departure)
+
+  [[nodiscard]] constexpr Time arrival() const noexcept { return active.left; }
+  [[nodiscard]] constexpr Time departure() const noexcept { return active.right; }
+  [[nodiscard]] constexpr Time duration() const noexcept { return active.length(); }
+  /// Time-space demand s(r)*|I(r)| (Proposition 1's summand).
+  [[nodiscard]] constexpr double time_space_demand() const noexcept {
+    return size * active.length();
+  }
+  [[nodiscard]] constexpr bool active_at(Time t) const noexcept {
+    return active.contains(t);
+  }
+  [[nodiscard]] constexpr bool operator==(const Item&) const noexcept = default;
+};
+
+[[nodiscard]] std::string to_string(const Item& item);
+
+/// Convenience constructor used throughout tests and generators.
+[[nodiscard]] constexpr Item make_item(ItemId id, double size, Time arrival,
+                                       Time departure) noexcept {
+  return Item{id, size, {arrival, departure}};
+}
+
+}  // namespace mutdbp

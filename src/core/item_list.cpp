@@ -1,0 +1,112 @@
+#include "core/item_list.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/item.h"
+
+namespace mutdbp {
+
+ItemList::ItemList(std::vector<Item> items, double capacity)
+    : items_(std::move(items)), capacity_(capacity) {
+  if (!(capacity_ > 0.0)) throw std::invalid_argument("ItemList: capacity must be > 0");
+  for (const auto& item : items_) validate(item);
+}
+
+void ItemList::push_back(const Item& item) {
+  validate(item);
+  items_.push_back(item);
+}
+
+void ItemList::validate(const Item& item) const {
+  if (!(item.size > 0.0) || item.size > capacity_) {
+    throw std::invalid_argument("Item " + std::to_string(item.id) +
+                                ": size must be in (0, capacity]");
+  }
+  if (!(item.active.left < item.active.right)) {
+    throw std::invalid_argument("Item " + std::to_string(item.id) +
+                                ": departure must be after arrival");
+  }
+}
+
+double ItemList::min_duration() const noexcept {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& item : items_) m = std::min(m, item.duration());
+  return m;
+}
+
+double ItemList::max_duration() const noexcept {
+  double m = 0.0;
+  for (const auto& item : items_) m = std::max(m, item.duration());
+  return m;
+}
+
+double ItemList::mu() const noexcept {
+  if (items_.empty()) return 1.0;
+  return max_duration() / min_duration();
+}
+
+IntervalSet ItemList::active_union() const {
+  IntervalSet set;
+  // Inserting in sorted order keeps IntervalSet::insert O(1) amortized.
+  auto sorted = sorted_by_arrival();
+  for (const auto& item : sorted) set.insert(item.active);
+  return set;
+}
+
+Time ItemList::span() const { return active_union().total_length(); }
+
+Interval ItemList::packing_period() const noexcept {
+  if (items_.empty()) return {};
+  Time first = std::numeric_limits<double>::infinity();
+  Time last = -std::numeric_limits<double>::infinity();
+  for (const auto& item : items_) {
+    first = std::min(first, item.arrival());
+    last = std::max(last, item.departure());
+  }
+  return {first, last};
+}
+
+double ItemList::total_time_space_demand() const noexcept {
+  double total = 0.0;
+  for (const auto& item : items_) total += item.time_space_demand();
+  return total;
+}
+
+double ItemList::load_at(Time t) const noexcept {
+  double load = 0.0;
+  for (const auto& item : items_) {
+    if (item.active_at(t)) load += item.size;
+  }
+  return load;
+}
+
+std::vector<Item> ItemList::sorted_by_arrival() const {
+  std::vector<Item> sorted = items_;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Item& a, const Item& b) {
+    if (a.arrival() != b.arrival()) return a.arrival() < b.arrival();
+    return a.id < b.id;
+  });
+  return sorted;
+}
+
+std::vector<Time> ItemList::event_times() const {
+  std::vector<Time> times;
+  times.reserve(items_.size() * 2);
+  for (const auto& item : items_) {
+    times.push_back(item.arrival());
+    times.push_back(item.departure());
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+std::string to_string(const Item& item) {
+  return "item{id=" + std::to_string(item.id) + ", size=" + std::to_string(item.size) +
+         ", " + to_string(item.active) + "}";
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,67 @@
+// ItemList: a validated list of items R with the derived quantities the
+// paper uses everywhere: µ, span(R), the packing period, and the total
+// time-space demand.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/item.h"
+#include "core/interval.h"
+
+namespace mutdbp {
+
+class ItemList {
+ public:
+  ItemList() = default;
+  explicit ItemList(std::vector<Item> items, double capacity = 1.0);
+
+  [[nodiscard]] const std::vector<Item>& items() const noexcept { return items_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] const Item& operator[](std::size_t i) const noexcept { return items_[i]; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+  /// Appends one item (re-validates it against the capacity).
+  void push_back(const Item& item);
+
+  [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return items_.end(); }
+
+  // ---- quantities from §III ----
+
+  /// µ = max duration / min duration. µ of an empty list is 1.
+  [[nodiscard]] double mu() const noexcept;
+  [[nodiscard]] double min_duration() const noexcept;
+  [[nodiscard]] double max_duration() const noexcept;
+
+  /// span(R): total time during which at least one item is active (Fig. 1).
+  [[nodiscard]] Time span() const;
+  /// The active-time union as an interval set (span() is its total length).
+  [[nodiscard]] IntervalSet active_union() const;
+
+  /// Packing period: [first arrival, last departure).
+  [[nodiscard]] Interval packing_period() const noexcept;
+
+  /// Sum of s(r)*|I(r)| over all items (Proposition 1's bound).
+  [[nodiscard]] double total_time_space_demand() const noexcept;
+
+  /// Total active size at time t ("load"). O(n); fine for tests/reports.
+  [[nodiscard]] double load_at(Time t) const noexcept;
+
+  /// Items sorted by (arrival, id); equal-arrival items keep id order, which
+  /// is the online arrival sequence fed to algorithms.
+  [[nodiscard]] std::vector<Item> sorted_by_arrival() const;
+
+  /// All event times (arrivals and departures), sorted and deduplicated.
+  [[nodiscard]] std::vector<Time> event_times() const;
+
+ private:
+  void validate(const Item& item) const;
+
+  std::vector<Item> items_;
+  double capacity_ = 1.0;
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,96 @@
+#include "core/packing_result.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mutdbp {
+
+double LevelTimeline::at(Time t) const noexcept {
+  if (times.empty() || t < times.front()) return 0.0;
+  // Last change time <= t.
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times.begin());
+  if (idx == 0) return 0.0;
+  return levels[idx - 1];
+}
+
+double LevelTimeline::min_over(const Interval& iv) const noexcept {
+  if (iv.empty()) return std::numeric_limits<double>::infinity();
+  double lo = at(iv.left);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] > iv.left && times[i] < iv.right) lo = std::min(lo, levels[i]);
+  }
+  return lo;
+}
+
+double BinRecord::demand_over(const Interval& iv) const noexcept {
+  double demand = 0.0;
+  for (const auto& placed : items) {
+    demand += placed.size * placed.active.intersect(iv).length();
+  }
+  return demand;
+}
+
+PackingResult::PackingResult(std::vector<BinRecord> bins,
+                             std::unordered_map<ItemId, BinIndex> assignment)
+    : bins_(std::move(bins)), assignment_(std::move(assignment)) {
+  std::sort(bins_.begin(), bins_.end(),
+            [](const BinRecord& a, const BinRecord& b) { return a.index < b.index; });
+}
+
+BinIndex PackingResult::bin_of(ItemId item) const {
+  const auto it = assignment_.find(item);
+  if (it == assignment_.end()) {
+    throw std::out_of_range("PackingResult: unknown item id " + std::to_string(item));
+  }
+  return it->second;
+}
+
+Time PackingResult::total_usage_time() const noexcept {
+  Time total = 0.0;
+  for (const auto& bin : bins_) total += bin.usage_time();
+  return total;
+}
+
+std::size_t PackingResult::max_concurrent_bins() const {
+  // Sweep over open/close events; at equal times process closings first
+  // (half-open usage periods).
+  struct Event {
+    Time t;
+    int delta;  // +1 open, -1 close
+  };
+  std::vector<Event> events;
+  events.reserve(bins_.size() * 2);
+  for (const auto& bin : bins_) {
+    events.push_back({bin.usage.left, +1});
+    events.push_back({bin.usage.right, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // closings (-1) before openings (+1)
+  });
+  std::size_t open = 0;
+  std::size_t peak = 0;
+  for (const auto& e : events) {
+    if (e.delta > 0) {
+      ++open;
+      peak = std::max(peak, open);
+    } else {
+      --open;
+    }
+  }
+  return peak;
+}
+
+double PackingResult::average_utilization() const noexcept {
+  double level_integral = 0.0;
+  for (const auto& bin : bins_) {
+    for (const auto& placed : bin.items) level_integral += placed.size * placed.active.length();
+  }
+  const Time usage = total_usage_time();
+  return usage > 0.0 ? level_integral / usage : 0.0;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,76 @@
+// The record of one complete packing: per-bin usage periods, placements,
+// level timelines, and the objectives (MinUsageTime and classic DBP).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/interval.h"
+#include "core/item.h"
+
+namespace mutdbp {
+
+/// One placement event inside a bin.
+struct PlacementRecord {
+  ItemId item = 0;
+  double size = 0.0;
+  Interval active;  ///< [arrival, departure)
+};
+
+/// Piecewise-constant bin level: level is `level[i]` on [time[i], time[i+1])
+/// and the bin is closed outside its usage period.
+struct LevelTimeline {
+  std::vector<Time> times;
+  std::vector<double> levels;
+
+  /// Level at time t; 0 outside the recorded range.
+  [[nodiscard]] double at(Time t) const noexcept;
+  /// Minimum level over [iv.left, iv.right); +inf for an empty interval.
+  [[nodiscard]] double min_over(const Interval& iv) const noexcept;
+};
+
+struct BinRecord {
+  BinIndex index = 0;
+  Interval usage;                        ///< U_k = [open, close)
+  std::vector<PlacementRecord> items;    ///< in placement (arrival) order
+  LevelTimeline timeline;                ///< recorded if requested
+
+  [[nodiscard]] Time usage_time() const noexcept { return usage.length(); }
+
+  /// Time-space demand of this bin's items over `iv`: the integral of the
+  /// bin level, i.e. Σ size(r) * |active(r) ∩ iv| (the d(...) quantities
+  /// of the paper's §VII).
+  [[nodiscard]] double demand_over(const Interval& iv) const noexcept;
+};
+
+class PackingResult {
+ public:
+  PackingResult() = default;
+  PackingResult(std::vector<BinRecord> bins,
+                std::unordered_map<ItemId, BinIndex> assignment);
+
+  [[nodiscard]] const std::vector<BinRecord>& bins() const noexcept { return bins_; }
+  [[nodiscard]] std::size_t bins_opened() const noexcept { return bins_.size(); }
+  [[nodiscard]] BinIndex bin_of(ItemId item) const;
+  [[nodiscard]] const std::unordered_map<ItemId, BinIndex>& assignment() const noexcept {
+    return assignment_;
+  }
+
+  /// The MinUsageTime objective: sum of |U_k| over all bins.
+  [[nodiscard]] Time total_usage_time() const noexcept;
+
+  /// The classic DBP objective: maximum number of concurrently open bins.
+  [[nodiscard]] std::size_t max_concurrent_bins() const;
+
+  /// Average level of open bins weighted by time:
+  /// (integral of total level dt) / (total usage time).
+  [[nodiscard]] double average_utilization() const noexcept;
+
+ private:
+  std::vector<BinRecord> bins_;                      // sorted by index
+  std::unordered_map<ItemId, BinIndex> assignment_;  // item -> bin index
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,199 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mutdbp {
+
+Simulation::Simulation(PackingAlgorithm& algorithm, SimulationOptions options)
+    : algorithm_(algorithm), options_(options) {
+  if (!(options_.capacity > 0.0)) {
+    throw std::invalid_argument("Simulation: capacity must be > 0");
+  }
+  if (options_.fit_epsilon < 0.0) {
+    throw std::invalid_argument("Simulation: fit_epsilon must be >= 0");
+  }
+}
+
+void Simulation::advance_time(Time t) {
+  if (t < now_) {
+    throw std::logic_error("Simulation: time went backwards (" + std::to_string(t) +
+                           " < " + std::to_string(now_) + ")");
+  }
+  now_ = t;
+}
+
+void Simulation::record_level(BinState& bin, Time t) {
+  if (!options_.record_timelines) return;
+  auto& tl = bin.timeline;
+  if (!tl.times.empty() && tl.times.back() == t) {
+    tl.levels.back() = bin.level;  // coalesce same-instant changes
+  } else {
+    tl.times.push_back(t);
+    tl.levels.push_back(bin.level);
+  }
+}
+
+std::vector<BinSnapshot> Simulation::open_snapshots() const {
+  std::vector<BinSnapshot> snaps;
+  snaps.reserve(open_bins_.size());
+  for (const BinIndex idx : open_bins_) {
+    const BinState& bin = bins_[idx];
+    snaps.push_back(BinSnapshot{idx, bin.level, options_.capacity, bin.open_time,
+                                bin.active_count});
+  }
+  return snaps;
+}
+
+BinIndex Simulation::bin_of_active(ItemId id) const {
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    throw std::out_of_range("Simulation: item " + std::to_string(id) + " is not active");
+  }
+  return it->second.bin;
+}
+
+BinIndex Simulation::arrive(ItemId id, double size, Time t) {
+  if (finished_) throw std::logic_error("Simulation: arrive() after finish()");
+  if (!(size > 0.0) || size > options_.capacity) {
+    throw std::invalid_argument("Simulation: item size must be in (0, capacity]");
+  }
+  if (active_.contains(id)) {
+    throw std::invalid_argument("Simulation: item id " + std::to_string(id) +
+                                " is already active");
+  }
+  advance_time(t);
+
+  const ArrivalView view{id, size, t};
+  const auto snapshots = open_snapshots();
+  const Placement choice = algorithm_.place(view, snapshots);
+
+  BinIndex target = 0;
+  if (choice.has_value()) {
+    target = *choice;
+    const bool is_open = std::binary_search(open_bins_.begin(), open_bins_.end(), target);
+    if (!is_open) {
+      throw std::logic_error(std::string(algorithm_.name()) + " placed item " +
+                             std::to_string(id) + " in bin " + std::to_string(target) +
+                             " which is not open");
+    }
+    BinState& bin = bins_[target];
+    if (bin.level + size > options_.capacity + options_.fit_epsilon) {
+      throw std::logic_error(std::string(algorithm_.name()) + " overfilled bin " +
+                             std::to_string(target) + " with item " + std::to_string(id));
+    }
+    bin.level += size;
+    ++bin.active_count;
+    bin.placements.push_back(
+        {id, size, {t, std::numeric_limits<double>::infinity()}});
+    active_[id] = ActiveRef{target, bin.placements.size() - 1, size};
+    record_level(bin, t);
+  } else {
+    target = bins_.size();
+    BinState bin;
+    bin.index = target;
+    bin.open_time = t;
+    bin.open = true;
+    bin.level = size;
+    bin.active_count = 1;
+    bin.placements.push_back(
+        {id, size, {t, std::numeric_limits<double>::infinity()}});
+    bins_.push_back(std::move(bin));
+    open_bins_.push_back(target);  // indices grow monotonically: stays sorted
+    active_[id] = ActiveRef{target, 0, size};
+    record_level(bins_.back(), t);
+    algorithm_.on_bin_opened(target, view);
+    max_concurrent_ = std::max(max_concurrent_, open_bins_.size());
+  }
+  return target;
+}
+
+void Simulation::depart(ItemId id, Time t) {
+  if (finished_) throw std::logic_error("Simulation: depart() after finish()");
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    throw std::invalid_argument("Simulation: departing item " + std::to_string(id) +
+                                " is not active");
+  }
+  advance_time(t);
+
+  const ActiveRef ref = it->second;
+  active_.erase(it);
+  BinState& bin = bins_[ref.bin];
+  bin.placements[ref.placement_pos].active.right = t;
+  bin.level -= ref.size;
+  --bin.active_count;
+  if (bin.active_count == 0) bin.level = 0.0;  // cancel floating-point residue
+  record_level(bin, t);
+
+  if (bin.active_count == 0) {
+    bin.open = false;
+    bin.close_time = t;
+    const auto pos = std::lower_bound(open_bins_.begin(), open_bins_.end(), ref.bin);
+    open_bins_.erase(pos);
+    algorithm_.on_bin_closed(ref.bin, t);
+  }
+}
+
+PackingResult Simulation::finish() {
+  if (finished_) throw std::logic_error("Simulation: finish() called twice");
+  if (!active_.empty()) {
+    throw std::logic_error("Simulation: finish() with " + std::to_string(active_.size()) +
+                           " items still active");
+  }
+  finished_ = true;
+
+  std::vector<BinRecord> records;
+  records.reserve(bins_.size());
+  std::unordered_map<ItemId, BinIndex> assignment;
+  for (auto& bin : bins_) {
+    BinRecord record;
+    record.index = bin.index;
+    record.usage = {bin.open_time, bin.close_time};
+    record.items = std::move(bin.placements);
+    record.timeline = std::move(bin.timeline);
+    for (const auto& placed : record.items) assignment[placed.item] = bin.index;
+    records.push_back(std::move(record));
+  }
+  return PackingResult(std::move(records), std::move(assignment));
+}
+
+PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
+                       SimulationOptions options) {
+  algorithm.reset();
+  if (options.capacity != items.capacity()) options.capacity = items.capacity();
+  Simulation sim(algorithm, options);
+
+  // Event schedule: primary key time; at equal times departures precede
+  // arrivals (half-open activity intervals); ties within a kind keep the
+  // id order, which defines the online arrival sequence.
+  struct Event {
+    Time t;
+    bool is_arrival;
+    const Item* item;
+  };
+  std::vector<Event> events;
+  events.reserve(items.size() * 2);
+  for (const auto& item : items) {
+    events.push_back({item.arrival(), true, &item});
+    events.push_back({item.departure(), false, &item});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.is_arrival != b.is_arrival) return !a.is_arrival;  // departures first
+    return a.item->id < b.item->id;
+  });
+
+  for (const auto& event : events) {
+    if (event.is_arrival) {
+      sim.arrive(event.item->id, event.item->size, event.t);
+    } else {
+      sim.depart(event.item->id, event.t);
+    }
+  }
+  return sim.finish();
+}
+
+}  // namespace mutdbp

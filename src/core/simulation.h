@@ -1,0 +1,93 @@
+// The online Dynamic Bin Packing simulation engine.
+//
+// Two entry points:
+//  * Simulation — incremental: callers feed arrivals/departures one at a
+//    time. This is what adaptive adversaries and the cloud dispatcher use;
+//    it is also what makes "departures unknown at arrival" structural (the
+//    departure is simply not known to anyone until depart() is called).
+//  * simulate() — batch: runs a full ItemList through a Simulation with the
+//    paper's event ordering (at equal timestamps departures are processed
+//    before arrivals, matching half-open activity intervals).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/item_list.h"
+#include "core/packing_result.h"
+
+namespace mutdbp {
+
+struct SimulationOptions {
+  double capacity = 1.0;
+  double fit_epsilon = kDefaultFitEpsilon;
+  bool record_timelines = true;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(PackingAlgorithm& algorithm, SimulationOptions options = {});
+
+  /// Places an arriving item; returns the bin it went to. Time must be
+  /// non-decreasing across all arrive/depart calls. Throws std::logic_error
+  /// if the algorithm returns an invalid placement (closed bin / no fit).
+  BinIndex arrive(ItemId id, double size, Time t);
+
+  /// Removes an item; closes its bin if the bin becomes empty. The caller
+  /// decides departure times — this is where "unknown at arrival" lives.
+  void depart(ItemId id, Time t);
+
+  [[nodiscard]] std::size_t open_bin_count() const noexcept { return open_bins_.size(); }
+  [[nodiscard]] std::size_t bins_opened() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t active_items() const noexcept { return active_.size(); }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const SimulationOptions& options() const noexcept { return options_; }
+
+  /// Snapshots of currently open bins, sorted by bin index (what the packing
+  /// algorithm sees).
+  [[nodiscard]] std::vector<BinSnapshot> open_snapshots() const;
+
+  /// Bin index of a currently active item (throws if unknown).
+  [[nodiscard]] BinIndex bin_of_active(ItemId id) const;
+
+  /// Completes the run. All items must have departed.
+  [[nodiscard]] PackingResult finish();
+
+ private:
+  struct BinState {
+    BinIndex index = 0;
+    Time open_time = 0.0;
+    Time close_time = 0.0;
+    bool open = false;
+    double level = 0.0;
+    std::size_t active_count = 0;
+    std::vector<PlacementRecord> placements;
+    LevelTimeline timeline;
+  };
+  struct ActiveRef {
+    BinIndex bin = 0;
+    std::size_t placement_pos = 0;
+    double size = 0.0;
+  };
+
+  void record_level(BinState& bin, Time t);
+  void advance_time(Time t);
+
+  PackingAlgorithm& algorithm_;
+  SimulationOptions options_;
+  std::vector<BinState> bins_;
+  std::vector<BinIndex> open_bins_;  // sorted ascending
+  std::unordered_map<ItemId, ActiveRef> active_;
+  Time now_ = -std::numeric_limits<double>::infinity();
+  std::size_t max_concurrent_ = 0;
+  bool finished_ = false;
+};
+
+/// Runs the whole item list through `algorithm` (which is reset() first).
+[[nodiscard]] PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
+                                     SimulationOptions options = {});
+
+}  // namespace mutdbp

@@ -1,0 +1,90 @@
+#include "multidim/md_algorithms.h"
+
+#include <stdexcept>
+
+namespace mutdbp::md {
+namespace {
+
+double normalized_fill(const MDBinSnapshot& bin) {
+  double total = 0.0;
+  for (std::size_t d = 0; d < bin.level.size(); ++d) {
+    total += bin.level[d] / bin.capacity[d];
+  }
+  return total / static_cast<double>(bin.level.size());
+}
+
+}  // namespace
+
+Placement MDAnyFit::place(const MDArrivalView& item,
+                          std::span<const MDBinSnapshot> open_bins) {
+  fitting_.clear();
+  for (const auto& bin : open_bins) {
+    if (md_fits(bin, item.demand, fit_epsilon_)) fitting_.push_back(bin);
+  }
+  if (fitting_.empty()) return std::nullopt;
+  return pick(item, fitting_);
+}
+
+BinIndex MDBestFit::pick(const MDArrivalView&,
+                         std::span<const MDBinSnapshot> fitting) {
+  BinIndex best = fitting.front().index;
+  double best_fill = normalized_fill(fitting.front());
+  for (const auto& bin : fitting.subspan(1)) {
+    const double fill = normalized_fill(bin);
+    if (fill > best_fill) {
+      best_fill = fill;
+      best = bin.index;
+    }
+  }
+  return best;
+}
+
+BinIndex MDDotProduct::pick(const MDArrivalView& item,
+                            std::span<const MDBinSnapshot> fitting) {
+  // Maximize dot(normalized demand, normalized residual capacity): prefer
+  // the bin with room exactly where this item needs it, so complementary
+  // items share bins and no dimension is stranded.
+  BinIndex best = fitting.front().index;
+  double best_score = -1.0;
+  for (const auto& bin : fitting) {
+    double score = 0.0;
+    for (std::size_t d = 0; d < item.demand.size(); ++d) {
+      const double residual = (bin.capacity[d] - bin.level[d]) / bin.capacity[d];
+      score += (item.demand[d] / bin.capacity[d]) * residual;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = bin.index;
+    }
+  }
+  return best;
+}
+
+Placement MDNextFit::place(const MDArrivalView& item,
+                           std::span<const MDBinSnapshot> open_bins) {
+  if (available_.has_value()) {
+    for (const auto& bin : open_bins) {
+      if (bin.index == *available_) {
+        if (md_fits(bin, item.demand, fit_epsilon_)) return bin.index;
+        break;
+      }
+    }
+    available_.reset();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> md_algorithm_names() {
+  return {"MDFirstFit", "MDBestFit", "MDDotProduct", "MDNextFit"};
+}
+
+std::unique_ptr<MDPackingAlgorithm> make_md_algorithm(std::string_view name,
+                                                      double fit_epsilon) {
+  if (name == "MDFirstFit") return std::make_unique<MDFirstFit>(fit_epsilon);
+  if (name == "MDBestFit") return std::make_unique<MDBestFit>(fit_epsilon);
+  if (name == "MDDotProduct") return std::make_unique<MDDotProduct>(fit_epsilon);
+  if (name == "MDNextFit") return std::make_unique<MDNextFit>(fit_epsilon);
+  throw std::invalid_argument("unknown MD algorithm: " + std::string(name));
+}
+
+}  // namespace mutdbp::md

@@ -1,0 +1,97 @@
+// Multi-dimensional packing rules: the natural generalizations of the
+// scalar Any Fit family plus the dot-product heuristic from the vector
+// bin packing literature.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "multidim/md_core.h"
+
+namespace mutdbp::md {
+
+/// Any Fit base: never opens a bin while some open bin fits the item in
+/// every dimension.
+class MDAnyFit : public MDPackingAlgorithm {
+ public:
+  explicit MDAnyFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : fit_epsilon_(fit_epsilon) {}
+  [[nodiscard]] Placement place(const MDArrivalView& item,
+                                std::span<const MDBinSnapshot> open_bins) final;
+
+ protected:
+  [[nodiscard]] virtual BinIndex pick(const MDArrivalView& item,
+                                      std::span<const MDBinSnapshot> fitting) = 0;
+  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
+
+ private:
+  double fit_epsilon_;
+  std::vector<MDBinSnapshot> fitting_;
+};
+
+/// Lowest-indexed fitting bin (First Fit).
+class MDFirstFit final : public MDAnyFit {
+ public:
+  using MDAnyFit::MDAnyFit;
+  [[nodiscard]] std::string_view name() const noexcept override { return "MDFirstFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView&,
+                              std::span<const MDBinSnapshot> fitting) override {
+    return fitting.front().index;
+  }
+};
+
+/// Fullest fitting bin by normalized aggregate level (Best Fit analogue).
+class MDBestFit final : public MDAnyFit {
+ public:
+  using MDAnyFit::MDAnyFit;
+  [[nodiscard]] std::string_view name() const noexcept override { return "MDBestFit"; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView&,
+                              std::span<const MDBinSnapshot> fitting) override;
+};
+
+/// Dot-product heuristic (Panigrahy et al.): place in the fitting bin
+/// maximizing the dot product of the item's normalized demand with the
+/// bin's normalized residual capacity — complementary items share bins so
+/// no single dimension strands the rest.
+class MDDotProduct final : public MDAnyFit {
+ public:
+  using MDAnyFit::MDAnyFit;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MDDotProduct";
+  }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> fitting) override;
+};
+
+/// One bin available at a time (Next Fit analogue).
+class MDNextFit final : public MDPackingAlgorithm {
+ public:
+  explicit MDNextFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : fit_epsilon_(fit_epsilon) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "MDNextFit"; }
+  [[nodiscard]] Placement place(const MDArrivalView& item,
+                                std::span<const MDBinSnapshot> open_bins) override;
+  void on_bin_opened(BinIndex bin, const MDArrivalView&) override { available_ = bin; }
+  void on_bin_closed(BinIndex bin, Time) override {
+    if (available_ == bin) available_.reset();
+  }
+  void reset() override { available_.reset(); }
+
+ private:
+  double fit_epsilon_;
+  std::optional<BinIndex> available_;
+};
+
+[[nodiscard]] std::vector<std::string> md_algorithm_names();
+[[nodiscard]] std::unique_ptr<MDPackingAlgorithm> make_md_algorithm(
+    std::string_view name, double fit_epsilon = kDefaultFitEpsilon);
+
+}  // namespace mutdbp::md

@@ -1,0 +1,221 @@
+#include "multidim/md_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace mutdbp::md {
+
+MDItemList::MDItemList(std::vector<MDItem> items, std::vector<double> capacity)
+    : items_(std::move(items)), capacity_(std::move(capacity)) {
+  if (capacity_.empty()) throw std::invalid_argument("MDItemList: no dimensions");
+  for (const double c : capacity_) {
+    if (!(c > 0.0)) throw std::invalid_argument("MDItemList: capacity must be > 0");
+  }
+  for (const auto& item : items_) {
+    if (item.demand.size() != capacity_.size()) {
+      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
+                                  " has wrong dimensionality");
+    }
+    bool positive = false;
+    for (std::size_t d = 0; d < capacity_.size(); ++d) {
+      if (item.demand[d] < 0.0 || item.demand[d] > capacity_[d]) {
+        throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
+                                    " demand outside [0, capacity]");
+      }
+      positive = positive || item.demand[d] > 0.0;
+    }
+    if (!positive) {
+      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
+                                  " has zero demand");
+    }
+    if (!(item.active.left < item.active.right)) {
+      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
+                                  " has empty activity interval");
+    }
+  }
+}
+
+double MDItemList::mu() const noexcept {
+  if (items_.empty()) return 1.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& item : items_) {
+    lo = std::min(lo, item.duration());
+    hi = std::max(hi, item.duration());
+  }
+  return hi / lo;
+}
+
+Time MDItemList::span() const {
+  IntervalSet set;
+  std::vector<Interval> intervals;
+  intervals.reserve(items_.size());
+  for (const auto& item : items_) intervals.push_back(item.active);
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) { return a.left < b.left; });
+  for (const auto& iv : intervals) set.insert(iv);
+  return set.total_length();
+}
+
+double MDItemList::load_ceiling_bound() const {
+  if (items_.empty()) return 0.0;
+  struct Event {
+    Time t;
+    const MDItem* item;
+    bool arrival;
+  };
+  std::vector<Event> events;
+  events.reserve(items_.size() * 2);
+  for (const auto& item : items_) {
+    events.push_back({item.arrival(), &item, true});
+    events.push_back({item.departure(), &item, false});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.arrival < b.arrival;  // departures first
+  });
+
+  std::vector<double> load(capacity_.size(), 0.0);
+  std::size_t active = 0;
+  double integral = 0.0;
+  Time prev = events.front().t;
+  for (const auto& event : events) {
+    if (event.t > prev) {
+      if (active > 0) {
+        double bins = 1.0;
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          bins = std::max(bins, std::ceil(load[d] / capacity_[d] - 1e-9));
+        }
+        integral += bins * (event.t - prev);
+      }
+      prev = event.t;
+    }
+    for (std::size_t d = 0; d < capacity_.size(); ++d) {
+      load[d] += event.arrival ? event.item->demand[d] : -event.item->demand[d];
+    }
+    if (event.arrival) {
+      ++active;
+    } else {
+      --active;
+    }
+    if (active == 0) std::fill(load.begin(), load.end(), 0.0);
+  }
+  return integral;
+}
+
+bool md_fits(const MDBinSnapshot& bin, std::span<const double> demand,
+             double fit_epsilon) noexcept {
+  for (std::size_t d = 0; d < demand.size(); ++d) {
+    if (bin.level[d] + demand[d] > bin.capacity[d] + fit_epsilon) return false;
+  }
+  return true;
+}
+
+MDPackingResult md_simulate(const MDItemList& items, MDPackingAlgorithm& algorithm,
+                            double fit_epsilon) {
+  algorithm.reset();
+
+  struct BinState {
+    BinIndex index = 0;
+    Time open_time = 0.0;
+    std::vector<double> level;
+    std::size_t active_count = 0;
+    std::vector<ItemId> members;
+    bool open = false;
+    Time close_time = 0.0;
+  };
+  std::vector<BinState> bins;
+  std::vector<BinIndex> open_bins;
+  std::unordered_map<ItemId, BinIndex> bin_of;
+
+  struct Event {
+    Time t;
+    bool arrival;
+    const MDItem* item;
+  };
+  std::vector<Event> events;
+  events.reserve(items.size() * 2);
+  for (const auto& item : items) {
+    events.push_back({item.arrival(), true, &item});
+    events.push_back({item.departure(), false, &item});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.arrival != b.arrival) return !a.arrival;
+    return a.item->id < b.item->id;
+  });
+
+  for (const auto& event : events) {
+    const MDItem& item = *event.item;
+    if (event.arrival) {
+      std::vector<MDBinSnapshot> snaps;
+      snaps.reserve(open_bins.size());
+      for (const BinIndex idx : open_bins) {
+        snaps.push_back(MDBinSnapshot{idx, bins[idx].level, items.capacity(),
+                                      bins[idx].open_time, bins[idx].active_count});
+      }
+      const Placement choice =
+          algorithm.place(MDArrivalView{item.id, item.demand, event.t}, snaps);
+      if (choice.has_value()) {
+        const BinIndex target = *choice;
+        if (!std::binary_search(open_bins.begin(), open_bins.end(), target)) {
+          throw std::logic_error(std::string(algorithm.name()) +
+                                 ": placement into a bin that is not open");
+        }
+        BinState& bin = bins[target];
+        for (std::size_t d = 0; d < item.demand.size(); ++d) {
+          if (bin.level[d] + item.demand[d] > items.capacity()[d] + fit_epsilon) {
+            throw std::logic_error(std::string(algorithm.name()) +
+                                   ": overfilled dimension " + std::to_string(d));
+          }
+          bin.level[d] += item.demand[d];
+        }
+        ++bin.active_count;
+        bin.members.push_back(item.id);
+        bin_of[item.id] = target;
+      } else {
+        BinState bin;
+        bin.index = bins.size();
+        bin.open_time = event.t;
+        bin.level = item.demand;
+        bin.active_count = 1;
+        bin.members.push_back(item.id);
+        bin.open = true;
+        bin_of[item.id] = bin.index;
+        open_bins.push_back(bin.index);
+        bins.push_back(std::move(bin));
+        algorithm.on_bin_opened(bins.back().index,
+                                MDArrivalView{item.id, item.demand, event.t});
+      }
+    } else {
+      const BinIndex target = bin_of.at(item.id);
+      BinState& bin = bins[target];
+      for (std::size_t d = 0; d < item.demand.size(); ++d) {
+        bin.level[d] -= item.demand[d];
+      }
+      --bin.active_count;
+      if (bin.active_count == 0) {
+        std::fill(bin.level.begin(), bin.level.end(), 0.0);
+        bin.open = false;
+        bin.close_time = event.t;
+        open_bins.erase(
+            std::lower_bound(open_bins.begin(), open_bins.end(), target));
+        algorithm.on_bin_closed(target, event.t);
+      }
+    }
+  }
+
+  MDPackingResult result;
+  result.bins.reserve(bins.size());
+  for (const auto& bin : bins) {
+    result.bins.push_back(
+        MDBinRecord{bin.index, {bin.open_time, bin.close_time}, bin.members});
+  }
+  return result;
+}
+
+}  // namespace mutdbp::md

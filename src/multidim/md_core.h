@@ -1,0 +1,122 @@
+// Multi-dimensional MinUsageTime DBP — the extension the paper names as
+// future work in §IX: "extend the MinUsageTime DBP problem to the
+// multi-dimensional version to model multiple types of resources (e.g.,
+// CPU and memory) for online cloud server allocation."
+//
+// Items demand a vector of resources; a bin (server) holds a vector
+// capacity, and feasibility is per-dimension. Everything else (half-open
+// activity intervals, usage periods, the MinUsageTime objective, the
+// online constraint) carries over from the scalar core.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/interval.h"
+#include "core/item.h"
+
+namespace mutdbp::md {
+
+struct MDItem {
+  ItemId id = 0;
+  std::vector<double> demand;  ///< one entry per resource dimension
+  Interval active;
+
+  [[nodiscard]] Time arrival() const noexcept { return active.left; }
+  [[nodiscard]] Time departure() const noexcept { return active.right; }
+  [[nodiscard]] Time duration() const noexcept { return active.length(); }
+};
+
+[[nodiscard]] inline MDItem make_md_item(ItemId id, std::vector<double> demand,
+                                         Time arrival, Time departure) {
+  return MDItem{id, std::move(demand), {arrival, departure}};
+}
+
+/// A validated multi-dimensional item list with vector capacity.
+class MDItemList {
+ public:
+  MDItemList() = default;
+  MDItemList(std::vector<MDItem> items, std::vector<double> capacity);
+
+  [[nodiscard]] const std::vector<MDItem>& items() const noexcept { return items_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] const MDItem& operator[](std::size_t i) const noexcept {
+    return items_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return items_.end(); }
+  [[nodiscard]] const std::vector<double>& capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t dimensions() const noexcept { return capacity_.size(); }
+
+  [[nodiscard]] double mu() const noexcept;
+  [[nodiscard]] Time span() const;
+
+  /// Lower bound on OPT_total: max over dimensions d of
+  /// integral of max(ceil(load_d(t)/cap_d), [anything active]) dt.
+  [[nodiscard]] double load_ceiling_bound() const;
+
+ private:
+  std::vector<MDItem> items_;
+  std::vector<double> capacity_;
+};
+
+struct MDBinSnapshot {
+  BinIndex index = 0;
+  std::vector<double> level;            ///< per-dimension usage
+  std::vector<double> capacity;         ///< per-dimension capacity
+  Time open_time = 0.0;
+  std::size_t item_count = 0;
+};
+
+struct MDArrivalView {
+  ItemId id = 0;
+  std::vector<double> demand;
+  Time time = 0.0;
+};
+
+[[nodiscard]] bool md_fits(const MDBinSnapshot& bin, std::span<const double> demand,
+                           double fit_epsilon = kDefaultFitEpsilon) noexcept;
+
+class MDPackingAlgorithm {
+ public:
+  virtual ~MDPackingAlgorithm() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual Placement place(const MDArrivalView& item,
+                                        std::span<const MDBinSnapshot> open_bins) = 0;
+  virtual void on_bin_opened(BinIndex /*bin*/, const MDArrivalView& /*first*/) {}
+  virtual void on_bin_closed(BinIndex /*bin*/, Time /*close_time*/) {}
+  virtual void reset() {}
+};
+
+/// One packed bin's record (usage period + member items).
+struct MDBinRecord {
+  BinIndex index = 0;
+  Interval usage;
+  std::vector<ItemId> items;
+  [[nodiscard]] Time usage_time() const noexcept { return usage.length(); }
+};
+
+struct MDPackingResult {
+  std::vector<MDBinRecord> bins;
+
+  [[nodiscard]] Time total_usage_time() const noexcept {
+    Time total = 0.0;
+    for (const auto& bin : bins) total += bin.usage_time();
+    return total;
+  }
+  [[nodiscard]] std::size_t bins_opened() const noexcept { return bins.size(); }
+};
+
+/// Batch driver, mirroring the scalar simulate(): departures before
+/// arrivals at equal times; placements validated per dimension.
+[[nodiscard]] MDPackingResult md_simulate(const MDItemList& items,
+                                          MDPackingAlgorithm& algorithm,
+                                          double fit_epsilon = kDefaultFitEpsilon);
+
+}  // namespace mutdbp::md

@@ -1,0 +1,50 @@
+#include "multidim/md_workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mutdbp::md {
+
+MDItemList generate_md(const MDWorkloadSpec& spec) {
+  if (spec.dimensions == 0) throw std::invalid_argument("generate_md: 0 dimensions");
+  if (!(spec.demand_min > 0.0) || spec.demand_min > spec.demand_max ||
+      spec.demand_max > 1.0) {
+    throw std::invalid_argument("generate_md: bad demand range");
+  }
+  if (!(spec.duration_min > 0.0) || spec.duration_min > spec.duration_max) {
+    throw std::invalid_argument("generate_md: bad duration range");
+  }
+  if (spec.correlation < -1.0 || spec.correlation > 1.0) {
+    throw std::invalid_argument("generate_md: correlation in [-1, 1]");
+  }
+
+  Rng rng(spec.seed);
+  std::vector<MDItem> items;
+  items.reserve(spec.num_items);
+  double clock = 0.0;
+  const double range = spec.demand_max - spec.demand_min;
+  for (ItemId id = 0; id < spec.num_items; ++id) {
+    clock += rng.exponential(spec.arrival_rate);
+    const double duration = rng.uniform(spec.duration_min, spec.duration_max);
+    // Base draw in [0,1]; each dimension mixes the base with an independent
+    // (or mirrored, for negative correlation) draw.
+    const double base = rng.next_double();
+    std::vector<double> demand(spec.dimensions);
+    const double c = std::abs(spec.correlation);
+    for (std::size_t d = 0; d < spec.dimensions; ++d) {
+      double independent = rng.next_double();
+      if (spec.correlation < 0.0 && d % 2 == 1) independent = 1.0 - base;
+      const double mixed = c * (spec.correlation < 0.0 && d % 2 == 1
+                                    ? 1.0 - base
+                                    : base) +
+                           (1.0 - c) * independent;
+      demand[d] = spec.demand_min + range * std::clamp(mixed, 0.0, 1.0);
+    }
+    items.push_back(make_md_item(id, std::move(demand), clock, clock + duration));
+  }
+  return MDItemList(std::move(items), std::vector<double>(spec.dimensions, 1.0));
+}
+
+}  // namespace mutdbp::md

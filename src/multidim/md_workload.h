@@ -1,0 +1,29 @@
+// Multi-dimensional workload generation: items demand several resources
+// (e.g. CPU + memory) with a tunable cross-dimension correlation — the knob
+// that decides whether multi-dimensional packing behaves like the scalar
+// problem (correlation 1) or strands capacity (correlation 0 or negative).
+#pragma once
+
+#include <cstdint>
+
+#include "multidim/md_core.h"
+
+namespace mutdbp::md {
+
+struct MDWorkloadSpec {
+  std::size_t num_items = 500;
+  std::size_t dimensions = 2;
+  std::uint64_t seed = 1;
+  double arrival_rate = 2.0;     ///< Poisson arrivals
+  double duration_min = 1.0;
+  double duration_max = 4.0;
+  double demand_min = 0.05;
+  double demand_max = 0.6;
+  /// 1: all dimensions equal (scalar-like); 0: independent; -1: one
+  /// dimension high means the others are low (anti-correlated).
+  double correlation = 0.0;
+};
+
+[[nodiscard]] MDItemList generate_md(const MDWorkloadSpec& spec);
+
+}  // namespace mutdbp::md

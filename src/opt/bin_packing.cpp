@@ -1,0 +1,193 @@
+#include "opt/bin_packing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace mutdbp::opt {
+namespace {
+
+void validate(std::span<const double> sizes, const BinPackingOptions& options) {
+  if (!(options.capacity > 0.0)) {
+    throw std::invalid_argument("bin packing: capacity must be > 0");
+  }
+  for (const double s : sizes) {
+    if (!(s > 0.0) || s > options.capacity + options.fit_epsilon) {
+      throw std::invalid_argument("bin packing: item size outside (0, capacity]");
+    }
+  }
+}
+
+std::vector<double> sorted_desc(std::span<const double> sizes) {
+  std::vector<double> sorted(sizes.begin(), sizes.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  return sorted;
+}
+
+/// ceil with a tolerance so that e.g. 3 * (1/3) counts as 1 bin, not 2.
+std::size_t ceil_div(double total, double capacity, double eps) {
+  const double q = total / capacity;
+  const double r = std::ceil(q - eps);
+  return r <= 0.0 ? 0 : static_cast<std::size_t>(r);
+}
+
+}  // namespace
+
+std::size_t ffd_bin_count(std::span<const double> sizes, const BinPackingOptions& options) {
+  validate(sizes, options);
+  const auto sorted = sorted_desc(sizes);
+  std::vector<double> levels;
+  for (const double s : sorted) {
+    bool placed = false;
+    for (double& level : levels) {
+      if (level + s <= options.capacity + options.fit_epsilon) {
+        level += s;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) levels.push_back(s);
+  }
+  return levels.size();
+}
+
+std::size_t continuous_lower_bound(std::span<const double> sizes,
+                                   const BinPackingOptions& options) {
+  validate(sizes, options);
+  double total = 0.0;
+  for (const double s : sizes) total += s;
+  return ceil_div(total, options.capacity, options.fit_epsilon);
+}
+
+std::size_t l2_lower_bound(std::span<const double> sizes, const BinPackingOptions& options) {
+  validate(sizes, options);
+  if (sizes.empty()) return 0;
+  const double cap = options.capacity;
+  const double eps = options.fit_epsilon;
+  const auto sorted = sorted_desc(sizes);
+
+  std::size_t best = continuous_lower_bound(sizes, options);
+  // Candidate thresholds: 0 plus all distinct sizes <= capacity/2. (alpha=0
+  // covers instances where every item is large: each >cap/2 item then counts
+  // a full bin.)
+  std::vector<double> candidates{0.0};
+  for (std::size_t c = 0; c < sorted.size(); ++c) {
+    if (sorted[c] > cap / 2.0 + eps) continue;
+    if (c > 0 && sorted[c] == sorted[c - 1]) continue;
+    candidates.push_back(sorted[c]);
+  }
+  for (const double alpha : candidates) {
+    // J1: size > cap - alpha; J2: cap/2 < size <= cap - alpha;
+    // J3: alpha <= size <= cap/2.
+    std::size_t j1 = 0;
+    std::size_t j2 = 0;
+    double sum_j2 = 0.0;
+    double sum_j3 = 0.0;
+    for (const double s : sorted) {
+      if (s > cap - alpha + eps) {
+        ++j1;
+      } else if (s > cap / 2.0 + eps) {
+        ++j2;
+        sum_j2 += s;
+      } else if (s >= alpha - eps) {
+        sum_j3 += s;
+      }
+    }
+    const double slack_in_j2_bins = static_cast<double>(j2) * cap - sum_j2;
+    const double overflow = sum_j3 - slack_in_j2_bins;
+    const std::size_t extra = overflow > 0.0 ? ceil_div(overflow, cap, eps) : 0;
+    best = std::max(best, j1 + j2 + extra);
+  }
+  return best;
+}
+
+BinCountResult min_bin_count(std::span<const double> sizes, const BinPackingOptions& options) {
+  validate(sizes, options);
+  BinCountResult result;
+  if (sizes.empty()) {
+    result.exact = true;
+    return result;
+  }
+  const auto sorted = sorted_desc(sizes);
+  const double cap = options.capacity;
+  const double eps = options.fit_epsilon;
+
+  std::size_t best_upper = ffd_bin_count(sizes, options);
+  const std::size_t global_lower = l2_lower_bound(sizes, options);
+  if (best_upper == global_lower) {
+    return {global_lower, best_upper, true};
+  }
+
+  double remaining_total = 0.0;
+  for (const double s : sorted) remaining_total += s;
+
+  std::vector<double> levels;  // open bin levels in the current partial packing
+  std::size_t nodes = 0;
+  bool budget_exhausted = false;
+
+  // DFS over items in decreasing size order; item k goes into one bin of each
+  // distinct level, or a new bin.
+  std::function<void(std::size_t, double)> dfs = [&](std::size_t k, double remaining) {
+    if (nodes++ > options.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    if (k == sorted.size()) {
+      best_upper = std::min(best_upper, levels.size());
+      return;
+    }
+    if (levels.size() >= best_upper) return;  // cannot improve
+    // Completion bound: remaining volume minus free space in open bins.
+    double free_space = 0.0;
+    for (const double level : levels) free_space += cap - level;
+    const double overflow = remaining - free_space;
+    const std::size_t completion =
+        levels.size() + (overflow > 0.0 ? ceil_div(overflow, cap, eps) : 0);
+    if (completion >= best_upper) return;
+    if (budget_exhausted) return;
+
+    const double s = sorted[k];
+    // Dominance (Martello–Toth): if the item fills some bin exactly, that
+    // placement dominates all others.
+    for (std::size_t b = 0; b < levels.size(); ++b) {
+      if (std::abs(cap - levels[b] - s) <= eps) {
+        levels[b] += s;
+        dfs(k + 1, remaining - s);
+        levels[b] -= s;
+        return;
+      }
+    }
+    // Try each distinct existing level (bins with equal levels are
+    // interchangeable, so branching into one of them suffices).
+    for (std::size_t b = 0; b < levels.size(); ++b) {
+      bool duplicate = false;
+      for (std::size_t b2 = 0; b2 < b; ++b2) {
+        if (levels[b2] == levels[b]) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      if (levels[b] + s <= cap + eps) {
+        const double old = levels[b];
+        levels[b] += s;
+        dfs(k + 1, remaining - s);
+        levels[b] = old;
+        if (budget_exhausted) return;
+      }
+    }
+    // Or open a new bin.
+    levels.push_back(s);
+    dfs(k + 1, remaining - s);
+    levels.pop_back();
+  };
+  dfs(0, remaining_total);
+
+  result.upper = best_upper;
+  result.exact = !budget_exhausted;
+  result.lower = result.exact ? best_upper : std::max(global_lower, std::size_t{1});
+  return result;
+}
+
+}  // namespace mutdbp::opt

@@ -1,0 +1,46 @@
+// Classical one-dimensional bin packing solvers, used to evaluate
+// OPT(R, t) — the minimum number of bins into which the items active at
+// time t can be repacked (§III.C). Exact solving is branch-and-bound with
+// the Martello–Toth L2 lower bound; FFD provides upper bounds and the
+// fallback when the node budget is exhausted.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mutdbp::opt {
+
+struct BinPackingOptions {
+  double capacity = 1.0;
+  double fit_epsilon = 1e-9;
+  /// Branch-and-bound node budget; beyond it the result is inexact.
+  std::size_t max_nodes = 1'000'000;
+};
+
+/// First Fit Decreasing: a valid upper bound on the optimal bin count.
+[[nodiscard]] std::size_t ffd_bin_count(std::span<const double> sizes,
+                                        const BinPackingOptions& options = {});
+
+/// ceil(total size / capacity) — the continuous lower bound.
+[[nodiscard]] std::size_t continuous_lower_bound(std::span<const double> sizes,
+                                                 const BinPackingOptions& options = {});
+
+/// Martello–Toth L2 lower bound (dominates the continuous bound).
+[[nodiscard]] std::size_t l2_lower_bound(std::span<const double> sizes,
+                                         const BinPackingOptions& options = {});
+
+struct BinCountResult {
+  std::size_t lower = 0;   ///< proven lower bound
+  std::size_t upper = 0;   ///< achieved by an actual packing
+  bool exact = false;      ///< lower == upper proven within the node budget
+
+  [[nodiscard]] std::size_t bins() const noexcept { return upper; }
+};
+
+/// Minimum number of unit bins for `sizes`. If the search completes within
+/// the node budget, result.exact is true and lower == upper.
+[[nodiscard]] BinCountResult min_bin_count(std::span<const double> sizes,
+                                           const BinPackingOptions& options = {});
+
+}  // namespace mutdbp::opt

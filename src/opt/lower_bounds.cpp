@@ -1,0 +1,62 @@
+#include "opt/lower_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mutdbp::opt {
+
+double prop1_time_space_bound(const ItemList& items) {
+  return items.total_time_space_demand() / items.capacity();
+}
+
+double prop2_span_bound(const ItemList& items) { return items.span(); }
+
+double load_ceiling_bound(const ItemList& items) {
+  if (items.empty()) return 0.0;
+  // Sweep arrivals/departures; load is constant between events.
+  struct Event {
+    Time t;
+    double delta;
+  };
+  std::vector<Event> events;
+  events.reserve(items.size() * 2);
+  for (const auto& item : items) {
+    events.push_back({item.arrival(), item.size});
+    events.push_back({item.departure(), -item.size});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // departures first at equal times
+  });
+
+  double integral = 0.0;
+  double load = 0.0;
+  std::size_t active = 0;
+  Time prev = events.front().t;
+  for (const auto& event : events) {
+    if (event.t > prev) {
+      if (active > 0) {
+        const double bins =
+            std::max(1.0, std::ceil(load / items.capacity() - 1e-9));
+        integral += bins * (event.t - prev);
+      }
+      prev = event.t;
+    }
+    load += event.delta;
+    if (event.delta > 0) {
+      ++active;
+    } else {
+      --active;
+    }
+    if (active == 0) load = 0.0;  // cancel floating-point residue
+  }
+  return integral;
+}
+
+double combined_lower_bound(const ItemList& items) {
+  return std::max({prop1_time_space_bound(items), prop2_span_bound(items),
+                   load_ceiling_bound(items)});
+}
+
+}  // namespace mutdbp::opt

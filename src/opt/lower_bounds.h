@@ -1,0 +1,26 @@
+// Lower bounds on OPT_total(R) (§III.C, Propositions 1 and 2), plus the
+// stronger pointwise bound ∫ max(ceil(load(t)/cap), [load(t)>0]) dt used by
+// large-scale benches where the repacking integral is too expensive.
+#pragma once
+
+#include "core/item_list.h"
+
+namespace mutdbp::opt {
+
+/// Proposition 1: OPT_total(R) >= Σ_r s(r)·|I(r)| / capacity
+/// (no bin capacity is ever wasted).
+[[nodiscard]] double prop1_time_space_bound(const ItemList& items);
+
+/// Proposition 2: OPT_total(R) >= span(R)
+/// (at least one bin is in use whenever an item is active).
+[[nodiscard]] double prop2_span_bound(const ItemList& items);
+
+/// ∫ max(ceil(load(t)/capacity), 1{load(t)>0}) dt. Pointwise
+/// OPT(R,t) >= ceil(load(t)/cap) and OPT(R,t) >= 1 when anything is active,
+/// so this dominates both propositions.
+[[nodiscard]] double load_ceiling_bound(const ItemList& items);
+
+/// max of the three bounds above.
+[[nodiscard]] double combined_lower_bound(const ItemList& items);
+
+}  // namespace mutdbp::opt

@@ -1,0 +1,69 @@
+#include "opt/opt_integral.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mutdbp::opt {
+
+OptIntegral opt_total(const ItemList& items, const OptIntegralOptions& options) {
+  OptIntegral result;
+  if (items.empty()) return result;
+
+  const auto times = items.event_times();
+  // Items sorted by arrival; a sweep keeps the active set incrementally.
+  const auto sorted = items.sorted_by_arrival();
+
+  BinPackingOptions bp;
+  bp.capacity = items.capacity();
+  bp.fit_epsilon = options.fit_epsilon;
+  bp.max_nodes = options.max_nodes_per_segment;
+
+  std::size_t next_arrival = 0;
+  // Active items as (departure, size), kept as a vector we compact lazily.
+  std::vector<std::pair<Time, double>> active;
+  std::vector<double> sizes;
+
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    const Time segment_start = times[i];
+    const Time segment_end = times[i + 1];
+    // Departures at segment_start leave before the segment (half-open).
+    std::erase_if(active, [&](const auto& entry) { return entry.first <= segment_start; });
+    while (next_arrival < sorted.size() && sorted[next_arrival].arrival() <= segment_start) {
+      const Item& item = sorted[next_arrival++];
+      if (item.departure() > segment_start) {
+        active.emplace_back(item.departure(), item.size);
+      }
+    }
+    const Time len = segment_end - segment_start;
+    if (active.empty() || len <= 0.0) continue;
+    ++result.segments;
+    result.max_active_items = std::max(result.max_active_items, active.size());
+
+    sizes.clear();
+    for (const auto& [departure, size] : active) sizes.push_back(size);
+
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    if (active.size() <= options.exact_item_limit) {
+      const BinCountResult count = min_bin_count(sizes, bp);
+      lo = count.lower;
+      hi = count.upper;
+      if (!count.exact) {
+        result.exact = false;
+        ++result.inexact_segments;
+      }
+    } else {
+      lo = std::max(l2_lower_bound(sizes, bp), std::size_t{1});
+      hi = ffd_bin_count(sizes, bp);
+      if (lo != hi) {
+        result.exact = false;
+        ++result.inexact_segments;
+      }
+    }
+    result.lower += static_cast<double>(lo) * len;
+    result.upper += static_cast<double>(hi) * len;
+  }
+  return result;
+}
+
+}  // namespace mutdbp::opt

@@ -1,0 +1,38 @@
+// OPT_total(R) = ∫ OPT(R, t) dt over the packing period (§III.C): the cost
+// of an optimal offline adversary that may repack everything at any time.
+// The active item set is constant between consecutive event times, so the
+// integral is a finite sum of (segment length) × (bin-packing optimum).
+#pragma once
+
+#include <cstddef>
+
+#include "core/item_list.h"
+#include "opt/bin_packing.h"
+
+namespace mutdbp::opt {
+
+struct OptIntegralOptions {
+  /// Segments with more active items than this are bracketed with
+  /// [max(L2, ceil), FFD] instead of solved exactly.
+  std::size_t exact_item_limit = 28;
+  /// Branch-and-bound node budget per segment.
+  std::size_t max_nodes_per_segment = 500'000;
+  double fit_epsilon = 1e-9;
+};
+
+struct OptIntegral {
+  double lower = 0.0;  ///< proven lower bound on OPT_total
+  double upper = 0.0;  ///< achievable by a concrete repacking schedule
+  bool exact = true;   ///< lower == upper (every segment solved exactly)
+  std::size_t segments = 0;
+  std::size_t inexact_segments = 0;
+  std::size_t max_active_items = 0;
+
+  /// Midpoint, for reporting when exact.
+  [[nodiscard]] double value() const noexcept { return (lower + upper) / 2.0; }
+};
+
+[[nodiscard]] OptIntegral opt_total(const ItemList& items,
+                                    const OptIntegralOptions& options = {});
+
+}  // namespace mutdbp::opt

@@ -1,0 +1,95 @@
+#include "util/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mutdbp {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_numeric_field(const std::string& s) {
+  if (s.empty()) return false;
+  double value = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    const std::string_view piece = (comma == std::string_view::npos)
+                                       ? line.substr(start)
+                                       : line.substr(start, comma - start);
+    fields.emplace_back(trim(piece));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return fields;
+}
+
+CsvDocument read_csv(std::istream& in) {
+  CsvDocument doc;
+  std::string line;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto fields = split_csv_line(trimmed);
+    if (first_data_line) {
+      first_data_line = false;
+      bool any_non_numeric = false;
+      for (const auto& f : fields) {
+        if (!is_numeric_field(f)) {
+          any_non_numeric = true;
+          break;
+        }
+      }
+      if (any_non_numeric) {
+        doc.header = std::move(fields);
+        continue;
+      }
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  return doc;
+}
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    out << cells[i];
+  }
+  out << '\n';
+}
+
+double parse_double(const std::string& field, std::string_view context) {
+  double value = 0.0;
+  const auto* begin = field.data();
+  const auto* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument("failed to parse number '" + field + "' in " +
+                                std::string(context));
+  }
+  return value;
+}
+
+}  // namespace mutdbp

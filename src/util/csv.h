@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing for item traces and bench outputs.
+// Supports comments (#...), blank lines, and unquoted fields only — traces
+// are purely numeric so quoting is unnecessary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp {
+
+/// Splits one CSV line on commas and trims surrounding whitespace.
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Reads all data rows (skipping blanks and '#' comments). If the first
+/// non-comment row contains any non-numeric field it is treated as a header
+/// and returned separately.
+struct CsvDocument {
+  std::vector<std::string> header;              // empty if none detected
+  std::vector<std::vector<std::string>> rows;
+};
+
+[[nodiscard]] CsvDocument read_csv(std::istream& in);
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& cells);
+
+/// Parses a double, throwing std::invalid_argument with context on failure.
+[[nodiscard]] double parse_double(const std::string& field, std::string_view context);
+
+}  // namespace mutdbp

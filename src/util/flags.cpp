@@ -1,0 +1,107 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace mutdbp {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument("unexpected positional argument: " + std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    values_[name] = value;
+    order_.push_back(name);
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Flags::get_double(const std::string& name, double fallback, const std::string& help) {
+  registered_.emplace_back(name, help);
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": expected number, got '" + *v + "'");
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback,
+                            const std::string& help) {
+  registered_.emplace_back(name, help);
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": expected integer, got '" + *v + "'");
+  }
+}
+
+std::string Flags::get_string(const std::string& name, std::string fallback,
+                              const std::string& help) {
+  registered_.emplace_back(name, help);
+  const auto v = raw(name);
+  return v ? *v : std::move(fallback);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback, const std::string& help) {
+  registered_.emplace_back(name, help);
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": expected boolean, got '" + *v + "'");
+}
+
+bool Flags::finish(const std::string& program_description) {
+  if (help_requested_) {
+    std::printf("%s\n\nFlags:\n", program_description.c_str());
+    for (const auto& [name, help] : registered_) {
+      std::printf("  --%-20s %s\n", name.c_str(), help.c_str());
+    }
+    return true;
+  }
+  for (const auto& name : order_) {
+    bool known = false;
+    for (const auto& [reg, help] : registered_) {
+      (void)help;
+      if (reg == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::invalid_argument("unknown flag --" + name);
+  }
+  return false;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for examples and bench binaries.
+// Supports --name=value and --name value; unknown flags are an error so
+// typos in experiment parameters cannot silently produce wrong sweeps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mutdbp {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Registers a flag (for --help and unknown-flag checking) and returns its
+  /// value, or `fallback` if absent.
+  [[nodiscard]] double get_double(const std::string& name, double fallback,
+                                  const std::string& help = "");
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback,
+                                     const std::string& help = "");
+  [[nodiscard]] std::string get_string(const std::string& name, std::string fallback,
+                                       const std::string& help = "");
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback,
+                              const std::string& help = "");
+
+  /// Call after all get_* registrations: prints help / rejects unknown flags.
+  /// Returns true if the program should exit (because --help was given).
+  [[nodiscard]] bool finish(const std::string& program_description);
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;                      // seen on command line
+  std::vector<std::pair<std::string, std::string>> registered_;  // name, help
+  bool help_requested_ = false;
+};
+
+}  // namespace mutdbp

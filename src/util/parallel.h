@@ -1,0 +1,54 @@
+// Thread-based parallel_for for embarrassingly parallel sweeps (seed sweeps,
+// µ sweeps). Static block partitioning: tasks in our benches are uniform, so
+// dynamic scheduling would only add synchronization cost.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mutdbp {
+
+[[nodiscard]] inline std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for i in [begin, end) across up to `threads` threads.
+/// The first exception thrown by any task is rethrown on the caller.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t threads = default_thread_count()) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  threads = std::min(threads == 0 ? std::size_t{1} : threads, n);
+  if (threads == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (n + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t lo = begin + t * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,141 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// Standard-library distributions are implementation-defined, which would make
+// workloads (and therefore every measured competitive ratio) differ between
+// standard libraries. We implement xoshiro256** seeded via SplitMix64 and
+// derive all distributions from it with fixed algorithms, so a (spec, seed)
+// pair names exactly one workload everywhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+
+namespace mutdbp {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded through SplitMix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1): 53 random mantissa bits.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    if (lo > hi) throw std::invalid_argument("uniform_u64: lo > hi");
+    const std::uint64_t range = hi - lo;
+    if (range == max()) return next_u64();
+    const std::uint64_t bound = range + 1;
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % bound;
+  }
+
+  std::size_t index(std::size_t size) {
+    if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<std::size_t>(uniform_u64(0, size - 1));
+  }
+
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate) {
+    if (rate <= 0) throw std::invalid_argument("exponential: rate must be > 0");
+    // 1 - U in (0, 1], so the log argument is never zero.
+    return -std::log(1.0 - next_double()) / rate;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = 1.0 - next_double();  // (0, 1]
+    const double u2 = next_double();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double lognormal(double log_mean, double log_stddev) {
+    return std::exp(normal(log_mean, log_stddev));
+  }
+
+  /// Bounded Pareto on [lo, hi] with shape alpha.
+  double bounded_pareto(double alpha, double lo, double hi) {
+    if (!(alpha > 0) || !(lo > 0) || !(hi > lo)) {
+      throw std::invalid_argument("bounded_pareto: need alpha>0, 0<lo<hi");
+    }
+    const double u = next_double();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  /// Derive an independent child generator (for per-task streams).
+  Rng split() noexcept { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mutdbp

@@ -1,0 +1,40 @@
+// Aligned console tables: every bench binary prints its paper-style rows
+// through this, so outputs are uniform and machine-greppable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mutdbp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule; numeric-looking cells are right-aligned.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (cells containing commas or quotes are
+  /// double-quoted), for downstream plotting.
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Formats a double with `digits` significant decimal places.
+  [[nodiscard]] static std::string num(double value, int digits = 4);
+  [[nodiscard]] static std::string num(std::size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace mutdbp

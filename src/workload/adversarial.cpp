@@ -1,0 +1,83 @@
+#include "workload/adversarial.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mutdbp::workload {
+
+AdversarialInstance next_fit_lower_bound_instance(std::size_t n, double mu) {
+  if (n < 3) throw std::invalid_argument("next_fit_lower_bound_instance: n >= 3");
+  if (mu < 1.0) throw std::invalid_argument("next_fit_lower_bound_instance: mu >= 1");
+
+  std::vector<Item> items;
+  items.reserve(2 * n);
+  const double small = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Pair i arrives in sequence at time 0 (ids define the arrival order).
+    items.push_back(make_item(2 * i, 0.5, 0.0, 1.0));        // departs at 1
+    items.push_back(make_item(2 * i + 1, small, 0.0, mu));   // departs at µ
+  }
+
+  AdversarialInstance instance{ItemList(std::move(items))};
+  instance.predicted_algorithm_cost = static_cast<double>(n) * mu;
+  instance.predicted_opt_cost =
+      std::ceil(static_cast<double>(n) / 2.0) + mu;
+  return instance;
+}
+
+AdversarialInstance any_fit_pinning_instance(std::size_t n, double mu) {
+  if (n < 1 || n > 48) {
+    throw std::invalid_argument("any_fit_pinning_instance: 1 <= n <= 48");
+  }
+  if (mu < 1.0) throw std::invalid_argument("any_fit_pinning_instance: mu >= 1");
+
+  std::vector<Item> items;
+  items.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double gap = std::ldexp(1.0, -static_cast<int>(i) - 2);  // 2^-(i+2)
+    items.push_back(make_item(2 * i, 1.0 - gap, 0.0, 1.0));  // big_i, duration 1
+    items.push_back(make_item(2 * i + 1, gap, 0.0, mu));     // pin_i, duration µ
+  }
+
+  AdversarialInstance instance{ItemList(std::move(items))};
+  instance.predicted_algorithm_cost = static_cast<double>(n) * mu;
+  instance.predicted_opt_cost = static_cast<double>(n) + mu;
+  instance.recommended_fit_epsilon = 0.0;  // dyadic sizes, gaps below 1e-9
+  return instance;
+}
+
+AdversarialInstance best_fit_decoy_instance(std::size_t rounds, double mu) {
+  if (rounds < 1 || rounds > 44) {
+    throw std::invalid_argument("best_fit_decoy_instance: 1 <= rounds <= 44");
+  }
+  const double last_pin_arrival = 1.5 * static_cast<double>(rounds - 1) + 0.5;
+  if (!(last_pin_arrival < mu)) {
+    throw std::invalid_argument(
+        "best_fit_decoy_instance: need 1.5*(rounds-1) + 0.5 < mu so every pin "
+        "arrives while the collector anchor is alive");
+  }
+
+  std::vector<Item> items;
+  items.reserve(1 + 2 * rounds);
+  items.push_back(make_item(0, 0.125, 0.0, mu));  // collector anchor
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double t = 1.5 * static_cast<double>(i);
+    const double gap = std::ldexp(1.0, -static_cast<int>(i) - 4);  // 2^-(i+4)
+    items.push_back(make_item(1 + 2 * i, 1.0 - gap, t, t + 1.0));     // bait_i
+    items.push_back(make_item(2 + 2 * i, gap, t + 0.5, t + 0.5 + mu));  // pin_i
+  }
+
+  AdversarialInstance instance{ItemList(std::move(items))};
+  const auto k = static_cast<double>(rounds);
+  // Best Fit strands every pin with its bait: collector open [0, µ), each
+  // bait bin open [t_i, t_i + 0.5 + µ).
+  instance.predicted_algorithm_cost = mu + k * (mu + 0.5);
+  // First Fit's packing (pins join the collector, bait bins live 1 each) is
+  // a concrete offline-feasible packing, hence an upper bound on OPT.
+  instance.predicted_opt_cost = (last_pin_arrival + mu) + k;
+  instance.recommended_fit_epsilon = 0.0;  // dyadic sizes
+  return instance;
+}
+
+}  // namespace mutdbp::workload

@@ -1,0 +1,59 @@
+// Adversarial instance families from the paper and its companion
+// literature, each returned together with its closed-form predictions so
+// benches and tests can check the simulated costs exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "core/item_list.h"
+
+namespace mutdbp::workload {
+
+/// An instance plus the closed-form costs the construction guarantees.
+struct AdversarialInstance {
+  ItemList items;
+  double predicted_algorithm_cost = 0.0;  ///< cost of the targeted algorithm
+  double predicted_opt_cost = 0.0;        ///< cost of the described offline packing
+  /// Set when all sizes are dyadic rationals and the discriminating gaps are
+  /// below the default fit epsilon, in which case run with fit_epsilon = 0.
+  double recommended_fit_epsilon = 1e-9;
+
+  [[nodiscard]] double predicted_ratio() const noexcept {
+    return predicted_algorithm_cost / predicted_opt_cost;
+  }
+};
+
+/// Section VIII construction (Next Fit lower bound). n >= 3 pairs arrive in
+/// sequence at time 0; pair = (size 1/2, size 1/n). The size-1/2 items
+/// depart at time 1, the size-1/n items at time µ. Next Fit opens one bin
+/// per pair (cost nµ); the optimal packing uses ceil(n/2) bins for the
+/// size-1/2 items plus one bin for all size-1/n items (cost n/2 + µ).
+/// Ratio nµ/(n/2 + µ) -> 2µ as n -> ∞.
+[[nodiscard]] AdversarialInstance next_fit_lower_bound_instance(std::size_t n, double mu);
+
+/// The pinning family realizing the Ω(µ) lower bound against every Any Fit
+/// algorithm (and in particular First Fit — showing Theorem 1's µ term is
+/// real). Interleaved at time 0: big_i of size 1 - 2^-(i+2) (duration 1)
+/// and pin_i of size 2^-(i+2) (duration µ). pin_i fits only big_i's bin
+/// (every earlier bin is exactly full), so any Any Fit algorithm keeps all
+/// n bins open until µ: cost nµ. The optimal packing uses one bin per big
+/// item for time 1 and a single bin for all pins: cost n + µ.
+/// Ratio nµ/(n + µ) -> µ. Sizes are dyadic: run with fit_epsilon 0.
+/// Requires n <= 48 so the discriminating gaps stay well above 2^-52.
+[[nodiscard]] AdversarialInstance any_fit_pinning_instance(std::size_t n, double mu);
+
+/// A decoy family separating Best Fit from First Fit (the paper states Best
+/// Fit's ratio is unbounded for any µ; this family drives Best Fit to Θ(µ)
+/// while First Fit stays O(1) on the very same instance). A collector bin
+/// holds an anchor of size 1/8 for the whole horizon. Round i (at time
+/// 1.5·i) brings bait_i of size 1 - 2^-(i+4) (duration 1, fits in no open
+/// bin) and then pin_i of size 2^-(i+4) (duration µ). The pin fits both the
+/// collector and the bait's bin; Best Fit picks the fuller bait bin and
+/// strands the pin there for µ, First Fit picks the earlier collector.
+/// predicted_algorithm_cost is the Best Fit cost; predicted_opt_cost is the
+/// cost of the packing that mirrors First Fit's behaviour.
+/// Requires rounds <= 44 (dyadic sizes; run with fit_epsilon 0) and
+/// mu > 2.5 (the pin must outlive its round).
+[[nodiscard]] AdversarialInstance best_fit_decoy_instance(std::size_t rounds, double mu);
+
+}  // namespace mutdbp::workload

@@ -1,0 +1,65 @@
+#include "workload/cluster.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mutdbp::workload {
+
+ItemList generate_cluster(const ClusterWorkloadSpec& spec) {
+  if (spec.vm_sizes.empty() || spec.vm_sizes.size() != spec.vm_size_weights.size()) {
+    throw std::invalid_argument("generate_cluster: sizes/weights mismatch");
+  }
+  for (const double s : spec.vm_sizes) {
+    if (!(s > 0.0) || s > 1.0) {
+      throw std::invalid_argument("generate_cluster: vm sizes must be in (0, 1]");
+    }
+  }
+  if (!(spec.min_lifetime > 0.0) || spec.min_lifetime >= spec.max_lifetime) {
+    throw std::invalid_argument("generate_cluster: bad lifetime range");
+  }
+  if (spec.burst_probability < 0.0 || spec.burst_probability > 1.0) {
+    throw std::invalid_argument("generate_cluster: burst_probability in [0, 1]");
+  }
+
+  double total_weight = 0.0;
+  for (const double w : spec.vm_size_weights) {
+    if (w < 0.0) throw std::invalid_argument("generate_cluster: negative weight");
+    total_weight += w;
+  }
+  if (!(total_weight > 0.0)) {
+    throw std::invalid_argument("generate_cluster: all weights are zero");
+  }
+
+  Rng rng(spec.seed);
+  auto draw_size = [&] {
+    const double u = rng.next_double() * total_weight;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < spec.vm_sizes.size(); ++i) {
+      acc += spec.vm_size_weights[i];
+      if (u < acc) return spec.vm_sizes[i];
+    }
+    return spec.vm_sizes.back();
+  };
+
+  std::vector<Item> vms;
+  vms.reserve(spec.num_vms);
+  double clock = 0.0;
+  std::size_t burst_remaining = 0;
+  for (ItemId id = 0; id < spec.num_vms; ++id) {
+    if (burst_remaining > 0) {
+      --burst_remaining;  // burst members share the arrival instant
+    } else {
+      clock += rng.exponential(spec.base_rate_per_hour);
+      if (rng.bernoulli(spec.burst_probability)) {
+        burst_remaining = spec.burst_size > 0 ? spec.burst_size - 1 : 0;
+      }
+    }
+    const double lifetime =
+        rng.bounded_pareto(spec.pareto_shape, spec.min_lifetime, spec.max_lifetime);
+    vms.push_back(make_item(id, draw_size(), clock, clock + lifetime));
+  }
+  return ItemList(std::move(vms));
+}
+
+}  // namespace mutdbp::workload

@@ -1,0 +1,41 @@
+// Synthetic VM-cluster workload, standing in for production cloud traces
+// (which are not available offline). Shapes mirror what published cluster
+// traces consistently show:
+//   * discrete VM sizes at binary fractions of a server (1/8 ... 1),
+//     smaller sizes far more common,
+//   * heavy-tailed lifetimes (bounded Pareto): most VMs are short, a fat
+//     tail runs orders of magnitude longer — exactly the high-µ regime the
+//     paper's analysis targets,
+//   * bursty arrivals: a Poisson base with occasional batch spikes
+//     (deployments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/item_list.h"
+
+namespace mutdbp::workload {
+
+struct ClusterWorkloadSpec {
+  std::size_t num_vms = 5000;
+  std::uint64_t seed = 11;
+
+  /// VM size catalogue (fraction of a server) and relative frequencies.
+  std::vector<double> vm_sizes{0.125, 0.25, 0.5, 1.0};
+  std::vector<double> vm_size_weights{8.0, 4.0, 2.0, 1.0};
+
+  /// Lifetime: bounded Pareto(shape) on [min_lifetime, max_lifetime] hours.
+  double pareto_shape = 1.1;
+  double min_lifetime = 0.25;
+  double max_lifetime = 168.0;  ///< one week; µ = max/min = 672 by default
+
+  /// Arrivals: Poisson base rate plus deployment bursts.
+  double base_rate_per_hour = 40.0;
+  double burst_probability = 0.02;  ///< per arrival: start a batch burst
+  std::size_t burst_size = 25;
+};
+
+[[nodiscard]] ItemList generate_cluster(const ClusterWorkloadSpec& spec);
+
+}  // namespace mutdbp::workload

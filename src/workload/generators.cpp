@@ -1,0 +1,89 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mutdbp::workload {
+namespace {
+
+double draw_size(const RandomWorkloadSpec& spec, Rng& rng) {
+  switch (spec.size_dist) {
+    case SizeDistribution::kUniform:
+      return rng.uniform(spec.size_min, spec.size_max);
+    case SizeDistribution::kConstant:
+      return spec.size_min;
+    case SizeDistribution::kBimodal:
+      return rng.bernoulli(0.5) ? rng.uniform(spec.size_min, std::min(0.3, spec.size_max))
+                                : rng.uniform(std::max(0.5, spec.size_min), spec.size_max);
+    case SizeDistribution::kDiscrete:
+      if (spec.size_choices.empty()) {
+        throw std::invalid_argument("kDiscrete requires non-empty size_choices");
+      }
+      return spec.size_choices[rng.index(spec.size_choices.size())];
+    case SizeDistribution::kBoundedPareto:
+      return rng.bounded_pareto(spec.pareto_alpha, spec.size_min, spec.size_max);
+  }
+  throw std::logic_error("unknown size distribution");
+}
+
+double draw_duration(const RandomWorkloadSpec& spec, Rng& rng) {
+  const double lo = spec.duration_min;
+  const double hi = spec.duration_max;
+  switch (spec.duration_dist) {
+    case DurationDistribution::kUniform:
+      return rng.uniform(lo, hi);
+    case DurationDistribution::kBimodal:
+      return rng.bernoulli(0.5) ? lo : hi;
+    case DurationDistribution::kLogNormalClipped: {
+      // Median at the geometric mean of the range.
+      const double log_mean = 0.5 * (std::log(lo) + std::log(hi));
+      return std::clamp(rng.lognormal(log_mean, spec.lognormal_sigma), lo, hi);
+    }
+    case DurationDistribution::kExponentialClipped:
+      return std::min(lo + rng.exponential(1.0 / std::max(1e-12, (hi - lo) / 3.0)), hi);
+  }
+  throw std::logic_error("unknown duration distribution");
+}
+
+}  // namespace
+
+ItemList generate(const RandomWorkloadSpec& spec) {
+  if (!(spec.size_min > 0.0) || spec.size_max > spec.capacity ||
+      spec.size_min > spec.size_max) {
+    throw std::invalid_argument("generate: need 0 < size_min <= size_max <= capacity");
+  }
+  if (!(spec.duration_min > 0.0) || spec.duration_min > spec.duration_max) {
+    throw std::invalid_argument("generate: need 0 < duration_min <= duration_max");
+  }
+
+  Rng rng(spec.seed);
+  std::vector<Item> items;
+  items.reserve(spec.num_items);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < spec.num_items; ++i) {
+    Time arrival = 0.0;
+    switch (spec.arrivals) {
+      case ArrivalProcess::kPoisson:
+        clock += rng.exponential(spec.arrival_rate);
+        arrival = clock;
+        break;
+      case ArrivalProcess::kUniform:
+        arrival = rng.uniform(0.0, spec.horizon);
+        break;
+      case ArrivalProcess::kBatched:
+        arrival = std::floor(static_cast<double>(i) /
+                             static_cast<double>(std::max<std::size_t>(1, spec.batch_size))) /
+                  spec.arrival_rate;
+        break;
+    }
+    const double size = draw_size(spec, rng);
+    const double duration = draw_duration(spec, rng);
+    items.push_back(make_item(static_cast<ItemId>(i), size, arrival, arrival + duration));
+  }
+  return ItemList(std::move(items), spec.capacity);
+}
+
+}  // namespace mutdbp::workload

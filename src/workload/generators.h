@@ -1,0 +1,57 @@
+// Random workload generation. A (spec, seed) pair deterministically names a
+// workload on every platform (see util/rng.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/item_list.h"
+
+namespace mutdbp::workload {
+
+enum class ArrivalProcess {
+  kPoisson,   ///< exponential inter-arrival times with rate `arrival_rate`
+  kUniform,   ///< arrivals uniform over [0, horizon)
+  kBatched,   ///< batches of `batch_size` at integer multiples of 1/rate
+};
+
+enum class SizeDistribution {
+  kUniform,       ///< uniform in [size_min, size_max]
+  kConstant,      ///< size_min
+  kBimodal,       ///< small uniform [size_min, 0.3] or large uniform [0.5, size_max]
+  kDiscrete,      ///< uniform over size_choices
+  kBoundedPareto, ///< bounded Pareto(alpha) on [size_min, size_max]
+};
+
+enum class DurationDistribution {
+  kUniform,           ///< uniform in [duration_min, duration_max]
+  kBimodal,           ///< duration_min or duration_max, fifty-fifty
+  kLogNormalClipped,  ///< lognormal clipped into [duration_min, duration_max]
+  kExponentialClipped ///< duration_min + Exp(1), clipped at duration_max
+};
+
+struct RandomWorkloadSpec {
+  std::size_t num_items = 1000;
+  std::uint64_t seed = 1;
+  double capacity = 1.0;
+
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  double arrival_rate = 1.0;  ///< items per unit time (Poisson/Batched)
+  double horizon = 100.0;     ///< kUniform only
+  std::size_t batch_size = 4; ///< kBatched only
+
+  SizeDistribution size_dist = SizeDistribution::kUniform;
+  double size_min = 0.05;
+  double size_max = 1.0;
+  std::vector<double> size_choices;  ///< kDiscrete only
+  double pareto_alpha = 1.5;
+
+  DurationDistribution duration_dist = DurationDistribution::kUniform;
+  double duration_min = 1.0;
+  double duration_max = 4.0;  ///< duration_max / duration_min bounds µ
+  double lognormal_sigma = 0.75;
+};
+
+[[nodiscard]] ItemList generate(const RandomWorkloadSpec& spec);
+
+}  // namespace mutdbp::workload

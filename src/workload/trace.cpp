@@ -1,0 +1,56 @@
+#include "workload/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace mutdbp::workload {
+
+void write_trace(std::ostream& out, const ItemList& items) {
+  out << "id,size,arrival,departure\n";
+  char buf[160];
+  for (const auto& item : items) {
+    // %.17g round-trips doubles exactly.
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%.17g,%.17g,%.17g\n", item.id,
+                  item.size, item.arrival(), item.departure());
+    out << buf;
+  }
+}
+
+void write_trace_file(const std::string& path, const ItemList& items) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(out, items);
+}
+
+ItemList read_trace(std::istream& in, double capacity) {
+  const CsvDocument doc = read_csv(in);
+  std::vector<Item> items;
+  items.reserve(doc.rows.size());
+  std::size_t line = 0;
+  for (const auto& row : doc.rows) {
+    ++line;
+    if (row.size() != 4) {
+      throw std::invalid_argument("trace row " + std::to_string(line) +
+                                  ": expected 4 fields (id,size,arrival,departure)");
+    }
+    const std::string context = "trace row " + std::to_string(line);
+    const auto id = static_cast<ItemId>(parse_double(row[0], context));
+    const double size = parse_double(row[1], context);
+    const double arrival = parse_double(row[2], context);
+    const double departure = parse_double(row[3], context);
+    items.push_back(make_item(id, size, arrival, departure));
+  }
+  return ItemList(std::move(items), capacity);
+}
+
+ItemList read_trace_file(const std::string& path, double capacity) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(in, capacity);
+}
+
+}  // namespace mutdbp::workload

@@ -1,0 +1,20 @@
+// Item trace persistence: CSV with columns id,size,arrival,departure.
+// Lines beginning with '#' are comments; a header row is optional.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/item_list.h"
+
+namespace mutdbp::workload {
+
+/// Writes `items` as CSV (with a header row).
+void write_trace(std::ostream& out, const ItemList& items);
+void write_trace_file(const std::string& path, const ItemList& items);
+
+/// Reads a trace; validates sizes/durations like ItemList does.
+[[nodiscard]] ItemList read_trace(std::istream& in, double capacity = 1.0);
+[[nodiscard]] ItemList read_trace_file(const std::string& path, double capacity = 1.0);
+
+}  // namespace mutdbp::workload

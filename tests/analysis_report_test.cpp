@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/next_fit.h"
+#include "analysis/ascii.h"
+#include "analysis/report.h"
+#include "core/simulation.h"
+#include "opt/lower_bounds.h"
+#include "workload/generators.h"
+
+namespace mutdbp::analysis {
+namespace {
+
+ItemList small_items() {
+  return ItemList({make_item(1, 0.6, 0.0, 4.0), make_item(2, 0.5, 1.0, 3.0),
+                   make_item(3, 0.4, 2.0, 5.0)});
+}
+
+TEST(Evaluate, FieldsMatchDirectComputation) {
+  const ItemList items = small_items();
+  FirstFit ff;
+  const Evaluation eval = evaluate(items, ff);
+
+  FirstFit ff2;
+  const PackingResult direct = simulate(items, ff2);
+  EXPECT_EQ(eval.algorithm, "FirstFit");
+  EXPECT_DOUBLE_EQ(eval.total_usage, direct.total_usage_time());
+  EXPECT_EQ(eval.bins_opened, direct.bins_opened());
+  EXPECT_EQ(eval.max_concurrent, direct.max_concurrent_bins());
+  EXPECT_DOUBLE_EQ(eval.mu, items.mu());
+  EXPECT_DOUBLE_EQ(eval.opt_lower, opt::combined_lower_bound(items));
+  EXPECT_DOUBLE_EQ(eval.opt_upper, direct.total_usage_time());
+}
+
+TEST(Evaluate, ExactOptTightensBounds) {
+  const ItemList items = small_items();
+  FirstFit ff;
+  EvalOptions options;
+  options.exact_opt = true;
+  const Evaluation eval = evaluate(items, ff);
+  const Evaluation exact = evaluate(items, ff, options);
+  EXPECT_GE(exact.opt_lower + 1e-12, eval.opt_lower);
+  EXPECT_LE(exact.opt_upper, eval.opt_upper + 1e-12);
+  EXPECT_LE(exact.ratio_lower_estimate(), exact.ratio_upper_estimate() + 1e-12);
+}
+
+TEST(Evaluate, RatioEstimatesBracketTruth) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 50;
+  spec.seed = 21;
+  const ItemList items = workload::generate(spec);
+  NextFit nf;
+  EvalOptions options;
+  options.exact_opt = true;
+  const Evaluation eval = evaluate(items, nf, options);
+  EXPECT_GE(eval.ratio_upper_estimate() + 1e-12, eval.ratio_lower_estimate());
+  EXPECT_GE(eval.ratio_lower_estimate(), 1.0 - 1e-9);  // nobody beats OPT
+}
+
+TEST(Ascii, RenderBinsShowsEveryBin) {
+  const ItemList items = small_items();
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const std::string text = render_bins(items, result);
+  for (std::size_t k = 1; k <= result.bins_opened(); ++k) {
+    EXPECT_NE(text.find("b" + std::to_string(k)), std::string::npos);
+  }
+  EXPECT_NE(text.find('['), std::string::npos);
+  EXPECT_NE(text.find(')'), std::string::npos);
+  EXPECT_NE(text.find("level"), std::string::npos);
+}
+
+TEST(Ascii, RenderBinsWithoutLevels) {
+  const ItemList items = small_items();
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  RenderOptions options;
+  options.show_levels = false;
+  const std::string text = render_bins(items, result, options);
+  EXPECT_EQ(text.find("level"), std::string::npos);
+}
+
+TEST(Ascii, UsageSplitMarksVAndW) {
+  // One bin fully inside another: the inner bin is all 'v', the outer 'w'.
+  const ItemList items({make_item(1, 0.9, 0.0, 10.0), make_item(2, 0.9, 2.0, 4.0)});
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const std::string text = render_usage_split(items, result);
+  EXPECT_NE(text.find('v'), std::string::npos);
+  EXPECT_NE(text.find('w'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mutdbp::analysis

@@ -1,0 +1,212 @@
+#include "analysis/subperiods.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "core/simulation.h"
+#include "test_support.h"
+
+namespace mutdbp::analysis {
+namespace {
+
+// Scenario B: bin 0 holds a large long item; bin 1 holds a medium item plus
+// small visitors. Durations: min 2, max 10 -> µ = 5, window = 10.
+ItemList scenario_b() {
+  return ItemList({
+      make_item(1, 0.8, 0.0, 10.0),  // bin 0 (large)
+      make_item(2, 0.5, 0.0, 10.0),  // bin 1 (large: threshold is strict <)
+      make_item(3, 0.3, 1.0, 3.0),   // small -> bin 1
+      make_item(4, 0.3, 4.0, 6.0),   // small -> bin 1
+  });
+}
+
+TEST(Subperiods, ScenarioBStructure) {
+  FirstFit ff;
+  const ItemList items = scenario_b();
+  const PackingResult result = simulate(items, ff);
+  ASSERT_EQ(result.bins_opened(), 2u);
+  ASSERT_EQ(result.bin_of(3), 1u);
+  ASSERT_EQ(result.bin_of(4), 1u);
+
+  const SubperiodAnalysis analysis(items, result);
+  EXPECT_DOUBLE_EQ(analysis.window(), 10.0);       // max duration
+  EXPECT_DOUBLE_EQ(analysis.small_threshold_abs(), 0.5);
+
+  const auto& per_bin = analysis.per_bin();
+  ASSERT_EQ(per_bin.size(), 2u);
+  // Bin 0 has V_0 empty: no subperiods at all.
+  EXPECT_TRUE(per_bin[0].subperiods.empty());
+
+  // Bin 1: V_1 = [0,10). First small arrival at t=1 triggers termination
+  // condition (i) immediately (1 >= 10 - 10): selected = {item 3}.
+  const auto& bin1 = per_bin[1];
+  ASSERT_EQ(bin1.selected.size(), 1u);
+  EXPECT_EQ(bin1.selected[0], 3u);
+  ASSERT_EQ(bin1.subperiods.size(), 2u);
+  EXPECT_EQ(bin1.subperiods[0].kind, SubperiodKind::kHigh);
+  EXPECT_EQ(bin1.subperiods[0].period, (Interval{0.0, 1.0}));
+  EXPECT_EQ(bin1.subperiods[1].kind, SubperiodKind::kLow);
+  EXPECT_EQ(bin1.subperiods[1].period, (Interval{1.0, 10.0}));
+  EXPECT_EQ(bin1.subperiods[1].selected_item, 3u);
+}
+
+// Scripted long-lived two-bin scenario. Bin 0 is a chain of 0.5 items kept
+// alive on [0, 12.5), so E_1 covers all of bin 1's life and V_1 is bin 1's
+// whole usage period [0.5, 9.7). Bin 1 is a chain of LARGE (0.5) items with
+// sliver overlaps near 2.49/4.48/6.47/8.46 plus small (0.1) visitors, which
+// must avoid the overlap slivers (level would exceed 1 there).
+// Max duration 2, min duration 1 -> µ = 2, window = 2.
+struct ScriptedScenario {
+  ItemList items;
+  PackingResult result;
+};
+
+ScriptedScenario long_v_scenario(std::vector<Item> smalls) {
+  std::vector<Item> v;
+  std::unordered_map<ItemId, ItemId> join;
+  // Bin 0 chain: ids 0..7, 0.5 each, [1.5i, 1.5i + 2).
+  for (ItemId i = 0; i <= 7; ++i) {
+    v.push_back(make_item(i, 0.5, 1.5 * static_cast<double>(i),
+                          1.5 * static_cast<double>(i) + 2.0));
+    if (i > 0) join[i] = 0;
+  }
+  // Bin 1 chain: ids 20..24, large 0.5 items with 0.01 overlaps.
+  v.push_back(make_item(20, 0.5, 0.5, 2.5));
+  v.push_back(make_item(21, 0.5, 2.49, 4.49));
+  v.push_back(make_item(22, 0.5, 4.48, 6.48));
+  v.push_back(make_item(23, 0.5, 6.47, 8.47));
+  v.push_back(make_item(24, 0.5, 8.46, 9.7));
+  for (ItemId i = 21; i <= 24; ++i) join[i] = 20;
+  for (const auto& s : smalls) {
+    v.push_back(s);
+    join[s.id] = 20;  // all smalls live in bin 1
+  }
+  ItemList items(std::move(v));
+  mutdbp::testing::ScriptedPlacement scripted(std::move(join));
+  PackingResult result = simulate(items, scripted);
+  return {std::move(items), std::move(result)};
+}
+
+TEST(Subperiods, SelectionPicksLastSmallInsideWindow) {
+  // Bin 1 smalls (size 0.1) arrive at 1.0, 1.3, 2.55, 5.0. Window after
+  // t=1.0: (1,3] -> last is 2.55 (not 1.3); window after 2.55: (2.55,4.55]
+  // -> empty -> first small beyond: 5.0; 5.0 is the last small, so stop.
+  auto scenario = long_v_scenario({
+      make_item(100, 0.1, 1.0, 2.0),
+      make_item(101, 0.1, 1.3, 2.3),
+      make_item(102, 0.1, 2.55, 3.55),
+      make_item(103, 0.1, 5.0, 6.0),
+  });
+  ASSERT_DOUBLE_EQ(scenario.items.mu(), 2.0);
+  const SubperiodAnalysis analysis(scenario.items, scenario.result);
+  ASSERT_DOUBLE_EQ(analysis.window(), 2.0);
+  const auto& bin1 = analysis.per_bin()[1];
+  // V_1 is the whole of bin 1's usage [0.5, 9.7) (E_1 = bin 0 close = 12.5).
+  EXPECT_EQ(bin1.v, (Interval{0.5, 9.7}));
+  ASSERT_EQ(bin1.selected.size(), 3u);
+  EXPECT_EQ(bin1.selected[0], 100u);
+  EXPECT_EQ(bin1.selected[1], 102u);  // last inside (1, 3], not 101
+  EXPECT_EQ(bin1.selected[2], 103u);
+}
+
+TEST(Subperiods, NoSmallItemsMeansOneHighSubperiod) {
+  const ItemList items({make_item(1, 0.9, 0.0, 4.0),    // bin 0
+                        make_item(2, 0.9, 1.0, 3.0)});  // bin 1, V=[1,3)
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const SubperiodAnalysis analysis(items, result);
+  const auto& bin1 = analysis.per_bin()[1];
+  ASSERT_EQ(bin1.subperiods.size(), 1u);
+  EXPECT_EQ(bin1.subperiods[0].kind, SubperiodKind::kHigh);
+  EXPECT_EQ(bin1.subperiods[0].period, (Interval{1.0, 3.0}));
+}
+
+TEST(Subperiods, PeriodLongerThanWindowSplitsIntoLAndH) {
+  // One small item at t=0.6 and nothing after it: x_1 = [0.6, 9.7) is far
+  // longer than the window (2), so it splits into l [0.6, 2.6) + h.
+  auto scenario = long_v_scenario({make_item(100, 0.1, 0.6, 1.6)});
+  const SubperiodAnalysis analysis(scenario.items, scenario.result);
+  const auto& bin1 = analysis.per_bin()[1];
+  ASSERT_EQ(bin1.subperiods.size(), 3u);
+  EXPECT_EQ(bin1.subperiods[0].kind, SubperiodKind::kHigh);
+  EXPECT_EQ(bin1.subperiods[0].period, (Interval{0.5, 0.6}));
+  EXPECT_EQ(bin1.subperiods[1].kind, SubperiodKind::kLow);
+  EXPECT_DOUBLE_EQ(bin1.subperiods[1].period.left, 0.6);
+  EXPECT_NEAR(bin1.subperiods[1].period.right, 2.6, 1e-12);  // 0.6 + window
+  EXPECT_EQ(bin1.subperiods[1].selected_item, 100u);
+  EXPECT_EQ(bin1.subperiods[2].kind, SubperiodKind::kHigh);
+  EXPECT_NEAR(bin1.subperiods[2].period.left, 2.6, 1e-12);
+  EXPECT_DOUBLE_EQ(bin1.subperiods[2].period.right, 9.7);
+}
+
+TEST(Subperiods, Proposition6NoSmallItemInHighSubperiods) {
+  auto scenario = long_v_scenario({
+      make_item(100, 0.1, 0.6, 1.6),
+      make_item(101, 0.1, 1.1, 2.4),
+      make_item(102, 0.1, 6.6, 7.6),
+  });
+  const SubperiodAnalysis analysis(scenario.items, scenario.result);
+  const double small_abs = analysis.small_threshold_abs();
+  for (const auto& sp : analysis.all_h_subperiods()) {
+    const auto& record = scenario.result.bins()[sp.bin];
+    for (const auto& placed : record.items) {
+      if (placed.size < small_abs) {
+        EXPECT_FALSE(placed.active.overlaps(sp.period))
+            << "small item " << placed.item << " active during h-subperiod "
+            << to_string(sp.period);
+      }
+    }
+    // Therefore the bin level is at least 1/2 throughout (Prop 6).
+    EXPECT_GE(record.timeline.min_over(sp.period), 0.5 - 1e-9);
+  }
+}
+
+TEST(Subperiods, Proposition4SelectedItemAtLeftEndpoint) {
+  FirstFit ff;
+  const ItemList items = scenario_b();
+  const PackingResult result = simulate(items, ff);
+  const SubperiodAnalysis analysis(items, result);
+  for (const auto& sp : analysis.all_l_subperiods()) {
+    EXPECT_GT(sp.selected_size, 0.0);
+    EXPECT_LT(sp.selected_size, analysis.small_threshold_abs());
+  }
+}
+
+TEST(Subperiods, SubperiodsTileEachV) {
+  FirstFit ff;
+  const ItemList items = scenario_b();
+  const PackingResult result = simulate(items, ff);
+  const SubperiodAnalysis analysis(items, result);
+  for (const auto& bin : analysis.per_bin()) {
+    if (bin.v.empty()) continue;
+    Time cursor = bin.v.left;
+    Time covered = 0.0;
+    for (const auto& sp : bin.subperiods) {
+      EXPECT_DOUBLE_EQ(sp.period.left, cursor);
+      cursor = sp.period.right;
+      covered += sp.period.length();
+    }
+    EXPECT_DOUBLE_EQ(cursor, bin.v.right);
+    EXPECT_NEAR(covered, bin.v.length(), 1e-9);
+  }
+}
+
+TEST(Subperiods, CustomConfigOverridesWindowAndThreshold) {
+  FirstFit ff;
+  const ItemList items = scenario_b();
+  const PackingResult result = simulate(items, ff);
+  SubperiodConfig config;
+  config.small_threshold = 0.25;  // now nothing in bin 1 is small
+  config.window = 3.0;
+  const SubperiodAnalysis analysis(items, result, config);
+  EXPECT_DOUBLE_EQ(analysis.window(), 3.0);
+  const auto& bin1 = analysis.per_bin()[1];
+  ASSERT_EQ(bin1.subperiods.size(), 1u);  // all high: no small items
+  EXPECT_EQ(bin1.subperiods[0].kind, SubperiodKind::kHigh);
+}
+
+}  // namespace
+}  // namespace mutdbp::analysis

@@ -1,0 +1,108 @@
+#include "analysis/usage_periods.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/any_fit.h"
+#include "core/simulation.h"
+
+namespace mutdbp::analysis {
+namespace {
+
+PackingResult pack_first_fit(const ItemList& items) {
+  FirstFit ff;
+  return simulate(items, ff);
+}
+
+TEST(UsagePeriods, ScenarioWithThreeBins) {
+  // Bins: U1=[0,10), U2=[1,3), U3=[3,5) (see core_simulation_test).
+  const ItemList items({make_item(1, 0.6, 0.0, 10.0), make_item(2, 0.5, 1.0, 3.0),
+                        make_item(3, 0.4, 2.0, 4.0), make_item(4, 0.3, 3.0, 5.0)});
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  const auto& bins = decomposition.bins();
+  ASSERT_EQ(bins.size(), 3u);
+
+  // First bin: E_1 = U_1^-, V_1 empty, W_1 = U_1.
+  EXPECT_DOUBLE_EQ(bins[0].e_k, 0.0);
+  EXPECT_TRUE(bins[0].v.empty());
+  EXPECT_EQ(bins[0].w, (Interval{0.0, 10.0}));
+
+  // Second bin opens at 1 and closes at 3, fully before E_2 = 10.
+  EXPECT_DOUBLE_EQ(bins[1].e_k, 10.0);
+  EXPECT_EQ(bins[1].v, (Interval{1.0, 3.0}));
+  EXPECT_TRUE(bins[1].w.empty());
+
+  // Third bin: also entirely inside an earlier bin's usage.
+  EXPECT_DOUBLE_EQ(bins[2].e_k, 10.0);
+  EXPECT_EQ(bins[2].v, (Interval{3.0, 5.0}));
+  EXPECT_TRUE(bins[2].w.empty());
+
+  EXPECT_DOUBLE_EQ(decomposition.total_v(), 4.0);
+  EXPECT_DOUBLE_EQ(decomposition.total_w(), 10.0);
+  EXPECT_DOUBLE_EQ(decomposition.total_usage(), 14.0);
+}
+
+TEST(UsagePeriods, PartialOverlapSplitsUsage) {
+  // Bin 2 opens during bin 1's life but outlives it:
+  // V_2 = [1, 2), W_2 = [2, 5).
+  const ItemList items({make_item(1, 0.9, 0.0, 2.0), make_item(2, 0.9, 1.0, 5.0)});
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  const auto& bins = decomposition.bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[1].v, (Interval{1.0, 2.0}));
+  EXPECT_EQ(bins[1].w, (Interval{2.0, 5.0}));
+}
+
+TEST(UsagePeriods, DisjointBinsAreAllW) {
+  const ItemList items({make_item(1, 0.9, 0.0, 1.0), make_item(2, 0.9, 2.0, 3.0)});
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  EXPECT_TRUE(decomposition.bins()[1].v.empty());
+  EXPECT_EQ(decomposition.bins()[1].w, (Interval{2.0, 3.0}));
+}
+
+TEST(UsagePeriods, EkUsesLatestClosingNotLatestOpened) {
+  // Bin 1 closes late; bin 2 opens and closes early; bin 3 must take E from
+  // bin 1's closing, not bin 2's.
+  const ItemList items({make_item(1, 0.9, 0.0, 10.0),   // bin 0
+                        make_item(2, 0.9, 1.0, 2.0),    // bin 1 [1,2)
+                        make_item(3, 0.9, 3.0, 4.0)});  // bin 2 [3,4)
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  EXPECT_DOUBLE_EQ(decomposition.bins()[2].e_k, 10.0);
+  EXPECT_EQ(decomposition.bins()[2].v, (Interval{3.0, 4.0}));
+}
+
+TEST(UsagePeriods, IdentityEquationOne) {
+  // FF_total = Σ|V_k| + span(R)  (equation (1) of the paper).
+  const ItemList items({make_item(1, 0.6, 0.0, 10.0), make_item(2, 0.5, 1.0, 3.0),
+                        make_item(3, 0.4, 2.0, 4.0), make_item(4, 0.3, 3.0, 5.0),
+                        make_item(5, 0.9, 12.0, 15.0)});
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  EXPECT_NEAR(result.total_usage_time(), decomposition.total_v() + items.span(), 1e-9);
+  EXPECT_NEAR(decomposition.total_w(), items.span(), 1e-9);
+}
+
+TEST(UsagePeriods, WPeriodsAreDisjoint) {
+  const ItemList items({make_item(1, 0.9, 0.0, 4.0), make_item(2, 0.9, 1.0, 6.0),
+                        make_item(3, 0.9, 2.0, 8.0), make_item(4, 0.9, 7.0, 9.0)});
+  const PackingResult result = pack_first_fit(items);
+  const UsagePeriodDecomposition decomposition(result);
+  IntervalSet seen;
+  for (const auto& bin : decomposition.bins()) {
+    if (bin.w.empty()) continue;
+    EXPECT_FALSE(seen.intersects(bin.w)) << "W_k overlap at bin " << bin.index;
+    seen.insert(bin.w);
+  }
+}
+
+TEST(UsagePeriods, EmptyResult) {
+  const UsagePeriodDecomposition decomposition{PackingResult{}};
+  EXPECT_TRUE(decomposition.bins().empty());
+  EXPECT_DOUBLE_EQ(decomposition.total_v(), 0.0);
+}
+
+}  // namespace
+}  // namespace mutdbp::analysis

@@ -1,0 +1,69 @@
+#include "analysis/bounds_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mutdbp::analysis {
+namespace {
+
+TEST(BoundsCatalog, Theorem1IsTheBestFirstFitBound) {
+  // mu+4 beats the superseded 2mu+7 for every mu >= 1.
+  for (const double mu : {1.0, 4.0, 100.0}) {
+    const auto best = best_upper_bound("FirstFit", mu);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(*best, mu + 4.0);
+  }
+}
+
+TEST(BoundsCatalog, NextFitBoundsBracketSectionEight) {
+  const auto upper = best_upper_bound("NextFit", 10.0);
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_DOUBLE_EQ(*upper, 21.0);  // 2mu+1
+  // The Section VIII lower bound 2mu sits below it.
+  bool found_lower = false;
+  for (const auto& bound : bounds_catalog()) {
+    if (bound.algorithm == "NextFit" && bound.kind == BoundKind::kLower) {
+      EXPECT_DOUBLE_EQ(bound.at(10.0), 20.0);
+      EXPECT_LT(bound.at(10.0), *upper);
+      found_lower = true;
+    }
+  }
+  EXPECT_TRUE(found_lower);
+}
+
+TEST(BoundsCatalog, BestFitIsUnbounded) {
+  EXPECT_FALSE(best_upper_bound("BestFit", 5.0).has_value());
+  EXPECT_NE(bound_label("BestFit", 5.0).find("unbounded"), std::string::npos);
+}
+
+TEST(BoundsCatalog, UniversalLowerBoundIsMu) {
+  bool found = false;
+  for (const auto& bound : bounds_catalog()) {
+    if (bound.algorithm == "Any" && bound.kind == BoundKind::kLower) {
+      EXPECT_DOUBLE_EQ(bound.at(7.0), 7.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BoundsCatalog, TheoremOneDominatesUniversalLowerBound) {
+  // Consistency: every upper bound must sit above the universal lower bound.
+  for (const auto& bound : bounds_catalog()) {
+    if (bound.kind != BoundKind::kUpper) continue;
+    for (const double mu : {1.0, 2.0, 16.0}) {
+      EXPECT_GE(bound.at(mu), mu) << bound.source << " at mu=" << mu;
+    }
+  }
+}
+
+TEST(BoundsCatalog, LabelsAreInformative) {
+  EXPECT_NE(bound_label("FirstFit", 4.0).find("8.0"), std::string::npos);
+  EXPECT_NE(bound_label("FirstFit", 4.0).find("Theorem 1"), std::string::npos);
+  // Unknown Any Fit members fall back to the family lower bound.
+  EXPECT_NE(bound_label("WorstFit", 4.0).find(">="), std::string::npos);
+  EXPECT_NE(bound_label("ClassifiedNextFit", 4.0).find("semi-online"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mutdbp::analysis

@@ -1,0 +1,99 @@
+#include "clairvoyant/clairvoyant.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/any_fit.h"
+#include "core/simulation.h"
+#include "opt/opt_integral.h"
+#include "workload/generators.h"
+
+namespace mutdbp::clairvoyant {
+namespace {
+
+TEST(Clairvoyant, FirstFitControlMatchesOnlineFirstFit) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 200;
+  spec.seed = 31;
+  spec.duration_max = 6.0;
+  const ItemList items = workload::generate(spec);
+
+  ClairvoyantFirstFit control;
+  const PackingResult clairvoyant = clairvoyant_simulate(items, control);
+  FirstFit online;
+  const PackingResult online_result = simulate(items, online);
+  EXPECT_DOUBLE_EQ(clairvoyant.total_usage_time(), online_result.total_usage_time());
+  EXPECT_EQ(clairvoyant.bins_opened(), online_result.bins_opened());
+}
+
+TEST(Clairvoyant, AlignedFitPrefersMatchingDeparture) {
+  // Two open bins: bin 0 closes at 10, bin 1 at 3. A new item departing at
+  // 3.2 extends bin 0 by nothing (already open past 3.2) — AlignedFit picks
+  // the bin with zero extension.
+  AlignedFit aligned;
+  const ItemList items({
+      make_item(1, 0.5, 0.0, 10.0),  // bin 0
+      make_item(2, 0.6, 0.5, 3.0),   // bin 1 (0.5+0.6 > 1)
+      make_item(3, 0.3, 1.0, 3.2),   // fits both; extension: b0: 0, b1: 0.2
+  });
+  const PackingResult result = clairvoyant_simulate(items, aligned);
+  EXPECT_EQ(result.bin_of(3), 0u);
+}
+
+TEST(Clairvoyant, AlignedFitMinimizesExtension) {
+  // Both bins need extending; pick the smaller extension.
+  AlignedFit aligned;
+  const ItemList items({
+      make_item(1, 0.5, 0.0, 2.0),  // bin 0 closes at 2
+      make_item(2, 0.6, 0.5, 4.0),  // bin 1 closes at 4
+      make_item(3, 0.3, 1.0, 5.0),  // ext: b0: 3, b1: 1 -> bin 1
+  });
+  const PackingResult result = clairvoyant_simulate(items, aligned);
+  EXPECT_EQ(result.bin_of(3), 1u);
+}
+
+TEST(Clairvoyant, AlignedFitTieBreaksOnLatestClose) {
+  AlignedFit aligned;
+  const ItemList items({
+      make_item(1, 0.5, 0.0, 6.0),  // bin 0 closes at 6
+      make_item(2, 0.6, 0.5, 8.0),  // bin 1 closes at 8
+      make_item(3, 0.3, 1.0, 5.0),  // ext 0 for both -> latest close: bin 1
+  });
+  const PackingResult result = clairvoyant_simulate(items, aligned);
+  EXPECT_EQ(result.bin_of(3), 1u);
+}
+
+TEST(Clairvoyant, AlignedFitNeverWorseOnItsHomeTurf) {
+  // On bimodal duration workloads (short vs long jobs), departure alignment
+  // should beat online First Fit on average.
+  double aligned_total = 0.0;
+  double online_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 300;
+    spec.seed = seed;
+    spec.duration_dist = workload::DurationDistribution::kBimodal;
+    spec.duration_max = 16.0;
+    const ItemList items = workload::generate(spec);
+    AlignedFit aligned;
+    aligned_total += clairvoyant_simulate(items, aligned).total_usage_time();
+    FirstFit ff;
+    online_total += simulate(items, ff).total_usage_time();
+  }
+  EXPECT_LT(aligned_total, online_total);
+}
+
+TEST(Clairvoyant, StillBoundedBelowByOpt) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 40;
+  spec.seed = 4;
+  spec.duration_max = 8.0;
+  const ItemList items = workload::generate(spec);
+  AlignedFit aligned;
+  const PackingResult result = clairvoyant_simulate(items, aligned);
+  const opt::OptIntegral integral = opt::opt_total(items);
+  // Clairvoyance does not allow repacking: OPT (which repacks) still wins.
+  EXPECT_GE(result.total_usage_time(), integral.lower - 1e-9);
+}
+
+}  // namespace
+}  // namespace mutdbp::clairvoyant

@@ -1,0 +1,105 @@
+#include "algorithms/classified_next_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/simulation.h"
+
+namespace mutdbp {
+namespace {
+
+TEST(ClassifiedNextFit, RoutesClassesToSeparateBins) {
+  ClassifiedNextFit cnf({0.5, 1.0});
+  // Small (0.2) and large (0.7) both fit together, but classes separate.
+  const ItemList items({make_item(1, 0.2, 0.0, 10.0), make_item(2, 0.7, 0.0, 10.0),
+                        make_item(3, 0.2, 0.0, 10.0)});
+  const PackingResult result = simulate(items, cnf);
+  EXPECT_EQ(result.bins_opened(), 2u);
+  EXPECT_EQ(result.bin_of(1), 0u);
+  EXPECT_EQ(result.bin_of(3), 0u);  // the small class's available bin
+  EXPECT_EQ(result.bin_of(2), 1u);
+}
+
+TEST(ClassifiedNextFit, NextFitSemanticsWithinClass) {
+  ClassifiedNextFit cnf({0.5, 1.0});
+  const ItemList items({
+      make_item(1, 0.4, 0.0, 10.0),  // small class bin 0
+      make_item(2, 0.4, 0.0, 10.0),  // fits bin 0 (0.8)
+      make_item(3, 0.4, 0.0, 10.0),  // does not fit: bin 0 retired, bin 1
+      make_item(4, 0.1, 0.0, 10.0),  // bin 1 (bin 0 never available again)
+  });
+  const PackingResult result = simulate(items, cnf);
+  EXPECT_EQ(result.bin_of(1), 0u);
+  EXPECT_EQ(result.bin_of(2), 0u);
+  EXPECT_EQ(result.bin_of(3), 1u);
+  EXPECT_EQ(result.bin_of(4), 1u);  // plain NextFit within the class
+}
+
+TEST(ClassifiedNextFit, ClassBinClosureForcesFreshBin) {
+  ClassifiedNextFit cnf({0.5, 1.0});
+  const ItemList items({make_item(1, 0.3, 0.0, 1.0),     // small bin closes at 1
+                        make_item(2, 0.3, 2.0, 3.0)});   // new small bin
+  const PackingResult result = simulate(items, cnf);
+  EXPECT_EQ(result.bins_opened(), 2u);
+}
+
+TEST(ClassifiedNextFit, InterleavedClassesKeepIndependentAvailability) {
+  ClassifiedNextFit cnf({0.5, 1.0});
+  const ItemList items({
+      make_item(1, 0.4, 0.0, 10.0),  // small -> bin 0
+      make_item(2, 0.6, 0.0, 10.0),  // large -> bin 1
+      make_item(3, 0.4, 0.0, 10.0),  // small -> bin 0 (still available)
+      make_item(4, 0.3, 0.0, 10.0),  // small: 1.1 > 1 -> bin 2
+      make_item(5, 0.4, 0.0, 10.0),  // large? no: small -> bin 2 (0.7)
+  });
+  const PackingResult result = simulate(items, cnf);
+  EXPECT_EQ(result.bin_of(2), 1u);
+  EXPECT_EQ(result.bin_of(3), 0u);
+  EXPECT_EQ(result.bin_of(4), 2u);
+  EXPECT_EQ(result.bin_of(5), 2u);
+}
+
+TEST(ClassifiedNextFit, RejectsBadBoundariesAndOversizedItems) {
+  EXPECT_THROW(ClassifiedNextFit(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(ClassifiedNextFit({0.5, 0.5}), std::invalid_argument);
+  ClassifiedNextFit half({0.5});
+  EXPECT_THROW((void)half.classify(0.7), std::invalid_argument);
+}
+
+TEST(HarmonicBoundaries, ProducesHarmonicSequence) {
+  const auto b4 = harmonic_boundaries(4);
+  ASSERT_EQ(b4.size(), 4u);
+  EXPECT_DOUBLE_EQ(b4[0], 0.25);
+  EXPECT_DOUBLE_EQ(b4[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b4[2], 0.5);
+  EXPECT_DOUBLE_EQ(b4[3], 1.0);
+  const auto b1 = harmonic_boundaries(1);
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_DOUBLE_EQ(b1[0], 1.0);
+  // Scales with capacity.
+  EXPECT_DOUBLE_EQ(harmonic_boundaries(2, 8.0)[0], 4.0);
+  EXPECT_THROW((void)harmonic_boundaries(0), std::invalid_argument);
+}
+
+TEST(HarmonicBoundaries, HarmonicClassification) {
+  // Items in (1/(c+1), 1/c] share a class.
+  ClassifiedNextFit harmonic(harmonic_boundaries(4), kDefaultFitEpsilon, "Harmonic4");
+  EXPECT_EQ(harmonic.name(), "Harmonic4");
+  EXPECT_EQ(harmonic.classify(0.2), 0u);    // <= 1/4
+  EXPECT_EQ(harmonic.classify(0.25), 0u);
+  EXPECT_EQ(harmonic.classify(0.3), 1u);    // (1/4, 1/3]
+  EXPECT_EQ(harmonic.classify(0.5), 2u);    // (1/3, 1/2]
+  EXPECT_EQ(harmonic.classify(0.9), 3u);    // (1/2, 1]
+}
+
+TEST(ClassifiedNextFit, ResetClearsAvailability) {
+  ClassifiedNextFit cnf({0.5, 1.0});
+  const ItemList items({make_item(1, 0.4, 0.0, 10.0), make_item(2, 0.4, 0.0, 10.0)});
+  const PackingResult first = simulate(items, cnf);
+  const PackingResult second = simulate(items, cnf);  // simulate() resets
+  EXPECT_EQ(first.bins_opened(), second.bins_opened());
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "algorithms/any_fit.h"
+#include "cloud/billing.h"
+#include "cloud/dispatcher.h"
+#include "cloud/gaming.h"
+#include "core/simulation.h"
+
+namespace mutdbp::cloud {
+namespace {
+
+TEST(Billing, RoundsUpToGranularity) {
+  const BillingPolicy hourly{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(billed_cost(0.0, hourly), 0.0);
+  EXPECT_DOUBLE_EQ(billed_cost(0.1, hourly), 1.0);
+  EXPECT_DOUBLE_EQ(billed_cost(1.0, hourly), 1.0);  // exact boundary: no extra hour
+  EXPECT_DOUBLE_EQ(billed_cost(1.2, hourly), 2.0);
+  EXPECT_DOUBLE_EQ(billed_cost(2.0000000001, hourly), 2.0);  // tolerance
+}
+
+TEST(Billing, ExactBillingWhenGranularityZero) {
+  const BillingPolicy exact{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(billed_cost(1.3, exact), 2.6);
+}
+
+TEST(Billing, PriceScales) {
+  const BillingPolicy policy{1.0, 0.25};
+  EXPECT_DOUBLE_EQ(billed_cost(3.5, policy), 1.0);  // 4 hours * 0.25
+}
+
+TEST(Billing, RejectsNegativeParameters) {
+  EXPECT_THROW((void)billed_cost(1.0, BillingPolicy{-1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)billed_cost(1.0, BillingPolicy{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Billing, BillsWholePacking) {
+  FirstFit ff;
+  // Two bins: [0, 1.5) and [0, 0.5).
+  const ItemList items({make_item(1, 0.9, 0.0, 1.5), make_item(2, 0.9, 0.0, 0.5)});
+  const PackingResult result = simulate(items, ff);
+  const BillingSummary summary = bill(result, BillingPolicy{1.0, 1.0});
+  EXPECT_EQ(summary.servers_used, 2u);
+  EXPECT_DOUBLE_EQ(summary.total_usage, 2.0);
+  EXPECT_DOUBLE_EQ(summary.total_billed_time, 3.0);  // 2 + 1 hours
+  EXPECT_DOUBLE_EQ(summary.total_cost, 3.0);
+  EXPECT_DOUBLE_EQ(summary.rounding_overhead(), 1.5);
+}
+
+TEST(Dispatcher, EndToEndFlow) {
+  FirstFit ff;
+  JobDispatcher dispatcher(ff, DispatcherOptions{1.0, BillingPolicy{1.0, 0.5}, 1e-9});
+  const ServerId s1 = dispatcher.submit(1, 0.6, 0.0);
+  const ServerId s2 = dispatcher.submit(2, 0.6, 0.1);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(dispatcher.running_jobs(), 2u);
+  EXPECT_EQ(dispatcher.rented_servers(), 2u);
+  EXPECT_EQ(dispatcher.server_of(1), s1);
+
+  dispatcher.complete(1, 2.0);
+  EXPECT_EQ(dispatcher.rented_servers(), 1u);
+  const ServerId s3 = dispatcher.submit(3, 0.3, 2.5);
+  EXPECT_EQ(s3, s2);  // joins the surviving server
+  dispatcher.complete(2, 3.0);
+  dispatcher.complete(3, 3.0);
+
+  const auto report = dispatcher.finish();
+  EXPECT_EQ(report.billing.servers_used, 2u);
+  // Server 1: [0,2) -> 2h; server 2: [0.1,3) -> 2.9h -> 3h. Price 0.5.
+  EXPECT_DOUBLE_EQ(report.billing.total_cost, (2.0 + 3.0) * 0.5);
+  EXPECT_DOUBLE_EQ(report.packing.total_usage_time(), 2.0 + 2.9);
+}
+
+TEST(Dispatcher, CapacityIsEnforced) {
+  FirstFit ff;
+  JobDispatcher dispatcher(ff, DispatcherOptions{2.0, {}, 1e-9});
+  dispatcher.submit(1, 1.5, 0.0);
+  const ServerId s2 = dispatcher.submit(2, 1.0, 0.0);  // 1.5+1.0 > 2: new server
+  EXPECT_EQ(s2, 1u);
+  const ServerId s3 = dispatcher.submit(3, 0.5, 0.0);  // fits server 0 exactly
+  EXPECT_EQ(s3, 0u);
+}
+
+TEST(Gaming, GeneratesValidSessions) {
+  GamingWorkloadSpec spec;
+  spec.num_sessions = 300;
+  const ItemList sessions = generate_gaming_workload(spec);
+  ASSERT_EQ(sessions.size(), 300u);
+  std::set<double> allowed;
+  for (const auto& title : spec.titles) allowed.insert(title.gpu_fraction);
+  Time prev = 0.0;
+  for (const auto& session : sessions) {
+    EXPECT_TRUE(allowed.contains(session.size));
+    EXPECT_GE(session.duration(), spec.min_session_hours - 1e-12);
+    EXPECT_LE(session.duration(), spec.max_session_hours + 1e-12);
+    EXPECT_GE(session.arrival(), prev);  // arrivals non-decreasing
+    prev = session.arrival();
+  }
+}
+
+TEST(Gaming, TitleAssignmentIsDeterministic) {
+  const GamingWorkloadSpec spec;
+  const ItemList sessions = generate_gaming_workload(spec);
+  for (const auto& session : sessions) {
+    EXPECT_DOUBLE_EQ(session.size, title_of(spec, session.id).gpu_fraction);
+  }
+}
+
+TEST(Gaming, PopularTitlesAppearMoreOften) {
+  GamingWorkloadSpec spec;
+  spec.num_sessions = 2000;
+  const ItemList sessions = generate_gaming_workload(spec);
+  std::size_t light = 0;
+  std::size_t heavy = 0;
+  for (const auto& session : sessions) {
+    if (session.size == 0.125) ++light;   // popularity 4
+    if (session.size == 1.0) ++heavy;     // popularity 1
+  }
+  EXPECT_GT(light, 2 * heavy);
+}
+
+TEST(Gaming, ValidatesSpec) {
+  GamingWorkloadSpec spec;
+  spec.titles.clear();
+  EXPECT_THROW((void)generate_gaming_workload(spec), std::invalid_argument);
+  spec = {};
+  spec.diurnal_swing = 0.5;
+  EXPECT_THROW((void)generate_gaming_workload(spec), std::invalid_argument);
+  spec = {};
+  spec.titles[0].gpu_fraction = 1.5;
+  EXPECT_THROW((void)generate_gaming_workload(spec), std::invalid_argument);
+}
+
+TEST(Gaming, SessionsPackable) {
+  GamingWorkloadSpec spec;
+  spec.num_sessions = 500;
+  const ItemList sessions = generate_gaming_workload(spec);
+  FirstFit ff;
+  const PackingResult result = simulate(sessions, ff);
+  EXPECT_GT(result.bins_opened(), 0u);
+  EXPECT_GT(result.average_utilization(), 0.2);  // sane packing density
+}
+
+}  // namespace
+}  // namespace mutdbp::cloud

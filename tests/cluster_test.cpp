@@ -1,0 +1,113 @@
+#include "workload/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "algorithms/any_fit.h"
+#include "core/simulation.h"
+
+namespace mutdbp::workload {
+namespace {
+
+TEST(Cluster, GeneratesValidVms) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 1000;
+  const ItemList vms = generate_cluster(spec);
+  ASSERT_EQ(vms.size(), 1000u);
+  const std::set<double> sizes(spec.vm_sizes.begin(), spec.vm_sizes.end());
+  Time prev = 0.0;
+  for (const auto& vm : vms) {
+    EXPECT_TRUE(sizes.contains(vm.size));
+    EXPECT_GE(vm.duration(), spec.min_lifetime - 1e-9);
+    EXPECT_LE(vm.duration(), spec.max_lifetime + 1e-9);
+    EXPECT_GE(vm.arrival(), prev);
+    prev = vm.arrival();
+  }
+}
+
+TEST(Cluster, HeavyTailProducesLargeMu) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 3000;
+  const ItemList vms = generate_cluster(spec);
+  // With shape 1.1 over [0.25, 168] and 3000 draws, mu should be large.
+  EXPECT_GT(vms.mu(), 50.0);
+  // But the majority of VMs are short (the defining trace property).
+  std::size_t shorter_than_2h = 0;
+  for (const auto& vm : vms) {
+    if (vm.duration() < 2.0) ++shorter_than_2h;
+  }
+  EXPECT_GT(shorter_than_2h, vms.size() / 2);
+}
+
+TEST(Cluster, BurstsCreateSimultaneousArrivals) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 2000;
+  spec.burst_probability = 0.05;
+  spec.burst_size = 20;
+  const ItemList vms = generate_cluster(spec);
+  std::size_t max_batch = 1;
+  std::size_t current = 1;
+  for (std::size_t i = 1; i < vms.size(); ++i) {
+    if (vms[i].arrival() == vms[i - 1].arrival()) {
+      ++current;
+      max_batch = std::max(max_batch, current);
+    } else {
+      current = 1;
+    }
+  }
+  EXPECT_GE(max_batch, spec.burst_size);
+}
+
+TEST(Cluster, SmallVmsDominate) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 4000;
+  const ItemList vms = generate_cluster(spec);
+  std::size_t eighth = 0;
+  std::size_t full = 0;
+  for (const auto& vm : vms) {
+    if (vm.size == 0.125) ++eighth;
+    if (vm.size == 1.0) ++full;
+  }
+  EXPECT_GT(eighth, 3 * full);
+}
+
+TEST(Cluster, DeterministicPerSeed) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 200;
+  const ItemList a = generate_cluster(spec);
+  const ItemList b = generate_cluster(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Cluster, PacksWithoutViolations) {
+  ClusterWorkloadSpec spec;
+  spec.num_vms = 1500;
+  const ItemList vms = generate_cluster(spec);
+  FirstFit ff;
+  const PackingResult result = simulate(vms, ff);  // throws on violation
+  EXPECT_GT(result.bins_opened(), 0u);
+  EXPECT_GE(result.total_usage_time(), vms.span() - 1e-6);
+}
+
+TEST(Cluster, Validates) {
+  ClusterWorkloadSpec spec;
+  spec.vm_sizes = {0.5};
+  spec.vm_size_weights = {1.0, 2.0};
+  EXPECT_THROW((void)generate_cluster(spec), std::invalid_argument);
+  spec = {};
+  spec.min_lifetime = 10.0;
+  spec.max_lifetime = 1.0;
+  EXPECT_THROW((void)generate_cluster(spec), std::invalid_argument);
+  spec = {};
+  spec.vm_sizes = {1.5};
+  spec.vm_size_weights = {1.0};
+  EXPECT_THROW((void)generate_cluster(spec), std::invalid_argument);
+  spec = {};
+  spec.vm_size_weights = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW((void)generate_cluster(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mutdbp::workload

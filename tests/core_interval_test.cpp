@@ -1,0 +1,130 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace mutdbp {
+namespace {
+
+TEST(Interval, LengthAndEmptiness) {
+  const Interval iv{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(iv.length(), 3.0);
+  EXPECT_FALSE(iv.empty());
+
+  const Interval empty{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(empty.length(), 0.0);
+  EXPECT_TRUE(empty.empty());
+
+  const Interval inverted{5.0, 2.0};
+  EXPECT_DOUBLE_EQ(inverted.length(), 0.0);
+  EXPECT_TRUE(inverted.empty());
+}
+
+TEST(Interval, HalfOpenContains) {
+  const Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));   // left endpoint included
+  EXPECT_FALSE(iv.contains(2.0));  // right endpoint excluded
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(Interval, HalfOpenOverlap) {
+  EXPECT_FALSE((Interval{0.0, 1.0}).overlaps(Interval{1.0, 2.0}));
+  EXPECT_TRUE((Interval{0.0, 1.5}).overlaps(Interval{1.0, 2.0}));
+  EXPECT_TRUE((Interval{0.0, 3.0}).overlaps(Interval{1.0, 2.0}));
+  EXPECT_FALSE((Interval{0.0, 1.0}).overlaps(Interval{2.0, 3.0}));
+}
+
+TEST(Interval, Intersect) {
+  const Interval a{0.0, 2.0};
+  const Interval b{1.0, 3.0};
+  EXPECT_EQ(a.intersect(b), (Interval{1.0, 2.0}));
+  EXPECT_TRUE(a.intersect(Interval{2.0, 3.0}).empty());
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval outer{0.0, 10.0};
+  EXPECT_TRUE(outer.contains(Interval{0.0, 10.0}));
+  EXPECT_TRUE(outer.contains(Interval{3.0, 4.0}));
+  EXPECT_TRUE(outer.contains(Interval{5.0, 5.0}));  // empty is contained
+  EXPECT_FALSE(outer.contains(Interval{-1.0, 5.0}));
+  EXPECT_FALSE(outer.contains(Interval{5.0, 10.5}));
+}
+
+TEST(IntervalSet, InsertDisjointPieces) {
+  IntervalSet set;
+  set.insert({0.0, 1.0});
+  set.insert({2.0, 3.0});
+  EXPECT_EQ(set.pieces().size(), 2u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet set;
+  set.insert({0.0, 2.0});
+  set.insert({1.0, 3.0});
+  ASSERT_EQ(set.pieces().size(), 1u);
+  EXPECT_EQ(set.pieces().front(), (Interval{0.0, 3.0}));
+  EXPECT_DOUBLE_EQ(set.total_length(), 3.0);
+}
+
+TEST(IntervalSet, MergesTouching) {
+  IntervalSet set;
+  set.insert({0.0, 1.0});
+  set.insert({1.0, 2.0});
+  ASSERT_EQ(set.pieces().size(), 1u);
+  EXPECT_DOUBLE_EQ(set.total_length(), 2.0);
+}
+
+TEST(IntervalSet, MergeBridgesManyPieces) {
+  IntervalSet set;
+  set.insert({0.0, 1.0});
+  set.insert({2.0, 3.0});
+  set.insert({4.0, 5.0});
+  set.insert({0.5, 4.5});  // bridges all three
+  ASSERT_EQ(set.pieces().size(), 1u);
+  EXPECT_EQ(set.pieces().front(), (Interval{0.0, 5.0}));
+}
+
+TEST(IntervalSet, IgnoresEmptyInsert) {
+  IntervalSet set;
+  set.insert({3.0, 3.0});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, OutOfOrderInsertStaysSorted) {
+  IntervalSet set;
+  set.insert({8.0, 9.0});
+  set.insert({0.0, 1.0});
+  set.insert({4.0, 5.0});
+  ASSERT_EQ(set.pieces().size(), 3u);
+  EXPECT_LT(set.pieces()[0].left, set.pieces()[1].left);
+  EXPECT_LT(set.pieces()[1].left, set.pieces()[2].left);
+}
+
+TEST(IntervalSet, ContainsAndIntersects) {
+  IntervalSet set;
+  set.insert({0.0, 1.0});
+  set.insert({2.0, 3.0});
+  EXPECT_TRUE(set.contains(0.5));
+  EXPECT_FALSE(set.contains(1.5));
+  EXPECT_FALSE(set.contains(1.0));  // half-open
+  EXPECT_TRUE(set.intersects({0.5, 0.6}));
+  EXPECT_TRUE(set.intersects({1.5, 2.5}));
+  EXPECT_FALSE(set.intersects({1.0, 2.0}));
+  EXPECT_FALSE(set.intersects({3.0, 4.0}));
+}
+
+TEST(IntervalSet, Hull) {
+  IntervalSet set;
+  EXPECT_TRUE(set.hull().empty());
+  set.insert({1.0, 2.0});
+  set.insert({5.0, 6.0});
+  EXPECT_EQ(set.hull(), (Interval{1.0, 6.0}));
+}
+
+TEST(IntervalToString, Formats) {
+  EXPECT_EQ(to_string(Interval{0.0, 2.5}), "[0, 2.5)");
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -1,0 +1,111 @@
+#include "core/item_list.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mutdbp {
+namespace {
+
+ItemList three_items() {
+  // Figure 1 style: r1 [0,2), r2 [1,3), r3 [5,7).
+  return ItemList({make_item(1, 0.5, 0.0, 2.0), make_item(2, 0.25, 1.0, 3.0),
+                   make_item(3, 0.75, 5.0, 7.0)});
+}
+
+TEST(Item, DerivedQuantities) {
+  const Item r = make_item(7, 0.4, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.arrival(), 2.0);
+  EXPECT_DOUBLE_EQ(r.departure(), 5.0);
+  EXPECT_DOUBLE_EQ(r.duration(), 3.0);
+  EXPECT_DOUBLE_EQ(r.time_space_demand(), 1.2);
+  EXPECT_TRUE(r.active_at(2.0));
+  EXPECT_TRUE(r.active_at(4.999));
+  EXPECT_FALSE(r.active_at(5.0));
+  EXPECT_FALSE(r.active_at(1.999));
+}
+
+TEST(ItemList, ValidatesSizes) {
+  EXPECT_THROW(ItemList({make_item(1, 0.0, 0.0, 1.0)}), std::invalid_argument);
+  EXPECT_THROW(ItemList({make_item(1, -0.5, 0.0, 1.0)}), std::invalid_argument);
+  EXPECT_THROW(ItemList({make_item(1, 1.5, 0.0, 1.0)}), std::invalid_argument);
+  EXPECT_NO_THROW(ItemList({make_item(1, 1.0, 0.0, 1.0)}));  // size == capacity ok
+}
+
+TEST(ItemList, ValidatesDurations) {
+  EXPECT_THROW(ItemList({make_item(1, 0.5, 1.0, 1.0)}), std::invalid_argument);
+  EXPECT_THROW(ItemList({make_item(1, 0.5, 2.0, 1.0)}), std::invalid_argument);
+}
+
+TEST(ItemList, ValidatesAgainstCustomCapacity) {
+  EXPECT_NO_THROW(ItemList({make_item(1, 3.0, 0.0, 1.0)}, 4.0));
+  EXPECT_THROW(ItemList({make_item(1, 5.0, 0.0, 1.0)}, 4.0), std::invalid_argument);
+  EXPECT_THROW(ItemList({}, 0.0), std::invalid_argument);
+}
+
+TEST(ItemList, PushBackValidates) {
+  ItemList list;
+  list.push_back(make_item(1, 0.5, 0.0, 1.0));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_THROW(list.push_back(make_item(2, 2.0, 0.0, 1.0)), std::invalid_argument);
+}
+
+TEST(ItemList, Mu) {
+  EXPECT_DOUBLE_EQ(ItemList{}.mu(), 1.0);
+  const ItemList list({make_item(1, 0.5, 0.0, 1.0),    // duration 1
+                       make_item(2, 0.5, 0.0, 4.0),    // duration 4
+                       make_item(3, 0.5, 3.0, 5.0)});  // duration 2
+  EXPECT_DOUBLE_EQ(list.mu(), 4.0);
+  EXPECT_DOUBLE_EQ(list.min_duration(), 1.0);
+  EXPECT_DOUBLE_EQ(list.max_duration(), 4.0);
+}
+
+TEST(ItemList, SpanMergesOverlapsAndSkipsGaps) {
+  const ItemList list = three_items();
+  // Active on [0,3) and [5,7): span = 3 + 2 = 5.
+  EXPECT_DOUBLE_EQ(list.span(), 5.0);
+  const auto pieces = list.active_union().pieces();
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], (Interval{0.0, 3.0}));
+  EXPECT_EQ(pieces[1], (Interval{5.0, 7.0}));
+}
+
+TEST(ItemList, PackingPeriod) {
+  EXPECT_TRUE(ItemList{}.packing_period().empty());
+  EXPECT_EQ(three_items().packing_period(), (Interval{0.0, 7.0}));
+}
+
+TEST(ItemList, TotalTimeSpaceDemand) {
+  // 0.5*2 + 0.25*2 + 0.75*2 = 3.0
+  EXPECT_DOUBLE_EQ(three_items().total_time_space_demand(), 3.0);
+}
+
+TEST(ItemList, LoadAt) {
+  const ItemList list = three_items();
+  EXPECT_DOUBLE_EQ(list.load_at(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(list.load_at(1.5), 0.75);
+  EXPECT_DOUBLE_EQ(list.load_at(2.5), 0.25);
+  EXPECT_DOUBLE_EQ(list.load_at(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(list.load_at(5.0), 0.75);
+}
+
+TEST(ItemList, SortedByArrivalBreaksTiesById) {
+  const ItemList list({make_item(5, 0.1, 1.0, 2.0), make_item(2, 0.1, 1.0, 2.0),
+                       make_item(9, 0.1, 0.5, 2.0)});
+  const auto sorted = list.sorted_by_arrival();
+  EXPECT_EQ(sorted[0].id, 9u);
+  EXPECT_EQ(sorted[1].id, 2u);
+  EXPECT_EQ(sorted[2].id, 5u);
+}
+
+TEST(ItemList, EventTimesSortedDeduplicated) {
+  const ItemList list({make_item(1, 0.5, 0.0, 2.0), make_item(2, 0.5, 2.0, 4.0)});
+  const auto times = list.event_times();
+  ASSERT_EQ(times.size(), 3u);  // 0, 2 (dedup), 4
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 4.0);
+}
+
+}  // namespace
+}  // namespace mutdbp

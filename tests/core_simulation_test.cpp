@@ -1,0 +1,208 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "algorithms/any_fit.h"
+
+namespace mutdbp {
+namespace {
+
+// A deliberately broken algorithm used to exercise the simulator's
+// validation of placements.
+class MisbehavingAlgorithm final : public PackingAlgorithm {
+ public:
+  explicit MisbehavingAlgorithm(Placement fixed) : fixed_(fixed) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "Misbehaving"; }
+  [[nodiscard]] Placement place(const ArrivalView&,
+                                std::span<const BinSnapshot>) override {
+    return fixed_;
+  }
+
+ private:
+  Placement fixed_;
+};
+
+ItemList scenario_a() {
+  // r1 0.6 [0,10); r2 0.5 [1,3); r3 0.4 [2,4); r4 0.3 [3,5)
+  return ItemList({make_item(1, 0.6, 0.0, 10.0), make_item(2, 0.5, 1.0, 3.0),
+                   make_item(3, 0.4, 2.0, 4.0), make_item(4, 0.3, 3.0, 5.0)});
+}
+
+TEST(Simulation, FirstFitScenario) {
+  FirstFit ff;
+  const PackingResult result = simulate(scenario_a(), ff);
+
+  ASSERT_EQ(result.bins_opened(), 3u);
+  EXPECT_EQ(result.bin_of(1), 0u);
+  EXPECT_EQ(result.bin_of(2), 1u);  // 0.5 does not fit with 0.6
+  EXPECT_EQ(result.bin_of(3), 0u);  // 0.6 + 0.4 = 1.0 fits exactly
+  EXPECT_EQ(result.bin_of(4), 2u);  // bin1 closed at t=3 before r4 arrives
+
+  EXPECT_EQ(result.bins()[0].usage, (Interval{0.0, 10.0}));
+  EXPECT_EQ(result.bins()[1].usage, (Interval{1.0, 3.0}));
+  EXPECT_EQ(result.bins()[2].usage, (Interval{3.0, 5.0}));
+  EXPECT_DOUBLE_EQ(result.total_usage_time(), 14.0);
+  EXPECT_EQ(result.max_concurrent_bins(), 2u);
+}
+
+TEST(Simulation, DepartureProcessedBeforeArrivalAtEqualTime) {
+  // A departs exactly when B arrives: the bin is closed, B opens a new one.
+  FirstFit ff;
+  const ItemList items({make_item(1, 1.0, 0.0, 1.0), make_item(2, 1.0, 1.0, 2.0)});
+  const PackingResult result = simulate(items, ff);
+  EXPECT_EQ(result.bins_opened(), 2u);
+  EXPECT_EQ(result.max_concurrent_bins(), 1u);
+  EXPECT_DOUBLE_EQ(result.total_usage_time(), 2.0);
+}
+
+TEST(Simulation, BinNeverReopens) {
+  // Even a tiny item arriving after bin closure must open a new bin.
+  FirstFit ff;
+  const ItemList items({make_item(1, 0.1, 0.0, 1.0), make_item(2, 0.1, 2.0, 3.0)});
+  const PackingResult result = simulate(items, ff);
+  EXPECT_EQ(result.bins_opened(), 2u);
+}
+
+TEST(Simulation, RecordsLevelTimeline) {
+  FirstFit ff;
+  const PackingResult result = simulate(scenario_a(), ff);
+  const LevelTimeline& tl = result.bins()[0].timeline;
+  EXPECT_DOUBLE_EQ(tl.at(0.0), 0.6);
+  EXPECT_DOUBLE_EQ(tl.at(1.5), 0.6);
+  EXPECT_DOUBLE_EQ(tl.at(2.0), 1.0);   // r3 joined
+  EXPECT_DOUBLE_EQ(tl.at(3.9), 1.0);
+  EXPECT_DOUBLE_EQ(tl.at(4.0), 0.6);   // r3 departed
+  EXPECT_DOUBLE_EQ(tl.at(10.0), 0.0);  // closed
+  EXPECT_DOUBLE_EQ(tl.at(-1.0), 0.0);  // before opening
+  EXPECT_DOUBLE_EQ(tl.min_over({0.0, 10.0}), 0.6);
+  EXPECT_DOUBLE_EQ(tl.min_over({2.0, 4.0}), 1.0);
+}
+
+TEST(Simulation, TimelineRecordingCanBeDisabled) {
+  FirstFit ff;
+  SimulationOptions options;
+  options.record_timelines = false;
+  const PackingResult result = simulate(scenario_a(), ff, options);
+  EXPECT_TRUE(result.bins()[0].timeline.times.empty());
+}
+
+TEST(Simulation, PlacementRecordsHaveActualIntervals) {
+  FirstFit ff;
+  const PackingResult result = simulate(scenario_a(), ff);
+  const auto& b0 = result.bins()[0];
+  ASSERT_EQ(b0.items.size(), 2u);
+  EXPECT_EQ(b0.items[0].item, 1u);
+  EXPECT_EQ(b0.items[0].active, (Interval{0.0, 10.0}));
+  EXPECT_EQ(b0.items[1].item, 3u);
+  EXPECT_EQ(b0.items[1].active, (Interval{2.0, 4.0}));
+}
+
+TEST(Simulation, IncrementalInterface) {
+  FirstFit ff;
+  Simulation sim(ff);
+  EXPECT_EQ(sim.arrive(1, 0.7, 0.0), 0u);
+  EXPECT_EQ(sim.arrive(2, 0.7, 0.5), 1u);
+  EXPECT_EQ(sim.open_bin_count(), 2u);
+  EXPECT_EQ(sim.active_items(), 2u);
+  EXPECT_EQ(sim.bin_of_active(2), 1u);
+  sim.depart(1, 1.0);
+  EXPECT_EQ(sim.open_bin_count(), 1u);
+  // Bin 0 is closed forever; a fitting item goes to bin 1.
+  EXPECT_EQ(sim.arrive(3, 0.2, 1.5), 1u);
+  sim.depart(2, 2.0);
+  sim.depart(3, 2.0);
+  const PackingResult result = sim.finish();
+  EXPECT_EQ(result.bins_opened(), 2u);
+  EXPECT_DOUBLE_EQ(result.total_usage_time(), 1.0 + 1.5);
+}
+
+TEST(Simulation, RejectsTimeTravel) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 5.0);
+  EXPECT_THROW(sim.arrive(2, 0.5, 4.0), std::logic_error);
+  EXPECT_THROW(sim.depart(1, 4.0), std::logic_error);
+}
+
+TEST(Simulation, RejectsDuplicateAndUnknownItems) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 0.0);
+  EXPECT_THROW(sim.arrive(1, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(sim.depart(99, 1.0), std::invalid_argument);
+}
+
+TEST(Simulation, RejectsBadSizes) {
+  FirstFit ff;
+  Simulation sim(ff);
+  EXPECT_THROW(sim.arrive(1, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.arrive(2, 1.5, 0.0), std::invalid_argument);
+}
+
+TEST(Simulation, FinishRequiresAllDepartures) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 0.0);
+  EXPECT_THROW((void)sim.finish(), std::logic_error);
+}
+
+TEST(Simulation, DetectsOverfillingAlgorithm) {
+  MisbehavingAlgorithm bad{Placement{0}};
+  Simulation sim(bad);
+  // First arrival: the algorithm points at bin 0 which does not exist yet.
+  EXPECT_THROW(sim.arrive(1, 0.5, 0.0), std::logic_error);
+}
+
+// Opens a bin for the first item, then stuffs everything into bin 0 —
+// regardless of fit or whether bin 0 is still open.
+class StuffBinZero final : public PackingAlgorithm {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "StuffBinZero"; }
+  [[nodiscard]] Placement place(const ArrivalView&,
+                                std::span<const BinSnapshot>) override {
+    if (first_) {
+      first_ = false;
+      return std::nullopt;
+    }
+    return Placement{0};
+  }
+  void reset() override { first_ = true; }
+
+ private:
+  bool first_ = true;
+};
+
+TEST(Simulation, DetectsOverfillPlacement) {
+  StuffBinZero bad;
+  const ItemList items({make_item(1, 0.9, 0.0, 2.0), make_item(2, 0.9, 1.0, 2.0)});
+  EXPECT_THROW(simulate(items, bad), std::logic_error);
+}
+
+TEST(Simulation, DetectsPlacementIntoClosedBin) {
+  StuffBinZero bad;
+  // Bin 0 closes at t=1; the second item still targets it.
+  const ItemList items({make_item(1, 0.1, 0.0, 1.0), make_item(2, 0.1, 2.0, 3.0)});
+  EXPECT_THROW(simulate(items, bad), std::logic_error);
+}
+
+TEST(Simulation, CapacityScalesWithItemList) {
+  // Items validated against capacity 4; simulate() adopts the list capacity.
+  FirstFit ff;
+  const ItemList items({make_item(1, 3.0, 0.0, 2.0), make_item(2, 1.0, 0.0, 2.0)},
+                       4.0);
+  const PackingResult result = simulate(items, ff);
+  EXPECT_EQ(result.bins_opened(), 1u);
+}
+
+TEST(Simulation, ExactCapacityFillAllowed) {
+  // "The total resource demand ... cannot exceed its capacity": equality ok.
+  FirstFit ff;
+  const ItemList items({make_item(1, 0.5, 0.0, 1.0), make_item(2, 0.5, 0.0, 1.0)});
+  const PackingResult result = simulate(items, ff);
+  EXPECT_EQ(result.bins_opened(), 1u);
+}
+
+}  // namespace
+}  // namespace mutdbp

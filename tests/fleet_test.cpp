@@ -1,0 +1,140 @@
+#include "cloud/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/cluster.h"
+
+namespace mutdbp::cloud {
+namespace {
+
+FleetOptions two_type_fleet() {
+  FleetOptions options;
+  options.types = {
+      {"small", 1.0, BillingPolicy{1.0, 1.0}},
+      {"large", 4.0, BillingPolicy{1.0, 3.0}},  // 3x price for 4x capacity
+  };
+  return options;
+}
+
+TEST(Fleet, RoutesToSmallestFittingType) {
+  FleetDispatcher fleet(two_type_fleet());
+  const FleetServerId a = fleet.submit(1, 0.5, 0.0);
+  EXPECT_EQ(a.type, 0u);  // fits the small type
+  const FleetServerId b = fleet.submit(2, 2.5, 0.0);
+  EXPECT_EQ(b.type, 1u);  // only the large type fits
+  fleet.complete(1, 1.0);
+  fleet.complete(2, 1.0);
+}
+
+TEST(Fleet, CheapestPerCapacityRouting) {
+  FleetOptions options = two_type_fleet();
+  options.routing = RoutingPolicy::kCheapestPerCapacity;
+  FleetDispatcher fleet(options);
+  // large: 3/4 = 0.75 per capacity unit beats small: 1/1.
+  const FleetServerId a = fleet.submit(1, 0.5, 0.0);
+  EXPECT_EQ(a.type, 1u);
+  fleet.complete(1, 1.0);
+}
+
+TEST(Fleet, TypesPackIndependently) {
+  FleetDispatcher fleet(two_type_fleet());
+  // Two 0.6 jobs: each fits the small type but not together in one server.
+  const FleetServerId a = fleet.submit(1, 0.6, 0.0);
+  const FleetServerId b = fleet.submit(2, 0.6, 0.0);
+  EXPECT_EQ(a.type, 0u);
+  EXPECT_EQ(b.type, 0u);
+  EXPECT_NE(a.server, b.server);
+  // A large job opens a server of the other type; indices are per type.
+  const FleetServerId c = fleet.submit(3, 3.0, 0.0);
+  EXPECT_EQ(c.type, 1u);
+  EXPECT_EQ(c.server, 0u);
+  EXPECT_EQ(fleet.rented_servers(), 3u);
+  EXPECT_EQ(fleet.running_jobs(), 3u);
+  fleet.complete(1, 2.0);
+  fleet.complete(2, 2.0);
+  fleet.complete(3, 2.0);
+}
+
+TEST(Fleet, ReportAggregatesPerTypeBilling) {
+  FleetDispatcher fleet(two_type_fleet());
+  fleet.submit(1, 0.5, 0.0);
+  fleet.submit(2, 3.0, 0.0);
+  fleet.complete(1, 1.5);   // small: 1.5h -> billed 2h * 1.0
+  fleet.complete(2, 0.5);   // large: 0.5h -> billed 1h * 3.0
+  const auto report = fleet.finish();
+  ASSERT_EQ(report.per_type.size(), 2u);
+  EXPECT_EQ(report.per_type[0].type_name, "small");
+  EXPECT_DOUBLE_EQ(report.per_type[0].billing.total_cost, 2.0);
+  EXPECT_DOUBLE_EQ(report.per_type[1].billing.total_cost, 3.0);
+  EXPECT_DOUBLE_EQ(report.total_cost(), 5.0);
+  EXPECT_DOUBLE_EQ(report.total_usage(), 2.0);
+  EXPECT_EQ(report.servers_used(), 2u);
+}
+
+TEST(Fleet, RejectsOversizedJobsAndUnknownCompletions) {
+  FleetDispatcher fleet(two_type_fleet());
+  EXPECT_THROW((void)fleet.submit(1, 5.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(fleet.complete(99, 1.0), std::invalid_argument);
+}
+
+TEST(Fleet, ValidatesOptions) {
+  FleetOptions empty;
+  EXPECT_THROW(FleetDispatcher{empty}, std::invalid_argument);
+  FleetOptions bad = two_type_fleet();
+  bad.types[0].capacity = 0.0;
+  EXPECT_THROW(FleetDispatcher{bad}, std::invalid_argument);
+  FleetOptions bogus = two_type_fleet();
+  bogus.algorithm = "MagicFit";
+  EXPECT_THROW(FleetDispatcher{bogus}, std::invalid_argument);
+}
+
+TEST(Fleet, HandlesClusterWorkloadEndToEnd) {
+  workload::ClusterWorkloadSpec spec;
+  spec.num_vms = 500;
+  const ItemList vms = workload::generate_cluster(spec);
+
+  FleetOptions options;
+  options.types = {
+      {"quarter", 0.25, BillingPolicy{1.0, 0.3}},
+      {"half", 0.5, BillingPolicy{1.0, 0.55}},
+      {"full", 1.0, BillingPolicy{1.0, 1.0}},
+  };
+  FleetDispatcher fleet(options);
+
+  // Drive arrivals/departures in event order.
+  struct Event {
+    Time t;
+    bool arrival;
+    const Item* vm;
+  };
+  std::vector<Event> events;
+  for (const auto& vm : vms) {
+    events.push_back({vm.arrival(), true, &vm});
+    events.push_back({vm.departure(), false, &vm});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.arrival != b.arrival) return !a.arrival;
+    return a.vm->id < b.vm->id;
+  });
+  for (const auto& event : events) {
+    if (event.arrival) {
+      fleet.submit(event.vm->id, event.vm->size, event.t);
+    } else {
+      fleet.complete(event.vm->id, event.t);
+    }
+  }
+  const auto report = fleet.finish();
+  EXPECT_EQ(report.per_type.size(), 3u);
+  EXPECT_GT(report.total_cost(), 0.0);
+  std::size_t placed = 0;
+  for (const auto& tr : report.per_type) {
+    for (const auto& bin : tr.packing.bins()) placed += bin.items.size();
+  }
+  EXPECT_EQ(placed, vms.size());
+}
+
+}  // namespace
+}  // namespace mutdbp::cloud

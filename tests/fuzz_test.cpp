@@ -1,0 +1,201 @@
+// Randomized cross-validation: independent reference implementations and
+// model-based fuzzing for the core data structures and solvers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "core/simulation.h"
+#include "opt/bin_packing.h"
+#include "opt/opt_integral.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+// ---- IntervalSet vs a boolean-grid reference model ----
+
+TEST(FuzzIntervalSet, MatchesBooleanGridModel) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet set;
+    // Grid model over [0, 400) quarters: cell g covers [g/4, (g+1)/4).
+    std::vector<bool> grid(400, false);
+    const int inserts = 1 + static_cast<int>(rng.uniform_u64(0, 19));
+    for (int i = 0; i < inserts; ++i) {
+      const auto a = rng.uniform_u64(0, 395);
+      const auto b = rng.uniform_u64(a, 399);
+      set.insert({static_cast<double>(a) / 4.0, static_cast<double>(b) / 4.0});
+      for (std::uint64_t g = a; g < b; ++g) grid[g] = true;
+    }
+    double expected_length = 0.0;
+    for (const bool cell : grid) expected_length += cell ? 0.25 : 0.0;
+    EXPECT_NEAR(set.total_length(), expected_length, 1e-9);
+    // Point containment on cell midpoints.
+    for (std::size_t g = 0; g < grid.size(); g += 7) {
+      const double midpoint = (static_cast<double>(g) + 0.5) / 4.0;
+      EXPECT_EQ(set.contains(midpoint), grid[g]) << "trial " << trial << " g " << g;
+    }
+    // Pieces must be sorted, disjoint and non-touching.
+    const auto& pieces = set.pieces();
+    for (std::size_t p = 1; p < pieces.size(); ++p) {
+      EXPECT_GT(pieces[p].left, pieces[p - 1].right);
+    }
+  }
+}
+
+// ---- exact bin packing vs brute force ----
+
+std::size_t brute_force_bins(const std::vector<double>& sizes, double capacity) {
+  // Assign items one by one into bins 0..k (k = current count): classic
+  // exhaustive search with symmetry breaking (an item may open at most one
+  // new bin).
+  std::vector<double> levels;
+  std::size_t best = sizes.size();
+  auto rec = [&](auto&& self, std::size_t i) -> void {
+    if (levels.size() >= best) return;
+    if (i == sizes.size()) {
+      best = std::min(best, levels.size());
+      return;
+    }
+    // Index-based: the recursive call may push_back and reallocate.
+    for (std::size_t b = 0; b < levels.size(); ++b) {
+      if (levels[b] + sizes[i] <= capacity + 1e-12) {
+        levels[b] += sizes[i];
+        self(self, i + 1);
+        levels[b] -= sizes[i];
+      }
+    }
+    levels.push_back(sizes[i]);
+    self(self, i + 1);
+    levels.pop_back();
+  };
+  rec(rec, 0);
+  return best;
+}
+
+TEST(FuzzBinPacking, ExactSolverMatchesBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + rng.index(8);
+    std::vector<double> sizes;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Sizes on a 0.05 grid keep the brute force exact.
+      sizes.push_back(0.05 * static_cast<double>(rng.uniform_u64(1, 20)));
+    }
+    const std::size_t expected = brute_force_bins(sizes, 1.0);
+    const opt::BinCountResult result = opt::min_bin_count(sizes);
+    ASSERT_TRUE(result.exact) << "trial " << trial;
+    EXPECT_EQ(result.bins(), expected) << "trial " << trial;
+    EXPECT_LE(opt::l2_lower_bound(sizes), expected) << "trial " << trial;
+    EXPECT_GE(opt::ffd_bin_count(sizes), expected) << "trial " << trial;
+  }
+}
+
+// ---- incremental Simulation vs batch simulate() ----
+
+TEST(FuzzSimulation, IncrementalMatchesBatch) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 150;
+    spec.seed = seed;
+    spec.duration_max = 5.0;
+    const ItemList items = workload::generate(spec);
+
+    FirstFit batch_algo;
+    const PackingResult batch = simulate(items, batch_algo);
+
+    FirstFit incr_algo;
+    Simulation sim(incr_algo);
+    struct Event {
+      Time t;
+      bool arrival;
+      const Item* item;
+    };
+    std::vector<Event> events;
+    for (const auto& item : items) {
+      events.push_back({item.arrival(), true, &item});
+      events.push_back({item.departure(), false, &item});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.t != b.t) return a.t < b.t;
+      if (a.arrival != b.arrival) return !a.arrival;
+      return a.item->id < b.item->id;
+    });
+    for (const auto& event : events) {
+      if (event.arrival) {
+        sim.arrive(event.item->id, event.item->size, event.t);
+      } else {
+        sim.depart(event.item->id, event.t);
+      }
+    }
+    const PackingResult incremental = sim.finish();
+
+    EXPECT_DOUBLE_EQ(incremental.total_usage_time(), batch.total_usage_time());
+    ASSERT_EQ(incremental.bins_opened(), batch.bins_opened());
+    for (const auto& item : items) {
+      EXPECT_EQ(incremental.bin_of(item.id), batch.bin_of(item.id));
+    }
+  }
+}
+
+// ---- LevelTimeline vs recomputation from placements ----
+
+TEST(FuzzTimeline, TimelineMatchesPlacementRecomputation) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 200;
+  spec.seed = 12;
+  spec.duration_max = 4.0;
+  const ItemList items = workload::generate(spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  Rng rng(5);
+  for (const auto& bin : result.bins()) {
+    for (int probe = 0; probe < 10; ++probe) {
+      const Time t = rng.uniform(bin.usage.left, bin.usage.right);
+      double expected = 0.0;
+      for (const auto& placed : bin.items) {
+        if (placed.active.contains(t)) expected += placed.size;
+      }
+      EXPECT_NEAR(bin.timeline.at(t), expected, 1e-9);
+    }
+  }
+}
+
+// ---- opt integral: permutation invariance & monotonicity ----
+
+TEST(FuzzOptIntegral, InvariantUnderItemPermutation) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 30;
+  spec.seed = 9;
+  const ItemList items = workload::generate(spec);
+  const opt::OptIntegral base = opt::opt_total(items);
+
+  std::vector<Item> shuffled = items.items();
+  Rng rng(77);
+  rng.shuffle(std::span<Item>(shuffled));
+  const opt::OptIntegral permuted = opt::opt_total(ItemList(std::move(shuffled)));
+  EXPECT_NEAR(base.lower, permuted.lower, 1e-9);
+  EXPECT_NEAR(base.upper, permuted.upper, 1e-9);
+}
+
+TEST(FuzzOptIntegral, AddingItemsNeverDecreasesOpt) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 24;
+  spec.seed = 3;
+  const ItemList items = workload::generate(spec);
+  std::vector<Item> prefix;
+  double last = 0.0;
+  for (const auto& item : items) {
+    prefix.push_back(item);
+    const opt::OptIntegral integral = opt::opt_total(ItemList(prefix));
+    EXPECT_GE(integral.upper + 1e-9, last);
+    last = integral.lower;
+  }
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -1,0 +1,179 @@
+// End-to-end scenarios across module boundaries: workload -> dispatch ->
+// billing -> analysis, trace round trips through the dispatcher, and
+// cross-checks between independent code paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/registry.h"
+#include "analysis/report.h"
+#include "analysis/subperiods.h"
+#include "analysis/supplier.h"
+#include "analysis/usage_periods.h"
+#include "cloud/dispatcher.h"
+#include "cloud/gaming.h"
+#include "core/simulation.h"
+#include "opt/lower_bounds.h"
+#include "workload/adversarial.h"
+#include "workload/cluster.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace mutdbp {
+namespace {
+
+// Drives an ItemList through the cloud dispatcher (event order) and checks
+// the dispatcher agrees with the plain simulator on the same algorithm.
+TEST(Integration, DispatcherMatchesSimulatorOnGamingWorkload) {
+  cloud::GamingWorkloadSpec spec;
+  spec.num_sessions = 800;
+  const ItemList sessions = cloud::generate_gaming_workload(spec);
+
+  FirstFit dispatcher_algo;
+  cloud::JobDispatcher dispatcher(dispatcher_algo,
+                                  cloud::DispatcherOptions{1.0, {1.0, 1.0}, 1e-9});
+  struct Event {
+    Time t;
+    bool arrival;
+    const Item* session;
+  };
+  std::vector<Event> events;
+  for (const auto& session : sessions) {
+    events.push_back({session.arrival(), true, &session});
+    events.push_back({session.departure(), false, &session});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.arrival != b.arrival) return !a.arrival;
+    return a.session->id < b.session->id;
+  });
+  for (const auto& event : events) {
+    if (event.arrival) {
+      dispatcher.submit(event.session->id, event.session->size, event.t);
+    } else {
+      dispatcher.complete(event.session->id, event.t);
+    }
+  }
+  const auto report = dispatcher.finish();
+
+  FirstFit simulator_algo;
+  const PackingResult direct = simulate(sessions, simulator_algo);
+  EXPECT_DOUBLE_EQ(report.packing.total_usage_time(), direct.total_usage_time());
+  EXPECT_EQ(report.packing.bins_opened(), direct.bins_opened());
+  EXPECT_DOUBLE_EQ(report.billing.total_usage, direct.total_usage_time());
+  EXPECT_GE(report.billing.total_cost, report.billing.total_usage - 1e-9);
+}
+
+TEST(Integration, TraceRoundTripPreservesPackingExactly) {
+  workload::ClusterWorkloadSpec spec;
+  spec.num_vms = 400;
+  const ItemList original = workload::generate_cluster(spec);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mutdbp_integration_trace.csv").string();
+  workload::write_trace_file(path, original);
+  const ItemList loaded = workload::read_trace_file(path);
+  std::filesystem::remove(path);
+
+  for (const auto& name : {"FirstFit", "NextFit", "BestFit"}) {
+    const auto a1 = make_algorithm(name);
+    const auto a2 = make_algorithm(name);
+    const PackingResult r1 = simulate(original, *a1);
+    const PackingResult r2 = simulate(loaded, *a2);
+    EXPECT_DOUBLE_EQ(r1.total_usage_time(), r2.total_usage_time()) << name;
+    EXPECT_EQ(r1.bins_opened(), r2.bins_opened()) << name;
+  }
+}
+
+TEST(Integration, FullAnalysisPipelineOnAdversarialInstance) {
+  // Run the complete §IV-VII pipeline on the Section VIII construction.
+  const auto instance = workload::next_fit_lower_bound_instance(16, 6.0);
+  FirstFit ff;
+  const PackingResult result = simulate(instance.items, ff);
+
+  const analysis::UsagePeriodDecomposition usage(result);
+  EXPECT_NEAR(result.total_usage_time(), usage.total_v() + instance.items.span(),
+              1e-9);
+  const analysis::SubperiodAnalysis subs(instance.items, result);
+  const analysis::SupplierAnalysis sup(instance.items, result, subs);
+  EXPECT_EQ(sup.missing_suppliers(), 0u);
+  EXPECT_EQ(sup.count_intersections(), 0u);
+}
+
+TEST(Integration, EvaluationConsistentAcrossAllAlgorithms) {
+  workload::ClusterWorkloadSpec spec;
+  spec.num_vms = 300;
+  const ItemList vms = workload::generate_cluster(spec);
+  const double lb = opt::combined_lower_bound(vms);
+  double best_usage = std::numeric_limits<double>::infinity();
+  double worst_usage = 0.0;
+  for (const auto& name : algorithm_names()) {
+    const auto algo = make_algorithm(name);
+    const analysis::Evaluation eval = analysis::evaluate(vms, *algo);
+    EXPECT_GE(eval.total_usage, lb - 1e-6) << name;          // nobody beats OPT lb
+    EXPECT_GE(eval.total_usage, vms.span() - 1e-6) << name;  // Prop 2
+    EXPECT_LE(eval.average_utilization, 1.0 + 1e-9) << name;
+    best_usage = std::min(best_usage, eval.total_usage);
+    worst_usage = std::max(worst_usage, eval.total_usage);
+  }
+  // NewBinPerItem (no sharing) must be the worst by a clear margin.
+  const auto nb = make_algorithm("NewBinPerItem");
+  const analysis::Evaluation nb_eval = analysis::evaluate(vms, *nb);
+  EXPECT_DOUBLE_EQ(nb_eval.total_usage, worst_usage);
+  EXPECT_GT(worst_usage, 1.5 * best_usage);
+}
+
+TEST(Integration, CapacityScalingIsSizeInvariant) {
+  // Scaling all sizes and the capacity by the same factor must not change
+  // any packing decision.
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 200;
+  spec.seed = 63;
+  const ItemList unit = workload::generate(spec);
+  std::vector<Item> scaled_items;
+  for (const auto& item : unit) {
+    scaled_items.push_back(
+        make_item(item.id, item.size * 16.0, item.arrival(), item.departure()));
+  }
+  const ItemList scaled(std::move(scaled_items), 16.0);
+
+  FirstFit a;
+  FirstFit b;
+  const PackingResult unit_result = simulate(unit, a);
+  const PackingResult scaled_result = simulate(scaled, b);
+  EXPECT_EQ(unit_result.bins_opened(), scaled_result.bins_opened());
+  for (const auto& item : unit) {
+    EXPECT_EQ(unit_result.bin_of(item.id), scaled_result.bin_of(item.id));
+  }
+}
+
+TEST(Integration, TheoremOneOnEveryAdversarialFamily) {
+  // The µ+4 guarantee must hold against each family's *described* OPT
+  // packing cost (a valid upper bound on OPT_total).
+  for (const double mu : {2.0, 8.0, 32.0}) {
+    const auto nf_instance = workload::next_fit_lower_bound_instance(32, mu);
+    FirstFit ff1;
+    EXPECT_LE(simulate(nf_instance.items, ff1).total_usage_time(),
+              (mu + 4.0) * nf_instance.predicted_opt_cost + 1e-6);
+
+    const auto pin = workload::any_fit_pinning_instance(24, mu);
+    FirstFit ff2(0.0);
+    SimulationOptions strict;
+    strict.fit_epsilon = 0.0;
+    EXPECT_LE(simulate(pin.items, ff2, strict).total_usage_time(),
+              (mu + 4.0) * pin.predicted_opt_cost + 1e-6);
+  }
+  const auto decoy = workload::best_fit_decoy_instance(20, 30.0);
+  FirstFit ff3(0.0);
+  SimulationOptions strict;
+  strict.fit_epsilon = 0.0;
+  EXPECT_LE(simulate(decoy.items, ff3, strict).total_usage_time(),
+            (decoy.items.mu() + 4.0) * decoy.predicted_opt_cost + 1e-6);
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -1,0 +1,137 @@
+#include "opt/bin_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mutdbp::opt {
+namespace {
+
+TEST(Ffd, PacksKnownInstance) {
+  const std::vector<double> sizes{0.6, 0.5, 0.4, 0.3, 0.2};
+  EXPECT_EQ(ffd_bin_count(sizes), 2u);  // (0.6,0.4) (0.5,0.3,0.2)
+}
+
+TEST(Ffd, EmptyInstance) { EXPECT_EQ(ffd_bin_count({}), 0u); }
+
+TEST(Ffd, SingleFullItems) {
+  const std::vector<double> sizes{1.0, 1.0, 1.0};
+  EXPECT_EQ(ffd_bin_count(sizes), 3u);
+}
+
+TEST(Ffd, RespectsCustomCapacity) {
+  BinPackingOptions options;
+  options.capacity = 10.0;
+  const std::vector<double> sizes{6.0, 5.0, 4.0, 3.0, 2.0};
+  EXPECT_EQ(ffd_bin_count(sizes, options), 2u);
+}
+
+TEST(Ffd, RejectsOversizedItems) {
+  EXPECT_THROW((void)ffd_bin_count(std::vector<double>{1.5}), std::invalid_argument);
+  EXPECT_THROW((void)ffd_bin_count(std::vector<double>{0.0}), std::invalid_argument);
+}
+
+TEST(ContinuousLowerBound, CeilOfTotal) {
+  EXPECT_EQ(continuous_lower_bound(std::vector<double>{0.5, 0.5, 0.1}), 2u);
+  EXPECT_EQ(continuous_lower_bound(std::vector<double>{0.5, 0.5}), 1u);
+  EXPECT_EQ(continuous_lower_bound({}), 0u);
+}
+
+TEST(ContinuousLowerBound, ToleratesRepresentationError) {
+  // 3 * (1/3) must count as one bin despite 1/3 not being representable.
+  const std::vector<double> sizes{1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  EXPECT_EQ(continuous_lower_bound(sizes), 1u);
+}
+
+TEST(L2LowerBound, BeatsContinuousOnAllLargeItems) {
+  // Three items of 0.6: continuous bound is ceil(1.8)=2, but each needs its
+  // own bin.
+  const std::vector<double> sizes{0.6, 0.6, 0.6};
+  EXPECT_EQ(continuous_lower_bound(sizes), 2u);
+  EXPECT_EQ(l2_lower_bound(sizes), 3u);
+}
+
+TEST(L2LowerBound, MatchesContinuousWhenItemsAreSmall) {
+  const std::vector<double> sizes{0.2, 0.2, 0.2, 0.2, 0.2};
+  EXPECT_EQ(l2_lower_bound(sizes), 1u);
+}
+
+TEST(L2LowerBound, MixedInstance) {
+  // 0.7 items pair with nothing > 0.3: {0.7,0.7} + 0.35s.
+  const std::vector<double> sizes{0.7, 0.7, 0.35, 0.35};
+  // alpha = 0.35: J1 = {s > 0.65} = 2 items; J2 empty; J3 = {0.35,0.35},
+  // slack in J1 bins is not counted by L2 -> bound = 2 + ceil(0.7) = 3.
+  EXPECT_GE(l2_lower_bound(sizes), 3u);
+}
+
+TEST(MinBinCount, SolvesSmallInstancesExactly) {
+  EXPECT_EQ(min_bin_count(std::vector<double>{0.5, 0.5, 0.5, 0.5}).bins(), 2u);
+  EXPECT_EQ(min_bin_count(std::vector<double>{0.6, 0.6, 0.6}).bins(), 3u);
+  const std::vector<double> sizes{0.4, 0.4, 0.4, 0.3, 0.3, 0.3, 0.3};
+  const BinCountResult result = min_bin_count(sizes);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.bins(), 3u);  // (.4,.3,.3) (.4,.3,.3) (.4)
+  EXPECT_EQ(result.lower, result.upper);
+}
+
+TEST(MinBinCount, EmptyIsZero) {
+  const BinCountResult result = min_bin_count({});
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.bins(), 0u);
+}
+
+TEST(MinBinCount, BeatsFfdWhenFfdIsSuboptimal) {
+  // Classic FFD-suboptimal instance (capacity 1):
+  // FFD: (0.45,0.45) (0.35,0.35,0.3)... build one where FFD wastes a bin.
+  const std::vector<double> sizes{0.42, 0.42, 0.3, 0.3, 0.28, 0.28};
+  // Optimal: (0.42,0.3,0.28) x2 = 2 bins. FFD: 0.42+0.42 -> bin1 (0.84),
+  // 0.3+0.3+0.28 -> bin2 (0.88), 0.28 -> bin3 = 3 bins.
+  EXPECT_EQ(ffd_bin_count(sizes), 3u);
+  const BinCountResult result = min_bin_count(sizes);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.bins(), 2u);
+}
+
+TEST(MinBinCount, ExactFitDominanceStillOptimal) {
+  const std::vector<double> sizes{0.75, 0.25, 0.75, 0.25};
+  const BinCountResult result = min_bin_count(sizes);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.bins(), 2u);
+}
+
+TEST(MinBinCount, NodeBudgetFallsBackToBounds) {
+  BinPackingOptions options;
+  options.max_nodes = 1;  // force inexactness on a nontrivial instance
+  const std::vector<double> sizes{0.42, 0.42, 0.3, 0.3, 0.28, 0.28};
+  const BinCountResult result = min_bin_count(sizes, options);
+  EXPECT_FALSE(result.exact);
+  EXPECT_LE(result.lower, result.upper);
+  EXPECT_GE(result.lower, 2u);
+  EXPECT_LE(result.upper, 3u);
+}
+
+TEST(MinBinCount, TwentyItemStress) {
+  // 10 pairs summing exactly to 1 -> optimal 10 bins; FFD also finds it but
+  // the solver must prove optimality.
+  std::vector<double> sizes;
+  for (int i = 1; i <= 10; ++i) {
+    const double a = 0.5 + static_cast<double>(i) * 0.04;
+    sizes.push_back(a);
+    sizes.push_back(1.0 - a);
+  }
+  const BinCountResult result = min_bin_count(sizes);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.bins(), 10u);
+}
+
+TEST(MinBinCount, LowerNeverExceedsUpper) {
+  const std::vector<double> sizes{0.9, 0.8, 0.7, 0.2, 0.15, 0.1, 0.1, 0.05};
+  const BinCountResult result = min_bin_count(sizes);
+  EXPECT_LE(result.lower, result.upper);
+  EXPECT_LE(result.upper, ffd_bin_count(sizes));
+  EXPECT_GE(result.lower, l2_lower_bound(sizes));
+}
+
+}  // namespace
+}  // namespace mutdbp::opt

@@ -1,0 +1,118 @@
+#include "opt/opt_integral.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/lower_bounds.h"
+
+namespace mutdbp::opt {
+namespace {
+
+TEST(LowerBounds, Proposition1) {
+  // Σ s(r)|I(r)| = 0.6*2 + 0.6*2 = 2.4
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.6, 1.0, 3.0)});
+  EXPECT_DOUBLE_EQ(prop1_time_space_bound(items), 2.4);
+}
+
+TEST(LowerBounds, Proposition1ScalesWithCapacity) {
+  const ItemList items({make_item(1, 2.0, 0.0, 3.0)}, 4.0);
+  EXPECT_DOUBLE_EQ(prop1_time_space_bound(items), 1.5);
+}
+
+TEST(LowerBounds, Proposition2IsSpan) {
+  const ItemList items({make_item(1, 0.1, 0.0, 2.0), make_item(2, 0.1, 5.0, 6.0)});
+  EXPECT_DOUBLE_EQ(prop2_span_bound(items), 3.0);
+}
+
+TEST(LowerBounds, LoadCeilingKnownValue) {
+  // A 0.6 [0,2), B 0.6 [1,3): ceil(load) = 1,2,1 on unit segments -> 4.
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.6, 1.0, 3.0)});
+  EXPECT_DOUBLE_EQ(load_ceiling_bound(items), 4.0);
+}
+
+TEST(LowerBounds, LoadCeilingCountsIdleGapsAsZero) {
+  const ItemList items({make_item(1, 0.1, 0.0, 1.0), make_item(2, 0.1, 5.0, 6.0)});
+  EXPECT_DOUBLE_EQ(load_ceiling_bound(items), 2.0);
+}
+
+TEST(LowerBounds, LoadCeilingAtLeastOneWhenActive) {
+  // Tiny load still requires one bin.
+  const ItemList items({make_item(1, 0.01, 0.0, 10.0)});
+  EXPECT_DOUBLE_EQ(load_ceiling_bound(items), 10.0);
+}
+
+TEST(LowerBounds, CombinedDominatesEachBound) {
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.6, 1.0, 3.0),
+                        make_item(3, 0.3, 5.0, 9.0)});
+  const double combined = combined_lower_bound(items);
+  EXPECT_GE(combined, prop1_time_space_bound(items) - 1e-12);
+  EXPECT_GE(combined, prop2_span_bound(items) - 1e-12);
+  EXPECT_GE(combined, load_ceiling_bound(items) - 1e-12);
+}
+
+TEST(LowerBounds, EmptyList) {
+  EXPECT_DOUBLE_EQ(load_ceiling_bound(ItemList{}), 0.0);
+  EXPECT_DOUBLE_EQ(combined_lower_bound(ItemList{}), 0.0);
+}
+
+TEST(OptIntegral, TwoOverlappingLargeItems) {
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.6, 1.0, 3.0)});
+  const OptIntegral result = opt_total(items);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower, 4.0);  // 1*1 + 2*1 + 1*1
+  EXPECT_DOUBLE_EQ(result.upper, 4.0);
+  EXPECT_EQ(result.segments, 3u);
+  EXPECT_EQ(result.max_active_items, 2u);
+}
+
+TEST(OptIntegral, RepackingBeatsAnyOnlineAlgorithm) {
+  // Two 0.3 items can always share one bin.
+  const ItemList items({make_item(1, 0.3, 0.0, 4.0), make_item(2, 0.4, 1.0, 2.0)});
+  const OptIntegral result = opt_total(items);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower, 4.0);  // one bin on [0,4)
+}
+
+TEST(OptIntegral, SkipsIdleGaps) {
+  const ItemList items({make_item(1, 0.5, 0.0, 1.0), make_item(2, 0.5, 3.0, 4.0)});
+  const OptIntegral result = opt_total(items);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.lower, 2.0);
+  EXPECT_EQ(result.segments, 2u);  // the idle [1,3) contributes nothing
+}
+
+TEST(OptIntegral, HalfOpenDepartures) {
+  // A departs at 1 exactly when B arrives: they never coexist.
+  const ItemList items({make_item(1, 0.9, 0.0, 1.0), make_item(2, 0.9, 1.0, 2.0)});
+  const OptIntegral result = opt_total(items);
+  EXPECT_DOUBLE_EQ(result.lower, 2.0);
+  EXPECT_DOUBLE_EQ(result.upper, 2.0);
+}
+
+TEST(OptIntegral, EmptyList) {
+  const OptIntegral result = opt_total(ItemList{});
+  EXPECT_DOUBLE_EQ(result.lower, 0.0);
+  EXPECT_DOUBLE_EQ(result.upper, 0.0);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(OptIntegral, DominatesClosedFormLowerBounds) {
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.7, 0.5, 2.5),
+                        make_item(3, 0.2, 1.0, 4.0), make_item(4, 0.9, 3.0, 6.0)});
+  const OptIntegral result = opt_total(items);
+  ASSERT_TRUE(result.exact);
+  EXPECT_GE(result.lower + 1e-9, combined_lower_bound(items));
+}
+
+TEST(OptIntegral, FallbackBracketsWhenSegmentTooLarge) {
+  OptIntegralOptions options;
+  options.exact_item_limit = 2;  // force the FFD/L2 bracket path
+  std::vector<Item> items;
+  for (ItemId i = 0; i < 6; ++i) items.push_back(make_item(i, 0.4, 0.0, 1.0));
+  const OptIntegral result = opt_total(ItemList(std::move(items)), options);
+  EXPECT_LE(result.lower, result.upper);
+  EXPECT_GE(result.lower, 2.4 - 1e-9);  // continuous bound 6*0.4
+  EXPECT_LE(result.upper, 3.0 + 1e-9);  // FFD packs 2-2-2
+}
+
+}  // namespace
+}  // namespace mutdbp::opt

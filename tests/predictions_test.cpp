@@ -1,0 +1,106 @@
+#include "clairvoyant/predictions.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/any_fit.h"
+#include "clairvoyant/clairvoyant.h"
+#include "core/simulation.h"
+#include "workload/generators.h"
+
+namespace mutdbp::clairvoyant {
+namespace {
+
+ItemList bimodal_workload(std::uint64_t seed) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 250;
+  spec.seed = seed;
+  spec.duration_dist = workload::DurationDistribution::kBimodal;
+  spec.duration_max = 12.0;
+  return workload::generate(spec);
+}
+
+TEST(Predictions, ZeroNoiseIsPerfect) {
+  const ItemList items = bimodal_workload(1);
+  const auto predicted = predict_departures(items, PredictionModel{0.0, 1});
+  for (const auto& item : items) {
+    EXPECT_DOUBLE_EQ(predicted.at(item.id), item.departure());
+  }
+}
+
+TEST(Predictions, DeterministicPerSeedAndItem) {
+  const ItemList items = bimodal_workload(2);
+  const PredictionModel model{0.5, 42};
+  const auto a = predict_departures(items, model);
+  const auto b = predict_departures(items, model);
+  for (const auto& item : items) {
+    EXPECT_DOUBLE_EQ(a.at(item.id), b.at(item.id));
+    EXPECT_GT(a.at(item.id), item.arrival());  // never before arrival
+  }
+  const auto c = predict_departures(items, PredictionModel{0.5, 43});
+  bool any_different = false;
+  for (const auto& item : items) {
+    if (a.at(item.id) != c.at(item.id)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Predictions, PerfectPredictionsMatchClairvoyantAlignedFit) {
+  const ItemList items = bimodal_workload(3);
+  const auto predicted = predict_departures(items, PredictionModel{0.0, 1});
+  const PackingResult with_predictions = predicted_aligned_simulate(items, predicted);
+  AlignedFit aligned;
+  const PackingResult clairvoyant = clairvoyant_simulate(items, aligned);
+  EXPECT_DOUBLE_EQ(with_predictions.total_usage_time(),
+                   clairvoyant.total_usage_time());
+  EXPECT_EQ(with_predictions.bins_opened(), clairvoyant.bins_opened());
+}
+
+TEST(Predictions, EveryItemStillPlacedAndValid) {
+  const ItemList items = bimodal_workload(4);
+  const auto predicted = predict_departures(items, PredictionModel{1.0, 9});
+  const PackingResult result = predicted_aligned_simulate(items, predicted);
+  EXPECT_EQ(result.assignment().size(), items.size());
+  for (const auto& bin : result.bins()) {
+    for (std::size_t i = 0; i < bin.timeline.levels.size(); ++i) {
+      EXPECT_LE(bin.timeline.levels[i], items.capacity() + 1e-6);
+    }
+  }
+}
+
+TEST(Predictions, MildNoiseStillBeatsOnlineFirstFit) {
+  double noisy_total = 0.0;
+  double online_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ItemList items = bimodal_workload(seed);
+    const auto predicted = predict_departures(items, PredictionModel{0.1, seed});
+    noisy_total += predicted_aligned_simulate(items, predicted).total_usage_time();
+    FirstFit ff;
+    online_total += simulate(items, ff).total_usage_time();
+  }
+  EXPECT_LT(noisy_total, online_total);
+}
+
+TEST(Predictions, QualityDegradesMonotonicallyOnAverage) {
+  // Aggregate over seeds: sigma 0 <= sigma 0.3 (cost), and huge noise is no
+  // better than perfect.
+  double perfect = 0.0;
+  double mild = 0.0;
+  double wild = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ItemList items = bimodal_workload(seed + 100);
+    perfect += predicted_aligned_simulate(
+                   items, predict_departures(items, PredictionModel{0.0, seed}))
+                   .total_usage_time();
+    mild += predicted_aligned_simulate(
+                items, predict_departures(items, PredictionModel{0.3, seed}))
+                .total_usage_time();
+    wild += predicted_aligned_simulate(
+                items, predict_departures(items, PredictionModel{2.0, seed}))
+                .total_usage_time();
+  }
+  EXPECT_LE(perfect, mild + 1e-9);
+  EXPECT_LE(perfect, wild + 1e-9);
+}
+
+}  // namespace
+}  // namespace mutdbp::clairvoyant

@@ -1,0 +1,374 @@
+// Parameterized property sweeps: the paper's propositions, lemmas, and
+// Theorem 1 checked on families of random workloads. Each property runs
+// over a grid of (generator config, seed) pairs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/hybrid_first_fit.h"
+#include "algorithms/next_fit.h"
+#include "algorithms/registry.h"
+#include "clairvoyant/clairvoyant.h"
+#include "analysis/subperiods.h"
+#include "analysis/supplier.h"
+#include "analysis/usage_periods.h"
+#include "core/simulation.h"
+#include "opt/lower_bounds.h"
+#include "opt/opt_integral.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+using workload::ArrivalProcess;
+using workload::DurationDistribution;
+using workload::RandomWorkloadSpec;
+using workload::SizeDistribution;
+
+struct SweepCase {
+  std::string label;
+  RandomWorkloadSpec spec;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const double mu : {1.0, 2.0, 5.0, 12.0}) {
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      RandomWorkloadSpec spec;
+      spec.num_items = 120;
+      spec.seed = seed;
+      spec.arrival_rate = 2.0;
+      spec.duration_min = 1.0;
+      spec.duration_max = mu;
+      spec.size_min = 0.02;
+      spec.size_max = 1.0;
+      cases.push_back({"uniform_mu" + std::to_string(static_cast<int>(mu)) + "_s" +
+                           std::to_string(seed),
+                       spec});
+
+      RandomWorkloadSpec bimodal = spec;
+      bimodal.size_dist = SizeDistribution::kBimodal;
+      bimodal.duration_dist = DurationDistribution::kBimodal;
+      cases.push_back({"bimodal_mu" + std::to_string(static_cast<int>(mu)) + "_s" +
+                           std::to_string(seed),
+                       bimodal});
+    }
+  }
+  // A bursty case: simultaneous arrivals stress tie-breaking.
+  RandomWorkloadSpec batched;
+  batched.num_items = 120;
+  batched.seed = 77;
+  batched.arrivals = ArrivalProcess::kBatched;
+  batched.batch_size = 6;
+  batched.duration_max = 6.0;
+  cases.push_back({"batched_mu6_s77", batched});
+  return cases;
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<SweepCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, WorkloadSweep, ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& param_info) { return param_info.param.label; });
+
+// ---- simulator invariants ----
+
+TEST_P(WorkloadSweep, CapacityNeverExceeded) {
+  const ItemList items = workload::generate(GetParam().spec);
+  for (const auto& name : algorithm_names()) {
+    const auto algo = make_algorithm(name);
+    const PackingResult result = simulate(items, *algo);
+    for (const auto& bin : result.bins()) {
+      for (std::size_t i = 0; i < bin.timeline.levels.size(); ++i) {
+        EXPECT_LE(bin.timeline.levels[i], items.capacity() + 1e-6)
+            << name << " bin " << bin.index;
+      }
+    }
+  }
+}
+
+TEST_P(WorkloadSweep, EveryItemPlacedExactlyOnce) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  EXPECT_EQ(result.assignment().size(), items.size());
+  std::size_t placements = 0;
+  for (const auto& bin : result.bins()) placements += bin.items.size();
+  EXPECT_EQ(placements, items.size());
+}
+
+TEST_P(WorkloadSweep, UsagePeriodsSpanFirstToLastItem) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  for (const auto& bin : result.bins()) {
+    ASSERT_FALSE(bin.items.empty());
+    EXPECT_DOUBLE_EQ(bin.usage.left, bin.items.front().active.left);
+    Time last_departure = 0.0;
+    for (const auto& placed : bin.items) {
+      last_departure = std::max(last_departure, placed.active.right);
+      EXPECT_TRUE(bin.usage.contains(placed.active.left));
+    }
+    EXPECT_DOUBLE_EQ(bin.usage.right, last_departure);
+  }
+}
+
+// ---- the First Fit rule and the Any Fit property ----
+
+TEST_P(WorkloadSweep, FirstFitAlwaysPicksLowestIndexedFit) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  // Reconstruct each bin's level at every arrival and check the rule.
+  const auto sorted = items.sorted_by_arrival();
+  for (const auto& item : sorted) {
+    const BinIndex chosen = result.bin_of(item.id);
+    for (const auto& bin : result.bins()) {
+      if (bin.index >= chosen) break;
+      // Bin open strictly before this arrival and still open?
+      if (!(bin.usage.left < item.arrival() ||
+            (bin.usage.left == item.arrival() && bin.index < chosen))) {
+        continue;
+      }
+      if (!bin.usage.contains(item.arrival())) continue;
+      const double level = bin.timeline.at(item.arrival());
+      // The level timeline at the arrival instant may already include items
+      // that arrived at the same instant but later in sequence; use the
+      // recorded placements instead.
+      double level_before = 0.0;
+      for (const auto& placed : bin.items) {
+        if (placed.active.contains(item.arrival()) &&
+            !(placed.active.left == item.arrival() && placed.item >= item.id)) {
+          level_before += placed.size;
+        }
+      }
+      (void)level;
+      EXPECT_GT(level_before + item.size, items.capacity() + 1e-12)
+          << "FirstFit skipped fitting bin " << bin.index << " for item " << item.id;
+    }
+  }
+}
+
+TEST_P(WorkloadSweep, AnyFitNeverOpensWhenSomethingFits) {
+  const ItemList items = workload::generate(GetParam().spec);
+  for (const auto& name : {"FirstFit", "BestFit", "WorstFit", "LastFit", "RandomFit"}) {
+    const auto algo = make_algorithm(name);
+    const PackingResult result = simulate(items, *algo);
+    const auto sorted = items.sorted_by_arrival();
+    for (const auto& item : sorted) {
+      const BinIndex chosen = result.bin_of(item.id);
+      const bool opened_new = result.bins()[chosen].usage.left == item.arrival() &&
+                              result.bins()[chosen].items.front().item == item.id;
+      if (!opened_new) continue;
+      // No open bin may have had room.
+      for (const auto& bin : result.bins()) {
+        if (bin.index == chosen || !bin.usage.contains(item.arrival())) continue;
+        if (bin.usage.left == item.arrival()) continue;  // opened simultaneously later
+        double level_before = 0.0;
+        for (const auto& placed : bin.items) {
+          if (placed.active.contains(item.arrival()) &&
+              !(placed.active.left == item.arrival() && placed.item >= item.id)) {
+            level_before += placed.size;
+          }
+        }
+        EXPECT_GT(level_before + item.size, items.capacity() + 1e-12)
+            << name << " opened a bin although bin " << bin.index << " fit item "
+            << item.id;
+      }
+    }
+  }
+}
+
+// ---- Section IV identities ----
+
+TEST_P(WorkloadSweep, EquationOneHoldsForEveryAlgorithm) {
+  const ItemList items = workload::generate(GetParam().spec);
+  for (const auto& name : algorithm_names()) {
+    const auto algo = make_algorithm(name);
+    const PackingResult result = simulate(items, *algo);
+    const analysis::UsagePeriodDecomposition decomposition(result);
+    EXPECT_NEAR(result.total_usage_time(),
+                decomposition.total_v() + items.span(), 1e-6)
+        << name;
+    EXPECT_NEAR(decomposition.total_w(), items.span(), 1e-6) << name;
+  }
+}
+
+TEST_P(WorkloadSweep, WPeriodsDisjoint) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const analysis::UsagePeriodDecomposition decomposition(result);
+  IntervalSet seen;
+  for (const auto& bin : decomposition.bins()) {
+    if (bin.w.empty()) continue;
+    EXPECT_FALSE(seen.intersects(bin.w));
+    seen.insert(bin.w);
+  }
+}
+
+// ---- Section V propositions ----
+
+TEST_P(WorkloadSweep, Propositions3Through6) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const analysis::SubperiodAnalysis analysis(items, result);
+  const double window = analysis.window();
+  const double small_abs = analysis.small_threshold_abs();
+
+  for (const auto& bin : analysis.per_bin()) {
+    const auto ls = bin.l_subperiods();
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      // Proposition 3: |x_l,i| <= window.
+      EXPECT_LE(ls[i].period.length(), window + 1e-9);
+      // Proposition 4: a small item is placed at the left endpoint.
+      bool found = false;
+      for (const auto& placed : result.bins()[bin.bin].items) {
+        if (placed.item == ls[i].selected_item) {
+          EXPECT_DOUBLE_EQ(placed.active.left, ls[i].period.left);
+          EXPECT_LT(placed.size, small_abs);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+      // Proposition 5: consecutive l-subperiod lengths sum beyond window.
+      if (i + 1 < ls.size()) {
+        EXPECT_GT(ls[i].period.length() + ls[i + 1].period.length(), window - 1e-9);
+      }
+    }
+    // Proposition 6: no small item of this bin active in h-subperiods, and
+    // the level stays >= 1/2 there.
+    for (const auto& sp : bin.h_subperiods()) {
+      const auto& record = result.bins()[bin.bin];
+      for (const auto& placed : record.items) {
+        if (placed.size < small_abs) {
+          EXPECT_FALSE(placed.active.overlaps(sp.period))
+              << "bin " << bin.bin << " small " << placed.item;
+        }
+      }
+      EXPECT_GE(record.timeline.min_over(sp.period),
+                0.5 * items.capacity() - 1e-9);
+    }
+  }
+}
+
+// ---- Section VI: supplier structure and Lemma 2 ----
+
+TEST_P(WorkloadSweep, SupplierStructureAndLemma2) {
+  const ItemList items = workload::generate(GetParam().spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const analysis::SubperiodAnalysis subs(items, result);
+  const analysis::SupplierAnalysis sup(items, result, subs);
+
+  // Every l-subperiod has a supplier bin (the W/V dichotomy guarantees it).
+  EXPECT_EQ(sup.missing_suppliers(), 0u);
+
+  // Proposition 7: paired l-subperiods are adjacent (empty h between them).
+  for (const auto& infos : sup.per_bin()) {
+    for (std::size_t i = 0; i + 1 < infos.size(); ++i) {
+      if (infos[i].pairs_with_next) {
+        EXPECT_NEAR(infos[i].sub.period.right, infos[i + 1].sub.period.left, 1e-9);
+      }
+    }
+  }
+
+  // Lemma 1: consolidated supplier periods are shorter than the sum of
+  // their members' single-form periods.
+  for (const auto& group : sup.groups()) {
+    if (!group.consolidated()) continue;
+    double sum = 0.0;
+    for (const auto& member : group.members) {
+      sum += 2.0 * sup.rho() * member.period.length();
+    }
+    EXPECT_LT(group.supplier_period.length(), sum + 1e-9);
+  }
+
+  // Lemma 2: supplier periods never intersect.
+  EXPECT_EQ(sup.count_intersections(), 0u);
+}
+
+// ---- Propositions 1-2 and Theorem 1 ----
+
+TEST_P(WorkloadSweep, LowerBoundsNeverExceedOptIntegral) {
+  RandomWorkloadSpec spec = GetParam().spec;
+  spec.num_items = 40;  // keep the exact integral cheap
+  const ItemList items = workload::generate(spec);
+  const opt::OptIntegral integral = opt::opt_total(items);
+  EXPECT_LE(opt::prop1_time_space_bound(items), integral.upper + 1e-6);
+  EXPECT_LE(opt::prop2_span_bound(items), integral.upper + 1e-6);
+  EXPECT_LE(opt::load_ceiling_bound(items), integral.upper + 1e-6);
+  EXPECT_LE(integral.lower, integral.upper + 1e-9);
+}
+
+TEST_P(WorkloadSweep, Theorem1FirstFitWithinMuPlus4OfOpt) {
+  RandomWorkloadSpec spec = GetParam().spec;
+  spec.num_items = 40;
+  const ItemList items = workload::generate(spec);
+  FirstFit ff;
+  const PackingResult result = simulate(items, ff);
+  const opt::OptIntegral integral = opt::opt_total(items);
+  const double mu = items.mu();
+  // FF_total <= (µ+4) OPT_total <= (µ+4) * integral.upper.
+  EXPECT_LE(result.total_usage_time(), (mu + 4.0) * integral.upper + 1e-6)
+      << "mu=" << mu;
+}
+
+TEST_P(WorkloadSweep, NextFitWithinKamaliBound) {
+  // NF <= (2µ+1) OPT [12]; checked against the exact repacking integral.
+  RandomWorkloadSpec spec = GetParam().spec;
+  spec.num_items = 40;
+  const ItemList items = workload::generate(spec);
+  NextFit nf;
+  const PackingResult result = simulate(items, nf);
+  const opt::OptIntegral integral = opt::opt_total(items);
+  EXPECT_LE(result.total_usage_time(),
+            (2.0 * items.mu() + 1.0) * integral.upper + 1e-6);
+}
+
+TEST_P(WorkloadSweep, HybridFirstFitNeverMixesClasses) {
+  const ItemList items = workload::generate(GetParam().spec);
+  HybridFirstFit hff;  // default boundaries {1/3, 1/2, 1}
+  const PackingResult result = simulate(items, hff);
+  for (const auto& bin : result.bins()) {
+    const std::size_t cls = hff.classify(bin.items.front().size);
+    for (const auto& placed : bin.items) {
+      EXPECT_EQ(hff.classify(placed.size), cls)
+          << "bin " << bin.index << " mixes size classes";
+    }
+  }
+}
+
+TEST_P(WorkloadSweep, ClairvoyantControlEqualsOnlineFirstFit) {
+  // ClairvoyantFirstFit ignores the departures it is shown: it must place
+  // identically to the online FirstFit on every workload.
+  const ItemList items = workload::generate(GetParam().spec);
+  clairvoyant::ClairvoyantFirstFit control;
+  const PackingResult a = clairvoyant::clairvoyant_simulate(items, control);
+  FirstFit ff;
+  const PackingResult b = simulate(items, ff);
+  EXPECT_DOUBLE_EQ(a.total_usage_time(), b.total_usage_time());
+  EXPECT_EQ(a.bins_opened(), b.bins_opened());
+  for (const auto& item : items) {
+    EXPECT_EQ(a.bin_of(item.id), b.bin_of(item.id));
+  }
+}
+
+TEST_P(WorkloadSweep, DeterministicResults) {
+  const ItemList items = workload::generate(GetParam().spec);
+  for (const auto& name : algorithm_names()) {
+    const auto a1 = make_algorithm(name, 9);
+    const auto a2 = make_algorithm(name, 9);
+    const PackingResult r1 = simulate(items, *a1);
+    const PackingResult r2 = simulate(items, *a2);
+    EXPECT_DOUBLE_EQ(r1.total_usage_time(), r2.total_usage_time()) << name;
+    EXPECT_EQ(r1.bins_opened(), r2.bins_opened()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mutdbp

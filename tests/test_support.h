@@ -1,0 +1,47 @@
+// Shared test helpers.
+#pragma once
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/algorithm.h"
+
+namespace mutdbp::testing {
+
+/// A scripted "algorithm" that places each item either in the bin of a
+/// designated earlier item or in a new bin. Lets tests construct exact
+/// packings for the analysis machinery without depending on a particular
+/// online rule.
+class ScriptedPlacement final : public PackingAlgorithm {
+ public:
+  /// join[i] = j means item i joins the bin that item j opened/lives in;
+  /// items absent from the map open a new bin.
+  explicit ScriptedPlacement(std::unordered_map<ItemId, ItemId> join)
+      : join_(std::move(join)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "Scripted"; }
+
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot>) override {
+    const auto it = join_.find(item.id);
+    if (it == join_.end()) return std::nullopt;
+    const auto target = bin_of_.find(it->second);
+    if (target == bin_of_.end()) {
+      throw std::logic_error("ScriptedPlacement: anchor item not yet placed");
+    }
+    bin_of_[item.id] = target->second;
+    return target->second;
+  }
+
+  void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override {
+    bin_of_[first_item.id] = bin;
+  }
+
+  void reset() override { bin_of_.clear(); }
+
+ private:
+  std::unordered_map<ItemId, ItemId> join_;
+  std::unordered_map<ItemId, BinIndex> bin_of_;
+};
+
+}  // namespace mutdbp::testing

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace mutdbp {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  EXPECT_NE(Rng(123).next_u64(), c.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[rng.uniform_u64(0, 5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+  EXPECT_THROW((void)rng.uniform_u64(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(1.5, 1.0, 10.0);
+    EXPECT_GE(x, 1.0 - 1e-9);
+    EXPECT_LE(x, 10.0 + 1e-9);
+  }
+  EXPECT_THROW((void)rng.bounded_pareto(0.0, 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(std::span<int>(copy));
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(copy.begin(), copy.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+  EXPECT_NEAR(stats.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(values, 101.0), std::invalid_argument);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", Table::num(1.5, 2)});
+  table.add_row({"beta", Table::num(std::size_t{42})});
+  std::ostringstream out;
+  out << table;
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, WritesCsvWithQuoting) {
+  Table table({"algorithm", "value"});
+  table.add_row({"HybridFirstFit(0.333,0.5,1)", "1.25"});
+  table.add_row({"plain", "2"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "algorithm,value\n"
+            "\"HybridFirstFit(0.333,0.5,1)\",1.25\n"
+            "plain,2\n");
+}
+
+TEST(Table, CsvEscapesEmbeddedQuotes) {
+  Table table({"note"});
+  table.add_row({"say \"hi\""});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "note\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, SplitsAndTrims) {
+  const auto fields = split_csv_line(" a , b,c ,, d ");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[3], "");
+  EXPECT_EQ(fields[4], "d");
+}
+
+TEST(Csv, DetectsHeaderAndSkipsComments) {
+  std::stringstream in("# hello\ncol_a,col_b\n1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "col_a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(Csv, NoHeaderWhenFirstRowNumeric) {
+  std::stringstream in("1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, ParseDoubleErrorsCarryContext) {
+  try {
+    (void)parse_double("xyz", "row 3");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 3"), std::string::npos);
+  }
+}
+
+TEST(Flags, ParsesFormsAndTypes) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--count", "7", "--name=ff", "--flag"};
+  Flags flags(6, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(flags.get_int("count", 0), 7);
+  EXPECT_EQ(flags.get_string("name", ""), "ff");
+  EXPECT_TRUE(flags.get_bool("flag", false));
+  EXPECT_EQ(flags.get_int("absent", 42), 42);
+  EXPECT_FALSE(flags.finish("test"));
+}
+
+TEST(Flags, RejectsUnknownAndMalformed) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags flags(2, argv);
+  (void)flags.get_int("count", 0);
+  EXPECT_THROW((void)flags.finish("test"), std::invalid_argument);
+
+  const char* argv2[] = {"prog", "--count=abc"};
+  Flags flags2(2, argv2);
+  EXPECT_THROW((void)flags2.get_int("count", 0), std::invalid_argument);
+
+  const char* argv3[] = {"prog", "positional"};
+  EXPECT_THROW(Flags(2, argv3), std::invalid_argument);
+}
+
+TEST(Parallel, ComputesAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(0, 100, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace mutdbp

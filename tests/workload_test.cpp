@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/next_fit.h"
+#include "core/simulation.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace mutdbp::workload {
+namespace {
+
+TEST(Generators, DeterministicUnderSeed) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 200;
+  spec.seed = 99;
+  const ItemList a = generate(spec);
+  const ItemList b = generate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  spec.seed = 100;
+  const ItemList c = generate(spec);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == c[i])) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Generators, RespectsRanges) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 500;
+  spec.size_min = 0.1;
+  spec.size_max = 0.8;
+  spec.duration_min = 2.0;
+  spec.duration_max = 6.0;
+  const ItemList items = generate(spec);
+  for (const auto& item : items) {
+    EXPECT_GE(item.size, 0.1);
+    EXPECT_LE(item.size, 0.8);
+    EXPECT_GE(item.duration(), 2.0 - 1e-12);
+    EXPECT_LE(item.duration(), 6.0 + 1e-12);
+  }
+  EXPECT_LE(items.mu(), 3.0 + 1e-9);
+}
+
+TEST(Generators, PoissonArrivalsIncrease) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 100;
+  spec.arrivals = ArrivalProcess::kPoisson;
+  const ItemList items = generate(spec);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i].arrival(), items[i - 1].arrival());
+  }
+}
+
+TEST(Generators, BatchedArrivalsShareTimes) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 12;
+  spec.arrivals = ArrivalProcess::kBatched;
+  spec.batch_size = 4;
+  spec.arrival_rate = 1.0;
+  const ItemList items = generate(spec);
+  EXPECT_DOUBLE_EQ(items[0].arrival(), items[3].arrival());
+  EXPECT_DOUBLE_EQ(items[4].arrival(), items[7].arrival());
+  EXPECT_NE(items[0].arrival(), items[4].arrival());
+}
+
+TEST(Generators, BimodalDurationsAreExtremes) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 100;
+  spec.duration_dist = DurationDistribution::kBimodal;
+  spec.duration_min = 1.0;
+  spec.duration_max = 8.0;
+  const ItemList items = generate(spec);
+  std::size_t shorts = 0;
+  std::size_t longs = 0;
+  for (const auto& item : items) {
+    // duration() = (arrival + d) - arrival can be one ulp off d.
+    if (std::abs(item.duration() - 1.0) < 1e-9) ++shorts;
+    if (std::abs(item.duration() - 8.0) < 1e-9) ++longs;
+  }
+  EXPECT_EQ(shorts + longs, items.size());
+  EXPECT_GT(shorts, 20u);
+  EXPECT_GT(longs, 20u);
+}
+
+TEST(Generators, DiscreteSizesComeFromChoices) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 100;
+  spec.size_dist = SizeDistribution::kDiscrete;
+  spec.size_choices = {0.25, 0.5, 1.0};
+  const ItemList items = generate(spec);
+  for (const auto& item : items) {
+    EXPECT_TRUE(item.size == 0.25 || item.size == 0.5 || item.size == 1.0);
+  }
+}
+
+TEST(Generators, ValidatesSpec) {
+  RandomWorkloadSpec spec;
+  spec.size_min = 0.0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec = {};
+  spec.duration_min = 5.0;
+  spec.duration_max = 2.0;
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+  spec = {};
+  spec.size_dist = SizeDistribution::kDiscrete;  // empty choices
+  EXPECT_THROW((void)generate(spec), std::invalid_argument);
+}
+
+TEST(Adversarial, NextFitInstanceMatchesPrediction) {
+  const auto instance = next_fit_lower_bound_instance(8, 5.0);
+  NextFit nf;
+  const PackingResult result = simulate(instance.items, nf);
+  EXPECT_EQ(result.bins_opened(), 8u);
+  EXPECT_NEAR(result.total_usage_time(), instance.predicted_algorithm_cost, 1e-9);
+  EXPECT_NEAR(instance.predicted_algorithm_cost, 40.0, 1e-12);
+  EXPECT_NEAR(instance.predicted_opt_cost, 4.0 + 5.0, 1e-12);
+
+  // First Fit is strictly better on this instance.
+  FirstFit ff;
+  const PackingResult ff_result = simulate(instance.items, ff);
+  EXPECT_LT(ff_result.total_usage_time(), result.total_usage_time());
+}
+
+TEST(Adversarial, NextFitPredictedOptIsAchievable) {
+  // The described optimal packing must not violate the closed-form lower
+  // bounds: prop2 gives µ, prop1 gives n(1/2·1 + 1/n·µ)/1 = n/2 + µ.
+  const auto instance = next_fit_lower_bound_instance(10, 4.0);
+  EXPECT_GE(instance.predicted_opt_cost,
+            instance.items.span() - 1e-9);
+  EXPECT_GE(instance.predicted_opt_cost,
+            instance.items.total_time_space_demand() - 1e-9);
+}
+
+TEST(Adversarial, NextFitInstanceValidation) {
+  EXPECT_THROW((void)next_fit_lower_bound_instance(2, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)next_fit_lower_bound_instance(8, 0.5), std::invalid_argument);
+}
+
+TEST(Adversarial, PinningForcesEveryAnyFitAlgorithm) {
+  const auto instance = any_fit_pinning_instance(10, 6.0);
+  SimulationOptions options;
+  options.fit_epsilon = instance.recommended_fit_epsilon;  // 0: dyadic sizes
+  FirstFit ff(0.0);
+  BestFit bf(0.0);
+  WorstFit wf(0.0);
+  LastFit lf(0.0);
+  for (PackingAlgorithm* algo :
+       std::initializer_list<PackingAlgorithm*>{&ff, &bf, &wf, &lf}) {
+    const PackingResult result = simulate(instance.items, *algo, options);
+    EXPECT_EQ(result.bins_opened(), 10u) << algo->name();
+    EXPECT_NEAR(result.total_usage_time(), instance.predicted_algorithm_cost, 1e-9)
+        << algo->name();
+  }
+  EXPECT_NEAR(instance.predicted_ratio(), 60.0 / 16.0, 1e-12);
+}
+
+TEST(Adversarial, PinningValidation) {
+  EXPECT_THROW((void)any_fit_pinning_instance(0, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)any_fit_pinning_instance(49, 5.0), std::invalid_argument);
+}
+
+TEST(Adversarial, BestFitDecoySeparatesBestFitFromFirstFit) {
+  const double mu = 20.0;
+  const std::size_t rounds = 13;  // 1.5*12 + 0.5 = 18.5 < 20
+  const auto instance = best_fit_decoy_instance(rounds, mu);
+  SimulationOptions options;
+  options.fit_epsilon = 0.0;
+  BestFit bf(0.0);
+  FirstFit ff(0.0);
+  const PackingResult bf_result = simulate(instance.items, bf, options);
+  const PackingResult ff_result = simulate(instance.items, ff, options);
+  EXPECT_NEAR(bf_result.total_usage_time(), instance.predicted_algorithm_cost, 1e-9);
+  EXPECT_NEAR(ff_result.total_usage_time(), instance.predicted_opt_cost, 1e-9);
+  EXPECT_GT(bf_result.total_usage_time(), 3.0 * ff_result.total_usage_time());
+}
+
+TEST(Adversarial, BestFitDecoyValidation) {
+  EXPECT_THROW((void)best_fit_decoy_instance(10, 5.0), std::invalid_argument);
+  EXPECT_THROW((void)best_fit_decoy_instance(0, 50.0), std::invalid_argument);
+}
+
+TEST(Trace, RoundTripsExactly) {
+  RandomWorkloadSpec spec;
+  spec.num_items = 50;
+  spec.seed = 5;
+  const ItemList original = generate(spec);
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const ItemList loaded = read_trace(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]) << "item " << i;
+  }
+}
+
+TEST(Trace, ReadsCommentsAndHeader) {
+  std::stringstream in(
+      "# a comment\n"
+      "id,size,arrival,departure\n"
+      "1,0.5,0,2\n"
+      "\n"
+      "2,0.25,1,3\n");
+  const ItemList items = read_trace(in);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_DOUBLE_EQ(items[0].size, 0.5);
+  EXPECT_DOUBLE_EQ(items[1].departure(), 3.0);
+}
+
+TEST(Trace, RejectsMalformedRows) {
+  std::stringstream missing("1,0.5,0\n");
+  EXPECT_THROW((void)read_trace(missing), std::invalid_argument);
+  // A non-numeric field in the FIRST row would be taken as a header (by
+  // design); garbage in a later row must throw.
+  std::stringstream garbage("1,0.5,0,2\n2,abc,0,2\n");
+  EXPECT_THROW((void)read_trace(garbage), std::invalid_argument);
+  std::stringstream bad_item("1,0.5,5,2\n");  // departure before arrival
+  EXPECT_THROW((void)read_trace(bad_item), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mutdbp::workload
