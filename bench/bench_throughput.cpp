@@ -2,6 +2,7 @@
 // simulation engine per algorithm and instance size, in items/second.
 #include <benchmark/benchmark.h>
 
+#include "algorithms/any_fit.h"
 #include "algorithms/registry.h"
 #include "core/simulation.h"
 #include "workload/generators.h"
@@ -42,6 +43,22 @@ void BM_HybridFirstFit(benchmark::State& state) {
   run_algorithm(state, "HybridFirstFit");
 }
 
+// The same First Fit rule forced onto the legacy snapshot-scan path: the
+// gap to BM_FirstFit is the placement kernel's contribution.
+void BM_FirstFitSnapshotPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ItemList items = workload_of_size(n);
+  WithSnapshots<FirstFit> algo;
+  SimulationOptions options;
+  options.record_timelines = false;
+  for (auto _ : state) {
+    const PackingResult result = simulate(items, algo, options);
+    benchmark::DoNotOptimize(result.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
 void BM_SimulatorWithTimelines(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const ItemList items = workload_of_size(n);
@@ -60,6 +77,7 @@ BENCHMARK(BM_FirstFit)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_BestFit)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_NextFit)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_HybridFirstFit)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FirstFitSnapshotPath)->Arg(50000);
 BENCHMARK(BM_SimulatorWithTimelines)->Arg(10000);
 
 BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "algorithms/any_fit.h"
 
+#include <stdexcept>
+
 namespace mutdbp {
 
 Placement AnyFitAlgorithm::place(const ArrivalView& item,
@@ -11,6 +13,56 @@ Placement AnyFitAlgorithm::place(const ArrivalView& item,
   if (fitting_.empty()) return std::nullopt;  // the Any Fit property
   return pick(item, fitting_);
 }
+
+Placement TreeAnyFit::place(const ArrivalView& item,
+                            std::span<const BinSnapshot> open_bins) {
+  // An attached instance is driven by a Simulation that passes an empty
+  // span (needs_snapshots() == false) — answer from the tree. Explicit
+  // snapshots (tests, WithSnapshots<>) take the reference scan path.
+  if (open_bins.empty() && attached_) {
+    std::optional<BinIndex> hit;
+    switch (query_) {
+      case TreeQuery::kFirstFit: hit = tree_.first_fit(item.size); break;
+      case TreeQuery::kBestFit: hit = tree_.best_fit(item.size); break;
+      case TreeQuery::kWorstFit: hit = tree_.worst_fit(item.size); break;
+      case TreeQuery::kLastFit: hit = tree_.last_fit(item.size); break;
+    }
+    if (!hit.has_value()) return std::nullopt;  // the Any Fit property
+    return *hit;
+  }
+  return AnyFitAlgorithm::place(item, open_bins);
+}
+
+void TreeAnyFit::on_simulation_begin(double capacity, double /*fit_epsilon*/) {
+  // The tree applies this instance's own epsilon, exactly as the snapshot
+  // scan applies it in fits().
+  tree_.begin(capacity, fit_epsilon(), track_level_order_);
+  attached_ = true;
+}
+
+void TreeAnyFit::on_bin_opened(BinIndex bin, const ArrivalView& first_item) {
+  if (!attached_) return;
+  const BinIndex assigned = tree_.append(first_item.size);
+  if (assigned != bin) {
+    throw std::logic_error("TreeAnyFit: bin indices out of sync with the simulation");
+  }
+}
+
+void TreeAnyFit::on_item_placed(BinIndex bin, const ArrivalView& /*item*/,
+                                double new_level) {
+  if (attached_) tree_.set_level(bin, new_level);
+}
+
+void TreeAnyFit::on_item_departed(BinIndex bin, double /*size*/, double new_level,
+                                  Time /*t*/) {
+  if (attached_) tree_.set_level(bin, new_level);
+}
+
+void TreeAnyFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  if (attached_) tree_.close(bin);
+}
+
+void TreeAnyFit::reset() { attached_ = false; }
 
 BinIndex FirstFit::pick(const ArrivalView& /*item*/,
                         std::span<const BinSnapshot> fitting) {

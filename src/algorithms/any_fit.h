@@ -1,13 +1,32 @@
 // The Any Fit family (§I): algorithms that open a new bin only when no
-// currently open bin can accommodate the incoming item. The base class
-// guarantees that property; subclasses only choose *which* fitting bin.
+// currently open bin can accommodate the incoming item.
+//
+// Two base classes:
+//  * AnyFitAlgorithm — the classic snapshot path: place() filters the open
+//    bins for fitting ones and delegates the choice to pick(). Simple and
+//    still the recommended base for new experimental rules (RandomFit uses
+//    it; see docs/extending.md).
+//  * TreeAnyFit — the incremental O(log m) kernel: maintains a CapacityTree
+//    of bin levels through the simulation's event hooks and answers place()
+//    from a tree query without ever materializing snapshots. It derives
+//    from AnyFitAlgorithm and keeps the snapshot scan as its reference
+//    path: when handed explicit snapshots (unit tests, standalone use, the
+//    WithSnapshots<> differential-testing adapter) it behaves exactly like
+//    the legacy implementation. The kernel property tests assert the two
+//    paths produce bit-identical placements.
+//
+// FirstFit / BestFit / WorstFit / LastFit are TreeAnyFit instances; each
+// supplies both the legacy pick() (reference semantics) and the matching
+// tree query.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/capacity_tree.h"
 
 namespace mutdbp {
 
@@ -17,7 +36,7 @@ class AnyFitAlgorithm : public PackingAlgorithm {
       : fit_epsilon_(fit_epsilon) {}
 
   [[nodiscard]] Placement place(const ArrivalView& item,
-                                std::span<const BinSnapshot> open_bins) final;
+                                std::span<const BinSnapshot> open_bins) override;
 
   [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
 
@@ -32,11 +51,49 @@ class AnyFitAlgorithm : public PackingAlgorithm {
   std::vector<BinSnapshot> fitting_;  // reused across calls
 };
 
+/// Any Fit on the incremental placement kernel (see file comment).
+class TreeAnyFit : public AnyFitAlgorithm {
+ public:
+  /// Which CapacityTree query answers place(). A plain enum rather than a
+  /// virtual hook: the kind is fixed per instance, so place() dispatches
+  /// through one perfectly-predicted switch and every query inlines —
+  /// measurably cheaper than an indirect call on the per-arrival hot path.
+  enum class TreeQuery { kFirstFit, kBestFit, kWorstFit, kLastFit };
+
+  explicit TreeAnyFit(TreeQuery query, double fit_epsilon = kDefaultFitEpsilon,
+                      bool track_level_order = false) noexcept
+      : AnyFitAlgorithm(fit_epsilon),
+        query_(query),
+        track_level_order_(track_level_order) {}
+
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return false; }
+
+  [[nodiscard]] Placement place(const ArrivalView& item,
+                                std::span<const BinSnapshot> open_bins) override;
+
+  void on_simulation_begin(double capacity, double fit_epsilon) override;
+  void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_item_placed(BinIndex bin, const ArrivalView& item, double new_level) override;
+  void on_item_departed(BinIndex bin, double size, double new_level, Time t) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  /// The kernel state (exposed for tests).
+  [[nodiscard]] const CapacityTree& tree() const noexcept { return tree_; }
+
+ private:
+  CapacityTree tree_;
+  TreeQuery query_;
+  bool track_level_order_;
+  bool attached_ = false;  ///< a Simulation has bound this instance
+};
+
 /// First Fit (§III.B): "places the item in the bin which was opened earliest
 /// among these bins" — i.e. the lowest-indexed fitting bin.
-class FirstFit final : public AnyFitAlgorithm {
+class FirstFit : public TreeAnyFit {
  public:
-  using AnyFitAlgorithm::AnyFitAlgorithm;
+  explicit FirstFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeAnyFit(TreeQuery::kFirstFit, fit_epsilon) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "FirstFit"; }
 
  protected:
@@ -46,9 +103,10 @@ class FirstFit final : public AnyFitAlgorithm {
 
 /// Best Fit: fullest fitting bin (ties: lowest index). The paper notes its
 /// competitive ratio is unbounded for MinUsageTime DBP.
-class BestFit final : public AnyFitAlgorithm {
+class BestFit : public TreeAnyFit {
  public:
-  using AnyFitAlgorithm::AnyFitAlgorithm;
+  explicit BestFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeAnyFit(TreeQuery::kBestFit, fit_epsilon, /*track_level_order=*/true) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "BestFit"; }
 
  protected:
@@ -57,9 +115,10 @@ class BestFit final : public AnyFitAlgorithm {
 };
 
 /// Worst Fit: emptiest fitting bin (ties: lowest index).
-class WorstFit final : public AnyFitAlgorithm {
+class WorstFit : public TreeAnyFit {
  public:
-  using AnyFitAlgorithm::AnyFitAlgorithm;
+  explicit WorstFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeAnyFit(TreeQuery::kWorstFit, fit_epsilon) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "WorstFit"; }
 
  protected:
@@ -68,9 +127,10 @@ class WorstFit final : public AnyFitAlgorithm {
 };
 
 /// Last Fit: most recently opened fitting bin.
-class LastFit final : public AnyFitAlgorithm {
+class LastFit : public TreeAnyFit {
  public:
-  using AnyFitAlgorithm::AnyFitAlgorithm;
+  explicit LastFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeAnyFit(TreeQuery::kLastFit, fit_epsilon) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "LastFit"; }
 
  protected:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 namespace mutdbp {
@@ -32,26 +33,77 @@ std::size_t HybridFirstFit::classify(double size) const {
 Placement HybridFirstFit::place(const ArrivalView& item,
                                 std::span<const BinSnapshot> open_bins) {
   const std::size_t cls = classify(item.size);
+
+  // Kernel path: first fit within the class tree, local hit mapped back to
+  // the global bin index. Local opening order equals ascending global index
+  // order, so the lowest local fit is the lowest global fit in the class.
+  if (open_bins.empty() && attached_) {
+    const std::optional<BinIndex> hit = class_trees_[cls].first_fit(item.size);
+    if (hit.has_value()) return class_bins_[cls][*hit];
+    pending_class_ = cls;
+    return std::nullopt;
+  }
+
+  // Reference path (explicit snapshots: tests, WithSnapshots<>).
   for (const auto& bin : open_bins) {
     const auto it = bin_class_.find(bin.index);
-    if (it == bin_class_.end() || it->second != cls) continue;
+    if (it == bin_class_.end() || it->second.cls != cls) continue;
     if (fits(bin, item.size, fit_epsilon_)) return bin.index;  // first fit in class
   }
   pending_class_ = cls;
   return std::nullopt;
 }
 
-void HybridFirstFit::on_bin_opened(BinIndex bin, const ArrivalView& /*first_item*/) {
-  bin_class_[bin] = pending_class_;
+void HybridFirstFit::on_simulation_begin(double capacity, double /*fit_epsilon*/) {
+  // Each class tree applies this instance's own epsilon, exactly as the
+  // snapshot path applies it in fits().
+  class_trees_.assign(boundaries_.size(), CapacityTree{});
+  class_bins_.assign(boundaries_.size(), {});
+  for (auto& tree : class_trees_) tree.begin(capacity, fit_epsilon_);
+  attached_ = true;
+}
+
+void HybridFirstFit::on_bin_opened(BinIndex bin, const ArrivalView& first_item) {
+  BinInfo info;
+  info.cls = pending_class_;
+  if (attached_) {
+    info.local = class_trees_[info.cls].append(first_item.size);
+    class_bins_[info.cls].push_back(bin);
+    if (class_bins_[info.cls].size() != info.local + 1) {
+      throw std::logic_error("HybridFirstFit: class bin indices out of sync");
+    }
+  }
+  bin_class_[bin] = info;
+}
+
+void HybridFirstFit::on_item_placed(BinIndex bin, const ArrivalView& /*item*/,
+                                    double new_level) {
+  if (!attached_) return;
+  const BinInfo& info = bin_class_.at(bin);
+  class_trees_[info.cls].set_level(info.local, new_level);
+}
+
+void HybridFirstFit::on_item_departed(BinIndex bin, double /*size*/, double new_level,
+                                      Time /*t*/) {
+  if (!attached_) return;
+  const BinInfo& info = bin_class_.at(bin);
+  class_trees_[info.cls].set_level(info.local, new_level);
 }
 
 void HybridFirstFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  if (attached_) {
+    const BinInfo& info = bin_class_.at(bin);
+    class_trees_[info.cls].close(info.local);
+  }
   bin_class_.erase(bin);
 }
 
 void HybridFirstFit::reset() {
   bin_class_.clear();
   pending_class_ = 0;
+  class_trees_.clear();
+  class_bins_.clear();
+  attached_ = false;
 }
 
 }  // namespace mutdbp

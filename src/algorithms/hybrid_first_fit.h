@@ -7,6 +7,14 @@
 // default {1/3, 1/2, 1} gives classes (0,1/3], (1/3,1/2], (1/2,1].
 // Note this is NOT an Any Fit algorithm: it may open a new bin while a bin
 // of a different class still has room.
+//
+// Kernel port: one CapacityTree per size class, indexed by *local* bin
+// numbers assigned in class opening order (which equals ascending global
+// index order, since bins never reopen). An attached instance answers
+// place() with a first-fit query on the item's class tree in O(log m_c) and
+// maps the local hit back to the global bin index; handed explicit
+// snapshots (tests, WithSnapshots<>) it takes the legacy class-filtered
+// scan.
 #pragma once
 
 #include <string>
@@ -15,10 +23,11 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/capacity_tree.h"
 
 namespace mutdbp {
 
-class HybridFirstFit final : public PackingAlgorithm {
+class HybridFirstFit : public PackingAlgorithm {
  public:
   /// `boundaries` must be strictly increasing and end with the bin capacity
   /// (relative sizes: 1.0). Class c holds sizes in (boundaries[c-1], boundaries[c]].
@@ -26,10 +35,14 @@ class HybridFirstFit final : public PackingAlgorithm {
                           double fit_epsilon = kDefaultFitEpsilon);
 
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return false; }
 
   [[nodiscard]] Placement place(const ArrivalView& item,
                                 std::span<const BinSnapshot> open_bins) override;
+  void on_simulation_begin(double capacity, double fit_epsilon) override;
   void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_item_placed(BinIndex bin, const ArrivalView& item, double new_level) override;
+  void on_item_departed(BinIndex bin, double size, double new_level, Time t) override;
   void on_bin_closed(BinIndex bin, Time close_time) override;
   void reset() override;
 
@@ -37,11 +50,20 @@ class HybridFirstFit final : public PackingAlgorithm {
   [[nodiscard]] std::size_t class_count() const noexcept { return boundaries_.size(); }
 
  private:
+  struct BinInfo {
+    std::size_t cls = 0;    ///< size class of the bin's dedicating item
+    std::size_t local = 0;  ///< index within the class tree (attached only)
+  };
+
   std::vector<double> boundaries_;
   double fit_epsilon_;
   std::string name_;
-  std::unordered_map<BinIndex, std::size_t> bin_class_;
+  std::unordered_map<BinIndex, BinInfo> bin_class_;
   std::size_t pending_class_ = 0;  // class of the item that caused a new bin
+  // Incremental kernel state (valid while attached_).
+  std::vector<CapacityTree> class_trees_;          ///< one tree per size class
+  std::vector<std::vector<BinIndex>> class_bins_;  ///< local -> global index
+  bool attached_ = false;
 };
 
 }  // namespace mutdbp

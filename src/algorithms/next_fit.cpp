@@ -4,6 +4,21 @@ namespace mutdbp {
 
 Placement NextFit::place(const ArrivalView& item,
                          std::span<const BinSnapshot> open_bins) {
+  // Kernel path: an attached instance is driven with an empty span
+  // (needs_snapshots() == false) and answers in O(1) from the hook-tracked
+  // level of the available bin, using the identical fit predicate.
+  if (open_bins.empty() && attached_) {
+    if (available_.has_value()) {
+      if (available_level_ + item.size <= capacity_ + fit_epsilon_) {
+        return *available_;
+      }
+      // Doesn't fit: the available bin becomes unavailable forever.
+      available_.reset();
+    }
+    return std::nullopt;  // open a new bin; on_bin_opened marks it available
+  }
+
+  // Reference path (explicit snapshots: tests, WithSnapshots<>).
   if (available_.has_value()) {
     for (const auto& bin : open_bins) {
       if (bin.index == *available_) {
@@ -17,8 +32,26 @@ Placement NextFit::place(const ArrivalView& item,
   return std::nullopt;  // open a new bin; on_bin_opened marks it available
 }
 
-void NextFit::on_bin_opened(BinIndex bin, const ArrivalView& /*first_item*/) {
+void NextFit::on_simulation_begin(double capacity, double /*fit_epsilon*/) {
+  // The O(1) check applies this instance's own epsilon, exactly as the
+  // snapshot path applies it in fits().
+  capacity_ = capacity;
+  attached_ = true;
+}
+
+void NextFit::on_bin_opened(BinIndex bin, const ArrivalView& first_item) {
   available_ = bin;
+  available_level_ = first_item.size;
+}
+
+void NextFit::on_item_placed(BinIndex bin, const ArrivalView& /*item*/,
+                             double new_level) {
+  if (available_ == bin) available_level_ = new_level;
+}
+
+void NextFit::on_item_departed(BinIndex bin, double /*size*/, double new_level,
+                               Time /*t*/) {
+  if (available_ == bin) available_level_ = new_level;
 }
 
 void NextFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
@@ -27,6 +60,10 @@ void NextFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
   if (available_ == bin) available_.reset();
 }
 
-void NextFit::reset() { available_.reset(); }
+void NextFit::reset() {
+  available_.reset();
+  available_level_ = 0.0;
+  attached_ = false;
+}
 
 }  // namespace mutdbp

@@ -3,6 +3,11 @@
 // available bin is marked unavailable and a new bin is opened (and marked
 // available). Unavailable bins are never marked available again and are
 // closed when all the items in the bin depart."
+//
+// Kernel port: Next Fit only ever inspects its single available bin, so the
+// incremental path tracks that bin's level through the event hooks and
+// decides in O(1) without snapshots (needs_snapshots() == false). Handed
+// explicit snapshots (tests, WithSnapshots<>), it takes the legacy scan.
 #pragma once
 
 #include <optional>
@@ -12,16 +17,20 @@
 
 namespace mutdbp {
 
-class NextFit final : public PackingAlgorithm {
+class NextFit : public PackingAlgorithm {
  public:
   explicit NextFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
       : fit_epsilon_(fit_epsilon) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "NextFit"; }
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return false; }
 
   [[nodiscard]] Placement place(const ArrivalView& item,
                                 std::span<const BinSnapshot> open_bins) override;
+  void on_simulation_begin(double capacity, double fit_epsilon) override;
   void on_bin_opened(BinIndex bin, const ArrivalView& first_item) override;
+  void on_item_placed(BinIndex bin, const ArrivalView& item, double new_level) override;
+  void on_item_departed(BinIndex bin, double size, double new_level, Time t) override;
   void on_bin_closed(BinIndex bin, Time close_time) override;
   void reset() override;
 
@@ -33,6 +42,9 @@ class NextFit final : public PackingAlgorithm {
  private:
   double fit_epsilon_;
   std::optional<BinIndex> available_;
+  double available_level_ = 0.0;  ///< hook-tracked level of available_
+  double capacity_ = 1.0;         ///< from on_simulation_begin
+  bool attached_ = false;
 };
 
 }  // namespace mutdbp

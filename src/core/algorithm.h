@@ -5,6 +5,16 @@
 // algorithm sees only the arriving item's size and arrival time plus
 // snapshots of the currently open bins. Departure times never cross this
 // interface.
+//
+// Two ways to consume the state of the open bins:
+//  * Snapshot API (default): place() receives a freshly built span of
+//    BinSnapshot per arrival. Simple, and the right choice for new or
+//    experimental rules (see docs/extending.md).
+//  * Incremental kernel: an algorithm that answers needs_snapshots() ==
+//    false receives an *empty* span and instead maintains its own view of
+//    the open bins through the event hooks below (on_bin_opened /
+//    on_item_placed / on_item_departed / on_bin_closed). This is what the
+//    O(log m) CapacityTree-based algorithms do (see docs/performance.md).
 #pragma once
 
 #include <cstddef>
@@ -50,18 +60,52 @@ class PackingAlgorithm {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   /// Decide where `item` goes. `open_bins` is sorted by bin index (i.e., by
-  /// opening time) and contains every currently open bin. Returning a bin
-  /// the item does not fit in, or a closed/unknown index, is a logic error
-  /// and the simulation will throw.
+  /// opening time) and contains every currently open bin — unless
+  /// needs_snapshots() is false, in which case the simulation passes an
+  /// empty span and the algorithm answers from its hook-maintained state.
+  /// Returning a bin the item does not fit in, or a closed/unknown index,
+  /// is a logic error and the simulation will throw.
   [[nodiscard]] virtual Placement place(const ArrivalView& item,
                                         std::span<const BinSnapshot> open_bins) = 0;
 
-  /// Notification hooks (NextFit and HybridFirstFit need them).
+  /// Capability flag: algorithms that maintain their own bin state via the
+  /// event hooks return false, and the simulation skips materializing the
+  /// per-arrival snapshot span entirely (the hot-path optimisation).
+  [[nodiscard]] virtual bool needs_snapshots() const noexcept { return true; }
+
+  /// Called once when a Simulation binds to this algorithm, before any
+  /// arrival. `capacity`/`fit_epsilon` are the simulation's values;
+  /// incremental algorithms (re)initialize their bin state here.
+  virtual void on_simulation_begin(double /*capacity*/, double /*fit_epsilon*/) {}
+
+  /// Notification hooks. The simulator invokes every hook for every
+  /// algorithm; snapshot-based ones may ignore them (NextFit and
+  /// HybridFirstFit historically use the bin open/close pair).
   virtual void on_bin_opened(BinIndex /*bin*/, const ArrivalView& /*first_item*/) {}
   virtual void on_bin_closed(BinIndex /*bin*/, Time /*close_time*/) {}
+  /// After `item` was placed into the already-open `bin` (not called for the
+  /// placement that opens a bin — that is on_bin_opened).
+  virtual void on_item_placed(BinIndex /*bin*/, const ArrivalView& /*item*/,
+                              double /*new_level*/) {}
+  /// After an item of size `size` left `bin` (called even when the departure
+  /// closes the bin; on_bin_closed follows in that case).
+  virtual void on_item_departed(BinIndex /*bin*/, double /*size*/,
+                                double /*new_level*/, Time /*time*/) {}
 
   /// Resets all internal state so the instance can run a fresh simulation.
   virtual void reset() {}
+};
+
+/// Differential-testing adapter: forces an incremental algorithm back onto
+/// the legacy snapshot path (the simulation materializes snapshots again and
+/// place() takes its reference scan implementation). The kernel property
+/// tests compare Algorithm against WithSnapshots<Algorithm> for bit-identical
+/// placements.
+template <class Algorithm>
+class WithSnapshots final : public Algorithm {
+ public:
+  using Algorithm::Algorithm;
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return true; }
 };
 
 /// Tolerance used in fit checks (level + size <= capacity + epsilon). It

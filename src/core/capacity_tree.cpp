@@ -1,0 +1,124 @@
+#include "core/capacity_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mutdbp {
+
+namespace {
+// Small floor so tree depth hugs the concurrently-open bin count (often a
+// handful) — every update walks leaf-to-root, so each level saved is paid
+// back on every single event.
+constexpr std::size_t kMinLeafCap = 16;
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t cap = kMinLeafCap;
+  while (cap < n) cap *= 2;
+  return cap;
+}
+}  // namespace
+
+void CapacityTree::begin(double capacity, double fit_epsilon, bool track_level_order) {
+  if (!(capacity > 0.0)) {
+    throw std::invalid_argument("CapacityTree: capacity must be > 0");
+  }
+  if (fit_epsilon < 0.0) {
+    throw std::invalid_argument("CapacityTree: fit_epsilon must be >= 0");
+  }
+  capacity_ = capacity;
+  fit_epsilon_ = fit_epsilon;
+  track_level_order_ = track_level_order;
+  open_count_ = 0;
+  leaf_cap_ = 0;
+  slot_count_ = 0;
+  min_.clear();
+  slot_bin_.clear();
+  bin_slot_.clear();
+  levels_.clear();
+  by_level_.clear();
+}
+
+void CapacityTree::rebuild(std::size_t new_leaf_cap) {
+  min_.assign(2 * new_leaf_cap, kClosed);
+  leaf_cap_ = new_leaf_cap;
+  // Leaves first, then pull the minima up level by level.
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    min_[leaf_cap_ + s] = levels_[slot_bin_[s]];
+  }
+  for (std::size_t i = leaf_cap_ - 1; i >= 1; --i) {
+    const std::size_t l = 2 * i, r = 2 * i + 1;
+    min_[i] = min_[l] <= min_[r] ? min_[l] : min_[r];
+  }
+}
+
+void CapacityTree::compact() {
+  std::size_t live = 0;
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    const BinIndex bin = slot_bin_[s];
+    if (levels_[bin] == kClosed) continue;
+    slot_bin_[live] = bin;  // relative order preserved: index order intact
+    bin_slot_[bin] = live;
+    ++live;
+  }
+  slot_bin_.resize(live);
+  slot_count_ = live;
+  rebuild(pow2_at_least(2 * live));
+}
+
+void CapacityTree::throw_not_open(const char* op, BinIndex bin) const {
+  throw std::logic_error("CapacityTree: " + std::string(op) +
+                         " on unknown or closed bin " + std::to_string(bin));
+}
+
+BinIndex CapacityTree::append(double level) {
+  const BinIndex bin = levels_.size();
+  levels_.push_back(level);
+  if (slot_count_ == leaf_cap_) {
+    // Out of slots. If mostly dead, reclaim them (amortized O(1): at least
+    // leaf_cap_/2 closes happened since the table was last this sparse);
+    // otherwise genuinely grow.
+    if (open_count_ + 1 <= leaf_cap_ / 2) {
+      compact();
+    } else {
+      rebuild(leaf_cap_ == 0 ? kMinLeafCap : leaf_cap_ * 2);
+    }
+  }
+  const std::size_t slot = slot_count_++;
+  slot_bin_.push_back(bin);
+  bin_slot_.push_back(slot);
+  update_slot(slot, level);
+  ++open_count_;
+  if (track_level_order_) level_index_insert({level, bin});
+  return bin;
+}
+
+void CapacityTree::close(BinIndex bin) {
+  if (bin >= levels_.size() || levels_[bin] == kClosed) {
+    throw_not_open("close", bin);
+  }
+  if (track_level_order_) level_index_erase({levels_[bin], bin});
+  levels_[bin] = kClosed;
+  update_slot(bin_slot_[bin], kClosed);
+  --open_count_;
+  // Keep the tree dense: once three quarters of the slots are dead, fold
+  // them away so query/update depth tracks the open-bin count.
+  if (leaf_cap_ > kMinLeafCap && open_count_ * 4 <= slot_count_) compact();
+}
+
+std::optional<BinIndex> CapacityTree::best_fit(double size) const {
+  if (!track_level_order_) {
+    throw std::logic_error("CapacityTree: best_fit requires track_level_order");
+  }
+  // Entries satisfying the fit predicate form a prefix of the (level ↑,
+  // index ↓) order; lower_bound with the heterogeneous comparator returns
+  // the first non-fitting entry, so the one before it is the fullest
+  // fitting bin, lowest index among equal levels.
+  const auto it = std::lower_bound(by_level_.begin(), by_level_.end(),
+                                   FitQuery{size, capacity_, fit_epsilon_}, LevelOrder{});
+  if (it == by_level_.begin()) return std::nullopt;
+  return std::prev(it)->second;
+}
+
+
+}  // namespace mutdbp

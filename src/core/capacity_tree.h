@@ -1,0 +1,237 @@
+// CapacityTree: a tournament (segment) tree over the remaining capacities of
+// the bins opened so far, answering the Any Fit placement queries in
+// O(log m) for m bins:
+//
+//   * first_fit(s) — lowest-indexed open bin the item fits in,
+//   * last_fit(s)  — highest-indexed open bin the item fits in,
+//   * worst_fit(s) — emptiest open bin (max gap), if the item fits there,
+//   * best_fit(s)  — fullest open bin the item fits in (min gap ≥ s).
+//
+// Exactness contract: every query uses the *identical* floating-point
+// predicate as the legacy snapshot scan, `level + size <= capacity +
+// fit_epsilon` (see fits() in core/algorithm.h). For that reason the tree
+// stores bin *levels* (fill), not gaps: computing gaps would introduce a
+// subtraction whose rounding could flip epsilon-boundary fits relative to
+// the reference implementation. Because fl(level + size) is monotone in
+// level, a subtree contains a fitting bin iff the predicate holds for the
+// subtree's minimum level — which is what each internal node caches.
+//
+// best_fit needs an order on levels rather than on indices; it is served
+// from an auxiliary ordered index — a sorted flat vector keyed by (level ↑,
+// index ↓) — that is only maintained when requested at begin(), so
+// First/Worst/Last Fit pay nothing for it. A flat vector rather than a
+// node-based set: the index holds the *open* bins (typically a handful), so
+// a binary search plus a contiguous memmove beats per-event node
+// allocation and pointer chasing, and steady-state updates allocate
+// nothing. The index is searched with a heterogeneous comparator that
+// applies the fit predicate directly — no derived threshold value, so it
+// is exact by construction.
+//
+// Closed bins keep their index forever (bins never reopen); the tree marks
+// them with a level of +infinity, which no query can select.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp {
+
+class CapacityTree {
+ public:
+  CapacityTree() = default;
+
+  /// (Re)initializes for a fresh simulation: forgets all bins and stores the
+  /// bin capacity and the fit epsilon used by every subsequent query.
+  /// `track_level_order` enables the auxiliary index best_fit() requires.
+  void begin(double capacity, double fit_epsilon, bool track_level_order = false);
+
+  /// Registers the next bin (indices are assigned 0,1,2,... in call order,
+  /// mirroring the simulation's opening-order bin indices). O(log m) amortized.
+  BinIndex append(double level);
+
+  /// Updates an open bin's level after a placement or departure. O(log m).
+  /// Defined inline below: with set_level and the tree walk visible in one
+  /// translation unit, the compiler folds the whole per-event update into
+  /// the caller (this is the hottest operation in a simulation).
+  void set_level(BinIndex bin, double level);
+
+  /// Marks a bin closed; it can never be returned by a query again. O(log m).
+  void close(BinIndex bin);
+
+  [[nodiscard]] std::optional<BinIndex> first_fit(double size) const;
+  [[nodiscard]] std::optional<BinIndex> last_fit(double size) const;
+  [[nodiscard]] std::optional<BinIndex> worst_fit(double size) const;
+  /// Requires begin(..., track_level_order = true).
+  [[nodiscard]] std::optional<BinIndex> best_fit(double size) const;
+
+  [[nodiscard]] double level(BinIndex bin) const { return levels_[bin]; }
+  [[nodiscard]] bool is_open(BinIndex bin) const {
+    return bin < levels_.size() && levels_[bin] != kClosed;
+  }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_count_; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
+
+ private:
+  static constexpr double kClosed = std::numeric_limits<double>::infinity();
+
+  /// The shared fit predicate, verbatim (levels of closed bins are +inf and
+  /// always fail it).
+  [[nodiscard]] bool fits_level(double level, double size) const noexcept {
+    return level + size <= capacity_ + fit_epsilon_;
+  }
+
+  void update_slot(std::size_t slot, double level);
+  [[noreturn]] void throw_not_open(const char* op, BinIndex bin) const;
+
+  using LevelEntry = std::pair<double, BinIndex>;  // (level, bin)
+  struct FitQuery {
+    double size;
+    double capacity;
+    double fit_epsilon;
+  };
+  /// Orders entries by (level ascending, index descending), so the last
+  /// entry satisfying the fit predicate is the fullest fitting bin with the
+  /// lowest index among equal levels — exactly the legacy Best Fit choice.
+  /// The heterogeneous overloads let lower_bound locate the boundary
+  /// between fitting and non-fitting entries using the exact predicate
+  /// (fitting levels form a prefix of this order because fl(level + size)
+  /// is monotone in level).
+  struct LevelOrder {
+    using is_transparent = void;
+    bool operator()(const LevelEntry& a, const LevelEntry& b) const noexcept {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    }
+    bool operator()(const LevelEntry& e, const FitQuery& q) const noexcept {
+      return e.first + q.size <= q.capacity + q.fit_epsilon;
+    }
+    bool operator()(const FitQuery& q, const LevelEntry& e) const noexcept {
+      return !(e.first + q.size <= q.capacity + q.fit_epsilon);
+    }
+  };
+
+  /// Sorted-vector index maintenance (track_level_order_ only). Entries are
+  /// unique: index is part of the key.
+  void level_index_insert(const LevelEntry& e);
+  void level_index_erase(const LevelEntry& e) noexcept;
+
+  /// Rebuilds the tournament tree over the live slots with `new_leaf_cap`
+  /// leaves (a power of two >= slot count).
+  void rebuild(std::size_t new_leaf_cap);
+  /// Drops dead slots, renumbering live bins into a dense prefix. Preserves
+  /// slot order (and therefore every query's index-order semantics).
+  void compact();
+
+  double capacity_ = 1.0;
+  double fit_epsilon_ = kDefaultFitEpsilon;
+  bool track_level_order_ = false;
+  std::size_t open_count_ = 0;
+
+  // Implicit binary tournament tree over *slots*, not global bin indices:
+  // bins keep their public index forever, but internally each open bin
+  // occupies a slot, and slots of closed bins (level +inf) are reclaimed by
+  // an amortized compaction (see compact()). Slot order always agrees with
+  // global index order — compaction preserves relative order and appends go
+  // to the right end with the largest index — so descending the slot tree
+  // yields the same bin every index-ordered query would find, while the tree
+  // depth tracks the number of *concurrently open* bins instead of the
+  // total opened over the run.
+  //
+  // leaf_cap_ is a power of two, node i has children 2i and 2i+1, slot s
+  // lives at node leaf_cap_ + s. min_[i] is the minimum level in node i's
+  // subtree (dead and padding leaves hold +inf). No argmin is cached:
+  // worst_fit() recovers the minimum's slot by descending, keeping the
+  // per-update work to a single array with an early exit once an ancestor's
+  // minimum is unchanged.
+  std::size_t leaf_cap_ = 0;
+  std::size_t slot_count_ = 0;  ///< slots in use (live + not-yet-compacted dead)
+  std::vector<double> min_;
+  std::vector<BinIndex> slot_bin_;   ///< slot -> global bin index
+  std::vector<std::size_t> bin_slot_;  ///< global bin -> slot (stale once closed)
+  std::vector<double> levels_;  ///< current level per bin (+inf once closed)
+
+  std::vector<LevelEntry> by_level_;  ///< sorted by LevelOrder; only if track_level_order_
+};
+
+// ---- hot-path definitions (kept in the header so callers inline them) ----
+
+inline void CapacityTree::level_index_insert(const LevelEntry& e) {
+  by_level_.insert(std::lower_bound(by_level_.begin(), by_level_.end(), e, LevelOrder{}),
+                   e);
+}
+
+inline void CapacityTree::level_index_erase(const LevelEntry& e) noexcept {
+  const auto it = std::lower_bound(by_level_.begin(), by_level_.end(), e, LevelOrder{});
+  // The entry is unique ((level, index) is the full key) and always present:
+  // callers erase exactly what they previously inserted.
+  by_level_.erase(it);
+}
+
+inline void CapacityTree::update_slot(std::size_t slot, double level) {
+  std::size_t node = leaf_cap_ + slot;
+  min_[node] = level;
+  for (node /= 2; node >= 1; node /= 2) {
+    const std::size_t l = 2 * node, r = 2 * node + 1;
+    const double m = min_[l] <= min_[r] ? min_[l] : min_[r];
+    // Once an ancestor's minimum is unchanged, every higher ancestor
+    // recombines identical inputs: stop (bitwise comparison — levels are
+    // stored, never recomputed, so unchanged means bit-identical).
+    if (min_[node] == m) break;
+    min_[node] = m;
+  }
+}
+
+inline void CapacityTree::set_level(BinIndex bin, double level) {
+  if (bin >= levels_.size() || levels_[bin] == kClosed) {
+    throw_not_open("set_level", bin);
+  }
+  if (track_level_order_) {
+    level_index_erase({levels_[bin], bin});
+    level_index_insert({level, bin});
+  }
+  levels_[bin] = level;
+  update_slot(bin_slot_[bin], level);
+}
+
+inline std::optional<BinIndex> CapacityTree::first_fit(double size) const {
+  if (slot_count_ == 0 || !fits_level(min_[1], size)) return std::nullopt;
+  std::size_t node = 1;
+  while (node < leaf_cap_) {
+    // The invariant "this subtree contains a fitting leaf" is preserved by
+    // preferring the left child whenever its minimum fits.
+    node = fits_level(min_[2 * node], size) ? 2 * node : 2 * node + 1;
+  }
+  return slot_bin_[node - leaf_cap_];
+}
+
+inline std::optional<BinIndex> CapacityTree::last_fit(double size) const {
+  if (slot_count_ == 0 || !fits_level(min_[1], size)) return std::nullopt;
+  std::size_t node = 1;
+  while (node < leaf_cap_) {
+    node = fits_level(min_[2 * node + 1], size) ? 2 * node + 1 : 2 * node;
+  }
+  return slot_bin_[node - leaf_cap_];
+}
+
+inline std::optional<BinIndex> CapacityTree::worst_fit(double size) const {
+  // The emptiest open bin is the global minimum; if the item does not fit
+  // there it fits nowhere (the predicate is monotone in level). Descend to
+  // the minimum, preferring the left child on ties so the lowest slot — and
+  // therefore the lowest bin index — wins.
+  if (slot_count_ == 0 || !fits_level(min_[1], size)) return std::nullopt;
+  std::size_t node = 1;
+  while (node < leaf_cap_) {
+    node = min_[2 * node] <= min_[2 * node + 1] ? 2 * node : 2 * node + 1;
+  }
+  return slot_bin_[node - leaf_cap_];
+}
+
+}  // namespace mutdbp

@@ -18,6 +18,31 @@ ItemList::ItemList(std::vector<Item> items, double capacity)
 void ItemList::push_back(const Item& item) {
   validate(item);
   items_.push_back(item);
+  invalidate_schedule();
+}
+
+const std::vector<ScheduledEvent>& ItemList::schedule() const {
+  const std::scoped_lock lock(schedule_mutex_);
+  if (!schedule_built_) {
+    if (items_.size() > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::length_error("ItemList::schedule: too many items");
+    }
+    schedule_.clear();
+    schedule_.reserve(items_.size() * 2);
+    for (std::uint32_t pos = 0; pos < items_.size(); ++pos) {
+      const Item& item = items_[pos];
+      schedule_.push_back({item.arrival(), item.id, item.size, pos, true});
+      schedule_.push_back({item.departure(), item.id, item.size, pos, false});
+    }
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const ScheduledEvent& a, const ScheduledEvent& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.is_arrival != b.is_arrival) return !a.is_arrival;  // departures first
+                return a.id < b.id;
+              });
+    schedule_built_ = true;
+  }
+  return schedule_;
 }
 
 void ItemList::validate(const Item& item) const {

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -12,10 +14,44 @@
 
 namespace mutdbp {
 
+/// One entry of the precomputed simulation schedule: at time `t`, item
+/// `item_pos` (an index into ItemList::items()) arrives or departs. The
+/// item's id and size are denormalized into the event so the simulation
+/// loop replays the schedule as one linear scan, never random-accessing
+/// the item array (departures land at unpredictable positions).
+struct ScheduledEvent {
+  Time t = 0.0;
+  ItemId id = 0;
+  double size = 0.0;
+  std::uint32_t item_pos = 0;
+  bool is_arrival = false;
+};
+
 class ItemList {
  public:
   ItemList() = default;
   explicit ItemList(std::vector<Item> items, double capacity = 1.0);
+
+  // The cached schedule is dropped on copy/move (it is rebuilt on demand).
+  ItemList(const ItemList& other) : items_(other.items_), capacity_(other.capacity_) {}
+  ItemList(ItemList&& other) noexcept
+      : items_(std::move(other.items_)), capacity_(other.capacity_) {}
+  ItemList& operator=(const ItemList& other) {
+    if (this != &other) {
+      items_ = other.items_;
+      capacity_ = other.capacity_;
+      invalidate_schedule();
+    }
+    return *this;
+  }
+  ItemList& operator=(ItemList&& other) noexcept {
+    if (this != &other) {
+      items_ = std::move(other.items_);
+      capacity_ = other.capacity_;
+      invalidate_schedule();
+    }
+    return *this;
+  }
 
   [[nodiscard]] const std::vector<Item>& items() const noexcept { return items_; }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
@@ -57,11 +93,28 @@ class ItemList {
   /// All event times (arrivals and departures), sorted and deduplicated.
   [[nodiscard]] std::vector<Time> event_times() const;
 
+  /// The full arrival/departure event sequence in simulation order: primary
+  /// key time; at equal times departures precede arrivals (half-open
+  /// activity intervals); ties within a kind keep the id order, which
+  /// defines the online arrival sequence. Built lazily and cached (replaying
+  /// the same list across algorithms then pays the sort only once); the
+  /// cache is invalidated by push_back and dropped on copy. Thread-safe.
+  [[nodiscard]] const std::vector<ScheduledEvent>& schedule() const;
+
  private:
   void validate(const Item& item) const;
+  void invalidate_schedule() {
+    const std::scoped_lock lock(schedule_mutex_);
+    schedule_.clear();
+    schedule_built_ = false;
+  }
 
   std::vector<Item> items_;
   double capacity_ = 1.0;
+
+  mutable std::mutex schedule_mutex_;
+  mutable std::vector<ScheduledEvent> schedule_;
+  mutable bool schedule_built_ = false;
 };
 
 }  // namespace mutdbp

@@ -33,16 +33,68 @@ double BinRecord::demand_over(const Interval& iv) const noexcept {
   return demand;
 }
 
+PackingResult::PackingResult(std::vector<BinRecord> bins) : bins_(std::move(bins)) {
+  // The simulation already emits records in index order; only pay for a
+  // sort when handed an out-of-order set (offline constructions).
+  const auto by_index = [](const BinRecord& a, const BinRecord& b) {
+    return a.index < b.index;
+  };
+  if (!std::is_sorted(bins_.begin(), bins_.end(), by_index)) {
+    std::sort(bins_.begin(), bins_.end(), by_index);
+  }
+}
+
 PackingResult::PackingResult(std::vector<BinRecord> bins,
                              std::unordered_map<ItemId, BinIndex> assignment)
-    : bins_(std::move(bins)), assignment_(std::move(assignment)) {
-  std::sort(bins_.begin(), bins_.end(),
-            [](const BinRecord& a, const BinRecord& b) { return a.index < b.index; });
+    : PackingResult(std::move(bins)) {
+  assignment_ = std::move(assignment);
+  assignment_built_ = true;
+}
+
+PackingResult::PackingResult(std::vector<BinRecord> bins,
+                             std::vector<PooledPlacement> pooled)
+    : bins_(std::move(bins)), pooled_(std::move(pooled)), items_built_(false) {
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].index != i) {
+      throw std::invalid_argument(
+          "PackingResult: pooled construction requires dense index-ordered bins");
+    }
+  }
+}
+
+void PackingResult::materialize_items() const {
+  // Bucket the pool into per-bin vectors, one exact-size allocation each;
+  // pool order is arrival order, so each bin's items stay in arrival order.
+  std::vector<std::size_t> counts(bins_.size(), 0);
+  for (const auto& placed : pooled_) ++counts[placed.bin];
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i].items.reserve(counts[i]);
+  for (const auto& placed : pooled_) bins_[placed.bin].items.push_back(placed.record);
+  pooled_.clear();
+  pooled_.shrink_to_fit();
+  items_built_ = true;
+}
+
+const std::unordered_map<ItemId, BinIndex>& PackingResult::assignment() const {
+  if (!assignment_built_) {
+    if (!items_built_) {
+      // Derive straight from the pool — no need to bucket per-bin items.
+      assignment_.reserve(pooled_.size());
+      for (const auto& placed : pooled_) assignment_[placed.record.item] = placed.bin;
+    } else {
+      assignment_.reserve(bins_.size() * 4);
+      for (const auto& bin : bins_) {
+        for (const auto& placed : bin.items) assignment_[placed.item] = bin.index;
+      }
+    }
+    assignment_built_ = true;
+  }
+  return assignment_;
 }
 
 BinIndex PackingResult::bin_of(ItemId item) const {
-  const auto it = assignment_.find(item);
-  if (it == assignment_.end()) {
+  const auto& map = assignment();
+  const auto it = map.find(item);
+  if (it == map.end()) {
     throw std::out_of_range("PackingResult: unknown item id " + std::to_string(item));
   }
   return it->second;
@@ -86,8 +138,14 @@ std::size_t PackingResult::max_concurrent_bins() const {
 
 double PackingResult::average_utilization() const noexcept {
   double level_integral = 0.0;
-  for (const auto& bin : bins_) {
-    for (const auto& placed : bin.items) level_integral += placed.size * placed.active.length();
+  if (!items_built_) {
+    for (const auto& placed : pooled_) {
+      level_integral += placed.record.size * placed.record.active.length();
+    }
+  } else {
+    for (const auto& bin : bins_) {
+      for (const auto& placed : bin.items) level_integral += placed.size * placed.active.length();
+    }
   }
   const Time usage = total_usage_time();
   return usage > 0.0 ? level_integral / usage : 0.0;

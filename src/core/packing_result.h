@@ -31,6 +31,13 @@ struct LevelTimeline {
   [[nodiscard]] double min_over(const Interval& iv) const noexcept;
 };
 
+/// A placement tagged with the bin it went to, as pooled by the simulation
+/// engine in global arrival order (see Simulation::finish()).
+struct PooledPlacement {
+  BinIndex bin = 0;
+  PlacementRecord record;
+};
+
 struct BinRecord {
   BinIndex index = 0;
   Interval usage;                        ///< U_k = [open, close)
@@ -48,15 +55,31 @@ struct BinRecord {
 class PackingResult {
  public:
   PackingResult() = default;
+  /// The item→bin assignment is derived lazily from the bin records on the
+  /// first bin_of()/assignment() call, so producing a result stays cheap for
+  /// consumers that only read aggregate objectives (the common hot path).
+  explicit PackingResult(std::vector<BinRecord> bins);
   PackingResult(std::vector<BinRecord> bins,
                 std::unordered_map<ItemId, BinIndex> assignment);
+  /// Skeleton records (usage periods, timelines — no items) plus the pooled
+  /// placements they came from. The per-bin item vectors are bucketed
+  /// lazily on the first bins() call, so consumers reading only aggregate
+  /// objectives never pay one allocation per bin. Requires the simulation's
+  /// dense, index-ordered output (bins[i].index == i).
+  PackingResult(std::vector<BinRecord> bins, std::vector<PooledPlacement> pooled);
 
-  [[nodiscard]] const std::vector<BinRecord>& bins() const noexcept { return bins_; }
+  /// Lazily buckets pooled placements into per-bin `items` on first call
+  /// (see the pooled constructor); like assignment(), not safe to call
+  /// concurrently on a shared const instance before the first call returns.
+  [[nodiscard]] const std::vector<BinRecord>& bins() const {
+    if (!items_built_) materialize_items();
+    return bins_;
+  }
   [[nodiscard]] std::size_t bins_opened() const noexcept { return bins_.size(); }
   [[nodiscard]] BinIndex bin_of(ItemId item) const;
-  [[nodiscard]] const std::unordered_map<ItemId, BinIndex>& assignment() const noexcept {
-    return assignment_;
-  }
+  /// Lazily built; not safe to call concurrently from multiple threads on a
+  /// shared const instance (results are normally thread-local).
+  [[nodiscard]] const std::unordered_map<ItemId, BinIndex>& assignment() const;
 
   /// The MinUsageTime objective: sum of |U_k| over all bins.
   [[nodiscard]] Time total_usage_time() const noexcept;
@@ -69,8 +92,16 @@ class PackingResult {
   [[nodiscard]] double average_utilization() const noexcept;
 
  private:
-  std::vector<BinRecord> bins_;                      // sorted by index
-  std::unordered_map<ItemId, BinIndex> assignment_;  // item -> bin index
+  void materialize_items() const;
+
+  mutable std::vector<BinRecord> bins_;  // sorted by index
+  // Placements not yet bucketed into bins_[i].items (pooled construction
+  // only; drained by materialize_items()).
+  mutable std::vector<PooledPlacement> pooled_;
+  mutable bool items_built_ = true;
+  // item -> bin index, derived on demand (see assignment()).
+  mutable std::unordered_map<ItemId, BinIndex> assignment_;
+  mutable bool assignment_built_ = false;
 };
 
 }  // namespace mutdbp

@@ -8,26 +8,43 @@
 namespace mutdbp {
 
 Simulation::Simulation(PackingAlgorithm& algorithm, SimulationOptions options)
-    : algorithm_(algorithm), options_(options) {
+    : algorithm_(algorithm),
+      options_(options),
+      use_snapshots_(algorithm.needs_snapshots()) {
   if (!(options_.capacity > 0.0)) {
     throw std::invalid_argument("Simulation: capacity must be > 0");
   }
   if (options_.fit_epsilon < 0.0) {
     throw std::invalid_argument("Simulation: fit_epsilon must be >= 0");
   }
+  algorithm_.on_simulation_begin(options_.capacity, options_.fit_epsilon);
 }
 
-void Simulation::advance_time(Time t) {
-  if (t < now_) {
-    throw std::logic_error("Simulation: time went backwards (" + std::to_string(t) +
-                           " < " + std::to_string(now_) + ")");
-  }
-  now_ = t;
+void Simulation::reserve(std::size_t expected_items) {
+  // Every item could open its own bin, but in practice far fewer do; cap the
+  // eager reservations and let growth cover pathological runs. The active
+  // table tracks *concurrent* items — a fraction of the total — and small
+  // tables stay cache-resident, so its cap is much lower.
+  bins_.reserve(std::min<std::size_t>(expected_items, 8192));
+  placements_.reserve(expected_items);
+  active_.reserve(std::min<std::size_t>(expected_items, 512));
+  snapshot_scratch_.reserve(64);
 }
 
-void Simulation::record_level(BinState& bin, Time t) {
-  if (!options_.record_timelines) return;
+void Simulation::throw_time_backwards(Time t) const {
+  throw std::logic_error("Simulation: time went backwards (" + std::to_string(t) +
+                         " < " + std::to_string(now_) + ")");
+}
+
+void Simulation::record_level_slow(BinState& bin, Time t) {
   auto& tl = bin.timeline;
+  // Coalescing contract: timeline entries are keyed by *exactly equal* Time
+  // values (bitwise double equality, no tolerance). Same-instant changes —
+  // e.g. a departure processed before an arrival at the identical t — must
+  // collapse into one entry holding the final level, so a timeline never
+  // contains two entries at one time and min_over()/at() see the settled
+  // level. The batch scheduler guarantees identical t for simultaneous
+  // events; do not weaken this to an epsilon comparison.
   if (!tl.times.empty() && tl.times.back() == t) {
     tl.levels.back() = bin.level;  // coalesce same-instant changes
   } else {
@@ -38,8 +55,8 @@ void Simulation::record_level(BinState& bin, Time t) {
 
 std::vector<BinSnapshot> Simulation::open_snapshots() const {
   std::vector<BinSnapshot> snaps;
-  snaps.reserve(open_bins_.size());
-  for (const BinIndex idx : open_bins_) {
+  snaps.reserve(open_count_);
+  for (BinIndex idx = open_head_; idx != kNoBin; idx = bins_[idx].open_next) {
     const BinState& bin = bins_[idx];
     snaps.push_back(BinSnapshot{idx, bin.level, options_.capacity, bin.open_time,
                                 bin.active_count});
@@ -48,11 +65,11 @@ std::vector<BinSnapshot> Simulation::open_snapshots() const {
 }
 
 BinIndex Simulation::bin_of_active(ItemId id) const {
-  const auto it = active_.find(id);
-  if (it == active_.end()) {
+  const ActiveRef* ref = active_.find(id);
+  if (ref == nullptr) {
     throw std::out_of_range("Simulation: item " + std::to_string(id) + " is not active");
   }
-  return it->second.bin;
+  return ref->bin;
 }
 
 BinIndex Simulation::arrive(ItemId id, double size, Time t) {
@@ -60,36 +77,54 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
   if (!(size > 0.0) || size > options_.capacity) {
     throw std::invalid_argument("Simulation: item size must be in (0, capacity]");
   }
-  if (active_.contains(id)) {
+  advance_time(t);
+  // Claim the active-table slot up front: one probe serves both the
+  // duplicate-id check and the insert (no inserts happen in between, so the
+  // slot pointer stays valid until we fill it below).
+  // The bin is filled in once the placement is known; position and size are
+  // already final.
+  ActiveRef* active_slot = active_.try_insert(id, ActiveRef{0, placements_.size(), size});
+  if (active_slot == nullptr) {
     throw std::invalid_argument("Simulation: item id " + std::to_string(id) +
                                 " is already active");
   }
-  advance_time(t);
 
   const ArrivalView view{id, size, t};
-  const auto snapshots = open_snapshots();
-  const Placement choice = algorithm_.place(view, snapshots);
+  Placement choice;
+  if (use_snapshots_) {
+    snapshot_scratch_.clear();
+    for (BinIndex idx = open_head_; idx != kNoBin; idx = bins_[idx].open_next) {
+      const BinState& bin = bins_[idx];
+      snapshot_scratch_.push_back(BinSnapshot{idx, bin.level, options_.capacity,
+                                              bin.open_time, bin.active_count});
+    }
+    choice = algorithm_.place(view, snapshot_scratch_);
+  } else {
+    choice = algorithm_.place(view, {});
+  }
 
   BinIndex target = 0;
   if (choice.has_value()) {
     target = *choice;
-    const bool is_open = std::binary_search(open_bins_.begin(), open_bins_.end(), target);
-    if (!is_open) {
+    if (target >= bins_.size() || !bins_[target].open) {
+      active_.erase(id);  // release the claimed slot before reporting
       throw std::logic_error(std::string(algorithm_.name()) + " placed item " +
                              std::to_string(id) + " in bin " + std::to_string(target) +
                              " which is not open");
     }
     BinState& bin = bins_[target];
     if (bin.level + size > options_.capacity + options_.fit_epsilon) {
+      active_.erase(id);
       throw std::logic_error(std::string(algorithm_.name()) + " overfilled bin " +
                              std::to_string(target) + " with item " + std::to_string(id));
     }
     bin.level += size;
     ++bin.active_count;
-    bin.placements.push_back(
-        {id, size, {t, std::numeric_limits<double>::infinity()}});
-    active_[id] = ActiveRef{target, bin.placements.size() - 1, size};
+    active_slot->bin = target;
+    placements_.push_back(
+        {target, {id, size, {t, std::numeric_limits<double>::infinity()}}});
     record_level(bin, t);
+    algorithm_.on_item_placed(target, view, bin.level);
   } else {
     target = bins_.size();
     BinState bin;
@@ -98,41 +133,61 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     bin.open = true;
     bin.level = size;
     bin.active_count = 1;
-    bin.placements.push_back(
-        {id, size, {t, std::numeric_limits<double>::infinity()}});
+    bin.open_prev = open_tail_;
     bins_.push_back(std::move(bin));
-    open_bins_.push_back(target);  // indices grow monotonically: stays sorted
-    active_[id] = ActiveRef{target, 0, size};
+    // Append to the open list: indices grow monotonically, so the list
+    // stays in ascending index order.
+    if (open_tail_ != kNoBin) {
+      bins_[open_tail_].open_next = target;
+    } else {
+      open_head_ = target;
+    }
+    open_tail_ = target;
+    ++open_count_;
+    active_slot->bin = target;
+    placements_.push_back(
+        {target, {id, size, {t, std::numeric_limits<double>::infinity()}}});
     record_level(bins_.back(), t);
     algorithm_.on_bin_opened(target, view);
-    max_concurrent_ = std::max(max_concurrent_, open_bins_.size());
+    max_concurrent_ = std::max(max_concurrent_, open_count_);
   }
   return target;
 }
 
 void Simulation::depart(ItemId id, Time t) {
   if (finished_) throw std::logic_error("Simulation: depart() after finish()");
-  const auto it = active_.find(id);
-  if (it == active_.end()) {
+  advance_time(t);
+  // Single probe: take() validates and removes in one pass.
+  ActiveRef ref;
+  if (!active_.take(id, ref)) {
     throw std::invalid_argument("Simulation: departing item " + std::to_string(id) +
                                 " is not active");
   }
-  advance_time(t);
-
-  const ActiveRef ref = it->second;
-  active_.erase(it);
   BinState& bin = bins_[ref.bin];
-  bin.placements[ref.placement_pos].active.right = t;
+  placements_[ref.placement_pos].record.active.right = t;
   bin.level -= ref.size;
   --bin.active_count;
   if (bin.active_count == 0) bin.level = 0.0;  // cancel floating-point residue
   record_level(bin, t);
+  algorithm_.on_item_departed(ref.bin, ref.size, bin.level, t);
 
   if (bin.active_count == 0) {
     bin.open = false;
     bin.close_time = t;
-    const auto pos = std::lower_bound(open_bins_.begin(), open_bins_.end(), ref.bin);
-    open_bins_.erase(pos);
+    // Unlink from the open list: O(1), replacing the old sorted-vector
+    // lower_bound + erase which shifted O(m) entries per bin close.
+    if (bin.open_prev != kNoBin) {
+      bins_[bin.open_prev].open_next = bin.open_next;
+    } else {
+      open_head_ = bin.open_next;
+    }
+    if (bin.open_next != kNoBin) {
+      bins_[bin.open_next].open_prev = bin.open_prev;
+    } else {
+      open_tail_ = bin.open_prev;
+    }
+    bin.open_prev = bin.open_next = kNoBin;
+    --open_count_;
     algorithm_.on_bin_closed(ref.bin, t);
   }
 }
@@ -147,50 +202,42 @@ PackingResult Simulation::finish() {
 
   std::vector<BinRecord> records;
   records.reserve(bins_.size());
-  std::unordered_map<ItemId, BinIndex> assignment;
   for (auto& bin : bins_) {
     BinRecord record;
     record.index = bin.index;
     record.usage = {bin.open_time, bin.close_time};
-    record.items = std::move(bin.placements);
     record.timeline = std::move(bin.timeline);
-    for (const auto& placed : record.items) assignment[placed.item] = bin.index;
     records.push_back(std::move(record));
   }
-  return PackingResult(std::move(records), std::move(assignment));
+  // Skeleton records + the placement pool: per-bin item vectors and the
+  // item→bin assignment are both derived lazily inside PackingResult.
+  return PackingResult(std::move(records), std::move(placements_));
 }
 
 PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
                        SimulationOptions options) {
   algorithm.reset();
-  if (options.capacity != items.capacity()) options.capacity = items.capacity();
-  Simulation sim(algorithm, options);
-
-  // Event schedule: primary key time; at equal times departures precede
-  // arrivals (half-open activity intervals); ties within a kind keep the
-  // id order, which defines the online arrival sequence.
-  struct Event {
-    Time t;
-    bool is_arrival;
-    const Item* item;
-  };
-  std::vector<Event> events;
-  events.reserve(items.size() * 2);
-  for (const auto& item : items) {
-    events.push_back({item.arrival(), true, &item});
-    events.push_back({item.departure(), false, &item});
+  // Capacity precedence (documented on SimulationOptions): the default value
+  // means "inherit from the list"; an explicit conflicting value is an
+  // error, never a silent override.
+  if (options.capacity == SimulationOptions{}.capacity) {
+    options.capacity = items.capacity();
+  } else if (options.capacity != items.capacity()) {
+    throw std::invalid_argument(
+        "simulate: options.capacity (" + std::to_string(options.capacity) +
+        ") contradicts items.capacity() (" + std::to_string(items.capacity()) +
+        "); leave options.capacity at its default to adopt the list capacity");
   }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.t != b.t) return a.t < b.t;
-    if (a.is_arrival != b.is_arrival) return !a.is_arrival;  // departures first
-    return a.item->id < b.item->id;
-  });
+  Simulation sim(algorithm, options);
+  sim.reserve(items.size());
 
-  for (const auto& event : events) {
+  // Event schedule: precomputed and cached by the ItemList (time-ordered,
+  // departures before arrivals at equal times, id order within a kind).
+  for (const ScheduledEvent& event : items.schedule()) {
     if (event.is_arrival) {
-      sim.arrive(event.item->id, event.item->size, event.t);
+      sim.arrive(event.id, event.size, event.t);
     } else {
-      sim.depart(event.item->id, event.t);
+      sim.depart(event.id, event.t);
     }
   }
   return sim.finish();

@@ -8,20 +8,30 @@
 //  * simulate() — batch: runs a full ItemList through a Simulation with the
 //    paper's event ordering (at equal timestamps departures are processed
 //    before arrivals, matching half-open activity intervals).
+//
+// Hot-path design (see docs/performance.md): the open-bin set is an
+// intrusive doubly-linked list threaded through the bin states (O(1) open
+// and close, index-ordered traversal), the active-item table is an
+// open-addressing FlatMap, and for algorithms that answer
+// needs_snapshots() == false no per-arrival snapshot vector is built at
+// all; when one is needed it is materialized into a reused scratch buffer.
 #pragma once
 
 #include <cstddef>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "core/algorithm.h"
 #include "core/item_list.h"
 #include "core/packing_result.h"
+#include "util/flat_hash.h"
 
 namespace mutdbp {
 
 struct SimulationOptions {
+  /// Bin capacity. For simulate(), the default 1.0 means "inherit the
+  /// ItemList's capacity"; an explicitly different value that contradicts
+  /// the list's capacity is an error (see simulate()).
   double capacity = 1.0;
   double fit_epsilon = kDefaultFitEpsilon;
   bool record_timelines = true;
@@ -40,14 +50,18 @@ class Simulation {
   /// decides departure times — this is where "unknown at arrival" lives.
   void depart(ItemId id, Time t);
 
-  [[nodiscard]] std::size_t open_bin_count() const noexcept { return open_bins_.size(); }
+  /// Pre-sizes internal storage for a run expected to touch about
+  /// `expected_items` items (optional; amortized growth otherwise).
+  void reserve(std::size_t expected_items);
+
+  [[nodiscard]] std::size_t open_bin_count() const noexcept { return open_count_; }
   [[nodiscard]] std::size_t bins_opened() const noexcept { return bins_.size(); }
   [[nodiscard]] std::size_t active_items() const noexcept { return active_.size(); }
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] const SimulationOptions& options() const noexcept { return options_; }
 
-  /// Snapshots of currently open bins, sorted by bin index (what the packing
-  /// algorithm sees).
+  /// Snapshots of currently open bins, sorted by bin index (what a
+  /// snapshot-based packing algorithm sees).
   [[nodiscard]] std::vector<BinSnapshot> open_snapshots() const;
 
   /// Bin index of a currently active item (throws if unknown).
@@ -57,6 +71,8 @@ class Simulation {
   [[nodiscard]] PackingResult finish();
 
  private:
+  static constexpr BinIndex kNoBin = std::numeric_limits<BinIndex>::max();
+
   struct BinState {
     BinIndex index = 0;
     Time open_time = 0.0;
@@ -64,29 +80,54 @@ class Simulation {
     bool open = false;
     double level = 0.0;
     std::size_t active_count = 0;
-    std::vector<PlacementRecord> placements;
+    // Intrusive open-bin list links (kNoBin = end). The list is threaded in
+    // opening order, which equals index order since bins never reopen.
+    BinIndex open_prev = kNoBin;
+    BinIndex open_next = kNoBin;
     LevelTimeline timeline;
   };
+  // Placement records for all bins live in one pooled vector (arrival
+  // order — see PooledPlacement in packing_result.h) instead of one heap
+  // vector per bin; finish() hands the pool to PackingResult, which buckets
+  // it into per-bin records lazily on first access.
   struct ActiveRef {
     BinIndex bin = 0;
-    std::size_t placement_pos = 0;
+    std::size_t placement_pos = 0;  ///< index into placements_
     double size = 0.0;
   };
 
-  void record_level(BinState& bin, Time t);
-  void advance_time(Time t);
+  // Hot/cold splits: the fast paths are inlined into every arrive/depart
+  // (they would otherwise stay out of line — the cold halves build strings
+  // or grow vectors, which makes the whole function too big to inline).
+  void record_level(BinState& bin, Time t) {
+    if (options_.record_timelines) record_level_slow(bin, t);
+  }
+  void advance_time(Time t) {
+    if (t < now_) throw_time_backwards(t);
+    now_ = t;
+  }
+  void record_level_slow(BinState& bin, Time t);
+  [[noreturn]] void throw_time_backwards(Time t) const;
 
   PackingAlgorithm& algorithm_;
   SimulationOptions options_;
+  bool use_snapshots_;  ///< cached algorithm_.needs_snapshots()
   std::vector<BinState> bins_;
-  std::vector<BinIndex> open_bins_;  // sorted ascending
-  std::unordered_map<ItemId, ActiveRef> active_;
+  std::vector<PooledPlacement> placements_;
+  BinIndex open_head_ = kNoBin;
+  BinIndex open_tail_ = kNoBin;
+  std::size_t open_count_ = 0;
+  FlatMap<ItemId, ActiveRef> active_;
+  std::vector<BinSnapshot> snapshot_scratch_;  ///< reused across arrivals
   Time now_ = -std::numeric_limits<double>::infinity();
   std::size_t max_concurrent_ = 0;
   bool finished_ = false;
 };
 
 /// Runs the whole item list through `algorithm` (which is reset() first).
+/// Capacity precedence: options.capacity left at its default (1.0) adopts
+/// items.capacity(); an explicit different capacity that disagrees with the
+/// list throws std::invalid_argument instead of being silently overridden.
 [[nodiscard]] PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
                                      SimulationOptions options = {});
 

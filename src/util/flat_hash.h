@@ -1,0 +1,171 @@
+// FlatMap: a minimal open-addressing hash map for the simulation hot path.
+//
+// std::unordered_map allocates one node per insert, which shows up directly
+// in the packer's per-item cost (the active-item table churns one
+// insert+erase per item). This map stores entries inline in a power-of-two
+// table with linear probing and backward-shift deletion (no tombstones), so
+// steady-state arrive/depart traffic allocates nothing.
+//
+// Deliberately not a general-purpose container: keys must be integral
+// (hashed with the splitmix64 finalizer), there is no iteration, and
+// inserting a present key is reported rather than overwritten — exactly the
+// operations Simulation needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mutdbp {
+
+template <class Key, class Value>
+class FlatMap {
+  static_assert(sizeof(Key) <= sizeof(std::uint64_t), "FlatMap keys are hashed as u64");
+
+ public:
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    states_.assign(states_.size(), kEmpty);
+    size_ = 0;
+  }
+
+  /// Grows the table so that `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * kMaxLoadNum < n * kMaxLoadDen) want *= 2;
+    if (want > capacity()) rehash(want);
+  }
+
+  /// Pointer to the value for `key`, or nullptr. Never invalidated by
+  /// erase() of *other* keys between rehashes, but treat it as transient.
+  [[nodiscard]] Value* find(const Key& key) noexcept {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = capacity() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (states_[i] == kEmpty) return nullptr;
+      if (entries_[i].first == key) return &entries_[i].second;
+    }
+  }
+  [[nodiscard]] const Value* find(const Key& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const noexcept { return find(key) != nullptr; }
+
+  /// Inserts `value` if `key` is absent and returns the stored value's
+  /// address; returns nullptr (map unchanged) if `key` is present. A single
+  /// probe replaces the contains()+insert() pair. The pointer stays valid
+  /// until the next insert (which may rehash).
+  Value* try_insert(const Key& key, Value value) {
+    if (capacity() == 0 || (size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+      rehash(capacity() == 0 ? kMinCapacity : capacity() * 2);
+    }
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    for (; states_[i] == kFull; i = (i + 1) & mask) {
+      if (entries_[i].first == key) return nullptr;
+    }
+    states_[i] = kFull;
+    entries_[i] = {key, std::move(value)};
+    ++size_;
+    return &entries_[i].second;
+  }
+
+  /// Inserts; returns false (leaving the map unchanged) if `key` is present.
+  bool insert(const Key& key, Value value) {
+    return try_insert(key, std::move(value)) != nullptr;
+  }
+
+  /// Removes `key`, moving its value into `out` first; returns false (and
+  /// leaves `out` untouched) if `key` was absent. A single probe replaces
+  /// the find()+erase() pair.
+  bool take(const Key& key, Value& out) noexcept {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    for (; ; i = (i + 1) & mask) {
+      if (states_[i] == kEmpty) return false;
+      if (entries_[i].first == key) break;
+    }
+    out = std::move(entries_[i].second);
+    erase_slot(i);
+    return true;
+  }
+
+  /// Removes; returns false if `key` was absent.
+  bool erase(const Key& key) noexcept {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    for (; ; i = (i + 1) & mask) {
+      if (states_[i] == kEmpty) return false;
+      if (entries_[i].first == key) break;
+    }
+    erase_slot(i);
+    return true;
+  }
+
+ private:
+  enum State : std::uint8_t { kEmpty = 0, kFull = 1 };
+  static constexpr std::size_t kMinCapacity = 16;
+  // Max load factor 7/8: linear probing stays fast and growth is rare.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return states_.size(); }
+
+  /// Backward-shift deletion at slot `i`: pull displaced entries of the
+  /// probe chain back one slot until a hole or a home-positioned entry (no
+  /// tombstones).
+  void erase_slot(std::size_t i) noexcept {
+    const std::size_t mask = capacity() - 1;
+    std::size_t hole = i;
+    for (std::size_t j = (i + 1) & mask; states_[j] == kFull; j = (j + 1) & mask) {
+      const std::size_t home = hash(entries_[j].first) & mask;
+      // Move j into the hole unless j lies on its own probe path before the
+      // hole (i.e. the hole is not between home and j, cyclically).
+      const bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+      if (movable) {
+        entries_[hole] = std::move(entries_[j]);
+        hole = j;
+      }
+    }
+    states_[hole] = kEmpty;
+    --size_;
+  }
+
+  [[nodiscard]] static std::uint64_t hash(const Key& key) noexcept {
+    // splitmix64 finalizer: cheap and well-distributed for sequential ids.
+    auto x = static_cast<std::uint64_t>(key);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::pair<Key, Value>> old_entries = std::move(entries_);
+    std::vector<std::uint8_t> old_states = std::move(states_);
+    entries_.assign(new_capacity, {});
+    states_.assign(new_capacity, kEmpty);
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      std::size_t j = hash(old_entries[i].first) & mask;
+      while (states_[j] == kFull) j = (j + 1) & mask;
+      states_[j] = kFull;
+      entries_[j] = std::move(old_entries[i]);
+    }
+  }
+
+  std::vector<std::pair<Key, Value>> entries_;
+  std::vector<std::uint8_t> states_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mutdbp

@@ -1,11 +1,25 @@
-// Thread-based parallel_for for embarrassingly parallel sweeps (seed sweeps,
-// µ sweeps). Static block partitioning: tasks in our benches are uniform, so
-// dynamic scheduling would only add synchronization cost.
+// Persistent thread pool + templated parallel_for for embarrassingly
+// parallel sweeps (seed sweeps, µ sweeps).
+//
+// The original implementation spawned std::thread per call and erased the
+// body behind std::function, so every sweep paid thread creation plus an
+// indirect call per index. The pool below is created once (lazily, sized to
+// the hardware) and parks its workers on a condition variable between jobs;
+// parallel_for hands it a statically partitioned job through a function
+// pointer + context, so the per-call cost is one wakeup and the body stays
+// inlinable inside each block. Static block partitioning is kept: tasks in
+// our benches are uniform, so dynamic scheduling would only add
+// synchronization cost.
+//
+// Nested parallel_for calls (from inside a pool task) run serially inline —
+// correct, deadlock-free, and the outer level already owns the cores.
 #pragma once
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,38 +31,188 @@ namespace mutdbp {
   return hw == 0 ? 1 : hw;
 }
 
-/// Runs fn(i) for i in [begin, end) across up to `threads` threads.
-/// The first exception thrown by any task is rethrown on the caller.
-inline void parallel_for(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t)>& fn,
+class ThreadPool {
+ public:
+  using ChunkFn = void (*)(void* context, std::size_t chunk);
+
+  /// A pool with `workers` parked threads (the caller of run() always
+  /// participates too, so parallelism() == workers + 1).
+  explicit ThreadPool(std::size_t workers) {
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    wake_workers_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, created on first use with one thread per
+  /// hardware core (including the caller).
+  [[nodiscard]] static ThreadPool& global() {
+    static ThreadPool pool(default_thread_count() - 1);
+    return pool;
+  }
+
+  [[nodiscard]] std::size_t parallelism() const noexcept { return workers_.size() + 1; }
+
+  /// True while the current thread is executing a pool task; used to run
+  /// nested parallel constructs inline.
+  [[nodiscard]] static bool in_task() noexcept { return in_task_flag(); }
+
+  /// Runs fn(context, c) for every chunk c in [0, chunks), distributing the
+  /// chunks over the workers and the calling thread; returns when all chunks
+  /// finished. `fn` must not throw (parallel_for wraps bodies accordingly).
+  /// Concurrent run() calls from distinct threads serialize.
+  void run(std::size_t chunks, ChunkFn fn, void* context) {
+    if (chunks == 0) return;
+    if (workers_.empty() || in_task()) {
+      run_inline(chunks, fn, context);
+      return;
+    }
+    const std::scoped_lock job_lock(job_mutex_);
+    {
+      const std::scoped_lock lock(mutex_);
+      fn_ = fn;
+      context_ = context;
+      chunks_ = chunks;
+      next_chunk_ = 0;
+      done_ = 0;
+      ++generation_;
+    }
+    wake_workers_.notify_all();
+    participate();
+    std::unique_lock lock(mutex_);
+    job_done_.wait(lock, [this] { return done_ == chunks_; });
+    fn_ = nullptr;
+  }
+
+ private:
+  static bool& in_task_flag() noexcept {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  void run_inline(std::size_t chunks, ChunkFn fn, void* context) {
+    in_task_flag() = true;
+    for (std::size_t c = 0; c < chunks; ++c) fn(context, c);
+    in_task_flag() = false;
+  }
+
+  /// Claims and executes chunks until none remain (caller side).
+  void participate() {
+    in_task_flag() = true;
+    while (true) {
+      std::size_t c;
+      {
+        const std::scoped_lock lock(mutex_);
+        if (next_chunk_ >= chunks_) break;
+        c = next_chunk_++;
+      }
+      fn_(context_, c);
+      finish_chunk();
+    }
+    in_task_flag() = false;
+  }
+
+  void finish_chunk() {
+    bool all_done = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      all_done = ++done_ == chunks_;
+    }
+    if (all_done) job_done_.notify_all();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      ChunkFn fn = nullptr;
+      void* context = nullptr;
+      {
+        std::unique_lock lock(mutex_);
+        wake_workers_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+        if (stop_) return;
+        seen_generation = generation_;
+        fn = fn_;
+        context = context_;
+      }
+      in_task_flag() = true;
+      while (true) {
+        std::size_t c;
+        {
+          const std::scoped_lock lock(mutex_);
+          if (generation_ != seen_generation || next_chunk_ >= chunks_) break;
+          c = next_chunk_++;
+        }
+        fn(context, c);
+        finish_chunk();
+      }
+      in_task_flag() = false;
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex job_mutex_;  ///< serializes concurrent run() callers
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable job_done_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  ChunkFn fn_ = nullptr;
+  void* context_ = nullptr;
+  std::size_t chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t done_ = 0;
+};
+
+/// Runs fn(i) for i in [begin, end) across up to `threads` threads (capped
+/// by the global pool's parallelism). The first exception thrown by any
+/// block is rethrown on the caller after all blocks finish.
+template <class F>
+inline void parallel_for(std::size_t begin, std::size_t end, F&& fn,
                          std::size_t threads = default_thread_count()) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  threads = std::min(threads == 0 ? std::size_t{1} : threads, n);
-  if (threads == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
+  if (threads == 0) threads = 1;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t blocks = std::min({threads, pool.parallelism(), n});
+
+  struct Context {
+    F* fn;
+    std::size_t begin, end, chunk;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  } context{&fn, begin, end, (n + blocks - 1) / blocks, {}, nullptr};
+
+  const auto run_block = [](void* raw, std::size_t block) {
+    auto* ctx = static_cast<Context*>(raw);
+    const std::size_t lo = ctx->begin + block * ctx->chunk;
+    const std::size_t hi = std::min(ctx->end, lo + ctx->chunk);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*ctx->fn)(i);
+    } catch (...) {
+      const std::scoped_lock lock(ctx->error_mutex);
+      if (!ctx->first_error) ctx->first_error = std::current_exception();
+    }
+  };
+
+  if (blocks <= 1) {
+    run_block(&context, 0);
+  } else {
+    pool.run(blocks, run_block, &context);
   }
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (n + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t lo = begin + t * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (context.first_error) std::rethrow_exception(context.first_error);
 }
 
 }  // namespace mutdbp

@@ -1,0 +1,198 @@
+// Unit tests for the CapacityTree placement kernel: query semantics,
+// tie-breaking, epsilon-boundary exactness, closing, and growth.
+#include "core/capacity_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace mutdbp {
+namespace {
+
+CapacityTree make_tree(bool track_level_order = true) {
+  CapacityTree tree;
+  tree.begin(/*capacity=*/1.0, /*fit_epsilon=*/0.0, track_level_order);
+  return tree;
+}
+
+TEST(CapacityTree, EmptyTreeAnswersNothing) {
+  CapacityTree tree = make_tree();
+  EXPECT_EQ(tree.first_fit(0.5), std::nullopt);
+  EXPECT_EQ(tree.last_fit(0.5), std::nullopt);
+  EXPECT_EQ(tree.worst_fit(0.5), std::nullopt);
+  EXPECT_EQ(tree.best_fit(0.5), std::nullopt);
+  EXPECT_EQ(tree.bin_count(), 0u);
+  EXPECT_EQ(tree.open_count(), 0u);
+}
+
+TEST(CapacityTree, AppendAssignsSequentialIndices) {
+  CapacityTree tree = make_tree();
+  EXPECT_EQ(tree.append(0.3), 0u);
+  EXPECT_EQ(tree.append(0.6), 1u);
+  EXPECT_EQ(tree.append(0.9), 2u);
+  EXPECT_EQ(tree.bin_count(), 3u);
+  EXPECT_EQ(tree.open_count(), 3u);
+  EXPECT_DOUBLE_EQ(tree.level(1), 0.6);
+}
+
+TEST(CapacityTree, FirstFitPicksLowestIndexedFittingBin) {
+  CapacityTree tree = make_tree();
+  tree.append(0.9);  // gap 0.1
+  tree.append(0.5);  // gap 0.5
+  tree.append(0.2);  // gap 0.8
+  EXPECT_EQ(tree.first_fit(0.4), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.first_fit(0.05), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.first_fit(0.7), std::optional<BinIndex>(2));
+  EXPECT_EQ(tree.first_fit(0.9), std::nullopt);
+}
+
+TEST(CapacityTree, LastFitPicksHighestIndexedFittingBin) {
+  CapacityTree tree = make_tree();
+  tree.append(0.2);  // gap 0.8
+  tree.append(0.5);  // gap 0.5
+  tree.append(0.9);  // gap 0.1
+  EXPECT_EQ(tree.last_fit(0.4), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.last_fit(0.05), std::optional<BinIndex>(2));
+  EXPECT_EQ(tree.last_fit(0.7), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.last_fit(0.9), std::nullopt);
+}
+
+TEST(CapacityTree, WorstFitPicksEmptiestBinOrNothing) {
+  CapacityTree tree = make_tree();
+  tree.append(0.5);
+  tree.append(0.2);  // emptiest
+  tree.append(0.8);
+  EXPECT_EQ(tree.worst_fit(0.3), std::optional<BinIndex>(1));
+  // If the item does not fit in the emptiest bin, it fits nowhere.
+  EXPECT_EQ(tree.worst_fit(0.85), std::nullopt);
+}
+
+TEST(CapacityTree, WorstFitBreaksLevelTiesByLowestIndex) {
+  CapacityTree tree = make_tree();
+  tree.append(0.4);
+  tree.append(0.4);
+  tree.append(0.4);
+  EXPECT_EQ(tree.worst_fit(0.1), std::optional<BinIndex>(0));
+  tree.close(0);
+  EXPECT_EQ(tree.worst_fit(0.1), std::optional<BinIndex>(1));
+}
+
+TEST(CapacityTree, BestFitPicksFullestFittingBin) {
+  CapacityTree tree = make_tree();
+  tree.append(0.5);
+  tree.append(0.9);  // fullest, gap 0.1
+  tree.append(0.2);
+  EXPECT_EQ(tree.best_fit(0.1), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.best_fit(0.3), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.best_fit(0.6), std::optional<BinIndex>(2));
+  EXPECT_EQ(tree.best_fit(0.95), std::nullopt);
+}
+
+TEST(CapacityTree, BestFitBreaksLevelTiesByLowestIndex) {
+  CapacityTree tree = make_tree();
+  tree.append(0.7);
+  tree.append(0.7);
+  tree.append(0.1);
+  EXPECT_EQ(tree.best_fit(0.2), std::optional<BinIndex>(0));
+  tree.close(0);
+  EXPECT_EQ(tree.best_fit(0.2), std::optional<BinIndex>(1));
+}
+
+TEST(CapacityTree, SetLevelMovesBinsAcrossQueries) {
+  CapacityTree tree = make_tree();
+  tree.append(0.5);
+  tree.append(0.5);
+  tree.set_level(0, 0.95);
+  EXPECT_EQ(tree.first_fit(0.3), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.best_fit(0.05), std::optional<BinIndex>(0));
+  tree.set_level(0, 0.1);
+  EXPECT_EQ(tree.first_fit(0.3), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.worst_fit(0.3), std::optional<BinIndex>(0));
+  EXPECT_DOUBLE_EQ(tree.level(0), 0.1);
+}
+
+TEST(CapacityTree, ClosedBinsAreNeverSelected) {
+  CapacityTree tree = make_tree();
+  tree.append(0.1);
+  tree.append(0.2);
+  tree.close(0);
+  EXPECT_FALSE(tree.is_open(0));
+  EXPECT_TRUE(tree.is_open(1));
+  EXPECT_EQ(tree.open_count(), 1u);
+  EXPECT_EQ(tree.first_fit(0.1), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.worst_fit(0.1), std::optional<BinIndex>(1));
+  EXPECT_EQ(tree.best_fit(0.1), std::optional<BinIndex>(1));
+  tree.close(1);
+  EXPECT_EQ(tree.first_fit(0.1), std::nullopt);
+  EXPECT_EQ(tree.worst_fit(0.1), std::nullopt);
+  EXPECT_EQ(tree.best_fit(0.1), std::nullopt);
+}
+
+TEST(CapacityTree, ClosingTwiceOrTouchingClosedBinsThrows) {
+  CapacityTree tree = make_tree();
+  tree.append(0.4);
+  tree.close(0);
+  EXPECT_THROW(tree.close(0), std::logic_error);
+  EXPECT_THROW(tree.set_level(0, 0.2), std::logic_error);
+  EXPECT_THROW(tree.close(7), std::logic_error);
+}
+
+TEST(CapacityTree, EpsilonBoundaryUsesExactPredicate) {
+  CapacityTree tree;
+  const double eps = 1e-9;
+  tree.begin(1.0, eps, /*track_level_order=*/true);
+  tree.append(0.5);
+  // level + size == capacity + eps fits (non-strict); one ulp beyond does not.
+  const double exactly = 0.5 + eps;
+  EXPECT_EQ(tree.first_fit(exactly), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.best_fit(exactly), std::optional<BinIndex>(0));
+  const double beyond = 0.5 + 3e-9;
+  EXPECT_EQ(tree.first_fit(beyond), std::nullopt);
+  EXPECT_EQ(tree.best_fit(beyond), std::nullopt);
+}
+
+TEST(CapacityTree, ZeroEpsilonDyadicExactFill) {
+  CapacityTree tree;
+  tree.begin(1.0, 0.0, /*track_level_order=*/true);
+  tree.append(0.75);
+  // 0.75 + 0.25 == 1.0 exactly in binary floating point: fits with eps 0.
+  EXPECT_EQ(tree.first_fit(0.25), std::optional<BinIndex>(0));
+  tree.set_level(0, 1.0);
+  EXPECT_EQ(tree.first_fit(0.25), std::nullopt);
+}
+
+TEST(CapacityTree, GrowsPastInitialLeafCapacity) {
+  CapacityTree tree = make_tree();
+  constexpr std::size_t kBins = 300;  // > the initial 64-leaf tree, twice doubled
+  for (std::size_t i = 0; i < kBins; ++i) {
+    ASSERT_EQ(tree.append(0.5), i);
+  }
+  EXPECT_EQ(tree.bin_count(), kBins);
+  EXPECT_EQ(tree.open_count(), kBins);
+  EXPECT_EQ(tree.first_fit(0.4), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.last_fit(0.4), std::optional<BinIndex>(kBins - 1));
+  // Fill everything except bin 123 and re-query all four rules.
+  for (std::size_t i = 0; i < kBins; ++i) {
+    if (i != 123) tree.set_level(i, 1.0);
+  }
+  EXPECT_EQ(tree.first_fit(0.4), std::optional<BinIndex>(123));
+  EXPECT_EQ(tree.last_fit(0.4), std::optional<BinIndex>(123));
+  EXPECT_EQ(tree.worst_fit(0.4), std::optional<BinIndex>(123));
+  EXPECT_EQ(tree.best_fit(0.4), std::optional<BinIndex>(123));
+}
+
+TEST(CapacityTree, BeginResetsAllState) {
+  CapacityTree tree = make_tree();
+  tree.append(0.5);
+  tree.append(0.6);
+  tree.close(0);
+  tree.begin(2.0, 0.0, /*track_level_order=*/true);
+  EXPECT_EQ(tree.bin_count(), 0u);
+  EXPECT_EQ(tree.open_count(), 0u);
+  EXPECT_DOUBLE_EQ(tree.capacity(), 2.0);
+  EXPECT_EQ(tree.append(1.5), 0u);
+  EXPECT_EQ(tree.first_fit(0.5), std::optional<BinIndex>(0));
+}
+
+}  // namespace
+}  // namespace mutdbp

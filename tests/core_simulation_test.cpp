@@ -204,5 +204,92 @@ TEST(Simulation, ExactCapacityFillAllowed) {
   EXPECT_EQ(result.bins_opened(), 1u);
 }
 
+TEST(Simulation, DefaultOptionsInheritListCapacity) {
+  // Leaving options.capacity at its default adopts items.capacity().
+  FirstFit ff;
+  const ItemList items({make_item(1, 3.0, 0.0, 2.0), make_item(2, 1.0, 0.0, 2.0)},
+                       4.0);
+  SimulationOptions options;  // capacity left at the default
+  options.record_timelines = false;
+  const PackingResult result = simulate(items, ff, options);
+  EXPECT_EQ(result.bins_opened(), 1u);
+}
+
+TEST(Simulation, ExplicitMatchingCapacityAccepted) {
+  FirstFit ff;
+  const ItemList items({make_item(1, 3.0, 0.0, 2.0), make_item(2, 1.0, 0.0, 2.0)},
+                       4.0);
+  SimulationOptions options;
+  options.capacity = 4.0;  // agrees with the list: fine
+  const PackingResult result = simulate(items, ff, options);
+  EXPECT_EQ(result.bins_opened(), 1u);
+}
+
+TEST(Simulation, ConflictingCapacityThrowsInsteadOfSilentOverride) {
+  // Regression: simulate() used to silently replace options.capacity with
+  // items.capacity(), so a caller's explicit (wrong) choice was ignored.
+  FirstFit ff;
+  const ItemList items({make_item(1, 3.0, 0.0, 2.0)}, 4.0);
+  SimulationOptions options;
+  options.capacity = 8.0;  // contradicts the list's 4.0
+  EXPECT_THROW((void)simulate(items, ff, options), std::invalid_argument);
+}
+
+TEST(Simulation, SameInstantDepartureAndArrivalCoalesceTimelineEntry) {
+  // record_level() coalesces on *exactly equal* Time values: when an item
+  // departs and another arrives at the identical t, the bin's timeline must
+  // hold a single entry at t with the settled level — never two entries at
+  // one time. (Same-instant events reach the bin with bitwise-equal t; the
+  // contract is exact equality, not an epsilon.)
+  FirstFit ff;
+  // r1 0.6 [0,2); r2 0.3 [0,5); r3 0.6 arrives exactly at t=2, fits only
+  // after r1's same-instant departure is processed (departures first).
+  const ItemList items({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.3, 0.0, 5.0),
+                        make_item(3, 0.6, 2.0, 4.0)});
+  const PackingResult result = simulate(items, ff);
+  ASSERT_EQ(result.bins_opened(), 1u);
+  const LevelTimeline& tl = result.bins()[0].timeline;
+  for (std::size_t i = 1; i < tl.times.size(); ++i) {
+    EXPECT_LT(tl.times[i - 1], tl.times[i]) << "duplicate timeline entry at index " << i;
+  }
+  // At t=2 the r1-departure and r3-arrival collapse into one entry holding
+  // the final level 0.3 + 0.6.
+  EXPECT_DOUBLE_EQ(tl.at(2.0), 0.9);
+  EXPECT_DOUBLE_EQ(tl.min_over({0.0, 2.0}), 0.9);  // half-open: min at the seam
+}
+
+TEST(Simulation, LazyItemMaterializationMatchesEagerView) {
+  // finish() hands PackingResult a placement pool; per-bin `items` are
+  // bucketed on the first bins() call. Aggregate objectives and the
+  // assignment answer identically before and after that bucketing.
+  FirstFit ff;
+  const ItemList items({make_item(1, 0.7, 0.0, 2.0), make_item(2, 0.7, 0.5, 3.0),
+                        make_item(3, 0.2, 1.5, 2.5), make_item(4, 0.5, 4.0, 6.0)});
+  const PackingResult result = simulate(items, ff);
+  // Pool-backed queries, before any bins() call:
+  EXPECT_EQ(result.bins_opened(), 3u);
+  const Time usage_before = result.total_usage_time();
+  const double util_before = result.average_utilization();
+  EXPECT_EQ(result.bin_of(2), 1u);
+  // Materialize and re-check: same answers, items in arrival order.
+  const std::vector<BinRecord>& bins = result.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins[0].items.size(), 2u);  // r1 then r3
+  EXPECT_EQ(bins[0].items[0].item, 1u);
+  EXPECT_EQ(bins[0].items[1].item, 3u);
+  EXPECT_EQ(bins[1].items.size(), 1u);
+  EXPECT_EQ(bins[2].items.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.total_usage_time(), usage_before);
+  EXPECT_DOUBLE_EQ(result.average_utilization(), util_before);
+  EXPECT_EQ(result.bin_of(2), 1u);
+}
+
+TEST(PackingResult, PooledConstructionRejectsNonDenseBins) {
+  std::vector<BinRecord> skeleton(1);
+  skeleton[0].index = 5;  // not the dense 0,1,2,... the pool indexes into
+  EXPECT_THROW((PackingResult{std::move(skeleton), std::vector<PooledPlacement>{}}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mutdbp

@@ -1,0 +1,190 @@
+// Differential property tests for the O(log m) placement kernel: every
+// kernelized algorithm, driven through the incremental hook path, must
+// produce bit-identical packings to the same rule forced onto the legacy
+// snapshot-scan path via the WithSnapshots<> adapter. The corpus mixes
+// random workloads (several size distributions, simultaneous-arrival
+// batches, dyadic epsilon-boundary instances run with fit_epsilon 0) with
+// the adversarial families from workload/adversarial.h.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/hybrid_first_fit.h"
+#include "algorithms/next_fit.h"
+#include "core/simulation.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+using workload::ArrivalProcess;
+using workload::DurationDistribution;
+using workload::RandomWorkloadSpec;
+using workload::SizeDistribution;
+
+using AlgorithmFactory = std::function<std::unique_ptr<PackingAlgorithm>()>;
+
+struct KernelCase {
+  std::string label;
+  /// Makes the kernel-path instance (needs_snapshots() == false).
+  std::function<std::unique_ptr<PackingAlgorithm>(double eps)> kernel;
+  /// Makes the identical rule forced onto the legacy snapshot path.
+  std::function<std::unique_ptr<PackingAlgorithm>(double eps)> legacy;
+};
+
+std::vector<KernelCase> kernel_cases() {
+  std::vector<KernelCase> cases;
+  cases.push_back({"FirstFit",
+                   [](double e) { return std::make_unique<FirstFit>(e); },
+                   [](double e) { return std::make_unique<WithSnapshots<FirstFit>>(e); }});
+  cases.push_back({"BestFit",
+                   [](double e) { return std::make_unique<BestFit>(e); },
+                   [](double e) { return std::make_unique<WithSnapshots<BestFit>>(e); }});
+  cases.push_back({"WorstFit",
+                   [](double e) { return std::make_unique<WorstFit>(e); },
+                   [](double e) { return std::make_unique<WithSnapshots<WorstFit>>(e); }});
+  cases.push_back({"LastFit",
+                   [](double e) { return std::make_unique<LastFit>(e); },
+                   [](double e) { return std::make_unique<WithSnapshots<LastFit>>(e); }});
+  cases.push_back({"NextFit",
+                   [](double e) { return std::make_unique<NextFit>(e); },
+                   [](double e) { return std::make_unique<WithSnapshots<NextFit>>(e); }});
+  const std::vector<double> boundaries{1.0 / 3.0, 0.5, 1.0};
+  cases.push_back(
+      {"HybridFirstFit",
+       [boundaries](double e) { return std::make_unique<HybridFirstFit>(boundaries, e); },
+       [boundaries](double e) {
+         return std::make_unique<WithSnapshots<HybridFirstFit>>(boundaries, e);
+       }});
+  return cases;
+}
+
+/// One random instance of the differential corpus: the item list plus the
+/// fit epsilon it must be run with (0 for the dyadic boundary family).
+struct CorpusInstance {
+  std::string label;
+  ItemList items;
+  double fit_epsilon = kDefaultFitEpsilon;
+};
+
+std::vector<CorpusInstance> build_corpus() {
+  std::vector<CorpusInstance> corpus;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const double mu : {1.0, 2.5, 6.0, 12.0}) {
+      RandomWorkloadSpec base;
+      base.num_items = 120;
+      base.seed = seed * 1000 + static_cast<std::uint64_t>(mu * 10);
+      base.arrival_rate = 2.0;
+      base.duration_min = 1.0;
+      base.duration_max = mu;
+      const std::string suffix =
+          "_mu" + std::to_string(static_cast<int>(mu * 10)) + "_s" + std::to_string(seed);
+
+      RandomWorkloadSpec uniform = base;
+      uniform.size_min = 0.02;
+      uniform.size_max = 1.0;
+      corpus.push_back({"uniform" + suffix, workload::generate(uniform)});
+
+      RandomWorkloadSpec bimodal = base;
+      bimodal.size_dist = SizeDistribution::kBimodal;
+      bimodal.duration_dist = DurationDistribution::kBimodal;
+      corpus.push_back({"bimodal" + suffix, workload::generate(bimodal)});
+
+      // Many small items per bin: deep bins stress level bookkeeping.
+      RandomWorkloadSpec small = base;
+      small.size_min = 0.01;
+      small.size_max = 0.2;
+      corpus.push_back({"small" + suffix, workload::generate(small)});
+
+      // Simultaneous arrivals stress tie-breaking at equal timestamps.
+      RandomWorkloadSpec batched = base;
+      batched.arrivals = ArrivalProcess::kBatched;
+      batched.batch_size = 6;
+      corpus.push_back({"batched" + suffix, workload::generate(batched)});
+
+      // Dyadic sizes that fill bins *exactly*, run with fit_epsilon 0: a
+      // single rounding difference between the kernel and the snapshot scan
+      // would flip these boundary fits.
+      RandomWorkloadSpec dyadic = base;
+      dyadic.size_dist = SizeDistribution::kDiscrete;
+      dyadic.size_choices = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1.0};
+      corpus.push_back({"dyadic" + suffix, workload::generate(dyadic), 0.0});
+    }
+  }
+  return corpus;  // 10 seeds x 4 mus x 5 families = 200 instances
+}
+
+const std::vector<CorpusInstance>& corpus() {
+  static const std::vector<CorpusInstance> instances = build_corpus();
+  return instances;
+}
+
+/// Runs one rule down both paths and requires bit-identical packings.
+void expect_paths_identical(const KernelCase& algo, const ItemList& items,
+                            double fit_epsilon, const std::string& context) {
+  const auto kernel = algo.kernel(fit_epsilon);
+  const auto legacy = algo.legacy(fit_epsilon);
+  ASSERT_FALSE(kernel->needs_snapshots()) << algo.label;
+  ASSERT_TRUE(legacy->needs_snapshots()) << algo.label;
+
+  SimulationOptions options;
+  options.fit_epsilon = fit_epsilon;
+  const PackingResult kernel_result = simulate(items, *kernel, options);
+  const PackingResult legacy_result = simulate(items, *legacy, options);
+
+  ASSERT_EQ(kernel_result.bins_opened(), legacy_result.bins_opened())
+      << algo.label << " on " << context;
+  // Exact equality, not near-equality: both paths must make the same
+  // placement decisions, so the costs are the same doubles.
+  ASSERT_EQ(kernel_result.total_usage_time(), legacy_result.total_usage_time())
+      << algo.label << " on " << context;
+  ASSERT_EQ(kernel_result.assignment(), legacy_result.assignment())
+      << algo.label << " on " << context;
+}
+
+class PlacementKernel : public ::testing::TestWithParam<KernelCase> {};
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PlacementKernel,
+                         ::testing::ValuesIn(kernel_cases()),
+                         [](const auto& param_info) { return param_info.param.label; });
+
+TEST_P(PlacementKernel, MatchesSnapshotPathOnRandomCorpus) {
+  ASSERT_GE(corpus().size(), 200u);
+  for (const CorpusInstance& instance : corpus()) {
+    expect_paths_identical(GetParam(), instance.items, instance.fit_epsilon,
+                           instance.label);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_P(PlacementKernel, MatchesSnapshotPathOnAdversarialFamilies) {
+  const auto next_fit_lb = workload::next_fit_lower_bound_instance(8, 6.0);
+  const auto pinning = workload::any_fit_pinning_instance(24, 6.0);
+  const auto decoy = workload::best_fit_decoy_instance(8, 12.0);
+  expect_paths_identical(GetParam(), next_fit_lb.items,
+                         next_fit_lb.recommended_fit_epsilon, "next_fit_lower_bound");
+  expect_paths_identical(GetParam(), pinning.items, pinning.recommended_fit_epsilon,
+                         "any_fit_pinning");
+  expect_paths_identical(GetParam(), decoy.items, decoy.recommended_fit_epsilon,
+                         "best_fit_decoy");
+}
+
+TEST_P(PlacementKernel, ReusableAcrossSimulateCalls) {
+  // simulate() calls reset(); a single instance must give identical results
+  // when reused, including after having been attached to a previous run.
+  const auto algo = GetParam().kernel(kDefaultFitEpsilon);
+  const CorpusInstance& instance = corpus().front();
+  const PackingResult first = simulate(instance.items, *algo);
+  const PackingResult second = simulate(instance.items, *algo);
+  EXPECT_EQ(first.bins_opened(), second.bins_opened());
+  EXPECT_EQ(first.total_usage_time(), second.total_usage_time());
+  EXPECT_EQ(first.assignment(), second.assignment());
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -9,6 +9,7 @@
 
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/flat_hash.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -239,6 +240,136 @@ TEST(Parallel, EmptyRangeIsNoop) {
   bool ran = false;
   parallel_for(5, 5, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, NestedCallsRunSerially) {
+  // A parallel_for issued from inside a pool task must not deadlock waiting
+  // for the pool; it runs inline on the calling thread.
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(0, 8, [&](std::size_t outer) {
+    parallel_for(0, 8,
+                 [&](std::size_t inner) { hits[outer * 8 + inner].fetch_add(1); }, 4);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PoolIsReusableAcrossCalls) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); }, 4);
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.insert(7, 70));
+  EXPECT_TRUE(map.insert(8, 80));
+  EXPECT_FALSE(map.insert(7, 71)) << "duplicate insert must be rejected";
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 70);
+  EXPECT_EQ(map.find(9), nullptr);
+  EXPECT_TRUE(map.erase(7));
+  EXPECT_FALSE(map.erase(7));
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_TRUE(map.contains(8));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, SurvivesGrowthAndChurn) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kN = 5000;
+  for (std::uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(map.insert(k, k * 3));
+  EXPECT_EQ(map.size(), kN);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    ASSERT_NE(map.find(k), nullptr) << k;
+    EXPECT_EQ(*map.find(k), k * 3);
+  }
+  // Erase the even keys; odd keys must survive the backward-shift deletions.
+  for (std::uint64_t k = 0; k < kN; k += 2) ASSERT_TRUE(map.erase(k));
+  EXPECT_EQ(map.size(), kN / 2);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.find(k), nullptr) << k;
+      EXPECT_EQ(*map.find(k), k * 3);
+    }
+  }
+}
+
+TEST(FlatMap, BackwardShiftKeepsCollidingProbeChainsIntact) {
+  // Keys a multiple of a large stride apart tend to share home slots after
+  // masking; erasing chain members in every order must keep lookups correct.
+  FlatMap<std::uint64_t, int> map;
+  const std::vector<std::uint64_t> keys{1, 17, 33, 49, 65, 81, 97, 113};
+  for (std::size_t order = 0; order < keys.size(); ++order) {
+    map.clear();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(map.insert(keys[i], static_cast<int>(i)));
+    }
+    ASSERT_TRUE(map.erase(keys[order]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i == order) {
+        EXPECT_EQ(map.find(keys[i]), nullptr);
+      } else {
+        ASSERT_NE(map.find(keys[i]), nullptr) << "order " << order << " key " << keys[i];
+        EXPECT_EQ(*map.find(keys[i]), static_cast<int>(i));
+      }
+    }
+  }
+}
+
+TEST(FlatMap, ClearAndReserve) {
+  FlatMap<std::uint64_t, int> map;
+  map.reserve(1000);
+  for (std::uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(map.insert(k, 1));
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  EXPECT_TRUE(map.insert(5, 2));
+  EXPECT_EQ(*map.find(5), 2);
+}
+
+TEST(FlatMap, TryInsertReturnsSlotOrRejectsDuplicate) {
+  FlatMap<std::uint64_t, int> map;
+  int* slot = map.try_insert(7, 70);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(*slot, 70);
+  *slot = 71;  // the returned pointer aliases the stored value
+  EXPECT_EQ(*map.find(7), 71);
+  EXPECT_EQ(map.try_insert(7, 99), nullptr) << "duplicate must leave the map unchanged";
+  EXPECT_EQ(*map.find(7), 71);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, TakeRemovesAndReturnsValue) {
+  FlatMap<std::uint64_t, int> map;
+  ASSERT_TRUE(map.insert(3, 30));
+  ASSERT_TRUE(map.insert(4, 40));
+  int out = -1;
+  EXPECT_FALSE(map.take(9, out));
+  EXPECT_EQ(out, -1) << "a missing key must leave out untouched";
+  EXPECT_TRUE(map.take(3, out));
+  EXPECT_EQ(out, 30);
+  EXPECT_FALSE(map.contains(3));
+  EXPECT_EQ(map.size(), 1u);
+  // take() shares erase()'s backward-shift path: colliding survivors must
+  // stay reachable.
+  map.clear();
+  const std::vector<std::uint64_t> keys{1, 17, 33, 49, 65, 81, 97, 113};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(map.insert(keys[i], static_cast<int>(i)));
+  }
+  EXPECT_TRUE(map.take(keys[2], out));
+  EXPECT_EQ(out, 2);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_NE(map.find(keys[i]), nullptr) << keys[i];
+    EXPECT_EQ(*map.find(keys[i]), static_cast<int>(i));
+  }
 }
 
 }  // namespace
