@@ -1,0 +1,211 @@
+// E-F — cost degradation under server failures: how much of each
+// algorithm's MinUsageTime objective survives when rented servers crash at
+// increasing Poisson rates and the evicted jobs are recovered through the
+// same online kernel. Not a paper artifact (the paper's servers are
+// reliable); this is the robustness companion to E10 — the fault-free row
+// of every curve reproduces the reliable-model numbers exactly.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "analysis/disruption.h"
+#include "bench_common.h"
+#include "cloud/faults.h"
+#include "core/error.h"
+#include "core/simulation.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/faults.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace mutdbp;
+  Flags flags(argc, argv);
+  const bool smoke = flags.get_bool("smoke", false,
+                                    "tiny workload + fewer seeds (CI smoke run)");
+  const bool audit = flags.get_bool(
+      "audit", false, "attach the invariant auditor to every simulation");
+  const std::int64_t seeds = flags.get_int(
+      "seeds", smoke ? 2 : 5, "random seeds averaged per (algorithm, rate) cell");
+  const std::string csv_dir =
+      flags.get_string("csv_dir", "", "directory to also write result tables as CSV");
+  if (flags.finish("E-F: FF/BF/NF cost degradation under server failures")) {
+    return 0;
+  }
+
+  bench::print_header(
+      "E-F: cost degradation under server failures",
+      "robustness companion to SS I (reliable servers are the paper's model; "
+      "the rate-0 row reproduces it)",
+      "billed cost rises monotonically with the failure rate (every crash "
+      "splits a rental into segments that each round up to the billing hour)");
+
+  const std::size_t n = smoke ? 150 : 1500;
+  const double mu = 4.0;
+  std::printf("workload: %zu items per seed, mu %.1f, %lld seeds per cell%s\n\n",
+              n, mu, static_cast<long long>(seeds), audit ? ", auditor ON" : "");
+
+  const std::vector<double> rates = {0.0, 0.01, 0.05, 0.1};
+  bool baseline_matches = true;
+
+  Table table({"algorithm", "fault_rate", "faults", "evictions", "usage_h",
+               "cost", "cost_ratio"});
+  for (const auto& name : {"FirstFit", "BestFit", "NextFit"}) {
+    for (const double rate : rates) {
+      double usage_sum = 0.0;
+      double cost_sum = 0.0;
+      double ratio_sum = 0.0;
+      double faults_sum = 0.0;
+      double evictions_sum = 0.0;
+      for (std::int64_t seed = 1; seed <= seeds; ++seed) {
+        const ItemList items = workload::generate(
+            bench::sweep_spec(mu, static_cast<std::uint64_t>(seed), n));
+
+        const auto baseline_algo = make_algorithm(name);
+        SimulationOptions baseline_options;
+        baseline_options.audit = audit;
+        const PackingResult baseline =
+            simulate(items, *baseline_algo, baseline_options);
+
+        workload::FaultScheduleSpec schedule;
+        schedule.rate = rate;
+        schedule.horizon = items.span();
+        schedule.seed = static_cast<std::uint64_t>(seed) * 7919 + 17;
+
+        cloud::FaultyRunOptions options;
+        options.sim.audit = audit;
+        options.fault_schedule = workload::fault_times(schedule);
+        options.victim = cloud::VictimPolicy::kRandom;
+        options.victim_seed = static_cast<std::uint64_t>(seed) + 101;
+        options.retry.kind = cloud::RetryPolicy::Kind::kImmediate;
+        // Hourly billing: every crash splits a rental into segments that
+        // each round up, so billed cost degrades even when the re-placement
+        // happens to consolidate raw usage.
+        options.billing.granularity = 1.0;
+
+        const auto algo = make_algorithm(name);
+        const cloud::FaultyRunReport report =
+            cloud::run_with_faults(items, *algo, options);
+
+        if (rate == 0.0 &&
+            (report.packing.total_usage_time() != baseline.total_usage_time() ||
+             report.packing.bins().size() != baseline.bins().size())) {
+          baseline_matches = false;
+        }
+
+        analysis::DisruptionInputs in;
+        in.jobs = items.size();
+        in.faults_injected = report.faults_injected;
+        in.evictions = report.evictions;
+        in.replacements = report.replacements;
+        in.drops = report.drops;
+        in.usage = report.packing.total_usage_time();
+        in.fault_free_usage = baseline.total_usage_time();
+        in.cost = report.billing.total_cost;
+        in.fault_free_cost =
+            cloud::bill(baseline, options.billing).total_cost;
+        const analysis::DisruptionReport disruption =
+            analysis::summarize_disruption(in);
+
+        usage_sum += in.usage;
+        cost_sum += in.cost;
+        ratio_sum += disruption.cost_ratio();
+        faults_sum += static_cast<double>(report.faults_injected);
+        evictions_sum += static_cast<double>(report.evictions);
+      }
+      const double inv = 1.0 / static_cast<double>(seeds);
+      table.add_row({std::string(name), Table::num(rate, 2),
+                     Table::num(faults_sum * inv, 1),
+                     Table::num(evictions_sum * inv, 1),
+                     Table::num(usage_sum * inv, 1),
+                     Table::num(cost_sum * inv, 1),
+                     Table::num(ratio_sum * inv, 4)});
+    }
+  }
+  std::cout << table;
+  std::printf("\nfault-free runs match simulate() exactly: %s\n",
+              baseline_matches ? "yes" : "NO (regression!)");
+
+  // Recovery-policy comparison at a fixed failure rate: what the retry
+  // policy trades between extra usage (re-placements) and lost jobs.
+  std::printf("\n-- recovery policies under FirstFit, rate 0.05 --\n");
+  Table policy_table(
+      {"retry_policy", "evictions", "replaced", "dropped", "loss_rate", "usage_h"});
+  struct NamedPolicy {
+    const char* name;
+    cloud::RetryPolicy policy;
+  };
+  const NamedPolicy policies[] = {
+      {"immediate", {cloud::RetryPolicy::Kind::kImmediate, 0, 0.25, 2.0}},
+      {"backoff(3, 0.5h)", {cloud::RetryPolicy::Kind::kBackoff, 3, 0.5, 2.0}},
+      {"drop", {cloud::RetryPolicy::Kind::kDrop, 0, 0.25, 2.0}},
+  };
+  for (const NamedPolicy& named : policies) {
+    double evictions_sum = 0.0;
+    double replaced_sum = 0.0;
+    double dropped_sum = 0.0;
+    double loss_sum = 0.0;
+    double usage_sum = 0.0;
+    for (std::int64_t seed = 1; seed <= seeds; ++seed) {
+      const ItemList items = workload::generate(
+          bench::sweep_spec(mu, static_cast<std::uint64_t>(seed), n));
+      workload::FaultScheduleSpec schedule;
+      schedule.rate = 0.05;
+      schedule.horizon = items.span();
+      schedule.seed = static_cast<std::uint64_t>(seed) * 7919 + 17;
+
+      cloud::FaultyRunOptions options;
+      options.sim.audit = audit;
+      options.fault_schedule = workload::fault_times(schedule);
+      options.victim_seed = static_cast<std::uint64_t>(seed) + 101;
+      options.retry = named.policy;
+      options.billing.granularity = 0.0;
+
+      const auto algo = make_algorithm("FirstFit");
+      const cloud::FaultyRunReport report =
+          cloud::run_with_faults(items, *algo, options);
+
+      analysis::DisruptionInputs in;
+      in.jobs = items.size();
+      in.evictions = report.evictions;
+      in.replacements = report.replacements;
+      in.drops = report.drops;
+      in.usage = report.packing.total_usage_time();
+      const analysis::DisruptionReport disruption =
+          analysis::summarize_disruption(in);
+
+      evictions_sum += static_cast<double>(report.evictions);
+      replaced_sum += static_cast<double>(report.replacements);
+      dropped_sum += static_cast<double>(report.drops);
+      loss_sum += disruption.loss_rate();
+      usage_sum += in.usage;
+    }
+    const double inv = 1.0 / static_cast<double>(seeds);
+    policy_table.add_row({std::string(named.name), Table::num(evictions_sum * inv, 1),
+                          Table::num(replaced_sum * inv, 1),
+                          Table::num(dropped_sum * inv, 1),
+                          Table::num(loss_sum * inv, 4),
+                          Table::num(usage_sum * inv, 1)});
+  }
+  std::cout << policy_table;
+  std::printf("\nreading: immediate recovery pays for crashes with extra usage but\n"
+              "loses nothing; drop sheds usage by abandoning sessions; bounded\n"
+              "backoff sits between, dropping only jobs whose budget or lifetime\n"
+              "ran out.\n");
+
+  if (!csv_dir.empty()) {
+    const auto export_table = [&](const std::string& name, const Table& t) {
+      const std::string path = csv_dir + "/" + name + ".csv";
+      std::ofstream out(path);
+      if (!out) throw ValidationError("bench_faults: cannot open " + path);
+      t.write_csv(out);
+      std::printf("[csv written to %s]\n", path.c_str());
+    };
+    export_table("faults_degradation", table);
+    export_table("faults_policies", policy_table);
+  }
+  return baseline_matches ? 0 : 1;
+}

@@ -3,7 +3,11 @@
 // binary, and replays it — so the example is runnable out of the box.
 //
 //   ./examples/trace_replay [--trace file.csv] [--algorithm FirstFit]
-//                           [--capacity 1.0] [--save demo_trace.csv]
+//                           [--capacity 1.0] [--save demo_trace.csv] [--audit]
+//
+// --audit attaches the InvariantAuditor (core/auditor.h) to the replay: the
+// whole run is re-checked event by event against a shadow model and any
+// engine-invariant violation aborts with an AuditError diagnosis.
 #include <cstdio>
 
 #include "algorithms/registry.h"
@@ -22,6 +26,8 @@ int main(int argc, char** argv) {
   const double capacity = flags.get_double("capacity", 1.0, "bin capacity");
   const std::string save_path =
       flags.get_string("save", "demo_trace.csv", "where to save the demo trace");
+  const bool audit = flags.get_bool(
+      "audit", false, "re-check engine invariants after every replayed event");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
 
   ItemList items;
@@ -42,8 +48,10 @@ int main(int argc, char** argv) {
   const auto algorithm = make_algorithm(algorithm_name);
   analysis::EvalOptions options;
   options.exact_opt = items.size() <= 600;  // integral is cheap enough here
+  options.sim.audit = audit;
   const analysis::Evaluation eval = analysis::evaluate(items, *algorithm, options);
 
+  if (audit) std::printf("auditor: every event re-checked, zero violations\n");
   std::printf("algorithm:        %s\n", eval.algorithm.c_str());
   std::printf("mu:               %.3f\n", eval.mu);
   std::printf("total usage:      %.3f\n", eval.total_usage);

@@ -1,0 +1,29 @@
+#include "analysis/disruption.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/error.h"
+
+namespace mutdbp::analysis {
+
+DisruptionReport summarize_disruption(const DisruptionInputs& in) {
+  if (in.replacements + in.drops > in.evictions) {
+    throw ValidationError(
+        "summarize_disruption: replacements (" + std::to_string(in.replacements) +
+        ") + drops (" + std::to_string(in.drops) + ") exceed evictions (" +
+        std::to_string(in.evictions) + ")");
+  }
+  const double totals[] = {in.usage, in.fault_free_usage, in.cost,
+                           in.fault_free_cost};
+  for (const double value : totals) {
+    if (!std::isfinite(value) || value < 0.0) {
+      throw ValidationError("summarize_disruption: usage/cost totals must be "
+                            "finite and >= 0, got " +
+                            std::to_string(value));
+    }
+  }
+  return DisruptionReport{in};
+}
+
+}  // namespace mutdbp::analysis

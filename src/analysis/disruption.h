@@ -1,0 +1,64 @@
+// Disruption metrics: how much a fault-injected run degraded versus its
+// fault-free baseline. The analysis layer is below the cloud layer, so the
+// inputs are plain counters and totals — the caller (a bench or test)
+// copies them out of whatever fault driver it ran (cloud::FaultyRunReport,
+// dispatcher counters, ...).
+#pragma once
+
+#include <cstddef>
+
+#include "core/interval.h"
+
+namespace mutdbp::analysis {
+
+/// Raw observations of one faulty run plus its fault-free baseline.
+struct DisruptionInputs {
+  std::size_t jobs = 0;              ///< jobs in the trace
+  std::size_t faults_injected = 0;   ///< faults that hit a rented server
+  std::size_t evictions = 0;         ///< job-eviction events
+  std::size_t replacements = 0;      ///< successful re-placements
+  std::size_t drops = 0;             ///< jobs never re-placed
+  Time usage = 0.0;                  ///< total usage of the faulty run
+  Time fault_free_usage = 0.0;       ///< same trace, same algorithm, no faults
+  double cost = 0.0;                 ///< billed cost of the faulty run
+  double fault_free_cost = 0.0;
+};
+
+/// Derived disruption metrics. Throws ValidationError if the inputs are
+/// inconsistent (replacements + drops exceeding evictions, negative
+/// usage/cost, or non-finite totals).
+struct DisruptionReport {
+  DisruptionInputs in;
+
+  /// Fraction of jobs that were lost (dropped) instead of finishing.
+  [[nodiscard]] double loss_rate() const noexcept {
+    return in.jobs > 0 ? static_cast<double>(in.drops) / static_cast<double>(in.jobs)
+                       : 0.0;
+  }
+  /// Mean evictions suffered per job in the trace.
+  [[nodiscard]] double evictions_per_job() const noexcept {
+    return in.jobs > 0
+               ? static_cast<double>(in.evictions) / static_cast<double>(in.jobs)
+               : 0.0;
+  }
+  /// Extra usage paid relative to the fault-free baseline (0 = no
+  /// degradation; may be negative when drops shed load).
+  [[nodiscard]] Time extra_usage() const noexcept {
+    return in.usage - in.fault_free_usage;
+  }
+  /// usage / fault_free_usage: the degradation factor benches plot against
+  /// the failure rate.
+  [[nodiscard]] double usage_ratio() const noexcept {
+    return in.fault_free_usage > 0.0 ? in.usage / in.fault_free_usage : 1.0;
+  }
+  [[nodiscard]] double extra_cost() const noexcept {
+    return in.cost - in.fault_free_cost;
+  }
+  [[nodiscard]] double cost_ratio() const noexcept {
+    return in.fault_free_cost > 0.0 ? in.cost / in.fault_free_cost : 1.0;
+  }
+};
+
+[[nodiscard]] DisruptionReport summarize_disruption(const DisruptionInputs& in);
+
+}  // namespace mutdbp::analysis

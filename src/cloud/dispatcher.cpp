@@ -1,20 +1,104 @@
 #include "cloud/dispatcher.h"
 
+#include <string>
+
+#include "core/error.h"
+
 namespace mutdbp::cloud {
 
 JobDispatcher::JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options)
     : options_(options),
-      sim_(algorithm,
-           SimulationOptions{options.capacity, options.fit_epsilon, true}) {}
+      sim_(algorithm, SimulationOptions{options.capacity, options.fit_epsilon,
+                                        /*record_timelines=*/true, options.audit}),
+      retries_(options.retry) {}
 
 ServerId JobDispatcher::submit(JobId job, double demand, Time now) {
-  return sim_.arrive(job, demand, now);
+  if (live_.count(job) != 0) {
+    throw ValidationError("JobDispatcher: submit(" + std::to_string(job) +
+                          "): job id is already live");
+  }
+  const ServerId server = sim_.arrive(job, demand, now);
+  live_.emplace(job, LiveJob{Phase::kRunning, demand, 0});
+  return server;
 }
 
-void JobDispatcher::complete(JobId job, Time now) { sim_.depart(job, now); }
+void JobDispatcher::complete(JobId job, Time now) {
+  const auto it = live_.find(job);
+  if (it == live_.end()) {
+    throw ValidationError("JobDispatcher: complete(" + std::to_string(job) +
+                          "): not a live job (unknown, already completed, "
+                          "or dropped)");
+  }
+  if (it->second.phase == Phase::kRunning) {
+    sim_.depart(job, now);
+  } else {
+    // Awaiting a retry: the job finishes without ever being re-placed; its
+    // truncated server time (up to the eviction) stands.
+    retries_.cancel(job);
+  }
+  live_.erase(it);
+  ++completed_;
+}
+
+std::vector<EvictionOutcome> JobDispatcher::fail_server(ServerId server, Time now) {
+  std::vector<EvictionOutcome> outcomes;
+  for (const EvictedItem& victim : sim_.force_close_bin(server, now)) {
+    LiveJob& job = live_.at(victim.id);
+    ++evictions_;
+    const RetryScheduler::Decision decision = retries_.decide(job.evictions++, now);
+    EvictionOutcome outcome;
+    outcome.job = victim.id;
+    outcome.fate = decision.fate;
+    switch (decision.fate) {
+      case RetryScheduler::Fate::kResubmitNow:
+        outcome.server = sim_.arrive(victim.id, victim.size, now);
+        ++replacements_;
+        break;
+      case RetryScheduler::Fate::kQueued:
+        job.phase = Phase::kWaiting;
+        retries_.schedule(victim.id, victim.size, decision.retry_at);
+        outcome.retry_at = decision.retry_at;
+        break;
+      case RetryScheduler::Fate::kDropped:
+        outcome.reason = decision.reason;
+        live_.erase(victim.id);
+        ++drops_;
+        break;
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+std::vector<EvictionOutcome> JobDispatcher::advance_to(Time now) {
+  std::vector<EvictionOutcome> outcomes;
+  for (const RetryScheduler::Due& due : retries_.take_due(now)) {
+    LiveJob& job = live_.at(due.job);
+    EvictionOutcome outcome;
+    outcome.job = due.job;
+    outcome.fate = RetryScheduler::Fate::kResubmitNow;
+    outcome.server = sim_.arrive(due.job, due.size, now);
+    job.phase = Phase::kRunning;
+    ++replacements_;
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
 
 JobDispatcher::Report JobDispatcher::finish() {
-  Report report{sim_.finish(), {}};
+  // The run is over: retries that never came due can no longer be
+  // re-placed. Account their jobs as dropped so submitted == completed +
+  // dropped holds on every path.
+  std::vector<JobId> expired;
+  for (const auto& [job, state] : live_) {
+    if (state.phase == Phase::kWaiting) expired.push_back(job);
+  }
+  for (const JobId job : expired) {
+    retries_.cancel(job);
+    live_.erase(job);
+    ++drops_;
+  }
+  Report report{sim_.finish(), {}, evictions_, replacements_, drops_, completed_};
   report.billing = bill(report.packing, options_.billing);
   return report;
 }

@@ -3,35 +3,68 @@
 // bins; a server is rented when its first job arrives and released when its
 // last job completes. Completion times are unknown at submission, exactly
 // as in the paper's model — the dispatcher wraps the incremental Simulation.
+//
+// Fault tolerance: fail_server() crashes a rented server, evicting its jobs
+// and truncating its rental period; each evicted job's fate is decided by
+// DispatcherOptions::retry (re-submit immediately, queue with bounded
+// exponential backoff, or drop with accounting). Queued retries are
+// re-placed by advance_to() as the caller's clock passes their due time.
+//
+// Misuse contract (all violations throw ValidationError):
+//  * submit() with a JobId that is already live — running or awaiting a
+//    retry — is rejected; ids may be reused only after the job completes
+//    or is dropped.
+//  * complete() of a job that is not live (never submitted, already
+//    completed, or dropped after an eviction) is rejected. Completing a
+//    job that is awaiting a retry is valid: the retry is cancelled and the
+//    job counts as completed (its truncated server time stands).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cloud/billing.h"
+#include "cloud/faults.h"
 #include "core/simulation.h"
 
 namespace mutdbp::cloud {
-
-using JobId = ItemId;
-using ServerId = BinIndex;
 
 struct DispatcherOptions {
   /// Server resource capacity (job demands are fractions of it).
   double capacity = 1.0;
   BillingPolicy billing{};
   double fit_epsilon = kDefaultFitEpsilon;
+  /// Fate of jobs evicted by fail_server().
+  RetryPolicy retry{};
+  /// Attach the invariant auditor to the underlying simulation.
+  bool audit = false;
 };
 
 class JobDispatcher {
  public:
   JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options = {});
 
-  /// Assigns a job to a server (renting a new one if needed).
+  /// Assigns a job to a server (renting a new one if needed). Throws
+  /// ValidationError if `job` is already live (see misuse contract above).
   ServerId submit(JobId job, double demand, Time now);
-  /// Marks a job finished; releases the server if it becomes idle.
+  /// Marks a job finished; releases the server if it becomes idle. A job
+  /// awaiting a retry completes by cancelling the retry. Throws
+  /// ValidationError if `job` is not live.
   void complete(JobId job, Time now);
+
+  /// Crashes a rented server at `now`: every job on it is evicted (its
+  /// server time truncated to `now`) and handled per the retry policy. The
+  /// outcomes are returned in job-arrival order. Throws SimulationError if
+  /// `server` is not currently rented.
+  std::vector<EvictionOutcome> fail_server(ServerId server, Time now);
+
+  /// Re-places every queued retry due at or before `now` (at `now`, in
+  /// scheduling order) and returns their outcomes. Call as the caller's
+  /// clock advances; submit/complete/fail_server do not replay retries
+  /// implicitly.
+  std::vector<EvictionOutcome> advance_to(Time now);
 
   [[nodiscard]] std::size_t running_jobs() const noexcept { return sim_.active_items(); }
   [[nodiscard]] std::size_t rented_servers() const noexcept {
@@ -42,16 +75,41 @@ class JobDispatcher {
   }
   [[nodiscard]] ServerId server_of(JobId job) const { return sim_.bin_of_active(job); }
 
-  /// Finishes the run (all jobs must be complete) and bills every server.
+  [[nodiscard]] std::size_t pending_retries() const noexcept { return retries_.pending(); }
+  [[nodiscard]] std::size_t jobs_evicted() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t jobs_replaced() const noexcept { return replacements_; }
+  [[nodiscard]] std::size_t jobs_dropped() const noexcept { return drops_; }
+  [[nodiscard]] std::size_t jobs_completed() const noexcept { return completed_; }
+
+  /// Finishes the run and bills every server. Jobs still awaiting a retry
+  /// are dropped (reason kExpired — the run ended first), so on return
+  /// submitted jobs == completed + dropped.
   struct Report {
     PackingResult packing;
     BillingSummary billing;
+    std::size_t evictions = 0;
+    std::size_t replacements = 0;
+    std::size_t drops = 0;
+    std::size_t completed = 0;
   };
   [[nodiscard]] Report finish();
 
  private:
+  enum class Phase : unsigned char { kRunning, kWaiting };
+  struct LiveJob {
+    Phase phase = Phase::kRunning;
+    double demand = 0.0;
+    std::size_t evictions = 0;
+  };
+
   DispatcherOptions options_;
   Simulation sim_;
+  RetryScheduler retries_;
+  std::unordered_map<JobId, LiveJob> live_;
+  std::size_t evictions_ = 0;
+  std::size_t replacements_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t completed_ = 0;
 };
 
 }  // namespace mutdbp::cloud

@@ -1,0 +1,278 @@
+#include "cloud/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "core/error.h"
+#include "util/rng.h"
+
+namespace mutdbp::cloud {
+
+FaultInjector::FaultInjector(VictimPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+std::optional<ServerId> FaultInjector::pick_victim(const Simulation& sim) {
+  if (sim.open_bin_count() == 0) return std::nullopt;
+  // Snapshots are sorted by bin index, which equals opening order (bins
+  // never reopen), so "oldest" and "youngest" are the list ends.
+  const std::vector<BinSnapshot> open = sim.open_snapshots();
+  switch (policy_) {
+    case VictimPolicy::kRandom:
+      return open[rng_.index(open.size())].index;
+    case VictimPolicy::kFullest: {
+      const BinSnapshot* best = &open.front();
+      for (const BinSnapshot& bin : open) {
+        if (bin.level > best->level) best = &bin;  // ties keep the oldest
+      }
+      return best->index;
+    }
+    case VictimPolicy::kOldest:
+      return open.front().index;
+    case VictimPolicy::kYoungest:
+      return open.back().index;
+  }
+  throw SimulationError("FaultInjector: unknown victim policy");
+}
+
+RetryScheduler::RetryScheduler(RetryPolicy policy) : policy_(policy) {
+  if (policy_.kind == RetryPolicy::Kind::kBackoff) {
+    if (!(policy_.base_delay > 0.0) || !std::isfinite(policy_.base_delay)) {
+      throw ValidationError("RetryScheduler: base_delay must be finite and > 0");
+    }
+    if (!(policy_.backoff_factor >= 1.0) || !std::isfinite(policy_.backoff_factor)) {
+      throw ValidationError("RetryScheduler: backoff_factor must be finite and >= 1");
+    }
+  }
+}
+
+RetryScheduler::Decision RetryScheduler::decide(std::size_t prior_evictions,
+                                                Time now) const {
+  switch (policy_.kind) {
+    case RetryPolicy::Kind::kImmediate:
+      return {Fate::kResubmitNow, now, DropReason::kNone};
+    case RetryPolicy::Kind::kDrop:
+      return {Fate::kDropped, 0.0, DropReason::kPolicy};
+    case RetryPolicy::Kind::kBackoff:
+      break;
+  }
+  if (prior_evictions >= policy_.max_attempts) {
+    return {Fate::kDropped, 0.0, DropReason::kRetryBudget};
+  }
+  double delay = policy_.base_delay;
+  for (std::size_t k = 0; k < prior_evictions; ++k) delay *= policy_.backoff_factor;
+  return {Fate::kQueued, now + delay, DropReason::kNone};
+}
+
+void RetryScheduler::schedule(JobId job, double size, Time at) {
+  if (live_.count(job) != 0) {
+    throw SimulationError("RetryScheduler: job " + std::to_string(job) +
+                          " already has a pending retry");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, job, size});
+  live_.emplace(job, seq);
+  ++pending_;
+}
+
+std::vector<RetryScheduler::Due> RetryScheduler::take_due(Time now) {
+  std::vector<Due> due;
+  while (!queue_.empty() && queue_.top().at <= now) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = live_.find(entry.job);
+    if (it == live_.end() || it->second != entry.seq) continue;  // cancelled
+    live_.erase(it);
+    --pending_;
+    due.push_back(Due{entry.job, entry.size, entry.at});
+  }
+  return due;
+}
+
+std::optional<Time> RetryScheduler::next_due() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    const auto it = live_.find(top.job);
+    if (it != live_.end() && it->second == top.seq) return top.at;
+    queue_.pop();  // stale (cancelled) entry
+  }
+  return std::nullopt;
+}
+
+bool RetryScheduler::cancel(JobId job) {
+  const auto it = live_.find(job);
+  if (it == live_.end()) return false;
+  // The queue entry stays behind as a stale tombstone; take_due/next_due
+  // skip entries whose (job, seq) is no longer live.
+  live_.erase(it);
+  --pending_;
+  return true;
+}
+
+bool RetryScheduler::is_pending(JobId job) const { return live_.count(job) != 0; }
+
+namespace {
+
+// Per-job lifecycle inside run_with_faults. Jobs move kNotArrived →
+// kRunning → (kCompleted | kWaiting | kDropped); kWaiting always resolves
+// back to kRunning before the job's departure (retries scheduled at or past
+// the departure are dropped as expired at decision time).
+enum class JobState : unsigned char {
+  kNotArrived,
+  kRunning,
+  kWaiting,
+  kDropped,
+  kCompleted,
+};
+
+}  // namespace
+
+FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorithm,
+                                const FaultyRunOptions& options) {
+  algorithm.reset();
+  SimulationOptions sim_options = options.sim;
+  // Same capacity precedence as simulate(): the default inherits the list's
+  // capacity; an explicit conflicting value is an error.
+  if (sim_options.capacity == SimulationOptions{}.capacity) {
+    sim_options.capacity = items.capacity();
+  } else if (sim_options.capacity != items.capacity()) {
+    throw ValidationError(
+        "run_with_faults: options.sim.capacity (" +
+        std::to_string(sim_options.capacity) + ") contradicts items.capacity() (" +
+        std::to_string(items.capacity()) +
+        "); leave it at its default to adopt the list capacity");
+  }
+
+  std::vector<Time> faults = options.fault_schedule;
+  for (const Time t : faults) {
+    if (!std::isfinite(t) || t < 0.0) {
+      throw ValidationError("run_with_faults: fault time " + std::to_string(t) +
+                            " must be finite and >= 0");
+    }
+  }
+  std::sort(faults.begin(), faults.end());
+
+  Simulation sim(algorithm, sim_options);
+  sim.reserve(items.size());
+  FaultInjector injector(options.victim, options.victim_seed);
+  RetryScheduler retries(options.retry);
+
+  FaultyRunReport report;
+  report.faults_scheduled = faults.size();
+
+  std::unordered_map<JobId, JobState> state;
+  std::unordered_map<JobId, Time> departure_of;
+  std::unordered_map<JobId, std::size_t> evictions_of;
+  state.reserve(items.size());
+  departure_of.reserve(items.size());
+  for (const Item& item : items) departure_of.emplace(item.id, item.departure());
+
+  const auto resubmit = [&](JobId job, double size, Time t) {
+    const ServerId target = sim.arrive(job, size, t);
+    state[job] = JobState::kRunning;
+    ++report.replacements;
+    report.events.push_back(
+        {DisruptionEvent::Kind::kReplacement, t, job, target, DropReason::kNone});
+  };
+  const auto drop = [&](JobId job, Time t, DropReason reason) {
+    state[job] = JobState::kDropped;
+    ++report.drops;
+    report.events.push_back({DisruptionEvent::Kind::kDrop, t, job, 0, reason});
+  };
+  const auto handle_eviction = [&](const EvictedItem& victim, ServerId server,
+                                   Time t) {
+    ++report.evictions;
+    report.events.push_back(
+        {DisruptionEvent::Kind::kEviction, t, victim.id, server, DropReason::kNone});
+    const std::size_t prior = evictions_of[victim.id]++;
+    const RetryScheduler::Decision decision = retries.decide(prior, t);
+    switch (decision.fate) {
+      case RetryScheduler::Fate::kResubmitNow:
+        resubmit(victim.id, victim.size, t);
+        break;
+      case RetryScheduler::Fate::kQueued: {
+        // Wall-clock completion model: the job still ends at its original
+        // departure, so a retry landing at or past it can never run.
+        if (decision.retry_at >= departure_of.at(victim.id)) {
+          drop(victim.id, t, DropReason::kExpired);
+        } else {
+          state[victim.id] = JobState::kWaiting;
+          retries.schedule(victim.id, victim.size, decision.retry_at);
+        }
+        break;
+      }
+      case RetryScheduler::Fate::kDropped:
+        drop(victim.id, t, decision.reason);
+        break;
+    }
+  };
+
+  // Merge the three event streams in time order. At one instant the order is
+  // departures, then faults, then due retries, then arrivals — the schedule
+  // itself already orders departures before arrivals at equal times.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto& schedule = items.schedule();
+  std::size_t si = 0;
+  std::size_t fi = 0;
+  while (true) {
+    const bool sched_left = si < schedule.size();
+    const double t_sched = sched_left ? schedule[si].t : kInf;
+    const int k_sched = sched_left ? (schedule[si].is_arrival ? 3 : 0) : 4;
+    const double t_fault = fi < faults.size() ? faults[fi] : kInf;
+    const std::optional<Time> t_retry = retries.next_due();
+    if (!sched_left && t_fault == kInf && !t_retry) break;
+
+    // Lexicographic min over (time, kind): departures 0, faults 1,
+    // retries 2, arrivals 3.
+    enum class Next { kSchedule, kFault, kRetry };
+    double t_best = t_sched;
+    int k_best = k_sched;
+    Next which = Next::kSchedule;
+    if (t_fault < t_best || (t_fault == t_best && 1 < k_best)) {
+      t_best = t_fault;
+      k_best = 1;
+      which = Next::kFault;
+    }
+    if (t_retry && (*t_retry < t_best || (*t_retry == t_best && 2 < k_best))) {
+      t_best = *t_retry;
+      which = Next::kRetry;
+    }
+    if (which == Next::kFault) {
+      const Time t = faults[fi++];
+      const std::optional<ServerId> victim_server = injector.pick_victim(sim);
+      if (!victim_server) {
+        ++report.faults_idle;  // fault hit an idle fleet: no server rented
+        continue;
+      }
+      ++report.faults_injected;
+      const std::vector<EvictedItem> evicted = sim.force_close_bin(*victim_server, t);
+      for (const EvictedItem& victim : evicted) {
+        handle_eviction(victim, *victim_server, t);
+      }
+    } else if (which == Next::kRetry) {
+      for (const RetryScheduler::Due& due : retries.take_due(t_best)) {
+        resubmit(due.job, due.size, due.at);
+      }
+    } else {
+      const ScheduledEvent& event = schedule[si++];
+      if (event.is_arrival) {
+        sim.arrive(event.id, event.size, event.t);
+        state[event.id] = JobState::kRunning;
+      } else if (state[event.id] == JobState::kRunning) {
+        sim.depart(event.id, event.t);
+        state[event.id] = JobState::kCompleted;
+        ++report.completed;
+      }
+      // else: the job was dropped after an eviction — its (truncated)
+      // activity interval is already closed, so the departure is a no-op.
+    }
+  }
+
+  report.packing = sim.finish();
+  report.billing = bill(report.packing, options.billing);
+  return report;
+}
+
+}  // namespace mutdbp::cloud

@@ -1,0 +1,201 @@
+// Fault injection and recovery for the cloud layer.
+//
+// A FaultInjector turns a fault-time schedule (workload/faults.h) into
+// server crashes: at each instant it picks a victim among the currently
+// rented servers (seeded-random, fullest, oldest, or youngest — the last
+// three are the adversarial "kill the worst possible machine" policies) and
+// the simulation's force_close_bin evicts the victim's jobs and truncates
+// its rental period.
+//
+// Evicted jobs are re-submitted through the same online placement kernel
+// under a RetryPolicy: immediately, after bounded exponential backoff with
+// a per-job retry budget, or dropped with accounting. Jobs keep their
+// wall-clock completion times (the paper's model: a session ends when the
+// user leaves, not after a fixed amount of work), so a job whose backoff
+// delay reaches past its departure expires and is dropped.
+//
+// run_with_faults() is the deterministic offline replay: item trace + fault
+// schedule + policies in, packing/billing/disruption log out. Same inputs
+// produce the identical eviction/re-placement sequence and billing totals
+// on every run and platform. An empty fault schedule replays the trace
+// bit-identically to the fault-free simulate() path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "core/simulation.h"
+#include "util/rng.h"
+
+namespace mutdbp::cloud {
+
+using JobId = ItemId;
+using ServerId = BinIndex;
+
+/// Which rented server a fault kills.
+enum class VictimPolicy {
+  kRandom,    ///< uniformly random open server (seeded — deterministic)
+  kFullest,   ///< highest level; ties break to the oldest (lowest index)
+  kOldest,    ///< earliest-opened server (lowest index)
+  kYoungest,  ///< latest-opened server (highest index)
+};
+
+/// What happens to a job evicted by a server crash.
+struct RetryPolicy {
+  enum class Kind {
+    kImmediate,  ///< re-place at the fault instant, in eviction order
+    kBackoff,    ///< re-place after bounded exponential backoff
+    kDrop,       ///< never re-place; account the job as dropped
+  };
+  Kind kind = Kind::kImmediate;
+  /// kBackoff only: evictions a single job survives before it is dropped
+  /// (the retry budget).
+  std::size_t max_attempts = 3;
+  /// kBackoff only: delay before the k-th re-placement of a job is
+  /// base_delay * backoff_factor^(k-1).
+  double base_delay = 0.25;
+  double backoff_factor = 2.0;
+};
+
+/// Picks fault victims deterministically. The random stream is its own
+/// seeded Rng, so victim selection never perturbs workload generation.
+class FaultInjector {
+ public:
+  FaultInjector(VictimPolicy policy, std::uint64_t seed);
+
+  /// The victim among the currently open servers, or nullopt when none is
+  /// rented (the fault hits an idle fleet and is a no-op).
+  [[nodiscard]] std::optional<ServerId> pick_victim(const Simulation& sim);
+
+ private:
+  VictimPolicy policy_;
+  Rng rng_;
+};
+
+/// Why an evicted job was never re-placed.
+enum class DropReason {
+  kNone,
+  kPolicy,       ///< RetryPolicy::Kind::kDrop
+  kRetryBudget,  ///< evicted more than max_attempts times
+  kExpired,      ///< backoff delay reached past the job's departure
+};
+
+/// Shared recovery bookkeeping for the dispatcher/fleet layers: decides the
+/// fate of an eviction under a RetryPolicy and owns the pending-retry queue
+/// (FIFO per instant, deterministic).
+class RetryScheduler {
+ public:
+  explicit RetryScheduler(RetryPolicy policy);
+
+  enum class Fate { kResubmitNow, kQueued, kDropped };
+  struct Decision {
+    Fate fate = Fate::kResubmitNow;
+    Time retry_at = 0.0;                   ///< meaningful for kQueued
+    DropReason reason = DropReason::kNone;  ///< set for kDropped
+  };
+  /// Decides the fate of a job evicted at `now` that has already been
+  /// evicted `prior_evictions` times before this one.
+  [[nodiscard]] Decision decide(std::size_t prior_evictions, Time now) const;
+
+  void schedule(JobId job, double size, Time at);
+  /// Removes and returns the retries due at or before `now`, in (time,
+  /// scheduling order). Cancelled jobs are skipped.
+  struct Due {
+    JobId job = 0;
+    double size = 0.0;
+    Time at = 0.0;
+  };
+  [[nodiscard]] std::vector<Due> take_due(Time now);
+  /// Time of the earliest pending retry (prunes cancelled entries), or
+  /// nullopt when nothing is pending.
+  [[nodiscard]] std::optional<Time> next_due();
+  /// Drops a pending retry (job completed or expired while waiting);
+  /// returns false if the job was not pending.
+  bool cancel(JobId job);
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] bool is_pending(JobId job) const;
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  struct Entry {
+    Time at = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break at equal times
+    JobId job = 0;
+    double size = 0.0;
+    [[nodiscard]] bool operator>(const Entry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+  RetryPolicy policy_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Jobs with a live queue entry; entries for absent jobs are stale
+  // (cancelled) and skipped on pop.
+  std::unordered_map<JobId, std::uint64_t> live_;  // job -> seq of live entry
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
+};
+
+/// What happened to one job evicted by a server failure (returned by the
+/// dispatcher/fleet fail_server and advance_to calls).
+struct EvictionOutcome {
+  JobId job = 0;
+  RetryScheduler::Fate fate = RetryScheduler::Fate::kResubmitNow;
+  ServerId server = 0;                    ///< new server when kResubmitNow
+  Time retry_at = 0.0;                    ///< when kQueued
+  DropReason reason = DropReason::kNone;  ///< when kDropped
+};
+
+/// One entry of the deterministic disruption log.
+struct DisruptionEvent {
+  enum class Kind {
+    kEviction,     ///< job evicted from `server` by a crash at `t`
+    kReplacement,  ///< job re-placed onto `server` at `t`
+    kDrop,         ///< job dropped at `t` for `reason`
+  };
+  Kind kind = Kind::kEviction;
+  Time t = 0.0;
+  JobId job = 0;
+  ServerId server = 0;  ///< crashed server / new server; 0 for drops
+  DropReason reason = DropReason::kNone;
+
+  [[nodiscard]] bool operator==(const DisruptionEvent&) const noexcept = default;
+};
+
+struct FaultyRunOptions {
+  SimulationOptions sim{};  ///< capacity default inherits the item list's
+  std::vector<Time> fault_schedule;
+  VictimPolicy victim = VictimPolicy::kRandom;
+  std::uint64_t victim_seed = 1;
+  RetryPolicy retry{};
+  BillingPolicy billing{};
+};
+
+struct FaultyRunReport {
+  PackingResult packing;
+  BillingSummary billing;
+  std::size_t faults_scheduled = 0;
+  std::size_t faults_injected = 0;  ///< hit a rented server
+  std::size_t faults_idle = 0;      ///< no server rented at the instant
+  std::size_t evictions = 0;        ///< job-eviction events (jobs may repeat)
+  std::size_t replacements = 0;     ///< successful re-placements
+  std::size_t drops = 0;            ///< evicted jobs never re-placed
+  std::size_t completed = 0;        ///< jobs that departed normally
+  std::vector<DisruptionEvent> events;  ///< full deterministic log
+};
+
+/// Replays `items` through `algorithm` while injecting the fault schedule.
+/// Event order at one instant: departures, then faults, then due retries,
+/// then arrivals — deterministic, and with an empty schedule identical to
+/// simulate(). Conservation: completed + drops == items.size() on return
+/// (every job either finishes or is dropped with a reason).
+[[nodiscard]] FaultyRunReport run_with_faults(const ItemList& items,
+                                              PackingAlgorithm& algorithm,
+                                              const FaultyRunOptions& options);
+
+}  // namespace mutdbp::cloud

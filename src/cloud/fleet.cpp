@@ -1,26 +1,29 @@
 #include "cloud/fleet.h"
 
 #include <limits>
-#include <stdexcept>
+#include <string>
 
 #include "algorithms/registry.h"
+#include "core/error.h"
 
 namespace mutdbp::cloud {
 
-FleetDispatcher::FleetDispatcher(FleetOptions options) : options_(std::move(options)) {
+FleetDispatcher::FleetDispatcher(FleetOptions options)
+    : options_(std::move(options)), retries_(options_.retry) {
   if (options_.types.empty()) {
-    throw std::invalid_argument("FleetDispatcher: no server types");
+    throw ValidationError("FleetDispatcher: no server types");
   }
   for (const auto& type : options_.types) {
     if (!(type.capacity > 0.0)) {
-      throw std::invalid_argument("FleetDispatcher: type '" + type.name +
-                                  "' has non-positive capacity");
+      throw ValidationError("FleetDispatcher: type '" + type.name +
+                            "' has non-positive capacity");
     }
     algorithms_.push_back(make_algorithm(options_.algorithm, /*seed=*/1,
                                          options_.fit_epsilon));
     SimulationOptions sim;
     sim.capacity = type.capacity;
     sim.fit_epsilon = options_.fit_epsilon;
+    sim.audit = options_.audit;
     simulations_.push_back(std::make_unique<Simulation>(*algorithms_.back(), sim));
   }
 }
@@ -46,26 +49,93 @@ std::size_t FleetDispatcher::route(double demand) const {
     }
   }
   if (best == options_.types.size()) {
-    throw std::invalid_argument("FleetDispatcher: no server type fits demand " +
-                                std::to_string(demand));
+    throw ValidationError("FleetDispatcher: no server type fits demand " +
+                          std::to_string(demand));
   }
   return best;
 }
 
-FleetServerId FleetDispatcher::submit(JobId job, double demand, Time now) {
+FleetServerId FleetDispatcher::place(JobId job, double demand, Time now) {
   const std::size_t type = route(demand);
   const BinIndex server = simulations_[type]->arrive(job, demand, now);
-  type_of_[job] = type;
   return {type, server};
 }
 
-void FleetDispatcher::complete(JobId job, Time now) {
-  const auto it = type_of_.find(job);
-  if (it == type_of_.end()) {
-    throw std::invalid_argument("FleetDispatcher: unknown job " + std::to_string(job));
+FleetServerId FleetDispatcher::submit(JobId job, double demand, Time now) {
+  if (live_.count(job) != 0) {
+    throw ValidationError("FleetDispatcher: submit(" + std::to_string(job) +
+                          "): job id is already live");
   }
-  simulations_[it->second]->depart(job, now);
-  type_of_.erase(it);
+  const FleetServerId home = place(job, demand, now);
+  live_.emplace(job, LiveJob{Phase::kRunning, home.type, demand, 0});
+  return home;
+}
+
+void FleetDispatcher::complete(JobId job, Time now) {
+  const auto it = live_.find(job);
+  if (it == live_.end()) {
+    throw ValidationError("FleetDispatcher: complete(" + std::to_string(job) +
+                          "): not a live job (unknown, already completed, "
+                          "or dropped)");
+  }
+  if (it->second.phase == Phase::kRunning) {
+    simulations_[it->second.type]->depart(job, now);
+  } else {
+    retries_.cancel(job);
+  }
+  live_.erase(it);
+}
+
+std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::fail_server(
+    FleetServerId server, Time now) {
+  if (server.type >= simulations_.size()) {
+    throw ValidationError("FleetDispatcher: fail_server: unknown type index " +
+                          std::to_string(server.type));
+  }
+  std::vector<FleetEvictionOutcome> outcomes;
+  for (const EvictedItem& victim :
+       simulations_[server.type]->force_close_bin(server.server, now)) {
+    LiveJob& job = live_.at(victim.id);
+    ++evictions_;
+    const RetryScheduler::Decision decision = retries_.decide(job.evictions++, now);
+    FleetEvictionOutcome outcome;
+    outcome.job = victim.id;
+    outcome.fate = decision.fate;
+    switch (decision.fate) {
+      case RetryScheduler::Fate::kResubmitNow:
+        outcome.server = place(victim.id, victim.size, now);
+        job.type = outcome.server.type;
+        break;
+      case RetryScheduler::Fate::kQueued:
+        job.phase = Phase::kWaiting;
+        retries_.schedule(victim.id, victim.size, decision.retry_at);
+        outcome.retry_at = decision.retry_at;
+        break;
+      case RetryScheduler::Fate::kDropped:
+        outcome.reason = decision.reason;
+        live_.erase(victim.id);
+        ++drops_;
+        break;
+    }
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::advance_to(
+    Time now) {
+  std::vector<FleetEvictionOutcome> outcomes;
+  for (const RetryScheduler::Due& due : retries_.take_due(now)) {
+    LiveJob& job = live_.at(due.job);
+    FleetEvictionOutcome outcome;
+    outcome.job = due.job;
+    outcome.fate = RetryScheduler::Fate::kResubmitNow;
+    outcome.server = place(due.job, due.size, now);
+    job.phase = Phase::kRunning;
+    job.type = outcome.server.type;
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
 }
 
 std::size_t FleetDispatcher::running_jobs() const noexcept {
@@ -81,6 +151,16 @@ std::size_t FleetDispatcher::rented_servers() const noexcept {
 }
 
 FleetDispatcher::Report FleetDispatcher::finish() {
+  // As in JobDispatcher::finish(): retries that never came due are dropped.
+  std::vector<JobId> expired;
+  for (const auto& [job, state] : live_) {
+    if (state.phase == Phase::kWaiting) expired.push_back(job);
+  }
+  for (const JobId job : expired) {
+    retries_.cancel(job);
+    live_.erase(job);
+    ++drops_;
+  }
   Report report;
   for (std::size_t t = 0; t < simulations_.size(); ++t) {
     TypeReport tr;

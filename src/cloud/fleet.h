@@ -11,6 +11,7 @@
 
 #include "cloud/billing.h"
 #include "cloud/dispatcher.h"
+#include "cloud/faults.h"
 #include "core/simulation.h"
 
 namespace mutdbp::cloud {
@@ -35,6 +36,11 @@ struct FleetOptions {
   /// Registry name of the per-type packing algorithm.
   std::string algorithm = "FirstFit";
   double fit_epsilon = kDefaultFitEpsilon;
+  /// Fate of jobs evicted by fail_server(). Re-placed jobs are routed
+  /// afresh, so a job may recover onto a different instance type.
+  RetryPolicy retry{};
+  /// Attach the invariant auditor to every per-type simulation.
+  bool audit = false;
 };
 
 struct FleetServerId {
@@ -49,12 +55,34 @@ class FleetDispatcher {
   explicit FleetDispatcher(FleetOptions options);
 
   /// Routes the job to a type (by policy), then packs it there online.
-  /// Throws std::invalid_argument if no type can hold the demand.
+  /// Throws ValidationError (an std::invalid_argument) if no type can hold
+  /// the demand, or if `job` is already live (same misuse contract as
+  /// JobDispatcher).
   FleetServerId submit(JobId job, double demand, Time now);
+  /// Completes a live job; a job awaiting a retry completes by cancelling
+  /// the retry. Throws ValidationError if `job` is not live.
   void complete(JobId job, Time now);
+
+  /// Crashes one rented server; evicted jobs are handled per
+  /// FleetOptions::retry. Re-placements route afresh (possibly onto another
+  /// type); the outcome's `server` is meaningful only for kResubmitNow.
+  struct FleetEvictionOutcome {
+    JobId job = 0;
+    RetryScheduler::Fate fate = RetryScheduler::Fate::kResubmitNow;
+    FleetServerId server{};                 ///< new home when kResubmitNow
+    Time retry_at = 0.0;                    ///< when kQueued
+    DropReason reason = DropReason::kNone;  ///< when kDropped
+  };
+  std::vector<FleetEvictionOutcome> fail_server(FleetServerId server, Time now);
+
+  /// Re-places queued retries due at or before `now` (routing afresh).
+  std::vector<FleetEvictionOutcome> advance_to(Time now);
 
   [[nodiscard]] std::size_t running_jobs() const noexcept;
   [[nodiscard]] std::size_t rented_servers() const noexcept;
+  [[nodiscard]] std::size_t pending_retries() const noexcept { return retries_.pending(); }
+  [[nodiscard]] std::size_t jobs_evicted() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t jobs_dropped() const noexcept { return drops_; }
 
   struct TypeReport {
     std::string type_name;
@@ -70,12 +98,24 @@ class FleetDispatcher {
   [[nodiscard]] Report finish();
 
  private:
+  enum class Phase : unsigned char { kRunning, kWaiting };
+  struct LiveJob {
+    Phase phase = Phase::kRunning;
+    std::size_t type = 0;  ///< meaningful while kRunning
+    double demand = 0.0;
+    std::size_t evictions = 0;
+  };
+
   [[nodiscard]] std::size_t route(double demand) const;
+  FleetServerId place(JobId job, double demand, Time now);
 
   FleetOptions options_;
   std::vector<std::unique_ptr<PackingAlgorithm>> algorithms_;
   std::vector<std::unique_ptr<Simulation>> simulations_;
-  std::unordered_map<JobId, std::size_t> type_of_;
+  std::unordered_map<JobId, LiveJob> live_;
+  RetryScheduler retries_;
+  std::size_t evictions_ = 0;
+  std::size_t drops_ = 0;
 };
 
 }  // namespace mutdbp::cloud

@@ -1,0 +1,176 @@
+#include "core/auditor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.h"
+#include "core/packing_result.h"
+
+namespace mutdbp {
+
+bool audit_enabled_by_env() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("MUTDBP_AUDIT");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  return enabled;
+}
+
+InvariantAuditor::InvariantAuditor(double capacity, double fit_epsilon)
+    : capacity_(capacity), fit_epsilon_(fit_epsilon) {
+  if (!(capacity_ > 0.0) || fit_epsilon_ < 0.0) {
+    throw ValidationError("InvariantAuditor: need capacity > 0 and fit_epsilon >= 0");
+  }
+}
+
+void InvariantAuditor::fail(const std::string& message) const {
+  throw AuditError("audit: " + message + " (after " + std::to_string(events_) +
+                   " events)");
+}
+
+void InvariantAuditor::check_level(BinIndex bin) {
+  const BinShadow& shadow = bins_[bin];
+  // The shadow mirrors the engine's arithmetic (same additions/subtractions
+  // in the same order, residue cancelled when the bin empties), so the upper
+  // bound is exactly the fit predicate the engine enforced at placement; the
+  // small lower slack absorbs subtraction residue near zero.
+  if (shadow.level > capacity_ + fit_epsilon_ ||
+      shadow.level < -(fit_epsilon_ + 1e-12)) {
+    fail("bin " + std::to_string(bin) + " level " + std::to_string(shadow.level) +
+         " outside [0, capacity=" + std::to_string(capacity_) + " + eps]");
+  }
+}
+
+void InvariantAuditor::check_conservation() const {
+  if (arrived_ != residents_.size() + completed_ + evicted_) {
+    fail("conservation broken: arrived " + std::to_string(arrived_) + " != running " +
+         std::to_string(residents_.size()) + " + completed " +
+         std::to_string(completed_) + " + evicted " + std::to_string(evicted_));
+  }
+}
+
+void InvariantAuditor::on_arrive(ItemId id, double size, BinIndex bin, Time t) {
+  ++events_;
+  if (!(size > 0.0)) fail("item " + std::to_string(id) + " arrived with size <= 0");
+  if (bin == bins_.size()) {
+    bins_.push_back(BinShadow{true, 0.0, 0, t, 0.0});
+    ++open_bins_;
+  } else if (bin > bins_.size()) {
+    fail("item " + std::to_string(id) + " placed into unknown bin " +
+         std::to_string(bin));
+  }
+  BinShadow& shadow = bins_[bin];
+  if (!shadow.open) {
+    fail("item " + std::to_string(id) + " placed into closed bin " +
+         std::to_string(bin));
+  }
+  if (residents_.try_insert(id, Resident{bin, size}) == nullptr) {
+    const Resident* prior = residents_.find(id);
+    fail("item " + std::to_string(id) + " resident in two bins (" +
+         std::to_string(prior->bin) + " and " + std::to_string(bin) + ")");
+  }
+  shadow.level += size;
+  ++shadow.items;
+  ++arrived_;
+  check_level(bin);
+  check_conservation();
+}
+
+void InvariantAuditor::remove(ItemId id, BinIndex bin, Time t, const char* how) {
+  ++events_;
+  Resident resident;
+  if (!residents_.take(id, resident)) {
+    fail(std::string(how) + " of item " + std::to_string(id) +
+         " which is not resident");
+  }
+  if (resident.bin != bin) {
+    fail(std::string(how) + " of item " + std::to_string(id) + " from bin " +
+         std::to_string(bin) + " but it is resident in bin " +
+         std::to_string(resident.bin));
+  }
+  if (bin >= bins_.size() || !bins_[bin].open) {
+    fail(std::string(how) + " of item " + std::to_string(id) + " from bin " +
+         std::to_string(bin) + " which is not open");
+  }
+  BinShadow& shadow = bins_[bin];
+  if (shadow.items == 0) fail("bin " + std::to_string(bin) + " item count underflow");
+  shadow.level -= resident.size;
+  --shadow.items;
+  if (shadow.items == 0) shadow.level = 0.0;  // mirror the engine's residue cancel
+  if (t < shadow.open_time) {
+    fail(std::string(how) + " at t=" + std::to_string(t) + " before bin " +
+         std::to_string(bin) + " opened");
+  }
+  check_level(bin);
+}
+
+void InvariantAuditor::on_depart(ItemId id, BinIndex bin, Time t) {
+  remove(id, bin, t, "departure");
+  ++completed_;
+  check_conservation();
+}
+
+void InvariantAuditor::on_evict(ItemId id, BinIndex bin, Time t) {
+  remove(id, bin, t, "eviction");
+  ++evicted_;
+  check_conservation();
+}
+
+void InvariantAuditor::on_bin_closed(BinIndex bin, Time t) {
+  ++events_;
+  if (bin >= bins_.size() || !bins_[bin].open) {
+    fail("close of bin " + std::to_string(bin) + " which is not open");
+  }
+  BinShadow& shadow = bins_[bin];
+  if (shadow.items != 0 || shadow.level != 0.0) {
+    fail("bin " + std::to_string(bin) + " closed with " +
+         std::to_string(shadow.items) + " resident items (level " +
+         std::to_string(shadow.level) + ")");
+  }
+  if (t < shadow.open_time) {
+    fail("bin " + std::to_string(bin) + " closed before it opened");
+  }
+  shadow.open = false;
+  shadow.close_time = t;
+  --open_bins_;
+  usage_sum_ += t - shadow.open_time;
+}
+
+void InvariantAuditor::on_finish(const PackingResult& result) {
+  ++events_;
+  if (!residents_.empty()) {
+    fail("finish with " + std::to_string(residents_.size()) + " items resident");
+  }
+  if (open_bins_ != 0) {
+    fail("finish with " + std::to_string(open_bins_) + " bins still open");
+  }
+  check_conservation();
+  if (result.bins_opened() != bins_.size()) {
+    fail("result has " + std::to_string(result.bins_opened()) + " bins, shadow saw " +
+         std::to_string(bins_.size()));
+  }
+  // Usage-time telescoping: each bin's recorded usage period must equal the
+  // shadow's [open, close) bitwise (same doubles flowed through both), and
+  // the per-bin usage times must sum to the result's total. The summation
+  // orders differ (close order vs index order), hence the tiny tolerance on
+  // the totals only.
+  for (const auto& bin : result.bins()) {
+    const BinShadow& shadow = bins_[bin.index];
+    if (bin.usage.left != shadow.open_time || bin.usage.right != shadow.close_time) {
+      fail("bin " + std::to_string(bin.index) + " usage period [" +
+           std::to_string(bin.usage.left) + ", " + std::to_string(bin.usage.right) +
+           ") does not telescope to shadow [" + std::to_string(shadow.open_time) +
+           ", " + std::to_string(shadow.close_time) + ")");
+    }
+  }
+  const Time total = result.total_usage_time();
+  const double tolerance = 1e-9 * (1.0 + std::fabs(total));
+  if (std::fabs(total - usage_sum_) > tolerance) {
+    fail("total usage " + std::to_string(total) + " does not telescope to per-bin sum " +
+         std::to_string(usage_sum_));
+  }
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,94 @@
+// InvariantAuditor: an always-on-capable runtime checker for the simulation
+// engine.
+//
+// The auditor maintains its own shadow model of the packing — resident
+// items, per-bin levels, open/close times — fed by the same event stream
+// the algorithm hooks see, and after *every* event checks:
+//
+//  * bin level stays within [0 - ε, capacity + ε],
+//  * no item is resident in two bins (and arrivals never duplicate a
+//    live id),
+//  * items are only ever placed into open bins, and bins close empty,
+//  * conservation: every arrived item is currently running, completed, or
+//    was evicted by a fault (the cloud layer additionally accounts every
+//    eviction as re-placed or dropped-with-reason),
+//  * usage-time telescoping at finish(): each bin's recorded usage period
+//    equals the shadow's [open, close) exactly, and the per-bin usage times
+//    sum to the result's total.
+//
+// A violation throws AuditError — it means the engine (not the caller) is
+// broken. The checks are O(1) amortized per event, cheap enough to leave
+// enabled in the whole test suite and in the benches' --audit mode.
+//
+// Opt-in: set SimulationOptions::audit = true, or export MUTDBP_AUDIT=1 to
+// enable auditing in every Simulation of the process (how CI's audit ctest
+// variant runs the suite).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "util/flat_hash.h"
+
+namespace mutdbp {
+
+class PackingResult;
+
+/// True when the MUTDBP_AUDIT environment variable is set to anything other
+/// than "" or "0" (read once, cached for the process lifetime).
+[[nodiscard]] bool audit_enabled_by_env();
+
+class InvariantAuditor {
+ public:
+  InvariantAuditor(double capacity, double fit_epsilon);
+
+  /// Item `id` of size `size` was placed into `bin` at time `t`. A bin
+  /// index equal to the number of bins seen so far opens a new bin.
+  void on_arrive(ItemId id, double size, BinIndex bin, Time t);
+  /// Item `id` departed normally from `bin` at time `t`.
+  void on_depart(ItemId id, BinIndex bin, Time t);
+  /// Item `id` was evicted from `bin` at time `t` by a forced close.
+  void on_evict(ItemId id, BinIndex bin, Time t);
+  /// `bin` closed (last departure or forced close) at time `t`.
+  void on_bin_closed(BinIndex bin, Time t);
+  /// Final telescoping check against the completed result.
+  void on_finish(const PackingResult& result);
+
+  [[nodiscard]] std::size_t events_checked() const noexcept { return events_; }
+  [[nodiscard]] std::size_t items_arrived() const noexcept { return arrived_; }
+  [[nodiscard]] std::size_t items_completed() const noexcept { return completed_; }
+  [[nodiscard]] std::size_t items_evicted() const noexcept { return evicted_; }
+
+ private:
+  struct Resident {
+    BinIndex bin = 0;
+    double size = 0.0;
+  };
+  struct BinShadow {
+    bool open = false;
+    double level = 0.0;
+    std::size_t items = 0;
+    Time open_time = 0.0;
+    Time close_time = 0.0;
+  };
+
+  /// Removal shared by departures and evictions.
+  void remove(ItemId id, BinIndex bin, Time t, const char* how);
+  void check_level(BinIndex bin);
+  void check_conservation() const;
+  [[noreturn]] void fail(const std::string& message) const;
+
+  double capacity_;
+  double fit_epsilon_;
+  FlatMap<ItemId, Resident> residents_;
+  std::vector<BinShadow> bins_;
+  std::size_t open_bins_ = 0;
+  std::size_t events_ = 0;
+  std::size_t arrived_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t evicted_ = 0;
+  Time usage_sum_ = 0.0;
+};
+
+}  // namespace mutdbp

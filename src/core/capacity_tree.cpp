@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/error.h"
+
 namespace mutdbp {
 
 namespace {
@@ -21,10 +23,10 @@ std::size_t pow2_at_least(std::size_t n) {
 
 void CapacityTree::begin(double capacity, double fit_epsilon, bool track_level_order) {
   if (!(capacity > 0.0)) {
-    throw std::invalid_argument("CapacityTree: capacity must be > 0");
+    throw ValidationError("CapacityTree: capacity must be > 0");
   }
   if (fit_epsilon < 0.0) {
-    throw std::invalid_argument("CapacityTree: fit_epsilon must be >= 0");
+    throw ValidationError("CapacityTree: fit_epsilon must be >= 0");
   }
   capacity_ = capacity;
   fit_epsilon_ = fit_epsilon;
@@ -67,7 +69,7 @@ void CapacityTree::compact() {
 }
 
 void CapacityTree::throw_not_open(const char* op, BinIndex bin) const {
-  throw std::logic_error("CapacityTree: " + std::string(op) +
+  throw SimulationError("CapacityTree: " + std::string(op) +
                          " on unknown or closed bin " + std::to_string(bin));
 }
 
@@ -108,7 +110,7 @@ void CapacityTree::close(BinIndex bin) {
 
 std::optional<BinIndex> CapacityTree::best_fit(double size) const {
   if (!track_level_order_) {
-    throw std::logic_error("CapacityTree: best_fit requires track_level_order");
+    throw SimulationError("CapacityTree: best_fit requires track_level_order");
   }
   // Entries satisfying the fit predicate form a prefix of the (level ↑,
   // index ↓) order; lower_bound with the heterogeneous comparator returns
@@ -119,6 +121,5 @@ std::optional<BinIndex> CapacityTree::best_fit(double size) const {
   if (it == by_level_.begin()) return std::nullopt;
   return std::prev(it)->second;
 }
-
 
 }  // namespace mutdbp

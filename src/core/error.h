@@ -1,0 +1,60 @@
+// The library's exception hierarchy.
+//
+// `mutdbp::Error` is the common root: `catch (const mutdbp::Error&)` handles
+// any error the library raises deliberately. Each concrete type *also*
+// derives from the std exception it historically was (ValidationError is a
+// std::invalid_argument, SimulationError a std::logic_error, AuditError a
+// std::runtime_error), so existing call sites — and the large body of tests
+// asserting the std types — keep working unchanged. Error itself is a pure
+// marker (it does not derive from std::exception), which keeps
+// `catch (const std::exception&)` unambiguous: every thrown object has
+// exactly one std::exception base subobject.
+//
+//  * ValidationError — rejected inputs: bad sizes/times/specs, malformed
+//    traces, unopenable files, misuse of submit/complete.
+//  * SimulationError — the simulation state machine was driven illegally or
+//    an algorithm violated the model (time backwards, placement into a
+//    closed bin, arrive() after finish(), force-closing an unknown bin).
+//  * AuditError — the InvariantAuditor observed a broken invariant
+//    (see core/auditor.h). These indicate a bug in the engine itself, not
+//    in the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mutdbp {
+
+/// Root of the hierarchy. Abstract marker: catch it, never throw it.
+class Error {
+ public:
+  virtual ~Error() = default;
+  [[nodiscard]] virtual const char* what() const noexcept = 0;
+};
+
+class ValidationError : public std::invalid_argument, public Error {
+ public:
+  explicit ValidationError(const std::string& message)
+      : std::invalid_argument(message) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::invalid_argument::what();
+  }
+};
+
+class SimulationError : public std::logic_error, public Error {
+ public:
+  explicit SimulationError(const std::string& message) : std::logic_error(message) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::logic_error::what();
+  }
+};
+
+class AuditError : public std::runtime_error, public Error {
+ public:
+  explicit AuditError(const std::string& message) : std::runtime_error(message) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return std::runtime_error::what();
+  }
+};
+
+}  // namespace mutdbp

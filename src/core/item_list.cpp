@@ -5,13 +5,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/error.h"
 #include "core/item.h"
 
 namespace mutdbp {
 
 ItemList::ItemList(std::vector<Item> items, double capacity)
     : items_(std::move(items)), capacity_(capacity) {
-  if (!(capacity_ > 0.0)) throw std::invalid_argument("ItemList: capacity must be > 0");
+  if (!(capacity_ > 0.0)) throw ValidationError("ItemList: capacity must be > 0");
   for (const auto& item : items_) validate(item);
 }
 
@@ -47,11 +48,11 @@ const std::vector<ScheduledEvent>& ItemList::schedule() const {
 
 void ItemList::validate(const Item& item) const {
   if (!(item.size > 0.0) || item.size > capacity_) {
-    throw std::invalid_argument("Item " + std::to_string(item.id) +
+    throw ValidationError("Item " + std::to_string(item.id) +
                                 ": size must be in (0, capacity]");
   }
   if (!(item.active.left < item.active.right)) {
-    throw std::invalid_argument("Item " + std::to_string(item.id) +
+    throw ValidationError("Item " + std::to_string(item.id) +
                                 ": departure must be after arrival");
   }
 }

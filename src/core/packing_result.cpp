@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/error.h"
+
 namespace mutdbp {
 
 double LevelTimeline::at(Time t) const noexcept {
@@ -56,7 +58,7 @@ PackingResult::PackingResult(std::vector<BinRecord> bins,
     : bins_(std::move(bins)), pooled_(std::move(pooled)), items_built_(false) {
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     if (bins_[i].index != i) {
-      throw std::invalid_argument(
+      throw ValidationError(
           "PackingResult: pooled construction requires dense index-ordered bins");
     }
   }

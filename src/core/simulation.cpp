@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "core/auditor.h"
+#include "core/error.h"
 
 namespace mutdbp {
 
@@ -12,13 +15,19 @@ Simulation::Simulation(PackingAlgorithm& algorithm, SimulationOptions options)
       options_(options),
       use_snapshots_(algorithm.needs_snapshots()) {
   if (!(options_.capacity > 0.0)) {
-    throw std::invalid_argument("Simulation: capacity must be > 0");
+    throw ValidationError("Simulation: capacity must be > 0");
   }
   if (options_.fit_epsilon < 0.0) {
-    throw std::invalid_argument("Simulation: fit_epsilon must be >= 0");
+    throw ValidationError("Simulation: fit_epsilon must be >= 0");
+  }
+  if (options_.audit || audit_enabled_by_env()) {
+    auditor_ = std::make_unique<InvariantAuditor>(options_.capacity,
+                                                  options_.fit_epsilon);
   }
   algorithm_.on_simulation_begin(options_.capacity, options_.fit_epsilon);
 }
+
+Simulation::~Simulation() = default;
 
 void Simulation::reserve(std::size_t expected_items) {
   // Every item could open its own bin, but in practice far fewer do; cap the
@@ -32,8 +41,8 @@ void Simulation::reserve(std::size_t expected_items) {
 }
 
 void Simulation::throw_time_backwards(Time t) const {
-  throw std::logic_error("Simulation: time went backwards (" + std::to_string(t) +
-                         " < " + std::to_string(now_) + ")");
+  throw SimulationError("Simulation: time went backwards (" + std::to_string(t) +
+                        " < " + std::to_string(now_) + ")");
 }
 
 void Simulation::record_level_slow(BinState& bin, Time t) {
@@ -73,9 +82,9 @@ BinIndex Simulation::bin_of_active(ItemId id) const {
 }
 
 BinIndex Simulation::arrive(ItemId id, double size, Time t) {
-  if (finished_) throw std::logic_error("Simulation: arrive() after finish()");
+  if (finished_) throw SimulationError("Simulation: arrive() after finish()");
   if (!(size > 0.0) || size > options_.capacity) {
-    throw std::invalid_argument("Simulation: item size must be in (0, capacity]");
+    throw ValidationError("Simulation: item size must be in (0, capacity]");
   }
   advance_time(t);
   // Claim the active-table slot up front: one probe serves both the
@@ -85,8 +94,8 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
   // already final.
   ActiveRef* active_slot = active_.try_insert(id, ActiveRef{0, placements_.size(), size});
   if (active_slot == nullptr) {
-    throw std::invalid_argument("Simulation: item id " + std::to_string(id) +
-                                " is already active");
+    throw ValidationError("Simulation: item id " + std::to_string(id) +
+                          " is already active");
   }
 
   const ArrivalView view{id, size, t};
@@ -108,15 +117,15 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     target = *choice;
     if (target >= bins_.size() || !bins_[target].open) {
       active_.erase(id);  // release the claimed slot before reporting
-      throw std::logic_error(std::string(algorithm_.name()) + " placed item " +
-                             std::to_string(id) + " in bin " + std::to_string(target) +
-                             " which is not open");
+      throw SimulationError(std::string(algorithm_.name()) + " placed item " +
+                            std::to_string(id) + " in bin " + std::to_string(target) +
+                            " which is not open");
     }
     BinState& bin = bins_[target];
     if (bin.level + size > options_.capacity + options_.fit_epsilon) {
       active_.erase(id);
-      throw std::logic_error(std::string(algorithm_.name()) + " overfilled bin " +
-                             std::to_string(target) + " with item " + std::to_string(id));
+      throw SimulationError(std::string(algorithm_.name()) + " overfilled bin " +
+                            std::to_string(target) + " with item " + std::to_string(id));
     }
     bin.level += size;
     ++bin.active_count;
@@ -151,17 +160,39 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     algorithm_.on_bin_opened(target, view);
     max_concurrent_ = std::max(max_concurrent_, open_count_);
   }
+  if (auditor_) auditor_->on_arrive(id, size, target, t);
   return target;
 }
 
+void Simulation::close_bin(BinState& bin, Time t) {
+  bin.open = false;
+  bin.close_time = t;
+  // Unlink from the open list: O(1), replacing the old sorted-vector
+  // lower_bound + erase which shifted O(m) entries per bin close.
+  if (bin.open_prev != kNoBin) {
+    bins_[bin.open_prev].open_next = bin.open_next;
+  } else {
+    open_head_ = bin.open_next;
+  }
+  if (bin.open_next != kNoBin) {
+    bins_[bin.open_next].open_prev = bin.open_prev;
+  } else {
+    open_tail_ = bin.open_prev;
+  }
+  bin.open_prev = bin.open_next = kNoBin;
+  --open_count_;
+  algorithm_.on_bin_closed(bin.index, t);
+  if (auditor_) auditor_->on_bin_closed(bin.index, t);
+}
+
 void Simulation::depart(ItemId id, Time t) {
-  if (finished_) throw std::logic_error("Simulation: depart() after finish()");
+  if (finished_) throw SimulationError("Simulation: depart() after finish()");
   advance_time(t);
   // Single probe: take() validates and removes in one pass.
   ActiveRef ref;
   if (!active_.take(id, ref)) {
-    throw std::invalid_argument("Simulation: departing item " + std::to_string(id) +
-                                " is not active");
+    throw ValidationError("Simulation: departing item " + std::to_string(id) +
+                          " is not active");
   }
   BinState& bin = bins_[ref.bin];
   placements_[ref.placement_pos].record.active.right = t;
@@ -170,33 +201,60 @@ void Simulation::depart(ItemId id, Time t) {
   if (bin.active_count == 0) bin.level = 0.0;  // cancel floating-point residue
   record_level(bin, t);
   algorithm_.on_item_departed(ref.bin, ref.size, bin.level, t);
+  if (auditor_) auditor_->on_depart(id, ref.bin, t);
 
-  if (bin.active_count == 0) {
-    bin.open = false;
-    bin.close_time = t;
-    // Unlink from the open list: O(1), replacing the old sorted-vector
-    // lower_bound + erase which shifted O(m) entries per bin close.
-    if (bin.open_prev != kNoBin) {
-      bins_[bin.open_prev].open_next = bin.open_next;
-    } else {
-      open_head_ = bin.open_next;
-    }
-    if (bin.open_next != kNoBin) {
-      bins_[bin.open_next].open_prev = bin.open_prev;
-    } else {
-      open_tail_ = bin.open_prev;
-    }
-    bin.open_prev = bin.open_next = kNoBin;
-    --open_count_;
-    algorithm_.on_bin_closed(ref.bin, t);
+  if (bin.active_count == 0) close_bin(bin, t);
+}
+
+std::vector<EvictedItem> Simulation::force_close_bin(BinIndex bin_index, Time t) {
+  if (finished_) throw SimulationError("Simulation: force_close_bin() after finish()");
+  if (bin_index >= bins_.size() || !bins_[bin_index].open) {
+    throw SimulationError("Simulation: force_close_bin(" + std::to_string(bin_index) +
+                          "): bin is not open");
   }
+  advance_time(t);
+  BinState& bin = bins_[bin_index];
+
+  // Collect the bin's residents from the active table (cold path — faults
+  // are rare, so the table carries no per-bin index), then evict in arrival
+  // order: the eviction sequence is deterministic and platform-independent
+  // regardless of the hash table's layout.
+  std::vector<std::pair<std::size_t, ItemId>> victims;  // (placement_pos, id)
+  victims.reserve(bin.active_count);
+  active_.for_each([&](const ItemId& id, const ActiveRef& ref) {
+    if (ref.bin == bin_index) victims.emplace_back(ref.placement_pos, id);
+  });
+  if (victims.size() != bin.active_count) {
+    throw SimulationError("Simulation: force_close_bin(" + std::to_string(bin_index) +
+                          "): active table out of sync with bin count");
+  }
+  std::sort(victims.begin(), victims.end());
+
+  std::vector<EvictedItem> evicted;
+  evicted.reserve(victims.size());
+  for (const auto& [pos, id] : victims) {
+    ActiveRef ref;
+    active_.take(id, ref);
+    placements_[pos].record.active.right = t;
+    bin.level -= ref.size;
+    --bin.active_count;
+    if (bin.active_count == 0) bin.level = 0.0;  // cancel floating-point residue
+    evicted.push_back({id, ref.size, placements_[pos].record.active.left});
+    // Same hook sequence as a natural drain, so incremental kernels
+    // (CapacityTree, NextFit) track the crash like any other departure.
+    algorithm_.on_item_departed(bin_index, ref.size, bin.level, t);
+    if (auditor_) auditor_->on_evict(id, bin_index, t);
+  }
+  record_level(bin, t);
+  close_bin(bin, t);
+  return evicted;
 }
 
 PackingResult Simulation::finish() {
-  if (finished_) throw std::logic_error("Simulation: finish() called twice");
+  if (finished_) throw SimulationError("Simulation: finish() called twice");
   if (!active_.empty()) {
-    throw std::logic_error("Simulation: finish() with " + std::to_string(active_.size()) +
-                           " items still active");
+    throw SimulationError("Simulation: finish() with " + std::to_string(active_.size()) +
+                          " items still active");
   }
   finished_ = true;
 
@@ -211,7 +269,9 @@ PackingResult Simulation::finish() {
   }
   // Skeleton records + the placement pool: per-bin item vectors and the
   // item→bin assignment are both derived lazily inside PackingResult.
-  return PackingResult(std::move(records), std::move(placements_));
+  PackingResult result(std::move(records), std::move(placements_));
+  if (auditor_) auditor_->on_finish(result);
+  return result;
 }
 
 PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
@@ -223,7 +283,7 @@ PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
   if (options.capacity == SimulationOptions{}.capacity) {
     options.capacity = items.capacity();
   } else if (options.capacity != items.capacity()) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "simulate: options.capacity (" + std::to_string(options.capacity) +
         ") contradicts items.capacity() (" + std::to_string(items.capacity()) +
         "); leave options.capacity at its default to adopt the list capacity");

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/algorithm.h"
@@ -28,6 +29,8 @@
 
 namespace mutdbp {
 
+class InvariantAuditor;
+
 struct SimulationOptions {
   /// Bin capacity. For simulate(), the default 1.0 means "inherit the
   /// ItemList's capacity"; an explicitly different value that contradicts
@@ -35,20 +38,45 @@ struct SimulationOptions {
   double capacity = 1.0;
   double fit_epsilon = kDefaultFitEpsilon;
   bool record_timelines = true;
+  /// Attach an InvariantAuditor that re-checks the engine's invariants
+  /// after every event (see core/auditor.h). Independently of this flag,
+  /// exporting MUTDBP_AUDIT=1 audits every Simulation in the process.
+  bool audit = false;
+};
+
+/// One item removed by Simulation::force_close_bin, in arrival order.
+/// `placed_at` is the time the item entered the bin (its truncated activity
+/// interval is [placed_at, fault time)).
+struct EvictedItem {
+  ItemId id = 0;
+  double size = 0.0;
+  Time placed_at = 0.0;
 };
 
 class Simulation {
  public:
   explicit Simulation(PackingAlgorithm& algorithm, SimulationOptions options = {});
+  ~Simulation();
 
   /// Places an arriving item; returns the bin it went to. Time must be
-  /// non-decreasing across all arrive/depart calls. Throws std::logic_error
+  /// non-decreasing across all arrive/depart calls. Throws SimulationError
   /// if the algorithm returns an invalid placement (closed bin / no fit).
   BinIndex arrive(ItemId id, double size, Time t);
 
   /// Removes an item; closes its bin if the bin becomes empty. The caller
   /// decides departure times — this is where "unknown at arrival" lives.
   void depart(ItemId id, Time t);
+
+  /// Crash primitive for fault injection: evicts every item still resident
+  /// in `bin` and closes its usage period at `t`, exactly as if the server
+  /// died. The evicted items are returned in arrival order (deterministic —
+  /// fault replays are reproducible) with their activity intervals truncated
+  /// to `t`; the caller decides their fate (re-submission under a fresh
+  /// arrive(), or dropping them). The algorithm sees the same hook sequence
+  /// as a natural drain (on_item_departed per item, then on_bin_closed), so
+  /// incremental kernels stay in sync. Throws SimulationError if `bin` is
+  /// not open or the run is finished.
+  std::vector<EvictedItem> force_close_bin(BinIndex bin, Time t);
 
   /// Pre-sizes internal storage for a run expected to touch about
   /// `expected_items` items (optional; amortized growth otherwise).
@@ -59,6 +87,9 @@ class Simulation {
   [[nodiscard]] std::size_t active_items() const noexcept { return active_.size(); }
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] const SimulationOptions& options() const noexcept { return options_; }
+  /// True when an InvariantAuditor is attached (options.audit or
+  /// MUTDBP_AUDIT, see core/auditor.h).
+  [[nodiscard]] bool auditing() const noexcept { return auditor_ != nullptr; }
 
   /// Snapshots of currently open bins, sorted by bin index (what a
   /// snapshot-based packing algorithm sees).
@@ -108,6 +139,9 @@ class Simulation {
   }
   void record_level_slow(BinState& bin, Time t);
   [[noreturn]] void throw_time_backwards(Time t) const;
+  /// Unlinks an open bin from the open list and fires the close hooks
+  /// (shared by the natural drain in depart() and force_close_bin()).
+  void close_bin(BinState& bin, Time t);
 
   PackingAlgorithm& algorithm_;
   SimulationOptions options_;
@@ -122,6 +156,7 @@ class Simulation {
   Time now_ = -std::numeric_limits<double>::infinity();
   std::size_t max_concurrent_ = 0;
   bool finished_ = false;
+  std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless auditing
 };
 
 /// Runs the whole item list through `algorithm` (which is reset() first).

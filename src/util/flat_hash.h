@@ -7,9 +7,9 @@
 // steady-state arrive/depart traffic allocates nothing.
 //
 // Deliberately not a general-purpose container: keys must be integral
-// (hashed with the splitmix64 finalizer), there is no iteration, and
-// inserting a present key is reported rather than overwritten — exactly the
-// operations Simulation needs.
+// (hashed with the splitmix64 finalizer), iteration is a cold-path-only
+// for_each in unspecified order, and inserting a present key is reported
+// rather than overwritten — exactly the operations Simulation needs.
 #pragma once
 
 #include <cstddef>
@@ -95,6 +95,16 @@ class FlatMap {
     out = std::move(entries_[i].second);
     erase_slot(i);
     return true;
+  }
+
+  /// Visits every (key, value) pair in unspecified (table) order. Cold path
+  /// only — fault handling and audits, never the per-event hot loop; callers
+  /// needing a stable order must sort what they collect.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] == kFull) fn(entries_[i].first, entries_[i].second);
+    }
   }
 
   /// Removes; returns false if `key` was absent.

@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/error.h"
+
 namespace mutdbp::workload {
 
 AdversarialInstance next_fit_lower_bound_instance(std::size_t n, double mu) {
-  if (n < 3) throw std::invalid_argument("next_fit_lower_bound_instance: n >= 3");
-  if (mu < 1.0) throw std::invalid_argument("next_fit_lower_bound_instance: mu >= 1");
+  if (n < 3) throw ValidationError("next_fit_lower_bound_instance: n >= 3");
+  if (mu < 1.0) throw ValidationError("next_fit_lower_bound_instance: mu >= 1");
 
   std::vector<Item> items;
   items.reserve(2 * n);
@@ -28,9 +30,9 @@ AdversarialInstance next_fit_lower_bound_instance(std::size_t n, double mu) {
 
 AdversarialInstance any_fit_pinning_instance(std::size_t n, double mu) {
   if (n < 1 || n > 48) {
-    throw std::invalid_argument("any_fit_pinning_instance: 1 <= n <= 48");
+    throw ValidationError("any_fit_pinning_instance: 1 <= n <= 48");
   }
-  if (mu < 1.0) throw std::invalid_argument("any_fit_pinning_instance: mu >= 1");
+  if (mu < 1.0) throw ValidationError("any_fit_pinning_instance: mu >= 1");
 
   std::vector<Item> items;
   items.reserve(2 * n);
@@ -49,11 +51,11 @@ AdversarialInstance any_fit_pinning_instance(std::size_t n, double mu) {
 
 AdversarialInstance best_fit_decoy_instance(std::size_t rounds, double mu) {
   if (rounds < 1 || rounds > 44) {
-    throw std::invalid_argument("best_fit_decoy_instance: 1 <= rounds <= 44");
+    throw ValidationError("best_fit_decoy_instance: 1 <= rounds <= 44");
   }
   const double last_pin_arrival = 1.5 * static_cast<double>(rounds - 1) + 0.5;
   if (!(last_pin_arrival < mu)) {
-    throw std::invalid_argument(
+    throw ValidationError(
         "best_fit_decoy_instance: need 1.5*(rounds-1) + 0.5 < mu so every pin "
         "arrives while the collector anchor is alive");
   }

@@ -2,33 +2,34 @@
 
 #include <stdexcept>
 
+#include "core/error.h"
 #include "util/rng.h"
 
 namespace mutdbp::workload {
 
 ItemList generate_cluster(const ClusterWorkloadSpec& spec) {
   if (spec.vm_sizes.empty() || spec.vm_sizes.size() != spec.vm_size_weights.size()) {
-    throw std::invalid_argument("generate_cluster: sizes/weights mismatch");
+    throw ValidationError("generate_cluster: sizes/weights mismatch");
   }
   for (const double s : spec.vm_sizes) {
     if (!(s > 0.0) || s > 1.0) {
-      throw std::invalid_argument("generate_cluster: vm sizes must be in (0, 1]");
+      throw ValidationError("generate_cluster: vm sizes must be in (0, 1]");
     }
   }
   if (!(spec.min_lifetime > 0.0) || spec.min_lifetime >= spec.max_lifetime) {
-    throw std::invalid_argument("generate_cluster: bad lifetime range");
+    throw ValidationError("generate_cluster: bad lifetime range");
   }
   if (spec.burst_probability < 0.0 || spec.burst_probability > 1.0) {
-    throw std::invalid_argument("generate_cluster: burst_probability in [0, 1]");
+    throw ValidationError("generate_cluster: burst_probability in [0, 1]");
   }
 
   double total_weight = 0.0;
   for (const double w : spec.vm_size_weights) {
-    if (w < 0.0) throw std::invalid_argument("generate_cluster: negative weight");
+    if (w < 0.0) throw ValidationError("generate_cluster: negative weight");
     total_weight += w;
   }
   if (!(total_weight > 0.0)) {
-    throw std::invalid_argument("generate_cluster: all weights are zero");
+    throw ValidationError("generate_cluster: all weights are zero");
   }
 
   Rng rng(spec.seed);

@@ -1,0 +1,90 @@
+#include "workload/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/error.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace mutdbp::workload {
+
+std::vector<Time> fault_times(const FaultScheduleSpec& spec) {
+  if (!(spec.rate >= 0.0) || !std::isfinite(spec.rate)) {
+    throw ValidationError("fault_times: rate must be finite and >= 0");
+  }
+  if (spec.rate > 0.0 && !(spec.horizon > 0.0)) {
+    throw ValidationError("fault_times: positive rate needs a positive horizon");
+  }
+  if (!std::isfinite(spec.horizon) || spec.horizon < 0.0) {
+    throw ValidationError("fault_times: horizon must be finite and >= 0");
+  }
+  std::vector<Time> times;
+  for (const Time t : spec.fixed_times) {
+    if (!std::isfinite(t) || t < 0.0) {
+      throw ValidationError("fault_times: fixed fault time " + std::to_string(t) +
+                            " must be finite and >= 0");
+    }
+    times.push_back(t);
+  }
+  if (spec.rate > 0.0) {
+    Rng rng(spec.seed);
+    // Poisson process: exponential inter-arrival gaps until the horizon.
+    Time t = rng.exponential(spec.rate);
+    while (t < spec.horizon) {
+      times.push_back(t);
+      t += rng.exponential(spec.rate);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+void write_fault_trace(std::ostream& out, const std::vector<Time>& times) {
+  out << "time\n";
+  char buf[64];
+  for (const Time t : times) {
+    // %.17g round-trips doubles exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g\n", t);
+    out << buf;
+  }
+}
+
+void write_fault_trace_file(const std::string& path, const std::vector<Time>& times) {
+  std::ofstream out(path);
+  if (!out) throw ValidationError("write_fault_trace_file: cannot open " + path);
+  write_fault_trace(out, times);
+}
+
+std::vector<Time> read_fault_trace(std::istream& in) {
+  const CsvDocument doc = read_csv(in);
+  std::vector<Time> times;
+  times.reserve(doc.rows.size());
+  std::size_t line = 0;
+  for (const auto& row : doc.rows) {
+    ++line;
+    const std::string context = "fault trace row " + std::to_string(line);
+    if (row.size() != 1) {
+      throw ValidationError(context + ": expected 1 field (time)");
+    }
+    const Time t = parse_double(row[0], context);
+    if (!std::isfinite(t) || t < 0.0) {
+      throw ValidationError(context + ": fault time '" + row[0] +
+                            "' must be finite and >= 0");
+    }
+    times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<Time> read_fault_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ValidationError("read_fault_trace_file: cannot open " + path);
+  return read_fault_trace(in);
+}
+
+}  // namespace mutdbp::workload

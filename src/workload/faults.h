@@ -1,0 +1,46 @@
+// Server-failure schedules: deterministic traces of the instants at which a
+// rented server crashes. A schedule is only a sorted list of times — *which*
+// server dies at each instant is the injector's decision (see
+// cloud/faults.h), so the same schedule can stress different victim
+// policies and algorithms.
+//
+// Like item workloads, a (spec, seed) pair names exactly one schedule on
+// every platform (util/rng.h), and schedules round-trip through a CSV
+// trace (one `time` column, '#' comments) for replaying recorded outages.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace mutdbp::workload {
+
+struct FaultScheduleSpec {
+  /// Explicit fault instants (deterministic "kill at t" faults). May be
+  /// unsorted; the generated schedule is always sorted.
+  std::vector<Time> fixed_times;
+  /// Additional Poisson faults at this rate over [0, horizon). Zero means
+  /// none (a spec with no fixed times and rate 0 is the fault-free schedule).
+  double rate = 0.0;
+  Time horizon = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the sorted fault-time schedule for `spec`. Throws
+/// ValidationError for negative/non-finite times, rate < 0, or a positive
+/// rate with a non-positive horizon.
+[[nodiscard]] std::vector<Time> fault_times(const FaultScheduleSpec& spec);
+
+/// Writes a schedule as CSV (header `time`, %.17g — exact round-trip).
+void write_fault_trace(std::ostream& out, const std::vector<Time>& times);
+void write_fault_trace_file(const std::string& path, const std::vector<Time>& times);
+
+/// Reads a schedule; rejects non-finite or negative times with row-numbered
+/// ValidationErrors and returns the times sorted.
+[[nodiscard]] std::vector<Time> read_fault_trace(std::istream& in);
+[[nodiscard]] std::vector<Time> read_fault_trace_file(const std::string& path);
+
+}  // namespace mutdbp::workload

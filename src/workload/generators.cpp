@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/error.h"
 #include "util/rng.h"
 
 namespace mutdbp::workload {
@@ -20,7 +21,7 @@ double draw_size(const RandomWorkloadSpec& spec, Rng& rng) {
                                 : rng.uniform(std::max(0.5, spec.size_min), spec.size_max);
     case SizeDistribution::kDiscrete:
       if (spec.size_choices.empty()) {
-        throw std::invalid_argument("kDiscrete requires non-empty size_choices");
+        throw ValidationError("kDiscrete requires non-empty size_choices");
       }
       return spec.size_choices[rng.index(spec.size_choices.size())];
     case SizeDistribution::kBoundedPareto:
@@ -53,10 +54,10 @@ double draw_duration(const RandomWorkloadSpec& spec, Rng& rng) {
 ItemList generate(const RandomWorkloadSpec& spec) {
   if (!(spec.size_min > 0.0) || spec.size_max > spec.capacity ||
       spec.size_min > spec.size_max) {
-    throw std::invalid_argument("generate: need 0 < size_min <= size_max <= capacity");
+    throw ValidationError("generate: need 0 < size_min <= size_max <= capacity");
   }
   if (!(spec.duration_min > 0.0) || spec.duration_min > spec.duration_max) {
-    throw std::invalid_argument("generate: need 0 < duration_min <= duration_max");
+    throw ValidationError("generate: need 0 < duration_min <= duration_max");
   }
 
   Rng rng(spec.seed);

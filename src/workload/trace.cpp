@@ -1,10 +1,14 @@
 #include "workload/trace.h"
 
+#include <charconv>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "core/error.h"
 #include "util/csv.h"
 
 namespace mutdbp::workload {
@@ -22,26 +26,68 @@ void write_trace(std::ostream& out, const ItemList& items) {
 
 void write_trace_file(const std::string& path, const ItemList& items) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  if (!out) throw ValidationError("write_trace_file: cannot open " + path);
   write_trace(out, items);
 }
+
+namespace {
+
+ItemId parse_item_id(const std::string& field, const std::string& context) {
+  ItemId id = 0;
+  const auto* begin = field.data();
+  const auto* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, id);
+  if (ec != std::errc() || ptr != end) {
+    throw ValidationError(context + ": item id '" + field +
+                          "' is not a non-negative integer");
+  }
+  return id;
+}
+
+double parse_finite(const std::string& field, const std::string& context,
+                    const char* what) {
+  // parse_double accepts "nan"/"inf" spellings (std::from_chars does); a
+  // trace containing them would silently corrupt every derived quantity
+  // (span, usage times, billing), so reject non-finite values here with the
+  // row number. parse_double lives in the util layer (below core/error.h),
+  // so its bare std::invalid_argument is translated to keep read_trace's
+  // documented all-ValidationError contract.
+  double value = 0.0;
+  try {
+    value = parse_double(field, context);
+  } catch (const std::invalid_argument& e) {
+    throw ValidationError(e.what());
+  }
+  if (!std::isfinite(value)) {
+    throw ValidationError(context + ": " + what + " '" + field +
+                          "' is not finite");
+  }
+  return value;
+}
+
+}  // namespace
 
 ItemList read_trace(std::istream& in, double capacity) {
   const CsvDocument doc = read_csv(in);
   std::vector<Item> items;
   items.reserve(doc.rows.size());
+  std::unordered_set<ItemId> seen;
+  seen.reserve(doc.rows.size());
   std::size_t line = 0;
   for (const auto& row : doc.rows) {
     ++line;
     if (row.size() != 4) {
-      throw std::invalid_argument("trace row " + std::to_string(line) +
+      throw ValidationError("trace row " + std::to_string(line) +
                                   ": expected 4 fields (id,size,arrival,departure)");
     }
     const std::string context = "trace row " + std::to_string(line);
-    const auto id = static_cast<ItemId>(parse_double(row[0], context));
-    const double size = parse_double(row[1], context);
-    const double arrival = parse_double(row[2], context);
-    const double departure = parse_double(row[3], context);
+    const ItemId id = parse_item_id(row[0], context);
+    const double size = parse_finite(row[1], context, "size");
+    const double arrival = parse_finite(row[2], context, "arrival");
+    const double departure = parse_finite(row[3], context, "departure");
+    if (!seen.insert(id).second) {
+      throw ValidationError(context + ": duplicate item id " + std::to_string(id));
+    }
     items.push_back(make_item(id, size, arrival, departure));
   }
   return ItemList(std::move(items), capacity);
@@ -49,7 +95,7 @@ ItemList read_trace(std::istream& in, double capacity) {
 
 ItemList read_trace_file(const std::string& path, double capacity) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  if (!in) throw ValidationError("read_trace_file: cannot open " + path);
   return read_trace(in, capacity);
 }
 

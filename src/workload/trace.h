@@ -13,7 +13,10 @@ namespace mutdbp::workload {
 void write_trace(std::ostream& out, const ItemList& items);
 void write_trace_file(const std::string& path, const ItemList& items);
 
-/// Reads a trace; validates sizes/durations like ItemList does.
+/// Reads a trace; validates sizes/durations like ItemList does, and
+/// additionally rejects malformed rows with a row-numbered ValidationError:
+/// non-integer ids, duplicate item ids, and NaN/inf sizes or times (which
+/// parse as numbers but would corrupt every derived quantity downstream).
 [[nodiscard]] ItemList read_trace(std::istream& in, double capacity = 1.0);
 [[nodiscard]] ItemList read_trace_file(const std::string& path, double capacity = 1.0);
 

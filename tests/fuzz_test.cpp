@@ -3,15 +3,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "algorithms/any_fit.h"
+#include "core/error.h"
 #include "core/simulation.h"
 #include "opt/bin_packing.h"
 #include "opt/opt_integral.h"
 #include "util/rng.h"
 #include "workload/generators.h"
+#include "workload/trace.h"
 
 namespace mutdbp {
 namespace {
@@ -194,6 +199,74 @@ TEST(FuzzOptIntegral, AddingItemsNeverDecreasesOpt) {
     const opt::OptIntegral integral = opt::opt_total(ItemList(prefix));
     EXPECT_GE(integral.upper + 1e-9, last);
     last = integral.lower;
+  }
+}
+
+// ---- trace persistence: write -> read round-trip & corruption rejection ----
+
+TEST(FuzzTrace, WriteReadRoundTripIsExact) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 120;
+    spec.seed = seed;
+    spec.duration_max = 5.0;
+    const ItemList original = workload::generate(spec);
+
+    std::stringstream buffer;
+    workload::write_trace(buffer, original);
+    const ItemList restored = workload::read_trace(buffer, original.capacity());
+
+    ASSERT_EQ(restored.size(), original.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      const Item& a = original.items()[i];
+      const Item& b = restored.items()[i];
+      EXPECT_EQ(a.id, b.id);
+      // %.17g round-trips doubles bit-exactly — no tolerance needed.
+      EXPECT_EQ(a.size, b.size);
+      EXPECT_EQ(a.arrival(), b.arrival());
+      EXPECT_EQ(a.departure(), b.departure());
+    }
+  }
+}
+
+TEST(FuzzTrace, CorruptedRowsAreRejectedNotMisread) {
+  // Corrupt one random field of a valid trace per trial: the reader must
+  // throw (never silently produce a different item list).
+  Rng rng(404);
+  // Each poison is invalid in every column: non-integer for the id field,
+  // non-finite or non-numeric for size/arrival/departure.
+  const char* const poisons[] = {"nan", "inf", "-inf", "abc"};
+  for (int trial = 0; trial < 30; ++trial) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 20;
+    spec.seed = static_cast<std::uint64_t>(trial) + 1;
+    const ItemList items = workload::generate(spec);
+    std::stringstream buffer;
+    workload::write_trace(buffer, items);
+
+    // Rewrite one field of one data row.
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(buffer, line)) lines.push_back(line);
+    const std::size_t row = 1 + rng.index(lines.size() - 1);  // skip header
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (std::size_t pos = lines[row].find(','); pos != std::string::npos;
+         start = pos + 1, pos = lines[row].find(',', start)) {
+      fields.push_back(lines[row].substr(start, pos - start));
+    }
+    fields.push_back(lines[row].substr(start));
+    ASSERT_EQ(fields.size(), 4u);
+    const std::size_t field = rng.index(4);
+    fields[field] = poisons[rng.index(std::size(poisons))];
+    lines[row] = fields[0] + "," + fields[1] + "," + fields[2] + "," + fields[3];
+
+    std::string corrupted;
+    for (const auto& l : lines) corrupted += l + "\n";
+    std::istringstream in(corrupted);
+    EXPECT_THROW((void)workload::read_trace(in), ValidationError)
+        << "trial " << trial << " row " << row << " field " << field
+        << " poison " << fields[field];
   }
 }
 

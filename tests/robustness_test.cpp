@@ -1,0 +1,949 @@
+// Fault injection, recovery, the invariant auditor, and the error
+// hierarchy (docs/robustness.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/registry.h"
+#include "analysis/disruption.h"
+#include "cloud/dispatcher.h"
+#include "cloud/faults.h"
+#include "cloud/fleet.h"
+#include "core/auditor.h"
+#include "core/error.h"
+#include "core/simulation.h"
+#include "workload/faults.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace mutdbp {
+namespace {
+
+// ---- error hierarchy ----
+
+TEST(ErrorHierarchy, ConcreteTypesDualDeriveFromStdAndMarker) {
+  const ValidationError validation("bad input");
+  EXPECT_STREQ(validation.what(), "bad input");
+  EXPECT_NE(dynamic_cast<const std::invalid_argument*>(&validation), nullptr);
+  EXPECT_NE(dynamic_cast<const Error*>(&validation), nullptr);
+
+  const SimulationError simulation("bad engine call");
+  EXPECT_NE(dynamic_cast<const std::logic_error*>(&simulation), nullptr);
+  EXPECT_NE(dynamic_cast<const Error*>(&simulation), nullptr);
+
+  const AuditError audit("invariant broken");
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&audit), nullptr);
+  EXPECT_NE(dynamic_cast<const Error*>(&audit), nullptr);
+}
+
+TEST(ErrorHierarchy, CatchableAsMarkerAndAsStdException) {
+  // The marker root must not introduce a second std::exception base:
+  // catch(const std::exception&) stays unambiguous.
+  bool caught_marker = false;
+  try {
+    throw ValidationError("x");
+  } catch (const Error& e) {
+    caught_marker = true;
+    EXPECT_STREQ(e.what(), "x");
+  }
+  EXPECT_TRUE(caught_marker);
+
+  bool caught_std = false;
+  try {
+    throw SimulationError("y");
+  } catch (const std::exception& e) {
+    caught_std = true;
+    EXPECT_STREQ(e.what(), "y");
+  }
+  EXPECT_TRUE(caught_std);
+}
+
+TEST(ErrorHierarchy, MigratedThrowSitesUseTheHierarchy) {
+  // Input validation (was std::invalid_argument, still is — plus the marker).
+  FirstFit ff;
+  Simulation sim(ff);
+  EXPECT_THROW(sim.arrive(1, -0.5, 0.0), ValidationError);
+  EXPECT_THROW(sim.arrive(1, -0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.depart(42, 0.0), ValidationError);
+
+  // Engine misuse (was std::logic_error, still is).
+  sim.arrive(1, 0.5, 0.0);
+  sim.depart(1, 1.0);
+  (void)sim.finish();
+  EXPECT_THROW(sim.arrive(2, 0.5, 2.0), SimulationError);
+  EXPECT_THROW(sim.arrive(2, 0.5, 2.0), std::logic_error);
+}
+
+// ---- hardened trace reading ----
+
+TEST(TraceHardening, RejectsNonFiniteSizesAndTimes) {
+  const auto read = [](const std::string& csv) {
+    std::istringstream in(csv);
+    return workload::read_trace(in);
+  };
+  try {
+    (void)read("id,size,arrival,departure\n1,nan,0,1\n");
+    FAIL() << "nan size accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("trace row 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("not finite"), std::string::npos);
+  }
+  EXPECT_THROW((void)read("id,size,arrival,departure\n1,0.5,inf,2\n"),
+               ValidationError);
+  EXPECT_THROW((void)read("id,size,arrival,departure\n1,0.5,0,-inf\n"),
+               ValidationError);
+  EXPECT_THROW((void)read("id,size,arrival,departure\n1,0.5,0,1\n2,nan,0,1\n"),
+               ValidationError);
+}
+
+TEST(TraceHardening, RejectsMalformedAndDuplicateIds) {
+  const auto read = [](const std::string& csv) {
+    std::istringstream in(csv);
+    return workload::read_trace(in);
+  };
+  EXPECT_THROW((void)read("id,size,arrival,departure\nabc,0.5,0,1\n"),
+               ValidationError);
+  EXPECT_THROW((void)read("id,size,arrival,departure\n-1,0.5,0,1\n"),
+               ValidationError);
+  EXPECT_THROW((void)read("id,size,arrival,departure\n1.5,0.5,0,1\n"),
+               ValidationError);
+  try {
+    (void)read("id,size,arrival,departure\n7,0.5,0,1\n7,0.4,2,3\n");
+    FAIL() << "duplicate id accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("trace row 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate item id 7"), std::string::npos);
+  }
+}
+
+// ---- fault schedules (workload layer) ----
+
+TEST(FaultSchedule, FixedTimesAreSortedAndValidated) {
+  workload::FaultScheduleSpec spec;
+  spec.fixed_times = {5.0, 1.0, 3.0};
+  EXPECT_EQ(workload::fault_times(spec), (std::vector<Time>{1.0, 3.0, 5.0}));
+
+  spec.fixed_times = {-1.0};
+  EXPECT_THROW((void)workload::fault_times(spec), ValidationError);
+  spec.fixed_times = {1.0};
+  spec.rate = -0.5;
+  EXPECT_THROW((void)workload::fault_times(spec), ValidationError);
+  spec.rate = 0.5;
+  spec.horizon = 0.0;  // positive rate needs a positive horizon
+  EXPECT_THROW((void)workload::fault_times(spec), ValidationError);
+}
+
+TEST(FaultSchedule, PoissonScheduleIsDeterministicPerSeed) {
+  workload::FaultScheduleSpec spec;
+  spec.rate = 0.5;
+  spec.horizon = 100.0;
+  spec.seed = 42;
+  const std::vector<Time> a = workload::fault_times(spec);
+  const std::vector<Time> b = workload::fault_times(spec);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  for (const Time t : a) EXPECT_LT(t, 100.0);
+
+  spec.seed = 43;
+  EXPECT_NE(workload::fault_times(spec), a);
+}
+
+TEST(FaultSchedule, CsvRoundTripIsExact) {
+  workload::FaultScheduleSpec spec;
+  spec.rate = 0.3;
+  spec.horizon = 50.0;
+  const std::vector<Time> times = workload::fault_times(spec);
+  std::stringstream buffer;
+  workload::write_fault_trace(buffer, times);
+  EXPECT_EQ(workload::read_fault_trace(buffer), times);
+
+  std::istringstream bad("time\n-3.0\n");
+  EXPECT_THROW((void)workload::read_fault_trace(bad), ValidationError);
+  std::istringstream nan("time\nnan\n");
+  EXPECT_THROW((void)workload::read_fault_trace(nan), ValidationError);
+}
+
+// ---- Simulation::force_close_bin ----
+
+TEST(ForceCloseBin, EvictsResidentsInArrivalOrderAndTruncatesUsage) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 0.0);
+  sim.arrive(2, 0.4, 1.0);  // joins bin 0
+  ASSERT_EQ(sim.open_bin_count(), 1u);
+
+  const std::vector<EvictedItem> evicted = sim.force_close_bin(0, 4.0);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].id, 1u);
+  EXPECT_DOUBLE_EQ(evicted[0].size, 0.5);
+  EXPECT_DOUBLE_EQ(evicted[0].placed_at, 0.0);
+  EXPECT_EQ(evicted[1].id, 2u);
+  EXPECT_DOUBLE_EQ(evicted[1].placed_at, 1.0);
+  EXPECT_EQ(sim.open_bin_count(), 0u);
+  EXPECT_EQ(sim.active_items(), 0u);
+
+  // Re-place both (the recovery path) and finish normally.
+  EXPECT_EQ(sim.arrive(1, 0.5, 4.0), 1u);
+  EXPECT_EQ(sim.arrive(2, 0.4, 4.0), 1u);
+  sim.depart(1, 10.0);
+  sim.depart(2, 10.0);
+  const PackingResult result = sim.finish();
+  ASSERT_EQ(result.bins_opened(), 2u);
+  EXPECT_EQ(result.bins()[0].usage, (Interval{0.0, 4.0}));
+  EXPECT_EQ(result.bins()[1].usage, (Interval{4.0, 10.0}));
+  // The evicted placements were truncated to the fault time.
+  EXPECT_EQ(result.bins()[0].items[0].active, (Interval{0.0, 4.0}));
+  EXPECT_EQ(result.bins()[0].items[1].active, (Interval{1.0, 4.0}));
+}
+
+TEST(ForceCloseBin, RejectsClosedUnknownAndFinishedTargets) {
+  FirstFit ff;
+  Simulation sim(ff);
+  EXPECT_THROW((void)sim.force_close_bin(0, 1.0), SimulationError);  // never opened
+
+  sim.arrive(1, 0.5, 0.0);
+  sim.depart(1, 2.0);  // bin 0 closes naturally
+  EXPECT_THROW((void)sim.force_close_bin(0, 3.0), SimulationError);
+
+  sim.arrive(2, 0.5, 3.0);
+  EXPECT_THROW((void)sim.force_close_bin(0, 4.0), SimulationError);  // 0 closed
+  sim.depart(2, 5.0);
+  (void)sim.finish();
+  EXPECT_THROW((void)sim.force_close_bin(1, 6.0), SimulationError);  // finished
+}
+
+TEST(ForceCloseBin, TimeMustNotGoBackwards) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 5.0);
+  EXPECT_THROW((void)sim.force_close_bin(0, 4.0), SimulationError);
+}
+
+// Incremental kernels (CapacityTree, NextFit pointer) must stay consistent
+// with the reference snapshot path across forced closes: drive both in
+// lockstep with random faults and compare every placement.
+TEST(ForceCloseBin, IncrementalKernelsStayInSyncWithSnapshotPath) {
+  for (const char* name : {"FirstFit", "BestFit", "NextFit"}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      workload::RandomWorkloadSpec spec;
+      spec.num_items = 120;
+      spec.seed = seed;
+      spec.duration_max = 5.0;
+      const ItemList items = workload::generate(spec);
+
+      const auto tree_algo = make_algorithm(name);
+      std::unique_ptr<PackingAlgorithm> snap_algo;
+      if (std::string(name) == "FirstFit") {
+        snap_algo = std::make_unique<WithSnapshots<FirstFit>>();
+      } else if (std::string(name) == "BestFit") {
+        snap_algo = std::make_unique<WithSnapshots<BestFit>>();
+      } else {
+        snap_algo = make_algorithm(name);  // NextFit validated against itself
+      }
+      Simulation tree_sim(*tree_algo);
+      Simulation snap_sim(*snap_algo);
+
+      Rng rng(seed * 31 + 7);
+      std::size_t step = 0;
+      std::vector<ItemId> alive;
+      for (const ScheduledEvent& event : items.schedule()) {
+        if (event.is_arrival) {
+          const BinIndex a = tree_sim.arrive(event.id, event.size, event.t);
+          const BinIndex b = snap_sim.arrive(event.id, event.size, event.t);
+          ASSERT_EQ(a, b) << name << " seed " << seed << " item " << event.id;
+          alive.push_back(event.id);
+        } else if (std::find(alive.begin(), alive.end(), event.id) != alive.end()) {
+          tree_sim.depart(event.id, event.t);
+          snap_sim.depart(event.id, event.t);
+          alive.erase(std::remove(alive.begin(), alive.end(), event.id),
+                      alive.end());
+        }
+        // Every ~20 events, crash a random open server in both simulations.
+        if (++step % 20 == 0 && tree_sim.open_bin_count() > 0) {
+          const auto open = tree_sim.open_snapshots();
+          const BinIndex victim = open[rng.index(open.size())].index;
+          const auto evicted_tree = tree_sim.force_close_bin(victim, event.t);
+          const auto evicted_snap = snap_sim.force_close_bin(victim, event.t);
+          ASSERT_EQ(evicted_tree.size(), evicted_snap.size());
+          for (std::size_t i = 0; i < evicted_tree.size(); ++i) {
+            EXPECT_EQ(evicted_tree[i].id, evicted_snap[i].id);
+            // Evicted jobs are abandoned (not re-placed) in this test.
+            alive.erase(std::remove(alive.begin(), alive.end(),
+                                    evicted_tree[i].id),
+                        alive.end());
+          }
+        }
+      }
+      for (const ItemId id : alive) {
+        tree_sim.depart(id, 1e6);
+        snap_sim.depart(id, 1e6);
+      }
+      const PackingResult tree_result = tree_sim.finish();
+      const PackingResult snap_result = snap_sim.finish();
+      EXPECT_EQ(tree_result.total_usage_time(), snap_result.total_usage_time())
+          << name << " seed " << seed;
+      EXPECT_EQ(tree_result.bins_opened(), snap_result.bins_opened());
+    }
+  }
+}
+
+// ---- FaultInjector ----
+
+TEST(FaultInjector, AdversarialPoliciesPickTheWorstServer) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.5, 0.0);   // bin 0
+  sim.arrive(2, 0.95, 1.0);  // bin 1
+  sim.arrive(3, 0.3, 2.0);   // bin 0 (0.8)
+  sim.arrive(4, 0.4, 3.0);   // bin 2
+  // Levels: bin0 = 0.8, bin1 = 0.95, bin2 = 0.4.
+
+  cloud::FaultInjector fullest(cloud::VictimPolicy::kFullest, 1);
+  EXPECT_EQ(fullest.pick_victim(sim), std::optional<cloud::ServerId>(1));
+  cloud::FaultInjector oldest(cloud::VictimPolicy::kOldest, 1);
+  EXPECT_EQ(oldest.pick_victim(sim), std::optional<cloud::ServerId>(0));
+  cloud::FaultInjector youngest(cloud::VictimPolicy::kYoungest, 1);
+  EXPECT_EQ(youngest.pick_victim(sim), std::optional<cloud::ServerId>(2));
+}
+
+TEST(FaultInjector, FullestBreaksTiesTowardTheOldestBin) {
+  FirstFit ff;
+  Simulation sim(ff);
+  sim.arrive(1, 0.8, 0.0);  // bin 0
+  sim.arrive(2, 0.8, 1.0);  // bin 1, same level
+  cloud::FaultInjector fullest(cloud::VictimPolicy::kFullest, 1);
+  EXPECT_EQ(fullest.pick_victim(sim), std::optional<cloud::ServerId>(0));
+}
+
+TEST(FaultInjector, RandomPolicyIsSeedDeterministicAndIdleFaultsAreNoops) {
+  FirstFit ff;
+  Simulation sim(ff);
+  cloud::FaultInjector injector(cloud::VictimPolicy::kRandom, 9);
+  EXPECT_EQ(injector.pick_victim(sim), std::nullopt);  // nothing rented
+
+  sim.arrive(1, 0.9, 0.0);
+  sim.arrive(2, 0.9, 1.0);
+  sim.arrive(3, 0.9, 2.0);
+  std::vector<cloud::ServerId> picks_a;
+  std::vector<cloud::ServerId> picks_b;
+  cloud::FaultInjector a(cloud::VictimPolicy::kRandom, 123);
+  cloud::FaultInjector b(cloud::VictimPolicy::kRandom, 123);
+  for (int i = 0; i < 20; ++i) {
+    picks_a.push_back(*a.pick_victim(sim));
+    picks_b.push_back(*b.pick_victim(sim));
+  }
+  EXPECT_EQ(picks_a, picks_b);
+  // All three servers get hit eventually (sanity of the uniform pick).
+  for (const cloud::ServerId server : {0u, 1u, 2u}) {
+    EXPECT_NE(std::find(picks_a.begin(), picks_a.end(), server), picks_a.end());
+  }
+}
+
+// ---- RetryScheduler ----
+
+TEST(RetryScheduler, DecidesFatePerPolicy) {
+  using Fate = cloud::RetryScheduler::Fate;
+  cloud::RetryScheduler immediate({cloud::RetryPolicy::Kind::kImmediate});
+  EXPECT_EQ(immediate.decide(5, 1.0).fate, Fate::kResubmitNow);
+
+  cloud::RetryScheduler drop({cloud::RetryPolicy::Kind::kDrop});
+  const auto drop_decision = drop.decide(0, 1.0);
+  EXPECT_EQ(drop_decision.fate, Fate::kDropped);
+  EXPECT_EQ(drop_decision.reason, cloud::DropReason::kPolicy);
+
+  cloud::RetryPolicy backoff{cloud::RetryPolicy::Kind::kBackoff, 2, 0.5, 2.0};
+  cloud::RetryScheduler scheduler(backoff);
+  const auto first = scheduler.decide(0, 10.0);
+  EXPECT_EQ(first.fate, Fate::kQueued);
+  EXPECT_DOUBLE_EQ(first.retry_at, 10.5);  // base delay
+  const auto second = scheduler.decide(1, 20.0);
+  EXPECT_DOUBLE_EQ(second.retry_at, 21.0);  // base * factor
+  const auto third = scheduler.decide(2, 30.0);  // budget (2) exhausted
+  EXPECT_EQ(third.fate, Fate::kDropped);
+  EXPECT_EQ(third.reason, cloud::DropReason::kRetryBudget);
+}
+
+TEST(RetryScheduler, QueueIsFifoPerInstantAndSupportsCancel) {
+  cloud::RetryScheduler scheduler({cloud::RetryPolicy::Kind::kBackoff, 3, 1.0, 2.0});
+  scheduler.schedule(1, 0.5, 5.0);
+  scheduler.schedule(2, 0.4, 5.0);
+  scheduler.schedule(3, 0.3, 4.0);
+  EXPECT_EQ(scheduler.pending(), 3u);
+  EXPECT_EQ(scheduler.next_due(), std::optional<Time>(4.0));
+  EXPECT_TRUE(scheduler.cancel(2));
+  EXPECT_FALSE(scheduler.cancel(2));
+  EXPECT_EQ(scheduler.pending(), 2u);
+
+  const auto due = scheduler.take_due(5.0);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].job, 3u);  // earlier time first
+  EXPECT_EQ(due[1].job, 1u);  // cancelled job skipped
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(scheduler.next_due(), std::nullopt);
+
+  scheduler.schedule(1, 0.5, 9.0);
+  EXPECT_THROW(scheduler.schedule(1, 0.5, 10.0), SimulationError);
+  EXPECT_THROW(cloud::RetryScheduler({cloud::RetryPolicy::Kind::kBackoff, 3,
+                                      -1.0, 2.0}),
+               ValidationError);
+}
+
+// ---- run_with_faults ----
+
+ItemList shared_bin_items() {
+  // Both jobs ride one FirstFit bin until a fault splits them off.
+  return ItemList({make_item(1, 0.5, 0.0, 10.0), make_item(2, 0.4, 1.0, 10.0)});
+}
+
+TEST(RunWithFaults, HandCheckedEvictionAndImmediateRecovery) {
+  FirstFit ff;
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = {4.0};
+  options.victim = cloud::VictimPolicy::kOldest;
+  options.retry.kind = cloud::RetryPolicy::Kind::kImmediate;
+  options.billing.granularity = 0.0;
+  const cloud::FaultyRunReport report =
+      cloud::run_with_faults(shared_bin_items(), ff, options);
+
+  EXPECT_EQ(report.faults_scheduled, 1u);
+  EXPECT_EQ(report.faults_injected, 1u);
+  EXPECT_EQ(report.faults_idle, 0u);
+  EXPECT_EQ(report.evictions, 2u);
+  EXPECT_EQ(report.replacements, 2u);
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_EQ(report.completed, 2u);
+
+  using Kind = cloud::DisruptionEvent::Kind;
+  ASSERT_EQ(report.events.size(), 4u);
+  EXPECT_EQ(report.events[0],
+            (cloud::DisruptionEvent{Kind::kEviction, 4.0, 1, 0,
+                                    cloud::DropReason::kNone}));
+  EXPECT_EQ(report.events[1],
+            (cloud::DisruptionEvent{Kind::kReplacement, 4.0, 1, 1,
+                                    cloud::DropReason::kNone}));
+  EXPECT_EQ(report.events[2].job, 2u);
+  EXPECT_EQ(report.events[3].kind, Kind::kReplacement);
+
+  // Usage: bin0 [0,4) + bin1 [4,10) = 10 exactly.
+  ASSERT_EQ(report.packing.bins_opened(), 2u);
+  EXPECT_DOUBLE_EQ(report.packing.total_usage_time(), 10.0);
+  EXPECT_DOUBLE_EQ(report.billing.total_cost, 10.0);
+}
+
+TEST(RunWithFaults, DropPolicyAccountsEveryEvictedJob) {
+  FirstFit ff;
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = {4.0};
+  options.victim = cloud::VictimPolicy::kOldest;
+  options.retry.kind = cloud::RetryPolicy::Kind::kDrop;
+  const cloud::FaultyRunReport report =
+      cloud::run_with_faults(shared_bin_items(), ff, options);
+
+  EXPECT_EQ(report.evictions, 2u);
+  EXPECT_EQ(report.replacements, 0u);
+  EXPECT_EQ(report.drops, 2u);
+  EXPECT_EQ(report.completed, 0u);
+  // Conservation: every job completed or dropped.
+  EXPECT_EQ(report.completed + report.drops, shared_bin_items().size());
+  // The servers only ran until the crash.
+  EXPECT_DOUBLE_EQ(report.packing.total_usage_time(), 4.0);
+  for (const auto& event : report.events) {
+    if (event.kind == cloud::DisruptionEvent::Kind::kDrop) {
+      EXPECT_EQ(event.reason, cloud::DropReason::kPolicy);
+    }
+  }
+}
+
+TEST(RunWithFaults, BackoffRetriesLandAfterTheDelay) {
+  FirstFit ff;
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = {4.0};
+  options.victim = cloud::VictimPolicy::kOldest;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 2.0, 2.0};
+  const cloud::FaultyRunReport report =
+      cloud::run_with_faults(shared_bin_items(), ff, options);
+
+  // Both jobs evicted at 4, re-placed at 6, run until 10.
+  EXPECT_EQ(report.replacements, 2u);
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_EQ(report.completed, 2u);
+  bool saw_replacement = false;
+  for (const auto& event : report.events) {
+    if (event.kind == cloud::DisruptionEvent::Kind::kReplacement) {
+      saw_replacement = true;
+      EXPECT_DOUBLE_EQ(event.t, 6.0);
+    }
+  }
+  EXPECT_TRUE(saw_replacement);
+  // bin0 [0,4) + bin1 [6,10): the backoff gap is not billed.
+  EXPECT_DOUBLE_EQ(report.packing.total_usage_time(), 8.0);
+}
+
+TEST(RunWithFaults, BackoffPastDepartureExpiresTheJob) {
+  // Job 2 departs at 5; evicted at 4 with delay 2 -> retry at 6 >= 5: dropped.
+  const ItemList items({make_item(1, 0.5, 0.0, 10.0), make_item(2, 0.4, 1.0, 5.0)});
+  FirstFit ff;
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = {4.0};
+  options.victim = cloud::VictimPolicy::kOldest;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 2.0, 2.0};
+  const cloud::FaultyRunReport report = cloud::run_with_faults(items, ff, options);
+
+  EXPECT_EQ(report.evictions, 2u);
+  EXPECT_EQ(report.replacements, 1u);  // job 1 comes back at 6
+  EXPECT_EQ(report.drops, 1u);         // job 2 expires
+  EXPECT_EQ(report.completed, 1u);
+  bool saw_expired_drop = false;
+  for (const auto& event : report.events) {
+    if (event.kind == cloud::DisruptionEvent::Kind::kDrop) {
+      saw_expired_drop = true;
+      EXPECT_EQ(event.job, 2u);
+      EXPECT_EQ(event.reason, cloud::DropReason::kExpired);
+    }
+  }
+  EXPECT_TRUE(saw_expired_drop);
+}
+
+TEST(RunWithFaults, RetryBudgetDropsRepeatedlyEvictedJobs) {
+  // One long job, killed every 2 time units; budget of 2 re-placements.
+  const ItemList items({make_item(1, 0.5, 0.0, 100.0)});
+  FirstFit ff;
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = {2.0, 4.0, 6.0, 8.0};
+  options.victim = cloud::VictimPolicy::kOldest;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 2, 0.5, 1.0};
+  const cloud::FaultyRunReport report = cloud::run_with_faults(items, ff, options);
+
+  // Evictions at 2 and 4 queue retries (2.5, 4.5); the third eviction at 6
+  // exhausts the budget.
+  EXPECT_EQ(report.evictions, 3u);
+  EXPECT_EQ(report.replacements, 2u);
+  EXPECT_EQ(report.drops, 1u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.faults_idle, 1u);  // the fault at 8 hits an empty fleet
+  EXPECT_EQ(report.events.back().reason, cloud::DropReason::kRetryBudget);
+}
+
+TEST(RunWithFaults, ZeroFaultScheduleIsBitIdenticalToSimulate) {
+  for (const char* name : {"FirstFit", "BestFit", "NextFit"}) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 250;
+    spec.seed = 77;
+    spec.duration_max = 6.0;
+    const ItemList items = workload::generate(spec);
+
+    const auto baseline_algo = make_algorithm(name);
+    const PackingResult baseline = simulate(items, *baseline_algo);
+
+    const auto faulty_algo = make_algorithm(name);
+    cloud::FaultyRunOptions options;  // empty schedule
+    const cloud::FaultyRunReport report =
+        cloud::run_with_faults(items, *faulty_algo, options);
+
+    EXPECT_EQ(report.faults_injected, 0u);
+    EXPECT_EQ(report.evictions, 0u);
+    EXPECT_TRUE(report.events.empty());
+    EXPECT_EQ(report.completed, items.size());
+
+    // Bit-identical: exact usage, same bins, same per-bin usage periods,
+    // same assignment.
+    EXPECT_EQ(report.packing.total_usage_time(), baseline.total_usage_time())
+        << name;
+    ASSERT_EQ(report.packing.bins_opened(), baseline.bins_opened()) << name;
+    for (std::size_t b = 0; b < baseline.bins_opened(); ++b) {
+      EXPECT_EQ(report.packing.bins()[b].usage, baseline.bins()[b].usage);
+    }
+    for (const auto& item : items) {
+      EXPECT_EQ(report.packing.bin_of(item.id), baseline.bin_of(item.id));
+    }
+  }
+}
+
+TEST(RunWithFaults, ReplayIsDeterministic) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 200;
+  spec.seed = 5;
+  spec.duration_max = 5.0;
+  const ItemList items = workload::generate(spec);
+
+  workload::FaultScheduleSpec schedule;
+  schedule.rate = 0.2;
+  schedule.horizon = items.span();
+  schedule.seed = 11;
+
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = workload::fault_times(schedule);
+  options.victim = cloud::VictimPolicy::kRandom;
+  options.victim_seed = 3;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 0.25, 2.0};
+
+  FirstFit a;
+  FirstFit b;
+  const cloud::FaultyRunReport first = cloud::run_with_faults(items, a, options);
+  const cloud::FaultyRunReport second = cloud::run_with_faults(items, b, options);
+
+  ASSERT_GT(first.evictions, 0u);  // the scenario actually exercises faults
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.billing.total_cost, second.billing.total_cost);
+  EXPECT_EQ(first.billing.total_usage, second.billing.total_usage);
+  EXPECT_EQ(first.packing.total_usage_time(), second.packing.total_usage_time());
+}
+
+// Satellite 4's property test: any random trace x fault schedule x retry
+// policy runs with the auditor attached and conserves every job.
+TEST(RunWithFaults, PropertyAuditedConservationAcrossPolicies) {
+  const cloud::RetryPolicy policies[] = {
+      {cloud::RetryPolicy::Kind::kImmediate, 0, 0.25, 2.0},
+      {cloud::RetryPolicy::Kind::kBackoff, 2, 0.5, 2.0},
+      {cloud::RetryPolicy::Kind::kDrop, 0, 0.25, 2.0},
+  };
+  const cloud::VictimPolicy victims[] = {
+      cloud::VictimPolicy::kRandom, cloud::VictimPolicy::kFullest,
+      cloud::VictimPolicy::kOldest, cloud::VictimPolicy::kYoungest};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 80;
+    spec.seed = seed;
+    spec.duration_max = 4.0;
+    const ItemList items = workload::generate(spec);
+
+    workload::FaultScheduleSpec schedule;
+    schedule.rate = 0.25;
+    schedule.horizon = items.span();
+    schedule.seed = seed * 13 + 1;
+
+    for (const cloud::RetryPolicy& retry : policies) {
+      cloud::FaultyRunOptions options;
+      options.sim.audit = true;  // every event re-checked by the auditor
+      options.fault_schedule = workload::fault_times(schedule);
+      options.victim = victims[seed % 4];
+      options.victim_seed = seed;
+      options.retry = retry;
+
+      FirstFit ff;
+      const cloud::FaultyRunReport report =
+          cloud::run_with_faults(items, ff, options);
+
+      // Conservation: every job completed or was dropped with a reason.
+      EXPECT_EQ(report.completed + report.drops, items.size())
+          << "seed " << seed << " policy "
+          << static_cast<int>(retry.kind);
+      // Each eviction resolved to at most one replacement or drop.
+      EXPECT_LE(report.replacements + report.drops, report.evictions + report.drops);
+      EXPECT_EQ(report.faults_injected + report.faults_idle,
+                report.faults_scheduled);
+    }
+  }
+}
+
+// ---- disruption metrics ----
+
+TEST(Disruption, DerivedMetricsAndValidation) {
+  analysis::DisruptionInputs in;
+  in.jobs = 100;
+  in.faults_injected = 4;
+  in.evictions = 10;
+  in.replacements = 7;
+  in.drops = 3;
+  in.usage = 120.0;
+  in.fault_free_usage = 100.0;
+  in.cost = 130.0;
+  in.fault_free_cost = 104.0;
+  const analysis::DisruptionReport report = analysis::summarize_disruption(in);
+  EXPECT_DOUBLE_EQ(report.loss_rate(), 0.03);
+  EXPECT_DOUBLE_EQ(report.evictions_per_job(), 0.1);
+  EXPECT_DOUBLE_EQ(report.extra_usage(), 20.0);
+  EXPECT_DOUBLE_EQ(report.usage_ratio(), 1.2);
+  EXPECT_DOUBLE_EQ(report.cost_ratio(), 1.25);
+
+  in.replacements = 9;  // 9 + 3 > 10 evictions: inconsistent
+  EXPECT_THROW((void)analysis::summarize_disruption(in), ValidationError);
+  in.replacements = 7;
+  in.usage = -1.0;
+  EXPECT_THROW((void)analysis::summarize_disruption(in), ValidationError);
+}
+
+// ---- JobDispatcher recovery & misuse contract ----
+
+TEST(DispatcherMisuse, DuplicateLiveSubmitThrows) {
+  FirstFit ff;
+  cloud::JobDispatcher dispatcher(ff);
+  dispatcher.submit(1, 0.5, 0.0);
+  EXPECT_THROW(dispatcher.submit(1, 0.3, 1.0), ValidationError);
+  // Completing frees the id for reuse.
+  dispatcher.complete(1, 2.0);
+  EXPECT_NO_THROW(dispatcher.submit(1, 0.3, 3.0));
+}
+
+TEST(DispatcherMisuse, CompleteOfUnknownOrCompletedJobThrows) {
+  FirstFit ff;
+  cloud::JobDispatcher dispatcher(ff);
+  EXPECT_THROW(dispatcher.complete(99, 1.0), ValidationError);
+  dispatcher.submit(1, 0.5, 0.0);
+  dispatcher.complete(1, 2.0);
+  EXPECT_THROW(dispatcher.complete(1, 3.0), ValidationError);
+}
+
+TEST(DispatcherRecovery, FailServerWithImmediateRetryMovesJobs) {
+  FirstFit ff;
+  cloud::DispatcherOptions options;
+  options.retry.kind = cloud::RetryPolicy::Kind::kImmediate;
+  options.billing.granularity = 0.0;
+  cloud::JobDispatcher dispatcher(ff, options);
+  dispatcher.submit(1, 0.5, 0.0);
+  dispatcher.submit(2, 0.4, 1.0);
+  ASSERT_EQ(dispatcher.rented_servers(), 1u);
+
+  const auto outcomes = dispatcher.fail_server(0, 4.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.fate, cloud::RetryScheduler::Fate::kResubmitNow);
+    EXPECT_EQ(outcome.server, 1u);
+  }
+  EXPECT_EQ(dispatcher.jobs_evicted(), 2u);
+  EXPECT_EQ(dispatcher.jobs_replaced(), 2u);
+  EXPECT_EQ(dispatcher.running_jobs(), 2u);
+  EXPECT_EQ(dispatcher.server_of(1), 1u);
+
+  dispatcher.complete(1, 10.0);
+  dispatcher.complete(2, 10.0);
+  const auto report = dispatcher.finish();
+  EXPECT_EQ(report.evictions, 2u);
+  EXPECT_EQ(report.replacements, 2u);
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_DOUBLE_EQ(report.billing.total_usage, 10.0);  // [0,4) + [4,10)
+}
+
+TEST(DispatcherRecovery, BackoffQueuesAndAdvanceToReplaces) {
+  FirstFit ff;
+  cloud::DispatcherOptions options;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 2.0, 2.0};
+  cloud::JobDispatcher dispatcher(ff, options);
+  dispatcher.submit(1, 0.5, 0.0);
+
+  const auto outcomes = dispatcher.fail_server(0, 4.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].fate, cloud::RetryScheduler::Fate::kQueued);
+  EXPECT_DOUBLE_EQ(outcomes[0].retry_at, 6.0);
+  EXPECT_EQ(dispatcher.pending_retries(), 1u);
+  EXPECT_EQ(dispatcher.running_jobs(), 0u);
+
+  EXPECT_TRUE(dispatcher.advance_to(5.0).empty());  // not due yet
+  const auto replaced = dispatcher.advance_to(6.5);
+  ASSERT_EQ(replaced.size(), 1u);
+  EXPECT_EQ(replaced[0].job, 1u);
+  EXPECT_EQ(dispatcher.pending_retries(), 0u);
+  EXPECT_EQ(dispatcher.running_jobs(), 1u);
+
+  dispatcher.complete(1, 8.0);
+  const auto report = dispatcher.finish();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.drops, 0u);
+}
+
+TEST(DispatcherRecovery, CompletingAWaitingJobCancelsItsRetry) {
+  FirstFit ff;
+  cloud::DispatcherOptions options;
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 2.0, 2.0};
+  cloud::JobDispatcher dispatcher(ff, options);
+  dispatcher.submit(1, 0.5, 0.0);
+  (void)dispatcher.fail_server(0, 4.0);
+  ASSERT_EQ(dispatcher.pending_retries(), 1u);
+
+  dispatcher.complete(1, 5.0);  // finishes while waiting: retry cancelled
+  EXPECT_EQ(dispatcher.pending_retries(), 0u);
+  EXPECT_TRUE(dispatcher.advance_to(10.0).empty());
+  const auto report = dispatcher.finish();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_DOUBLE_EQ(report.billing.total_usage, 4.0);  // truncated rental
+}
+
+TEST(DispatcherRecovery, DropPolicyAndFinishExpiry) {
+  FirstFit ff;
+  cloud::DispatcherOptions drop_options;
+  drop_options.retry.kind = cloud::RetryPolicy::Kind::kDrop;
+  cloud::JobDispatcher dropper(ff, drop_options);
+  dropper.submit(1, 0.5, 0.0);
+  const auto outcomes = dropper.fail_server(0, 2.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].fate, cloud::RetryScheduler::Fate::kDropped);
+  EXPECT_EQ(outcomes[0].reason, cloud::DropReason::kPolicy);
+  // The dropped id may be reused.
+  EXPECT_NO_THROW(dropper.submit(1, 0.5, 3.0));
+  dropper.complete(1, 4.0);
+  EXPECT_EQ(dropper.finish().drops, 1u);
+
+  // A retry still pending at finish() is dropped there.
+  FirstFit ff2;
+  cloud::DispatcherOptions backoff_options;
+  backoff_options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 100.0, 2.0};
+  cloud::JobDispatcher waiter(ff2, backoff_options);
+  waiter.submit(7, 0.5, 0.0);
+  (void)waiter.fail_server(0, 1.0);
+  const auto report = waiter.finish();
+  EXPECT_EQ(report.drops, 1u);
+  EXPECT_EQ(report.completed, 0u);
+}
+
+// ---- FleetDispatcher recovery ----
+
+cloud::FleetOptions two_type_fleet() {
+  cloud::FleetOptions options;
+  options.types = {
+      {"small", 0.5, cloud::BillingPolicy{1.0, 0.6}},
+      {"large", 1.0, cloud::BillingPolicy{1.0, 1.0}},
+  };
+  return options;
+}
+
+TEST(FleetRecovery, FailServerReroutesEvictedJobs) {
+  cloud::FleetOptions options = two_type_fleet();
+  options.retry.kind = cloud::RetryPolicy::Kind::kImmediate;
+  cloud::FleetDispatcher fleet(options);
+  fleet.submit(1, 0.4, 0.0);  // routes to "small"
+  fleet.submit(2, 0.3, 0.0);  // a second small server (0.4+0.3 > 0.5)
+  ASSERT_EQ(fleet.rented_servers(), 2u);
+
+  const auto outcomes = fleet.fail_server({0, 0}, 2.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].job, 1u);
+  EXPECT_EQ(outcomes[0].fate, cloud::RetryScheduler::Fate::kResubmitNow);
+  EXPECT_EQ(outcomes[0].server.type, 0u);  // re-routed, still smallest fitting
+  EXPECT_EQ(fleet.jobs_evicted(), 1u);
+  EXPECT_EQ(fleet.running_jobs(), 2u);
+
+  fleet.complete(1, 5.0);
+  fleet.complete(2, 5.0);
+  const auto report = fleet.finish();
+  EXPECT_EQ(report.servers_used(), 3u);  // the crash forced a third rental
+}
+
+TEST(FleetRecovery, QueuedRetryAndMisuseContract) {
+  cloud::FleetOptions options = two_type_fleet();
+  options.retry = {cloud::RetryPolicy::Kind::kBackoff, 3, 1.0, 2.0};
+  cloud::FleetDispatcher fleet(options);
+  fleet.submit(1, 0.4, 0.0);
+  EXPECT_THROW(fleet.submit(1, 0.2, 0.5), ValidationError);  // duplicate live id
+
+  const auto outcomes = fleet.fail_server({0, 0}, 2.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].fate, cloud::RetryScheduler::Fate::kQueued);
+  EXPECT_EQ(fleet.pending_retries(), 1u);
+  EXPECT_THROW(fleet.submit(1, 0.2, 2.5), ValidationError);  // still live (waiting)
+
+  const auto replaced = fleet.advance_to(3.0);
+  ASSERT_EQ(replaced.size(), 1u);
+  EXPECT_EQ(fleet.running_jobs(), 1u);
+  fleet.complete(1, 4.0);
+  EXPECT_THROW(fleet.complete(1, 5.0), ValidationError);  // already completed
+  (void)fleet.finish();
+}
+
+TEST(FleetRecovery, DropPolicyCounts) {
+  cloud::FleetOptions options = two_type_fleet();
+  options.retry.kind = cloud::RetryPolicy::Kind::kDrop;
+  cloud::FleetDispatcher fleet(options);
+  fleet.submit(1, 0.4, 0.0);
+  const auto outcomes = fleet.fail_server({0, 0}, 2.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].reason, cloud::DropReason::kPolicy);
+  EXPECT_EQ(fleet.jobs_dropped(), 1u);
+  EXPECT_EQ(fleet.running_jobs(), 0u);
+  (void)fleet.finish();
+}
+
+// ---- InvariantAuditor ----
+
+TEST(Auditor, AcceptsAConsistentEventStream) {
+  InvariantAuditor auditor(1.0, 1e-9);
+  auditor.on_arrive(1, 0.5, 0, 0.0);
+  auditor.on_arrive(2, 0.4, 0, 1.0);
+  auditor.on_depart(1, 0, 2.0);
+  auditor.on_depart(2, 0, 3.0);
+  auditor.on_bin_closed(0, 3.0);
+  EXPECT_EQ(auditor.items_arrived(), 2u);
+  EXPECT_EQ(auditor.items_completed(), 2u);
+  EXPECT_EQ(auditor.items_evicted(), 0u);
+  EXPECT_GE(auditor.events_checked(), 5u);
+}
+
+TEST(Auditor, DetectsEngineInvariantViolations) {
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    EXPECT_THROW(auditor.on_depart(1, 0, 0.0), AuditError);  // unknown item
+  }
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    auditor.on_arrive(1, 0.5, 0, 0.0);
+    EXPECT_THROW(auditor.on_arrive(1, 0.5, 1, 1.0), AuditError);  // duplicate id
+  }
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    auditor.on_arrive(1, 0.6, 0, 0.0);
+    EXPECT_THROW(auditor.on_arrive(2, 0.6, 0, 1.0), AuditError);  // overflow
+  }
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    auditor.on_arrive(1, 0.5, 0, 0.0);
+    EXPECT_THROW(auditor.on_arrive(2, 0.4, 5, 1.0), AuditError);  // bad new bin
+  }
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    auditor.on_arrive(1, 0.5, 0, 0.0);
+    EXPECT_THROW(auditor.on_bin_closed(0, 1.0), AuditError);  // closes non-empty
+  }
+  {
+    InvariantAuditor auditor(1.0, 1e-9);
+    auditor.on_arrive(1, 0.5, 0, 0.0);
+    auditor.on_depart(1, 0, 1.0);
+    auditor.on_bin_closed(0, 1.0);
+    EXPECT_THROW(auditor.on_arrive(2, 0.4, 0, 2.0), AuditError);  // reopen
+  }
+}
+
+TEST(Auditor, AttachesViaSimulationOptions) {
+  FirstFit ff;
+  SimulationOptions options;
+  options.audit = true;
+  Simulation sim(ff, options);
+  EXPECT_TRUE(sim.auditing());
+
+  sim.arrive(1, 0.5, 0.0);
+  sim.arrive(2, 0.4, 1.0);
+  (void)sim.force_close_bin(0, 2.0);
+  sim.arrive(1, 0.5, 3.0);
+  sim.depart(1, 4.0);
+  const PackingResult result = sim.finish();  // telescoping check passes
+  EXPECT_EQ(result.bins_opened(), 2u);
+
+  FirstFit ff2;
+  Simulation plain(ff2);
+  EXPECT_EQ(plain.auditing(), audit_enabled_by_env());
+}
+
+TEST(Auditor, AuditedSimulationMatchesUnauditedExactly) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 150;
+  spec.seed = 21;
+  const ItemList items = workload::generate(spec);
+
+  FirstFit plain_algo;
+  const PackingResult plain = simulate(items, plain_algo);
+
+  FirstFit audited_algo;
+  SimulationOptions options;
+  options.audit = true;
+  const PackingResult audited = simulate(items, audited_algo, options);
+
+  EXPECT_EQ(plain.total_usage_time(), audited.total_usage_time());
+  EXPECT_EQ(plain.bins_opened(), audited.bins_opened());
+}
+
+}  // namespace
+}  // namespace mutdbp
