@@ -3,27 +3,91 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workload/generators.h"
 
 namespace mutdbp::bench {
 
+/// Optional telemetry export for any binary with a Flags parser: registers
+/// --metrics <file> (Prometheus text, or a JSON dump when the file ends in
+/// .json) and --trace-out <file> (Chrome trace-event JSON, or CSV when it
+/// ends in .csv). Passing either flag enables the process-global Telemetry
+/// — every Simulation built afterwards is instrumented, no per-bench
+/// plumbing — and the files are written by write() or on destruction
+/// (see docs/observability.md).
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(Flags& flags) {
+    metrics_path_ = flags.get_string(
+        "metrics", "", "write metrics to this file (.json: JSON, else Prometheus)");
+    trace_path_ = flags.get_string(
+        "trace-out", "", "write the event trace to this file (.csv: CSV, else "
+                         "Chrome trace JSON)");
+    if (enabled()) telemetry::Telemetry::enable_global();
+  }
+
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !metrics_path_.empty() || !trace_path_.empty();
+  }
+
+  /// Writes the requested export files (idempotent; also runs at
+  /// destruction so a bench only has to keep the sink alive).
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const telemetry::Telemetry& telemetry = telemetry::Telemetry::global();
+    if (!metrics_path_.empty()) {
+      telemetry::write_metrics_file(metrics_path_, telemetry);
+      std::printf("[metrics written to %s]\n", metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+      telemetry::write_trace_file(trace_path_, telemetry);
+      std::printf("[trace written to %s]\n", trace_path_.c_str());
+    }
+  }
+
+  ~TelemetrySink() {
+    try {
+      write();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "TelemetrySink: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool written_ = false;
+};
+
 /// Optional machine-readable output: every experiment bench accepts
-/// --csv_dir <dir> and then writes each printed table as <dir>/<name>.csv.
+/// --csv_dir <dir> and then writes each printed table as <dir>/<name>.csv
+/// (the directory is created if missing). Also carries the shared telemetry
+/// flags (--metrics / --trace-out, see TelemetrySink), so every bench that
+/// constructs a CsvExporter exports telemetry for free.
 class CsvExporter {
  public:
   CsvExporter(int argc, const char* const* argv) {
     Flags flags(argc, argv);
     dir_ = flags.get_string("csv_dir", "",
                             "directory to also write result tables as CSV");
+    telemetry_ = std::make_unique<TelemetrySink>(flags);
     if (flags.finish("Experiment bench; prints tables, see DESIGN.md SS7")) {
       std::exit(0);
     }
+    if (enabled()) std::filesystem::create_directories(dir_);
   }
 
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
@@ -39,6 +103,7 @@ class CsvExporter {
 
  private:
   std::string dir_;
+  std::unique_ptr<TelemetrySink> telemetry_;  ///< writes exports at exit
 };
 
 /// Canonical random workload for a µ sweep: Poisson arrivals, uniform sizes,

@@ -5,6 +5,7 @@
 // reliable); this is the robustness companion to E10 — the fault-free row
 // of every curve reproduces the reliable-model numbers exactly.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
       "seeds", smoke ? 2 : 5, "random seeds averaged per (algorithm, rate) cell");
   const std::string csv_dir =
       flags.get_string("csv_dir", "", "directory to also write result tables as CSV");
+  bench::TelemetrySink telemetry_sink(flags);
   if (flags.finish("E-F: FF/BF/NF cost degradation under server failures")) {
     return 0;
   }
@@ -197,6 +199,7 @@ int main(int argc, char** argv) {
               "ran out.\n");
 
   if (!csv_dir.empty()) {
+    std::filesystem::create_directories(csv_dir);
     const auto export_table = [&](const std::string& name, const Table& t) {
       const std::string path = csv_dir + "/" + name + ".csv";
       std::ofstream out(path);

@@ -8,10 +8,20 @@
 // --audit attaches the InvariantAuditor (core/auditor.h) to the replay: the
 // whole run is re-checked event by event against a shadow model and any
 // engine-invariant violation aborts with an AuditError diagnosis.
+//
+// --metrics <file> / --trace-out <file> attach a Telemetry sink
+// (telemetry/telemetry.h) and export it after the replay: Prometheus text
+// (or JSON when the metrics file ends in .json) and Chrome trace JSON (or
+// CSV when the trace file ends in .csv). The exported counters are
+// cross-checked against the evaluation itself — a mismatch exits non-zero.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "algorithms/registry.h"
 #include "analysis/report.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "util/flags.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -28,6 +38,11 @@ int main(int argc, char** argv) {
       flags.get_string("save", "demo_trace.csv", "where to save the demo trace");
   const bool audit = flags.get_bool(
       "audit", false, "re-check engine invariants after every replayed event");
+  const std::string metrics_path = flags.get_string(
+      "metrics", "", "write metrics to this file (.json: JSON, else Prometheus)");
+  const std::string trace_out_path = flags.get_string(
+      "trace-out", "",
+      "write the event trace to this file (.csv: CSV, else Chrome trace JSON)");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
 
   ItemList items;
@@ -49,6 +64,9 @@ int main(int argc, char** argv) {
   analysis::EvalOptions options;
   options.exact_opt = items.size() <= 600;  // integral is cheap enough here
   options.sim.audit = audit;
+  const bool want_telemetry = !metrics_path.empty() || !trace_out_path.empty();
+  telemetry::Telemetry telemetry;
+  if (want_telemetry) options.sim.telemetry = &telemetry;
   const analysis::Evaluation eval = analysis::evaluate(items, *algorithm, options);
 
   if (audit) std::printf("auditor: every event re-checked, zero violations\n");
@@ -62,5 +80,42 @@ int main(int argc, char** argv) {
               eval.opt_exact ? " (tight)" : "");
   std::printf("achieved ratio:   <= %.3f (First Fit guarantee: mu+4 = %.3f)\n",
               eval.ratio_upper_estimate(), eval.mu + 4.0);
+
+  if (want_telemetry) {
+    // Cross-check: the exported counters must agree with the evaluation the
+    // replay just computed. Bin counts are integers and must match exactly;
+    // the usage-time histogram sums per-bin lengths in close order, so it is
+    // compared with a tiny relative tolerance.
+    const telemetry::MetricsSnapshot snap = telemetry.metrics().snapshot();
+    const auto* bins_opened = snap.find_counter("mutdbp_bins_opened_total");
+    const auto* bins_closed = snap.find_counter("mutdbp_bins_closed_total");
+    const auto* placed = snap.find_counter("mutdbp_items_placed_total");
+    const auto* usage = snap.find_histogram("mutdbp_bin_usage_time");
+    bool ok = bins_opened != nullptr && bins_closed != nullptr &&
+              placed != nullptr && usage != nullptr;
+    if (ok && bins_opened->value != eval.bins_opened) ok = false;
+    if (ok && bins_closed->value != eval.bins_opened) ok = false;
+    if (ok && placed->value != items.size()) ok = false;
+    if (ok && usage->count != eval.bins_opened) ok = false;
+    if (ok && std::abs(usage->sum - eval.total_usage) >
+                  1e-9 * std::max(1.0, eval.total_usage)) {
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "telemetry cross-check FAILED: exported counters disagree "
+                   "with the evaluation\n");
+      return 1;
+    }
+    std::printf("telemetry: counters cross-checked against the evaluation\n");
+    if (!metrics_path.empty()) {
+      telemetry::write_metrics_file(metrics_path, telemetry);
+      std::printf("[metrics written to %s]\n", metrics_path.c_str());
+    }
+    if (!trace_out_path.empty()) {
+      telemetry::write_trace_file(trace_out_path, telemetry);
+      std::printf("[trace written to %s]\n", trace_out_path.c_str());
+    }
+  }
   return 0;
 }

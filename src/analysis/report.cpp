@@ -1,8 +1,10 @@
 #include "analysis/report.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "opt/lower_bounds.h"
+#include "util/stats.h"
 
 namespace mutdbp::analysis {
 
@@ -17,6 +19,16 @@ Evaluation evaluate(const ItemList& items, PackingAlgorithm& algorithm,
   eval.bins_opened = result.bins_opened();
   eval.max_concurrent = result.max_concurrent_bins();
   eval.average_utilization = result.average_utilization();
+  if (!result.bins().empty()) {
+    std::vector<double> usage_times;
+    usage_times.reserve(result.bins().size());
+    for (const BinRecord& bin : result.bins()) {
+      usage_times.push_back(bin.usage_time());
+    }
+    eval.usage_p50 = p50(usage_times);
+    eval.usage_p90 = p90(usage_times);
+    eval.usage_p99 = p99(std::move(usage_times));
+  }
 
   eval.opt_lower = opt::combined_lower_bound(items);
   // OPT can never cost more than any online algorithm's packing.

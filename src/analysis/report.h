@@ -26,6 +26,12 @@ struct Evaluation {
   double average_utilization = 0.0;
   double mu = 1.0;
 
+  /// Quantiles of the per-bin usage-period lengths (0 when no bins opened):
+  /// how skewed the rental durations are, not just their sum.
+  double usage_p50 = 0.0;
+  double usage_p90 = 0.0;
+  double usage_p99 = 0.0;
+
   double opt_lower = 0.0;  ///< proven lower bound on OPT_total
   double opt_upper = 0.0;  ///< proven upper bound on OPT_total
   bool opt_exact = false;  ///< opt_lower == opt_upper

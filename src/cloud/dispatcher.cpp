@@ -3,22 +3,29 @@
 #include <string>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace mutdbp::cloud {
 
 JobDispatcher::JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options)
     : options_(options),
       sim_(algorithm, SimulationOptions{options.capacity, options.fit_epsilon,
-                                        /*record_timelines=*/true, options.audit}),
+                                        /*record_timelines=*/true, options.audit,
+                                        options.telemetry}),
+      telemetry_(sim_.telemetry()),
       retries_(options.retry) {}
 
 ServerId JobDispatcher::submit(JobId job, double demand, Time now) {
+  telemetry::ScopedTimer timer(
+      telemetry_ ? &telemetry_->profiler() : nullptr,
+      telemetry_ ? telemetry_->handles().dispatcher_submit : telemetry::SectionHandle{});
   if (live_.count(job) != 0) {
     throw ValidationError("JobDispatcher: submit(" + std::to_string(job) +
                           "): job id is already live");
   }
   const ServerId server = sim_.arrive(job, demand, now);
   live_.emplace(job, LiveJob{Phase::kRunning, demand, 0});
+  if (telemetry_) telemetry_->on_job_submitted(job, now);
   return server;
 }
 
@@ -38,10 +45,15 @@ void JobDispatcher::complete(JobId job, Time now) {
   }
   live_.erase(it);
   ++completed_;
+  if (telemetry_) telemetry_->on_job_completed(job, now);
 }
 
 std::vector<EvictionOutcome> JobDispatcher::fail_server(ServerId server, Time now) {
+  telemetry::ScopedTimer timer(telemetry_ ? &telemetry_->profiler() : nullptr,
+                               telemetry_ ? telemetry_->handles().dispatcher_fail_server
+                                          : telemetry::SectionHandle{});
   std::vector<EvictionOutcome> outcomes;
+  if (telemetry_) telemetry_->on_fault(/*hit_rented_server=*/true, server, now);
   for (const EvictedItem& victim : sim_.force_close_bin(server, now)) {
     LiveJob& job = live_.at(victim.id);
     ++evictions_;
@@ -53,16 +65,19 @@ std::vector<EvictionOutcome> JobDispatcher::fail_server(ServerId server, Time no
       case RetryScheduler::Fate::kResubmitNow:
         outcome.server = sim_.arrive(victim.id, victim.size, now);
         ++replacements_;
+        if (telemetry_) telemetry_->on_job_replaced(victim.id, outcome.server, now);
         break;
       case RetryScheduler::Fate::kQueued:
         job.phase = Phase::kWaiting;
         retries_.schedule(victim.id, victim.size, decision.retry_at);
         outcome.retry_at = decision.retry_at;
+        if (telemetry_) telemetry_->on_retry_scheduled(victim.id, decision.retry_at);
         break;
       case RetryScheduler::Fate::kDropped:
         outcome.reason = decision.reason;
         live_.erase(victim.id);
         ++drops_;
+        if (telemetry_) telemetry_->on_job_dropped(victim.id, now);
         break;
     }
     outcomes.push_back(outcome);
@@ -80,6 +95,7 @@ std::vector<EvictionOutcome> JobDispatcher::advance_to(Time now) {
     outcome.server = sim_.arrive(due.job, due.size, now);
     job.phase = Phase::kRunning;
     ++replacements_;
+    if (telemetry_) telemetry_->on_job_replaced(due.job, outcome.server, now);
     outcomes.push_back(outcome);
   }
   return outcomes;
@@ -97,6 +113,7 @@ JobDispatcher::Report JobDispatcher::finish() {
     retries_.cancel(job);
     live_.erase(job);
     ++drops_;
+    if (telemetry_) telemetry_->on_job_dropped(job, sim_.now());
   }
   Report report{sim_.finish(), {}, evictions_, replacements_, drops_, completed_};
   report.billing = bill(report.packing, options_.billing);

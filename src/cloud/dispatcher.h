@@ -40,6 +40,9 @@ struct DispatcherOptions {
   RetryPolicy retry{};
   /// Attach the invariant auditor to the underlying simulation.
   bool audit = false;
+  /// Attach a telemetry sink (forwarded into the underlying simulation;
+  /// MUTDBP_METRICS=1 attaches the process-global instance instead).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class JobDispatcher {
@@ -104,6 +107,7 @@ class JobDispatcher {
 
   DispatcherOptions options_;
   Simulation sim_;
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< mirrors sim_.telemetry()
   RetryScheduler retries_;
   std::unordered_map<JobId, LiveJob> live_;
   std::size_t evictions_ = 0;

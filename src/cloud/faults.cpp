@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace mutdbp::cloud {
@@ -156,6 +157,10 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
 
   Simulation sim(algorithm, sim_options);
   sim.reserve(items.size());
+  telemetry::Telemetry* tel = sim.telemetry();
+  telemetry::ScopedTimer replay_timer(
+      tel ? &tel->profiler() : nullptr,
+      tel ? tel->handles().faults_replay : telemetry::SectionHandle{});
   FaultInjector injector(options.victim, options.victim_seed);
   RetryScheduler retries(options.retry);
 
@@ -175,11 +180,13 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
     ++report.replacements;
     report.events.push_back(
         {DisruptionEvent::Kind::kReplacement, t, job, target, DropReason::kNone});
+    if (tel) tel->on_job_replaced(job, target, t);
   };
   const auto drop = [&](JobId job, Time t, DropReason reason) {
     state[job] = JobState::kDropped;
     ++report.drops;
     report.events.push_back({DisruptionEvent::Kind::kDrop, t, job, 0, reason});
+    if (tel) tel->on_job_dropped(job, t);
   };
   const auto handle_eviction = [&](const EvictedItem& victim, ServerId server,
                                    Time t) {
@@ -200,6 +207,7 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
         } else {
           state[victim.id] = JobState::kWaiting;
           retries.schedule(victim.id, victim.size, decision.retry_at);
+          if (tel) tel->on_retry_scheduled(victim.id, decision.retry_at);
         }
         break;
       }
@@ -244,9 +252,11 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
       const std::optional<ServerId> victim_server = injector.pick_victim(sim);
       if (!victim_server) {
         ++report.faults_idle;  // fault hit an idle fleet: no server rented
+        if (tel) tel->on_fault(/*hit_rented_server=*/false, 0, t);
         continue;
       }
       ++report.faults_injected;
+      if (tel) tel->on_fault(/*hit_rented_server=*/true, *victim_server, t);
       const std::vector<EvictedItem> evicted = sim.force_close_bin(*victim_server, t);
       for (const EvictedItem& victim : evicted) {
         handle_eviction(victim, *victim_server, t);
@@ -260,10 +270,12 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
       if (event.is_arrival) {
         sim.arrive(event.id, event.size, event.t);
         state[event.id] = JobState::kRunning;
+        if (tel) tel->on_job_submitted(event.id, event.t);
       } else if (state[event.id] == JobState::kRunning) {
         sim.depart(event.id, event.t);
         state[event.id] = JobState::kCompleted;
         ++report.completed;
+        if (tel) tel->on_job_completed(event.id, event.t);
       }
       // else: the job was dropped after an eviction — its (truncated)
       // activity interval is already closed, so the departure is a no-op.

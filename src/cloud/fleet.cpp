@@ -1,18 +1,36 @@
 #include "cloud/fleet.h"
 
+#include <algorithm>
 #include <limits>
 #include <string>
 
 #include "algorithms/registry.h"
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace mutdbp::cloud {
+
+namespace {
+
+// Metric-name-safe type label: anything outside [a-zA-Z0-9_] becomes '_'.
+std::string sanitize_metric_label(const std::string& name) {
+  std::string out = name.empty() ? std::string("unnamed") : name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 FleetDispatcher::FleetDispatcher(FleetOptions options)
     : options_(std::move(options)), retries_(options_.retry) {
   if (options_.types.empty()) {
     throw ValidationError("FleetDispatcher: no server types");
   }
+  telemetry_ = telemetry::Telemetry::resolve(options_.telemetry);
   for (const auto& type : options_.types) {
     if (!(type.capacity > 0.0)) {
       throw ValidationError("FleetDispatcher: type '" + type.name +
@@ -24,7 +42,15 @@ FleetDispatcher::FleetDispatcher(FleetOptions options)
     sim.capacity = type.capacity;
     sim.fit_epsilon = options_.fit_epsilon;
     sim.audit = options_.audit;
+    sim.telemetry = telemetry_;
     simulations_.push_back(std::make_unique<Simulation>(*algorithms_.back(), sim));
+    if (telemetry_) {
+      routed_.push_back(telemetry_->metrics().counter(
+          "mutdbp_fleet_routed_" + sanitize_metric_label(type.name) + "_total",
+          "jobs routed to server type '" + type.name + "'"));
+    } else {
+      routed_.push_back({});
+    }
   }
 }
 
@@ -58,6 +84,7 @@ std::size_t FleetDispatcher::route(double demand) const {
 FleetServerId FleetDispatcher::place(JobId job, double demand, Time now) {
   const std::size_t type = route(demand);
   const BinIndex server = simulations_[type]->arrive(job, demand, now);
+  if (telemetry_) telemetry_->metrics().add(routed_[type]);
   return {type, server};
 }
 
@@ -68,6 +95,7 @@ FleetServerId FleetDispatcher::submit(JobId job, double demand, Time now) {
   }
   const FleetServerId home = place(job, demand, now);
   live_.emplace(job, LiveJob{Phase::kRunning, home.type, demand, 0});
+  if (telemetry_) telemetry_->on_job_submitted(job, now);
   return home;
 }
 
@@ -84,6 +112,7 @@ void FleetDispatcher::complete(JobId job, Time now) {
     retries_.cancel(job);
   }
   live_.erase(it);
+  if (telemetry_) telemetry_->on_job_completed(job, now);
 }
 
 std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::fail_server(
@@ -93,6 +122,9 @@ std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::fail_server(
                           std::to_string(server.type));
   }
   std::vector<FleetEvictionOutcome> outcomes;
+  if (telemetry_) {
+    telemetry_->on_fault(/*hit_rented_server=*/true, server.server, now);
+  }
   for (const EvictedItem& victim :
        simulations_[server.type]->force_close_bin(server.server, now)) {
     LiveJob& job = live_.at(victim.id);
@@ -105,16 +137,21 @@ std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::fail_server(
       case RetryScheduler::Fate::kResubmitNow:
         outcome.server = place(victim.id, victim.size, now);
         job.type = outcome.server.type;
+        if (telemetry_) {
+          telemetry_->on_job_replaced(victim.id, outcome.server.server, now);
+        }
         break;
       case RetryScheduler::Fate::kQueued:
         job.phase = Phase::kWaiting;
         retries_.schedule(victim.id, victim.size, decision.retry_at);
         outcome.retry_at = decision.retry_at;
+        if (telemetry_) telemetry_->on_retry_scheduled(victim.id, decision.retry_at);
         break;
       case RetryScheduler::Fate::kDropped:
         outcome.reason = decision.reason;
         live_.erase(victim.id);
         ++drops_;
+        if (telemetry_) telemetry_->on_job_dropped(victim.id, now);
         break;
     }
     outcomes.push_back(outcome);
@@ -133,6 +170,7 @@ std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::advance_to(
     outcome.server = place(due.job, due.size, now);
     job.phase = Phase::kRunning;
     job.type = outcome.server.type;
+    if (telemetry_) telemetry_->on_job_replaced(due.job, outcome.server.server, now);
     outcomes.push_back(outcome);
   }
   return outcomes;
@@ -156,10 +194,13 @@ FleetDispatcher::Report FleetDispatcher::finish() {
   for (const auto& [job, state] : live_) {
     if (state.phase == Phase::kWaiting) expired.push_back(job);
   }
+  Time end = 0.0;
+  for (const auto& sim : simulations_) end = std::max(end, sim->now());
   for (const JobId job : expired) {
     retries_.cancel(job);
     live_.erase(job);
     ++drops_;
+    if (telemetry_) telemetry_->on_job_dropped(job, end);
   }
   Report report;
   for (std::size_t t = 0; t < simulations_.size(); ++t) {

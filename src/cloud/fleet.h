@@ -13,6 +13,7 @@
 #include "cloud/dispatcher.h"
 #include "cloud/faults.h"
 #include "core/simulation.h"
+#include "telemetry/metrics.h"
 
 namespace mutdbp::cloud {
 
@@ -41,6 +42,12 @@ struct FleetOptions {
   RetryPolicy retry{};
   /// Attach the invariant auditor to every per-type simulation.
   bool audit = false;
+  /// Attach a telemetry sink (forwarded into every per-type simulation;
+  /// MUTDBP_METRICS=1 attaches the process-global instance instead). The
+  /// fleet additionally registers one routing counter per type,
+  /// mutdbp_fleet_routed_<type>_total, with the type name sanitized to
+  /// [a-zA-Z0-9_].
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct FleetServerId {
@@ -112,6 +119,8 @@ class FleetDispatcher {
   FleetOptions options_;
   std::vector<std::unique_ptr<PackingAlgorithm>> algorithms_;
   std::vector<std::unique_ptr<Simulation>> simulations_;
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< shared by all per-type sims
+  std::vector<telemetry::CounterHandle> routed_;  ///< per-type routing counters
   std::unordered_map<JobId, LiveJob> live_;
   RetryScheduler retries_;
   std::size_t evictions_ = 0;

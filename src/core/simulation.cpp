@@ -7,6 +7,7 @@
 
 #include "core/auditor.h"
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace mutdbp {
 
@@ -24,6 +25,7 @@ Simulation::Simulation(PackingAlgorithm& algorithm, SimulationOptions options)
     auditor_ = std::make_unique<InvariantAuditor>(options_.capacity,
                                                   options_.fit_epsilon);
   }
+  telemetry_ = telemetry::Telemetry::resolve(options_.telemetry);
   algorithm_.on_simulation_begin(options_.capacity, options_.fit_epsilon);
 }
 
@@ -134,6 +136,10 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
         {target, {id, size, {t, std::numeric_limits<double>::infinity()}}});
     record_level(bin, t);
     algorithm_.on_item_placed(target, view, bin.level);
+    if (telemetry_) {
+      telemetry_->on_item_placed(id, size, target, bin.level, options_.capacity, t,
+                                 /*opened_new_bin=*/false, open_count_);
+    }
   } else {
     target = bins_.size();
     BinState bin;
@@ -159,6 +165,10 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     record_level(bins_.back(), t);
     algorithm_.on_bin_opened(target, view);
     max_concurrent_ = std::max(max_concurrent_, open_count_);
+    if (telemetry_) {
+      telemetry_->on_item_placed(id, size, target, size, options_.capacity, t,
+                                 /*opened_new_bin=*/true, open_count_);
+    }
   }
   if (auditor_) auditor_->on_arrive(id, size, target, t);
   return target;
@@ -183,6 +193,7 @@ void Simulation::close_bin(BinState& bin, Time t) {
   --open_count_;
   algorithm_.on_bin_closed(bin.index, t);
   if (auditor_) auditor_->on_bin_closed(bin.index, t);
+  if (telemetry_) telemetry_->on_bin_closed(bin.index, bin.open_time, t, open_count_);
 }
 
 void Simulation::depart(ItemId id, Time t) {
@@ -202,6 +213,7 @@ void Simulation::depart(ItemId id, Time t) {
   record_level(bin, t);
   algorithm_.on_item_departed(ref.bin, ref.size, bin.level, t);
   if (auditor_) auditor_->on_depart(id, ref.bin, t);
+  if (telemetry_) telemetry_->on_item_departed(id, ref.bin, bin.level, t);
 
   if (bin.active_count == 0) close_bin(bin, t);
 }
@@ -244,6 +256,7 @@ std::vector<EvictedItem> Simulation::force_close_bin(BinIndex bin_index, Time t)
     // (CapacityTree, NextFit) track the crash like any other departure.
     algorithm_.on_item_departed(bin_index, ref.size, bin.level, t);
     if (auditor_) auditor_->on_evict(id, bin_index, t);
+    if (telemetry_) telemetry_->on_item_evicted(id, ref.size, bin_index, t);
   }
   record_level(bin, t);
   close_bin(bin, t);
@@ -291,15 +304,23 @@ PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
   Simulation sim(algorithm, options);
   sim.reserve(items.size());
 
-  // Event schedule: precomputed and cached by the ItemList (time-ordered,
-  // departures before arrivals at equal times, id order within a kind).
-  for (const ScheduledEvent& event : items.schedule()) {
-    if (event.is_arrival) {
-      sim.arrive(event.id, event.size, event.t);
-    } else {
-      sim.depart(event.id, event.t);
+  telemetry::Telemetry* tel = sim.telemetry();
+  telemetry::Profiler* prof = tel ? &tel->profiler() : nullptr;
+  {
+    telemetry::ScopedTimer timer(
+        prof, tel ? tel->handles().simulate_events : telemetry::SectionHandle{});
+    // Event schedule: precomputed and cached by the ItemList (time-ordered,
+    // departures before arrivals at equal times, id order within a kind).
+    for (const ScheduledEvent& event : items.schedule()) {
+      if (event.is_arrival) {
+        sim.arrive(event.id, event.size, event.t);
+      } else {
+        sim.depart(event.id, event.t);
+      }
     }
   }
+  telemetry::ScopedTimer timer(
+      prof, tel ? tel->handles().simulate_finish : telemetry::SectionHandle{});
   return sim.finish();
 }
 

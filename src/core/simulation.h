@@ -31,6 +31,10 @@ namespace mutdbp {
 
 class InvariantAuditor;
 
+namespace telemetry {
+class Telemetry;
+}  // namespace telemetry
+
 struct SimulationOptions {
   /// Bin capacity. For simulate(), the default 1.0 means "inherit the
   /// ItemList's capacity"; an explicitly different value that contradicts
@@ -42,6 +46,12 @@ struct SimulationOptions {
   /// after every event (see core/auditor.h). Independently of this flag,
   /// exporting MUTDBP_AUDIT=1 audits every Simulation in the process.
   bool audit = false;
+  /// Attach a telemetry sink (metrics + decision trace, see
+  /// telemetry/telemetry.h and docs/observability.md). Independently of
+  /// this pointer, exporting MUTDBP_METRICS=1 attaches the process-global
+  /// Telemetry to every Simulation. When neither is set the engine's hot
+  /// path pays one null check per event and nothing else.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One item removed by Simulation::force_close_bin, in arrival order.
@@ -90,6 +100,11 @@ class Simulation {
   /// True when an InvariantAuditor is attached (options.audit or
   /// MUTDBP_AUDIT, see core/auditor.h).
   [[nodiscard]] bool auditing() const noexcept { return auditor_ != nullptr; }
+  /// The attached telemetry sink (options.telemetry or the process-global
+  /// instance under MUTDBP_METRICS), or null when telemetry is off.
+  [[nodiscard]] telemetry::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
 
   /// Snapshots of currently open bins, sorted by bin index (what a
   /// snapshot-based packing algorithm sees).
@@ -157,6 +172,7 @@ class Simulation {
   std::size_t max_concurrent_ = 0;
   bool finished_ = false;
   std::unique_ptr<InvariantAuditor> auditor_;  ///< null unless auditing
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< null unless attached
 };
 
 /// Runs the whole item list through `algorithm` (which is reset() first).

@@ -1,0 +1,200 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace mutdbp::telemetry {
+
+namespace {
+
+// Shortest round-trip double formatting; Prometheus wants plain decimal or
+// scientific, JSON additionally forbids Inf/NaN literals.
+std::string fmt_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string fmt_json_double(double value) {
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  return fmt_double(value);
+}
+
+// Escape a metric help string / JSON string (both need \\ and the quote;
+// Prometheus help additionally escapes newlines).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_help_type(std::ostream& os, const std::string& name,
+                     const std::string& help, const char* type) {
+  if (!help.empty()) os << "# HELP " << name << ' ' << escape(help) << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    write_help_type(os, c.name, c.help, "counter");
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    write_help_type(os, g.name, g.help, "gauge");
+    os << g.name << ' ' << fmt_double(g.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    write_help_type(os, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      cumulative += h.counts[b];
+      os << h.name << "_bucket{le=\"" << fmt_double(h.upper_bounds[b]) << "\"} "
+         << cumulative << '\n';
+    }
+    cumulative += h.counts.back();
+    os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << h.name << "_sum " << fmt_double(h.sum) << '\n';
+    os << h.name << "_count " << h.count << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(c.name) << "\":" << c.value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(g.name) << "\":" << fmt_json_double(g.value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(h.name) << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      if (b > 0) os << ',';
+      os << fmt_json_double(h.upper_bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) os << ',';
+      os << h.counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << fmt_json_double(h.sum)
+       << ",\"min\":" << fmt_json_double(h.count ? h.min : 0.0)
+       << ",\"max\":" << fmt_json_double(h.count ? h.max : 0.0)
+       << ",\"p50\":" << fmt_json_double(h.count ? h.quantile(0.50) : 0.0)
+       << ",\"p90\":" << fmt_json_double(h.count ? h.quantile(0.90) : 0.0)
+       << ",\"p99\":" << fmt_json_double(h.count ? h.quantile(0.99) : 0.0) << '}';
+  }
+  os << "}}";
+}
+
+namespace {
+
+// The bare {"section": {...}} object, shared by write_profiler_json and the
+// combined metrics-file writer.
+void write_profiler_object(std::ostream& os,
+                           const std::vector<Profiler::SectionStats>& stats) {
+  os << '{';
+  bool first = true;
+  for (const auto& s : stats) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(s.name) << "\":{\"calls\":" << s.calls
+       << ",\"total_ns\":" << s.total_ns << ",\"max_ns\":" << s.max_ns
+       << ",\"mean_ns\":" << fmt_json_double(s.mean_ns()) << '}';
+  }
+  os << '}';
+}
+
+[[nodiscard]] bool ends_with_suffix(const std::string& path, const char* suffix) {
+  return std::string_view(path).ends_with(suffix);
+}
+
+}  // namespace
+
+void write_profiler_json(std::ostream& os,
+                         const std::vector<Profiler::SectionStats>& stats) {
+  os << "{\"profiler\":";
+  write_profiler_object(os, stats);
+  os << '}';
+}
+
+void write_profiler_prometheus(std::ostream& os,
+                               const std::vector<Profiler::SectionStats>& stats) {
+  if (stats.empty()) return;
+  os << "# TYPE mutdbp_profile_total_ns gauge\n";
+  for (const auto& s : stats) {
+    os << "mutdbp_profile_total_ns{section=\"" << escape(s.name) << "\"} "
+       << s.total_ns << '\n';
+  }
+  os << "# TYPE mutdbp_profile_calls gauge\n";
+  for (const auto& s : stats) {
+    os << "mutdbp_profile_calls{section=\"" << escape(s.name) << "\"} " << s.calls
+       << '\n';
+  }
+  os << "# TYPE mutdbp_profile_max_ns gauge\n";
+  for (const auto& s : stats) {
+    os << "mutdbp_profile_max_ns{section=\"" << escape(s.name) << "\"} " << s.max_ns
+       << '\n';
+  }
+}
+
+void write_metrics_file(const std::string& path, const Telemetry& telemetry) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_metrics_file: cannot open " + path);
+  const MetricsSnapshot snapshot = telemetry.metrics().snapshot();
+  const std::vector<Profiler::SectionStats> sections = telemetry.profiler().stats();
+  if (ends_with_suffix(path, ".json")) {
+    out << "{\"metrics\":";
+    write_json(out, snapshot);
+    out << ",\"profiler\":";
+    write_profiler_object(out, sections);
+    out << "}\n";
+  } else {
+    write_prometheus(out, snapshot);
+    write_profiler_prometheus(out, sections);
+  }
+  if (!out) throw std::runtime_error("write_metrics_file: write failed: " + path);
+}
+
+void write_trace_file(const std::string& path, const Telemetry& telemetry) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  if (ends_with_suffix(path, ".csv")) {
+    telemetry.tracer().write_csv(out);
+  } else {
+    telemetry.tracer().write_chrome_json(out);
+  }
+  if (!out) throw std::runtime_error("write_trace_file: write failed: " + path);
+}
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,48 @@
+// Exporters for telemetry state: Prometheus text exposition format 0.0.4
+// (what a /metrics endpoint or node_exporter textfile collector ingests)
+// and a JSON dump (for ad-hoc scripts and the CI smoke gate).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+
+namespace mutdbp::telemetry {
+
+/// Prometheus text exposition. Histograms are written with cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`, counters with their
+/// registered name (use a `_total` suffix by convention), gauges verbatim.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+/// Histogram entries carry bounds, per-bucket (non-cumulative) counts, sum,
+/// count, min, max and the p50/p90/p99 estimates.
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Appends a "profiler" JSON object (per-section calls/total/mean/max ns).
+void write_profiler_json(std::ostream& os,
+                         const std::vector<Profiler::SectionStats>& stats);
+
+/// Prometheus gauges for profiler sections (total/calls/max per section,
+/// section name as a label).
+void write_profiler_prometheus(std::ostream& os,
+                               const std::vector<Profiler::SectionStats>& stats);
+
+class Telemetry;
+
+/// Writes a Telemetry's metrics and profiler state to `path`: a JSON
+/// document {"metrics": ..., "profiler": ...} when the path ends in
+/// ".json", Prometheus text (metrics then profiler gauges) otherwise.
+/// Throws std::runtime_error when the file cannot be written. This is what
+/// the --metrics flag of trace_replay and the benches calls.
+void write_metrics_file(const std::string& path, const Telemetry& telemetry);
+
+/// Writes a Telemetry's event trace to `path`: CSV when the path ends in
+/// ".csv", Chrome trace-event JSON (loadable in about://tracing / Perfetto)
+/// otherwise. Throws std::runtime_error when the file cannot be written.
+/// This is what the --trace-out flag calls.
+void write_trace_file(const std::string& path, const Telemetry& telemetry);
+
+}  // namespace mutdbp::telemetry

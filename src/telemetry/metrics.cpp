@@ -1,0 +1,285 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mutdbp::telemetry {
+
+namespace {
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Thread-local shard cache. Keyed by the registry's process-unique id (never
+// reused), so an entry left behind by a destroyed registry can never match a
+// later one. One or two registries per process is the norm, so a linear
+// scan beats any map.
+struct ShardRef {
+  std::uint64_t registry_id = 0;
+  void* shard = nullptr;
+};
+
+std::vector<ShardRef>& shard_cache() noexcept {
+  thread_local std::vector<ShardRef> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::vector<double> linear_buckets(double start, double width, std::size_t count) {
+  if (!(width > 0.0) || count == 0) {
+    throw ValidationError("linear_buckets: need width > 0 and count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i + 1));
+  }
+  return bounds;
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (!(start > 0.0) || !(factor > 1.0) || count == 0) {
+    throw ValidationError(
+        "exponential_buckets: need start > 0, factor > 1 and count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw ValidationError("HistogramSnapshot::quantile: q must be in [0, 1]");
+  }
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside bucket b, assuming a uniform spread of its
+    // observations. The overflow bucket has no finite right edge; its
+    // observations are pinned to the observed max.
+    if (b == upper_bounds.size()) return max;
+    const double lo = b == 0 ? std::min(min, upper_bounds[0]) : upper_bounds[b - 1];
+    const double hi = upper_bounds[b];
+    const double frac = (rank - before) / static_cast<double>(counts[b]);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;  // q == 1 with trailing empty buckets
+}
+
+const MetricsSnapshot::Counter* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::Gauge* MetricsSnapshot::find_gauge(
+    std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+CounterHandle MetricsRegistry::counter(const std::string& name,
+                                       const std::string& help) {
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < counter_meta_.size(); ++i) {
+    if (counter_meta_[i].name == name) return CounterHandle{i};
+  }
+  for (const auto& meta : gauge_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a gauge");
+    }
+  }
+  for (const auto& meta : histogram_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a histogram");
+    }
+  }
+  counter_meta_.push_back({name, help});
+  return CounterHandle{counter_meta_.size() - 1};
+}
+
+GaugeHandle MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < gauge_meta_.size(); ++i) {
+    if (gauge_meta_[i].name == name) return GaugeHandle{i};
+  }
+  for (const auto& meta : counter_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a counter");
+    }
+  }
+  for (const auto& meta : histogram_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a histogram");
+    }
+  }
+  if (gauge_meta_.size() == kMaxGauges) {
+    throw ValidationError("MetricsRegistry: gauge capacity (" +
+                          std::to_string(kMaxGauges) + ") exhausted");
+  }
+  gauge_meta_.push_back({name, help});
+  return GaugeHandle{gauge_meta_.size() - 1};
+}
+
+HistogramHandle MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> upper_bounds,
+                                           const std::string& help) {
+  if (upper_bounds.empty()) {
+    throw ValidationError("MetricsRegistry: histogram '" + name + "' needs buckets");
+  }
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (!std::isfinite(upper_bounds[i]) ||
+        (i > 0 && !(upper_bounds[i] > upper_bounds[i - 1]))) {
+      throw ValidationError("MetricsRegistry: histogram '" + name +
+                            "' buckets must be finite and strictly increasing");
+    }
+  }
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < histogram_meta_.size(); ++i) {
+    if (histogram_meta_[i].name == name) {
+      if (histogram_bounds_[i] != upper_bounds) {
+        throw ValidationError("MetricsRegistry: histogram '" + name +
+                              "' re-registered with different buckets");
+      }
+      return HistogramHandle{i};
+    }
+  }
+  for (const auto& meta : counter_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a counter");
+    }
+  }
+  for (const auto& meta : gauge_meta_) {
+    if (meta.name == name) {
+      throw ValidationError("MetricsRegistry: '" + name + "' is already a gauge");
+    }
+  }
+  histogram_meta_.push_back({name, help});
+  histogram_bounds_.push_back(std::move(upper_bounds));
+  return HistogramHandle{histogram_meta_.size() - 1};
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() noexcept {
+  for (const ShardRef& ref : shard_cache()) {
+    if (ref.registry_id == id_) return *static_cast<Shard*>(ref.shard);
+  }
+  return local_shard_slow();
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard_slow() {
+  const std::scoped_lock lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  shard_cache().push_back({id_, shard});
+  return *shard;
+}
+
+void MetricsRegistry::add(CounterHandle h, std::uint64_t delta) noexcept {
+  if (!h.valid()) return;
+  Shard& shard = local_shard();
+  if (h.index >= shard.counters.size()) shard.counters.resize(h.index + 1, 0);
+  shard.counters[h.index] += delta;
+}
+
+void MetricsRegistry::set(GaugeHandle h, double value) noexcept {
+  if (!h.valid()) return;
+  gauges_[h.index].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(HistogramHandle h, double value) noexcept {
+  if (!h.valid()) return;
+  Shard& shard = local_shard();
+  if (h.index >= shard.histograms.size() || shard.histograms[h.index].counts.empty()) {
+    // First observation of this histogram on this thread: size the shard and
+    // copy the bucket bounds into it under the registry lock, so the hot
+    // path below only ever touches shard-local (single-writer) data even
+    // while other threads are still registering metrics.
+    const std::scoped_lock lock(mutex_);
+    if (h.index >= shard.histograms.size()) shard.histograms.resize(h.index + 1);
+    HistogramShard& hist = shard.histograms[h.index];
+    hist.bounds = histogram_bounds_[h.index];
+    hist.counts.assign(hist.bounds.size() + 1, 0);
+  }
+  HistogramShard& hist = shard.histograms[h.index];
+  const std::vector<double>& bounds = hist.bounds;
+  // Buckets are few and fixed: the branchy upper_bound is the whole cost.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  ++hist.counts[bucket];
+  ++hist.count;
+  hist.sum += value;
+  hist.min = std::min(hist.min, value);
+  hist.max = std::max(hist.max, value);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counter_meta_.size());
+  for (std::size_t i = 0; i < counter_meta_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      if (i < shard->counters.size()) total += shard->counters[i];
+    }
+    snap.counters.push_back({counter_meta_[i].name, counter_meta_[i].help, total});
+  }
+  snap.gauges.reserve(gauge_meta_.size());
+  for (std::size_t i = 0; i < gauge_meta_.size(); ++i) {
+    snap.gauges.push_back({gauge_meta_[i].name, gauge_meta_[i].help,
+                           gauges_[i].load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histogram_meta_.size());
+  for (std::size_t i = 0; i < histogram_meta_.size(); ++i) {
+    HistogramSnapshot hist;
+    hist.name = histogram_meta_[i].name;
+    hist.help = histogram_meta_[i].help;
+    hist.upper_bounds = histogram_bounds_[i];
+    hist.counts.assign(hist.upper_bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      if (i >= shard->histograms.size()) continue;
+      const HistogramShard& s = shard->histograms[i];
+      if (s.count == 0) continue;
+      for (std::size_t b = 0; b < s.counts.size(); ++b) hist.counts[b] += s.counts[b];
+      hist.count += s.count;
+      hist.sum += s.sum;
+      hist.min = std::min(hist.min, s.min);
+      hist.max = std::max(hist.max, s.max);
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
+
+}  // namespace mutdbp::telemetry

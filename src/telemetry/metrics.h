@@ -1,0 +1,163 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms with
+// quantile estimation, designed for the simulation hot path.
+//
+// Write-side design (see docs/observability.md):
+//  * Counters and histograms are sharded per thread. add()/observe() touch
+//    only the calling thread's shard — a thread-local lookup plus a plain
+//    (non-atomic) increment — so parallel_for sweeps aggregate without a
+//    hot lock. Shards are created lazily on a thread's first write and
+//    merged deterministically (shard-creation order) by snapshot().
+//  * Gauges are set-only (last write wins), stored as central relaxed
+//    atomics: there is nothing to merge, and a racy set is a benign
+//    "latest of the concurrent writers" either way.
+//
+// Read side: snapshot() merges all shards into a MetricsSnapshot. It must
+// not race writers — take it after workers quiesce (parallel_for joins
+// before returning, so the natural "sweep, then export" order is safe).
+//
+// Registration is idempotent by name: registering an existing name of the
+// same kind (and, for histograms, the same buckets) returns the original
+// handle, so independent components can share one registry without
+// coordinating. A kind or bucket mismatch throws ValidationError.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp::telemetry {
+
+struct CounterHandle {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+};
+struct GaugeHandle {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+};
+struct HistogramHandle {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+};
+
+/// `count` evenly spaced upper bounds start, start+width, ...
+[[nodiscard]] std::vector<double> linear_buckets(double start, double width,
+                                                 std::size_t count);
+/// `count` geometrically spaced upper bounds start, start*factor, ...
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t count);
+
+/// Merged view of one histogram. Buckets are cumulative-free: counts[i] is
+/// the number of observations in (upper_bounds[i-1], upper_bounds[i]], and
+/// counts.back() is the overflow (> upper_bounds.back()) bucket.
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// containing bucket, clamped to the observed [min, max]; the error is at
+  /// most one bucket width. NaN when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+  };
+  std::vector<Counter> counters;      ///< in registration order
+  std::vector<Gauge> gauges;          ///< in registration order
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const noexcept;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const noexcept;
+  [[nodiscard]] const HistogramSnapshot* find_histogram(
+      std::string_view name) const noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  CounterHandle counter(const std::string& name, const std::string& help = "");
+  GaugeHandle gauge(const std::string& name, const std::string& help = "");
+  /// `upper_bounds` must be non-empty, finite, and strictly increasing; an
+  /// implicit overflow (+Inf) bucket is always appended.
+  HistogramHandle histogram(const std::string& name, std::vector<double> upper_bounds,
+                            const std::string& help = "");
+
+  void add(CounterHandle h, std::uint64_t delta = 1) noexcept;
+  void set(GaugeHandle h, double value) noexcept;
+  void observe(HistogramHandle h, double value) noexcept;
+
+  /// Deterministic merge of all shards. Not safe to call concurrently with
+  /// writers (see the header comment).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  /// Fixed gauge capacity: gauge cells live in a never-reallocated array so
+  /// set() stays lock-free even while other threads register metrics.
+  static constexpr std::size_t kMaxGauges = 256;
+
+  struct HistogramShard {
+    std::vector<double> bounds;  ///< copied from the registry on first touch
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1, overflow last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  struct Shard {
+    std::vector<std::uint64_t> counters;
+    std::vector<HistogramShard> histograms;
+  };
+  struct Meta {
+    std::string name;
+    std::string help;
+  };
+
+  [[nodiscard]] Shard& local_shard() noexcept;
+  Shard& local_shard_slow();
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  mutable std::mutex mutex_;  ///< guards registration and the shard list
+  std::vector<Meta> counter_meta_;
+  std::vector<Meta> gauge_meta_;
+  std::vector<Meta> histogram_meta_;
+  std::vector<std::vector<double>> histogram_bounds_;
+  std::unique_ptr<std::atomic<double>[]> gauges_ =
+      std::make_unique<std::atomic<double>[]>(kMaxGauges);
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< in creation order
+};
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,44 @@
+#include "telemetry/profiler.h"
+
+namespace mutdbp::telemetry {
+
+SectionHandle Profiler::section(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i]->name == name) return SectionHandle{i};
+  }
+  sections_.push_back(std::make_unique<Section>());
+  sections_.back()->name = name;
+  return SectionHandle{sections_.size() - 1};
+}
+
+void Profiler::add_sample(SectionHandle h, std::uint64_t ns) noexcept {
+  if (!h.valid()) return;
+  Section* section;
+  {
+    // The vector may be growing under a concurrent registration; the cell
+    // itself is stable once its handle exists.
+    const std::scoped_lock lock(mutex_);
+    section = sections_[h.index].get();
+  }
+  section->calls.fetch_add(1, std::memory_order_relaxed);
+  section->total_ns.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = section->max_ns.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !section->max_ns.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<Profiler::SectionStats> Profiler::stats() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SectionStats> out;
+  out.reserve(sections_.size());
+  for (const auto& section : sections_) {
+    out.push_back({section->name, section->calls.load(std::memory_order_relaxed),
+                   section->total_ns.load(std::memory_order_relaxed),
+                   section->max_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,94 @@
+// Scoped wall-clock profiler for the simulate/dispatch hot paths.
+//
+// Sections are registered once (by name, idempotent); ScopedTimer measures
+// one entry/exit with std::chrono::steady_clock and folds the sample into
+// the section's atomics (relaxed fetch_add + a CAS max loop), so samples
+// from concurrent sweeps never serialize on the accumulation itself.
+// Sections are meant to wrap batch-level scopes (a whole simulate() run, a
+// dispatcher call), not per-event code. A ScopedTimer built with a null
+// profiler is inert — no clock call, no atomics — which is how the
+// disabled path stays free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mutdbp::telemetry {
+
+struct SectionHandle {
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return index != std::numeric_limits<std::size_t>::max();
+  }
+};
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Registers (or looks up) a section by name.
+  SectionHandle section(const std::string& name);
+
+  void add_sample(SectionHandle h, std::uint64_t ns) noexcept;
+
+  struct SectionStats {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    [[nodiscard]] double mean_ns() const noexcept {
+      return calls > 0 ? static_cast<double>(total_ns) / static_cast<double>(calls)
+                       : 0.0;
+    }
+  };
+  /// All sections in registration order.
+  [[nodiscard]] std::vector<SectionStats> stats() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  mutable std::mutex mutex_;  ///< guards the section list
+  // unique_ptr cells: section atomics never move when the vector grows, so
+  // a Section* stays valid outside the lock once looked up.
+  std::vector<std::unique_ptr<Section>> sections_;
+};
+
+/// RAII scope measuring one section entry. Null-profiler-safe.
+class ScopedTimer {
+ public:
+  ScopedTimer(Profiler* profiler, SectionHandle handle) noexcept
+      : profiler_(profiler), handle_(handle) {
+    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (profiler_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profiler_->add_sample(
+        handle_, static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                         .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Profiler* profiler_;
+  SectionHandle handle_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,177 @@
+#include "telemetry/telemetry.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mutdbp::telemetry {
+
+namespace {
+
+std::atomic<bool> global_enabled_flag{false};
+
+}  // namespace
+
+bool metrics_enabled_by_env() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("MUTDBP_METRICS");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+  }();
+  return enabled;
+}
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+void Telemetry::enable_global() noexcept {
+  global_enabled_flag.store(true, std::memory_order_relaxed);
+}
+
+bool Telemetry::global_enabled() noexcept {
+  return metrics_enabled_by_env() ||
+         global_enabled_flag.load(std::memory_order_relaxed);
+}
+
+Telemetry* Telemetry::resolve(Telemetry* explicit_telemetry) noexcept {
+  if (explicit_telemetry != nullptr) return explicit_telemetry;
+  return global_enabled() ? &global() : nullptr;
+}
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(options), tracer_(options.trace_capacity) {
+  // The standard catalog (docs/observability.md). Registering everything up
+  // front means later layers (dispatcher, fleet, benches) only perform
+  // idempotent lookups, never concurrent structural registration.
+  handles_.items_placed = metrics_.counter(
+      "mutdbp_items_placed_total", "items placed by the simulation engine");
+  handles_.items_departed =
+      metrics_.counter("mutdbp_items_departed_total", "items departed normally");
+  handles_.bins_opened =
+      metrics_.counter("mutdbp_bins_opened_total", "bins (servers) rented");
+  handles_.bins_closed = metrics_.counter("mutdbp_bins_closed_total",
+                                          "bins (servers) released or crashed");
+  handles_.items_evicted = metrics_.counter(
+      "mutdbp_items_evicted_total", "items evicted by forced bin closes");
+  handles_.open_bins =
+      metrics_.gauge("mutdbp_open_bins", "currently open bins (last simulation)");
+  handles_.fill_level = metrics_.histogram(
+      "mutdbp_fill_level", linear_buckets(0.0, 0.05, 20),
+      "bin level / capacity observed after each placement");
+  handles_.item_size =
+      metrics_.histogram("mutdbp_item_size", linear_buckets(0.0, 0.05, 20),
+                         "item size / capacity of each placed item");
+  handles_.bin_usage_time = metrics_.histogram(
+      "mutdbp_bin_usage_time", exponential_buckets(0.0625, 2.0, 16),
+      "usage period length of each closed bin (usage-time-by-bin)");
+  handles_.jobs_submitted =
+      metrics_.counter("mutdbp_jobs_submitted_total", "jobs submitted (cloud layer)");
+  handles_.jobs_completed =
+      metrics_.counter("mutdbp_jobs_completed_total", "jobs completed (cloud layer)");
+  handles_.faults_injected = metrics_.counter(
+      "mutdbp_faults_injected_total", "faults that crashed a rented server");
+  handles_.faults_idle = metrics_.counter(
+      "mutdbp_faults_idle_total", "faults that hit an idle fleet (no-ops)");
+  handles_.retries_scheduled = metrics_.counter(
+      "mutdbp_retries_scheduled_total", "evicted jobs queued for a backoff retry");
+  handles_.jobs_replaced = metrics_.counter(
+      "mutdbp_jobs_replaced_total", "evicted jobs successfully re-placed");
+  handles_.jobs_dropped = metrics_.counter("mutdbp_jobs_dropped_total",
+                                           "evicted jobs never re-placed");
+  handles_.simulate_events = profiler_.section("simulate.events");
+  handles_.simulate_finish = profiler_.section("simulate.finish");
+  handles_.dispatcher_submit = profiler_.section("dispatcher.submit");
+  handles_.dispatcher_fail_server = profiler_.section("dispatcher.fail_server");
+  handles_.faults_replay = profiler_.section("faults.run_with_faults");
+}
+
+void Telemetry::on_item_placed(std::uint64_t item, double size, std::uint64_t bin,
+                               double level_after, double capacity, double t,
+                               bool opened_new_bin, std::size_t open_bins) {
+  metrics_.add(handles_.items_placed);
+  if (opened_new_bin) metrics_.add(handles_.bins_opened);
+  metrics_.set(handles_.open_bins, static_cast<double>(open_bins));
+  metrics_.observe(handles_.fill_level, level_after / capacity);
+  metrics_.observe(handles_.item_size, size / capacity);
+  if (options_.trace) {
+    if (opened_new_bin) {
+      tracer_.record({t, item, bin, size, level_after, TraceKind::kBinOpen});
+    }
+    tracer_.record({t, item, bin, size, level_after, TraceKind::kPlacement});
+  }
+}
+
+void Telemetry::on_item_departed(std::uint64_t item, std::uint64_t bin,
+                                 double level_after, double t) {
+  metrics_.add(handles_.items_departed);
+  // Departures are not traced individually: placements already carry the
+  // interval start, and the bin-close record carries the drain end. Keeping
+  // the ring for decisions (placements/retries) doubles its reach.
+  (void)item;
+  (void)bin;
+  (void)level_after;
+  (void)t;
+}
+
+void Telemetry::on_bin_closed(std::uint64_t bin, double open_time, double close_time,
+                              std::size_t open_bins) {
+  metrics_.add(handles_.bins_closed);
+  metrics_.set(handles_.open_bins, static_cast<double>(open_bins));
+  metrics_.observe(handles_.bin_usage_time, close_time - open_time);
+  if (options_.trace) {
+    tracer_.record(
+        {close_time, 0, bin, close_time - open_time, 0.0, TraceKind::kBinClose});
+  }
+}
+
+void Telemetry::on_item_evicted(std::uint64_t item, double size, std::uint64_t bin,
+                                double t) {
+  metrics_.add(handles_.items_evicted);
+  if (options_.trace) {
+    tracer_.record({t, item, bin, size, 0.0, TraceKind::kEviction});
+  }
+}
+
+void Telemetry::on_job_submitted(std::uint64_t job, double t) {
+  metrics_.add(handles_.jobs_submitted);
+  (void)job;
+  (void)t;
+}
+
+void Telemetry::on_job_completed(std::uint64_t job, double t) {
+  metrics_.add(handles_.jobs_completed);
+  (void)job;
+  (void)t;
+}
+
+void Telemetry::on_fault(bool hit_rented_server, std::uint64_t victim, double t) {
+  metrics_.add(hit_rented_server ? handles_.faults_injected : handles_.faults_idle);
+  if (options_.trace) {
+    tracer_.record({t, 0, victim, hit_rented_server ? 1.0 : 0.0, 0.0,
+                    TraceKind::kFault});
+  }
+}
+
+void Telemetry::on_retry_scheduled(std::uint64_t job, double retry_at) {
+  metrics_.add(handles_.retries_scheduled);
+  if (options_.trace) {
+    tracer_.record({retry_at, job, 0, 0.0, 0.0, TraceKind::kRetry});
+  }
+}
+
+void Telemetry::on_job_replaced(std::uint64_t job, std::uint64_t server, double t) {
+  metrics_.add(handles_.jobs_replaced);
+  if (options_.trace) {
+    tracer_.record({t, job, server, 0.0, 0.0, TraceKind::kRetry});
+  }
+}
+
+void Telemetry::on_job_dropped(std::uint64_t job, double t) {
+  metrics_.add(handles_.jobs_dropped);
+  if (options_.trace) {
+    tracer_.record({t, job, 0, 0.0, 0.0, TraceKind::kDrop});
+  }
+}
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,117 @@
+// Telemetry: the facade the allocator stack is instrumented against.
+//
+// One Telemetry object bundles a MetricsRegistry (counters / gauges /
+// histograms, sharded per thread), an EventTracer (bounded ring of
+// placement / bin-open / bin-close / eviction / retry / fault / drop
+// records) and a Profiler (scoped wall-clock sections), and pre-registers
+// the standard metric catalog (docs/observability.md).
+//
+// Opt-in mirrors the InvariantAuditor: attach a Telemetry* through
+// SimulationOptions / DispatcherOptions / FleetOptions, or export
+// MUTDBP_METRICS=1 to attach the process-global instance to every
+// Simulation. When neither is set, the instrumented hot paths reduce to a
+// single null-pointer check — the PR 1 zero-allocation path is untouched.
+//
+// The hook methods below are what the engine calls; they are deliberately
+// out of line so the engine's inlined fast paths stay small.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
+#include "telemetry/trace.h"
+
+namespace mutdbp::telemetry {
+
+struct TelemetryOptions {
+  /// Ring capacity of the event tracer.
+  std::size_t trace_capacity = 1 << 16;
+  /// Record structured trace events (metrics are always on).
+  bool trace = true;
+};
+
+/// True when MUTDBP_METRICS is set to anything other than "" or "0" (read
+/// once, cached for the process lifetime).
+[[nodiscard]] bool metrics_enabled_by_env();
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {});
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] EventTracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const EventTracer& tracer() const noexcept { return tracer_; }
+  [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
+
+  /// The process-global instance (created on first use). Attached to every
+  /// Simulation when global_enabled(); also what bench --metrics exports.
+  [[nodiscard]] static Telemetry& global();
+  /// Programmatic equivalent of MUTDBP_METRICS=1 (used by bench flags).
+  static void enable_global() noexcept;
+  /// MUTDBP_METRICS=1 or enable_global() was called.
+  [[nodiscard]] static bool global_enabled() noexcept;
+  /// `explicit_telemetry` if non-null, else the global instance when
+  /// global_enabled(), else null — the attachment rule every layer shares.
+  [[nodiscard]] static Telemetry* resolve(Telemetry* explicit_telemetry) noexcept;
+
+  // ---- engine hooks (Simulation) ------------------------------------
+  void on_item_placed(std::uint64_t item, double size, std::uint64_t bin,
+                      double level_after, double capacity, double t,
+                      bool opened_new_bin, std::size_t open_bins);
+  void on_item_departed(std::uint64_t item, std::uint64_t bin, double level_after,
+                        double t);
+  void on_bin_closed(std::uint64_t bin, double open_time, double close_time,
+                     std::size_t open_bins);
+  void on_item_evicted(std::uint64_t item, double size, std::uint64_t bin, double t);
+
+  // ---- cloud hooks (dispatcher / fleet / run_with_faults) -----------
+  void on_job_submitted(std::uint64_t job, double t);
+  void on_job_completed(std::uint64_t job, double t);
+  void on_fault(bool hit_rented_server, std::uint64_t victim, double t);
+  void on_retry_scheduled(std::uint64_t job, double retry_at);
+  void on_job_replaced(std::uint64_t job, std::uint64_t server, double t);
+  void on_job_dropped(std::uint64_t job, double t);
+
+  /// Pre-registered handles of the standard catalog, exposed so callers can
+  /// read or extend them without string lookups.
+  struct Handles {
+    // engine
+    CounterHandle items_placed;
+    CounterHandle items_departed;
+    CounterHandle bins_opened;
+    CounterHandle bins_closed;
+    CounterHandle items_evicted;
+    GaugeHandle open_bins;
+    HistogramHandle fill_level;      ///< level/capacity after each placement
+    HistogramHandle item_size;       ///< size/capacity of each placed item
+    HistogramHandle bin_usage_time;  ///< usage period length per closed bin
+    // cloud
+    CounterHandle jobs_submitted;
+    CounterHandle jobs_completed;
+    CounterHandle faults_injected;
+    CounterHandle faults_idle;
+    CounterHandle retries_scheduled;
+    CounterHandle jobs_replaced;
+    CounterHandle jobs_dropped;
+    // profiler sections
+    SectionHandle simulate_events;
+    SectionHandle simulate_finish;
+    SectionHandle dispatcher_submit;
+    SectionHandle dispatcher_fail_server;
+    SectionHandle faults_replay;
+  };
+  [[nodiscard]] const Handles& handles() const noexcept { return handles_; }
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  EventTracer tracer_;
+  Profiler profiler_;
+  Handles handles_;
+};
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,105 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "core/error.h"
+
+namespace mutdbp::telemetry {
+
+std::string_view to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kPlacement: return "placement";
+    case TraceKind::kBinOpen: return "bin_open";
+    case TraceKind::kBinClose: return "bin_close";
+    case TraceKind::kEviction: return "eviction";
+    case TraceKind::kRetry: return "retry";
+    case TraceKind::kFault: return "fault";
+    case TraceKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(std::size_t capacity) {
+  if (capacity == 0) {
+    throw ValidationError("EventTracer: capacity must be > 0");
+  }
+  buffer_.resize(capacity);
+}
+
+void EventTracer::record(const TraceEvent& event) noexcept {
+  const std::scoped_lock lock(mutex_);
+  buffer_[next_] = event;
+  next_ = next_ + 1 == buffer_.size() ? 0 : next_ + 1;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  const std::size_t retained =
+      std::min<std::uint64_t>(recorded_, buffer_.size());
+  out.reserve(retained);
+  // When the ring has wrapped, the oldest retained event sits at the write
+  // cursor; otherwise the buffer is a plain prefix.
+  const std::size_t start = recorded_ > buffer_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < retained; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::size_t EventTracer::size() const {
+  const std::scoped_lock lock(mutex_);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(recorded_, buffer_.size()));
+}
+
+std::uint64_t EventTracer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return recorded_ > buffer_.size() ? recorded_ - buffer_.size() : 0;
+}
+
+std::uint64_t EventTracer::recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return recorded_;
+}
+
+void EventTracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> all = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    const double ts = e.t * 1e6;  // simulation seconds -> trace microseconds
+    const char* ph = "i";
+    if (e.kind == TraceKind::kBinOpen) ph = "B";
+    if (e.kind == TraceKind::kBinClose) ph = "E";
+    if (!first) os << ',';
+    first = false;
+    // "E" events must not carry a name per the trace format; keep rows
+    // self-describing anyway via args.kind.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,"
+                  "\"tid\":%" PRIu64 ",%s\"args\":{\"item\":%" PRIu64
+                  ",\"size\":%.17g,\"level\":%.17g}}",
+                  std::string(to_string(e.kind)).c_str(), ph, ts, e.bin,
+                  ph[0] == 'i' ? "\"s\":\"t\"," : "", e.item, e.size, e.level);
+    os << buf;
+  }
+  os << "]}";
+}
+
+void EventTracer::write_csv(std::ostream& os) const {
+  os << "kind,t,item,bin,size,level\n";
+  char buf[192];
+  for (const TraceEvent& e : events()) {
+    std::snprintf(buf, sizeof(buf), "%s,%.17g,%" PRIu64 ",%" PRIu64 ",%.17g,%.17g\n",
+                  std::string(to_string(e.kind)).c_str(), e.t, e.item, e.bin, e.size,
+                  e.level);
+    os << buf;
+  }
+}
+
+}  // namespace mutdbp::telemetry

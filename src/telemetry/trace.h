@@ -1,0 +1,77 @@
+// EventTracer: a bounded ring buffer of structured allocator decisions —
+// placements, bin opens/closes, evictions, retries, faults, drops — with
+// Chrome trace-event JSON and CSV exporters.
+//
+// The buffer holds the most recent `capacity` events: when full, recording
+// a new event overwrites the oldest one and bumps dropped(). That keeps the
+// tracer's memory bounded on month-long runs while preserving the tail of
+// the decision history, which is what post-mortems read.
+//
+// record() takes a mutex: tracing is an opt-in diagnosis tool, and the
+// simulation's disabled path never reaches it (a null Telemetry check is
+// all that remains — see docs/observability.md for overhead numbers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp::telemetry {
+
+enum class TraceKind : unsigned char {
+  kPlacement,  ///< item placed into an (existing or fresh) bin
+  kBinOpen,    ///< a new bin/server was rented
+  kBinClose,   ///< a bin/server was released (drained or crashed)
+  kEviction,   ///< an item was evicted by a forced close
+  kRetry,      ///< an evicted job was re-placed (immediately or from queue)
+  kFault,      ///< a fault instant (bin = victim; size 0 when it hit idle)
+  kDrop,       ///< an evicted job was dropped (never re-placed)
+};
+
+[[nodiscard]] std::string_view to_string(TraceKind kind) noexcept;
+
+struct TraceEvent {
+  double t = 0.0;           ///< simulation time
+  std::uint64_t item = 0;   ///< item/job id (0 when not item-scoped)
+  std::uint64_t bin = 0;    ///< bin/server index
+  double size = 0.0;        ///< item size / per-kind payload
+  double level = 0.0;       ///< bin level after the event (when known)
+  TraceKind kind = TraceKind::kPlacement;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const noexcept = default;
+};
+
+class EventTracer {
+ public:
+  /// `capacity` must be > 0; it is the exact number of retained events.
+  explicit EventTracer(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& event) noexcept;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Total record() calls (retained + dropped).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// Chrome trace-event JSON (chrome://tracing, Perfetto). Bin open/close
+  /// become "B"/"E" duration events on tid = bin index; everything else is
+  /// an instant event. Simulation time is exported as microseconds.
+  void write_chrome_json(std::ostream& os) const;
+  /// CSV: kind,t,item,bin,size,level — one row per retained event.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> buffer_;  ///< ring storage, fixed size
+  std::size_t next_ = 0;            ///< ring write cursor
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace mutdbp::telemetry

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace mutdbp {
@@ -64,16 +65,43 @@ class RunningStats {
 };
 
 /// Percentile with linear interpolation; `p` in [0, 100]. Sorts a copy.
+/// NaN anywhere — in `p` or in the data — is rejected with a clear error
+/// rather than silently poisoning the sort order (NaN breaks strict weak
+/// ordering, making the result placement-dependent garbage).
 [[nodiscard]] inline double percentile(std::vector<double> values, double p) {
   if (values.empty()) throw std::invalid_argument("percentile: empty input");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  // Negated comparison so NaN p falls through to the throw (all ordered
+  // comparisons against NaN are false).
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0, 100] (got " +
+                                std::to_string(p) + ")");
+  }
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      throw std::invalid_argument("percentile: input contains NaN");
+    }
+  }
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
+  // Exact ranks return the value itself: `frac * (hi - lo)` would be
+  // 0 * inf = NaN when the data legitimately contains infinities.
+  if (frac == 0.0) return values[lo];
   return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+/// Convenience wrappers for the quantiles every report uses.
+[[nodiscard]] inline double p50(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+[[nodiscard]] inline double p90(std::vector<double> values) {
+  return percentile(std::move(values), 90.0);
+}
+[[nodiscard]] inline double p99(std::vector<double> values) {
+  return percentile(std::move(values), 99.0);
 }
 
 }  // namespace mutdbp

@@ -1,0 +1,474 @@
+// Tests for the telemetry subsystem: metrics registry (sharding, merge
+// determinism, histogram quantiles), event tracer ring semantics, exporter
+// golden outputs, and the differential guarantee that attaching telemetry
+// never changes a simulation's results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "analysis/disruption.h"
+#include "cloud/faults.h"
+#include "core/error.h"
+#include "core/simulation.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "workload/generators.h"
+
+namespace mutdbp::telemetry {
+namespace {
+
+workload::RandomWorkloadSpec test_spec(std::size_t n, std::uint64_t seed) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = n;
+  spec.seed = seed;
+  spec.arrival_rate = 2.0;
+  spec.duration_max = 5.0;
+  return spec;
+}
+
+// ---- registry basics ------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndHistogramsRoundTrip) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("t_requests_total", "requests");
+  const GaugeHandle g = registry.gauge("t_depth");
+  const HistogramHandle h = registry.histogram("t_latency", {1.0, 2.0});
+
+  registry.add(c);
+  registry.add(c, 2);
+  registry.set(g, -3.5);
+  registry.observe(h, 0.5);
+  registry.observe(h, 1.5);
+  registry.observe(h, 9.0);  // overflow bucket
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_NE(snap.find_counter("t_requests_total"), nullptr);
+  EXPECT_EQ(snap.find_counter("t_requests_total")->value, 3u);
+  ASSERT_NE(snap.find_gauge("t_depth"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find_gauge("t_depth")->value, -3.5);
+
+  const HistogramSnapshot* hist = snap.find_histogram("t_latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_DOUBLE_EQ(hist->sum, 11.0);
+  EXPECT_DOUBLE_EQ(hist->min, 0.5);
+  EXPECT_DOUBLE_EQ(hist->max, 9.0);
+  EXPECT_EQ(snap.find_counter("no_such_metric"), nullptr);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  const CounterHandle a = registry.counter("t_total");
+  const CounterHandle b = registry.counter("t_total");
+  EXPECT_EQ(a.index, b.index);
+
+  const HistogramHandle h1 = registry.histogram("t_h", {1.0, 2.0});
+  const HistogramHandle h2 = registry.histogram("t_h", {1.0, 2.0});
+  EXPECT_EQ(h1.index, h2.index);
+
+  // Cross-kind and bucket mismatches are structural bugs, not merges.
+  EXPECT_THROW((void)registry.gauge("t_total"), ValidationError);
+  EXPECT_THROW((void)registry.histogram("t_h", {1.0, 3.0}), ValidationError);
+}
+
+TEST(MetricsRegistry, BucketBuildersValidate) {
+  EXPECT_EQ(linear_buckets(0.0, 0.05, 20).size(), 20u);
+  EXPECT_DOUBLE_EQ(linear_buckets(0.0, 0.5, 3)[2], 1.5);
+  EXPECT_DOUBLE_EQ(exponential_buckets(1.0, 2.0, 3)[2], 4.0);
+  EXPECT_THROW((void)linear_buckets(0.0, 0.0, 5), ValidationError);
+  EXPECT_THROW((void)linear_buckets(0.0, 1.0, 0), ValidationError);
+  EXPECT_THROW((void)exponential_buckets(0.0, 2.0, 5), ValidationError);
+  EXPECT_THROW((void)exponential_buckets(1.0, 1.0, 5), ValidationError);
+  MetricsRegistry registry;
+  EXPECT_THROW((void)registry.histogram("t_bad", {}), ValidationError);
+  EXPECT_THROW((void)registry.histogram("t_bad", {2.0, 1.0}), ValidationError);
+}
+
+// ---- histogram quantiles vs exact percentiles -----------------------
+
+TEST(HistogramQuantile, WithinOneBucketWidthOfExactPercentile) {
+  MetricsRegistry registry;
+  const double width = 0.05;
+  const HistogramHandle h =
+      registry.histogram("t_fill", linear_buckets(0.0, width, 20));
+
+  // Deterministic but irregular sample in [0, 1).
+  std::vector<double> values;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const double v = std::fmod(static_cast<double>(i) * 0.618033988749895, 1.0);
+    values.push_back(v);
+    registry.observe(h, v);
+  }
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramSnapshot* hist = snap.find_histogram("t_fill");
+  ASSERT_NE(hist, nullptr);
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double exact = percentile(values, p);
+    const double est = hist->quantile(p / 100.0);
+    EXPECT_NEAR(est, exact, width) << "p" << p;
+  }
+}
+
+TEST(HistogramQuantile, ExtremesClampToObservedRange) {
+  MetricsRegistry registry;
+  const HistogramHandle h = registry.histogram("t_h", {10.0, 20.0});
+  registry.observe(h, 12.0);
+  registry.observe(h, 17.0);
+  registry.observe(h, 55.0);  // overflow: quantile must pin to max, not +Inf
+
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramSnapshot* hist = snap.find_histogram("t_h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->quantile(0.0), 12.0);
+  EXPECT_DOUBLE_EQ(hist->quantile(1.0), 55.0);
+  EXPECT_GE(hist->quantile(0.5), 12.0);
+  EXPECT_LE(hist->quantile(0.5), 55.0);
+
+  const HistogramSnapshot empty{};
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+}
+
+// ---- shard merge across threads -------------------------------------
+
+TEST(MetricsRegistry, MergeAcrossThreadsIsDeterministic) {
+  // Two identical parallel runs must produce identical snapshots: counter
+  // totals are integers, and the observed values are exactly representable
+  // (multiples of 0.25) so the double sums are order-independent too.
+  const auto run = [] {
+    MetricsRegistry registry;
+    const CounterHandle c = registry.counter("t_ops_total");
+    const HistogramHandle h = registry.histogram("t_v", {0.5, 1.0, 1.5});
+    parallel_for(0, 4000, [&](std::size_t i) {
+      registry.add(c);
+      registry.observe(h, static_cast<double>(i % 8) * 0.25);
+    });
+    return registry.snapshot();
+  };
+
+  const MetricsSnapshot a = run();
+  const MetricsSnapshot b = run();
+
+  ASSERT_NE(a.find_counter("t_ops_total"), nullptr);
+  EXPECT_EQ(a.find_counter("t_ops_total")->value, 4000u);
+  const HistogramSnapshot* ha = a.find_histogram("t_v");
+  const HistogramSnapshot* hb = b.find_histogram("t_v");
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(ha->count, 4000u);
+  // 500 each of {0, 0.25, ..., 1.75}: sum = 500 * 7 = 3500.
+  EXPECT_DOUBLE_EQ(ha->sum, 3500.0);
+  EXPECT_EQ(ha->counts, hb->counts);
+  EXPECT_EQ(ha->sum, hb->sum);
+  EXPECT_EQ(ha->min, hb->min);
+  EXPECT_EQ(ha->max, hb->max);
+  EXPECT_EQ(a.find_counter("t_ops_total")->value,
+            b.find_counter("t_ops_total")->value);
+}
+
+// ---- event tracer ring ----------------------------------------------
+
+TEST(EventTracer, RingOverflowKeepsNewestInOrder) {
+  EventTracer tracer(4);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record({static_cast<double>(i), i, 0, 0.1, 0.1, TraceKind::kPlacement});
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].item, 6u + i);  // oldest-to-newest, events 6..9
+  }
+}
+
+TEST(EventTracer, NoOverflowKeepsEverything) {
+  EventTracer tracer(8);
+  tracer.record({1.0, 7, 2, 0.3, 0.3, TraceKind::kBinOpen});
+  tracer.record({2.0, 8, 2, 0.2, 0.5, TraceKind::kPlacement});
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].item, 7u);
+  EXPECT_EQ(events[1].kind, TraceKind::kPlacement);
+
+  EXPECT_THROW(EventTracer(0), ValidationError);
+}
+
+TEST(EventTracer, ExportersEmitParseableShapes) {
+  EventTracer tracer(8);
+  tracer.record({1.0, 1, 0, 0.5, 0.5, TraceKind::kBinOpen});
+  tracer.record({1.0, 1, 0, 0.5, 0.5, TraceKind::kPlacement});
+  tracer.record({3.0, 0, 0, 2.0, 0.0, TraceKind::kBinClose});
+
+  std::ostringstream json;
+  tracer.write_chrome_json(json);
+  const std::string j = json.str();
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"B\""), std::string::npos);  // bin open
+  EXPECT_NE(j.find("\"ph\":\"E\""), std::string::npos);  // bin close
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);  // placement instant
+  EXPECT_EQ(j.back(), '}');
+
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  const std::string c = csv.str();
+  EXPECT_EQ(c.rfind("kind,t,item,bin,size,level", 0), 0u);
+  EXPECT_NE(c.find("\nbin_open,"), std::string::npos);
+  EXPECT_NE(c.find("\nbin_close,"), std::string::npos);
+}
+
+// ---- profiler -------------------------------------------------------
+
+TEST(Profiler, SectionsAreIdempotentAndAccumulate) {
+  Profiler profiler;
+  const SectionHandle a = profiler.section("phase.a");
+  const SectionHandle same = profiler.section("phase.a");
+  EXPECT_EQ(a.index, same.index);
+
+  profiler.add_sample(a, 100);
+  profiler.add_sample(a, 300);
+  { ScopedTimer timer(&profiler, profiler.section("phase.b")); }
+  { ScopedTimer inert(nullptr, SectionHandle{}); }  // must be a no-op
+
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "phase.a");
+  EXPECT_EQ(stats[0].calls, 2u);
+  EXPECT_EQ(stats[0].total_ns, 400u);
+  EXPECT_EQ(stats[0].max_ns, 300u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_ns(), 200.0);
+  EXPECT_EQ(stats[1].name, "phase.b");
+  EXPECT_EQ(stats[1].calls, 1u);
+}
+
+// ---- exporter golden outputs ----------------------------------------
+
+TEST(Exporters, PrometheusGoldenOutput) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("t_requests_total", "requests served");
+  const GaugeHandle g = registry.gauge("t_temp");
+  const HistogramHandle h = registry.histogram("t_lat", {1.0, 2.0});
+  registry.add(c, 3);
+  registry.set(g, 1.5);
+  registry.observe(h, 0.5);
+  registry.observe(h, 1.5);
+  registry.observe(h, 5.0);
+
+  std::ostringstream os;
+  write_prometheus(os, registry.snapshot());
+  const std::string expected =
+      "# HELP t_requests_total requests served\n"
+      "# TYPE t_requests_total counter\n"
+      "t_requests_total 3\n"
+      "# TYPE t_temp gauge\n"
+      "t_temp 1.5\n"
+      "# TYPE t_lat histogram\n"
+      "t_lat_bucket{le=\"1\"} 1\n"
+      "t_lat_bucket{le=\"2\"} 2\n"
+      "t_lat_bucket{le=\"+Inf\"} 3\n"
+      "t_lat_sum 7\n"
+      "t_lat_count 3\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(Exporters, JsonGoldenOutput) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("t_requests_total");
+  const GaugeHandle g = registry.gauge("t_temp");
+  const HistogramHandle h = registry.histogram("t_lat", {1.0, 2.0});
+  registry.add(c, 3);
+  registry.set(g, 1.5);
+  registry.observe(h, 0.5);
+  registry.observe(h, 1.5);
+  registry.observe(h, 5.0);
+
+  std::ostringstream os;
+  write_json(os, registry.snapshot());
+  const std::string j = os.str();
+  EXPECT_EQ(j.rfind("{\"counters\":{\"t_requests_total\":3},"
+                    "\"gauges\":{\"t_temp\":1.5},\"histograms\":{\"t_lat\":{",
+                    0),
+            0u);
+  EXPECT_NE(j.find("\"bounds\":[1,2]"), std::string::npos);
+  EXPECT_NE(j.find("\"counts\":[1,1,1]"), std::string::npos);
+  EXPECT_NE(j.find("\"count\":3,\"sum\":7,\"min\":0.5,\"max\":5"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(j.back(), '}');
+
+  std::ostringstream prof;
+  Profiler profiler;
+  profiler.add_sample(profiler.section("s"), 250);
+  write_profiler_json(prof, profiler.stats());
+  EXPECT_EQ(prof.str(),
+            "{\"profiler\":{\"s\":{\"calls\":1,\"total_ns\":250,"
+            "\"max_ns\":250,\"mean_ns\":250}}}");
+}
+
+// ---- telemetry facade + engine integration --------------------------
+
+TEST(Telemetry, ResolvePrefersExplicitPointer) {
+  Telemetry local;
+  EXPECT_EQ(Telemetry::resolve(&local), &local);
+  if (!Telemetry::global_enabled()) {
+    EXPECT_EQ(Telemetry::resolve(nullptr), nullptr);
+  }
+}
+
+TEST(Telemetry, MetricsOnAndOffProduceIdenticalPackings) {
+  const ItemList items = workload::generate(test_spec(2000, 77));
+  const auto ff_off = make_algorithm("FirstFit");
+  const auto ff_on = make_algorithm("FirstFit");
+
+  const PackingResult off = simulate(items, *ff_off);
+
+  Telemetry telemetry;
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  const PackingResult on = simulate(items, *ff_on, options);
+
+  // Differential guarantee: instrumentation observes, never perturbs.
+  ASSERT_EQ(off.bins_opened(), on.bins_opened());
+  EXPECT_EQ(off.total_usage_time(), on.total_usage_time());  // bitwise equal
+  EXPECT_EQ(off.max_concurrent_bins(), on.max_concurrent_bins());
+  for (std::size_t b = 0; b < off.bins().size(); ++b) {
+    EXPECT_EQ(off.bins()[b].usage.left, on.bins()[b].usage.left);
+    EXPECT_EQ(off.bins()[b].usage.right, on.bins()[b].usage.right);
+  }
+}
+
+TEST(Telemetry, EngineCountersMatchPackingResult) {
+  const ItemList items = workload::generate(test_spec(1500, 11));
+  const auto algorithm = make_algorithm("FirstFit");
+
+  Telemetry telemetry;
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  const PackingResult result = simulate(items, *algorithm, options);
+
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  EXPECT_EQ(snap.find_counter("mutdbp_items_placed_total")->value, items.size());
+  EXPECT_EQ(snap.find_counter("mutdbp_items_departed_total")->value, items.size());
+  EXPECT_EQ(snap.find_counter("mutdbp_bins_opened_total")->value,
+            result.bins_opened());
+  EXPECT_EQ(snap.find_counter("mutdbp_bins_closed_total")->value,
+            result.bins_opened());
+  EXPECT_DOUBLE_EQ(snap.find_gauge("mutdbp_open_bins")->value, 0.0);
+
+  // usage-time-by-bin: one observation per closed bin; the sum equals the
+  // MinUsageTime objective up to FP accumulation order.
+  const HistogramSnapshot* usage = snap.find_histogram("mutdbp_bin_usage_time");
+  ASSERT_NE(usage, nullptr);
+  EXPECT_EQ(usage->count, result.bins_opened());
+  EXPECT_NEAR(usage->sum, result.total_usage_time(),
+              1e-9 * std::max(1.0, result.total_usage_time()));
+
+  const HistogramSnapshot* fill = snap.find_histogram("mutdbp_fill_level");
+  ASSERT_NE(fill, nullptr);
+  EXPECT_EQ(fill->count, items.size());  // one fill-level sample per placement
+  EXPECT_LE(fill->max, 1.0 + 1e-9);
+
+  // Placement + bin-open records flowed into the trace ring.
+  EXPECT_EQ(telemetry.tracer().recorded(),
+            items.size() + 2 * result.bins_opened());
+
+  // The simulate() hot sections were profiled.
+  const auto stats = telemetry.profiler().stats();
+  bool saw_events = false;
+  for (const auto& s : stats) {
+    if (s.name == "simulate.events") {
+      saw_events = true;
+      EXPECT_EQ(s.calls, 1u);
+      EXPECT_GT(s.total_ns, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_events);
+}
+
+TEST(Telemetry, FaultCountersMatchRunWithFaultsReport) {
+  const ItemList items = workload::generate(test_spec(400, 5));
+
+  std::vector<Time> schedule;
+  for (double t = 1.0; t < 60.0; t += 1.5) schedule.push_back(t);
+
+  cloud::FaultyRunOptions options;
+  options.fault_schedule = schedule;
+  options.victim = cloud::VictimPolicy::kFullest;
+  options.retry.kind = cloud::RetryPolicy::Kind::kBackoff;
+  options.retry.base_delay = 0.25;
+  options.retry.max_attempts = 2;
+
+  Telemetry telemetry;
+  options.sim.telemetry = &telemetry;
+  const auto algorithm = make_algorithm("FirstFit");
+  const cloud::FaultyRunReport report =
+      cloud::run_with_faults(items, *algorithm, options);
+
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  const auto counter = [&](const char* name) {
+    const auto* c = snap.find_counter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c != nullptr ? c->value : 0;
+  };
+  EXPECT_EQ(counter("mutdbp_faults_injected_total"), report.faults_injected);
+  EXPECT_EQ(counter("mutdbp_faults_idle_total"), report.faults_idle);
+  EXPECT_EQ(counter("mutdbp_items_evicted_total"), report.evictions);
+  EXPECT_EQ(counter("mutdbp_jobs_replaced_total"), report.replacements);
+  EXPECT_EQ(counter("mutdbp_jobs_dropped_total"), report.drops);
+  EXPECT_EQ(counter("mutdbp_jobs_submitted_total"), items.size());
+  EXPECT_EQ(counter("mutdbp_jobs_completed_total"), report.completed);
+  EXPECT_GT(report.faults_injected, 0u);  // the schedule actually hit servers
+
+  // The same counters drive analysis::summarize_disruption: building the
+  // inputs from telemetry must agree with building them from the report.
+  analysis::DisruptionInputs from_report;
+  from_report.jobs = items.size();
+  from_report.faults_injected = report.faults_injected;
+  from_report.evictions = report.evictions;
+  from_report.replacements = report.replacements;
+  from_report.drops = report.drops;
+  analysis::DisruptionInputs from_telemetry = from_report;
+  from_telemetry.faults_injected = counter("mutdbp_faults_injected_total");
+  from_telemetry.evictions = counter("mutdbp_items_evicted_total");
+  from_telemetry.replacements = counter("mutdbp_jobs_replaced_total");
+  from_telemetry.drops = counter("mutdbp_jobs_dropped_total");
+  const auto a = analysis::summarize_disruption(from_report);
+  const auto b = analysis::summarize_disruption(from_telemetry);
+  EXPECT_DOUBLE_EQ(a.loss_rate(), b.loss_rate());
+  EXPECT_DOUBLE_EQ(a.evictions_per_job(), b.evictions_per_job());
+}
+
+TEST(Telemetry, TraceCanBeDisabledWhileMetricsStayOn) {
+  TelemetryOptions topts;
+  topts.trace = false;
+  topts.trace_capacity = 16;
+  Telemetry telemetry(topts);
+
+  const ItemList items = workload::generate(test_spec(200, 3));
+  const auto algorithm = make_algorithm("FirstFit");
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  const PackingResult result = simulate(items, *algorithm, options);
+
+  EXPECT_EQ(telemetry.tracer().recorded(), 0u);
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  EXPECT_EQ(snap.find_counter("mutdbp_bins_opened_total")->value,
+            result.bins_opened());
+}
+
+}  // namespace
+}  // namespace mutdbp::telemetry

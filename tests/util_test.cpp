@@ -129,6 +129,31 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_THROW((void)percentile(values, 101.0), std::invalid_argument);
 }
 
+TEST(Percentile, RejectsNaNEverywhere) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  // NaN p used to slip past the old `p < 0 || p > 100` range check (every
+  // ordered comparison against NaN is false) and poison the interpolation.
+  EXPECT_THROW((void)percentile(values, nan), std::invalid_argument);
+  // NaN data breaks std::sort's strict weak ordering: the result would
+  // depend on where the NaN happened to land, so it is rejected up front.
+  EXPECT_THROW((void)percentile({1.0, nan, 3.0}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({nan}, 50.0), std::invalid_argument);
+  // Infinities are ordered and stay legal.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(percentile({1.0, inf}, 0.0), 1.0);
+}
+
+TEST(Percentile, NamedQuantileHelpers) {
+  std::vector<double> values;
+  for (int i = 1; i <= 101; ++i) values.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p50(values), percentile(values, 50.0));
+  EXPECT_DOUBLE_EQ(p90(values), percentile(values, 90.0));
+  EXPECT_DOUBLE_EQ(p99(values), percentile(values, 99.0));
+  EXPECT_DOUBLE_EQ(p50(values), 51.0);
+  EXPECT_DOUBLE_EQ(p99(values), 100.0);
+}
+
 TEST(Table, FormatsAlignedColumns) {
   Table table({"name", "value"});
   table.add_row({"alpha", Table::num(1.5, 2)});
