@@ -1,0 +1,133 @@
+// Streaming engine microbenchmarks (google-benchmark):
+//  * BM_StreamingFirstFit — the 50k-item throughput workload of
+//    bench_throughput fed through StreamingSimulation at several batch
+//    granularities. Items/second is directly comparable to
+//    BM_FirstFit/50000; the acceptance bar is within 20% of it.
+//  * BM_SnapshotCost / BM_RestoreCost — serialize and rebuild a complete
+//    50k-job run; the two together must stay under the 100 ms budget.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "algorithms/registry.h"
+#include "core/streaming.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace mutdbp;
+
+ItemList workload_of_size(std::size_t n) {
+  // Mirrors bench_throughput's workload so items/s are comparable.
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = n;
+  spec.seed = 42;
+  spec.arrival_rate = 4.0;
+  spec.duration_max = 8.0;
+  spec.size_min = 0.02;
+  spec.size_max = 0.6;
+  return workload::generate(spec);
+}
+
+StreamingOptions streaming_options(const ItemList& items) {
+  StreamingOptions options;
+  options.capacity = items.capacity();
+  options.record_timelines = false;  // measure the engine, like BM_FirstFit
+  return options;
+}
+
+/// Feeds the whole schedule through a StreamingSimulation, flushing every
+/// `batch` events, and finishes the run. Returns the finished result's bin
+/// count (kept live so the compiler can't discard the run).
+std::size_t stream_once(const ItemList& items, PackingAlgorithm& algo,
+                        std::size_t batch) {
+  StreamingSimulation stream(algo, streaming_options(items));
+  stream.reserve(items.size());
+  std::size_t buffered = 0;
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+    if (++buffered == batch) {
+      stream.flush();
+      buffered = 0;
+    }
+  }
+  return stream.finish().bins_opened();
+}
+
+void BM_StreamingFirstFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const ItemList items = workload_of_size(n);
+  const auto algo = make_algorithm("FirstFit");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream_once(items, *algo, batch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// Cost of snapshot() at the end of a 50k-job run (the worst case: the
+/// applied log holds every event of the run).
+void BM_SnapshotCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ItemList items = workload_of_size(n);
+  const auto algo = make_algorithm("FirstFit");
+  StreamingSimulation stream(*algo, streaming_options(items));
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+  }
+  stream.flush();
+  for (auto _ : state) {
+    std::ostringstream out(std::ios::binary);
+    stream.snapshot(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+
+/// Cost of restore() from that same worst-case checkpoint: parse + full
+/// deterministic replay of 2n events through a fresh engine.
+void BM_RestoreCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ItemList items = workload_of_size(n);
+  const auto algo = make_algorithm("FirstFit");
+  StreamingSimulation stream(*algo, streaming_options(items));
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+  }
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes, std::ios::binary);
+    const auto fresh = make_algorithm("FirstFit");
+    StreamingSimulation restored = StreamingSimulation::restore(in, *fresh);
+    benchmark::DoNotOptimize(restored.events_applied());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_StreamingFirstFit)
+    ->Args({50000, 1})
+    ->Args({50000, 64})
+    ->Args({50000, 1024});
+BENCHMARK(BM_SnapshotCost)->Arg(50000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RestoreCost)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -14,17 +14,143 @@
 // (or JSON when the metrics file ends in .json) and Chrome trace JSON (or
 // CSV when the trace file ends in .csv). The exported counters are
 // cross-checked against the evaluation itself — a mismatch exits non-zero.
+//
+// Streaming mode (docs/streaming.md): --checkpoint-every N feeds the trace
+// through a StreamingSimulation and writes a checkpoint every N applied
+// events; --stop-after-events M abandons the run mid-trace (simulating a
+// crash); --restore FILE resumes from a checkpoint and continues with the
+// remaining events of the same trace. A streaming run that reaches the end
+// of the trace verifies its result bit-for-bit against a one-shot batch
+// simulate() of the same trace and exits non-zero on any divergence.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "algorithms/registry.h"
 #include "analysis/report.h"
+#include "core/streaming.h"
 #include "telemetry/export.h"
 #include "telemetry/telemetry.h"
 #include "util/flags.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
+
+namespace {
+
+// Feeds `items` through a StreamingSimulation (optionally resuming from a
+// checkpoint), checkpointing every `checkpoint_every` applied events. When
+// the whole trace is applied, verifies against batch simulate().
+int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_name,
+                  bool audit, std::int64_t checkpoint_every,
+                  const std::string& checkpoint_path, const std::string& restore_path,
+                  std::int64_t stop_after_events) {
+  using namespace mutdbp;
+
+  std::unique_ptr<PackingAlgorithm> algorithm;
+  std::unique_ptr<StreamingSimulation> stream;
+  if (!restore_path.empty()) {
+    std::ifstream in(restore_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open checkpoint %s\n", restore_path.c_str());
+      return 1;
+    }
+    const StreamingCheckpoint checkpoint = StreamingCheckpoint::read(in);
+    algorithm = make_algorithm(checkpoint.algorithm,
+                               checkpoint.options.algorithm_seed,
+                               checkpoint.options.fit_epsilon);
+    stream = std::make_unique<StreamingSimulation>(
+        StreamingSimulation::restore(checkpoint, *algorithm));
+    std::printf("restored from %s: algorithm %s, %zu events applied, "
+                "%zu servers rented, %zu jobs running\n",
+                restore_path.c_str(), checkpoint.algorithm.c_str(),
+                stream->events_applied(), stream->open_bin_count(),
+                stream->active_items());
+  } else {
+    algorithm = make_algorithm(algorithm_name);
+    StreamingOptions options;
+    options.capacity = items.capacity();
+    options.audit = audit;
+    stream = std::make_unique<StreamingSimulation>(*algorithm, options);
+  }
+
+  const auto& schedule = items.schedule();
+  if (stream->events_applied() > schedule.size()) {
+    std::fprintf(stderr, "checkpoint has %zu events but the trace only has %zu — "
+                 "restored against the wrong trace?\n",
+                 stream->events_applied(), schedule.size());
+    return 1;
+  }
+
+  auto write_checkpoint = [&]() -> bool {
+    std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write checkpoint %s\n", checkpoint_path.c_str());
+      return false;
+    }
+    stream->snapshot(out);
+    return true;
+  };
+
+  std::size_t checkpoints_written = 0;
+  for (std::size_t i = stream->events_applied(); i < schedule.size(); ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      stream->push_arrival(event.id, event.size, event.t);
+    } else {
+      stream->push_departure(event.id, event.t);
+    }
+    stream->flush();
+    if (checkpoint_every > 0 &&
+        stream->events_applied() % static_cast<std::size_t>(checkpoint_every) == 0) {
+      if (!write_checkpoint()) return 1;
+      ++checkpoints_written;
+    }
+    if (stop_after_events > 0 &&
+        stream->events_applied() >= static_cast<std::size_t>(stop_after_events)) {
+      if (!write_checkpoint()) return 1;
+      std::printf("stopped after %zu events (simulated crash); checkpoint -> %s\n",
+                  stream->events_applied(), checkpoint_path.c_str());
+      return 0;
+    }
+  }
+  if (checkpoints_written > 0) {
+    std::printf("%zu checkpoints written to %s\n", checkpoints_written,
+                checkpoint_path.c_str());
+  }
+
+  const PackingResult streamed = stream->finish();
+
+  // End-to-end verification: the streamed (and possibly restored) run must
+  // be indistinguishable from one uninterrupted batch run.
+  const auto reference_algorithm = make_algorithm(
+      std::string(stream->algorithm_name()), stream->options().algorithm_seed,
+      stream->options().fit_epsilon);
+  const PackingResult batch = simulate(items, *reference_algorithm);
+  bool identical = streamed.bins_opened() == batch.bins_opened() &&
+                   streamed.total_usage_time() == batch.total_usage_time();
+  if (identical) {
+    for (const Item& item : items) {
+      if (streamed.bin_of(item.id) != batch.bin_of(item.id)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  std::printf("streaming run: %zu events, %zu servers, total usage %.3f\n",
+              stream->events_applied(), streamed.bins_opened(),
+              streamed.total_usage_time());
+  if (!identical) {
+    std::fprintf(stderr, "VERIFICATION FAILED: streaming result diverges from "
+                 "batch simulate()\n");
+    return 1;
+  }
+  std::printf("verified: placements and usage identical to an uninterrupted "
+              "batch run\n");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mutdbp;
@@ -43,6 +169,15 @@ int main(int argc, char** argv) {
   const std::string trace_out_path = flags.get_string(
       "trace-out", "",
       "write the event trace to this file (.csv: CSV, else Chrome trace JSON)");
+  const std::int64_t checkpoint_every = flags.get_int(
+      "checkpoint-every", 0, "streaming mode: checkpoint every N applied events");
+  const std::string checkpoint_path = flags.get_string(
+      "checkpoint", "trace_replay.ckpt", "streaming mode: checkpoint file path");
+  const std::string restore_path = flags.get_string(
+      "restore", "", "resume a streaming run from this checkpoint file");
+  const std::int64_t stop_after_events = flags.get_int(
+      "stop-after-events", 0,
+      "streaming mode: abandon the run after N events (simulated crash)");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
 
   ItemList items;
@@ -58,6 +193,13 @@ int main(int argc, char** argv) {
   } else {
     items = workload::read_trace_file(trace_path, capacity);
     std::printf("loaded %zu items from %s\n\n", items.size(), trace_path.c_str());
+  }
+
+  const bool streaming =
+      checkpoint_every > 0 || stop_after_events > 0 || !restore_path.empty();
+  if (streaming) {
+    return run_streaming(items, algorithm_name, audit, checkpoint_every,
+                         checkpoint_path, restore_path, stop_after_events);
   }
 
   const auto algorithm = make_algorithm(algorithm_name);

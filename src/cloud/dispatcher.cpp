@@ -1,7 +1,12 @@
 #include "cloud/dispatcher.h"
 
+#include <istream>
+#include <memory>
+#include <ostream>
 #include <string>
 
+#include "cloud/serial.h"
+#include "core/checkpoint.h"
 #include "core/error.h"
 #include "telemetry/telemetry.h"
 
@@ -9,6 +14,7 @@ namespace mutdbp::cloud {
 
 JobDispatcher::JobDispatcher(PackingAlgorithm& algorithm, DispatcherOptions options)
     : options_(options),
+      algorithm_name_(algorithm.name()),
       sim_(algorithm, SimulationOptions{options.capacity, options.fit_epsilon,
                                         /*record_timelines=*/true, options.audit,
                                         options.telemetry}),
@@ -25,6 +31,7 @@ ServerId JobDispatcher::submit(JobId job, double demand, Time now) {
   }
   const ServerId server = sim_.arrive(job, demand, now);
   live_.emplace(job, LiveJob{Phase::kRunning, demand, 0});
+  log_.push_back({Call::Kind::kSubmit, job, demand, 0, now});
   if (telemetry_) telemetry_->on_job_submitted(job, now);
   return server;
 }
@@ -45,6 +52,7 @@ void JobDispatcher::complete(JobId job, Time now) {
   }
   live_.erase(it);
   ++completed_;
+  log_.push_back({Call::Kind::kComplete, job, 0.0, 0, now});
   if (telemetry_) telemetry_->on_job_completed(job, now);
 }
 
@@ -82,6 +90,7 @@ std::vector<EvictionOutcome> JobDispatcher::fail_server(ServerId server, Time no
     }
     outcomes.push_back(outcome);
   }
+  log_.push_back({Call::Kind::kFailServer, 0, 0.0, server, now});
   return outcomes;
 }
 
@@ -98,6 +107,9 @@ std::vector<EvictionOutcome> JobDispatcher::advance_to(Time now) {
     if (telemetry_) telemetry_->on_job_replaced(due.job, outcome.server, now);
     outcomes.push_back(outcome);
   }
+  // Logged even when nothing was due: take_due() prunes its queue, so replay
+  // must pop in lockstep to rebuild identical scheduler internals.
+  log_.push_back({Call::Kind::kAdvanceTo, 0, 0.0, 0, now});
   return outcomes;
 }
 
@@ -118,6 +130,87 @@ JobDispatcher::Report JobDispatcher::finish() {
   Report report{sim_.finish(), {}, evictions_, replacements_, drops_, completed_};
   report.billing = bill(report.packing, options_.billing);
   return report;
+}
+
+void JobDispatcher::checkpoint(std::ostream& out) const {
+  BinaryWriter payload;
+  payload.string(algorithm_name_);
+  payload.f64(options_.capacity);
+  detail::write_billing(payload, options_.billing);
+  payload.f64(options_.fit_epsilon);
+  detail::write_retry(payload, options_.retry);
+  payload.boolean(options_.audit);
+  payload.u64(log_.size());
+  for (const Call& call : log_) {
+    payload.u8(static_cast<std::uint8_t>(call.kind));
+    payload.u64(call.job);
+    payload.f64(call.demand);
+    payload.u64(call.server);
+    payload.f64(call.t);
+  }
+  write_checkpoint_frame(out, CheckpointKind::kJobDispatcher, payload);
+}
+
+std::unique_ptr<JobDispatcher> JobDispatcher::restore(std::istream& in,
+                                                      PackingAlgorithm& algorithm,
+                                                      telemetry::Telemetry* telemetry) {
+  const std::vector<std::uint8_t> bytes =
+      read_checkpoint_frame(in, CheckpointKind::kJobDispatcher);
+  BinaryReader payload(bytes);
+  const std::string name = payload.string();
+  if (algorithm.name() != name) {
+    throw ValidationError("JobDispatcher::restore: checkpoint was taken with "
+                          "algorithm '" + name + "' but '" +
+                          std::string(algorithm.name()) + "' was supplied");
+  }
+  DispatcherOptions options;
+  options.capacity = payload.f64();
+  options.billing = detail::read_billing(payload);
+  options.fit_epsilon = payload.f64();
+  options.retry = detail::read_retry(payload);
+  options.audit = payload.boolean();
+  options.telemetry = telemetry;
+  const std::size_t n = payload.count(/*min_element_bytes=*/1 + 8 + 8 + 8 + 8);
+  std::vector<Call> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Call call;
+    const std::uint8_t kind = payload.u8();
+    if (kind > static_cast<std::uint8_t>(Call::Kind::kAdvanceTo)) {
+      throw ValidationError("checkpoint: invalid dispatcher call kind " +
+                            std::to_string(kind));
+    }
+    call.kind = static_cast<Call::Kind>(kind);
+    call.job = payload.u64();
+    call.demand = payload.f64();
+    call.server = static_cast<ServerId>(payload.u64());
+    call.t = payload.f64();
+    log.push_back(call);
+  }
+  payload.expect_end();
+
+  // Deterministic replay through the public API: every layer — simulation,
+  // retry scheduler, counters, telemetry — rebuilds in lockstep, and the
+  // call log re-records itself along the way.
+  algorithm.reset();
+  auto dispatcher = std::make_unique<JobDispatcher>(algorithm, options);
+  for (const Call& call : log) {
+    switch (call.kind) {
+      case Call::Kind::kSubmit:
+        (void)dispatcher->submit(call.job, call.demand, call.t);
+        break;
+      case Call::Kind::kComplete:
+        dispatcher->complete(call.job, call.t);
+        break;
+      case Call::Kind::kFailServer:
+        (void)dispatcher->fail_server(call.server, call.t);
+        break;
+      case Call::Kind::kAdvanceTo:
+        (void)dispatcher->advance_to(call.t);
+        break;
+    }
+  }
+  return dispatcher;
 }
 
 }  // namespace mutdbp::cloud

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -97,6 +99,23 @@ class JobDispatcher {
   };
   [[nodiscard]] Report finish();
 
+  /// Serializes the run — options, algorithm name, and the full call log —
+  /// to one versioned checkpoint frame (core/checkpoint.h). Every layer of
+  /// the dispatcher is deterministic, so the log IS the state: restore()
+  /// replays it and rebuilds the simulation, retry queue, and counters
+  /// bit-identically (docs/streaming.md).
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds a dispatcher from a checkpoint. `algorithm` must be a fresh
+  /// (or resettable) instance equivalent to the original — its name is
+  /// validated against the checkpoint; it is reset() before replay. The
+  /// checkpointed options are used verbatim except `telemetry`, which is
+  /// re-attached from the parameter (pointers don't survive processes).
+  /// Throws ValidationError on any corruption or an algorithm mismatch.
+  [[nodiscard]] static std::unique_ptr<JobDispatcher> restore(
+      std::istream& in, PackingAlgorithm& algorithm,
+      telemetry::Telemetry* telemetry = nullptr);
+
  private:
   enum class Phase : unsigned char { kRunning, kWaiting };
   struct LiveJob {
@@ -104,12 +123,28 @@ class JobDispatcher {
     double demand = 0.0;
     std::size_t evictions = 0;
   };
+  /// One logged API call (the checkpoint payload's unit of replay).
+  struct Call {
+    enum class Kind : std::uint8_t {
+      kSubmit = 0,
+      kComplete = 1,
+      kFailServer = 2,
+      kAdvanceTo = 3,
+    };
+    Kind kind = Kind::kSubmit;
+    JobId job = 0;        ///< kSubmit/kComplete
+    double demand = 0.0;  ///< kSubmit
+    ServerId server = 0;  ///< kFailServer
+    Time t = 0.0;
+  };
 
   DispatcherOptions options_;
+  std::string algorithm_name_;  ///< for checkpoint validation on restore
   Simulation sim_;
   telemetry::Telemetry* telemetry_ = nullptr;  ///< mirrors sim_.telemetry()
   RetryScheduler retries_;
   std::unordered_map<JobId, LiveJob> live_;
+  std::vector<Call> log_;  ///< successful calls, in order (checkpoint payload)
   std::size_t evictions_ = 0;
   std::size_t replacements_ = 0;
   std::size_t drops_ = 0;

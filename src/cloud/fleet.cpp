@@ -1,10 +1,14 @@
 #include "cloud/fleet.h"
 
 #include <algorithm>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <string>
 
 #include "algorithms/registry.h"
+#include "cloud/serial.h"
+#include "core/checkpoint.h"
 #include "core/error.h"
 #include "telemetry/telemetry.h"
 
@@ -95,6 +99,7 @@ FleetServerId FleetDispatcher::submit(JobId job, double demand, Time now) {
   }
   const FleetServerId home = place(job, demand, now);
   live_.emplace(job, LiveJob{Phase::kRunning, home.type, demand, 0});
+  log_.push_back({Call::Kind::kSubmit, job, demand, {}, now});
   if (telemetry_) telemetry_->on_job_submitted(job, now);
   return home;
 }
@@ -112,6 +117,7 @@ void FleetDispatcher::complete(JobId job, Time now) {
     retries_.cancel(job);
   }
   live_.erase(it);
+  log_.push_back({Call::Kind::kComplete, job, 0.0, {}, now});
   if (telemetry_) telemetry_->on_job_completed(job, now);
 }
 
@@ -156,6 +162,7 @@ std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::fail_server(
     }
     outcomes.push_back(outcome);
   }
+  log_.push_back({Call::Kind::kFailServer, 0, 0.0, server, now});
   return outcomes;
 }
 
@@ -173,6 +180,9 @@ std::vector<FleetDispatcher::FleetEvictionOutcome> FleetDispatcher::advance_to(
     if (telemetry_) telemetry_->on_job_replaced(due.job, outcome.server.server, now);
     outcomes.push_back(outcome);
   }
+  // Logged even when nothing was due: take_due() prunes its queue, so replay
+  // must pop in lockstep to rebuild identical scheduler internals.
+  log_.push_back({Call::Kind::kAdvanceTo, 0, 0.0, {}, now});
   return outcomes;
 }
 
@@ -229,6 +239,99 @@ std::size_t FleetDispatcher::Report::servers_used() const noexcept {
   std::size_t total = 0;
   for (const auto& tr : per_type) total += tr.billing.servers_used;
   return total;
+}
+
+void FleetDispatcher::checkpoint(std::ostream& out) const {
+  BinaryWriter payload;
+  payload.u64(options_.types.size());
+  for (const ServerType& type : options_.types) {
+    payload.string(type.name);
+    payload.f64(type.capacity);
+    detail::write_billing(payload, type.billing);
+  }
+  payload.u8(static_cast<std::uint8_t>(options_.routing));
+  payload.string(options_.algorithm);
+  payload.f64(options_.fit_epsilon);
+  detail::write_retry(payload, options_.retry);
+  payload.boolean(options_.audit);
+  payload.u64(log_.size());
+  for (const Call& call : log_) {
+    payload.u8(static_cast<std::uint8_t>(call.kind));
+    payload.u64(call.job);
+    payload.f64(call.demand);
+    payload.u64(call.server.type);
+    payload.u64(call.server.server);
+    payload.f64(call.t);
+  }
+  write_checkpoint_frame(out, CheckpointKind::kFleetDispatcher, payload);
+}
+
+std::unique_ptr<FleetDispatcher> FleetDispatcher::restore(
+    std::istream& in, telemetry::Telemetry* telemetry) {
+  const std::vector<std::uint8_t> bytes =
+      read_checkpoint_frame(in, CheckpointKind::kFleetDispatcher);
+  BinaryReader payload(bytes);
+  FleetOptions options;
+  const std::size_t num_types = payload.count(/*min_element_bytes=*/8 + 8 + 16);
+  for (std::size_t t = 0; t < num_types; ++t) {
+    ServerType type;
+    type.name = payload.string();
+    type.capacity = payload.f64();
+    type.billing = detail::read_billing(payload);
+    options.types.push_back(std::move(type));
+  }
+  const std::uint8_t routing = payload.u8();
+  if (routing > static_cast<std::uint8_t>(RoutingPolicy::kCheapestPerCapacity)) {
+    throw ValidationError("checkpoint: invalid fleet routing policy " +
+                          std::to_string(routing));
+  }
+  options.routing = static_cast<RoutingPolicy>(routing);
+  options.algorithm = payload.string();
+  options.fit_epsilon = payload.f64();
+  options.retry = detail::read_retry(payload);
+  options.audit = payload.boolean();
+  options.telemetry = telemetry;
+  const std::size_t n = payload.count(/*min_element_bytes=*/1 + 8 + 8 + 8 + 8 + 8);
+  std::vector<Call> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Call call;
+    const std::uint8_t kind = payload.u8();
+    if (kind > static_cast<std::uint8_t>(Call::Kind::kAdvanceTo)) {
+      throw ValidationError("checkpoint: invalid fleet call kind " +
+                            std::to_string(kind));
+    }
+    call.kind = static_cast<Call::Kind>(kind);
+    call.job = payload.u64();
+    call.demand = payload.f64();
+    call.server.type = static_cast<std::size_t>(payload.u64());
+    call.server.server = static_cast<BinIndex>(payload.u64());
+    call.t = payload.f64();
+    log.push_back(call);
+  }
+  payload.expect_end();
+
+  // The registry rebuilds the identical per-type algorithm instances, and
+  // the deterministic replay rebuilds every per-type simulation, the retry
+  // queue, and the counters to the exact pre-snapshot state.
+  auto fleet = std::make_unique<FleetDispatcher>(std::move(options));
+  for (const Call& call : log) {
+    switch (call.kind) {
+      case Call::Kind::kSubmit:
+        (void)fleet->submit(call.job, call.demand, call.t);
+        break;
+      case Call::Kind::kComplete:
+        fleet->complete(call.job, call.t);
+        break;
+      case Call::Kind::kFailServer:
+        (void)fleet->fail_server(call.server, call.t);
+        break;
+      case Call::Kind::kAdvanceTo:
+        (void)fleet->advance_to(call.t);
+        break;
+    }
+  }
+  return fleet;
 }
 
 }  // namespace mutdbp::cloud

@@ -5,6 +5,7 @@
 // provider offers several instance sizes.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -104,6 +105,22 @@ class FleetDispatcher {
   };
   [[nodiscard]] Report finish();
 
+  /// Serializes the whole fleet run — FleetOptions (types, routing,
+  /// algorithm name, retry policy) plus the full call log — to one
+  /// versioned checkpoint frame. Unlike JobDispatcher, the fleet builds its
+  /// algorithms from the registry, so its checkpoint is fully
+  /// self-contained: restore() needs nothing but the bytes.
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds a fleet in a fresh process from checkpoint bytes alone:
+  /// reconstructs FleetOptions, re-creates the per-type algorithm
+  /// instances from the registry, and replays the call log so every
+  /// per-type simulation, the retry queue, and the counters continue
+  /// exactly as an uninterrupted run would. `telemetry` optionally
+  /// re-attaches a sink. Throws ValidationError on any corruption.
+  [[nodiscard]] static std::unique_ptr<FleetDispatcher> restore(
+      std::istream& in, telemetry::Telemetry* telemetry = nullptr);
+
  private:
   enum class Phase : unsigned char { kRunning, kWaiting };
   struct LiveJob {
@@ -112,11 +129,26 @@ class FleetDispatcher {
     double demand = 0.0;
     std::size_t evictions = 0;
   };
+  /// One logged API call (the checkpoint payload's unit of replay).
+  struct Call {
+    enum class Kind : std::uint8_t {
+      kSubmit = 0,
+      kComplete = 1,
+      kFailServer = 2,
+      kAdvanceTo = 3,
+    };
+    Kind kind = Kind::kSubmit;
+    JobId job = 0;          ///< kSubmit/kComplete
+    double demand = 0.0;    ///< kSubmit
+    FleetServerId server{};  ///< kFailServer
+    Time t = 0.0;
+  };
 
   [[nodiscard]] std::size_t route(double demand) const;
   FleetServerId place(JobId job, double demand, Time now);
 
   FleetOptions options_;
+  std::vector<Call> log_;  ///< successful calls, in order (checkpoint payload)
   std::vector<std::unique_ptr<PackingAlgorithm>> algorithms_;
   std::vector<std::unique_ptr<Simulation>> simulations_;
   telemetry::Telemetry* telemetry_ = nullptr;  ///< shared by all per-type sims

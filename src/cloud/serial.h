@@ -1,0 +1,47 @@
+// Internal serialization helpers shared by the dispatcher/fleet checkpoint
+// code (cloud/dispatcher.cpp, cloud/fleet.cpp). Not part of the public API.
+#pragma once
+
+#include <string>
+
+#include "cloud/billing.h"
+#include "cloud/faults.h"
+#include "core/checkpoint.h"
+#include "core/error.h"
+
+namespace mutdbp::cloud::detail {
+
+inline void write_billing(BinaryWriter& out, const BillingPolicy& policy) {
+  out.f64(policy.granularity);
+  out.f64(policy.price_per_unit);
+}
+
+inline BillingPolicy read_billing(BinaryReader& in) {
+  BillingPolicy policy;
+  policy.granularity = in.f64();
+  policy.price_per_unit = in.f64();
+  return policy;
+}
+
+inline void write_retry(BinaryWriter& out, const RetryPolicy& policy) {
+  out.u8(static_cast<std::uint8_t>(policy.kind));
+  out.u64(policy.max_attempts);
+  out.f64(policy.base_delay);
+  out.f64(policy.backoff_factor);
+}
+
+inline RetryPolicy read_retry(BinaryReader& in) {
+  RetryPolicy policy;
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(RetryPolicy::Kind::kDrop)) {
+    throw ValidationError("checkpoint: invalid retry policy kind " +
+                          std::to_string(kind));
+  }
+  policy.kind = static_cast<RetryPolicy::Kind>(kind);
+  policy.max_attempts = static_cast<std::size_t>(in.u64());
+  policy.base_delay = in.f64();
+  policy.backoff_factor = in.f64();
+  return policy;
+}
+
+}  // namespace mutdbp::cloud::detail

@@ -1,0 +1,206 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/error.h"
+
+namespace mutdbp {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'M', 'U', 'T', 'D',
+                                                'B', 'P', 'C', '1'};
+constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 4 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void BinaryWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+void BinaryWriter::u32(std::uint32_t v) { put_u32(bytes_, v); }
+void BinaryWriter::u64(std::uint64_t v) { put_u64(bytes_, v); }
+void BinaryWriter::f64(double v) { put_u64(bytes_, std::bit_cast<std::uint64_t>(v)); }
+void BinaryWriter::boolean(bool v) { bytes_.push_back(v ? 1 : 0); }
+
+void BinaryWriter::string(std::string_view v) {
+  put_u64(bytes_, v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw ValidationError("checkpoint: payload truncated (need " +
+                          std::to_string(n) + " bytes at offset " +
+                          std::to_string(pos_) + ", have " +
+                          std::to_string(size_ - pos_) + ")");
+  }
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool BinaryReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    throw ValidationError("checkpoint: invalid boolean byte " + std::to_string(v));
+  }
+  return v == 1;
+}
+
+std::string BinaryReader::string() {
+  const std::uint64_t len = u64();
+  if (len > remaining()) {
+    throw ValidationError("checkpoint: string length " + std::to_string(len) +
+                          " exceeds remaining payload");
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(len));
+  pos_ += static_cast<std::size_t>(len);
+  return out;
+}
+
+std::size_t BinaryReader::count(std::size_t min_element_bytes) {
+  const std::uint64_t n = u64();
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (n > remaining() / min_element_bytes) {
+    throw ValidationError("checkpoint: sequence count " + std::to_string(n) +
+                          " exceeds remaining payload");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void BinaryReader::expect_end() const {
+  if (pos_ != size_) {
+    throw ValidationError("checkpoint: " + std::to_string(size_ - pos_) +
+                          " trailing payload bytes");
+  }
+}
+
+void write_checkpoint_frame(std::ostream& out, CheckpointKind kind,
+                            const BinaryWriter& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.bytes().size() + kChecksumBytes);
+  frame.insert(frame.end(), kMagic.begin(), kMagic.end());
+  put_u32(frame, kCheckpointVersion);
+  put_u32(frame, static_cast<std::uint32_t>(kind));
+  put_u64(frame, payload.bytes().size());
+  frame.insert(frame.end(), payload.bytes().begin(), payload.bytes().end());
+  put_u64(frame, fnv1a64(frame.data(), frame.size()));
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  if (!out) throw SimulationError("checkpoint: stream write failed");
+}
+
+std::vector<std::uint8_t> read_checkpoint_frame(std::istream& in,
+                                                CheckpointKind kind) {
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  in.read(reinterpret_cast<char*>(header.data()), kHeaderBytes);
+  if (static_cast<std::size_t>(in.gcount()) != kHeaderBytes) {
+    throw ValidationError("checkpoint: truncated header (" +
+                          std::to_string(in.gcount()) + " of " +
+                          std::to_string(kHeaderBytes) + " bytes)");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), header.begin())) {
+    throw ValidationError("checkpoint: bad magic (not a mutdbp checkpoint)");
+  }
+  const std::uint32_t version = get_u32(header.data() + 8);
+  if (version != kCheckpointVersion) {
+    throw ValidationError("checkpoint: unsupported format version " +
+                          std::to_string(version) + " (this build reads version " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint32_t raw_kind = get_u32(header.data() + 12);
+  if (raw_kind != static_cast<std::uint32_t>(kind)) {
+    throw ValidationError("checkpoint: frame kind " + std::to_string(raw_kind) +
+                          " does not match the expected kind " +
+                          std::to_string(static_cast<std::uint32_t>(kind)));
+  }
+  const std::uint64_t payload_size = get_u64(header.data() + 16);
+
+  // Stream the payload + checksum in chunks, capping reads at what the
+  // header claims: a corrupted size field can only produce "truncated", not
+  // an attempt to allocate the corrupted value up front.
+  std::vector<std::uint8_t> body;
+  std::uint64_t want = payload_size + kChecksumBytes;
+  body.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(want, 1 << 20)));
+  std::array<char, 65536> chunk;
+  while (want > 0 && in) {
+    const std::size_t step =
+        static_cast<std::size_t>(std::min<std::uint64_t>(want, chunk.size()));
+    in.read(chunk.data(), static_cast<std::streamsize>(step));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    body.insert(body.end(), chunk.data(), chunk.data() + got);
+    want -= got;
+    if (got < step) break;
+  }
+  if (want > 0) {
+    throw ValidationError("checkpoint: truncated (payload declares " +
+                          std::to_string(payload_size) + " bytes, stream ended " +
+                          std::to_string(want) + " bytes early)");
+  }
+
+  const std::uint64_t stored_checksum =
+      get_u64(body.data() + static_cast<std::size_t>(payload_size));
+  std::uint64_t computed = fnv1a64(header.data(), header.size());
+  computed = fnv1a64(body.data(), static_cast<std::size_t>(payload_size), computed);
+  if (stored_checksum != computed) {
+    throw ValidationError("checkpoint: checksum mismatch (corrupted frame)");
+  }
+  body.resize(static_cast<std::size_t>(payload_size));
+  return body;
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,110 @@
+// Versioned binary checkpoint frames with end-to-end integrity checking.
+//
+// A checkpoint is one self-delimiting frame:
+//
+//   offset 0   magic     "MUTDBPC1" (8 bytes)
+//   offset 8   version   u32 little-endian (kCheckpointVersion)
+//   offset 12  kind      u32 little-endian (what the payload describes)
+//   offset 16  size      u64 little-endian (payload byte count)
+//   offset 24  payload   `size` bytes
+//   tail       checksum  u64 little-endian FNV-1a over magic..payload
+//
+// The reader validates magic, version, kind, and length before the payload
+// is ever parsed, and verifies the checksum before handing the payload to a
+// deserializer — so any truncation or bit flip of a checkpoint surfaces as
+// a ValidationError, never as a crash or a silently different packing (the
+// fuzz suite flips bits to enforce exactly this, see tests/fuzz_test.cpp).
+//
+// All multi-byte values are little-endian regardless of host; doubles
+// travel as their IEEE-754 bit patterns, so checkpoints restore
+// bit-identically across platforms (docs/streaming.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp {
+
+/// Current checkpoint format version. Bump on any layout change; readers
+/// reject other versions with a ValidationError naming both.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// What a checkpoint frame's payload describes.
+enum class CheckpointKind : std::uint32_t {
+  kStreamingSimulation = 1,
+  kJobDispatcher = 2,
+  kFleetDispatcher = 3,
+};
+
+/// FNV-1a 64-bit over a byte range (also used by the golden-master tests to
+/// digest placements).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size,
+                                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Append-only little-endian payload builder.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);  ///< IEEE-754 bit pattern via u64
+  void boolean(bool v);
+  void string(std::string_view v);  ///< u64 length + bytes
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian payload parser. Every overrun throws
+/// ValidationError (defense in depth behind the frame checksum).
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::string string();
+
+  /// A u64 element count for a sequence whose elements occupy at least
+  /// `min_element_bytes` each; rejects counts the remaining payload cannot
+  /// possibly hold (so corrupted counts can never drive huge allocations).
+  [[nodiscard]] std::size_t count(std::size_t min_element_bytes);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  /// Throws ValidationError unless the payload was consumed exactly.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes one complete frame (header + payload + checksum) to `out`.
+/// Throws SimulationError if the stream write fails.
+void write_checkpoint_frame(std::ostream& out, CheckpointKind kind,
+                            const BinaryWriter& payload);
+
+/// Reads and fully validates one frame, returning its payload. Throws
+/// ValidationError on bad magic, unsupported version, unexpected kind,
+/// truncation, or checksum mismatch.
+[[nodiscard]] std::vector<std::uint8_t> read_checkpoint_frame(std::istream& in,
+                                                              CheckpointKind kind);
+
+}  // namespace mutdbp

@@ -263,6 +263,28 @@ std::vector<EvictedItem> Simulation::force_close_bin(BinIndex bin_index, Time t)
   return evicted;
 }
 
+PackingResult Simulation::partial_result() const {
+  if (finished_) throw SimulationError("Simulation: partial_result() after finish()");
+  std::vector<BinRecord> records;
+  records.reserve(bins_.size());
+  for (const auto& bin : bins_) {
+    BinRecord record;
+    record.index = bin.index;
+    record.usage = {bin.open_time, bin.open ? now_ : bin.close_time};
+    record.timeline = bin.timeline;
+    records.push_back(std::move(record));
+  }
+  std::vector<PooledPlacement> pooled = placements_;
+  for (auto& placement : pooled) {
+    // Still-active items (departure unknown) are cut at the frontier, giving
+    // the half-open activity interval they have accumulated so far.
+    if (placement.record.active.right == std::numeric_limits<double>::infinity()) {
+      placement.record.active.right = now_;
+    }
+  }
+  return PackingResult(std::move(records), std::move(pooled));
+}
+
 PackingResult Simulation::finish() {
   if (finished_) throw SimulationError("Simulation: finish() called twice");
   if (!active_.empty()) {

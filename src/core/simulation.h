@@ -116,6 +116,13 @@ class Simulation {
   /// Completes the run. All items must have departed.
   [[nodiscard]] PackingResult finish();
 
+  /// Materializes the packing *as of now* without ending the run: open
+  /// bins' usage periods and still-active placements are truncated at
+  /// now(), exactly as if the run were cut at this instant. Copies state
+  /// (cold path — this is the streaming layer's on-demand partial view,
+  /// see core/streaming.h), so the run continues unaffected.
+  [[nodiscard]] PackingResult partial_result() const;
+
  private:
   static constexpr BinIndex kNoBin = std::numeric_limits<BinIndex>::max();
 

@@ -1,0 +1,181 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/error.h"
+
+namespace mutdbp {
+
+namespace {
+
+SimulationOptions to_simulation_options(const StreamingOptions& options) {
+  SimulationOptions sim;
+  sim.capacity = options.capacity;
+  sim.fit_epsilon = options.fit_epsilon;
+  sim.record_timelines = options.record_timelines;
+  sim.audit = options.audit;
+  sim.telemetry = options.telemetry;
+  return sim;
+}
+
+}  // namespace
+
+StreamingSimulation::StreamingSimulation(PackingAlgorithm& algorithm,
+                                         StreamingOptions options)
+    : algorithm_(algorithm), options_(options) {
+  // Same contract as simulate(): start from the algorithm's fresh state, so
+  // streaming and batch runs over identical events make identical decisions.
+  algorithm_.reset();
+  sim_ = std::make_unique<Simulation>(algorithm_, to_simulation_options(options_));
+}
+
+void StreamingSimulation::reject_buffered_force_close() {
+  throw ValidationError(
+      "StreamingSimulation: force-close events cannot be buffered; call "
+      "force_close_bin() (its evictions must be observable immediately)");
+}
+
+void StreamingSimulation::reserve(std::size_t expected_items) {
+  sim_->reserve(expected_items);
+  // Arrival + departure per item: the applied log sees about twice as many
+  // events as there are items.
+  log_.reserve(log_.size() + 2 * expected_items);
+}
+
+void StreamingSimulation::throw_frontier_violation(Time t) const {
+  throw ValidationError(
+      "StreamingSimulation: batch event at t=" + std::to_string(t) +
+      " lies before the applied frontier t=" + std::to_string(sim_->now()) +
+      " (batches may be internally unordered, but never reach back "
+      "across a flush)");
+}
+
+std::size_t StreamingSimulation::flush_batch() {
+  if (pending_.empty()) return 0;
+  // Validate the batch boundary before touching the engine: a rejected
+  // batch leaves the applied state exactly as it was.
+  const Time frontier = sim_->now();
+  for (const StreamEvent& event : pending_) {
+    if (event.t < frontier) throw_frontier_violation(event.t);
+  }
+  // Canonical merge: time, then departures before arrivals (half-open
+  // activity intervals), then id — the ItemList::schedule() order, which is
+  // what makes streaming bit-identical to batch simulate(). Callers that
+  // feed events already ordered (replaying a schedule) skip the sort.
+  const auto canonical_order = [](const StreamEvent& a, const StreamEvent& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.kind != b.kind) return a.kind == StreamEvent::Kind::kDeparture;
+    return a.id < b.id;
+  };
+  if (!std::is_sorted(pending_.begin(), pending_.end(), canonical_order)) {
+    std::sort(pending_.begin(), pending_.end(), canonical_order);
+  }
+  const std::size_t applied = pending_.size();
+  for (const StreamEvent& event : pending_) apply(event);
+  pending_.clear();
+  return applied;
+}
+
+std::vector<EvictedItem> StreamingSimulation::force_close_bin(BinIndex bin, Time t) {
+  flush();
+  std::vector<EvictedItem> evicted = sim_->force_close_bin(bin, t);
+  log_.push_back({StreamEvent::Kind::kForceClose, bin, 0.0, t});
+  return evicted;
+}
+
+PackingResult StreamingSimulation::partial_result() {
+  flush();
+  return sim_->partial_result();
+}
+
+PackingResult StreamingSimulation::finish() {
+  flush();
+  return sim_->finish();
+}
+
+void StreamingSimulation::snapshot(std::ostream& out) {
+  flush();
+  StreamingCheckpoint checkpoint;
+  checkpoint.algorithm = std::string(algorithm_.name());
+  checkpoint.options = options_;
+  checkpoint.options.telemetry = nullptr;
+  checkpoint.events = log_;
+  checkpoint.write(out);
+}
+
+void StreamingCheckpoint::write(std::ostream& out) const {
+  BinaryWriter payload;
+  payload.string(algorithm);
+  payload.f64(options.capacity);
+  payload.f64(options.fit_epsilon);
+  payload.boolean(options.record_timelines);
+  payload.boolean(options.audit);
+  payload.u64(options.algorithm_seed);
+  payload.u64(events.size());
+  for (const StreamEvent& event : events) {
+    payload.u8(static_cast<std::uint8_t>(event.kind));
+    payload.u64(event.id);
+    payload.f64(event.size);
+    payload.f64(event.t);
+  }
+  write_checkpoint_frame(out, CheckpointKind::kStreamingSimulation, payload);
+}
+
+StreamingCheckpoint StreamingCheckpoint::read(std::istream& in) {
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_frame(in, CheckpointKind::kStreamingSimulation);
+  BinaryReader reader(payload);
+  StreamingCheckpoint checkpoint;
+  checkpoint.algorithm = reader.string();
+  checkpoint.options.capacity = reader.f64();
+  checkpoint.options.fit_epsilon = reader.f64();
+  checkpoint.options.record_timelines = reader.boolean();
+  checkpoint.options.audit = reader.boolean();
+  checkpoint.options.algorithm_seed = reader.u64();
+  const std::size_t n = reader.count(/*min_element_bytes=*/1 + 8 + 8 + 8);
+  checkpoint.events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StreamEvent event;
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(StreamEvent::Kind::kForceClose)) {
+      throw ValidationError("checkpoint: invalid stream event kind " +
+                            std::to_string(kind));
+    }
+    event.kind = static_cast<StreamEvent::Kind>(kind);
+    event.id = reader.u64();
+    event.size = reader.f64();
+    event.t = reader.f64();
+    checkpoint.events.push_back(event);
+  }
+  reader.expect_end();
+  return checkpoint;
+}
+
+StreamingSimulation StreamingSimulation::restore(
+    const StreamingCheckpoint& checkpoint, PackingAlgorithm& algorithm,
+    telemetry::Telemetry* telemetry) {
+  if (algorithm.name() != checkpoint.algorithm) {
+    throw ValidationError("StreamingSimulation::restore: checkpoint was taken "
+                          "with algorithm '" +
+                          checkpoint.algorithm + "' but '" +
+                          std::string(algorithm.name()) + "' was supplied");
+  }
+  StreamingOptions options = checkpoint.options;
+  options.telemetry = telemetry;
+  StreamingSimulation stream(algorithm, options);
+  // Deterministic replay in the recorded application order: the engine, the
+  // algorithm's kernels and RNG streams, the auditor's shadow model, and the
+  // telemetry counters all rebuild to exactly the pre-snapshot state.
+  for (const StreamEvent& event : checkpoint.events) stream.apply(event);
+  return stream;
+}
+
+StreamingSimulation StreamingSimulation::restore(std::istream& in,
+                                                 PackingAlgorithm& algorithm,
+                                                 telemetry::Telemetry* telemetry) {
+  return restore(StreamingCheckpoint::read(in), algorithm, telemetry);
+}
+
+}  // namespace mutdbp

@@ -1,0 +1,211 @@
+// StreamingSimulation: the long-running, service-style face of the engine.
+//
+// The batch simulate() entry point needs the whole trace up front; a cloud
+// allocator never gets that luxury — jobs arrive and depart forever. This
+// layer accepts arrival/departure events incrementally in *batches*: events
+// pushed between two flush() calls may come in any order and are merged
+// deterministically into the engine's canonical event order (primary key
+// time; departures before arrivals at equal times; ties within a kind in id
+// order — exactly ItemList::schedule()). Feeding a trace through any batch
+// granularity therefore produces a PackingResult bit-identical to one-shot
+// simulate(), which the differential test layer enforces for every
+// registered algorithm (tests/differential_test.cpp).
+//
+// Checkpoint/restore: snapshot() serializes the run to a versioned binary
+// frame (core/checkpoint.h). Because every component of the engine is
+// deterministic — seeded RNG streams, reset()-to-fresh algorithm contract,
+// deterministic eviction order — the checkpoint is the applied *event log*,
+// and restore() replays it through a fresh engine. That reconstructs the
+// complete state bit-for-bit: open bins and levels, CapacityTree kernel
+// state, placement pools, per-algorithm state (Next Fit's available-bin
+// pointer, HybridFirstFit's class trees, RandomFit's RNG stream), the
+// auditor's shadow model, and (when a sink is attached) telemetry counters.
+// A restored run continues producing exactly the placements and usage
+// totals of an uninterrupted one. Format and recovery semantics:
+// docs/streaming.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/packing_result.h"
+#include "core/simulation.h"
+
+namespace mutdbp {
+
+/// One buffered streaming event. Departures carry size 0 (the engine knows
+/// the size from the arrival); force-closes live in the applied log only.
+struct StreamEvent {
+  enum class Kind : std::uint8_t {
+    kArrival = 0,
+    kDeparture = 1,
+    kForceClose = 2,  ///< log-only: id is the bin index (see force_close_bin)
+  };
+  Kind kind = Kind::kArrival;
+  ItemId id = 0;      ///< item id; bin index for kForceClose
+  double size = 0.0;  ///< kArrival only
+  Time t = 0.0;
+
+  [[nodiscard]] bool operator==(const StreamEvent&) const noexcept = default;
+};
+
+struct StreamingOptions {
+  double capacity = 1.0;
+  double fit_epsilon = kDefaultFitEpsilon;
+  bool record_timelines = true;
+  /// Attach the InvariantAuditor (core/auditor.h). Serialized into
+  /// checkpoints: a restored run re-audits its whole history during replay.
+  bool audit = false;
+  /// Seed the algorithm instance was built with. Pure checkpoint metadata:
+  /// restore validates nothing against it, but registry-driven consumers
+  /// (trace_replay --restore) use it to rebuild the identical algorithm via
+  /// make_algorithm(name, seed).
+  std::uint64_t algorithm_seed = 1;
+  /// Telemetry sink (not serialized — pointers don't survive processes;
+  /// pass a sink to restore() and replay regenerates every counter).
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Payload of a streaming checkpoint in parsed form. Exposed so callers
+/// that construct algorithms by registry name (examples/trace_replay) can
+/// read the header, build the algorithm, and then restore.
+struct StreamingCheckpoint {
+  std::string algorithm;      ///< PackingAlgorithm::name() of the run
+  StreamingOptions options{};  ///< telemetry pointer is always null here
+  std::vector<StreamEvent> events;  ///< applied log, in application order
+
+  /// Parses and validates one checkpoint frame (header, version, checksum,
+  /// event semantics). Throws ValidationError on any corruption.
+  [[nodiscard]] static StreamingCheckpoint read(std::istream& in);
+  void write(std::ostream& out) const;
+};
+
+class StreamingSimulation {
+ public:
+  /// Binds to `algorithm` exactly like simulate(): the algorithm is
+  /// reset() to its fresh state first, so a streaming run and a batch run
+  /// over the same events see identical algorithm decisions.
+  explicit StreamingSimulation(PackingAlgorithm& algorithm,
+                               StreamingOptions options = {});
+
+  StreamingSimulation(StreamingSimulation&&) = default;
+
+  /// Buffers one event; nothing is applied until flush(). Events within a
+  /// batch may arrive in any order.
+  void push(const StreamEvent& event) {
+    if (event.kind == StreamEvent::Kind::kForceClose) [[unlikely]] {
+      reject_buffered_force_close();
+    }
+    pending_.push_back(event);
+  }
+  void push_arrival(ItemId id, double size, Time t) {
+    push({StreamEvent::Kind::kArrival, id, size, t});
+  }
+  void push_departure(ItemId id, Time t) {
+    push({StreamEvent::Kind::kDeparture, id, 0.0, t});
+  }
+
+  /// Merges the buffered batch into canonical event order and applies it.
+  /// Every buffered event must be at or after the last applied time
+  /// (ValidationError otherwise, checked before anything is applied).
+  /// Returns the number of events applied. Single-event batches — the
+  /// event-at-a-time streaming style — skip the merge entirely.
+  std::size_t flush() {
+    if (pending_.size() == 1) {
+      // A one-event batch is already in canonical order; only the frontier
+      // check remains.
+      const StreamEvent& event = pending_.front();
+      if (event.t < sim_->now()) throw_frontier_violation(event.t);
+      apply(event);
+      pending_.clear();
+      return 1;
+    }
+    return flush_batch();
+  }
+
+  /// Pre-sizes the engine and the event log for a run expected to touch
+  /// about `expected_items` items (optional; amortized growth otherwise).
+  void reserve(std::size_t expected_items);
+
+  /// Crash primitive (flushes buffered events first, then applies
+  /// immediately — its evictions must be observable right away). Forwards
+  /// to Simulation::force_close_bin and records the event in the log, so
+  /// checkpoints replay the crash and its deterministic evictions.
+  std::vector<EvictedItem> force_close_bin(BinIndex bin, Time t);
+
+  /// Materializes the packing *so far* (flushes first): open bins' usage
+  /// periods and still-active placements are truncated at now(), as if the
+  /// run were cut at this instant. The run continues unaffected.
+  [[nodiscard]] PackingResult partial_result();
+
+  /// Completes the run (flushes first; every item must have departed).
+  [[nodiscard]] PackingResult finish();
+
+  /// Serializes the run to one checkpoint frame (flushes first).
+  void snapshot(std::ostream& out);
+
+  /// Rebuilds a run from a parsed checkpoint. `algorithm` must be a fresh
+  /// (or resettable) instance equivalent to the one that produced the
+  /// checkpoint — same name (validated), same constructor parameters such
+  /// as seed and class boundaries (the caller's contract, exactly as for
+  /// simulate()). `telemetry` optionally re-attaches a sink; replay then
+  /// regenerates every counter of the uninterrupted run.
+  [[nodiscard]] static StreamingSimulation restore(
+      const StreamingCheckpoint& checkpoint, PackingAlgorithm& algorithm,
+      telemetry::Telemetry* telemetry = nullptr);
+  /// Convenience: read + restore in one call.
+  [[nodiscard]] static StreamingSimulation restore(
+      std::istream& in, PackingAlgorithm& algorithm,
+      telemetry::Telemetry* telemetry = nullptr);
+
+  [[nodiscard]] const Simulation& engine() const noexcept { return *sim_; }
+  [[nodiscard]] const StreamingOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::string_view algorithm_name() const noexcept {
+    return algorithm_.name();
+  }
+  /// Events applied so far (the checkpoint log length); buffered events
+  /// don't count until flush().
+  [[nodiscard]] std::size_t events_applied() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t buffered_events() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] Time now() const noexcept { return sim_->now(); }
+  [[nodiscard]] std::size_t open_bin_count() const noexcept {
+    return sim_->open_bin_count();
+  }
+  [[nodiscard]] std::size_t bins_opened() const noexcept { return sim_->bins_opened(); }
+  [[nodiscard]] std::size_t active_items() const noexcept {
+    return sim_->active_items();
+  }
+
+ private:
+  void apply(const StreamEvent& event) {
+    switch (event.kind) {
+      case StreamEvent::Kind::kArrival:
+        sim_->arrive(event.id, event.size, event.t);
+        break;
+      case StreamEvent::Kind::kDeparture:
+        sim_->depart(event.id, event.t);
+        break;
+      case StreamEvent::Kind::kForceClose:
+        (void)sim_->force_close_bin(static_cast<BinIndex>(event.id), event.t);
+        break;
+    }
+    log_.push_back(event);
+  }
+  std::size_t flush_batch();
+  [[noreturn]] void throw_frontier_violation(Time t) const;
+  [[noreturn]] static void reject_buffered_force_close();
+
+  PackingAlgorithm& algorithm_;
+  StreamingOptions options_;
+  std::unique_ptr<Simulation> sim_;
+  std::vector<StreamEvent> pending_;  ///< current unflushed batch
+  std::vector<StreamEvent> log_;      ///< applied events, application order
+};
+
+}  // namespace mutdbp

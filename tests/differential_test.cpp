@@ -1,0 +1,286 @@
+// Differential equivalence layer: for EVERY registered algorithm, feeding a
+// workload through StreamingSimulation — at any batch granularity, with
+// events shuffled inside each batch, with a snapshot→restore at any cut —
+// must produce results bit-identical to the one-shot batch simulate() of
+// the same workload. The `Differential` suite is the tier-1 subset; the
+// `SlowDifferential` suite (ctest label `slow`) drives 200+ randomized
+// scenarios per algorithm.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/checkpoint.h"
+#include "core/error.h"
+#include "core/streaming.h"
+#include "telemetry/telemetry.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+ItemList random_workload(Rng& rng) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 40 + static_cast<std::size_t>(rng.uniform_u64(0, 160));
+  spec.seed = rng.uniform_u64(1, 1u << 30);
+  spec.arrival_rate = 1.0 + 4.0 * rng.next_double();
+  spec.duration_max = 2.0 + 6.0 * rng.next_double();
+  spec.size_min = 0.02;
+  spec.size_max = 0.3 + 0.6 * rng.next_double();
+  return workload::generate(spec);
+}
+
+void expect_identical(const PackingResult& streamed, const PackingResult& batch,
+                      const ItemList& items, const std::string& label) {
+  ASSERT_EQ(streamed.bins_opened(), batch.bins_opened()) << label;
+  // Bit-identical, not approximately equal: both paths must execute the
+  // exact same floating-point operations in the exact same order.
+  ASSERT_EQ(streamed.total_usage_time(), batch.total_usage_time()) << label;
+  for (const Item& item : items) {
+    ASSERT_EQ(streamed.bin_of(item.id), batch.bin_of(item.id))
+        << label << " item " << item.id;
+  }
+  const auto& sb = streamed.bins();
+  const auto& bb = batch.bins();
+  for (std::size_t b = 0; b < sb.size(); ++b) {
+    ASSERT_EQ(sb[b].usage.left, bb[b].usage.left) << label << " bin " << b;
+    ASSERT_EQ(sb[b].usage.right, bb[b].usage.right) << label << " bin " << b;
+  }
+}
+
+/// One randomized scenario: random chunking of the schedule, shuffled
+/// within each chunk, an optional snapshot→restore at a random flush
+/// boundary, then a full comparison against batch simulate().
+void run_scenario(const std::string& algorithm, Rng& rng, bool with_restore,
+                  bool with_telemetry) {
+  const ItemList items = random_workload(rng);
+
+  const auto batch_algo = make_algorithm(algorithm);
+  SimulationOptions batch_options;
+  telemetry::Telemetry batch_telemetry;
+  if (with_telemetry) batch_options.telemetry = &batch_telemetry;
+  const PackingResult batch = simulate(items, *batch_algo, batch_options);
+
+  const auto stream_algo = make_algorithm(algorithm);
+  StreamingOptions options;
+  options.capacity = items.capacity();
+  telemetry::Telemetry stream_telemetry;
+  if (with_telemetry) options.telemetry = &stream_telemetry;
+  auto stream = std::make_unique<StreamingSimulation>(*stream_algo, options);
+
+  // Fresh instances for the restored half, created up front so the restore
+  // cut can happen at any flush boundary.
+  const std::size_t total = items.schedule().size();
+  const std::size_t restore_at =
+      with_restore ? rng.uniform_u64(0, total) : total + 1;
+
+  std::unique_ptr<PackingAlgorithm> restored_algo;
+  std::size_t i = 0;
+  std::vector<StreamEvent> chunk;
+  while (i < total) {
+    const std::size_t chunk_size =
+        std::min<std::size_t>(1 + rng.uniform_u64(0, 15), total - i);
+    chunk.clear();
+    for (std::size_t k = 0; k < chunk_size; ++k, ++i) {
+      const ScheduledEvent& event = items.schedule()[i];
+      chunk.push_back({event.is_arrival ? StreamEvent::Kind::kArrival
+                                        : StreamEvent::Kind::kDeparture,
+                       event.id, event.size, event.t});
+    }
+    // Shuffle inside the chunk: flush() owns the canonical re-ordering.
+    for (std::size_t k = chunk.size(); k > 1; --k) {
+      std::swap(chunk[k - 1], chunk[rng.uniform_u64(0, k - 1)]);
+    }
+    for (const StreamEvent& event : chunk) stream->push(event);
+    stream->flush();
+
+    if (with_restore && stream->events_applied() >= restore_at &&
+        restored_algo == nullptr) {
+      std::ostringstream out(std::ios::binary);
+      stream->snapshot(out);
+      std::istringstream in(out.str(), std::ios::binary);
+      restored_algo = make_algorithm(algorithm);
+      stream = std::make_unique<StreamingSimulation>(StreamingSimulation::restore(
+          in, *restored_algo, with_telemetry ? &stream_telemetry : nullptr));
+    }
+  }
+
+  const std::string label = algorithm + (with_restore ? "+restore" : "") +
+                            (with_telemetry ? "+telemetry" : "");
+  expect_identical(stream->finish(), batch, items, label);
+
+  if (with_telemetry) {
+    // Replay regenerates the counters, so the streamed sink must agree with
+    // the batch sink on every integer counter — except that a restore run
+    // counts its pre-cut events twice (once live, once during replay).
+    // Restore runs therefore attach a *fresh* sink below instead.
+    if (!with_restore) {
+      const auto batch_snap = batch_telemetry.metrics().snapshot();
+      const auto stream_snap = stream_telemetry.metrics().snapshot();
+      for (const char* name :
+           {"mutdbp_bins_opened_total", "mutdbp_bins_closed_total",
+            "mutdbp_items_placed_total"}) {
+        const auto* expected = batch_snap.find_counter(name);
+        const auto* actual = stream_snap.find_counter(name);
+        ASSERT_NE(expected, nullptr) << name;
+        ASSERT_NE(actual, nullptr) << name;
+        ASSERT_EQ(actual->value, expected->value) << label << " " << name;
+      }
+    }
+  }
+}
+
+/// Fault differential: the same arrive/depart/force_close sequence driven
+/// through a StreamingSimulation and a raw Simulation must agree exactly —
+/// including which items each crash evicts.
+void run_fault_scenario(const std::string& algorithm, Rng& rng) {
+  const ItemList items = random_workload(rng);
+
+  const auto make_options = [&] {
+    SimulationOptions options;
+    options.capacity = items.capacity();
+    return options;
+  };
+  const auto reference_algo = make_algorithm(algorithm);
+  reference_algo->reset();
+  Simulation reference(*reference_algo, make_options());
+
+  const auto stream_algo = make_algorithm(algorithm);
+  StreamingOptions stream_options;
+  stream_options.capacity = items.capacity();
+  StreamingSimulation stream(*stream_algo, stream_options);
+
+  std::vector<bool> evicted_ids(1 << 16, false);
+  std::size_t events_since_fault = 0;
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      const BinIndex expected = reference.arrive(event.id, event.size, event.t);
+      stream.push_arrival(event.id, event.size, event.t);
+      stream.flush();
+      ASSERT_EQ(stream.engine().bin_of_active(event.id), expected);
+    } else {
+      // An item evicted by a crash has already left both engines.
+      if (event.id < evicted_ids.size() && evicted_ids[event.id]) continue;
+      reference.depart(event.id, event.t);
+      stream.push_departure(event.id, event.t);
+      stream.flush();
+    }
+    // Roughly every 25 events, crash a random open server in BOTH engines.
+    if (++events_since_fault >= 25 && reference.open_bin_count() > 0) {
+      events_since_fault = 0;
+      const auto snapshots = reference.open_snapshots();
+      const BinIndex victim =
+          snapshots[rng.uniform_u64(0, snapshots.size() - 1)].index;
+      const auto expected = reference.force_close_bin(victim, reference.now());
+      const auto actual = stream.force_close_bin(victim, stream.now());
+      ASSERT_EQ(actual.size(), expected.size());
+      for (std::size_t k = 0; k < expected.size(); ++k) {
+        ASSERT_EQ(actual[k].id, expected[k].id);
+        ASSERT_EQ(actual[k].size, expected[k].size);
+        if (expected[k].id < evicted_ids.size()) evicted_ids[expected[k].id] = true;
+      }
+    }
+  }
+  ASSERT_EQ(stream.open_bin_count(), reference.open_bin_count());
+  ASSERT_EQ(stream.bins_opened(), reference.bins_opened());
+  ASSERT_EQ(stream.now(), reference.now());
+}
+
+// ---- tier-1 subset ----
+
+TEST(Differential, StreamingMatchesBatchForEveryAlgorithm) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0xD1F0 + static_cast<std::uint64_t>(name.size()));
+    for (int trial = 0; trial < 8; ++trial) {
+      run_scenario(name, rng, /*with_restore=*/false, /*with_telemetry=*/false);
+    }
+  }
+}
+
+TEST(Differential, SnapshotRestoreAtRandomCutsForEveryAlgorithm) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(name.size()));
+    for (int trial = 0; trial < 8; ++trial) {
+      run_scenario(name, rng, /*with_restore=*/true, /*with_telemetry=*/false);
+    }
+  }
+}
+
+TEST(Differential, TelemetryCountersMatchBatch) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0x7E1E);
+    run_scenario(name, rng, /*with_restore=*/false, /*with_telemetry=*/true);
+    run_scenario(name, rng, /*with_restore=*/true, /*with_telemetry=*/true);
+  }
+}
+
+TEST(Differential, FaultSequencesMatchRawSimulation) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0xFA017 + static_cast<std::uint64_t>(name.size()));
+    for (int trial = 0; trial < 4; ++trial) {
+      run_fault_scenario(name, rng);
+    }
+  }
+}
+
+TEST(Differential, AuditedStreamingRunStaysClean) {
+  // The always-on auditor's shadow model must follow a streamed (and
+  // restored) run exactly as it follows a batch run: zero violations.
+  Rng rng(0xA0D17);
+  const ItemList items = random_workload(rng);
+  const auto algo = make_algorithm("FirstFit");
+  StreamingOptions options;
+  options.capacity = items.capacity();
+  options.audit = true;
+  StreamingSimulation stream(*algo, options);
+  const auto& schedule = items.schedule();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+    stream.flush();
+    if (i == schedule.size() / 2) {
+      // Restore mid-run: replay re-audits the whole applied history.
+      std::ostringstream out(std::ios::binary);
+      stream.snapshot(out);
+      std::istringstream in(out.str(), std::ios::binary);
+      const auto fresh = make_algorithm("FirstFit");
+      StreamingSimulation restored = StreamingSimulation::restore(in, *fresh);
+      EXPECT_TRUE(restored.engine().auditing());
+      EXPECT_EQ(restored.events_applied(), stream.events_applied());
+    }
+  }
+  EXPECT_NO_THROW((void)stream.finish());
+}
+
+// ---- the 200+-scenario sweep (ctest label: slow) ----
+
+TEST(SlowDifferential, TwoHundredScenariosPerAlgorithm) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0x51057 + fnv1a64(name.data(), name.size()));
+    for (int trial = 0; trial < 200; ++trial) {
+      const bool with_restore = (trial % 2) == 1;
+      const bool with_telemetry = (trial % 5) == 0;
+      run_scenario(name, rng, with_restore, with_telemetry);
+    }
+  }
+}
+
+TEST(SlowDifferential, FaultSweep) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0xFA5C + fnv1a64(name.data(), name.size()));
+    for (int trial = 0; trial < 40; ++trial) {
+      run_fault_scenario(name, rng);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <iterator>
 #include <map>
 #include <sstream>
@@ -12,6 +16,7 @@
 #include "algorithms/any_fit.h"
 #include "core/error.h"
 #include "core/simulation.h"
+#include "core/streaming.h"
 #include "opt/bin_packing.h"
 #include "opt/opt_integral.h"
 #include "util/rng.h"
@@ -267,6 +272,171 @@ TEST(FuzzTrace, CorruptedRowsAreRejectedNotMisread) {
     EXPECT_THROW((void)workload::read_trace(in), ValidationError)
         << "trial " << trial << " row " << row << " field " << field
         << " poison " << fields[field];
+  }
+}
+
+// ---- checkpoint frames vs truncation and bit flips ----
+//
+// Contract (core/checkpoint.h): any corrupted checkpoint must surface as a
+// clean ValidationError — never a crash, never a silently different run.
+// Iteration budget scales with MUTDBP_FUZZ_ITERS (the CI fuzz job raises
+// it); failures dump a replayable artifact (original + corrupted bytes +
+// metadata) into a crash directory printed in the test log.
+
+std::size_t fuzz_iters(std::size_t base) {
+  if (const char* env = std::getenv("MUTDBP_FUZZ_ITERS")) {
+    const unsigned long long v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+std::filesystem::path fuzz_crash_dir() {
+  if (const char* env = std::getenv("MUTDBP_FUZZ_CRASH_DIR")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::temp_directory_path() / "mutdbp_fuzz_crashes";
+}
+
+/// Writes a replayable artifact for one failing checkpoint mutant and
+/// returns the directory it landed in (also printed, so CI can upload it).
+std::filesystem::path dump_crash_artifact(const std::string& test,
+                                          std::uint64_t seed,
+                                          const std::string& original,
+                                          const std::string& corrupted,
+                                          const std::string& detail) {
+  const std::filesystem::path dir =
+      fuzz_crash_dir() / (test + "-seed" + std::to_string(seed));
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir / "original.ckpt", std::ios::binary) << original;
+  std::ofstream(dir / "corrupted.ckpt", std::ios::binary) << corrupted;
+  std::ofstream(dir / "meta.txt") << "test: " << test << "\nseed: " << seed
+                                  << "\n" << detail << "\n";
+  std::cout << "[  ARTIFACT] replayable crash artifact: " << dir << "\n";
+  return dir;
+}
+
+/// A valid checkpoint of a randomized mid-run streaming simulation.
+std::string random_checkpoint_bytes(std::uint64_t seed) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 30 + seed % 70;
+  spec.seed = seed;
+  const ItemList items = workload::generate(spec);
+  FirstFit algo;
+  StreamingOptions options;
+  options.capacity = items.capacity();
+  StreamingSimulation stream(algo, options);
+  Rng rng(seed ^ 0xC4C4);
+  const std::size_t cut = rng.uniform_u64(1, items.schedule().size());
+  for (std::size_t i = 0; i < cut; ++i) {
+    const ScheduledEvent& event = items.schedule()[i];
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+  }
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+  return out.str();
+}
+
+TEST(FuzzCheckpoint, TruncationIsAlwaysACleanValidationError) {
+  const std::size_t iters = fuzz_iters(40);
+  Rng rng(0x77C0);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::uint64_t seed = rng.uniform_u64(1, 1u << 24);
+    const std::string bytes = random_checkpoint_bytes(seed);
+    const std::size_t len = rng.uniform_u64(0, bytes.size() - 1);
+    const std::string truncated = bytes.substr(0, len);
+    std::istringstream in(truncated, std::ios::binary);
+    FirstFit algo;
+    try {
+      (void)StreamingSimulation::restore(in, algo);
+      dump_crash_artifact("truncation", seed, bytes, truncated,
+                          "truncated to " + std::to_string(len) + " bytes, "
+                          "restore unexpectedly succeeded");
+      FAIL() << "truncated checkpoint (len " << len << "/" << bytes.size()
+             << ") was accepted";
+    } catch (const ValidationError&) {
+      // the contract
+    } catch (const std::exception& e) {
+      dump_crash_artifact("truncation", seed, bytes, truncated,
+                          std::string("unexpected exception type: ") + e.what());
+      FAIL() << "truncation raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+TEST(FuzzCheckpoint, BitFlipsNeverCauseSilentDivergence) {
+  const std::size_t iters = fuzz_iters(60);
+  Rng rng(0xB17F);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::uint64_t seed = rng.uniform_u64(1, 1u << 24);
+    const std::string bytes = random_checkpoint_bytes(seed);
+    std::string corrupted = bytes;
+    const std::size_t flips = 1 + rng.uniform_u64(0, 7);
+    std::string detail = "bit flips at:";
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_u64(0, corrupted.size() - 1);
+      const int bit = static_cast<int>(rng.uniform_u64(0, 7));
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+      detail += " " + std::to_string(pos) + ":" + std::to_string(bit);
+    }
+    if (corrupted == bytes) continue;  // flips cancelled out
+
+    std::istringstream in(corrupted, std::ios::binary);
+    FirstFit algo;
+    try {
+      StreamingSimulation restored = StreamingSimulation::restore(in, algo);
+      // The checksum should make this unreachable; if a mutant ever slips
+      // through, the restored run must still be THE original run (no silent
+      // divergence): its re-serialization must reproduce the original bytes.
+      std::ostringstream again(std::ios::binary);
+      restored.snapshot(again);
+      if (again.str() != bytes) {
+        dump_crash_artifact("bitflip", seed, bytes, corrupted,
+                            detail + "\nrestore accepted the mutant and "
+                            "produced a DIFFERENT run (silent divergence)");
+        FAIL() << "corrupted checkpoint restored to a different run (" << detail
+               << ")";
+      }
+    } catch (const ValidationError&) {
+      // the contract
+    } catch (const std::exception& e) {
+      dump_crash_artifact("bitflip", seed, bytes, corrupted,
+                          detail + "\nunexpected exception type: " + e.what());
+      FAIL() << "bit flip raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+TEST(FuzzCheckpoint, RandomBytesNeverCrashTheReader) {
+  const std::size_t iters = fuzz_iters(60);
+  Rng rng(0x5EED);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    // Garbage of random length, occasionally seeded with the real magic so
+    // the fuzzer also exercises the post-header validation paths.
+    std::string garbage(rng.uniform_u64(0, 256), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform_u64(0, 255));
+    if (rng.bernoulli(0.3) && garbage.size() >= 8) {
+      garbage.replace(0, 8, "MUTDBPC1");
+    }
+    std::istringstream in(garbage, std::ios::binary);
+    FirstFit algo;
+    try {
+      (void)StreamingSimulation::restore(in, algo);
+      dump_crash_artifact("garbage", trial, "", garbage,
+                          "random bytes were accepted as a checkpoint");
+      FAIL() << "random garbage was accepted as a checkpoint";
+    } catch (const ValidationError&) {
+      // the contract
+    } catch (const std::exception& e) {
+      dump_crash_artifact("garbage", trial, "", garbage,
+                          std::string("unexpected exception type: ") + e.what());
+      FAIL() << "garbage raised a non-ValidationError: " << e.what();
+    }
   }
 }
 

@@ -1,0 +1,182 @@
+// Golden-master regression suite: pins the exact packing every registered
+// algorithm produces on a fixed set of workloads — the checked-in demo
+// trace plus the paper's adversarial constructions — to goldens committed
+// in tests/goldens/. Any change to placement decisions, event ordering, or
+// floating-point evaluation order shows up as a digest mismatch here, even
+// when aggregate objectives barely move.
+//
+// Updating intentionally (after reviewing the diff):
+//   MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster
+// (ctest inherits the environment; the test then rewrites the goldens file
+// in the source tree and passes).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/checkpoint.h"
+#include "core/simulation.h"
+#include "workload/adversarial.h"
+#include "workload/trace.h"
+
+#ifndef MUTDBP_GOLDENS_DIR
+#error "tests/CMakeLists.txt must define MUTDBP_GOLDENS_DIR"
+#endif
+#ifndef MUTDBP_DEMO_TRACE_PATH
+#error "tests/CMakeLists.txt must define MUTDBP_DEMO_TRACE_PATH"
+#endif
+
+namespace mutdbp {
+namespace {
+
+struct Golden {
+  std::size_t bins = 0;
+  std::uint64_t usage_bits = 0;  ///< total usage time, IEEE-754 bit pattern
+  std::uint64_t digest = 0;      ///< FNV-1a over every placement, bin order
+};
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Order-sensitive digest of the full packing: bin index, usage interval,
+/// then every placement (item, size, activity interval) in placement order.
+std::uint64_t digest_of(const PackingResult& result) {
+  std::uint64_t h = fnv1a64(nullptr, 0);
+  const auto mix = [&h](std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); };
+  for (const BinRecord& bin : result.bins()) {
+    mix(bin.index);
+    mix(bits_of(bin.usage.left));
+    mix(bits_of(bin.usage.right));
+    for (const PlacementRecord& placement : bin.items) {
+      mix(placement.item);
+      mix(bits_of(placement.size));
+      mix(bits_of(placement.active.left));
+      mix(bits_of(placement.active.right));
+    }
+  }
+  return h;
+}
+
+struct Workload {
+  std::string name;
+  ItemList items;
+  double fit_epsilon = kDefaultFitEpsilon;
+};
+
+std::vector<Workload> golden_workloads() {
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"demo_trace", workload::read_trace_file(MUTDBP_DEMO_TRACE_PATH),
+       kDefaultFitEpsilon});
+  const auto nf = workload::next_fit_lower_bound_instance(8, 6.0);
+  workloads.push_back({"next_fit_lower_bound", nf.items, nf.recommended_fit_epsilon});
+  const auto pin = workload::any_fit_pinning_instance(8, 6.0);
+  workloads.push_back({"any_fit_pinning", pin.items, pin.recommended_fit_epsilon});
+  const auto decoy = workload::best_fit_decoy_instance(4, 6.0);
+  workloads.push_back({"best_fit_decoy", decoy.items, decoy.recommended_fit_epsilon});
+  return workloads;
+}
+
+std::string goldens_path() {
+  return std::string(MUTDBP_GOLDENS_DIR) + "/packing_goldens.txt";
+}
+
+/// Key: "<workload>/<algorithm>". Values parsed from / written to the
+/// goldens file, one `key bins usage_bits digest` line each.
+std::map<std::string, Golden> read_goldens() {
+  std::map<std::string, Golden> goldens;
+  std::ifstream in(goldens_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    Golden golden;
+    if (fields >> key >> golden.bins >> std::hex >> golden.usage_bits >>
+        golden.digest) {
+      goldens[key] = golden;
+    }
+    // (the std::hex sticks per-stream, not per-line: each line re-creates
+    // its own istringstream, so the decimal `bins` field parses correctly)
+  }
+  return goldens;
+}
+
+void write_goldens(const std::map<std::string, Golden>& goldens) {
+  std::ofstream out(goldens_path(), std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write " << goldens_path();
+  out << "# Golden packings: <workload>/<algorithm> <bins> <usage_bits_hex> "
+         "<digest_hex>\n"
+      << "# Regenerate: MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster\n";
+  for (const auto& [key, golden] : goldens) {
+    out << key << ' ' << std::dec << golden.bins << ' ' << std::hex
+        << golden.usage_bits << ' ' << golden.digest << '\n';
+  }
+}
+
+TEST(GoldenMaster, PackingsMatchCheckedInGoldens) {
+  const bool update = []() {
+    const char* env = std::getenv("MUTDBP_UPDATE_GOLDENS");
+    return env != nullptr && std::string(env) == "1";
+  }();
+
+  std::map<std::string, Golden> expected = read_goldens();
+  std::map<std::string, Golden> actual;
+  for (const Workload& workload : golden_workloads()) {
+    for (const std::string& algorithm : algorithm_names()) {
+      const auto algo = make_algorithm(algorithm, /*seed=*/1, workload.fit_epsilon);
+      SimulationOptions options;
+      options.fit_epsilon = workload.fit_epsilon;
+      const PackingResult result = simulate(workload.items, *algo, options);
+      Golden golden;
+      golden.bins = result.bins_opened();
+      golden.usage_bits = bits_of(result.total_usage_time());
+      golden.digest = digest_of(result);
+      actual[workload.name + "/" + algorithm] = golden;
+    }
+  }
+
+  if (update) {
+    write_goldens(actual);
+    GTEST_SKIP() << "goldens rewritten at " << goldens_path();
+  }
+
+  ASSERT_FALSE(expected.empty())
+      << "no goldens at " << goldens_path()
+      << " — generate them once with: MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster";
+
+  for (const auto& [key, golden] : actual) {
+    const auto it = expected.find(key);
+    ASSERT_NE(it, expected.end())
+        << "no golden for " << key << "; if this workload/algorithm pair is "
+        << "new, regenerate with: MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster";
+    EXPECT_EQ(golden.bins, it->second.bins) << key;
+    EXPECT_EQ(golden.usage_bits, it->second.usage_bits)
+        << key << ": total usage changed; if intentional, regenerate with "
+        << "MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster";
+    EXPECT_EQ(golden.digest, it->second.digest)
+        << key << ": placement digest changed — the algorithm made different "
+        << "decisions (or event ordering/fp evaluation changed); if "
+        << "intentional, regenerate with MUTDBP_UPDATE_GOLDENS=1 ctest -R "
+        << "GoldenMaster";
+  }
+  // Stale entries (pair removed from the matrix) should be pruned too.
+  for (const auto& [key, golden] : expected) {
+    EXPECT_TRUE(actual.count(key) != 0)
+        << "stale golden " << key << "; regenerate with "
+        << "MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenMaster";
+  }
+}
+
+}  // namespace
+}  // namespace mutdbp

@@ -18,6 +18,7 @@
 #include "cloud/gaming.h"
 #include "core/simulation.h"
 #include "opt/lower_bounds.h"
+#include "test_support.h"
 #include "workload/adversarial.h"
 #include "workload/cluster.h"
 #include "workload/generators.h"
@@ -73,11 +74,10 @@ TEST(Integration, TraceRoundTripPreservesPackingExactly) {
   spec.num_vms = 400;
   const ItemList original = workload::generate_cluster(spec);
 
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "mutdbp_integration_trace.csv").string();
+  const mutdbp::testing::ScopedTempDir tmp;
+  const std::string path = tmp.file("integration_trace.csv").string();
   workload::write_trace_file(path, original);
   const ItemList loaded = workload::read_trace_file(path);
-  std::filesystem::remove(path);
 
   for (const auto& name : {"FirstFit", "NextFit", "BestFit"}) {
     const auto a1 = make_algorithm(name);

@@ -1,0 +1,426 @@
+// StreamingSimulation and the checkpoint frame layer: batch-merge
+// semantics, partial results, snapshot/restore round trips (engine,
+// dispatcher, fleet), and the corruption contract (every malformed frame
+// is a ValidationError, never a crash or a silently wrong run).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/any_fit.h"
+#include "algorithms/registry.h"
+#include "cloud/dispatcher.h"
+#include "cloud/fleet.h"
+#include "core/checkpoint.h"
+#include "core/error.h"
+#include "core/streaming.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+ItemList small_workload(std::uint64_t seed, std::size_t n = 120) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = n;
+  spec.seed = seed;
+  spec.duration_max = 5.0;
+  return workload::generate(spec);
+}
+
+StreamingOptions options_for(const ItemList& items) {
+  StreamingOptions options;
+  options.capacity = items.capacity();
+  return options;
+}
+
+/// Feeds the whole schedule, flushing every `batch` events; returns the
+/// finished result.
+PackingResult stream_all(const ItemList& items, PackingAlgorithm& algo,
+                         std::size_t batch) {
+  StreamingSimulation stream(algo, options_for(items));
+  std::size_t buffered = 0;
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+    if (++buffered == batch) {
+      stream.flush();
+      buffered = 0;
+    }
+  }
+  return stream.finish();
+}
+
+void expect_identical(const PackingResult& a, const PackingResult& b,
+                      const ItemList& items) {
+  ASSERT_EQ(a.bins_opened(), b.bins_opened());
+  EXPECT_EQ(a.total_usage_time(), b.total_usage_time());  // bit-identical
+  for (const Item& item : items) {
+    EXPECT_EQ(a.bin_of(item.id), b.bin_of(item.id)) << "item " << item.id;
+  }
+}
+
+// ---- streaming semantics ----
+
+TEST(Streaming, AnyBatchGranularityMatchesBatchSimulate) {
+  const ItemList items = small_workload(11);
+  FirstFit reference_algo;
+  const PackingResult batch = simulate(items, reference_algo);
+  for (const std::size_t granularity : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{64}, items.schedule().size()}) {
+    FirstFit algo;
+    const PackingResult streamed = stream_all(items, algo, granularity);
+    expect_identical(streamed, batch, items);
+  }
+}
+
+TEST(Streaming, OutOfOrderEventsWithinABatchAreMergedCanonically) {
+  const ItemList items = small_workload(12);
+  FirstFit reference_algo;
+  const PackingResult batch = simulate(items, reference_algo);
+
+  // Push the whole schedule reversed into one batch: flush() must re-derive
+  // the canonical order (time; departures first at equal times; id).
+  FirstFit algo;
+  StreamingSimulation stream(algo, options_for(items));
+  const auto& schedule = items.schedule();
+  for (auto it = schedule.rbegin(); it != schedule.rend(); ++it) {
+    if (it->is_arrival) {
+      stream.push_arrival(it->id, it->size, it->t);
+    } else {
+      stream.push_departure(it->id, it->t);
+    }
+  }
+  EXPECT_EQ(stream.flush(), schedule.size());
+  expect_identical(stream.finish(), batch, items);
+}
+
+TEST(Streaming, EventBeforeAppliedFrontierIsRejectedBeforeAnyApply) {
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  stream.push_arrival(1, 0.4, 1.0);
+  stream.push_departure(1, 3.0);
+  stream.flush();
+  ASSERT_EQ(stream.now(), 3.0);
+
+  // A batch reaching back across the flush boundary: rejected as a whole,
+  // engine untouched (the valid arrival at t=4 must NOT have been applied).
+  stream.push_arrival(2, 0.3, 4.0);
+  stream.push_arrival(3, 0.3, 2.0);
+  EXPECT_THROW(stream.flush(), ValidationError);
+  EXPECT_EQ(stream.events_applied(), 2u);
+  EXPECT_EQ(stream.active_items(), 0u);
+}
+
+TEST(Streaming, BufferedForceCloseIsRejected) {
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  EXPECT_THROW(stream.push({StreamEvent::Kind::kForceClose, 0, 0.0, 1.0}),
+               ValidationError);
+}
+
+TEST(Streaming, PartialResultTruncatesAtNowAndRunContinues) {
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  stream.push_arrival(1, 0.5, 0.0);
+  stream.push_arrival(2, 0.5, 1.0);
+  stream.flush();
+
+  const PackingResult partial = stream.partial_result();
+  EXPECT_EQ(partial.bins_opened(), 1u);
+  EXPECT_EQ(partial.total_usage_time(), 1.0);  // [0, now=1)
+
+  // The partial materialization must not disturb the live run.
+  stream.push_departure(1, 4.0);
+  stream.push_departure(2, 6.0);
+  stream.flush();
+  const PackingResult final_result = stream.finish();
+  EXPECT_EQ(final_result.bins_opened(), 1u);
+  EXPECT_EQ(final_result.total_usage_time(), 6.0);
+}
+
+TEST(Streaming, ForceCloseFlushesAndIsReplayedFromCheckpoints) {
+  const auto run = [](StreamingSimulation& stream) {
+    stream.push_arrival(1, 0.4, 0.0);
+    stream.push_arrival(2, 0.4, 0.5);
+    stream.flush();
+    const auto evicted = stream.force_close_bin(0, 1.0);
+    EXPECT_EQ(evicted.size(), 2u);
+  };
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  run(stream);
+
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+  std::istringstream in(out.str(), std::ios::binary);
+  FirstFit fresh;
+  StreamingSimulation restored = StreamingSimulation::restore(in, fresh);
+  EXPECT_EQ(restored.events_applied(), 3u);  // 2 arrivals + 1 force-close
+  EXPECT_EQ(restored.open_bin_count(), 0u);
+  EXPECT_EQ(restored.bins_opened(), 1u);
+  EXPECT_EQ(restored.now(), 1.0);
+}
+
+// ---- snapshot / restore ----
+
+TEST(Streaming, SnapshotRestoreContinuesBitIdentically) {
+  const ItemList items = small_workload(21);
+  FirstFit reference_algo;
+  const PackingResult batch = simulate(items, reference_algo);
+
+  const auto& schedule = items.schedule();
+  const std::size_t cut = schedule.size() / 3;
+
+  FirstFit algo;
+  StreamingSimulation stream(algo, options_for(items));
+  for (std::size_t i = 0; i < cut; ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, event.size, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+  }
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+
+  // "Fresh process": a new algorithm instance, rebuilt purely from bytes.
+  std::istringstream in(out.str(), std::ios::binary);
+  FirstFit fresh;
+  StreamingSimulation restored = StreamingSimulation::restore(in, fresh);
+  EXPECT_EQ(restored.events_applied(), cut);
+  EXPECT_EQ(restored.now(), stream.now());
+  EXPECT_EQ(restored.open_bin_count(), stream.open_bin_count());
+  EXPECT_EQ(restored.active_items(), stream.active_items());
+
+  for (std::size_t i = cut; i < schedule.size(); ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      restored.push_arrival(event.id, event.size, event.t);
+    } else {
+      restored.push_departure(event.id, event.t);
+    }
+    restored.flush();
+  }
+  expect_identical(restored.finish(), batch, items);
+}
+
+TEST(Streaming, RestoreValidatesAlgorithmName) {
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  stream.push_arrival(1, 0.4, 0.0);
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  BestFit wrong;
+  EXPECT_THROW((void)StreamingSimulation::restore(in, wrong), ValidationError);
+}
+
+TEST(Streaming, CheckpointRecordsSeedForRegistryConsumers) {
+  const auto algo = make_algorithm("RandomFit", /*seed=*/99);
+  StreamingOptions options;
+  options.algorithm_seed = 99;
+  StreamingSimulation stream(*algo, options);
+  stream.push_arrival(1, 0.4, 0.0);
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  const StreamingCheckpoint checkpoint = StreamingCheckpoint::read(in);
+  EXPECT_EQ(checkpoint.algorithm, "RandomFit");
+  EXPECT_EQ(checkpoint.options.algorithm_seed, 99u);
+  ASSERT_EQ(checkpoint.events.size(), 1u);
+  EXPECT_EQ(checkpoint.events[0].kind, StreamEvent::Kind::kArrival);
+}
+
+// ---- frame-level corruption contract ----
+
+std::string valid_checkpoint_bytes() {
+  FirstFit algo;
+  StreamingSimulation stream(algo);
+  stream.push_arrival(1, 0.4, 0.0);
+  stream.push_arrival(2, 0.3, 0.5);
+  stream.push_departure(1, 2.0);
+  stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+  return out.str();
+}
+
+void expect_rejected(std::string bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  FirstFit algo;
+  EXPECT_THROW((void)StreamingSimulation::restore(in, algo), ValidationError);
+}
+
+TEST(Checkpoint, BadMagicIsRejected) {
+  std::string bytes = valid_checkpoint_bytes();
+  bytes[0] = 'X';
+  expect_rejected(bytes);
+}
+
+TEST(Checkpoint, UnsupportedVersionIsRejected) {
+  std::string bytes = valid_checkpoint_bytes();
+  bytes[8] = static_cast<char>(0xFF);  // version field follows the magic
+  expect_rejected(bytes);
+}
+
+TEST(Checkpoint, WrongFrameKindIsRejected) {
+  // A dispatcher frame is not a streaming frame, even if the bytes are
+  // intact: the kind field routes each consumer to its own format.
+  FirstFit algo;
+  cloud::JobDispatcher dispatcher(algo);
+  dispatcher.submit(1, 0.4, 0.0);
+  std::ostringstream out(std::ios::binary);
+  dispatcher.checkpoint(out);
+  expect_rejected(out.str());
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  const std::string bytes = valid_checkpoint_bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    expect_rejected(bytes.substr(0, len));
+  }
+}
+
+TEST(Checkpoint, ChecksumCatchesPayloadCorruption) {
+  const std::string bytes = valid_checkpoint_bytes();
+  // Flip one bit in every byte position in turn — header, payload, and the
+  // checksum itself; some structural or checksum check must reject each
+  // mutant.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string mutant = bytes;
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x10);
+    expect_rejected(mutant);
+  }
+}
+
+TEST(Checkpoint, TrailingGarbageAfterPayloadIsRejected) {
+  // Declared-size corruption in the other direction: a frame whose payload
+  // is longer than its header claims fails the checksum/structure checks.
+  std::string bytes = valid_checkpoint_bytes();
+  bytes += "extra";
+  std::istringstream in(bytes, std::ios::binary);
+  FirstFit algo;
+  StreamingSimulation restored = StreamingSimulation::restore(in, algo);
+  // The frame itself is intact; the garbage is simply not consumed. A
+  // second read from the same stream then fails cleanly.
+  EXPECT_EQ(restored.events_applied(), 3u);
+  FirstFit another;
+  EXPECT_THROW((void)StreamingSimulation::restore(in, another), ValidationError);
+}
+
+TEST(Checkpoint, BinaryReaderGuardsOversizedCounts) {
+  // A count field claiming more elements than the payload could possibly
+  // hold must be rejected up front (no attempt to allocate it).
+  BinaryWriter payload;
+  payload.u64(std::uint64_t{1} << 60);
+  BinaryReader reader(payload.bytes());
+  EXPECT_THROW((void)reader.count(/*min_element_bytes=*/8), ValidationError);
+}
+
+// ---- dispatcher / fleet round trips ----
+
+TEST(DispatcherCheckpoint, RoundTripMidRunWithPendingRetries) {
+  cloud::DispatcherOptions options;
+  options.retry.kind = cloud::RetryPolicy::Kind::kBackoff;
+  options.retry.base_delay = 0.5;
+
+  FirstFit algo;
+  cloud::JobDispatcher dispatcher(algo, options);
+  dispatcher.submit(1, 0.5, 0.0);
+  dispatcher.submit(2, 0.5, 0.1);
+  dispatcher.submit(3, 0.8, 0.2);
+  const cloud::ServerId victim = dispatcher.server_of(1);
+  dispatcher.fail_server(victim, 1.0);  // jobs 1+2 queue for retry
+  ASSERT_GT(dispatcher.pending_retries(), 0u);
+
+  std::ostringstream out(std::ios::binary);
+  dispatcher.checkpoint(out);
+  std::istringstream in(out.str(), std::ios::binary);
+  FirstFit fresh;
+  const auto restored = cloud::JobDispatcher::restore(in, fresh);
+
+  EXPECT_EQ(restored->pending_retries(), dispatcher.pending_retries());
+  EXPECT_EQ(restored->running_jobs(), dispatcher.running_jobs());
+  EXPECT_EQ(restored->jobs_evicted(), dispatcher.jobs_evicted());
+
+  // Both timelines continue identically: retries come due, jobs complete.
+  const auto drive = [](cloud::JobDispatcher& d) {
+    (void)d.advance_to(2.0);
+    d.complete(1, 3.0);
+    d.complete(2, 3.5);
+    d.complete(3, 4.0);
+    return d.finish();
+  };
+  const auto original_report = drive(dispatcher);
+  const auto restored_report = drive(*restored);
+  EXPECT_EQ(original_report.packing.bins_opened(),
+            restored_report.packing.bins_opened());
+  EXPECT_EQ(original_report.packing.total_usage_time(),
+            restored_report.packing.total_usage_time());
+  EXPECT_EQ(original_report.billing.total_cost, restored_report.billing.total_cost);
+  EXPECT_EQ(original_report.replacements, restored_report.replacements);
+  EXPECT_EQ(original_report.completed, restored_report.completed);
+}
+
+TEST(DispatcherCheckpoint, RestoreValidatesAlgorithmName) {
+  FirstFit algo;
+  cloud::JobDispatcher dispatcher(algo);
+  dispatcher.submit(1, 0.4, 0.0);
+  std::ostringstream out(std::ios::binary);
+  dispatcher.checkpoint(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  BestFit wrong;
+  EXPECT_THROW((void)cloud::JobDispatcher::restore(in, wrong), ValidationError);
+}
+
+TEST(FleetCheckpoint, RoundTripIsSelfContained) {
+  cloud::FleetOptions options;
+  options.types = {{"small", 1.0, {}}, {"large", 2.0, {}}};
+  options.retry.kind = cloud::RetryPolicy::Kind::kBackoff;
+
+  cloud::FleetDispatcher fleet(options);
+  const cloud::FleetServerId first = fleet.submit(1, 0.5, 0.0);
+  fleet.submit(2, 1.5, 0.1);  // only fits the large type
+  fleet.submit(3, 0.4, 0.2);
+  fleet.submit(4, 0.3, 0.3);
+  (void)fleet.fail_server(first, 0.5);
+
+  std::ostringstream out(std::ios::binary);
+  fleet.checkpoint(out);
+  std::istringstream in(out.str(), std::ios::binary);
+  const auto restored = cloud::FleetDispatcher::restore(in);
+
+  EXPECT_EQ(restored->running_jobs(), fleet.running_jobs());
+  EXPECT_EQ(restored->rented_servers(), fleet.rented_servers());
+  EXPECT_EQ(restored->pending_retries(), fleet.pending_retries());
+  EXPECT_EQ(restored->jobs_evicted(), fleet.jobs_evicted());
+
+  const auto drive = [](cloud::FleetDispatcher& f) {
+    (void)f.advance_to(2.0);
+    f.complete(1, 3.0);
+    f.complete(3, 3.5);
+    f.complete(2, 4.0);
+    f.complete(4, 4.5);
+    return f.finish();
+  };
+  const auto a = drive(fleet);
+  const auto b = drive(*restored);
+  EXPECT_EQ(a.total_cost(), b.total_cost());
+  EXPECT_EQ(a.total_usage(), b.total_usage());
+  EXPECT_EQ(a.servers_used(), b.servers_used());
+}
+
+}  // namespace
+}  // namespace mutdbp

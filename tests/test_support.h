@@ -1,12 +1,55 @@
 // Shared test helpers.
 #pragma once
 
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+
+#include <gtest/gtest.h>
 
 #include "core/algorithm.h"
 
 namespace mutdbp::testing {
+
+/// A per-test scratch directory, unique across processes AND across tests
+/// within one binary (name = sanitized gtest test name + pid), removed on
+/// destruction. Tests that write files must use this instead of bare
+/// temp_directory_path() filenames so `ctest -j N` — which runs the same
+/// binary concurrently under different gtest filters — never races on
+/// shared paths.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    std::string name = "mutdbp-test";
+    if (const auto* info = ::testing::UnitTest::GetInstance()->current_test_info()) {
+      name = std::string(info->test_suite_name()) + "-" + info->name();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+      }
+    }
+    path_ = std::filesystem::temp_directory_path() /
+            (name + "-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept { return path_; }
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
 
 /// A scripted "algorithm" that places each item either in the bin of a
 /// designated earlier item or in a new bin. Lets tests construct exact
