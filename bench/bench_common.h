@@ -10,6 +10,7 @@
 #include <string>
 
 #include "telemetry/export.h"
+#include "telemetry/report_html.h"
 #include "telemetry/telemetry.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -19,11 +20,12 @@ namespace mutdbp::bench {
 
 /// Optional telemetry export for any binary with a Flags parser: registers
 /// --metrics <file> (Prometheus text, or a JSON dump when the file ends in
-/// .json) and --trace-out <file> (Chrome trace-event JSON, or CSV when it
-/// ends in .csv). Passing either flag enables the process-global Telemetry
-/// — every Simulation built afterwards is instrumented, no per-bench
-/// plumbing — and the files are written by write() or on destruction
-/// (see docs/observability.md).
+/// .json), --trace-out <file> (Chrome trace-event JSON, or CSV when it
+/// ends in .csv) and --report <file> (self-contained HTML run dashboard,
+/// docs/observability.md). Passing any of them enables the process-global
+/// Telemetry — every Simulation built afterwards is instrumented, no
+/// per-bench plumbing — and the files are written by write() or on
+/// destruction.
 class TelemetrySink {
  public:
   explicit TelemetrySink(Flags& flags) {
@@ -32,6 +34,8 @@ class TelemetrySink {
     trace_path_ = flags.get_string(
         "trace-out", "", "write the event trace to this file (.csv: CSV, else "
                          "Chrome trace JSON)");
+    report_path_ = flags.get_string(
+        "report", "", "write a self-contained HTML run dashboard to this file");
     if (enabled()) telemetry::Telemetry::enable_global();
   }
 
@@ -39,7 +43,8 @@ class TelemetrySink {
   TelemetrySink& operator=(const TelemetrySink&) = delete;
 
   [[nodiscard]] bool enabled() const noexcept {
-    return !metrics_path_.empty() || !trace_path_.empty();
+    return !metrics_path_.empty() || !trace_path_.empty() ||
+           !report_path_.empty();
   }
 
   /// Writes the requested export files (idempotent; also runs at
@@ -56,6 +61,10 @@ class TelemetrySink {
       telemetry::write_trace_file(trace_path_, telemetry);
       std::printf("[trace written to %s]\n", trace_path_.c_str());
     }
+    if (!report_path_.empty()) {
+      telemetry::write_report_file(report_path_, telemetry);
+      std::printf("[report written to %s]\n", report_path_.c_str());
+    }
   }
 
   ~TelemetrySink() {
@@ -69,6 +78,7 @@ class TelemetrySink {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string report_path_;
   bool written_ = false;
 };
 

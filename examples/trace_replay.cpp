@@ -22,29 +22,115 @@
 // remaining events of the same trace. A streaming run that reaches the end
 // of the trace verifies its result bit-for-bit against a one-shot batch
 // simulate() of the same trace and exits non-zero on any divergence.
+//
+// Ratio monitoring (docs/observability.md): --report out.html writes the
+// self-contained HTML dashboard. --adversarial next_fit|pinning|decoy
+// replays a generated adversarial family (size --n, duration spread --mu)
+// instead of a trace. --enforce-bound exits 2 when the monitor saw First
+// Fit's ratio exceed µ+4 past the --bound-warmup-lb threshold — the CI
+// bound-sentinel gate. Whenever telemetry is attached, the monitor's final
+// lower bounds are cross-checked bit-for-bit against the batch opt:: sweep
+// and the replay exits non-zero on mismatch.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "algorithms/registry.h"
 #include "analysis/report.h"
 #include "core/streaming.h"
+#include "opt/lower_bounds.h"
 #include "telemetry/export.h"
+#include "telemetry/report_html.h"
 #include "telemetry/telemetry.h"
 #include "util/flags.h"
+#include "workload/adversarial.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
 
 namespace {
 
+// The monitor's final lower bounds must be bit-for-bit identical to the
+// batch opt:: sweep over the same items — both sides run the one shared
+// LowerBoundAccumulator (src/opt/lower_bounds.cpp), so any drift is a bug.
+// Usage is compared with a tiny relative tolerance (summation order).
+// Returns false (after printing a diagnosis) on any disagreement.
+bool check_monitor(const mutdbp::ItemList& items,
+                   const mutdbp::telemetry::Telemetry& telemetry,
+                   double reference_usage) {
+  using namespace mutdbp;
+  const telemetry::RatioRunState state = telemetry.monitor().current();
+  bool ok = state.finished;
+  if (ok && state.lb_prop1 != opt::prop1_time_space_bound(items)) ok = false;
+  if (ok && state.lb_prop2 != opt::prop2_span_bound(items)) ok = false;
+  if (ok && state.lb_load_ceiling != opt::load_ceiling_bound(items)) ok = false;
+  if (ok && state.lower_bound != opt::combined_lower_bound(items)) ok = false;
+  if (ok && std::abs(state.usage - reference_usage) >
+                1e-9 * std::max(1.0, reference_usage)) {
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "ratio-monitor cross-check FAILED: live bounds diverge from "
+                 "the batch opt:: sweep (finished=%d usage=%.17g/%.17g "
+                 "LB=%.17g/%.17g)\n",
+                 state.finished ? 1 : 0, state.usage, reference_usage,
+                 state.lower_bound, opt::combined_lower_bound(items));
+    return false;
+  }
+  std::printf("ratio monitor: final ratio %.3f, bounds bit-identical to the "
+              "batch opt:: sweep\n", state.ratio);
+  return true;
+}
+
+// --enforce-bound: the peak monitored ratio (past the warm-up threshold)
+// must stay inside Theorem 1's mu+4 envelope. Returns false on violation.
+bool enforce_theorem_bound(const mutdbp::telemetry::Telemetry& telemetry,
+                           double mu) {
+  const mutdbp::telemetry::RatioRunState state = telemetry.monitor().current();
+  const double envelope = mu + 4.0;
+  if (state.peak_ratio > envelope) {
+    std::fprintf(stderr,
+                 "BOUND VIOLATION: peak ratio %.6f at t=%.6f exceeds "
+                 "mu+4 = %.6f\n",
+                 state.peak_ratio, state.peak_ratio_t, envelope);
+    return false;
+  }
+  std::printf("bound sentinel: peak ratio %.3f stayed inside mu+4 = %.3f\n",
+              state.peak_ratio, envelope);
+  return true;
+}
+
+void write_exports(const mutdbp::telemetry::Telemetry& telemetry,
+                   const std::string& metrics_path,
+                   const std::string& trace_out_path,
+                   const std::string& report_path) {
+  using namespace mutdbp;
+  if (!metrics_path.empty()) {
+    telemetry::write_metrics_file(metrics_path, telemetry);
+    std::printf("[metrics written to %s]\n", metrics_path.c_str());
+  }
+  if (!trace_out_path.empty()) {
+    telemetry::write_trace_file(trace_out_path, telemetry);
+    std::printf("[trace written to %s]\n", trace_out_path.c_str());
+  }
+  if (!report_path.empty()) {
+    telemetry::write_report_file(report_path, telemetry);
+    std::printf("[report written to %s]\n", report_path.c_str());
+  }
+}
+
 // Feeds `items` through a StreamingSimulation (optionally resuming from a
 // checkpoint), checkpointing every `checkpoint_every` applied events. When
 // the whole trace is applied, verifies against batch simulate().
 int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_name,
-                  bool audit, std::int64_t checkpoint_every,
+                  bool audit, double fit_epsilon, std::int64_t checkpoint_every,
                   const std::string& checkpoint_path, const std::string& restore_path,
-                  std::int64_t stop_after_events) {
+                  std::int64_t stop_after_events,
+                  mutdbp::telemetry::Telemetry* telemetry, bool enforce_bound,
+                  const std::string& metrics_path, const std::string& trace_out_path,
+                  const std::string& report_path) {
   using namespace mutdbp;
 
   std::unique_ptr<PackingAlgorithm> algorithm;
@@ -60,18 +146,23 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
                                checkpoint.options.algorithm_seed,
                                checkpoint.options.fit_epsilon);
     stream = std::make_unique<StreamingSimulation>(
-        StreamingSimulation::restore(checkpoint, *algorithm));
+        StreamingSimulation::restore(checkpoint, *algorithm, telemetry));
     std::printf("restored from %s: algorithm %s, %zu events applied, "
                 "%zu servers rented, %zu jobs running\n",
                 restore_path.c_str(), checkpoint.algorithm.c_str(),
                 stream->events_applied(), stream->open_bin_count(),
                 stream->active_items());
   } else {
-    algorithm = make_algorithm(algorithm_name);
+    algorithm = make_algorithm(algorithm_name, 1, fit_epsilon);
     StreamingOptions options;
     options.capacity = items.capacity();
     options.audit = audit;
+    options.fit_epsilon = fit_epsilon;
+    options.telemetry = telemetry;
     stream = std::make_unique<StreamingSimulation>(*algorithm, options);
+  }
+  if (telemetry != nullptr) {
+    telemetry->set_reference_mu(&stream->engine(), items.mu());
   }
 
   const auto& schedule = items.schedule();
@@ -147,6 +238,11 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
   }
   std::printf("verified: placements and usage identical to an uninterrupted "
               "batch run\n");
+  if (telemetry != nullptr) {
+    if (!check_monitor(items, *telemetry, streamed.total_usage_time())) return 1;
+    if (enforce_bound && !enforce_theorem_bound(*telemetry, items.mu())) return 2;
+    write_exports(*telemetry, metrics_path, trace_out_path, report_path);
+  }
   return 0;
 }
 
@@ -178,10 +274,54 @@ int main(int argc, char** argv) {
   const std::int64_t stop_after_events = flags.get_int(
       "stop-after-events", 0,
       "streaming mode: abandon the run after N events (simulated crash)");
+  const std::string report_path = flags.get_string(
+      "report", "", "write a self-contained HTML run dashboard to this file");
+  const std::string adversarial = flags.get_string(
+      "adversarial", "",
+      "replay a generated adversarial family instead of a trace: "
+      "next_fit | pinning | decoy");
+  const std::int64_t adversarial_n = flags.get_int(
+      "n", 40, "adversarial family size (pairs / pins / rounds)");
+  const double adversarial_mu = flags.get_double(
+      "mu", 10.0, "adversarial family duration spread (max/min duration)");
+  const bool enforce_bound = flags.get_bool(
+      "enforce-bound", false,
+      "exit 2 if the monitored peak ratio exceeds mu+4 past warm-up");
+  const double bound_warmup_lb = flags.get_double(
+      "bound-warmup-lb", 1.0,
+      "ignore ratios while the OPT lower bound is below this (warm-up)");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
 
   ItemList items;
-  if (trace_path.empty()) {
+  double fit_epsilon = kDefaultFitEpsilon;
+  if (!adversarial.empty()) {
+    workload::AdversarialInstance instance;
+    const auto size = static_cast<std::size_t>(std::max<std::int64_t>(
+        adversarial_n, 3));
+    if (adversarial == "next_fit") {
+      instance = workload::next_fit_lower_bound_instance(size, adversarial_mu);
+    } else if (adversarial == "pinning") {
+      instance = workload::any_fit_pinning_instance(std::min<std::size_t>(size, 48),
+                                                    adversarial_mu);
+    } else if (adversarial == "decoy") {
+      // Every pin must arrive while the collector anchor is alive:
+      // 1.5*(rounds-1) + 0.5 < mu caps the usable round count for this mu.
+      const auto mu_cap = static_cast<std::size_t>(std::max(
+          3.0, std::floor((adversarial_mu - 0.5) / 1.5 - 1e-9) + 1.0));
+      instance = workload::best_fit_decoy_instance(
+          std::min({size, std::size_t{44}, mu_cap}), adversarial_mu);
+    } else {
+      std::fprintf(stderr, "unknown --adversarial family '%s' "
+                   "(expected next_fit | pinning | decoy)\n", adversarial.c_str());
+      return 1;
+    }
+    items = std::move(instance.items);
+    fit_epsilon = instance.recommended_fit_epsilon;
+    std::printf("adversarial family '%s': %zu items, mu %.1f, predicted ratio "
+                "%.3f, fit_epsilon %g\n\n",
+                adversarial.c_str(), items.size(), adversarial_mu,
+                instance.predicted_ratio(), fit_epsilon);
+  } else if (trace_path.empty()) {
     workload::RandomWorkloadSpec spec;
     spec.num_items = 500;
     spec.seed = 2026;
@@ -195,19 +335,26 @@ int main(int argc, char** argv) {
     std::printf("loaded %zu items from %s\n\n", items.size(), trace_path.c_str());
   }
 
+  const bool want_telemetry = !metrics_path.empty() || !trace_out_path.empty() ||
+                              !report_path.empty() || enforce_bound;
+  telemetry::Telemetry telemetry;
+  telemetry.monitor().set_warmup_lb(bound_warmup_lb);
+
   const bool streaming =
       checkpoint_every > 0 || stop_after_events > 0 || !restore_path.empty();
   if (streaming) {
-    return run_streaming(items, algorithm_name, audit, checkpoint_every,
-                         checkpoint_path, restore_path, stop_after_events);
+    return run_streaming(items, algorithm_name, audit, fit_epsilon,
+                         checkpoint_every, checkpoint_path, restore_path,
+                         stop_after_events,
+                         want_telemetry ? &telemetry : nullptr, enforce_bound,
+                         metrics_path, trace_out_path, report_path);
   }
 
-  const auto algorithm = make_algorithm(algorithm_name);
+  const auto algorithm = make_algorithm(algorithm_name, 1, fit_epsilon);
   analysis::EvalOptions options;
   options.exact_opt = items.size() <= 600;  // integral is cheap enough here
   options.sim.audit = audit;
-  const bool want_telemetry = !metrics_path.empty() || !trace_out_path.empty();
-  telemetry::Telemetry telemetry;
+  options.sim.fit_epsilon = fit_epsilon;
   if (want_telemetry) options.sim.telemetry = &telemetry;
   const analysis::Evaluation eval = analysis::evaluate(items, *algorithm, options);
 
@@ -250,14 +397,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("telemetry: counters cross-checked against the evaluation\n");
-    if (!metrics_path.empty()) {
-      telemetry::write_metrics_file(metrics_path, telemetry);
-      std::printf("[metrics written to %s]\n", metrics_path.c_str());
-    }
-    if (!trace_out_path.empty()) {
-      telemetry::write_trace_file(trace_out_path, telemetry);
-      std::printf("[trace written to %s]\n", trace_out_path.c_str());
-    }
+    // The monitor is compared against the opt:: sweep directly rather than
+    // eval.opt_lower: with exact_opt the evaluation may tighten its bound
+    // past what the live lower-bound accumulator can know.
+    if (!check_monitor(items, telemetry, eval.total_usage)) return 1;
+    if (enforce_bound && !enforce_theorem_bound(telemetry, eval.mu)) return 2;
+    write_exports(telemetry, metrics_path, trace_out_path, report_path);
   }
   return 0;
 }

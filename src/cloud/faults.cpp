@@ -158,6 +158,7 @@ FaultyRunReport run_with_faults(const ItemList& items, PackingAlgorithm& algorit
   Simulation sim(algorithm, sim_options);
   sim.reserve(items.size());
   telemetry::Telemetry* tel = sim.telemetry();
+  if (tel) tel->set_reference_mu(&sim, items.mu());
   telemetry::ScopedTimer replay_timer(
       tel ? &tel->profiler() : nullptr,
       tel ? tel->handles().faults_replay : telemetry::SectionHandle{});

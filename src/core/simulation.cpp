@@ -26,6 +26,12 @@ Simulation::Simulation(PackingAlgorithm& algorithm, SimulationOptions options)
                                                   options_.fit_epsilon);
   }
   telemetry_ = telemetry::Telemetry::resolve(options_.telemetry);
+  // Bind the telemetry ratio monitor to this engine: `this` is the owner
+  // tag on every subsequent hook, so a shared Telemetry can tell this run's
+  // events apart from a concurrent engine's.
+  if (telemetry_) {
+    telemetry_->on_run_begin(this, algorithm_.name(), options_.capacity);
+  }
   algorithm_.on_simulation_begin(options_.capacity, options_.fit_epsilon);
 }
 
@@ -137,7 +143,8 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     record_level(bin, t);
     algorithm_.on_item_placed(target, view, bin.level);
     if (telemetry_) {
-      telemetry_->on_item_placed(id, size, target, bin.level, options_.capacity, t,
+      telemetry_->on_item_placed(this, id, size, target, bin.level,
+                                 options_.capacity, t,
                                  /*opened_new_bin=*/false, open_count_);
     }
   } else {
@@ -166,8 +173,8 @@ BinIndex Simulation::arrive(ItemId id, double size, Time t) {
     algorithm_.on_bin_opened(target, view);
     max_concurrent_ = std::max(max_concurrent_, open_count_);
     if (telemetry_) {
-      telemetry_->on_item_placed(id, size, target, size, options_.capacity, t,
-                                 /*opened_new_bin=*/true, open_count_);
+      telemetry_->on_item_placed(this, id, size, target, size, options_.capacity,
+                                 t, /*opened_new_bin=*/true, open_count_);
     }
   }
   if (auditor_) auditor_->on_arrive(id, size, target, t);
@@ -193,7 +200,9 @@ void Simulation::close_bin(BinState& bin, Time t) {
   --open_count_;
   algorithm_.on_bin_closed(bin.index, t);
   if (auditor_) auditor_->on_bin_closed(bin.index, t);
-  if (telemetry_) telemetry_->on_bin_closed(bin.index, bin.open_time, t, open_count_);
+  if (telemetry_) {
+    telemetry_->on_bin_closed(this, bin.index, bin.open_time, t, open_count_);
+  }
 }
 
 void Simulation::depart(ItemId id, Time t) {
@@ -213,7 +222,9 @@ void Simulation::depart(ItemId id, Time t) {
   record_level(bin, t);
   algorithm_.on_item_departed(ref.bin, ref.size, bin.level, t);
   if (auditor_) auditor_->on_depart(id, ref.bin, t);
-  if (telemetry_) telemetry_->on_item_departed(id, ref.bin, bin.level, t);
+  if (telemetry_) {
+    telemetry_->on_item_departed(this, id, ref.bin, ref.size, bin.level, t);
+  }
 
   if (bin.active_count == 0) close_bin(bin, t);
 }
@@ -256,7 +267,7 @@ std::vector<EvictedItem> Simulation::force_close_bin(BinIndex bin_index, Time t)
     // (CapacityTree, NextFit) track the crash like any other departure.
     algorithm_.on_item_departed(bin_index, ref.size, bin.level, t);
     if (auditor_) auditor_->on_evict(id, bin_index, t);
-    if (telemetry_) telemetry_->on_item_evicted(id, ref.size, bin_index, t);
+    if (telemetry_) telemetry_->on_item_evicted(this, id, ref.size, bin_index, t);
   }
   record_level(bin, t);
   close_bin(bin, t);
@@ -292,6 +303,7 @@ PackingResult Simulation::finish() {
                           " items still active");
   }
   finished_ = true;
+  if (telemetry_) telemetry_->on_run_finished(this, now_);
 
   std::vector<BinRecord> records;
   records.reserve(bins_.size());
@@ -327,6 +339,9 @@ PackingResult simulate(const ItemList& items, PackingAlgorithm& algorithm,
   sim.reserve(items.size());
 
   telemetry::Telemetry* tel = sim.telemetry();
+  // The list knows its duration spread; hand µ to the monitor so the
+  // (µ+4)·LB envelope gauge is live for this run.
+  if (tel) tel->set_reference_mu(&sim, items.mu());
   telemetry::Profiler* prof = tel ? &tel->profiler() : nullptr;
   {
     telemetry::ScopedTimer timer(

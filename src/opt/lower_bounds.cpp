@@ -1,62 +1,43 @@
 #include "opt/lower_bounds.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include "telemetry/ratio_monitor.h"
 
 namespace mutdbp::opt {
 
-double prop1_time_space_bound(const ItemList& items) {
-  return items.total_time_space_demand() / items.capacity();
+namespace {
+
+// All four bounds are one sweep of the shared LowerBoundAccumulator over
+// the canonical event schedule. This is the SAME class, fed in the SAME
+// order, as the live RatioMonitor sees through the engine hooks during a
+// simulation of `items` — which is what makes the monitor's incremental
+// bounds bit-for-bit equal to these batch values (telemetry/ratio_monitor.h;
+// pinned by tests/differential_test.cpp and tests/ratio_monitor_test.cpp).
+// Do not "optimize" any bound back to a per-item closed form: the values
+// would stay mathematically equal but stop being bitwise reproducible
+// against the incremental path.
+telemetry::LowerBoundAccumulator sweep(const ItemList& items) {
+  telemetry::LowerBoundAccumulator acc(items.capacity());
+  for (const ScheduledEvent& event : items.schedule()) {
+    acc.advance_to(event.t);
+    if (event.is_arrival) {
+      acc.apply_arrival(event.size);
+    } else {
+      acc.apply_departure(event.size);
+    }
+  }
+  return acc;
 }
 
-double prop2_span_bound(const ItemList& items) { return items.span(); }
+}  // namespace
+
+double prop1_time_space_bound(const ItemList& items) { return sweep(items).prop1(); }
+
+double prop2_span_bound(const ItemList& items) { return sweep(items).prop2(); }
 
 double load_ceiling_bound(const ItemList& items) {
-  if (items.empty()) return 0.0;
-  // Sweep arrivals/departures; load is constant between events.
-  struct Event {
-    Time t;
-    double delta;
-  };
-  std::vector<Event> events;
-  events.reserve(items.size() * 2);
-  for (const auto& item : items) {
-    events.push_back({item.arrival(), item.size});
-    events.push_back({item.departure(), -item.size});
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.t != b.t) return a.t < b.t;
-    return a.delta < b.delta;  // departures first at equal times
-  });
-
-  double integral = 0.0;
-  double load = 0.0;
-  std::size_t active = 0;
-  Time prev = events.front().t;
-  for (const auto& event : events) {
-    if (event.t > prev) {
-      if (active > 0) {
-        const double bins =
-            std::max(1.0, std::ceil(load / items.capacity() - 1e-9));
-        integral += bins * (event.t - prev);
-      }
-      prev = event.t;
-    }
-    load += event.delta;
-    if (event.delta > 0) {
-      ++active;
-    } else {
-      --active;
-    }
-    if (active == 0) load = 0.0;  // cancel floating-point residue
-  }
-  return integral;
+  return sweep(items).load_ceiling();
 }
 
-double combined_lower_bound(const ItemList& items) {
-  return std::max({prop1_time_space_bound(items), prop2_span_bound(items),
-                   load_ceiling_bound(items)});
-}
+double combined_lower_bound(const ItemList& items) { return sweep(items).combined(); }
 
 }  // namespace mutdbp::opt

@@ -129,7 +129,8 @@ void write_profiler_object(std::ostream& os,
     if (!first) os << ',';
     first = false;
     os << '"' << escape(s.name) << "\":{\"calls\":" << s.calls
-       << ",\"total_ns\":" << s.total_ns << ",\"max_ns\":" << s.max_ns
+       << ",\"total_ns\":" << s.total_ns << ",\"self_ns\":" << s.self_ns
+       << ",\"max_ns\":" << s.max_ns
        << ",\"mean_ns\":" << fmt_json_double(s.mean_ns()) << '}';
   }
   os << '}';
@@ -155,6 +156,11 @@ void write_profiler_prometheus(std::ostream& os,
   for (const auto& s : stats) {
     os << "mutdbp_profile_total_ns{section=\"" << escape(s.name) << "\"} "
        << s.total_ns << '\n';
+  }
+  os << "# TYPE mutdbp_profile_self_ns gauge\n";
+  for (const auto& s : stats) {
+    os << "mutdbp_profile_self_ns{section=\"" << escape(s.name) << "\"} "
+       << s.self_ns << '\n';
   }
   os << "# TYPE mutdbp_profile_calls gauge\n";
   for (const auto& s : stats) {

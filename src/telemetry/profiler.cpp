@@ -12,7 +12,8 @@ SectionHandle Profiler::section(const std::string& name) {
   return SectionHandle{sections_.size() - 1};
 }
 
-void Profiler::add_sample(SectionHandle h, std::uint64_t ns) noexcept {
+void Profiler::add_sample(SectionHandle h, std::uint64_t total_ns,
+                          std::uint64_t self_ns) noexcept {
   if (!h.valid()) return;
   Section* section;
   {
@@ -22,10 +23,11 @@ void Profiler::add_sample(SectionHandle h, std::uint64_t ns) noexcept {
     section = sections_[h.index].get();
   }
   section->calls.fetch_add(1, std::memory_order_relaxed);
-  section->total_ns.fetch_add(ns, std::memory_order_relaxed);
+  section->total_ns.fetch_add(total_ns, std::memory_order_relaxed);
+  section->self_ns.fetch_add(self_ns, std::memory_order_relaxed);
   std::uint64_t seen = section->max_ns.load(std::memory_order_relaxed);
-  while (ns > seen &&
-         !section->max_ns.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  while (total_ns > seen && !section->max_ns.compare_exchange_weak(
+                                seen, total_ns, std::memory_order_relaxed)) {
   }
 }
 
@@ -36,6 +38,7 @@ std::vector<Profiler::SectionStats> Profiler::stats() const {
   for (const auto& section : sections_) {
     out.push_back({section->name, section->calls.load(std::memory_order_relaxed),
                    section->total_ns.load(std::memory_order_relaxed),
+                   section->self_ns.load(std::memory_order_relaxed),
                    section->max_ns.load(std::memory_order_relaxed)});
   }
   return out;

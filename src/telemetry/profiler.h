@@ -38,12 +38,18 @@ class Profiler {
   /// Registers (or looks up) a section by name.
   SectionHandle section(const std::string& name);
 
-  void add_sample(SectionHandle h, std::uint64_t ns) noexcept;
+  void add_sample(SectionHandle h, std::uint64_t total_ns,
+                  std::uint64_t self_ns) noexcept;
+  /// Flat sample: no nested sections, so self time == total time.
+  void add_sample(SectionHandle h, std::uint64_t ns) noexcept {
+    add_sample(h, ns, ns);
+  }
 
   struct SectionStats {
     std::string name;
     std::uint64_t calls = 0;
-    std::uint64_t total_ns = 0;
+    std::uint64_t total_ns = 0;  ///< inclusive: section + nested sections
+    std::uint64_t self_ns = 0;   ///< exclusive: total minus nested sections
     std::uint64_t max_ns = 0;
     [[nodiscard]] double mean_ns() const noexcept {
       return calls > 0 ? static_cast<double>(total_ns) / static_cast<double>(calls)
@@ -58,6 +64,7 @@ class Profiler {
     std::string name;
     std::atomic<std::uint64_t> calls{0};
     std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> self_ns{0};
     std::atomic<std::uint64_t> max_ns{0};
   };
 
@@ -68,26 +75,47 @@ class Profiler {
 };
 
 /// RAII scope measuring one section entry. Null-profiler-safe.
+///
+/// Active timers on a thread form an intrusive parent chain; on exit a
+/// timer reports its elapsed time to its parent, whose self time becomes
+/// total minus nested time. A section's exclusive cost is therefore
+/// attributed correctly even when sections nest (e.g. dispatcher.submit
+/// wrapping simulate.events). Timers with a null profiler never join the
+/// chain, so nesting accounting costs the disabled path nothing.
 class ScopedTimer {
  public:
   ScopedTimer(Profiler* profiler, SectionHandle handle) noexcept
       : profiler_(profiler), handle_(handle) {
-    if (profiler_ != nullptr) start_ = std::chrono::steady_clock::now();
+    if (profiler_ != nullptr) {
+      parent_ = current();
+      current() = this;
+      start_ = std::chrono::steady_clock::now();
+    }
   }
   ~ScopedTimer() {
     if (profiler_ == nullptr) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    profiler_->add_sample(
-        handle_, static_cast<std::uint64_t>(
-                     std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                         .count()));
+    const auto total = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    current() = parent_;
+    if (parent_ != nullptr) parent_->child_ns_ += total;
+    // Clock jitter can make children sum past the parent; clamp at 0.
+    const std::uint64_t self = total > child_ns_ ? total - child_ns_ : 0;
+    profiler_->add_sample(handle_, total, self);
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
+  [[nodiscard]] static ScopedTimer*& current() noexcept {
+    thread_local ScopedTimer* top = nullptr;
+    return top;
+  }
+
   Profiler* profiler_;
   SectionHandle handle_;
+  ScopedTimer* parent_ = nullptr;
+  std::uint64_t child_ns_ = 0;  ///< time spent in directly nested timers
   std::chrono::steady_clock::time_point start_{};
 };
 

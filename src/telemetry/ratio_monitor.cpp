@@ -1,0 +1,226 @@
+#include "telemetry/ratio_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mutdbp::telemetry {
+
+void LowerBoundAccumulator::advance_to(double t) noexcept {
+  if (t > prev_t_) {
+    if (active_ > 0) {
+      const double dt = t - prev_t_;
+      load_integral_ += load_ * dt;
+      span_ += dt;
+      // Matches opt/lower_bounds.cpp's historical sweep exactly: the 1e-9
+      // slack absorbs accumulated residue in `load_` so a bin-exact load
+      // (e.g. 2.0000000000000004 after many +/-) does not round up.
+      const double bins = std::max(1.0, std::ceil(load_ / capacity_ - 1e-9));
+      ceiling_integral_ += bins * dt;
+    }
+    prev_t_ = t;
+  }
+}
+
+double LowerBoundAccumulator::combined() const noexcept {
+  return std::max({prop1(), prop2(), load_ceiling()});
+}
+
+void RatioMonitor::bind(MetricsRegistry* registry, const Gauges& gauges) {
+  const std::scoped_lock lock(mutex_);
+  registry_ = registry;
+  gauges_ = gauges;
+}
+
+void RatioMonitor::set_warmup_lb(double lb) {
+  const std::scoped_lock lock(mutex_);
+  warmup_lb_ = lb;
+}
+
+double RatioMonitor::warmup_lb() const {
+  const std::scoped_lock lock(mutex_);
+  return warmup_lb_;
+}
+
+void RatioMonitor::set_sample_capacity(std::size_t capacity) {
+  const std::scoped_lock lock(mutex_);
+  sample_capacity_ = std::max<std::size_t>(capacity, 2);
+  samples_.clear();
+  sample_stride_ = 1;
+  events_since_sample_ = 0;
+}
+
+void RatioMonitor::begin_run(const void* owner, std::string_view algorithm,
+                             double capacity) {
+  const std::scoped_lock lock(mutex_);
+  owner_ = owner;
+  algorithm_.assign(algorithm);
+  mu_reference_ = 0.0;
+  bounds_.reset(capacity);
+  usage_ = 0.0;
+  open_bins_ = 0;
+  last_t_ = -std::numeric_limits<double>::infinity();
+  peak_ratio_ = 0.0;
+  peak_ratio_t_ = 0.0;
+  events_ = 0;
+  finished_ = false;
+  samples_.clear();
+  sample_stride_ = 1;
+  events_since_sample_ = 0;
+  publish_gauges_locked();
+}
+
+void RatioMonitor::set_reference_mu(const void* owner, double mu) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_) return;
+  mu_reference_ = mu;
+  publish_gauges_locked();
+}
+
+void RatioMonitor::step_to_locked(double t) {
+  // The usage integral accrues with the open-bin count as it was BEFORE the
+  // event at t: the engine fires hooks after mutating state, so the monitor
+  // carries its own pre-event counts and settles them here.
+  if (t > last_t_) {
+    if (open_bins_ > 0) {
+      usage_ += static_cast<double>(open_bins_) * (t - last_t_);
+    }
+    last_t_ = t;
+  }
+  bounds_.advance_to(t);
+}
+
+void RatioMonitor::after_event_locked(double t) {
+  ++events_;
+  const double lb = bounds_.combined();
+  const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
+  if (lb >= warmup_lb_ && ratio > peak_ratio_) {
+    peak_ratio_ = ratio;
+    peak_ratio_t_ = t;
+  }
+  if (++events_since_sample_ >= sample_stride_) {
+    events_since_sample_ = 0;
+    if (samples_.size() >= sample_capacity_) {
+      // Decimate in place: keep every other sample, double the stride. The
+      // series stays time-ordered and bounded; resolution degrades
+      // gracefully as the run grows.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2) {
+        samples_[kept++] = samples_[i];
+      }
+      samples_.resize(kept);
+      sample_stride_ *= 2;
+    }
+    samples_.push_back(RatioSample{t, usage_, lb, ratio});
+  }
+  publish_gauges_locked();
+}
+
+void RatioMonitor::publish_gauges_locked() {
+  if (registry_ == nullptr) return;
+  const double lb = bounds_.combined();
+  const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
+  const double gap = mu_reference_ > 0.0
+                         ? (mu_reference_ + 4.0) * lb - usage_
+                         : std::numeric_limits<double>::quiet_NaN();
+  registry_->set(gauges_.ratio_current, ratio);
+  registry_->set(gauges_.lb_prop1, bounds_.prop1());
+  registry_->set(gauges_.lb_prop2, bounds_.prop2());
+  registry_->set(gauges_.lb_load_ceiling, bounds_.load_ceiling());
+  registry_->set(gauges_.bound_gap, gap);
+}
+
+void RatioMonitor::on_arrival(const void* owner, double size, double t,
+                              std::size_t open_bins) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_ || finished_) return;
+  step_to_locked(t);
+  bounds_.apply_arrival(size);
+  open_bins_ = open_bins;
+  after_event_locked(t);
+}
+
+void RatioMonitor::on_departure(const void* owner, double size, double t) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_ || finished_) return;
+  step_to_locked(t);
+  bounds_.apply_departure(size);
+  after_event_locked(t);
+}
+
+void RatioMonitor::on_open_bins(const void* owner, double t, std::size_t open_bins) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_ || finished_) return;
+  step_to_locked(t);
+  open_bins_ = open_bins;
+  // A bin open/close is not an item event: usage and counts settle, but the
+  // event counter, sampler, and gauges ride on the item hooks that always
+  // accompany it at the same instant.
+}
+
+void RatioMonitor::finish_run(const void* owner, double t) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_ || finished_) return;
+  step_to_locked(t);
+  finished_ = true;
+  const double lb = bounds_.combined();
+  const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
+  // Always retain the final point, whatever the stride was.
+  if (events_ > 0 &&
+      (samples_.empty() || samples_.back().t != t ||
+       samples_.back().usage != usage_)) {
+    if (samples_.size() >= sample_capacity_) samples_.pop_back();
+    samples_.push_back(RatioSample{t, usage_, lb, ratio});
+  }
+  publish_gauges_locked();
+  if (completed_.size() >= kMaxCompletedRuns) {
+    ++runs_dropped_;
+    return;
+  }
+  RatioRunSummary summary;
+  summary.algorithm = algorithm_;
+  summary.mu_reference = mu_reference_;
+  summary.usage = usage_;
+  summary.lower_bound = lb;
+  summary.ratio = ratio;
+  summary.peak_ratio = peak_ratio_;
+  summary.end_time = events_ > 0 ? t : 0.0;
+  summary.events = events_;
+  completed_.push_back(std::move(summary));
+}
+
+RatioRunState RatioMonitor::current() const {
+  const std::scoped_lock lock(mutex_);
+  RatioRunState state;
+  state.algorithm = algorithm_;
+  state.capacity = bounds_.capacity();
+  state.mu_reference = mu_reference_;
+  state.usage = usage_;
+  state.lb_prop1 = bounds_.prop1();
+  state.lb_prop2 = bounds_.prop2();
+  state.lb_load_ceiling = bounds_.load_ceiling();
+  state.lower_bound = bounds_.combined();
+  state.ratio = state.lower_bound > 0.0 ? usage_ / state.lower_bound : 0.0;
+  state.peak_ratio = peak_ratio_;
+  state.peak_ratio_t = peak_ratio_t_;
+  state.now = std::isfinite(last_t_) ? last_t_ : 0.0;
+  state.events = events_;
+  state.finished = finished_;
+  return state;
+}
+
+std::vector<RatioSample> RatioMonitor::samples() const {
+  const std::scoped_lock lock(mutex_);
+  return samples_;
+}
+
+std::vector<RatioRunSummary> RatioMonitor::completed_runs() const {
+  const std::scoped_lock lock(mutex_);
+  return completed_;
+}
+
+std::uint64_t RatioMonitor::runs_dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return runs_dropped_;
+}
+
+}  // namespace mutdbp::telemetry

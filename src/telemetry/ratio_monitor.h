@@ -1,0 +1,237 @@
+// RatioMonitor: the live competitive-ratio view of a run.
+//
+// The paper's evaluation frame is usage-vs-lower-bound over time: Theorem 1
+// says First Fit's accumulated usage never exceeds (µ+4)·OPT_total, and
+// §III.C gives three online-computable lower bounds on OPT_total. This file
+// maintains all three *incrementally* — O(1) amortized per engine event —
+// so a running simulation always knows its current certified ratio:
+//
+//  * Proposition 1 (time–space):  LB₁ = Σ_r s(r)·|I(r)| / capacity,
+//    accumulated as ∫ load(t) dt / capacity (the two sums are equal;
+//    the integral form needs no per-item state).
+//  * Proposition 2 (span):        LB₂ = span(R) = ∫ 1{load(t) > 0} dt.
+//  * Load ceiling:                LB₃ = ∫ max(ceil(load(t)/cap), 1{load>0}) dt.
+//
+// LowerBoundAccumulator is the single implementation of that sweep. It is
+// deliberately self-contained arithmetic (this library sits below core) and
+// is ALSO what opt/lower_bounds.cpp feeds with ItemList::schedule() for the
+// batch bounds — incremental ≡ batch bit-for-bit holds by construction,
+// because both sides execute the identical floating-point operations in the
+// identical canonical event order (time; departures before arrivals at
+// equal times; id order within a kind). The differential tests pin this.
+//
+// RatioMonitor wraps the accumulator with the run-level state the Telemetry
+// facade exposes: the usage integral ∫ open_bins(t) dt, live gauges
+// (mutdbp_ratio_current, mutdbp_lb_prop1/prop2/load_ceiling,
+// mutdbp_bound_gap_mu_plus_4), a bounded (t, usage, LB, ratio) time-series
+// sampler, the peak ratio past an LB warm-up threshold (what the CI bound
+// sentinel gates on), and an archive of finished-run summaries (what the
+// HTML report's ratio-vs-µ panel plots).
+//
+// Ownership: a Telemetry instance may be shared by several simulations (the
+// process-global sink, a fleet's per-type engines). Monitor state is bound
+// to ONE run at a time: begin_run(owner, ...) resets and rebinds — last
+// begun run wins — and events tagged with any other owner are ignored, so a
+// concurrent sweep sharing the global sink perturbs counters, never the
+// monitor. All entry points are mutex-guarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace mutdbp::telemetry {
+
+/// Incremental sweep over an arrival/departure event sequence maintaining
+/// the three §III.C lower bounds on OPT_total. Feed events in canonical
+/// schedule order (advance_to(t), then apply the load delta); read any
+/// bound at any point. Batch and incremental callers share this class, so
+/// their results are bitwise identical on the same event sequence.
+class LowerBoundAccumulator {
+ public:
+  explicit LowerBoundAccumulator(double capacity = 1.0) { reset(capacity); }
+
+  void reset(double capacity) {
+    capacity_ = capacity;
+    load_ = 0.0;
+    active_ = 0;
+    load_integral_ = 0.0;
+    span_ = 0.0;
+    ceiling_integral_ = 0.0;
+    prev_t_ = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Accrues all three integrals over [prev event time, t) with the current
+  /// load, which is constant between events. Idle stretches (active == 0)
+  /// contribute nothing; time never moves backwards in a valid sequence.
+  void advance_to(double t) noexcept;
+
+  void apply_arrival(double size) noexcept {
+    load_ += size;
+    ++active_;
+  }
+  void apply_departure(double size) noexcept {
+    load_ -= size;
+    --active_;
+    if (active_ == 0) load_ = 0.0;  // cancel floating-point residue
+  }
+
+  /// Proposition 1: Σ s(r)·|I(r)| / capacity, as ∫ load dt / capacity.
+  [[nodiscard]] double prop1() const noexcept { return load_integral_ / capacity_; }
+  /// Proposition 2: span(R) accumulated so far.
+  [[nodiscard]] double prop2() const noexcept { return span_; }
+  /// ∫ max(ceil(load/cap), 1{load>0}) dt accumulated so far.
+  [[nodiscard]] double load_ceiling() const noexcept { return ceiling_integral_; }
+  /// max of the three bounds: the certified lower bound on OPT_total.
+  [[nodiscard]] double combined() const noexcept;
+
+  [[nodiscard]] double load() const noexcept { return load_; }
+  [[nodiscard]] std::size_t active() const noexcept { return active_; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+ private:
+  double capacity_ = 1.0;
+  double load_ = 0.0;          ///< total active size
+  std::size_t active_ = 0;     ///< active item count
+  double load_integral_ = 0.0;
+  double span_ = 0.0;
+  double ceiling_integral_ = 0.0;
+  double prev_t_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One point of the bounded time series: state just after an applied event.
+struct RatioSample {
+  double t = 0.0;
+  double usage = 0.0;        ///< accumulated ∫ open_bins dt
+  double lower_bound = 0.0;  ///< combined LB at t
+  double ratio = 0.0;        ///< usage / LB (0 while LB is 0)
+};
+
+/// The monitor's view of the bound run (live or just finished).
+struct RatioRunState {
+  std::string algorithm;
+  double capacity = 1.0;
+  double mu_reference = 0.0;  ///< µ of the driving ItemList; 0 = unknown
+  double usage = 0.0;
+  double lb_prop1 = 0.0;
+  double lb_prop2 = 0.0;
+  double lb_load_ceiling = 0.0;
+  double lower_bound = 0.0;  ///< max of the three
+  double ratio = 0.0;        ///< usage / lower_bound (0 while LB is 0)
+  double peak_ratio = 0.0;   ///< max ratio seen while LB >= warm-up
+  double peak_ratio_t = 0.0;
+  double now = 0.0;          ///< time of the last applied event
+  std::uint64_t events = 0;  ///< engine events applied to this run
+  bool finished = false;
+
+  /// (µ+4)·LB − usage: positive means inside Theorem 1's envelope.
+  /// NaN when µ is unknown.
+  [[nodiscard]] double bound_gap_mu_plus_4() const noexcept {
+    if (mu_reference <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return (mu_reference + 4.0) * lower_bound - usage;
+  }
+};
+
+/// Archived summary of one finished run (ratio-vs-µ panels read these).
+struct RatioRunSummary {
+  std::string algorithm;
+  double mu_reference = 0.0;
+  double usage = 0.0;
+  double lower_bound = 0.0;
+  double ratio = 0.0;
+  double peak_ratio = 0.0;
+  double end_time = 0.0;
+  std::uint64_t events = 0;
+};
+
+class RatioMonitor {
+ public:
+  /// Gauge handles the monitor publishes to after every applied event
+  /// (registered by the Telemetry facade; see docs/observability.md).
+  struct Gauges {
+    GaugeHandle ratio_current;
+    GaugeHandle lb_prop1;
+    GaugeHandle lb_prop2;
+    GaugeHandle lb_load_ceiling;
+    GaugeHandle bound_gap;  ///< mutdbp_bound_gap_mu_plus_4
+  };
+
+  RatioMonitor() = default;
+  RatioMonitor(const RatioMonitor&) = delete;
+  RatioMonitor& operator=(const RatioMonitor&) = delete;
+
+  /// Attaches the gauge sink. Without it the monitor still accumulates and
+  /// samples; it just publishes nothing.
+  void bind(MetricsRegistry* registry, const Gauges& gauges);
+
+  /// Peak-ratio tracking ignores events while the combined LB is below this
+  /// threshold: with a near-zero denominator the ratio is pure start-up
+  /// noise, not a competitive-ratio signal. Monitor-level configuration —
+  /// survives begin_run. Default 1.0 (one time unit of certified LB).
+  void set_warmup_lb(double lb);
+  [[nodiscard]] double warmup_lb() const;
+
+  /// Bound on retained samples (default 2048). When full, the series is
+  /// decimated in place (every other sample dropped) and the sampling
+  /// stride doubles — deterministic, O(1) amortized, bounded memory.
+  void set_sample_capacity(std::size_t capacity);
+
+  // ---- run lifecycle (forwarded by the Telemetry facade) ------------
+  void begin_run(const void* owner, std::string_view algorithm, double capacity);
+  void set_reference_mu(const void* owner, double mu);
+  void on_arrival(const void* owner, double size, double t, std::size_t open_bins);
+  /// Covers natural departures AND evictions: either way the load drops.
+  void on_departure(const void* owner, double size, double t);
+  void on_open_bins(const void* owner, double t, std::size_t open_bins);
+  void finish_run(const void* owner, double t);
+
+  // ---- read side ----------------------------------------------------
+  [[nodiscard]] RatioRunState current() const;
+  [[nodiscard]] std::vector<RatioSample> samples() const;
+  [[nodiscard]] std::vector<RatioRunSummary> completed_runs() const;
+  /// Finished runs not archived because the archive hit its cap (4096).
+  [[nodiscard]] std::uint64_t runs_dropped() const;
+
+ private:
+  static constexpr std::size_t kMaxCompletedRuns = 4096;
+
+  void step_to_locked(double t);
+  void after_event_locked(double t);
+  void publish_gauges_locked();
+
+  mutable std::mutex mutex_;
+  MetricsRegistry* registry_ = nullptr;  ///< null until bind()
+  Gauges gauges_{};
+  double warmup_lb_ = 1.0;
+  std::size_t sample_capacity_ = 2048;
+
+  // ---- state of the bound run ----
+  const void* owner_ = nullptr;
+  std::string algorithm_;
+  double mu_reference_ = 0.0;
+  LowerBoundAccumulator bounds_;
+  double usage_ = 0.0;
+  std::size_t open_bins_ = 0;
+  double last_t_ = -std::numeric_limits<double>::infinity();
+  double peak_ratio_ = 0.0;
+  double peak_ratio_t_ = 0.0;
+  std::uint64_t events_ = 0;
+  bool finished_ = false;
+
+  // ---- bounded sampler ----
+  std::vector<RatioSample> samples_;
+  std::uint64_t sample_stride_ = 1;
+  std::uint64_t events_since_sample_ = 0;
+
+  // ---- archive ----
+  std::vector<RatioRunSummary> completed_;
+  std::uint64_t runs_dropped_ = 0;
+};
+
+}  // namespace mutdbp::telemetry

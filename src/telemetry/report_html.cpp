@@ -1,0 +1,398 @@
+#include "telemetry/report_html.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace mutdbp::telemetry {
+
+namespace {
+
+std::string fmt(double value) {
+  if (std::isnan(value)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// ---- SVG chart scaffolding ----------------------------------------------
+//
+// Fixed-viewport charts with a margin for axis labels. Everything is plain
+// shapes: the report must render with no scripts.
+
+constexpr double kW = 860.0, kH = 300.0;          // viewport
+constexpr double kL = 70.0, kR = 16.0, kT = 14.0, kB = 34.0;  // margins
+
+struct Series {
+  std::string label;
+  std::string color;
+  bool dashed = false;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct Range {
+  double lo = 0.0, hi = 1.0;
+  void widen(double v) {
+    if (!std::isfinite(v)) return;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+double map_x(double x, const Range& r) {
+  return kL + (x - r.lo) / r.span() * (kW - kL - kR);
+}
+double map_y(double y, const Range& r) {
+  return kH - kB - (y - r.lo) / r.span() * (kH - kT - kB);
+}
+
+void write_axes(std::ostream& os, const Range& xr, const Range& yr,
+                const std::string& x_label) {
+  os << "<line class='axis' x1='" << kL << "' y1='" << kT << "' x2='" << kL
+     << "' y2='" << kH - kB << "'/><line class='axis' x1='" << kL << "' y1='"
+     << kH - kB << "' x2='" << kW - kR << "' y2='" << kH - kB << "'/>";
+  // Min/max tick labels on both axes plus a midpoint on y: enough to read
+  // magnitudes without a full grid.
+  os << "<text class='tick' x='" << kL - 6 << "' y='" << kH - kB
+     << "' text-anchor='end'>" << fmt(yr.lo) << "</text>";
+  os << "<text class='tick' x='" << kL - 6 << "' y='" << kT + 8
+     << "' text-anchor='end'>" << fmt(yr.hi) << "</text>";
+  os << "<text class='tick' x='" << kL - 6 << "' y='"
+     << (kT + (kH - kB)) / 2.0 << "' text-anchor='end'>"
+     << fmt((yr.lo + yr.hi) / 2.0) << "</text>";
+  os << "<text class='tick' x='" << kL << "' y='" << kH - kB + 16 << "'>"
+     << fmt(xr.lo) << "</text>";
+  os << "<text class='tick' x='" << kW - kR << "' y='" << kH - kB + 16
+     << "' text-anchor='end'>" << fmt(xr.hi) << "</text>";
+  os << "<text class='tick' x='" << (kL + kW - kR) / 2.0 << "' y='"
+     << kH - kB + 16 << "' text-anchor='middle'>" << escape(x_label)
+     << "</text>";
+}
+
+void write_line_chart(std::ostream& os, const std::vector<Series>& series,
+                      const std::string& x_label) {
+  Range xr{std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+  Range yr{0.0, -std::numeric_limits<double>::infinity()};
+  bool any = false;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      any = true;
+      xr.widen(x);
+      if (xr.lo > x) xr.lo = x;
+      yr.widen(y);
+    }
+  }
+  if (!any) {
+    os << "<p class='empty'>no samples recorded</p>";
+    return;
+  }
+  if (!(xr.hi > xr.lo)) xr.hi = xr.lo + 1.0;
+  os << "<svg viewBox='0 0 " << kW << ' ' << kH << "' role='img'>";
+  write_axes(os, xr, yr, x_label);
+  for (const Series& s : series) {
+    if (s.points.empty()) continue;
+    os << "<polyline fill='none' stroke='" << s.color << "' stroke-width='1.6'";
+    if (s.dashed) os << " stroke-dasharray='6 4'";
+    os << " points='";
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !std::isfinite(y)) continue;
+      os << fmt(map_x(x, xr)) << ',' << fmt(map_y(y, yr)) << ' ';
+    }
+    os << "'/>";
+  }
+  // Legend swatches along the top edge.
+  double lx = kL + 8.0;
+  for (const Series& s : series) {
+    os << "<rect x='" << lx << "' y='" << kT + 2 << "' width='14' height='4' fill='"
+       << s.color << "'/><text class='tick' x='" << lx + 18 << "' y='" << kT + 8
+       << "'>" << escape(s.label) << "</text>";
+    lx += 24.0 + 7.0 * static_cast<double>(s.label.size());
+  }
+  os << "</svg>";
+}
+
+const char* palette(std::size_t i) {
+  static constexpr const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                            "#9467bd", "#ff7f0e", "#8c564b",
+                                            "#17becf", "#e377c2"};
+  return kColors[i % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+void write_ratio_vs_mu(std::ostream& os,
+                       const std::vector<RatioRunSummary>& runs) {
+  std::vector<const RatioRunSummary*> usable;
+  for (const RatioRunSummary& r : runs) {
+    if (r.mu_reference > 0.0 && r.lower_bound > 0.0) usable.push_back(&r);
+  }
+  if (usable.empty()) {
+    os << "<p class='empty'>no archived runs with a known &micro;</p>";
+    return;
+  }
+  std::map<std::string, std::size_t> color_of;  // algorithm -> palette index
+  Range xr{std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+  Range yr{0.0, -std::numeric_limits<double>::infinity()};
+  for (const RatioRunSummary* r : usable) {
+    color_of.emplace(r->algorithm, color_of.size());
+    xr.widen(r->mu_reference);
+    if (xr.lo > r->mu_reference) xr.lo = r->mu_reference;
+    yr.widen(r->ratio);
+    yr.widen(r->mu_reference + 4.0);  // keep the envelope in frame
+  }
+  if (!(xr.hi > xr.lo)) {
+    xr.lo -= 0.5;
+    xr.hi += 0.5;
+  }
+  os << "<svg viewBox='0 0 " << kW << ' ' << kH << "' role='img'>";
+  write_axes(os, xr, yr, "mu (max/min duration ratio)");
+  // The Theorem 1 envelope y = µ+4.
+  os << "<line stroke='#888' stroke-dasharray='6 4' x1='" << fmt(map_x(xr.lo, xr))
+     << "' y1='" << fmt(map_y(xr.lo + 4.0, yr)) << "' x2='"
+     << fmt(map_x(xr.hi, xr)) << "' y2='" << fmt(map_y(xr.hi + 4.0, yr))
+     << "'/><text class='tick' x='" << kW - kR - 4 << "' y='"
+     << fmt(map_y(xr.hi + 4.0, yr) - 4.0)
+     << "' text-anchor='end'>&micro;+4</text>";
+  for (const RatioRunSummary* r : usable) {
+    os << "<circle r='3.5' fill='" << palette(color_of[r->algorithm]) << "' cx='"
+       << fmt(map_x(r->mu_reference, xr)) << "' cy='" << fmt(map_y(r->ratio, yr))
+       << "'><title>" << escape(r->algorithm) << ": ratio " << fmt(r->ratio)
+       << " at mu " << fmt(r->mu_reference) << "</title></circle>";
+  }
+  double lx = kL + 8.0;
+  for (const auto& [name, idx] : color_of) {
+    os << "<circle r='4' fill='" << palette(idx) << "' cx='" << lx << "' cy='"
+       << kT + 5 << "'/><text class='tick' x='" << lx + 8 << "' y='" << kT + 8
+       << "'>" << escape(name) << "</text>";
+    lx += 20.0 + 7.0 * static_cast<double>(name.size());
+  }
+  os << "</svg>";
+}
+
+void write_histogram(std::ostream& os, const HistogramSnapshot& h) {
+  os << "<h3>" << escape(h.name) << "</h3>";
+  if (!h.help.empty()) os << "<p class='help'>" << escape(h.help) << "</p>";
+  if (h.count == 0) {
+    os << "<p class='empty'>no observations</p>";
+    return;
+  }
+  const std::uint64_t peak =
+      *std::max_element(h.counts.begin(), h.counts.end());
+  const double bar_h = 120.0, bar_w = kW / static_cast<double>(h.counts.size());
+  os << "<svg viewBox='0 0 " << kW << ' ' << bar_h + 30.0 << "' role='img'>";
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    const double height =
+        peak > 0 ? bar_h * static_cast<double>(h.counts[b]) /
+                       static_cast<double>(peak)
+                 : 0.0;
+    os << "<rect fill='#1f77b4' x='" << fmt(bar_w * static_cast<double>(b) + 1)
+       << "' y='" << fmt(bar_h - height) << "' width='" << fmt(bar_w - 2)
+       << "' height='" << fmt(height) << "'><title>"
+       << (b < h.upper_bounds.size()
+               ? "le " + fmt(h.upper_bounds[b])
+               : std::string("overflow"))
+       << ": " << h.counts[b] << "</title></rect>";
+  }
+  os << "<text class='tick' x='0' y='" << bar_h + 14 << "'>le "
+     << fmt(h.upper_bounds.front()) << "</text><text class='tick' x='" << kW
+     << "' y='" << bar_h + 14 << "' text-anchor='end'>&gt; "
+     << fmt(h.upper_bounds.back()) << "</text><text class='tick' x='"
+     << kW / 2.0 << "' y='" << bar_h + 14 << "' text-anchor='middle'>count "
+     << h.count << " &middot; mean " << fmt(h.mean()) << " &middot; p50 "
+     << fmt(h.quantile(0.50)) << " &middot; p99 " << fmt(h.quantile(0.99))
+     << "</text></svg>";
+}
+
+}  // namespace
+
+void write_report_html(std::ostream& os, const Telemetry& telemetry,
+                       const ReportOptions& options) {
+  const RatioRunState run = telemetry.monitor().current();
+  const std::vector<RatioSample> samples = telemetry.monitor().samples();
+  const std::vector<RatioRunSummary> archived = telemetry.monitor().completed_runs();
+  const MetricsSnapshot metrics = telemetry.metrics().snapshot();
+  const std::vector<Profiler::SectionStats> sections = telemetry.profiler().stats();
+
+  os << "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'><title>"
+     << escape(options.title) << "</title><style>"
+     << "body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;max-width:920px;"
+        "color:#222}h1{font-size:22px}h2{font-size:17px;border-bottom:1px solid "
+        "#ddd;padding-bottom:4px;margin-top:28px}h3{font-size:14px;margin-bottom:2px}"
+        "table{border-collapse:collapse;width:100%;font-size:13px}"
+        "td,th{border:1px solid #ddd;padding:3px 8px;text-align:right}"
+        "td:first-child,th:first-child{text-align:left}"
+        "svg{width:100%;height:auto;background:#fafafa;border:1px solid #eee}"
+        ".axis{stroke:#444;stroke-width:1}.tick{font:11px sans-serif;fill:#555}"
+        ".help,.empty{color:#777;font-size:12px;margin:2px 0}"
+        ".badge{display:inline-block;padding:3px 10px;border-radius:4px;color:#fff;"
+        "font-weight:600}.ok{background:#2ca02c}.bad{background:#d62728}"
+        ".unknown{background:#888}"
+     << "</style></head><body><h1>" << escape(options.title) << "</h1>";
+
+  // ---- summary badge ----
+  os << "<h2>Run summary</h2>";
+  const bool mu_known = run.mu_reference > 0.0;
+  const double envelope = run.mu_reference + 4.0;
+  if (run.events == 0) {
+    os << "<p><span class='badge unknown'>no monitored run</span></p>";
+  } else if (!mu_known) {
+    os << "<p><span class='badge unknown'>&micro; unknown — envelope not "
+          "evaluated</span></p>";
+  } else if (run.peak_ratio <= envelope) {
+    os << "<p><span class='badge ok'>inside (&micro;+4) envelope</span> peak ratio "
+       << fmt(run.peak_ratio) << " &le; " << fmt(envelope) << "</p>";
+  } else {
+    os << "<p><span class='badge bad'>OUTSIDE (&micro;+4) envelope</span> peak ratio "
+       << fmt(run.peak_ratio) << " &gt; " << fmt(envelope) << " at t="
+       << fmt(run.peak_ratio_t) << "</p>";
+  }
+  os << "<table><tr><th>algorithm</th><th>events</th><th>t</th><th>usage</th>"
+        "<th>LB (combined)</th><th>ratio</th><th>peak ratio</th><th>&micro;</th>"
+        "<th>gap (&micro;+4)&middot;LB&minus;usage</th></tr><tr><td>"
+     << escape(run.algorithm) << "</td><td>" << run.events << "</td><td>"
+     << fmt(run.now) << "</td><td>" << fmt(run.usage) << "</td><td>"
+     << fmt(run.lower_bound) << "</td><td>" << fmt(run.ratio) << "</td><td>"
+     << fmt(run.peak_ratio) << "</td><td>"
+     << (mu_known ? fmt(run.mu_reference) : std::string("n/a")) << "</td><td>"
+     << fmt(run.bound_gap_mu_plus_4()) << "</td></tr></table>";
+  os << "<table><tr><th>LB Proposition 1 (time&ndash;space)</th>"
+        "<th>LB Proposition 2 (span)</th><th>LB load ceiling</th></tr><tr><td>"
+     << fmt(run.lb_prop1) << "</td><td>" << fmt(run.lb_prop2) << "</td><td>"
+     << fmt(run.lb_load_ceiling) << "</td></tr></table>";
+
+  // ---- usage vs bounds over time ----
+  os << "<h2>Usage vs lower bound over time</h2>";
+  {
+    std::vector<Series> series(mu_known ? 3 : 2);
+    series[0] = {"usage", "#1f77b4", false, {}};
+    series[1] = {"lower bound", "#2ca02c", false, {}};
+    if (mu_known) series[2] = {"(mu+4) * LB", "#888888", true, {}};
+    for (const RatioSample& s : samples) {
+      series[0].points.emplace_back(s.t, s.usage);
+      series[1].points.emplace_back(s.t, s.lower_bound);
+      if (mu_known) series[2].points.emplace_back(s.t, envelope * s.lower_bound);
+    }
+    write_line_chart(os, series, "simulation time");
+  }
+
+  // ---- ratio over time ----
+  os << "<h2>Competitive ratio over time</h2>";
+  {
+    std::vector<Series> series;
+    series.push_back({"usage / LB", "#d62728", false, {}});
+    for (const RatioSample& s : samples) {
+      series[0].points.emplace_back(s.t, s.ratio);
+    }
+    if (mu_known && !samples.empty()) {
+      series.push_back({"mu+4", "#888888", true, {}});
+      series[1].points.emplace_back(samples.front().t, envelope);
+      series[1].points.emplace_back(samples.back().t, envelope);
+    }
+    write_line_chart(os, series, "simulation time");
+  }
+
+  // ---- ratio vs mu across archived runs ----
+  os << "<h2>Ratio vs &micro; across runs</h2>";
+  write_ratio_vs_mu(os, archived);
+  if (const std::uint64_t dropped = telemetry.monitor().runs_dropped();
+      dropped > 0) {
+    os << "<p class='help'>" << dropped
+       << " finished runs not archived (archive at capacity)</p>";
+  }
+
+  // ---- histograms ----
+  os << "<h2>Histograms</h2>";
+  for (const HistogramSnapshot& h : metrics.histograms) write_histogram(os, h);
+
+  // ---- counters & gauges ----
+  os << "<h2>Counters</h2><table><tr><th>name</th><th>value</th></tr>";
+  for (const auto& c : metrics.counters) {
+    os << "<tr><td title='" << escape(c.help) << "'>" << escape(c.name)
+       << "</td><td>" << c.value << "</td></tr>";
+  }
+  os << "</table><h2>Gauges</h2><table><tr><th>name</th><th>value</th></tr>";
+  for (const auto& g : metrics.gauges) {
+    os << "<tr><td title='" << escape(g.help) << "'>" << escape(g.name)
+       << "</td><td>" << fmt(g.value) << "</td></tr>";
+  }
+  os << "</table>";
+
+  // ---- profiler ----
+  os << "<h2>Profiler</h2>";
+  bool any_section = false;
+  for (const auto& s : sections) any_section |= s.calls > 0;
+  if (!any_section) {
+    os << "<p class='empty'>no profiled sections</p>";
+  } else {
+    os << "<table><tr><th>section</th><th>calls</th><th>total ns</th>"
+          "<th>self ns</th><th>mean ns</th><th>max ns</th></tr>";
+    for (const auto& s : sections) {
+      if (s.calls == 0) continue;
+      os << "<tr><td>" << escape(s.name) << "</td><td>" << s.calls << "</td><td>"
+         << s.total_ns << "</td><td>" << s.self_ns << "</td><td>"
+         << fmt(s.mean_ns()) << "</td><td>" << s.max_ns << "</td></tr>";
+    }
+    os << "</table>";
+  }
+
+  // ---- trace tail ----
+  os << "<h2>Event trace tail</h2>";
+  const std::vector<TraceEvent> events = telemetry.tracer().events();
+  const std::uint64_t dropped = telemetry.tracer().dropped();
+  if (events.empty()) {
+    os << "<p class='empty'>trace ring is empty</p>";
+  } else {
+    const std::size_t tail = std::min(options.trace_tail, events.size());
+    os << "<p class='help'>showing newest " << tail << " of " << events.size()
+       << " retained records; " << dropped << " dropped by ring overflow</p>"
+       << "<table><tr><th>kind</th><th>t</th><th>item</th><th>bin</th>"
+          "<th>size</th><th>level</th></tr>";
+    for (std::size_t i = events.size() - tail; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      os << "<tr><td>" << to_string(e.kind) << "</td><td>" << fmt(e.t)
+         << "</td><td>" << e.item << "</td><td>" << e.bin << "</td><td>"
+         << fmt(e.size) << "</td><td>" << fmt(e.level) << "</td></tr>";
+    }
+    os << "</table>";
+  }
+
+  os << "</body></html>\n";
+}
+
+void write_report_file(const std::string& path, const Telemetry& telemetry,
+                       const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_report_file: cannot open " + path);
+  write_report_html(out, telemetry, options);
+  if (!out) throw std::runtime_error("write_report_file: write failed: " + path);
+}
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,43 @@
+// Self-contained HTML run dashboard.
+//
+// write_report_html renders everything a Telemetry instance knows about the
+// most recent run into ONE html file with inline CSS and inline SVG — no
+// scripts, no external assets, so the artifact opens identically from a CI
+// artifact store, an email attachment, or file://. Sections:
+//
+//  * summary badge: current/peak ratio vs the Theorem 1 (µ+4) envelope
+//  * usage vs lower bound vs (µ+4)·LB over time (RatioMonitor samples)
+//  * competitive ratio over time with the µ+4 guide line
+//  * ratio vs µ scatter across archived runs, colored per algorithm
+//  * histogram bar charts, counter/gauge tables (MetricsSnapshot)
+//  * profiler sections (calls, total, self, mean, max)
+//  * tail of the event-trace ring, with the dropped-record count
+//
+// See docs/observability.md ("Ratio monitoring & dashboards") for the
+// anatomy and how trace_replay / benches surface --report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace mutdbp::telemetry {
+
+class Telemetry;
+
+struct ReportOptions {
+  /// Page <title> and top heading.
+  std::string title = "mutdbp run report";
+  /// How many of the newest trace-ring events to show in the tail table.
+  std::size_t trace_tail = 48;
+};
+
+void write_report_html(std::ostream& os, const Telemetry& telemetry,
+                       const ReportOptions& options = {});
+
+/// Writes the dashboard to `path` (conventionally *.html). Throws
+/// std::runtime_error when the file cannot be opened or written.
+void write_report_file(const std::string& path, const Telemetry& telemetry,
+                       const ReportOptions& options = {});
+
+}  // namespace mutdbp::telemetry

@@ -79,6 +79,24 @@ Telemetry::Telemetry(TelemetryOptions options)
       "mutdbp_jobs_replaced_total", "evicted jobs successfully re-placed");
   handles_.jobs_dropped = metrics_.counter("mutdbp_jobs_dropped_total",
                                            "evicted jobs never re-placed");
+  handles_.trace_dropped = metrics_.counter(
+      "mutdbp_trace_dropped_total",
+      "trace records overwritten by ring overflow (oldest-first)");
+  handles_.ratio_current = metrics_.gauge(
+      "mutdbp_ratio_current", "usage / combined OPT lower bound (live run)");
+  handles_.lb_prop1 = metrics_.gauge(
+      "mutdbp_lb_prop1", "Proposition 1 time-space lower bound on OPT_total");
+  handles_.lb_prop2 =
+      metrics_.gauge("mutdbp_lb_prop2", "Proposition 2 span lower bound on OPT_total");
+  handles_.lb_load_ceiling = metrics_.gauge(
+      "mutdbp_lb_load_ceiling", "load-ceiling integral lower bound on OPT_total");
+  handles_.bound_gap = metrics_.gauge(
+      "mutdbp_bound_gap_mu_plus_4",
+      "(mu+4)*LB - usage; positive = inside Theorem 1 envelope (NaN without mu)");
+  monitor_.bind(&metrics_,
+                RatioMonitor::Gauges{handles_.ratio_current, handles_.lb_prop1,
+                                     handles_.lb_prop2, handles_.lb_load_ceiling,
+                                     handles_.bound_gap});
   handles_.simulate_events = profiler_.section("simulate.events");
   handles_.simulate_finish = profiler_.section("simulate.finish");
   handles_.dispatcher_submit = profiler_.section("dispatcher.submit");
@@ -86,50 +104,71 @@ Telemetry::Telemetry(TelemetryOptions options)
   handles_.faults_replay = profiler_.section("faults.run_with_faults");
 }
 
-void Telemetry::on_item_placed(std::uint64_t item, double size, std::uint64_t bin,
-                               double level_after, double capacity, double t,
-                               bool opened_new_bin, std::size_t open_bins) {
+void Telemetry::trace(const TraceEvent& event) {
+  if (tracer_.record(event)) metrics_.add(handles_.trace_dropped);
+}
+
+void Telemetry::on_run_begin(const void* owner, std::string_view algorithm,
+                             double capacity) {
+  monitor_.begin_run(owner, algorithm, capacity);
+}
+
+void Telemetry::on_run_finished(const void* owner, double t) {
+  monitor_.finish_run(owner, t);
+}
+
+void Telemetry::set_reference_mu(const void* owner, double mu) {
+  monitor_.set_reference_mu(owner, mu);
+}
+
+void Telemetry::on_item_placed(const void* owner, std::uint64_t item, double size,
+                               std::uint64_t bin, double level_after,
+                               double capacity, double t, bool opened_new_bin,
+                               std::size_t open_bins) {
   metrics_.add(handles_.items_placed);
   if (opened_new_bin) metrics_.add(handles_.bins_opened);
   metrics_.set(handles_.open_bins, static_cast<double>(open_bins));
   metrics_.observe(handles_.fill_level, level_after / capacity);
   metrics_.observe(handles_.item_size, size / capacity);
+  monitor_.on_arrival(owner, size, t, open_bins);
   if (options_.trace) {
     if (opened_new_bin) {
-      tracer_.record({t, item, bin, size, level_after, TraceKind::kBinOpen});
+      trace({t, item, bin, size, level_after, TraceKind::kBinOpen});
     }
-    tracer_.record({t, item, bin, size, level_after, TraceKind::kPlacement});
+    trace({t, item, bin, size, level_after, TraceKind::kPlacement});
   }
 }
 
-void Telemetry::on_item_departed(std::uint64_t item, std::uint64_t bin,
+void Telemetry::on_item_departed(const void* owner, std::uint64_t item,
+                                 std::uint64_t bin, double size,
                                  double level_after, double t) {
   metrics_.add(handles_.items_departed);
+  monitor_.on_departure(owner, size, t);
   // Departures are not traced individually: placements already carry the
   // interval start, and the bin-close record carries the drain end. Keeping
   // the ring for decisions (placements/retries) doubles its reach.
   (void)item;
   (void)bin;
   (void)level_after;
-  (void)t;
 }
 
-void Telemetry::on_bin_closed(std::uint64_t bin, double open_time, double close_time,
-                              std::size_t open_bins) {
+void Telemetry::on_bin_closed(const void* owner, std::uint64_t bin, double open_time,
+                              double close_time, std::size_t open_bins) {
   metrics_.add(handles_.bins_closed);
   metrics_.set(handles_.open_bins, static_cast<double>(open_bins));
   metrics_.observe(handles_.bin_usage_time, close_time - open_time);
+  monitor_.on_open_bins(owner, close_time, open_bins);
   if (options_.trace) {
-    tracer_.record(
-        {close_time, 0, bin, close_time - open_time, 0.0, TraceKind::kBinClose});
+    trace({close_time, 0, bin, close_time - open_time, 0.0, TraceKind::kBinClose});
   }
 }
 
-void Telemetry::on_item_evicted(std::uint64_t item, double size, std::uint64_t bin,
-                                double t) {
+void Telemetry::on_item_evicted(const void* owner, std::uint64_t item, double size,
+                                std::uint64_t bin, double t) {
   metrics_.add(handles_.items_evicted);
+  monitor_.on_departure(owner, size, t);
   if (options_.trace) {
-    tracer_.record({t, item, bin, size, 0.0, TraceKind::kEviction});
+    trace({t, item, bin, size, 0.0, TraceKind::kEviction});
   }
 }
 
@@ -148,29 +187,28 @@ void Telemetry::on_job_completed(std::uint64_t job, double t) {
 void Telemetry::on_fault(bool hit_rented_server, std::uint64_t victim, double t) {
   metrics_.add(hit_rented_server ? handles_.faults_injected : handles_.faults_idle);
   if (options_.trace) {
-    tracer_.record({t, 0, victim, hit_rented_server ? 1.0 : 0.0, 0.0,
-                    TraceKind::kFault});
+    trace({t, 0, victim, hit_rented_server ? 1.0 : 0.0, 0.0, TraceKind::kFault});
   }
 }
 
 void Telemetry::on_retry_scheduled(std::uint64_t job, double retry_at) {
   metrics_.add(handles_.retries_scheduled);
   if (options_.trace) {
-    tracer_.record({retry_at, job, 0, 0.0, 0.0, TraceKind::kRetry});
+    trace({retry_at, job, 0, 0.0, 0.0, TraceKind::kRetry});
   }
 }
 
 void Telemetry::on_job_replaced(std::uint64_t job, std::uint64_t server, double t) {
   metrics_.add(handles_.jobs_replaced);
   if (options_.trace) {
-    tracer_.record({t, job, server, 0.0, 0.0, TraceKind::kRetry});
+    trace({t, job, server, 0.0, 0.0, TraceKind::kRetry});
   }
 }
 
 void Telemetry::on_job_dropped(std::uint64_t job, double t) {
   metrics_.add(handles_.jobs_dropped);
   if (options_.trace) {
-    tracer_.record({t, job, 0, 0.0, 0.0, TraceKind::kDrop});
+    trace({t, job, 0, 0.0, 0.0, TraceKind::kDrop});
   }
 }
 

@@ -19,8 +19,11 @@
 #include <cstddef>
 #include <cstdint>
 
+#include <string_view>
+
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
+#include "telemetry/ratio_monitor.h"
 #include "telemetry/trace.h"
 
 namespace mutdbp::telemetry {
@@ -46,6 +49,8 @@ class Telemetry {
   [[nodiscard]] const EventTracer& tracer() const noexcept { return tracer_; }
   [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
   [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
+  [[nodiscard]] RatioMonitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] const RatioMonitor& monitor() const noexcept { return monitor_; }
 
   /// The process-global instance (created on first use). Attached to every
   /// Simulation when global_enabled(); also what bench --metrics exports.
@@ -58,15 +63,27 @@ class Telemetry {
   /// global_enabled(), else null — the attachment rule every layer shares.
   [[nodiscard]] static Telemetry* resolve(Telemetry* explicit_telemetry) noexcept;
 
+  // ---- run lifecycle (Simulation / RatioMonitor) --------------------
+  // `owner` tags which engine the event belongs to (the Simulation's
+  // `this`): a shared Telemetry may see interleaved runs, and the monitor
+  // binds to the last one begun, ignoring the rest (counters still
+  // accumulate across all of them).
+  void on_run_begin(const void* owner, std::string_view algorithm, double capacity);
+  void on_run_finished(const void* owner, double t);
+  /// µ of the driving workload, when the caller knows it (simulate(),
+  /// run_with_faults). Enables the mutdbp_bound_gap_mu_plus_4 gauge.
+  void set_reference_mu(const void* owner, double mu);
+
   // ---- engine hooks (Simulation) ------------------------------------
-  void on_item_placed(std::uint64_t item, double size, std::uint64_t bin,
-                      double level_after, double capacity, double t,
-                      bool opened_new_bin, std::size_t open_bins);
-  void on_item_departed(std::uint64_t item, std::uint64_t bin, double level_after,
-                        double t);
-  void on_bin_closed(std::uint64_t bin, double open_time, double close_time,
-                     std::size_t open_bins);
-  void on_item_evicted(std::uint64_t item, double size, std::uint64_t bin, double t);
+  void on_item_placed(const void* owner, std::uint64_t item, double size,
+                      std::uint64_t bin, double level_after, double capacity,
+                      double t, bool opened_new_bin, std::size_t open_bins);
+  void on_item_departed(const void* owner, std::uint64_t item, std::uint64_t bin,
+                        double size, double level_after, double t);
+  void on_bin_closed(const void* owner, std::uint64_t bin, double open_time,
+                     double close_time, std::size_t open_bins);
+  void on_item_evicted(const void* owner, std::uint64_t item, double size,
+                       std::uint64_t bin, double t);
 
   // ---- cloud hooks (dispatcher / fleet / run_with_faults) -----------
   void on_job_submitted(std::uint64_t job, double t);
@@ -97,6 +114,14 @@ class Telemetry {
     CounterHandle retries_scheduled;
     CounterHandle jobs_replaced;
     CounterHandle jobs_dropped;
+    // telemetry self-observation
+    CounterHandle trace_dropped;  ///< mutdbp_trace_dropped_total
+    // ratio monitor gauges
+    GaugeHandle ratio_current;
+    GaugeHandle lb_prop1;
+    GaugeHandle lb_prop2;
+    GaugeHandle lb_load_ceiling;
+    GaugeHandle bound_gap;  ///< mutdbp_bound_gap_mu_plus_4
     // profiler sections
     SectionHandle simulate_events;
     SectionHandle simulate_finish;
@@ -107,10 +132,14 @@ class Telemetry {
   [[nodiscard]] const Handles& handles() const noexcept { return handles_; }
 
  private:
+  /// Records into the trace ring, counting overwritten (dropped) records.
+  void trace(const TraceEvent& event);
+
   TelemetryOptions options_;
   MetricsRegistry metrics_;
   EventTracer tracer_;
   Profiler profiler_;
+  RatioMonitor monitor_;
   Handles handles_;
 };
 

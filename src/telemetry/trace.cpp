@@ -29,11 +29,13 @@ EventTracer::EventTracer(std::size_t capacity) {
   buffer_.resize(capacity);
 }
 
-void EventTracer::record(const TraceEvent& event) noexcept {
+bool EventTracer::record(const TraceEvent& event) noexcept {
   const std::scoped_lock lock(mutex_);
+  const bool overwrote = recorded_ >= buffer_.size();
   buffer_[next_] = event;
   next_ = next_ + 1 == buffer_.size() ? 0 : next_ + 1;
   ++recorded_;
+  return overwrote;
 }
 
 std::vector<TraceEvent> EventTracer::events() const {
@@ -68,7 +70,8 @@ std::uint64_t EventTracer::recorded() const {
 
 void EventTracer::write_chrome_json(std::ostream& os) const {
   const std::vector<TraceEvent> all = events();
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":" << dropped()
+     << ",\"traceEvents\":[";
   char buf[256];
   bool first = true;
   for (const TraceEvent& e : all) {
@@ -99,6 +102,12 @@ void EventTracer::write_csv(std::ostream& os) const {
                   std::string(to_string(e.kind)).c_str(), e.t, e.item, e.bin, e.size,
                   e.level);
     os << buf;
+  }
+  // Comment trailer so consumers that only read rows are unaffected; tools
+  // that care about completeness can grep for it.
+  if (const std::uint64_t n = dropped(); n > 0) {
+    os << "# dropped " << n << " events (ring capacity " << buffer_.size()
+       << ")\n";
   }
 }
 

@@ -49,7 +49,10 @@ class EventTracer {
   /// `capacity` must be > 0; it is the exact number of retained events.
   explicit EventTracer(std::size_t capacity = 1 << 16);
 
-  void record(const TraceEvent& event) noexcept;
+  /// Returns true when recording overwrote (dropped) the oldest retained
+  /// event — i.e. the ring was already full. Callers that surface drop
+  /// counts as metrics key off this instead of polling dropped().
+  bool record(const TraceEvent& event) noexcept;
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;

@@ -7,6 +7,7 @@
 // scenarios per algorithm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/checkpoint.h"
 #include "core/error.h"
 #include "core/streaming.h"
+#include "opt/lower_bounds.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -114,6 +116,22 @@ void run_scenario(const std::string& algorithm, Rng& rng, bool with_restore,
   expect_identical(stream->finish(), batch, items, label);
 
   if (with_telemetry) {
+    // The ratio monitor's incremental lower bounds must equal the batch
+    // sweep BIT-FOR-BIT: both are the same LowerBoundAccumulator fed the
+    // same canonical event order. Unlike counters, this holds across a
+    // restore cut too — replay rebinds the monitor and rebuilds its state
+    // from scratch, so nothing is double-counted.
+    const telemetry::RatioRunState monitored =
+        stream_telemetry.monitor().current();
+    ASSERT_TRUE(monitored.finished) << label;
+    ASSERT_EQ(monitored.lb_prop1, opt::prop1_time_space_bound(items)) << label;
+    ASSERT_EQ(monitored.lb_prop2, opt::prop2_span_bound(items)) << label;
+    ASSERT_EQ(monitored.lb_load_ceiling, opt::load_ceiling_bound(items)) << label;
+    ASSERT_EQ(monitored.lower_bound, opt::combined_lower_bound(items)) << label;
+    ASSERT_NEAR(monitored.usage, batch.total_usage_time(),
+                1e-9 * std::max(1.0, batch.total_usage_time()))
+        << label;
+
     // Replay regenerates the counters, so the streamed sink must agree with
     // the batch sink on every integer counter — except that a restore run
     // counts its pre-cut events twice (once live, once during replay).

@@ -1,0 +1,327 @@
+// RatioMonitor tests: the accumulator's known-value bounds, the tentpole
+// bit-for-bit guarantee (incremental monitor == batch opt:: sweep) on
+// random, adversarial, and streaming-with-restore runs, the Theorem 1
+// envelope on the adversarial families, gauge publication, the bounded
+// sampler, and the finished-run archive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/simulation.h"
+#include "core/streaming.h"
+#include "opt/lower_bounds.h"
+#include "telemetry/ratio_monitor.h"
+#include "telemetry/telemetry.h"
+#include "util/rng.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+
+namespace mutdbp::telemetry {
+namespace {
+
+ItemList demo_items() {
+  // Same fixture as tests/opt_integral_test.cpp: 0.6 over [0,2) and 0.6
+  // over [1,3) — prop1 2.4, span 3, ceiling 4 (two bins where load > 1).
+  return ItemList({make_item(1, 0.6, 0.0, 2.0), make_item(2, 0.6, 1.0, 3.0)});
+}
+
+void feed_schedule(LowerBoundAccumulator& acc, const ItemList& items) {
+  for (const ScheduledEvent& event : items.schedule()) {
+    acc.advance_to(event.t);
+    if (event.is_arrival) {
+      acc.apply_arrival(event.size);
+    } else {
+      acc.apply_departure(event.size);
+    }
+  }
+}
+
+TEST(LowerBoundAccumulator, KnownValuesOnTheDemoFixture) {
+  LowerBoundAccumulator acc(1.0);
+  feed_schedule(acc, demo_items());
+  EXPECT_DOUBLE_EQ(acc.prop1(), 2.4);
+  EXPECT_DOUBLE_EQ(acc.prop2(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.load_ceiling(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.combined(), 4.0);
+  EXPECT_EQ(acc.active(), 0u);
+  EXPECT_DOUBLE_EQ(acc.load(), 0.0);
+}
+
+TEST(LowerBoundAccumulator, IdleGapsContributeNothing) {
+  LowerBoundAccumulator acc(1.0);
+  acc.advance_to(0.0);
+  acc.apply_arrival(0.5);
+  acc.advance_to(1.0);
+  acc.apply_departure(0.5);
+  // A long idle stretch, then a second burst.
+  acc.advance_to(100.0);
+  acc.apply_arrival(0.25);
+  acc.advance_to(101.0);
+  acc.apply_departure(0.25);
+  EXPECT_DOUBLE_EQ(acc.prop2(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.prop1(), 0.75);
+  EXPECT_DOUBLE_EQ(acc.load_ceiling(), 2.0);  // one bin during each burst
+}
+
+TEST(LowerBoundAccumulator, ResetClearsEverything) {
+  LowerBoundAccumulator acc(2.0);
+  acc.advance_to(0.0);
+  acc.apply_arrival(1.0);
+  acc.advance_to(5.0);
+  acc.apply_departure(1.0);
+  EXPECT_GT(acc.combined(), 0.0);
+  acc.reset(1.0);
+  EXPECT_DOUBLE_EQ(acc.combined(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.capacity(), 1.0);
+  EXPECT_EQ(acc.active(), 0u);
+}
+
+// ---- the tentpole guarantee: incremental == batch, bit for bit ------
+
+void expect_monitor_matches_batch(const Telemetry& telemetry,
+                                  const ItemList& items, double usage,
+                                  const std::string& label) {
+  const RatioRunState state = telemetry.monitor().current();
+  ASSERT_TRUE(state.finished) << label;
+  // Exact double equality is the contract, not a tolerance: both sides run
+  // the identical FP ops in the identical canonical event order.
+  ASSERT_EQ(state.lb_prop1, opt::prop1_time_space_bound(items)) << label;
+  ASSERT_EQ(state.lb_prop2, opt::prop2_span_bound(items)) << label;
+  ASSERT_EQ(state.lb_load_ceiling, opt::load_ceiling_bound(items)) << label;
+  ASSERT_EQ(state.lower_bound, opt::combined_lower_bound(items)) << label;
+  ASSERT_NEAR(state.usage, usage, 1e-9 * std::max(1.0, usage)) << label;
+}
+
+TEST(RatioMonitor, FinalBoundsMatchBatchBitForBitOnRandomRuns) {
+  Rng rng(0x4A7105);
+  for (const std::string& name : algorithm_names()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      workload::RandomWorkloadSpec spec;
+      spec.num_items = 50 + static_cast<std::size_t>(rng.uniform_u64(0, 250));
+      spec.seed = rng.uniform_u64(1, 1u << 30);
+      spec.arrival_rate = 1.0 + 3.0 * rng.next_double();
+      spec.duration_max = 2.0 + 6.0 * rng.next_double();
+      const ItemList items = workload::generate(spec);
+
+      Telemetry telemetry;
+      SimulationOptions options;
+      options.telemetry = &telemetry;
+      const auto algorithm = make_algorithm(name);
+      const PackingResult result = simulate(items, *algorithm, options);
+      expect_monitor_matches_batch(telemetry, items, result.total_usage_time(),
+                                   name + " trial " + std::to_string(trial));
+      // simulate() reported the list's µ; the envelope gauge must be live.
+      const RatioRunState state = telemetry.monitor().current();
+      EXPECT_EQ(state.mu_reference, items.mu());
+      EXPECT_FALSE(std::isnan(state.bound_gap_mu_plus_4()));
+    }
+  }
+}
+
+TEST(RatioMonitor, AdversarialFamiliesStayInsideTheoremOneEnvelope) {
+  struct Family {
+    std::string name;
+    workload::AdversarialInstance instance;
+  };
+  const double mu = 10.0;
+  std::vector<Family> families;
+  families.push_back({"next_fit", workload::next_fit_lower_bound_instance(24, mu)});
+  families.push_back({"pinning", workload::any_fit_pinning_instance(40, mu)});
+  // Decoy rounds are capped by 1.5*(rounds-1) + 0.5 < mu: 7 rounds at mu 10.
+  families.push_back({"decoy", workload::best_fit_decoy_instance(7, mu)});
+
+  for (const Family& family : families) {
+    Telemetry telemetry;
+    SimulationOptions options;
+    options.telemetry = &telemetry;
+    options.fit_epsilon = family.instance.recommended_fit_epsilon;
+    const auto algorithm =
+        make_algorithm("FirstFit", 1, family.instance.recommended_fit_epsilon);
+    const PackingResult result = simulate(family.instance.items, *algorithm, options);
+    expect_monitor_matches_batch(telemetry, family.instance.items,
+                                 result.total_usage_time(), family.name);
+
+    // Theorem 1: once past warm-up, First Fit never exceeds (µ+4)·LB.
+    const RatioRunState state = telemetry.monitor().current();
+    const double list_mu = family.instance.items.mu();
+    EXPECT_LE(state.peak_ratio, list_mu + 4.0) << family.name;
+    EXPECT_GE(state.bound_gap_mu_plus_4(), 0.0) << family.name;
+  }
+}
+
+TEST(RatioMonitor, SurvivesStreamingCheckpointRestore) {
+  Rng rng(0xC4EC);
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 80 + static_cast<std::size_t>(rng.uniform_u64(0, 120));
+    spec.seed = rng.uniform_u64(1, 1u << 30);
+    const ItemList items = workload::generate(spec);
+    const auto& schedule = items.schedule();
+    const std::size_t cut = rng.uniform_u64(1, schedule.size() - 1);
+
+    Telemetry telemetry;
+    const auto algo = make_algorithm("FirstFit");
+    StreamingOptions options;
+    options.capacity = items.capacity();
+    options.telemetry = &telemetry;
+    auto stream = std::make_unique<StreamingSimulation>(*algo, options);
+
+    std::unique_ptr<PackingAlgorithm> restored_algo;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const ScheduledEvent& event = schedule[i];
+      if (event.is_arrival) {
+        stream->push_arrival(event.id, event.size, event.t);
+      } else {
+        stream->push_departure(event.id, event.t);
+      }
+      stream->flush();
+      if (i == cut) {
+        // Restore re-creates the engine and replays the applied log, which
+        // rebinds the monitor and rebuilds its state from time zero — the
+        // monitor "survives" the cut by deterministic reconstruction.
+        std::ostringstream out(std::ios::binary);
+        stream->snapshot(out);
+        std::istringstream in(out.str(), std::ios::binary);
+        restored_algo = make_algorithm("FirstFit");
+        stream = std::make_unique<StreamingSimulation>(
+            StreamingSimulation::restore(in, *restored_algo, &telemetry));
+      }
+    }
+    const PackingResult result = stream->finish();
+    expect_monitor_matches_batch(telemetry, items, result.total_usage_time(),
+                                 "restore trial " + std::to_string(trial));
+  }
+}
+
+// ---- gauges, sampler, archive ---------------------------------------
+
+TEST(RatioMonitor, PublishesGaugesThroughTheRegistry) {
+  Telemetry telemetry;
+  const ItemList items = demo_items();
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  const auto algorithm = make_algorithm("FirstFit");
+  (void)simulate(items, *algorithm, options);
+
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  const RatioRunState state = telemetry.monitor().current();
+  for (const char* name : {"mutdbp_ratio_current", "mutdbp_lb_prop1",
+                           "mutdbp_lb_prop2", "mutdbp_lb_load_ceiling",
+                           "mutdbp_bound_gap_mu_plus_4"}) {
+    ASSERT_NE(snap.find_gauge(name), nullptr) << name;
+  }
+  EXPECT_EQ(snap.find_gauge("mutdbp_ratio_current")->value, state.ratio);
+  EXPECT_EQ(snap.find_gauge("mutdbp_lb_prop1")->value, state.lb_prop1);
+  EXPECT_EQ(snap.find_gauge("mutdbp_lb_prop2")->value, state.lb_prop2);
+  EXPECT_EQ(snap.find_gauge("mutdbp_lb_load_ceiling")->value,
+            state.lb_load_ceiling);
+  EXPECT_EQ(snap.find_gauge("mutdbp_bound_gap_mu_plus_4")->value,
+            state.bound_gap_mu_plus_4());
+}
+
+TEST(RatioMonitor, GapGaugeIsNaNWithoutAReferenceMu) {
+  Telemetry telemetry;
+  RatioMonitor& monitor = telemetry.monitor();
+  monitor.begin_run(&telemetry, "manual", 1.0);
+  monitor.on_arrival(&telemetry, 0.5, 0.0, 1);
+  monitor.on_departure(&telemetry, 0.5, 2.0);
+  EXPECT_TRUE(std::isnan(monitor.current().bound_gap_mu_plus_4()));
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  EXPECT_TRUE(std::isnan(snap.find_gauge("mutdbp_bound_gap_mu_plus_4")->value));
+
+  monitor.set_reference_mu(&telemetry, 4.0);
+  EXPECT_FALSE(std::isnan(monitor.current().bound_gap_mu_plus_4()));
+}
+
+TEST(RatioMonitor, EventsFromOtherOwnersAreIgnored) {
+  Telemetry telemetry;
+  RatioMonitor& monitor = telemetry.monitor();
+  int bound_run = 0, stranger = 0;
+  monitor.begin_run(&bound_run, "bound", 1.0);
+  monitor.on_arrival(&bound_run, 0.5, 0.0, 1);
+  monitor.on_arrival(&stranger, 0.9, 0.0, 7);  // must not perturb the run
+  monitor.set_reference_mu(&stranger, 99.0);
+  const RatioRunState state = monitor.current();
+  EXPECT_EQ(state.events, 1u);
+  EXPECT_EQ(state.mu_reference, 0.0);
+  monitor.finish_run(&stranger, 5.0);
+  EXPECT_FALSE(monitor.current().finished);
+}
+
+TEST(RatioMonitor, SamplerStaysBoundedAndTimeOrdered) {
+  Telemetry telemetry;
+  RatioMonitor& monitor = telemetry.monitor();
+  monitor.set_sample_capacity(64);
+  monitor.begin_run(&telemetry, "sampler", 1.0);
+  // Alternating arrivals/departures: thousands of events through a 64-slot
+  // sampler must decimate, not grow.
+  double t = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    monitor.on_arrival(&telemetry, 0.5, t, 1);
+    t += 0.5;
+    monitor.on_departure(&telemetry, 0.5, t);
+    t += 0.5;
+  }
+  monitor.finish_run(&telemetry, t);
+
+  const std::vector<RatioSample> samples = monitor.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), 64u + 1);  // +1: the retained final sample
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].t, samples[i].t);
+    EXPECT_LE(samples[i - 1].usage, samples[i].usage + 1e-12);
+  }
+  // The final state is always retained.
+  const RatioRunState state = monitor.current();
+  EXPECT_EQ(samples.back().t, state.now);
+  EXPECT_EQ(samples.back().usage, state.usage);
+}
+
+TEST(RatioMonitor, ArchivesOneSummaryPerFinishedRun) {
+  Telemetry telemetry;
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  const ItemList items = demo_items();
+  for (const char* name : {"FirstFit", "NextFit"}) {
+    const auto algorithm = make_algorithm(name);
+    (void)simulate(items, *algorithm, options);
+  }
+  const std::vector<RatioRunSummary> runs = telemetry.monitor().completed_runs();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].algorithm, "FirstFit");
+  EXPECT_EQ(runs[1].algorithm, "NextFit");
+  for (const RatioRunSummary& run : runs) {
+    EXPECT_EQ(run.lower_bound, opt::combined_lower_bound(items));
+    EXPECT_GT(run.ratio, 0.0);
+    EXPECT_EQ(run.events, 2 * items.size());
+    EXPECT_EQ(run.mu_reference, items.mu());
+  }
+  EXPECT_EQ(telemetry.monitor().runs_dropped(), 0u);
+}
+
+TEST(RatioMonitor, WarmupGatesPeakRatioTracking) {
+  Telemetry telemetry;
+  RatioMonitor& monitor = telemetry.monitor();
+  monitor.set_warmup_lb(10.0);
+  EXPECT_DOUBLE_EQ(monitor.warmup_lb(), 10.0);
+  monitor.begin_run(&telemetry, "warmup", 1.0);
+  // A short spiky prefix: LB stays below 10, so no peak is recorded even
+  // though the instantaneous ratio is large.
+  monitor.on_arrival(&telemetry, 0.1, 0.0, 3);
+  monitor.on_departure(&telemetry, 0.1, 1.0);
+  EXPECT_DOUBLE_EQ(monitor.current().peak_ratio, 0.0);
+  // Push the LB past warm-up; now the peak engages.
+  monitor.on_arrival(&telemetry, 0.9, 1.0, 3);
+  monitor.on_departure(&telemetry, 0.9, 30.0);
+  EXPECT_GT(monitor.current().peak_ratio, 0.0);
+  monitor.set_warmup_lb(1.0);  // restore the default for later tests
+}
+
+}  // namespace
+}  // namespace mutdbp::telemetry

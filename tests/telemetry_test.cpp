@@ -254,6 +254,56 @@ TEST(Profiler, SectionsAreIdempotentAndAccumulate) {
   EXPECT_EQ(stats[1].calls, 1u);
 }
 
+TEST(Profiler, SelfTimeExcludesNestedSections) {
+  Profiler profiler;
+  const SectionHandle outer = profiler.section("outer");
+  const SectionHandle inner = profiler.section("inner");
+
+  {
+    ScopedTimer a(&profiler, outer);
+    ScopedTimer b(&profiler, inner);
+    // Both scopes close here: inner's total is charged to outer's children.
+  }
+
+  const auto stats = profiler.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "outer");
+  EXPECT_LE(stats[0].self_ns, stats[0].total_ns);
+  EXPECT_EQ(stats[1].name, "inner");
+  // The innermost scope has no children, so self == total exactly.
+  EXPECT_EQ(stats[1].self_ns, stats[1].total_ns);
+
+  // Explicit split samples pass straight through.
+  profiler.add_sample(outer, 100, 60);
+  const auto after = profiler.stats();
+  EXPECT_EQ(after[0].total_ns, stats[0].total_ns + 100);
+  EXPECT_EQ(after[0].self_ns, stats[0].self_ns + 60);
+}
+
+TEST(EventTracer, RecordReportsOverwriteAndExportsNoteDrops) {
+  EventTracer tracer(2);
+  EXPECT_FALSE(tracer.record({1.0, 1, 0, 0.5, 0.5, TraceKind::kPlacement}));
+  EXPECT_FALSE(tracer.record({2.0, 2, 0, 0.5, 0.5, TraceKind::kPlacement}));
+  EXPECT_TRUE(tracer.record({3.0, 3, 0, 0.5, 0.5, TraceKind::kPlacement}));
+  EXPECT_EQ(tracer.dropped(), 1u);
+
+  std::ostringstream json;
+  tracer.write_chrome_json(json);
+  EXPECT_NE(json.str().find("\"droppedEvents\":1"), std::string::npos);
+
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  EXPECT_NE(csv.str().find("# dropped 1 events (ring capacity 2)"),
+            std::string::npos);
+
+  // A non-overflowing ring keeps its exports trailer-free.
+  EventTracer roomy(8);
+  roomy.record({1.0, 1, 0, 0.5, 0.5, TraceKind::kPlacement});
+  std::ostringstream clean;
+  roomy.write_csv(clean);
+  EXPECT_EQ(clean.str().find("# dropped"), std::string::npos);
+}
+
 // ---- exporter golden outputs ----------------------------------------
 
 TEST(Exporters, PrometheusGoldenOutput) {
@@ -316,7 +366,12 @@ TEST(Exporters, JsonGoldenOutput) {
   write_profiler_json(prof, profiler.stats());
   EXPECT_EQ(prof.str(),
             "{\"profiler\":{\"s\":{\"calls\":1,\"total_ns\":250,"
-            "\"max_ns\":250,\"mean_ns\":250}}}");
+            "\"self_ns\":250,\"max_ns\":250,\"mean_ns\":250}}}");
+
+  std::ostringstream prom;
+  write_profiler_prometheus(prom, profiler.stats());
+  EXPECT_NE(prom.str().find("mutdbp_profile_self_ns{section=\"s\"} 250"),
+            std::string::npos);
 }
 
 // ---- telemetry facade + engine integration --------------------------
@@ -468,6 +523,24 @@ TEST(Telemetry, TraceCanBeDisabledWhileMetricsStayOn) {
   const MetricsSnapshot snap = telemetry.metrics().snapshot();
   EXPECT_EQ(snap.find_counter("mutdbp_bins_opened_total")->value,
             result.bins_opened());
+}
+
+TEST(Telemetry, TraceDroppedCounterMatchesRingOverflow) {
+  TelemetryOptions topts;
+  topts.trace_capacity = 8;  // force the ring to wrap on any real workload
+  Telemetry telemetry(topts);
+
+  const ItemList items = workload::generate(test_spec(300, 9));
+  const auto algorithm = make_algorithm("FirstFit");
+  SimulationOptions options;
+  options.telemetry = &telemetry;
+  (void)simulate(items, *algorithm, options);
+
+  const std::uint64_t dropped = telemetry.tracer().dropped();
+  EXPECT_GT(dropped, 0u);
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  ASSERT_NE(snap.find_counter("mutdbp_trace_dropped_total"), nullptr);
+  EXPECT_EQ(snap.find_counter("mutdbp_trace_dropped_total")->value, dropped);
 }
 
 }  // namespace
