@@ -8,8 +8,12 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include <benchmark/benchmark.h>
 
 #include "telemetry/export.h"
+#include "util/parallel.h"
 #include "telemetry/report_html.h"
 #include "telemetry/telemetry.h"
 #include "util/flags.h"
@@ -17,6 +21,20 @@
 #include "workload/generators.h"
 
 namespace mutdbp::bench {
+
+/// Stamps the sharding-relevant machine facts into the google-benchmark
+/// JSON context, so committed BENCH_*.json files are self-describing:
+/// scaling numbers are only comparable when `hardware_concurrency` (real
+/// cores available to the run) and `mutdbp_shards` (the fleet's default
+/// shard count, MUTDBP_SHARDS override included) are known. Call from a
+/// custom main() before benchmark::Initialize().
+inline void add_machine_context() {
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("mutdbp_shards",
+                              std::to_string(hardware_shard_count()));
+}
 
 /// Optional telemetry export for any binary with a Flags parser: registers
 /// --metrics <file> (Prometheus text, or a JSON dump when the file ends in

@@ -4,6 +4,7 @@
 
 #include "algorithms/any_fit.h"
 #include "algorithms/registry.h"
+#include "bench_common.h"
 #include "core/simulation.h"
 #include "workload/generators.h"
 
@@ -80,4 +81,11 @@ BENCHMARK(BM_HybridFirstFit)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_FirstFitSnapshotPath)->Arg(50000);
 BENCHMARK(BM_SimulatorWithTimelines)->Arg(10000);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mutdbp::bench::add_machine_context();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

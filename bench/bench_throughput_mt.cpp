@@ -1,0 +1,113 @@
+// E8-MT — multi-threaded ingest throughput of the sharded allocator fleet
+// (core/sharded.h), in items/second, at 1/2/4/8 shards.
+//
+// Two families per shard count:
+//  * ShardedBatch    — run_sharded(): the pool partitions a known ItemList
+//    and packs the shards in parallel (no queues on the path).
+//  * ShardedPipelined — the live-ingest shape: one producer feeds the
+//    canonical event stream through the MPSC queues to per-shard worker
+//    threads, then finish() folds the results.
+// SingleThreadBaseline is plain simulate() on the same workload — the
+// denominator for the scaling ratio the CI smoke gate checks.
+//
+// Read the numbers against the JSON context: `hardware_concurrency` says
+// how many real cores the run had. On a 1-core host the sharded families
+// measure coordination overhead, not scaling — see docs/performance.md,
+// "Sharded scaling".
+#include <benchmark/benchmark.h>
+
+#include "algorithms/registry.h"
+#include "bench_common.h"
+#include "core/sharded.h"
+#include "core/simulation.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace mutdbp;
+
+constexpr std::size_t kItems = 50000;
+
+const ItemList& shared_workload() {
+  static const ItemList items = [] {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = kItems;
+    spec.seed = 42;
+    spec.arrival_rate = 4.0;  // keeps a healthy number of bins open
+    spec.duration_max = 8.0;
+    spec.size_min = 0.02;
+    spec.size_max = 0.6;
+    return workload::generate(spec);
+  }();
+  return items;
+}
+
+ShardedOptions options_for(std::size_t shards) {
+  ShardedOptions options;
+  options.num_shards = shards;
+  options.record_timelines = false;  // measure the packing path itself
+  return options;
+}
+
+void BM_SingleThreadBaseline(benchmark::State& state) {
+  const ItemList& items = shared_workload();
+  const auto algo = make_algorithm("FirstFit");
+  SimulationOptions options;
+  options.record_timelines = false;
+  for (auto _ : state) {
+    const PackingResult result = simulate(items, *algo, options);
+    benchmark::DoNotOptimize(result.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+
+void BM_ShardedBatch(benchmark::State& state) {
+  const ItemList& items = shared_workload();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const AlgorithmFactory factory = registry_factory("FirstFit");
+  for (auto _ : state) {
+    const ShardedResult result = run_sharded(items, factory, options_for(shards));
+    benchmark::DoNotOptimize(result.merged.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+
+void BM_ShardedPipelined(benchmark::State& state) {
+  const ItemList& items = shared_workload();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const AlgorithmFactory factory = registry_factory("FirstFit");
+  const auto& schedule = items.schedule();  // built once, outside the timer
+  ShardedOptions options = options_for(shards);
+  options.capacity = items.capacity();
+  for (auto _ : state) {
+    ShardedSimulation fleet(factory, options);
+    for (const ScheduledEvent& event : schedule) {
+      if (event.is_arrival) {
+        fleet.push_arrival(event.id, event.size, event.t);
+      } else {
+        fleet.push_departure(event.id, event.t);
+      }
+    }
+    const ShardedResult result = fleet.finish();
+    benchmark::DoNotOptimize(result.merged.bins_opened());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kItems));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SingleThreadBaseline);
+BENCHMARK(BM_ShardedBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ShardedPipelined)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+int main(int argc, char** argv) {
+  mutdbp::bench::add_machine_context();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

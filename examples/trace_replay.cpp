@@ -23,6 +23,16 @@
 // of the trace verifies its result bit-for-bit against a one-shot batch
 // simulate() of the same trace and exits non-zero on any divergence.
 //
+// Sharded mode (docs/performance.md, "Sharded scaling"): --shards N replays
+// the trace through an N-shard ShardedSimulation fleet (core/sharded.h) —
+// items are hash-routed to per-shard engines fed over MPSC queues, and the
+// per-shard results are folded deterministically at the end. The merged
+// result is verified bit-for-bit against a batch run_sharded() of the same
+// trace, and at N=1 additionally against single-threaded simulate().
+// --checkpoint-every / --stop-after-events / --restore work here too: the
+// checkpoint file is a MUTDBPC1 fleet header frame followed by one
+// per-shard streaming frame.
+//
 // Ratio monitoring (docs/observability.md): --report out.html writes the
 // self-contained HTML dashboard. --adversarial next_fit|pinning|decoy
 // replays a generated adversarial family (size --n, duration spread --mu)
@@ -39,6 +49,8 @@
 
 #include "algorithms/registry.h"
 #include "analysis/report.h"
+#include "core/sharded.h"
+#include "core/simulation.h"
 #include "core/streaming.h"
 #include "opt/lower_bounds.h"
 #include "telemetry/export.h"
@@ -246,6 +258,174 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
   return 0;
 }
 
+// Feeds the trace through an already-constructed fleet (fresh or restored),
+// handling the checkpoint/crash flags, then verifies the merged result
+// against a batch run_sharded() of the same trace — and, for one shard,
+// against single-threaded simulate().
+int drive_sharded(mutdbp::ShardedSimulation& fleet, const mutdbp::ItemList& items,
+                  std::int64_t checkpoint_every, const std::string& checkpoint_path,
+                  std::int64_t stop_after_events, const std::string& metrics_path) {
+  using namespace mutdbp;
+  fleet.set_reference_mu(items.mu());
+
+  const auto& schedule = items.schedule();
+  if (fleet.events_applied() > schedule.size()) {
+    std::fprintf(stderr, "checkpoint has %zu events but the trace only has %zu — "
+                 "restored against the wrong trace?\n",
+                 static_cast<std::size_t>(fleet.events_applied()), schedule.size());
+    return 1;
+  }
+
+  auto write_checkpoint = [&]() -> bool {
+    std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write checkpoint %s\n", checkpoint_path.c_str());
+      return false;
+    }
+    fleet.snapshot(out);  // drains, so events_applied() is exact afterwards
+    return true;
+  };
+
+  std::size_t checkpoints_written = 0;
+  for (std::size_t i = fleet.events_applied(); i < schedule.size(); ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      fleet.push_arrival(event.id, event.size, event.t);
+    } else {
+      fleet.push_departure(event.id, event.t);
+    }
+    const std::size_t pushed = i + 1;
+    if (checkpoint_every > 0 &&
+        pushed % static_cast<std::size_t>(checkpoint_every) == 0) {
+      if (!write_checkpoint()) return 1;
+      ++checkpoints_written;
+    }
+    if (stop_after_events > 0 &&
+        pushed >= static_cast<std::size_t>(stop_after_events)) {
+      if (!write_checkpoint()) return 1;
+      std::printf("stopped after %zu events (simulated crash); "
+                  "fleet checkpoint -> %s\n", pushed, checkpoint_path.c_str());
+      return 0;
+    }
+  }
+  if (checkpoints_written > 0) {
+    std::printf("%zu fleet checkpoints written to %s\n", checkpoints_written,
+                checkpoint_path.c_str());
+  }
+
+  const std::string algorithm_name(fleet.algorithm_name());
+  const ShardedOptions options = fleet.options();
+  const ShardedResult result = fleet.finish();
+
+  std::printf("sharded replay: %zu shards, algorithm %s\n", result.num_shards,
+              algorithm_name.c_str());
+  for (std::size_t s = 0; s < result.num_shards; ++s) {
+    const ShardOutcome& shard = result.shards[s];
+    std::printf("  shard %zu: %zu items, %zu servers, usage %.3f\n", s,
+                static_cast<std::size_t>(shard.items),
+                shard.result.bins_opened(), shard.usage);
+  }
+  std::printf("merged: %zu servers, usage %.3f, OPT lower bound %.3f, "
+              "ratio <= %.3f\n", result.merged.bins_opened(),
+              result.bounds.usage, result.bounds.lower_bound,
+              result.bounds.ratio);
+
+  // The pipelined (MPSC-fed, possibly restored) fleet must be byte-for-byte
+  // indistinguishable from one uninterrupted batch sharded run.
+  const ShardedResult batch = run_sharded(
+      items,
+      registry_factory(algorithm_name, options.algorithm_seed,
+                       options.fit_epsilon),
+      options);
+  bool identical = result.merged.bins_opened() == batch.merged.bins_opened() &&
+                   result.bounds.usage == batch.bounds.usage &&
+                   result.bounds.lower_bound == batch.bounds.lower_bound;
+  if (identical) {
+    for (const Item& item : items) {
+      if (result.bin_of(item.id) != batch.bin_of(item.id)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "VERIFICATION FAILED: pipelined fleet diverges from "
+                 "batch run_sharded()\n");
+    return 1;
+  }
+  std::printf("verified: merged placements and folded bounds identical to an "
+              "uninterrupted batch sharded run\n");
+
+  if (result.num_shards == 1) {
+    const auto reference = make_algorithm(algorithm_name, options.algorithm_seed,
+                                          options.fit_epsilon);
+    const PackingResult single = simulate(items, *reference);
+    if (result.merged.bins_opened() != single.bins_opened() ||
+        result.merged.total_usage_time() != single.total_usage_time()) {
+      std::fprintf(stderr, "VERIFICATION FAILED: one-shard fleet diverges from "
+                   "single-threaded simulate()\n");
+      return 1;
+    }
+    std::printf("verified: one-shard fleet bit-identical to single-threaded "
+                "simulate()\n");
+  }
+
+  if (!metrics_path.empty()) {
+    if (options.telemetry) {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      telemetry::write_prometheus(out, result.metrics);
+      std::printf("[merged metrics written to %s]\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "--metrics ignored: fleet was restored from a "
+                   "checkpoint taken without telemetry\n");
+    }
+  }
+  return 0;
+}
+
+int run_sharded_replay(const mutdbp::ItemList& items,
+                       const std::string& algorithm_name, double fit_epsilon,
+                       std::size_t shards, std::int64_t checkpoint_every,
+                       const std::string& checkpoint_path,
+                       const std::string& restore_path,
+                       std::int64_t stop_after_events, bool want_telemetry,
+                       const std::string& metrics_path) {
+  using namespace mutdbp;
+  if (!restore_path.empty()) {
+    std::ifstream in(restore_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open checkpoint %s\n", restore_path.c_str());
+      return 1;
+    }
+    const ShardedCheckpoint checkpoint = ShardedCheckpoint::read(in);
+    ShardedSimulation fleet = ShardedSimulation::restore(
+        checkpoint,
+        registry_factory(checkpoint.algorithm, checkpoint.options.algorithm_seed,
+                         checkpoint.options.fit_epsilon));
+    std::printf("restored fleet from %s: algorithm %s, %zu shards, %zu events "
+                "applied, %zu servers rented\n",
+                restore_path.c_str(), checkpoint.algorithm.c_str(),
+                fleet.num_shards(),
+                static_cast<std::size_t>(fleet.events_applied()),
+                fleet.open_bin_count());
+    return drive_sharded(fleet, items, checkpoint_every, checkpoint_path,
+                         stop_after_events, metrics_path);
+  }
+  ShardedOptions options;
+  options.num_shards = shards;
+  options.capacity = items.capacity();
+  options.fit_epsilon = fit_epsilon;
+  options.telemetry = want_telemetry;
+  ShardedSimulation fleet(registry_factory(algorithm_name, 1, fit_epsilon),
+                          options);
+  return drive_sharded(fleet, items, checkpoint_every, checkpoint_path,
+                       stop_after_events, metrics_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +470,9 @@ int main(int argc, char** argv) {
   const double bound_warmup_lb = flags.get_double(
       "bound-warmup-lb", 1.0,
       "ignore ratios while the OPT lower bound is below this (warm-up)");
+  const std::int64_t shards = flags.get_int(
+      "shards", 0,
+      "replay through an N-shard allocator fleet (0: single-threaded)");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
 
   ItemList items;
@@ -333,6 +516,19 @@ int main(int argc, char** argv) {
   } else {
     items = workload::read_trace_file(trace_path, capacity);
     std::printf("loaded %zu items from %s\n\n", items.size(), trace_path.c_str());
+  }
+
+  if (shards > 0) {
+    if (!trace_out_path.empty() || !report_path.empty() || enforce_bound) {
+      std::fprintf(stderr,
+                   "--trace-out/--report/--enforce-bound are not wired for "
+                   "--shards; use the single-threaded replay for those\n");
+      return 1;
+    }
+    return run_sharded_replay(items, algorithm_name, fit_epsilon,
+                              static_cast<std::size_t>(shards), checkpoint_every,
+                              checkpoint_path, restore_path, stop_after_events,
+                              !metrics_path.empty(), metrics_path);
   }
 
   const bool want_telemetry = !metrics_path.empty() || !trace_out_path.empty() ||

@@ -1,6 +1,9 @@
 #include "algorithms/registry.h"
 
 #include <stdexcept>
+#include <utility>
+
+#include "core/sharded.h"
 
 #include "algorithms/any_fit.h"
 #include "algorithms/baselines.h"
@@ -41,6 +44,13 @@ std::unique_ptr<PackingAlgorithm> make_algorithm(std::string_view name,
   }
   if (name == "NewBinPerItem") return std::make_unique<NewBinPerItem>();
   throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+AlgorithmFactory registry_factory(std::string name, std::uint64_t seed,
+                                  double fit_epsilon) {
+  return [name = std::move(name), seed, fit_epsilon](std::size_t /*shard*/) {
+    return make_algorithm(name, seed, fit_epsilon);
+  };
 }
 
 }  // namespace mutdbp

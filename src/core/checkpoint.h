@@ -38,6 +38,9 @@ enum class CheckpointKind : std::uint32_t {
   kStreamingSimulation = 1,
   kJobDispatcher = 2,
   kFleetDispatcher = 3,
+  /// Header frame of a sharded fleet checkpoint; followed in the stream by
+  /// one kStreamingSimulation frame per shard (core/sharded.h).
+  kShardedSimulation = 4,
 };
 
 /// FNV-1a 64-bit over a byte range (also used by the golden-master tests to

@@ -1,0 +1,611 @@
+#include "core/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/error.h"
+#include "telemetry/telemetry.h"
+#include "util/flat_hash.h"
+#include "util/mpsc_queue.h"
+#include "util/parallel.h"
+
+namespace mutdbp {
+
+namespace {
+
+/// Events per StreamingSimulation flush in the batch path: bounds pending_
+/// memory without affecting results (flush ≡ batch at any granularity).
+constexpr std::size_t kBatchFlushEvents = 8192;
+
+/// Shard routing ceiling — matches the MUTDBP_SHARDS override cap.
+constexpr std::size_t kMaxShards = 4096;
+
+/// The canonical event order (ItemList::schedule(), StreamingSimulation's
+/// flush_batch): time, departures before arrivals at equal times, id within
+/// a kind. Sorting a drained batch with this comparator is what keeps the
+/// per-shard sequence — and therefore the lower-bound sweep — bit-identical
+/// to the batch path no matter how the drain chopped it up.
+bool canonical_order(const StreamEvent& a, const StreamEvent& b) noexcept {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.kind != b.kind) return a.kind == StreamEvent::Kind::kDeparture;
+  return a.id < b.id;
+}
+
+ShardedOptions normalize(ShardedOptions options) {
+  if (options.num_shards == 0) options.num_shards = hardware_shard_count();
+  if (options.num_shards > kMaxShards) {
+    throw ValidationError("sharded: num_shards " +
+                          std::to_string(options.num_shards) + " exceeds the " +
+                          std::to_string(kMaxShards) + " shard ceiling");
+  }
+  if (options.producers == 0) {
+    throw ValidationError("sharded: at least one producer slot is required");
+  }
+  if (options.queue_capacity == 0) {
+    throw ValidationError("sharded: queue_capacity must be > 0");
+  }
+  return options;
+}
+
+StreamingOptions to_streaming_options(const ShardedOptions& options,
+                                      telemetry::Telemetry* telemetry) {
+  StreamingOptions stream;
+  stream.capacity = options.capacity;
+  stream.fit_epsilon = options.fit_epsilon;
+  stream.record_timelines = options.record_timelines;
+  stream.audit = options.audit;
+  stream.algorithm_seed = options.algorithm_seed;
+  stream.telemetry = telemetry;
+  return stream;
+}
+
+void fill_bounds(ShardOutcome& outcome,
+                 const telemetry::LowerBoundAccumulator& bounds) {
+  outcome.lb_prop1 = bounds.prop1();
+  outcome.lb_prop2 = bounds.prop2();
+  outcome.lb_load_ceiling = bounds.load_ceiling();
+  outcome.lower_bound = bounds.combined();
+}
+
+/// The deterministic cross-shard merge both run paths share. Fills
+/// bin_offset / merged / bounds / metrics / trace from the per-shard
+/// outcomes (already stored in result.shards, shard order) and the
+/// per-shard telemetry instances (entries may be null).
+void merge_outcomes(ShardedResult& result, double mu_reference,
+                    const std::vector<telemetry::Telemetry*>& shard_telemetry) {
+  const std::size_t n = result.shards.size();
+
+  // Shard-major global bin ids: prefix sums of per-shard bin counts.
+  result.bin_offset.assign(n, 0);
+  std::size_t total_bins = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    result.bin_offset[s] = total_bins;
+    total_bins += result.shards[s].result.bins_opened();
+  }
+  std::vector<BinRecord> merged_bins;
+  merged_bins.reserve(total_bins);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const BinRecord& bin : result.shards[s].result.bins()) {
+      BinRecord copy = bin;
+      copy.index = result.bin_offset[s] + bin.index;
+      merged_bins.push_back(std::move(copy));
+    }
+  }
+  result.merged = PackingResult(std::move(merged_bins));
+
+  // Left folds in shard order: bitwise equal to summing N standalone batch
+  // runs of the same partition in the same order (the invariance suite's
+  // reference computation performs these exact operations).
+  MergedLowerBounds bounds;
+  for (const ShardOutcome& outcome : result.shards) {
+    bounds.usage += outcome.usage;
+    bounds.lb_prop1 += outcome.lb_prop1;
+    bounds.lb_prop2 += outcome.lb_prop2;
+    bounds.lb_load_ceiling += outcome.lb_load_ceiling;
+    bounds.lower_bound += outcome.lower_bound;
+  }
+  bounds.ratio = bounds.lower_bound > 0.0 ? bounds.usage / bounds.lower_bound : 0.0;
+  result.bounds = bounds;
+
+  bool any_telemetry = false;
+  for (const telemetry::Telemetry* t : shard_telemetry) {
+    any_telemetry = any_telemetry || t != nullptr;
+  }
+  if (!any_telemetry) return;
+
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  snapshots.reserve(n);
+  for (telemetry::Telemetry* t : shard_telemetry) {
+    if (t != nullptr) snapshots.push_back(t->metrics().snapshot());
+  }
+  result.metrics = telemetry::merge_snapshots(snapshots);
+  // Per-shard ratio gauges summed blindly would be meaningless; overwrite
+  // them with the fleet-level values recomputed from the folded bounds.
+  for (auto& gauge : result.metrics.gauges) {
+    if (gauge.name == "mutdbp_ratio_current") {
+      gauge.value = bounds.ratio;
+    } else if (gauge.name == "mutdbp_lb_prop1") {
+      gauge.value = bounds.lb_prop1;
+    } else if (gauge.name == "mutdbp_lb_prop2") {
+      gauge.value = bounds.lb_prop2;
+    } else if (gauge.name == "mutdbp_lb_load_ceiling") {
+      gauge.value = bounds.lb_load_ceiling;
+    } else if (gauge.name == "mutdbp_bound_gap_mu_plus_4") {
+      gauge.value = mu_reference > 0.0
+                        ? (mu_reference + 4.0) * bounds.lower_bound - bounds.usage
+                        : std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  // Merged decision trace: concatenate in shard order (records are already
+  // shard-tagged by each tracer), then a stable sort by time — ties keep
+  // shard order, so the merged trace is deterministic.
+  for (telemetry::Telemetry* t : shard_telemetry) {
+    if (t == nullptr) continue;
+    std::vector<telemetry::TraceEvent> events = t->tracer().events();
+    result.trace.insert(result.trace.end(), events.begin(), events.end());
+  }
+  std::stable_sort(
+      result.trace.begin(), result.trace.end(),
+      [](const telemetry::TraceEvent& a, const telemetry::TraceEvent& b) {
+        return a.t < b.t;
+      });
+}
+
+void write_sharded_header(std::ostream& out, const std::string& algorithm,
+                          const ShardedOptions& options) {
+  BinaryWriter payload;
+  payload.string(algorithm);
+  payload.u64(options.num_shards);
+  payload.f64(options.capacity);
+  payload.f64(options.fit_epsilon);
+  payload.boolean(options.record_timelines);
+  payload.boolean(options.audit);
+  payload.boolean(options.telemetry);
+  payload.u64(options.algorithm_seed);
+  payload.u64(options.producers);
+  payload.u64(options.queue_capacity);
+  write_checkpoint_frame(out, CheckpointKind::kShardedSimulation, payload);
+}
+
+std::pair<std::string, ShardedOptions> read_sharded_header(std::istream& in) {
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_frame(in, CheckpointKind::kShardedSimulation);
+  BinaryReader reader(payload);
+  std::string algorithm = reader.string();
+  ShardedOptions options;
+  options.num_shards = reader.u64();
+  options.capacity = reader.f64();
+  options.fit_epsilon = reader.f64();
+  options.record_timelines = reader.boolean();
+  options.audit = reader.boolean();
+  options.telemetry = reader.boolean();
+  options.algorithm_seed = reader.u64();
+  options.producers = reader.u64();
+  options.queue_capacity = reader.u64();
+  reader.expect_end();
+  if (options.num_shards == 0 || options.num_shards > kMaxShards) {
+    throw ValidationError("sharded checkpoint: invalid shard count " +
+                          std::to_string(options.num_shards));
+  }
+  if (options.producers == 0 || options.queue_capacity == 0) {
+    throw ValidationError("sharded checkpoint: invalid queue configuration");
+  }
+  return {std::move(algorithm), options};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardedSimulation
+
+struct ShardedSimulation::Shard {
+  std::size_t index = 0;
+  std::unique_ptr<PackingAlgorithm> algorithm;  ///< outlives stream (below)
+  std::unique_ptr<telemetry::Telemetry> telemetry;  ///< null when disabled
+  std::unique_ptr<StreamingSimulation> stream;
+  telemetry::LowerBoundAccumulator bounds;
+  FlatMap<ItemId, double> sizes;  ///< active sizes (departures carry 0)
+  std::uint64_t items = 0;        ///< arrivals routed here (worker-owned)
+  std::unique_ptr<MpscQueue<StreamEvent>> queue;
+  std::vector<StreamEvent> batch;  ///< worker-local drain buffer
+  std::thread worker;
+  /// pushed advances on the producer side, applied on the worker side; the
+  /// two agree exactly once producers have quiesced (drain()'s condition).
+  alignas(64) std::atomic<std::uint64_t> pushed{0};
+  alignas(64) std::atomic<std::uint64_t> applied{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< set before failed, read after (acq/rel)
+};
+
+ShardedSimulation::ShardedSimulation(const AlgorithmFactory& factory,
+                                     ShardedOptions options)
+    : options_(normalize(std::move(options))) {
+  build_shards(factory, nullptr);
+  start_workers();
+}
+
+ShardedSimulation::ShardedSimulation(const ShardedCheckpoint& checkpoint,
+                                     const AlgorithmFactory& factory)
+    : options_(normalize(checkpoint.options)) {
+  if (checkpoint.shards.size() != options_.num_shards) {
+    throw ValidationError(
+        "ShardedSimulation::restore: header announces " +
+        std::to_string(options_.num_shards) + " shards but " +
+        std::to_string(checkpoint.shards.size()) + " shard frames were parsed");
+  }
+  build_shards(factory, &checkpoint);
+  start_workers();
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  for (auto& shard : shards_) {
+    if (shard->queue) shard->queue->close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedSimulation::build_shards(const AlgorithmFactory& factory,
+                                     const ShardedCheckpoint* checkpoint) {
+  const std::size_t n = options_.num_shards;
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->algorithm = factory(s);
+    if (!shard->algorithm) {
+      throw ValidationError("ShardedSimulation: factory returned a null "
+                            "algorithm for shard " + std::to_string(s));
+    }
+    telemetry::Telemetry* telem = nullptr;
+    if (options_.telemetry) {
+      shard->telemetry = std::make_unique<telemetry::Telemetry>();
+      shard->telemetry->tracer().set_shard(static_cast<std::uint32_t>(s));
+      telem = shard->telemetry.get();
+    }
+    shard->bounds.reset(options_.capacity);
+
+    if (checkpoint == nullptr) {
+      shard->stream = std::make_unique<StreamingSimulation>(
+          *shard->algorithm, to_streaming_options(options_, telem));
+    } else {
+      const StreamingCheckpoint& frame = checkpoint->shards[s];
+      if (frame.algorithm != checkpoint->algorithm) {
+        throw ValidationError("sharded checkpoint: shard " + std::to_string(s) +
+                              " frame names algorithm '" + frame.algorithm +
+                              "' but the header names '" +
+                              checkpoint->algorithm + "'");
+      }
+      if (frame.options.capacity != options_.capacity ||
+          frame.options.fit_epsilon != options_.fit_epsilon ||
+          frame.options.record_timelines != options_.record_timelines ||
+          frame.options.audit != options_.audit ||
+          frame.options.algorithm_seed != options_.algorithm_seed) {
+        throw ValidationError("sharded checkpoint: shard " + std::to_string(s) +
+                              " frame options disagree with the header");
+      }
+      // Validate the log before replaying anything: force-closes cannot be
+      // swept through the lower-bound accumulator (evicted sizes are not in
+      // the event log), and a mis-routed id means the frame belongs to a
+      // different shard count.
+      for (const StreamEvent& event : frame.events) {
+        if (event.kind == StreamEvent::Kind::kForceClose) {
+          throw ValidationError(
+              "sharded checkpoint: shard " + std::to_string(s) +
+              " log contains a force-close event (unsupported in sharded runs)");
+        }
+        if (shard_of(event.id, n) != s) {
+          throw ValidationError(
+              "sharded checkpoint: item " + std::to_string(event.id) +
+              " recorded on shard " + std::to_string(s) + " but routes to shard " +
+              std::to_string(shard_of(event.id, n)) + " — frame/shard-count mismatch");
+        }
+      }
+      shard->stream = std::make_unique<StreamingSimulation>(
+          StreamingSimulation::restore(frame, *shard->algorithm, telem));
+      // The engine replayed the log; run the same events through the
+      // accumulator and the size map so the live bounds continue exactly
+      // where the interrupted run's would have been.
+      for (const StreamEvent& event : frame.events) {
+        shard->bounds.advance_to(event.t);
+        if (event.kind == StreamEvent::Kind::kArrival) {
+          shard->bounds.apply_arrival(event.size);
+          shard->sizes.insert(event.id, event.size);
+          ++shard->items;
+        } else {
+          double size = 0.0;
+          shard->sizes.take(event.id, size);
+          shard->bounds.apply_departure(size);
+        }
+      }
+      const auto applied = static_cast<std::uint64_t>(frame.events.size());
+      shard->pushed.store(applied, std::memory_order_relaxed);
+      shard->applied.store(applied, std::memory_order_relaxed);
+    }
+
+    shard->queue = std::make_unique<MpscQueue<StreamEvent>>(
+        options_.producers, options_.queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  algorithm_name_ = std::string(shards_.front()->algorithm->name());
+}
+
+void ShardedSimulation::start_workers() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->worker = std::thread([this, s] { worker_loop(s); });
+  }
+}
+
+void ShardedSimulation::worker_loop(std::size_t shard_index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "mutdbp-shard-%zu", shard_index);
+  set_current_thread_name(name);
+  Shard& shard = *shards_[shard_index];
+  while (true) {
+    shard.batch.clear();
+    shard.queue->drain(
+        [&shard](const StreamEvent& event) { shard.batch.push_back(event); });
+    if (shard.batch.empty()) {
+      if (shard.queue->closed() && shard.queue->empty()) return;
+      shard.queue->wait();
+      continue;
+    }
+    // After a failure the worker keeps draining (and discarding) so
+    // producers blocked on a full ring always make progress; the error
+    // surfaces on the next drain()/finish().
+    if (!shard.failed.load(std::memory_order_relaxed)) {
+      try {
+        apply_batch(shard);
+      } catch (...) {
+        shard.error = std::current_exception();
+        shard.failed.store(true, std::memory_order_release);
+      }
+    }
+    shard.applied.fetch_add(shard.batch.size(), std::memory_order_release);
+  }
+}
+
+void ShardedSimulation::apply_batch(Shard& shard) {
+  std::vector<StreamEvent>& batch = shard.batch;
+  // Restore canonical order across producers. A single producer feeding
+  // canonical order drains already sorted and skips this.
+  if (!std::is_sorted(batch.begin(), batch.end(), canonical_order)) {
+    std::sort(batch.begin(), batch.end(), canonical_order);
+  }
+  for (const StreamEvent& event : batch) shard.stream->push(event);
+  shard.stream->flush();
+  // Only after the engine accepted the whole batch: a rejected batch must
+  // leave the bounds and the size map exactly as they were.
+  for (const StreamEvent& event : batch) {
+    shard.bounds.advance_to(event.t);
+    if (event.kind == StreamEvent::Kind::kArrival) {
+      shard.bounds.apply_arrival(event.size);
+      shard.sizes.insert(event.id, event.size);
+      ++shard.items;
+    } else {
+      double size = 0.0;
+      shard.sizes.take(event.id, size);
+      shard.bounds.apply_departure(size);
+    }
+  }
+}
+
+void ShardedSimulation::push_event(const StreamEvent& event, std::size_t producer) {
+  if (finished_) {
+    throw ValidationError("ShardedSimulation: push after finish()");
+  }
+  if (producer >= options_.producers) {
+    throw ValidationError("ShardedSimulation: producer slot " +
+                          std::to_string(producer) + " out of range (have " +
+                          std::to_string(options_.producers) + ")");
+  }
+  Shard& shard = *shards_[shard_of(event.id, shards_.size())];
+  shard.pushed.fetch_add(1, std::memory_order_relaxed);
+  shard.queue->push(producer, event);
+}
+
+void ShardedSimulation::push_arrival(ItemId id, double size, Time t,
+                                     std::size_t producer) {
+  push_event({StreamEvent::Kind::kArrival, id, size, t}, producer);
+}
+
+void ShardedSimulation::push_departure(ItemId id, Time t, std::size_t producer) {
+  push_event({StreamEvent::Kind::kDeparture, id, 0.0, t}, producer);
+}
+
+void ShardedSimulation::drain() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::size_t spins = 0;
+    while (shard.applied.load(std::memory_order_acquire) <
+           shard.pushed.load(std::memory_order_relaxed)) {
+      if (++spins < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+  rethrow_failure();
+}
+
+void ShardedSimulation::rethrow_failure() {
+  for (const auto& shard : shards_) {
+    if (shard->failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(shard->error);
+    }
+  }
+}
+
+void ShardedSimulation::snapshot(std::ostream& out) {
+  drain();
+  write_sharded_header(out, algorithm_name_, options_);
+  // Workers are parked (drained queues, no concurrent pushes by contract),
+  // so the per-shard engines are safe to serialize from this thread.
+  for (auto& shard : shards_) shard->stream->snapshot(out);
+}
+
+ShardedSimulation ShardedSimulation::restore(const ShardedCheckpoint& checkpoint,
+                                             const AlgorithmFactory& factory) {
+  return ShardedSimulation(checkpoint, factory);
+}
+
+ShardedResult ShardedSimulation::finish() {
+  if (finished_) {
+    throw ValidationError("ShardedSimulation::finish(): already finished");
+  }
+  drain();
+  finished_ = true;
+  for (auto& shard : shards_) shard->queue->close();
+  for (auto& shard : shards_) shard->worker.join();
+  rethrow_failure();
+
+  ShardedResult result;
+  result.num_shards = shards_.size();
+  result.shards.reserve(shards_.size());
+  std::vector<telemetry::Telemetry*> shard_telemetry;
+  shard_telemetry.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    ShardOutcome outcome;
+    outcome.result = shard->stream->finish();
+    outcome.usage = outcome.result.total_usage_time();
+    fill_bounds(outcome, shard->bounds);
+    outcome.events = shard->stream->events_applied();
+    outcome.items = shard->items;
+    result.shards.push_back(std::move(outcome));
+    shard_telemetry.push_back(shard->telemetry.get());
+  }
+  merge_outcomes(result, mu_reference_, shard_telemetry);
+  return result;
+}
+
+std::uint64_t ShardedSimulation::events_applied() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->applied.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::size_t ShardedSimulation::open_bin_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->stream->open_bin_count();
+  return total;
+}
+
+telemetry::Telemetry* ShardedSimulation::shard_telemetry(std::size_t shard) const {
+  return shards_.at(shard)->telemetry.get();
+}
+
+void ShardedSimulation::set_reference_mu(double mu) {
+  mu_reference_ = mu;
+  for (auto& shard : shards_) {
+    if (shard->telemetry) {
+      shard->telemetry->set_reference_mu(&shard->stream->engine(), mu);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCheckpoint
+
+void ShardedCheckpoint::write(std::ostream& out) const {
+  if (shards.size() != options.num_shards) {
+    throw ValidationError("ShardedCheckpoint::write: header announces " +
+                          std::to_string(options.num_shards) + " shards but " +
+                          std::to_string(shards.size()) + " frames are present");
+  }
+  write_sharded_header(out, algorithm, options);
+  for (const StreamingCheckpoint& shard : shards) shard.write(out);
+}
+
+ShardedCheckpoint ShardedCheckpoint::read(std::istream& in) {
+  ShardedCheckpoint checkpoint;
+  auto [algorithm, options] = read_sharded_header(in);
+  checkpoint.algorithm = std::move(algorithm);
+  checkpoint.options = options;
+  checkpoint.shards.reserve(checkpoint.options.num_shards);
+  for (std::size_t s = 0; s < checkpoint.options.num_shards; ++s) {
+    checkpoint.shards.push_back(StreamingCheckpoint::read(in));
+  }
+  return checkpoint;
+}
+
+// ---------------------------------------------------------------------------
+// Batch path
+
+ShardedResult run_sharded(const ItemList& items, const AlgorithmFactory& factory,
+                          ShardedOptions options) {
+  // The workload defines the bin capacity, exactly as simulate(items, ...).
+  options.capacity = items.capacity();
+  options = normalize(std::move(options));
+  const std::size_t n = options.num_shards;
+
+  // Partition the canonical schedule by routing hash. Each part is a
+  // subsequence of a canonically ordered list, hence canonically ordered.
+  std::vector<std::vector<ScheduledEvent>> parts(n);
+  for (const ScheduledEvent& event : items.schedule()) {
+    parts[shard_of(event.id, n)].push_back(event);
+  }
+  const double mu = items.mu();
+
+  ShardedResult result;
+  result.num_shards = n;
+  result.shards.resize(n);
+  std::vector<std::unique_ptr<telemetry::Telemetry>> owned_telemetry(n);
+
+  parallel_for(0, n, [&](std::size_t s) {
+    std::unique_ptr<PackingAlgorithm> algorithm = factory(s);
+    if (!algorithm) {
+      throw ValidationError("run_sharded: factory returned a null algorithm "
+                            "for shard " + std::to_string(s));
+    }
+    telemetry::Telemetry* telem = nullptr;
+    if (options.telemetry) {
+      owned_telemetry[s] = std::make_unique<telemetry::Telemetry>();
+      owned_telemetry[s]->tracer().set_shard(static_cast<std::uint32_t>(s));
+      telem = owned_telemetry[s].get();
+    }
+    StreamingSimulation stream(*algorithm, to_streaming_options(options, telem));
+    if (telem != nullptr) telem->set_reference_mu(&stream.engine(), mu);
+
+    telemetry::LowerBoundAccumulator bounds(options.capacity);
+    ShardOutcome& outcome = result.shards[s];
+    stream.reserve(parts[s].size() / 2 + 1);
+    for (const ScheduledEvent& event : parts[s]) {
+      bounds.advance_to(event.t);
+      if (event.is_arrival) {
+        bounds.apply_arrival(event.size);
+        stream.push_arrival(event.id, event.size, event.t);
+        ++outcome.items;
+      } else {
+        // ScheduledEvent denormalizes the size into departures too, so the
+        // accumulator needs no active-size map here.
+        bounds.apply_departure(event.size);
+        stream.push_departure(event.id, event.t);
+      }
+      if (stream.buffered_events() >= kBatchFlushEvents) (void)stream.flush();
+    }
+    outcome.result = stream.finish();
+    outcome.usage = outcome.result.total_usage_time();
+    fill_bounds(outcome, bounds);
+    outcome.events = stream.events_applied();
+  });
+
+  std::vector<telemetry::Telemetry*> shard_telemetry;
+  shard_telemetry.reserve(n);
+  for (const auto& t : owned_telemetry) shard_telemetry.push_back(t.get());
+  merge_outcomes(result, mu, shard_telemetry);
+  return result;
+}
+
+}  // namespace mutdbp

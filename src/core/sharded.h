@@ -1,0 +1,269 @@
+// ShardedSimulation: the multi-core face of the allocator — N placement
+// shards, each owning its own engine state, fed by bounded per-producer
+// rings and folded into one run-level view by a deterministic merge.
+//
+// Routing. Every item id is hashed (splitmix64 finalizer) to one of N
+// shards; an item's arrival and departure always land on the same shard, so
+// each shard sees a self-contained sub-workload. Because the hash depends
+// only on the id, the partition — and therefore every shard's event stream
+// and every placement — is a pure function of (trace, N): re-running the
+// same trace at the same shard count reproduces the run bit-for-bit, no
+// matter how the threads interleave.
+//
+// Per-shard state. Each shard owns a fresh PackingAlgorithm instance (built
+// by the caller's factory), a StreamingSimulation (so drain batching can
+// never change results — flush ≡ batch at any granularity, the PR 4
+// property — and so per-shard checkpoints fall out of the existing event
+// log machinery), and a lock-free LowerBoundAccumulator fed in canonical
+// order (so the merged OPT lower bounds are bit-identical to the batch
+// opt:: sweep over each shard's sub-workload). With telemetry enabled each
+// shard also gets a private Telemetry instance — counters, tracer ring
+// (records tagged with the shard id), ratio monitor — so the placement hot
+// path never shares a cache line, let alone a lock, across shards.
+//
+// Ingest. Producers push arrivals/departures through per-producer SPSC
+// rings (util/mpsc_queue.h, bounded backpressure); each shard's worker
+// thread ("mutdbp-shard-N") drains its rings in batches and applies them.
+// The determinism contract: each shard must receive its events in
+// non-decreasing time order. A single producer feeding events in global
+// canonical order (a trace replay) satisfies this trivially; multiple
+// producers must partition time or items among themselves.
+//
+// Merge. finish() folds the per-shard outcomes in shard-index order:
+//  * PackingResults concatenate with shard-major global bin ids
+//    (global = bin_offset[shard] + local index);
+//  * usage and the three OPT lower bounds accumulate as left folds, so the
+//    merged aggregates are bitwise equal to summing N independent batch
+//    runs of the same partition in the same order;
+//  * MetricsRegistry snapshots merge by name (telemetry/metrics.h), tracer
+//    rings merge timestamp-ordered with shard tags, and the merged ratio
+//    gauges are recomputed from the folded bounds.
+// The merged lower bound certifies the *fleet* optimum — the best any
+// allocator honoring this routing could do (Σ_s OPT(R_s)) — and the prop-1
+// component is additionally a valid bound on the unrestricted global OPT
+// (time–space demand is partition-invariant). The load-bearing invariant,
+// pinned by tests/sharded_test.cpp: N = 1 is bit-identical to the
+// single-threaded Simulation, and for any N the merged aggregates equal
+// the shard-order fold of N standalone batch runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/item_list.h"
+#include "core/packing_result.h"
+#include "core/streaming.h"
+#include "telemetry/metrics.h"
+#include "telemetry/ratio_monitor.h"
+#include "telemetry/trace.h"
+
+namespace mutdbp {
+
+namespace telemetry {
+class Telemetry;
+}  // namespace telemetry
+
+/// splitmix64 finalizer — the fleet's routing hash. Deterministic and
+/// well-distributed even for the sequential ids real traces use.
+[[nodiscard]] constexpr std::uint64_t shard_mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The shard an item/tenant id routes to. Pure function of (id, num_shards).
+[[nodiscard]] constexpr std::size_t shard_of(ItemId id,
+                                             std::size_t num_shards) noexcept {
+  return num_shards <= 1 ? 0 : shard_mix64(id) % num_shards;
+}
+
+/// Builds one algorithm instance per shard. Called once per shard at
+/// construction (shard index passed in); must be safe to call from multiple
+/// threads concurrently (run_sharded constructs shards in parallel).
+using AlgorithmFactory =
+    std::function<std::unique_ptr<PackingAlgorithm>(std::size_t shard)>;
+
+/// Factory over the algorithm registry: every shard gets
+/// make_algorithm(name, seed, fit_epsilon). All shards share the seed, so
+/// shard 0 of a 1-shard fleet is the same instance a plain Simulation
+/// would run — the N = 1 equivalence needs exactly that.
+[[nodiscard]] AlgorithmFactory registry_factory(
+    std::string name, std::uint64_t seed = 1,
+    double fit_epsilon = kDefaultFitEpsilon);
+
+struct ShardedOptions {
+  /// Number of placement shards; 0 means hardware_shard_count()
+  /// (one per core, MUTDBP_SHARDS override — util/parallel.h).
+  std::size_t num_shards = 0;
+  double capacity = 1.0;
+  double fit_epsilon = kDefaultFitEpsilon;
+  bool record_timelines = true;
+  /// Attach an InvariantAuditor to every shard engine (core/auditor.h).
+  bool audit = false;
+  /// Give each shard a private Telemetry instance (merged at finish()).
+  /// Off by default: the placement hot path then takes no locks at all.
+  bool telemetry = false;
+  /// Seed the factory's algorithms were built with — checkpoint metadata,
+  /// exactly as StreamingOptions::algorithm_seed.
+  std::uint64_t algorithm_seed = 1;
+  /// Producer slots on each shard's ingest queue (ShardedSimulation only).
+  std::size_t producers = 1;
+  /// Slots per producer ring per shard (rounded up to a power of two).
+  std::size_t queue_capacity = 1 << 12;
+};
+
+/// Outcome of one shard: its packing (shard-local bin indices 0..m_s-1) and
+/// the final OPT lower bounds over its sub-workload.
+struct ShardOutcome {
+  PackingResult result;
+  double usage = 0.0;  ///< result.total_usage_time(), cached pre-merge
+  double lb_prop1 = 0.0;
+  double lb_prop2 = 0.0;
+  double lb_load_ceiling = 0.0;
+  double lower_bound = 0.0;  ///< max of the three (this shard's certified LB)
+  std::size_t events = 0;    ///< events applied to this shard
+  std::size_t items = 0;     ///< items routed to this shard
+};
+
+/// Shard-order left fold of the per-shard bounds: the fleet-level ratio
+/// view. `lower_bound` is Σ_s max(prop1_s, prop2_s, ceiling_s) — a bound on
+/// the fleet optimum under this routing; `lb_prop1` alone also bounds the
+/// unrestricted global OPT.
+struct MergedLowerBounds {
+  double usage = 0.0;
+  double lb_prop1 = 0.0;
+  double lb_prop2 = 0.0;
+  double lb_load_ceiling = 0.0;
+  double lower_bound = 0.0;
+  double ratio = 0.0;  ///< usage / lower_bound (0 while the LB is 0)
+};
+
+/// The merged run-level view a sharded run produces.
+struct ShardedResult {
+  std::size_t num_shards = 0;
+  std::vector<ShardOutcome> shards;  ///< indexed by shard
+  /// Global bin id of shard s's local bin 0 (prefix sums of per-shard bin
+  /// counts; global id = bin_offset[s] + local).
+  std::vector<std::size_t> bin_offset;
+  /// All shards' bins under global ids, shard-major. Aggregate objectives on
+  /// this object may differ from the folded `bounds` in the last ulp
+  /// (different FP summation grouping); the folds are the committed
+  /// aggregates.
+  PackingResult merged;
+  MergedLowerBounds bounds;
+  /// Merged metrics (empty unless ShardedOptions::telemetry): counters and
+  /// histograms summed across shards, ratio gauges recomputed from `bounds`.
+  telemetry::MetricsSnapshot metrics;
+  /// Merged decision trace (empty unless telemetry): all shards' retained
+  /// events, timestamp-ordered, ties in shard order, shard-tagged.
+  std::vector<telemetry::TraceEvent> trace;
+
+  /// Global bin id of the item's placement (looked up in `merged`).
+  [[nodiscard]] BinIndex bin_of(ItemId id) const { return merged.bin_of(id); }
+};
+
+/// Parsed sharded checkpoint: one MUTDBPC1 header frame followed by every
+/// shard's StreamingSimulation frame (docs/streaming.md).
+struct ShardedCheckpoint {
+  std::string algorithm;
+  ShardedOptions options{};  ///< num_shards/capacity/epsilon/flags/seed
+  std::vector<StreamingCheckpoint> shards;  ///< one per shard, shard order
+
+  [[nodiscard]] static ShardedCheckpoint read(std::istream& in);
+  void write(std::ostream& out) const;
+};
+
+class ShardedSimulation {
+ public:
+  /// Spawns one worker thread per shard ("mutdbp-shard-N"), each binding a
+  /// factory-built algorithm to its own StreamingSimulation.
+  ShardedSimulation(const AlgorithmFactory& factory, ShardedOptions options = {});
+  ~ShardedSimulation();  ///< stops and joins the workers (discarding queues)
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  /// Routes the event to its shard's queue (bounded backpressure: blocks
+  /// while the ring is full). `producer` is the caller's slot on every
+  /// queue; each slot must be used by at most one thread at a time, and
+  /// each shard must receive its events in non-decreasing time order (a
+  /// single producer feeding canonical order satisfies this).
+  void push_arrival(ItemId id, double size, Time t, std::size_t producer = 0);
+  void push_departure(ItemId id, Time t, std::size_t producer = 0);
+
+  /// Blocks until every pushed event has been applied (no pushes may be
+  /// concurrent with the drain). Rethrows the first shard failure.
+  void drain();
+
+  /// Drains, serializes one ShardedCheckpoint (header frame + one frame per
+  /// shard) to `out`. The run continues unaffected.
+  void snapshot(std::ostream& out);
+
+  /// Rebuilds a fleet from a parsed checkpoint: the factory must produce
+  /// algorithm instances equivalent to the originals (same name — validated
+  /// — and constructor parameters; registry_factory(checkpoint.algorithm,
+  /// checkpoint.options.algorithm_seed, checkpoint.options.fit_epsilon)
+  /// is the canonical way). Each shard replays its event log through the
+  /// public API, reconstructing engines, accumulators, and (when `options.
+  /// telemetry` is set) every counter of the uninterrupted run.
+  [[nodiscard]] static ShardedSimulation restore(const ShardedCheckpoint& checkpoint,
+                                                 const AlgorithmFactory& factory);
+
+  /// Drains, stops the workers, finishes every shard engine (all items must
+  /// have departed) and folds the merged view. Rethrows the first shard
+  /// failure. The instance is spent afterwards.
+  [[nodiscard]] ShardedResult finish();
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] const ShardedOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::string_view algorithm_name() const noexcept {
+    return algorithm_name_;
+  }
+  /// Events applied across all shards (quiescent reads are exact; reads
+  /// concurrent with ingest are a lower bound).
+  [[nodiscard]] std::uint64_t events_applied() const noexcept;
+  /// Open bins across all shards (same caveat as events_applied()).
+  [[nodiscard]] std::size_t open_bin_count() const noexcept;
+  /// Shard s's private telemetry, or null when telemetry is off.
+  [[nodiscard]] telemetry::Telemetry* shard_telemetry(std::size_t shard) const;
+  /// Forwards µ of the driving workload to every shard's ratio monitor.
+  void set_reference_mu(double mu);
+
+ private:
+  struct Shard;
+
+  /// Restore core: restore() returns this prvalue (no move needed).
+  ShardedSimulation(const ShardedCheckpoint& checkpoint,
+                    const AlgorithmFactory& factory);
+  void build_shards(const AlgorithmFactory& factory,
+                    const ShardedCheckpoint* checkpoint);
+  void start_workers();
+  void worker_loop(std::size_t shard_index);
+  void apply_batch(Shard& shard);
+  void rethrow_failure();
+  void push_event(const StreamEvent& event, std::size_t producer);
+
+  ShardedOptions options_;
+  std::string algorithm_name_;
+  double mu_reference_ = 0.0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool finished_ = false;
+};
+
+/// Batch convenience: partitions the items' canonical schedule by shard and
+/// runs every shard's sub-stream to completion on the persistent thread
+/// pool (util/parallel.h), then applies the same deterministic merge as
+/// ShardedSimulation::finish(). Results are bit-identical to the pipelined
+/// path at the same shard count (tests/sharded_test.cpp pins this).
+[[nodiscard]] ShardedResult run_sharded(const ItemList& items,
+                                        const AlgorithmFactory& factory,
+                                        ShardedOptions options = {});
+
+}  // namespace mutdbp

@@ -282,4 +282,52 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& shards) {
+  MetricsSnapshot merged;
+  const auto index_of = [](const auto& entries, std::string_view name) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].name == name) return i;
+    }
+    return entries.size();
+  };
+  for (const MetricsSnapshot& shard : shards) {
+    for (const auto& counter : shard.counters) {
+      const std::size_t i = index_of(merged.counters, counter.name);
+      if (i == merged.counters.size()) {
+        merged.counters.push_back(counter);
+      } else {
+        merged.counters[i].value += counter.value;
+      }
+    }
+    for (const auto& gauge : shard.gauges) {
+      const std::size_t i = index_of(merged.gauges, gauge.name);
+      if (i == merged.gauges.size()) {
+        merged.gauges.push_back(gauge);
+      } else {
+        merged.gauges[i].value += gauge.value;
+      }
+    }
+    for (const auto& hist : shard.histograms) {
+      const std::size_t i = index_of(merged.histograms, hist.name);
+      if (i == merged.histograms.size()) {
+        merged.histograms.push_back(hist);
+        continue;
+      }
+      HistogramSnapshot& into = merged.histograms[i];
+      if (into.upper_bounds != hist.upper_bounds) {
+        throw ValidationError("merge_snapshots: histogram '" + hist.name +
+                              "' has mismatched buckets across shards");
+      }
+      for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+        into.counts[b] += hist.counts[b];
+      }
+      into.count += hist.count;
+      into.sum += hist.sum;
+      into.min = std::min(into.min, hist.min);
+      into.max = std::max(into.max, hist.max);
+    }
+  }
+  return merged;
+}
+
 }  // namespace mutdbp::telemetry

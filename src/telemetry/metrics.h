@@ -102,6 +102,17 @@ struct MetricsSnapshot {
       std::string_view name) const noexcept;
 };
 
+/// Deterministic fold of per-shard snapshots into one fleet-level snapshot
+/// (the sharded allocator's merge, core/sharded.h). Metrics match by name,
+/// in first-appearance order across the inputs (shards registering the
+/// standard catalog therefore keep registration order). Counters sum;
+/// histograms sum cell-wise (same buckets required — ValidationError on a
+/// mismatch); gauges sum too, which is right for the additive readings
+/// (open bins) — non-additive gauges like the ratio family are recomputed
+/// from first principles by the sharded merge afterwards.
+[[nodiscard]] MetricsSnapshot merge_snapshots(
+    const std::vector<MetricsSnapshot>& shards);
+
 class MetricsRegistry {
  public:
   MetricsRegistry();

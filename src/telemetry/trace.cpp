@@ -33,9 +33,20 @@ bool EventTracer::record(const TraceEvent& event) noexcept {
   const std::scoped_lock lock(mutex_);
   const bool overwrote = recorded_ >= buffer_.size();
   buffer_[next_] = event;
+  buffer_[next_].shard = shard_;
   next_ = next_ + 1 == buffer_.size() ? 0 : next_ + 1;
   ++recorded_;
   return overwrote;
+}
+
+void EventTracer::set_shard(std::uint32_t shard) noexcept {
+  const std::scoped_lock lock(mutex_);
+  shard_ = shard;
+}
+
+std::uint32_t EventTracer::shard() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return shard_;
 }
 
 std::vector<TraceEvent> EventTracer::events() const {
@@ -83,11 +94,13 @@ void EventTracer::write_chrome_json(std::ostream& os) const {
     first = false;
     // "E" events must not carry a name per the trace format; keep rows
     // self-describing anyway via args.kind.
+    // One process lane per shard: B/E nesting stays valid per (shard, bin)
+    // and sharded runs render as parallel lanes in the viewer.
     std::snprintf(buf, sizeof(buf),
-                  "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,"
-                  "\"tid\":%" PRIu64 ",%s\"args\":{\"item\":%" PRIu64
+                  "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%" PRIu32
+                  ",\"tid\":%" PRIu64 ",%s\"args\":{\"item\":%" PRIu64
                   ",\"size\":%.17g,\"level\":%.17g}}",
-                  std::string(to_string(e.kind)).c_str(), ph, ts, e.bin,
+                  std::string(to_string(e.kind)).c_str(), ph, ts, e.shard, e.bin,
                   ph[0] == 'i' ? "\"s\":\"t\"," : "", e.item, e.size, e.level);
     os << buf;
   }
@@ -95,12 +108,13 @@ void EventTracer::write_chrome_json(std::ostream& os) const {
 }
 
 void EventTracer::write_csv(std::ostream& os) const {
-  os << "kind,t,item,bin,size,level\n";
+  os << "kind,shard,t,item,bin,size,level\n";
   char buf[192];
   for (const TraceEvent& e : events()) {
-    std::snprintf(buf, sizeof(buf), "%s,%.17g,%" PRIu64 ",%" PRIu64 ",%.17g,%.17g\n",
-                  std::string(to_string(e.kind)).c_str(), e.t, e.item, e.bin, e.size,
-                  e.level);
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%" PRIu32 ",%.17g,%" PRIu64 ",%" PRIu64 ",%.17g,%.17g\n",
+                  std::string(to_string(e.kind)).c_str(), e.shard, e.t, e.item,
+                  e.bin, e.size, e.level);
     os << buf;
   }
   // Comment trailer so consumers that only read rows are unaffected; tools

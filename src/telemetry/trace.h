@@ -36,10 +36,13 @@ enum class TraceKind : unsigned char {
 struct TraceEvent {
   double t = 0.0;           ///< simulation time
   std::uint64_t item = 0;   ///< item/job id (0 when not item-scoped)
-  std::uint64_t bin = 0;    ///< bin/server index
+  std::uint64_t bin = 0;    ///< bin/server index (shard-local when sharded)
   double size = 0.0;        ///< item size / per-kind payload
   double level = 0.0;       ///< bin level after the event (when known)
   TraceKind kind = TraceKind::kPlacement;
+  /// Placement shard the record came from (core/sharded.h); 0 for
+  /// unsharded runs. Stamped by the tracer, not by callers (set_shard()).
+  std::uint32_t shard = 0;
 
   [[nodiscard]] bool operator==(const TraceEvent&) const noexcept = default;
 };
@@ -51,8 +54,14 @@ class EventTracer {
 
   /// Returns true when recording overwrote (dropped) the oldest retained
   /// event — i.e. the ring was already full. Callers that surface drop
-  /// counts as metrics key off this instead of polling dropped().
+  /// counts as metrics key off this instead of polling dropped(). The
+  /// stored record's `shard` field is stamped with set_shard()'s value.
   bool record(const TraceEvent& event) noexcept;
+
+  /// Tags every subsequently recorded event with `shard` (a sharded fleet
+  /// gives each shard's tracer its index; unsharded runs keep the default 0).
+  void set_shard(std::uint32_t shard) noexcept;
+  [[nodiscard]] std::uint32_t shard() const noexcept;
 
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -64,10 +73,13 @@ class EventTracer {
   [[nodiscard]] std::uint64_t recorded() const;
 
   /// Chrome trace-event JSON (chrome://tracing, Perfetto). Bin open/close
-  /// become "B"/"E" duration events on tid = bin index; everything else is
-  /// an instant event. Simulation time is exported as microseconds.
+  /// become "B"/"E" duration events; everything else is an instant event.
+  /// pid = shard and tid = bin index, so a sharded run renders as one
+  /// process lane per shard with its bins as threads inside it (and B/E
+  /// nesting stays valid per bin). Simulation time is exported as
+  /// microseconds.
   void write_chrome_json(std::ostream& os) const;
-  /// CSV: kind,t,item,bin,size,level — one row per retained event.
+  /// CSV: kind,shard,t,item,bin,size,level — one row per retained event.
   void write_csv(std::ostream& os) const;
 
  private:
@@ -75,6 +87,7 @@ class EventTracer {
   std::vector<TraceEvent> buffer_;  ///< ring storage, fixed size
   std::size_t next_ = 0;            ///< ring write cursor
   std::uint64_t recorded_ = 0;
+  std::uint32_t shard_ = 0;         ///< stamped into every record
 };
 
 }  // namespace mutdbp::telemetry

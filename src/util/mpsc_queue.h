@@ -1,0 +1,181 @@
+// Bounded, mutex-light MPSC queue for the sharded allocator fleet
+// (core/sharded.h): one single-producer/single-consumer ring per registered
+// producer, drained in producer order by one consumer.
+//
+// Design (docs/performance.md, "Sharded scaling"):
+//  * Each producer owns a fixed-capacity power-of-two ring. try_push() and
+//    the consumer's drain() touch only two atomics with acquire/release
+//    ordering — no locks, no allocation, no CAS loops — and both sides
+//    cache the opposite cursor so the common case reads one atomic.
+//  * Overflow policy is bounded backpressure: try_push() returns false when
+//    the ring is full and push() spins (with yields) until space frees up.
+//    Events are never silently dropped — a slow shard slows its producers,
+//    which is exactly what an ingest tier under overload should do.
+//  * The consumer drains every ring in producer-index order, so for a
+//    single producer the drained order IS the push order (the determinism
+//    contract the sharded fleet builds on). The only mutex in the file
+//    guards consumer parking: an idle consumer sleeps on a condition
+//    variable, and producers lock it only when they observe the parked
+//    flag (one relaxed load per push while the consumer is active).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+
+namespace mutdbp {
+
+/// Fixed-capacity single-producer/single-consumer ring. Exactly one thread
+/// may call the push side and one thread the drain side at a time.
+template <class T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    if (capacity == 0) throw ValidationError("SpscRing: capacity must be > 0");
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 *= 2;
+    slots_.resize(pow2);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (the value is not stored).
+  bool try_push(const T& value) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_cache_ >= slots_.size()) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head - tail_cache_ >= slots_.size()) return false;
+    }
+    slots_[head & (slots_.size() - 1)] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: applies fn to every currently visible element, in push
+  /// order, and returns how many were consumed.
+  template <class F>
+  std::size_t drain(F&& fn) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    for (std::size_t i = tail; i != head; ++i) {
+      fn(slots_[i & (slots_.size() - 1)]);
+    }
+    tail_.store(head, std::memory_order_release);
+    return head - tail;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< consumer cursor
+  alignas(64) std::size_t tail_cache_ = 0;        ///< producer's view of tail_
+};
+
+/// MPSC queue: `producers` SPSC rings + one consumer. Producers are
+/// identified by their slot index (0-based, assigned by the caller); the
+/// consumer drains rings in slot order.
+template <class T>
+class MpscQueue {
+ public:
+  MpscQueue(std::size_t producers, std::size_t ring_capacity) {
+    if (producers == 0) {
+      throw ValidationError("MpscQueue: at least one producer slot required");
+    }
+    rings_.reserve(producers);
+    for (std::size_t i = 0; i < producers; ++i) {
+      rings_.push_back(std::make_unique<SpscRing<T>>(ring_capacity));
+    }
+  }
+
+  [[nodiscard]] std::size_t producers() const noexcept { return rings_.size(); }
+
+  /// Non-blocking push from producer slot `producer`. False when that
+  /// producer's ring is full.
+  bool try_push(std::size_t producer, const T& value) {
+    const bool pushed = rings_[producer]->try_push(value);
+    if (pushed && parked_.load(std::memory_order_acquire)) wake();
+    return pushed;
+  }
+
+  /// Blocking push: spins (yielding) until the ring has space — the bounded
+  /// backpressure policy. Throws ValidationError if the queue was closed
+  /// (events pushed after close() would never be consumed).
+  void push(std::size_t producer, const T& value) {
+    while (!try_push(producer, value)) {
+      if (closed_.load(std::memory_order_acquire)) {
+        throw ValidationError("MpscQueue: push() after close()");
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Consumer side: drains every ring in slot order; returns the total
+  /// number of elements consumed.
+  template <class F>
+  std::size_t drain(F&& fn) {
+    std::size_t n = 0;
+    for (auto& ring : rings_) n += ring->drain(fn);
+    return n;
+  }
+
+  /// Consumer side: parks until an element is (probably) available or the
+  /// queue is closed. Spurious returns are fine — callers loop on drain().
+  /// The timeout bounds the race window between a producer's emptiness
+  /// check and the park, so a lost wakeup only costs one timeout period.
+  void wait(std::chrono::microseconds timeout = std::chrono::milliseconds(1)) {
+    parked_.store(true, std::memory_order_release);
+    if (!empty() || closed_.load(std::memory_order_acquire)) {
+      parked_.store(false, std::memory_order_release);
+      return;
+    }
+    std::unique_lock lock(park_mutex_);
+    park_cv_.wait_for(lock, timeout, [this] {
+      return !empty() || closed_.load(std::memory_order_acquire);
+    });
+    parked_.store(false, std::memory_order_release);
+  }
+
+  /// Marks the queue closed: no further push() succeeds and the consumer
+  /// stops waiting once the rings are drained.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    wake();
+  }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    for (const auto& ring : rings_) {
+      if (!ring->empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  void wake() {
+    const std::scoped_lock lock(park_mutex_);
+    park_cv_.notify_one();
+  }
+
+  std::vector<std::unique_ptr<SpscRing<T>>> rings_;  ///< one per producer
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> parked_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace mutdbp

@@ -19,16 +19,54 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace mutdbp {
 
 [[nodiscard]] inline std::size_t default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+/// Names the calling thread for profilers, `top -H`, and trace viewers.
+/// Linux caps thread names at 15 characters + NUL; longer names are
+/// truncated. A no-op on platforms without pthread naming.
+inline void set_current_thread_name(const char* name) noexcept {
+#if defined(__linux__)
+  char truncated[16];
+  std::size_t n = 0;
+  for (; n + 1 < sizeof(truncated) && name[n] != '\0'; ++n) truncated[n] = name[n];
+  truncated[n] = '\0';
+  (void)::pthread_setname_np(::pthread_self(), truncated);
+#else
+  (void)name;
+#endif
+}
+
+/// Shard count for the sharded allocator fleet (core/sharded.h): the
+/// MUTDBP_SHARDS environment override when set to a positive integer, else
+/// one shard per hardware core. Read once and cached for the process.
+[[nodiscard]] inline std::size_t hardware_shard_count() noexcept {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("MUTDBP_SHARDS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return default_thread_count();
+  }();
+  return cached;
 }
 
 class ThreadPool {
@@ -40,7 +78,14 @@ class ThreadPool {
   explicit ThreadPool(std::size_t workers) {
     workers_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] {
+        // Shard-numbered names: the pool is what runs the sharded fleet's
+        // batch mode, and numbered lanes read naturally in profilers.
+        char name[16];
+        std::snprintf(name, sizeof(name), "mutdbp-shard-%zu", i);
+        set_current_thread_name(name);
+        worker_loop();
+      });
     }
   }
 

@@ -1,0 +1,446 @@
+// The sharded fleet's load-bearing invariants (core/sharded.h):
+//
+//  1. N = 1 sharded ≡ single-threaded simulate() bit-for-bit, for every
+//     registered algorithm, on random and adversarial traces.
+//  2. For any N, the merged usage / lower-bound / ratio aggregates are
+//     bitwise equal to the shard-order fold of N standalone batch runs of
+//     the same routing partition.
+//  3. The pipelined (MPSC-fed, worker-thread) path and the batch
+//     run_sharded() path agree bit-for-bit at every shard count, and a
+//     given (trace, N) reproduces identically across runs.
+//  4. Checkpoints round-trip mid-stream and corruption is always a clean
+//     ValidationError.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/error.h"
+#include "core/sharded.h"
+#include "core/simulation.h"
+#include "opt/lower_bounds.h"
+#include "telemetry/telemetry.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+
+namespace mutdbp {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 7};
+
+ItemList random_workload(Rng& rng, std::size_t max_items = 200) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 40 + static_cast<std::size_t>(rng.uniform_u64(0, max_items - 40));
+  spec.seed = rng.uniform_u64(1, 1u << 30);
+  spec.arrival_rate = 1.0 + 4.0 * rng.next_double();
+  spec.duration_max = 2.0 + 6.0 * rng.next_double();
+  spec.size_min = 0.02;
+  spec.size_max = 0.3 + 0.6 * rng.next_double();
+  return workload::generate(spec);
+}
+
+/// Feeds the items' canonical schedule through a pipelined fleet, one
+/// producer, event at a time — the trace-replay ingest shape.
+ShardedResult run_pipelined(const ItemList& items, const std::string& algorithm,
+                            ShardedOptions options) {
+  options.capacity = items.capacity();
+  ShardedSimulation fleet(registry_factory(algorithm, options.algorithm_seed,
+                                           options.fit_epsilon),
+                          options);
+  fleet.set_reference_mu(items.mu());
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      fleet.push_arrival(event.id, event.size, event.t);
+    } else {
+      fleet.push_departure(event.id, event.t);
+    }
+  }
+  return fleet.finish();
+}
+
+void expect_identical_packing(const PackingResult& actual,
+                              const PackingResult& expected,
+                              const ItemList& items, const std::string& label) {
+  ASSERT_EQ(actual.bins_opened(), expected.bins_opened()) << label;
+  // Bit-identical, not approximately equal: both paths must execute the
+  // exact same floating-point operations in the exact same order.
+  ASSERT_EQ(actual.total_usage_time(), expected.total_usage_time()) << label;
+  for (const Item& item : items) {
+    ASSERT_EQ(actual.bin_of(item.id), expected.bin_of(item.id))
+        << label << " item " << item.id;
+  }
+  const auto& ab = actual.bins();
+  const auto& eb = expected.bins();
+  for (std::size_t b = 0; b < ab.size(); ++b) {
+    ASSERT_EQ(ab[b].usage.left, eb[b].usage.left) << label << " bin " << b;
+    ASSERT_EQ(ab[b].usage.right, eb[b].usage.right) << label << " bin " << b;
+  }
+}
+
+void expect_identical_sharded(const ShardedResult& a, const ShardedResult& b,
+                              const ItemList& items, const std::string& label) {
+  ASSERT_EQ(a.num_shards, b.num_shards) << label;
+  ASSERT_EQ(a.bin_offset, b.bin_offset) << label;
+  expect_identical_packing(a.merged, b.merged, items, label);
+  ASSERT_EQ(a.bounds.usage, b.bounds.usage) << label;
+  ASSERT_EQ(a.bounds.lb_prop1, b.bounds.lb_prop1) << label;
+  ASSERT_EQ(a.bounds.lb_prop2, b.bounds.lb_prop2) << label;
+  ASSERT_EQ(a.bounds.lb_load_ceiling, b.bounds.lb_load_ceiling) << label;
+  ASSERT_EQ(a.bounds.lower_bound, b.bounds.lower_bound) << label;
+  ASSERT_EQ(a.bounds.ratio, b.bounds.ratio) << label;
+  for (std::size_t s = 0; s < a.num_shards; ++s) {
+    ASSERT_EQ(a.shards[s].usage, b.shards[s].usage) << label << " shard " << s;
+    ASSERT_EQ(a.shards[s].lower_bound, b.shards[s].lower_bound)
+        << label << " shard " << s;
+    ASSERT_EQ(a.shards[s].items, b.shards[s].items) << label << " shard " << s;
+    ASSERT_EQ(a.shards[s].events, b.shards[s].events) << label << " shard " << s;
+  }
+}
+
+// ---- invariant 1: N = 1 ≡ simulate(), the whole registry --------------
+
+TEST(Sharded, SingleShardMatchesBatchSimulateForEveryAlgorithm) {
+  for (const std::string& name : algorithm_names()) {
+    Rng rng(0x5A4D + static_cast<std::uint64_t>(name.size()));
+    for (int trial = 0; trial < 4; ++trial) {
+      const ItemList items = random_workload(rng);
+      const auto reference_algo = make_algorithm(name);
+      const PackingResult reference = simulate(items, *reference_algo);
+
+      ShardedOptions options;
+      options.num_shards = 1;
+      const ShardedResult batch =
+          run_sharded(items, registry_factory(name), options);
+      expect_identical_packing(batch.merged, reference, items, name + "/batch");
+      ASSERT_EQ(batch.bounds.usage, reference.total_usage_time()) << name;
+
+      const ShardedResult pipelined = run_pipelined(items, name, options);
+      expect_identical_packing(pipelined.merged, reference, items,
+                               name + "/pipelined");
+
+      // One shard sees the full canonical schedule, so its accumulator must
+      // be bit-identical to the batch opt:: sweep of the whole workload.
+      ASSERT_EQ(batch.bounds.lb_prop1, opt::prop1_time_space_bound(items)) << name;
+      ASSERT_EQ(batch.bounds.lb_prop2, opt::prop2_span_bound(items)) << name;
+      ASSERT_EQ(batch.bounds.lb_load_ceiling, opt::load_ceiling_bound(items))
+          << name;
+      ASSERT_EQ(batch.bounds.lower_bound, opt::combined_lower_bound(items)) << name;
+    }
+  }
+}
+
+TEST(Sharded, SingleShardMatchesBatchSimulateOnAdversarialTraces) {
+  struct Family {
+    std::string label;
+    workload::AdversarialInstance instance;
+  };
+  const std::vector<Family> families = {
+      {"pinning", workload::any_fit_pinning_instance(24, 10.0)},
+      {"next_fit", workload::next_fit_lower_bound_instance(16, 8.0)},
+      {"decoy", workload::best_fit_decoy_instance(6, 10.0)},
+  };
+  for (const std::string& name : algorithm_names()) {
+    for (const Family& family : families) {
+      const ItemList& items = family.instance.items;
+      const double epsilon = family.instance.recommended_fit_epsilon;
+      const auto reference_algo = make_algorithm(name, 1, epsilon);
+      const PackingResult reference = simulate(items, *reference_algo);
+
+      ShardedOptions options;
+      options.num_shards = 1;
+      options.fit_epsilon = epsilon;
+      const ShardedResult sharded =
+          run_sharded(items, registry_factory(name, 1, epsilon), options);
+      expect_identical_packing(sharded.merged, reference, items,
+                               name + "/" + family.label);
+    }
+  }
+}
+
+// ---- invariants 2 + 3: shard-count suite at N ∈ {1, 2, 4, 7} ----------
+
+TEST(Sharded, PipelinedMatchesBatchAtEveryShardCount) {
+  Rng rng(0xF1EE7);
+  const ItemList items = random_workload(rng, 400);
+  for (const std::size_t n : kShardCounts) {
+    ShardedOptions options;
+    options.num_shards = n;
+    const ShardedResult batch =
+        run_sharded(items, registry_factory("FirstFit"), options);
+    const ShardedResult pipelined = run_pipelined(items, "FirstFit", options);
+    expect_identical_sharded(pipelined, batch, items,
+                             "N=" + std::to_string(n));
+    // And a second pipelined run reproduces the first: (trace, N) fully
+    // determines the run, regardless of thread timing.
+    const ShardedResult again = run_pipelined(items, "FirstFit", options);
+    expect_identical_sharded(again, pipelined, items,
+                             "N=" + std::to_string(n) + "/rerun");
+  }
+}
+
+TEST(Sharded, MergedAggregatesEqualShardOrderFoldOfStandaloneRuns) {
+  Rng rng(0xFA11B);
+  const ItemList items = random_workload(rng, 300);
+  for (const std::size_t n : kShardCounts) {
+    ShardedOptions options;
+    options.num_shards = n;
+    const ShardedResult sharded =
+        run_sharded(items, registry_factory("FirstFit"), options);
+
+    // Reference: split the workload by the routing hash, run each part as
+    // an independent single-threaded batch, and fold in shard order with
+    // the same left-fold operations the merge performs.
+    std::vector<std::vector<Item>> parts(n);
+    for (const Item& item : items) {
+      parts[shard_of(item.id, n)].push_back(item);
+    }
+    double usage = 0.0, prop1 = 0.0, prop2 = 0.0, ceiling = 0.0, combined = 0.0;
+    std::size_t bins = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const ItemList part(parts[s], items.capacity());
+      const auto algo = make_algorithm("FirstFit");
+      const PackingResult result = simulate(part, *algo);
+      ASSERT_EQ(sharded.shards[s].usage, result.total_usage_time())
+          << "N=" << n << " shard " << s;
+      ASSERT_EQ(sharded.shards[s].items, parts[s].size())
+          << "N=" << n << " shard " << s;
+      ASSERT_EQ(sharded.bin_offset[s], bins) << "N=" << n << " shard " << s;
+      bins += result.bins_opened();
+      usage += result.total_usage_time();
+      prop1 += opt::prop1_time_space_bound(part);
+      prop2 += opt::prop2_span_bound(part);
+      ceiling += opt::load_ceiling_bound(part);
+      combined += opt::combined_lower_bound(part);
+    }
+    ASSERT_EQ(sharded.merged.bins_opened(), bins) << "N=" << n;
+    ASSERT_EQ(sharded.bounds.usage, usage) << "N=" << n;
+    ASSERT_EQ(sharded.bounds.lb_prop1, prop1) << "N=" << n;
+    ASSERT_EQ(sharded.bounds.lb_prop2, prop2) << "N=" << n;
+    ASSERT_EQ(sharded.bounds.lb_load_ceiling, ceiling) << "N=" << n;
+    ASSERT_EQ(sharded.bounds.lower_bound, combined) << "N=" << n;
+  }
+}
+
+TEST(Sharded, ShardCountInvariantQuantities) {
+  Rng rng(0x1471);
+  const ItemList items = random_workload(rng, 300);
+  const double global_prop1 = opt::prop1_time_space_bound(items);
+  for (const std::size_t n : kShardCounts) {
+    ShardedOptions options;
+    options.num_shards = n;
+    options.telemetry = true;
+    const ShardedResult sharded =
+        run_sharded(items, registry_factory("FirstFit"), options);
+
+    // Every item is placed and departs exactly once, no matter the routing.
+    const auto* placed = sharded.metrics.find_counter("mutdbp_items_placed_total");
+    const auto* departed =
+        sharded.metrics.find_counter("mutdbp_items_departed_total");
+    ASSERT_NE(placed, nullptr);
+    ASSERT_NE(departed, nullptr);
+    EXPECT_EQ(placed->value, items.size()) << "N=" << n;
+    EXPECT_EQ(departed->value, items.size()) << "N=" << n;
+
+    // Prop 1 is partition-invariant up to summation order: the time-space
+    // demand of a partition sums to the global demand.
+    EXPECT_NEAR(sharded.bounds.lb_prop1, global_prop1,
+                1e-9 * std::max(1.0, global_prop1))
+        << "N=" << n;
+
+    // The merged ratio gauges are the folded values, verbatim.
+    const auto* ratio = sharded.metrics.find_gauge("mutdbp_ratio_current");
+    const auto* lb1 = sharded.metrics.find_gauge("mutdbp_lb_prop1");
+    ASSERT_NE(ratio, nullptr);
+    ASSERT_NE(lb1, nullptr);
+    EXPECT_EQ(ratio->value, sharded.bounds.ratio) << "N=" << n;
+    EXPECT_EQ(lb1->value, sharded.bounds.lb_prop1) << "N=" << n;
+  }
+}
+
+// ---- telemetry merge --------------------------------------------------
+
+TEST(Sharded, TelemetryMergeSumsCountersAndTagsTrace) {
+  Rng rng(0x7E1E5);
+  const ItemList items = random_workload(rng);
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.telemetry = true;
+  const ShardedResult sharded =
+      run_sharded(items, registry_factory("FirstFit"), options);
+
+  // Counter fold: merged bins_opened equals the per-shard packing total.
+  const auto* bins = sharded.metrics.find_counter("mutdbp_bins_opened_total");
+  ASSERT_NE(bins, nullptr);
+  EXPECT_EQ(bins->value, sharded.merged.bins_opened());
+
+  // The merged trace is timestamp-ordered and shard-tagged with real ids.
+  ASSERT_FALSE(sharded.trace.empty());
+  bool saw_nonzero_shard = false;
+  for (std::size_t i = 0; i < sharded.trace.size(); ++i) {
+    ASSERT_LT(sharded.trace[i].shard, options.num_shards);
+    saw_nonzero_shard = saw_nonzero_shard || sharded.trace[i].shard != 0;
+    if (i > 0) {
+      ASSERT_GE(sharded.trace[i].t, sharded.trace[i - 1].t);
+    }
+  }
+  EXPECT_TRUE(saw_nonzero_shard);
+
+  // Histogram fold: every placement observed exactly once fleet-wide.
+  const auto* fill = sharded.metrics.find_histogram("mutdbp_fill_level");
+  ASSERT_NE(fill, nullptr);
+  EXPECT_EQ(fill->count, items.size());
+}
+
+// ---- checkpoint/restore ----------------------------------------------
+
+TEST(Sharded, CheckpointRoundTripsMidStream) {
+  Rng rng(0xC4E4);
+  const ItemList items = random_workload(rng, 300);
+  const auto& schedule = items.schedule();
+
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.capacity = items.capacity();
+  ShardedSimulation fleet(registry_factory("FirstFit"), options);
+
+  const std::size_t cut = schedule.size() / 2;
+  for (std::size_t i = 0; i < cut; ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      fleet.push_arrival(event.id, event.size, event.t);
+    } else {
+      fleet.push_departure(event.id, event.t);
+    }
+  }
+  std::ostringstream out(std::ios::binary);
+  fleet.snapshot(out);
+  ASSERT_EQ(fleet.events_applied(), cut);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  const ShardedCheckpoint checkpoint = ShardedCheckpoint::read(in);
+  EXPECT_EQ(checkpoint.algorithm, "FirstFit");
+  EXPECT_EQ(checkpoint.options.num_shards, options.num_shards);
+  ShardedSimulation restored = ShardedSimulation::restore(
+      checkpoint, registry_factory(checkpoint.algorithm,
+                                   checkpoint.options.algorithm_seed,
+                                   checkpoint.options.fit_epsilon));
+  ASSERT_EQ(restored.events_applied(), cut);
+
+  // Run both fleets to completion on the identical tail.
+  for (std::size_t i = cut; i < schedule.size(); ++i) {
+    const ScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      fleet.push_arrival(event.id, event.size, event.t);
+      restored.push_arrival(event.id, event.size, event.t);
+    } else {
+      fleet.push_departure(event.id, event.t);
+      restored.push_departure(event.id, event.t);
+    }
+  }
+  const ShardedResult original = fleet.finish();
+  const ShardedResult resumed = restored.finish();
+  expect_identical_sharded(resumed, original, items, "restored");
+}
+
+TEST(Sharded, CheckpointCorruptionIsACleanValidationError) {
+  Rng rng(0xBAD);
+  const ItemList items = random_workload(rng);
+  ShardedOptions options;
+  options.num_shards = 2;
+  options.capacity = items.capacity();
+  ShardedSimulation fleet(registry_factory("FirstFit"), options);
+  for (const ScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      fleet.push_arrival(event.id, event.size, event.t);
+    } else {
+      fleet.push_departure(event.id, event.t);
+    }
+  }
+  std::ostringstream out(std::ios::binary);
+  fleet.snapshot(out);
+  (void)fleet.finish();
+  const std::string bytes = out.str();
+
+  // Flip one byte in the header frame and one deep in a shard frame.
+  for (const std::size_t at : {std::size_t{30}, bytes.size() - 40}) {
+    std::string corrupted = bytes;
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x20);
+    std::istringstream in(corrupted, std::ios::binary);
+    EXPECT_THROW((void)ShardedCheckpoint::read(in), ValidationError) << at;
+  }
+
+  // A truncated stream (missing shard frames) must also fail cleanly.
+  std::istringstream truncated(bytes.substr(0, bytes.size() / 2),
+                               std::ios::binary);
+  EXPECT_THROW((void)ShardedCheckpoint::read(truncated), ValidationError);
+
+  // A shard-count mismatch (frames recorded under a different routing)
+  // surfaces as a routing validation error, not silent divergence.
+  std::istringstream in(bytes, std::ios::binary);
+  ShardedCheckpoint checkpoint = ShardedCheckpoint::read(in);
+  checkpoint.options.num_shards = 3;
+  checkpoint.shards.push_back(checkpoint.shards.back());
+  EXPECT_THROW(
+      (void)ShardedSimulation::restore(
+          checkpoint, registry_factory(checkpoint.algorithm)),
+      ValidationError);
+}
+
+// ---- failure propagation and API misuse --------------------------------
+
+TEST(Sharded, ShardFailurePropagatesToTheCaller) {
+  ShardedOptions options;
+  options.num_shards = 2;
+  ShardedSimulation fleet(registry_factory("FirstFit"), options);
+  fleet.push_arrival(1, 0.5, 0.0);
+  fleet.drain();
+  // Duplicate arrival: the owning shard's engine rejects it; the error must
+  // surface on the ingest thread, not die on the worker.
+  fleet.push_arrival(1, 0.5, 1.0);
+  EXPECT_THROW(fleet.finish(), Error);
+}
+
+TEST(Sharded, RoutingIsDeterministicAndCoversAllShards) {
+  EXPECT_EQ(shard_of(12345, 1), 0u);
+  for (const std::size_t n : kShardCounts) {
+    std::vector<bool> hit(n, false);
+    for (ItemId id = 0; id < 512; ++id) {
+      const std::size_t s = shard_of(id, n);
+      ASSERT_LT(s, n);
+      ASSERT_EQ(s, shard_of(id, n));  // pure function of (id, n)
+      hit[s] = true;
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_TRUE(hit[s]) << "shard " << s << " of " << n << " never hit";
+    }
+  }
+}
+
+TEST(Sharded, OptionsAreValidated) {
+  ShardedOptions bad;
+  bad.num_shards = 2;
+  bad.producers = 0;
+  EXPECT_THROW(ShardedSimulation(registry_factory("FirstFit"), bad),
+               ValidationError);
+  bad.producers = 1;
+  bad.queue_capacity = 0;
+  EXPECT_THROW(ShardedSimulation(registry_factory("FirstFit"), bad),
+               ValidationError);
+
+  ShardedOptions defaults;  // num_shards = 0 → hardware_shard_count()
+  ShardedSimulation fleet(registry_factory("FirstFit"), defaults);
+  EXPECT_GE(fleet.num_shards(), 1u);
+  EXPECT_EQ(fleet.num_shards(), hardware_shard_count());
+  EXPECT_EQ(fleet.algorithm_name(), "FirstFit");
+  (void)fleet.finish();
+}
+
+}  // namespace
+}  // namespace mutdbp

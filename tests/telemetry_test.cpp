@@ -225,9 +225,32 @@ TEST(EventTracer, ExportersEmitParseableShapes) {
   std::ostringstream csv;
   tracer.write_csv(csv);
   const std::string c = csv.str();
-  EXPECT_EQ(c.rfind("kind,t,item,bin,size,level", 0), 0u);
+  EXPECT_EQ(c.rfind("kind,shard,t,item,bin,size,level", 0), 0u);
   EXPECT_NE(c.find("\nbin_open,"), std::string::npos);
   EXPECT_NE(c.find("\nbin_close,"), std::string::npos);
+}
+
+TEST(EventTracer, ShardTagStampsRecordsAndExporters) {
+  EventTracer tracer(8);
+  tracer.record({1.0, 1, 0, 0.5, 0.5, TraceKind::kPlacement});  // pre-tag: shard 0
+  tracer.set_shard(3);
+  EXPECT_EQ(tracer.shard(), 3u);
+  tracer.record({2.0, 2, 1, 0.4, 0.4, TraceKind::kPlacement});
+
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].shard, 0u);
+  EXPECT_EQ(events[1].shard, 3u);
+
+  // CSV rows carry the shard column; the Chrome exporter renders one
+  // process lane per shard.
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  EXPECT_NE(csv.str().find("placement,3,2,"), std::string::npos);
+  std::ostringstream json;
+  tracer.write_chrome_json(json);
+  EXPECT_NE(json.str().find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.str().find("\"pid\":0"), std::string::npos);
 }
 
 // ---- profiler -------------------------------------------------------
