@@ -1,0 +1,135 @@
+// mutdbp_client — replays a trace against a live mutdbpd and verifies the
+// daemon's final packing against a local batch run (docs/daemon.md).
+//
+// The client numbers the trace's canonical event schedule 1..n, streams it
+// through a pipelined window, and survives daemon crashes mid-replay: on a
+// connection loss it reconnects with backoff, re-Hellos, and rewinds to the
+// resume_from frontier the (restarted) daemon reports. After kFinish it
+// compares the daemon's ResultDigest bit-for-bit with run_sharded() over
+// the same trace under the daemon's own configuration — the end-to-end
+// crash-recovery gate CI runs with a kill -9 in the middle.
+//
+//   mutdbp_client --socket=/tmp/mutdbp.sock --trace=trace.csv
+//   mutdbp_client --socket=/tmp/mutdbp.sock --trace=trace.csv
+//   mutdbp_client ... --stop-after-events=300 --finish=0   # partial replay
+//
+// Exit codes: 0 ok, 1 error, 2 digest mismatch.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <vector>
+
+#include "core/error.h"
+#include "core/item_list.h"
+#include "core/sharded.h"
+#include "core/streaming.h"
+#include "daemon/client.h"
+#include "util/flags.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  mutdbp::Flags flags(argc, argv);
+  mutdbp::daemon::ClientOptions options;
+  options.unix_socket =
+      flags.get_string("socket", "", "daemon Unix socket path");
+  options.host = flags.get_string("host", "127.0.0.1", "daemon TCP host");
+  options.port = static_cast<std::uint16_t>(
+      flags.get_int("port", 0, "daemon TCP port (with empty --socket)"));
+  options.client_id =
+      flags.get_string("client-id", "mutdbp_client", "client identity");
+  options.window = static_cast<std::size_t>(
+      flags.get_int("window", 64, "max unacked events in flight"));
+  options.timeout = std::chrono::milliseconds(
+      flags.get_int("timeout-ms", 2000, "response wait before a resend"));
+  options.max_attempts = static_cast<std::size_t>(flags.get_int(
+      "max-attempts", 30, "consecutive failed attempts before giving up"));
+  const std::string trace_path =
+      flags.get_string("trace", "", "trace CSV to replay");
+  const std::int64_t stop_after =
+      flags.get_int("stop-after-events", -1, "send at most N events (-1 = all)");
+  const bool do_finish = flags.get_bool(
+      "finish", true, "finish the fleet and fetch the result digest");
+  const bool do_verify = flags.get_bool(
+      "verify", true, "verify the digest against a local batch run_sharded()");
+  const bool do_shutdown =
+      flags.get_bool("shutdown", false, "ask the daemon to drain and exit 0");
+  const std::string metrics_out = flags.get_string(
+      "metrics-out", "", "fetch daemon metrics into this file before exiting");
+  if (flags.finish("mutdbp_client: trace replay client for mutdbpd")) return 0;
+
+  try {
+    mutdbp::daemon::DaemonClient client(options);
+    client.connect();
+    const mutdbp::daemon::WireResponse& hello = client.hello();
+    std::printf("mutdbp_client: connected (algorithm=%s shards=%llu "
+                "capacity=%g resume_from=%llu)\n",
+                hello.algorithm.c_str(),
+                static_cast<unsigned long long>(hello.num_shards),
+                hello.capacity,
+                static_cast<unsigned long long>(hello.resume_from));
+
+    mutdbp::ItemList items;
+    if (!trace_path.empty()) {
+      items = mutdbp::workload::read_trace_file(trace_path, hello.capacity);
+      std::vector<mutdbp::StreamEvent> events;
+      events.reserve(items.schedule().size());
+      for (const mutdbp::ScheduledEvent& event : items.schedule()) {
+        mutdbp::StreamEvent stream_event;
+        stream_event.kind = event.is_arrival
+                                ? mutdbp::StreamEvent::Kind::kArrival
+                                : mutdbp::StreamEvent::Kind::kDeparture;
+        stream_event.id = event.id;
+        stream_event.size = event.is_arrival ? event.size : 0.0;
+        stream_event.t = event.t;
+        events.push_back(stream_event);
+      }
+      const std::size_t budget = stop_after < 0
+                                     ? static_cast<std::size_t>(-1)
+                                     : static_cast<std::size_t>(stop_after);
+      const std::uint64_t acked = client.replay(events, budget);
+      std::printf("mutdbp_client: %llu/%zu events acked\n",
+                  static_cast<unsigned long long>(acked), events.size());
+    }
+
+    int exit_code = 0;
+    if (do_finish) {
+      const mutdbp::daemon::ResultDigest digest = client.finish();
+      std::printf("mutdbp_client: daemon result %s\n", digest.to_string().c_str());
+      if (do_verify) {
+        if (trace_path.empty()) {
+          throw mutdbp::ValidationError("--verify needs --trace");
+        }
+        mutdbp::ShardedOptions sharded;
+        sharded.num_shards = hello.num_shards;
+        sharded.capacity = hello.capacity;
+        sharded.fit_epsilon = hello.fit_epsilon;
+        sharded.algorithm_seed = hello.algorithm_seed;
+        const mutdbp::daemon::ResultDigest local =
+            mutdbp::daemon::digest_of(mutdbp::run_sharded(
+                items,
+                mutdbp::registry_factory(hello.algorithm, hello.algorithm_seed,
+                                         hello.fit_epsilon),
+                sharded));
+        if (local == digest) {
+          std::printf("mutdbp_client: VERIFIED bit-identical to local batch "
+                      "run (shards=%llu)\n",
+                      static_cast<unsigned long long>(hello.num_shards));
+        } else {
+          std::printf("mutdbp_client: DIGEST MISMATCH\n  daemon: %s\n  local:  %s\n",
+                      digest.to_string().c_str(), local.to_string().c_str());
+          exit_code = 2;
+        }
+      }
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << client.metrics();
+    }
+    if (do_shutdown) client.shutdown();
+    return exit_code;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mutdbp_client: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,91 @@
+// mutdbpd — the crash-safe allocator daemon (docs/daemon.md).
+//
+// Serves the MUTDBPC1 wire protocol on a Unix socket and/or loopback TCP,
+// feeding a ShardedSimulation fleet. Checkpoints on an event/wall-clock
+// cadence, drains gracefully on SIGTERM/SIGINT (final checkpoint, exit 0),
+// and recovers from kill -9 via --restore. The seeded --shim-* flags inject
+// deterministic drop/duplicate/reorder faults on the ingest path for chaos
+// runs.
+//
+//   mutdbpd --socket=/tmp/mutdbp.sock --checkpoint=/tmp/mutdbp.ckpt \
+//           --checkpoint-every-events=256
+//   mutdbpd --socket=/tmp/mutdbp.sock --checkpoint=/tmp/mutdbp.ckpt --restore
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+
+#include "daemon/server.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  mutdbp::Flags flags(argc, argv);
+  mutdbp::daemon::DaemonConfig config;
+  config.algorithm =
+      flags.get_string("algorithm", "FirstFit", "registry algorithm name");
+  config.shards = static_cast<std::size_t>(
+      flags.get_int("shards", 1, "placement shards (0 = one per core)"));
+  config.capacity = flags.get_double("capacity", 1.0, "bin capacity");
+  config.fit_epsilon =
+      flags.get_double("fit-epsilon", mutdbp::kDefaultFitEpsilon, "fit tolerance");
+  config.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", 1, "algorithm seed (randomized algorithms)"));
+  config.ring_capacity = static_cast<std::size_t>(
+      flags.get_int("ring", 1 << 12, "slots per shard ingest ring"));
+  config.admission_wait = std::chrono::microseconds(
+      flags.get_int("admission-wait-us", 500,
+                    "bounded wait before an event is shed (0 = immediate)"));
+  config.retry_after_ms = static_cast<std::uint64_t>(
+      flags.get_int("retry-after-ms", 10, "pacing hint in kOverloaded nacks"));
+  config.checkpoint_path =
+      flags.get_string("checkpoint", "", "checkpoint file ('' = off)");
+  config.restore = flags.get_bool(
+      "restore", false, "restore from --checkpoint (missing file = fresh)");
+  config.checkpoint_every_events = static_cast<std::uint64_t>(flags.get_int(
+      "checkpoint-every-events", 0, "checkpoint cadence in admitted events"));
+  config.checkpoint_every = std::chrono::milliseconds(flags.get_int(
+      "checkpoint-every-ms", 0, "checkpoint cadence in wall-clock ms"));
+  config.shim.seed = static_cast<std::uint64_t>(
+      flags.get_int("shim-seed", 0, "fault-injection shim seed"));
+  config.shim.drop =
+      flags.get_double("shim-drop", 0.0, "P(drop an admitted event request)");
+  config.shim.duplicate =
+      flags.get_double("shim-duplicate", 0.0, "P(deliver a request twice)");
+  config.shim.reorder =
+      flags.get_double("shim-reorder", 0.0, "P(hold a request back)");
+  config.shim.bound_k = static_cast<std::size_t>(
+      flags.get_int("shim-bound-k", 4, "max events a held request waits"));
+
+  mutdbp::daemon::ServerOptions server_options;
+  server_options.unix_socket =
+      flags.get_string("socket", "", "Unix socket path ('' = TCP only)");
+  const std::int64_t port =
+      flags.get_int("port", -1, "TCP port (0 = ephemeral, unset = no TCP)");
+  server_options.tcp = port >= 0;
+  server_options.tcp_port = port > 0 ? static_cast<std::uint16_t>(port) : 0;
+  server_options.poll_interval_ms = static_cast<int>(
+      flags.get_int("poll-interval-ms", 20, "poll timeout between group commits"));
+  server_options.announce =
+      flags.get_bool("announce", true, "print the 'listening' line on stdout");
+  const std::string metrics_out = flags.get_string(
+      "metrics-out", "", "write final Prometheus metrics to this file");
+
+  if (flags.finish("mutdbpd: crash-safe online bin-packing allocator daemon")) {
+    return 0;
+  }
+
+  try {
+    mutdbp::daemon::DaemonCore core(config);
+    mutdbp::daemon::DaemonServer server(core, server_options);
+    const int exit_code = server.run();
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << core.metrics_text();
+    }
+    return exit_code;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mutdbpd: %s\n", error.what());
+    return 1;
+  }
+}

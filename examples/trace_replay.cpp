@@ -22,6 +22,8 @@
 // remaining events of the same trace. A streaming run that reaches the end
 // of the trace verifies its result bit-for-bit against a one-shot batch
 // simulate() of the same trace and exits non-zero on any divergence.
+// SIGINT/SIGTERM during a streaming or sharded replay (with --checkpoint
+// given) writes a final checkpoint and exits 0 — Ctrl-C is resumable.
 //
 // Sharded mode (docs/performance.md, "Sharded scaling"): --shards N replays
 // the trace through an N-shard ShardedSimulation fleet (core/sharded.h) —
@@ -43,6 +45,7 @@
 // and the replay exits non-zero on mismatch.
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <utility>
@@ -62,6 +65,34 @@
 #include "workload/trace.h"
 
 namespace {
+
+// SIGINT/SIGTERM during a streaming or sharded replay: finish the current
+// event, write a final checkpoint, and exit cleanly — a Ctrl-C'd replay is
+// resumable with --restore exactly like a --stop-after-events "crash".
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void replay_signal_handler(int) { g_interrupted = 1; }
+
+// Installs the handlers for the duration of a replay loop (restores the
+// previous dispositions on scope exit, so batch mode keeps default Ctrl-C).
+class ScopedSignalGuard {
+ public:
+  ScopedSignalGuard() {
+    g_interrupted = 0;
+    previous_int_ = std::signal(SIGINT, replay_signal_handler);
+    previous_term_ = std::signal(SIGTERM, replay_signal_handler);
+  }
+  ~ScopedSignalGuard() {
+    std::signal(SIGINT, previous_int_);
+    std::signal(SIGTERM, previous_term_);
+  }
+  ScopedSignalGuard(const ScopedSignalGuard&) = delete;
+  ScopedSignalGuard& operator=(const ScopedSignalGuard&) = delete;
+
+ private:
+  void (*previous_int_)(int) = SIG_DFL;
+  void (*previous_term_)(int) = SIG_DFL;
+};
 
 // The monitor's final lower bounds must be bit-for-bit identical to the
 // batch opt:: sweep over the same items — both sides run the one shared
@@ -196,7 +227,15 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
   };
 
   std::size_t checkpoints_written = 0;
+  ScopedSignalGuard signal_guard;
   for (std::size_t i = stream->events_applied(); i < schedule.size(); ++i) {
+    if (g_interrupted != 0 && !checkpoint_path.empty()) {
+      if (!write_checkpoint()) return 1;
+      std::printf("interrupted after %zu events; final checkpoint -> %s "
+                  "(resume with --restore)\n",
+                  stream->events_applied(), checkpoint_path.c_str());
+      return 0;
+    }
     const ScheduledEvent& event = schedule[i];
     if (event.is_arrival) {
       stream->push_arrival(event.id, event.size, event.t);
@@ -287,7 +326,16 @@ int drive_sharded(mutdbp::ShardedSimulation& fleet, const mutdbp::ItemList& item
   };
 
   std::size_t checkpoints_written = 0;
+  ScopedSignalGuard signal_guard;
   for (std::size_t i = fleet.events_applied(); i < schedule.size(); ++i) {
+    if (g_interrupted != 0 && !checkpoint_path.empty()) {
+      if (!write_checkpoint()) return 1;  // drains first, so the count is exact
+      std::printf("interrupted after %zu events; final fleet checkpoint -> %s "
+                  "(resume with --restore)\n",
+                  static_cast<std::size_t>(fleet.events_applied()),
+                  checkpoint_path.c_str());
+      return 0;
+    }
     const ScheduledEvent& event = schedule[i];
     if (event.is_arrival) {
       fleet.push_arrival(event.id, event.size, event.t);

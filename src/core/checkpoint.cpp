@@ -18,6 +18,9 @@ constexpr std::array<std::uint8_t, 8> kMagic = {'M', 'U', 'T', 'D',
                                                 'B', 'P', 'C', '1'};
 constexpr std::size_t kHeaderBytes = kMagic.size() + 4 + 4 + 8;
 constexpr std::size_t kChecksumBytes = 8;
+static_assert(kHeaderBytes == kFrameHeaderBytes &&
+              kChecksumBytes == kFrameChecksumBytes,
+              "exposed frame layout constants drifted from the writer");
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
@@ -129,8 +132,8 @@ void BinaryReader::expect_end() const {
   }
 }
 
-void write_checkpoint_frame(std::ostream& out, CheckpointKind kind,
-                            const BinaryWriter& payload) {
+std::vector<std::uint8_t> encode_frame(CheckpointKind kind,
+                                       const BinaryWriter& payload) {
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderBytes + payload.bytes().size() + kChecksumBytes);
   frame.insert(frame.end(), kMagic.begin(), kMagic.end());
@@ -139,6 +142,56 @@ void write_checkpoint_frame(std::ostream& out, CheckpointKind kind,
   put_u64(frame, payload.bytes().size());
   frame.insert(frame.end(), payload.bytes().begin(), payload.bytes().end());
   put_u64(frame, fnv1a64(frame.data(), frame.size()));
+  return frame;
+}
+
+FrameParse parse_frame(const std::uint8_t* data, std::size_t size,
+                       CheckpointKind kind, std::uint64_t max_payload) {
+  FrameParse out;
+  // Reject a wrong magic on the available prefix: garbage on a socket fails
+  // immediately instead of waiting for a full header that never comes.
+  const std::size_t magic_check = std::min(size, kMagic.size());
+  if (!std::equal(kMagic.begin(), kMagic.begin() + magic_check, data)) {
+    throw ValidationError("frame: bad magic (not a mutdbp frame)");
+  }
+  if (size < kHeaderBytes) return out;
+  const std::uint32_t version = get_u32(data + 8);
+  if (version != kCheckpointVersion) {
+    throw ValidationError("frame: unsupported format version " +
+                          std::to_string(version) + " (this build reads version " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::uint32_t raw_kind = get_u32(data + 12);
+  if (raw_kind != static_cast<std::uint32_t>(kind)) {
+    throw ValidationError("frame: kind " + std::to_string(raw_kind) +
+                          " does not match the expected kind " +
+                          std::to_string(static_cast<std::uint32_t>(kind)));
+  }
+  const std::uint64_t payload_size = get_u64(data + 16);
+  if (payload_size > max_payload) {
+    throw ValidationError("frame: declared payload size " +
+                          std::to_string(payload_size) + " exceeds the " +
+                          std::to_string(max_payload) + " byte cap");
+  }
+  const std::uint64_t total =
+      kHeaderBytes + payload_size + kChecksumBytes;
+  if (size < total) return out;
+  const std::uint64_t stored_checksum =
+      get_u64(data + kHeaderBytes + static_cast<std::size_t>(payload_size));
+  const std::uint64_t computed =
+      fnv1a64(data, kHeaderBytes + static_cast<std::size_t>(payload_size));
+  if (stored_checksum != computed) {
+    throw ValidationError("frame: checksum mismatch (corrupted frame)");
+  }
+  out.consumed = static_cast<std::size_t>(total);
+  out.payload.assign(data + kHeaderBytes,
+                     data + kHeaderBytes + static_cast<std::size_t>(payload_size));
+  return out;
+}
+
+void write_checkpoint_frame(std::ostream& out, CheckpointKind kind,
+                            const BinaryWriter& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(kind, payload);
   out.write(reinterpret_cast<const char*>(frame.data()),
             static_cast<std::streamsize>(frame.size()));
   if (!out) throw SimulationError("checkpoint: stream write failed");

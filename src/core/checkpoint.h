@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,17 @@ enum class CheckpointKind : std::uint32_t {
   /// Header frame of a sharded fleet checkpoint; followed in the stream by
   /// one kStreamingSimulation frame per shard (core/sharded.h).
   kShardedSimulation = 4,
+  /// Header frame of a mutdbpd daemon checkpoint (client acked-frontier
+  /// table); followed in the stream by one kShardedSimulation fleet
+  /// checkpoint (daemon/server.h, docs/daemon.md).
+  kDaemonState = 5,
+  /// One request of the mutdbpd wire protocol (daemon/protocol.h). Wire
+  /// messages reuse the checkpoint frame format verbatim, so every frame on
+  /// a socket carries the same magic/version/kind/size/FNV-1a armor as a
+  /// frame on disk.
+  kWireRequest = 6,
+  /// One response of the mutdbpd wire protocol.
+  kWireResponse = 7,
 };
 
 /// FNV-1a 64-bit over a byte range (also used by the golden-master tests to
@@ -98,6 +110,36 @@ class BinaryReader {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+/// Frame layout constants, exposed for incremental byte-stream parsers
+/// (the wire protocol assembles frames from partial socket reads).
+inline constexpr std::size_t kFrameHeaderBytes = 24;  ///< magic+version+kind+size
+inline constexpr std::size_t kFrameChecksumBytes = 8;
+
+/// Serializes one complete frame (header + payload + checksum) into bytes —
+/// the buffer-level core write_checkpoint_frame() streams out.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(CheckpointKind kind,
+                                                     const BinaryWriter& payload);
+
+/// Result of one incremental parse attempt (see parse_frame).
+struct FrameParse {
+  /// Bytes consumed from the front of the buffer; 0 means "incomplete —
+  /// feed more bytes and retry" (nothing was consumed).
+  std::size_t consumed = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Attempts to parse one complete frame of `kind` from the front of
+/// `data..data+size`. Returns consumed == 0 when the buffer does not yet
+/// hold the whole frame; otherwise consumes exactly one frame and returns
+/// its validated payload. Malformed input — wrong magic (checked on the
+/// available prefix, so garbage fails before a full header arrives),
+/// unsupported version, wrong kind, a declared payload size above
+/// `max_payload`, or a checksum mismatch — throws ValidationError and
+/// consumes nothing, exactly like the stream reader.
+[[nodiscard]] FrameParse parse_frame(
+    const std::uint8_t* data, std::size_t size, CheckpointKind kind,
+    std::uint64_t max_payload = std::numeric_limits<std::uint64_t>::max());
 
 /// Writes one complete frame (header + payload + checksum) to `out`.
 /// Throws SimulationError if the stream write fails.

@@ -413,6 +413,25 @@ void ShardedSimulation::push_event(const StreamEvent& event, std::size_t produce
   shard.queue->push(producer, event);
 }
 
+bool ShardedSimulation::try_push_event(const StreamEvent& event,
+                                       std::size_t producer) {
+  if (finished_) {
+    throw ValidationError("ShardedSimulation: push after finish()");
+  }
+  if (producer >= options_.producers) {
+    throw ValidationError("ShardedSimulation: producer slot " +
+                          std::to_string(producer) + " out of range (have " +
+                          std::to_string(options_.producers) + ")");
+  }
+  Shard& shard = *shards_[shard_of(event.id, shards_.size())];
+  // pushed advances only on success, and after the push: a drain() issued by
+  // this producer after a successful try_push still sees the increment
+  // (program order), and a failed push leaves the counters untouched.
+  if (!shard.queue->try_push(producer, event)) return false;
+  shard.pushed.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void ShardedSimulation::push_arrival(ItemId id, double size, Time t,
                                      std::size_t producer) {
   push_event({StreamEvent::Kind::kArrival, id, size, t}, producer);
@@ -420,6 +439,16 @@ void ShardedSimulation::push_arrival(ItemId id, double size, Time t,
 
 void ShardedSimulation::push_departure(ItemId id, Time t, std::size_t producer) {
   push_event({StreamEvent::Kind::kDeparture, id, 0.0, t}, producer);
+}
+
+bool ShardedSimulation::try_push_arrival(ItemId id, double size, Time t,
+                                         std::size_t producer) {
+  return try_push_event({StreamEvent::Kind::kArrival, id, size, t}, producer);
+}
+
+bool ShardedSimulation::try_push_departure(ItemId id, Time t,
+                                           std::size_t producer) {
+  return try_push_event({StreamEvent::Kind::kDeparture, id, 0.0, t}, producer);
 }
 
 void ShardedSimulation::drain() {
@@ -457,6 +486,12 @@ void ShardedSimulation::snapshot(std::ostream& out) {
 ShardedSimulation ShardedSimulation::restore(const ShardedCheckpoint& checkpoint,
                                              const AlgorithmFactory& factory) {
   return ShardedSimulation(checkpoint, factory);
+}
+
+std::unique_ptr<ShardedSimulation> ShardedSimulation::restore_unique(
+    const ShardedCheckpoint& checkpoint, const AlgorithmFactory& factory) {
+  return std::unique_ptr<ShardedSimulation>(
+      new ShardedSimulation(checkpoint, factory));
 }
 
 ShardedResult ShardedSimulation::finish() {
@@ -502,8 +537,22 @@ std::size_t ShardedSimulation::open_bin_count() const noexcept {
   return total;
 }
 
+std::optional<BinIndex> ShardedSimulation::active_bin_of(ItemId id) const {
+  const Shard& shard = *shards_[shard_of(id, shards_.size())];
+  return shard.stream->engine().find_active_bin(id);
+}
+
 telemetry::Telemetry* ShardedSimulation::shard_telemetry(std::size_t shard) const {
   return shards_.at(shard)->telemetry.get();
+}
+
+telemetry::MetricsSnapshot ShardedSimulation::merged_metrics() const {
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  snapshots.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (shard->telemetry) snapshots.push_back(shard->telemetry->metrics().snapshot());
+  }
+  return telemetry::merge_snapshots(snapshots);
 }
 
 void ShardedSimulation::set_reference_mu(double mu) {

@@ -52,6 +52,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,15 @@ class ShardedSimulation {
   void push_arrival(ItemId id, double size, Time t, std::size_t producer = 0);
   void push_departure(ItemId id, Time t, std::size_t producer = 0);
 
+  /// Non-blocking admission variants: false when the target shard's ring is
+  /// full — the event is NOT enqueued and the caller sheds it explicitly
+  /// (the daemon's admission-control path, docs/daemon.md) instead of
+  /// riding the blocking backpressure of push_arrival/push_departure.
+  [[nodiscard]] bool try_push_arrival(ItemId id, double size, Time t,
+                                      std::size_t producer = 0);
+  [[nodiscard]] bool try_push_departure(ItemId id, Time t,
+                                        std::size_t producer = 0);
+
   /// Blocks until every pushed event has been applied (no pushes may be
   /// concurrent with the drain). Rethrows the first shard failure.
   void drain();
@@ -216,6 +226,11 @@ class ShardedSimulation {
   [[nodiscard]] static ShardedSimulation restore(const ShardedCheckpoint& checkpoint,
                                                  const AlgorithmFactory& factory);
 
+  /// Heap-allocating restore() for owners that hold the fleet behind a
+  /// pointer (the daemon swaps fleets on --restore). Same contract.
+  [[nodiscard]] static std::unique_ptr<ShardedSimulation> restore_unique(
+      const ShardedCheckpoint& checkpoint, const AlgorithmFactory& factory);
+
   /// Drains, stops the workers, finishes every shard engine (all items must
   /// have departed) and folds the merged view. Rethrows the first shard
   /// failure. The instance is spent afterwards.
@@ -231,8 +246,17 @@ class ShardedSimulation {
   [[nodiscard]] std::uint64_t events_applied() const noexcept;
   /// Open bins across all shards (same caveat as events_applied()).
   [[nodiscard]] std::size_t open_bin_count() const noexcept;
+  /// Bin of a currently active item on its shard's engine (shard-local
+  /// index), or nullopt when the item is not active. Quiescent-only: call
+  /// after drain() with no concurrent pushes (the daemon's post-drain ack
+  /// resolution), exactly like snapshot().
+  [[nodiscard]] std::optional<BinIndex> active_bin_of(ItemId id) const;
   /// Shard s's private telemetry, or null when telemetry is off.
   [[nodiscard]] telemetry::Telemetry* shard_telemetry(std::size_t shard) const;
+  /// Snapshots of every shard's private metrics (telemetry runs only),
+  /// merged by name — the live fleet-level counter view. Quiescent-only,
+  /// like active_bin_of().
+  [[nodiscard]] telemetry::MetricsSnapshot merged_metrics() const;
   /// Forwards µ of the driving workload to every shard's ratio monitor.
   void set_reference_mu(double mu);
 
@@ -249,6 +273,8 @@ class ShardedSimulation {
   void apply_batch(Shard& shard);
   void rethrow_failure();
   void push_event(const StreamEvent& event, std::size_t producer);
+  [[nodiscard]] bool try_push_event(const StreamEvent& event,
+                                    std::size_t producer);
 
   ShardedOptions options_;
   std::string algorithm_name_;

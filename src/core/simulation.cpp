@@ -89,6 +89,12 @@ BinIndex Simulation::bin_of_active(ItemId id) const {
   return ref->bin;
 }
 
+std::optional<BinIndex> Simulation::find_active_bin(ItemId id) const noexcept {
+  const ActiveRef* ref = active_.find(id);
+  if (ref == nullptr) return std::nullopt;
+  return ref->bin;
+}
+
 BinIndex Simulation::arrive(ItemId id, double size, Time t) {
   if (finished_) throw SimulationError("Simulation: arrive() after finish()");
   if (!(size > 0.0) || size > options_.capacity) {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/algorithm.h"
@@ -112,6 +113,11 @@ class Simulation {
 
   /// Bin index of a currently active item (throws if unknown).
   [[nodiscard]] BinIndex bin_of_active(ItemId id) const;
+
+  /// Non-throwing variant: nullopt when the item is not active (the daemon
+  /// resolves acked placements with this — a departed item is not an error
+  /// there, see daemon/server.h).
+  [[nodiscard]] std::optional<BinIndex> find_active_bin(ItemId id) const noexcept;
 
   /// Completes the run. All items must have departed.
   [[nodiscard]] PackingResult finish();

@@ -1,6 +1,9 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/checkpoint.h"
@@ -9,6 +12,17 @@
 namespace mutdbp {
 
 namespace {
+
+/// Events until the injected crash; -1 when MUTDBP_CRASH_AFTER_EVENTS is
+/// unset, empty, non-numeric, or 0.
+std::int64_t crash_after_events_budget() noexcept {
+  const char* value = std::getenv("MUTDBP_CRASH_AFTER_EVENTS");
+  if (value == nullptr || *value == '\0') return -1;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return -1;
+  return static_cast<std::int64_t>(parsed);
+}
 
 SimulationOptions to_simulation_options(const StreamingOptions& options) {
   SimulationOptions sim;
@@ -21,6 +35,20 @@ SimulationOptions to_simulation_options(const StreamingOptions& options) {
 }
 
 }  // namespace
+
+void crash_after_events_kill_point() noexcept {
+  static std::atomic<std::int64_t> remaining{crash_after_events_budget()};
+  if (remaining.load(std::memory_order_relaxed) < 0) return;
+  if (remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    // Dirty death on purpose: abort() skips every destructor and atexit
+    // handler, so whatever checkpoint state is on disk is exactly what a
+    // kill -9 would have left behind.
+    std::fprintf(stderr,
+                 "mutdbp: MUTDBP_CRASH_AFTER_EVENTS kill point reached — "
+                 "aborting without cleanup\n");
+    std::abort();
+  }
+}
 
 StreamingSimulation::StreamingSimulation(PackingAlgorithm& algorithm,
                                          StreamingOptions options)

@@ -37,6 +37,16 @@
 
 namespace mutdbp {
 
+/// Deterministic crash injection for the recovery tests and the CI kill-9
+/// smoke job: when MUTDBP_CRASH_AFTER_EVENTS=N (N >= 1) is exported, the
+/// process abort()s — a dirty death, no flush, no atexit, indistinguishable
+/// from kill -9 — the instant the N-th streaming event of the process is
+/// applied. The counter is process-global across every StreamingSimulation
+/// (replayed restore events count too), so a given trace + N names one exact
+/// kill point. Unset or 0 disables; the cost is one relaxed atomic load per
+/// event.
+void crash_after_events_kill_point() noexcept;
+
 /// One buffered streaming event. Departures carry size 0 (the engine knows
 /// the size from the arrival); force-closes live in the applied log only.
 struct StreamEvent {
@@ -196,6 +206,7 @@ class StreamingSimulation {
         break;
     }
     log_.push_back(event);
+    crash_after_events_kill_point();
   }
   std::size_t flush_batch();
   [[noreturn]] void throw_frontier_violation(Time t) const;

@@ -1,0 +1,370 @@
+#include "daemon/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/error.h"
+
+namespace mutdbp::daemon {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Thrown internally on EOF/reset so the retry loops can reconnect; never
+/// escapes the public API.
+struct ConnectionLost {
+  std::string reason;
+};
+
+}  // namespace
+
+DaemonClient::DaemonClient(ClientOptions options) : options_(std::move(options)) {
+  if (options_.client_id.empty()) {
+    throw ValidationError("DaemonClient: client_id must be non-empty");
+  }
+  if (options_.window == 0) options_.window = 1;
+}
+
+DaemonClient::~DaemonClient() { close_socket(); }
+
+void DaemonClient::close_socket() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  assembler_ = FrameAssembler(CheckpointKind::kWireResponse);
+}
+
+void DaemonClient::backoff_sleep(std::size_t attempt) const {
+  // Bounded exponential: initial * 2^attempt, capped. Deterministic (no
+  // jitter) so chaos runs replay identically.
+  auto wait = options_.backoff_initial;
+  for (std::size_t i = 0; i < attempt && wait < options_.backoff_max; ++i) {
+    wait *= 2;
+  }
+  std::this_thread::sleep_for(std::min(wait, options_.backoff_max));
+}
+
+void DaemonClient::connect_socket() {
+  close_socket();
+  if (!options_.unix_socket.empty()) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw SimulationError(errno_message("client: socket(unix)"));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      throw ValidationError("client: Unix socket path too long: " +
+                            options_.unix_socket);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const std::string message = errno_message("client: connect(unix)");
+      close_socket();
+      throw ConnectionLost{message};
+    }
+    return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw SimulationError(errno_message("client: socket(tcp)"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close_socket();
+    throw ValidationError("client: bad host address: " + options_.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = errno_message("client: connect(tcp)");
+    close_socket();
+    throw ConnectionLost{message};
+  }
+}
+
+void DaemonClient::connect() {
+  ConnectionLost last{"never attempted"};
+  for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) backoff_sleep(attempt - 1);
+    try {
+      connect_socket();
+      WireRequest hello;
+      hello.type = RequestType::kHello;
+      hello.client = options_.client_id;
+      send_frame(encode_request(hello));
+      WireResponse response;
+      while (true) {
+        if (!next_response(response)) {
+          throw ConnectionLost{"client: hello timed out"};
+        }
+        if (response.type == ResponseType::kHelloOk) break;
+        // Stale acks from a previous incarnation of this connection cannot
+        // exist (fresh socket); anything else here is a protocol error.
+        throw SimulationError("client: expected HelloOk, got type " +
+                              std::to_string(static_cast<int>(response.type)) +
+                              (response.text.empty() ? "" : ": " + response.text));
+      }
+      hello_ = response;
+      // The daemon's frontier for this identity is authoritative: after a
+      // crash-restart it comes from the restored checkpoint, and the replay
+      // rewinds exactly to the first unacked event.
+      frontier_ = hello_.resume_from;
+      return;
+    } catch (const ConnectionLost& lost) {
+      last = lost;
+      close_socket();
+    }
+  }
+  throw SimulationError("client: gave up connecting after " +
+                        std::to_string(options_.max_attempts) +
+                        " attempts (" + last.reason + ")");
+}
+
+void DaemonClient::send_frame(const std::vector<std::uint8_t>& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw ConnectionLost{errno_message("client: send")};
+  }
+}
+
+void DaemonClient::send_event(const std::vector<StreamEvent>& events,
+                              std::uint64_t seq) {
+  const StreamEvent& event = events[seq - 1];
+  WireRequest request;
+  request.seq = seq;
+  request.id = event.id;
+  request.t = event.t;
+  if (event.kind == StreamEvent::Kind::kArrival) {
+    request.type = RequestType::kArrival;
+    request.size = event.size;
+  } else {
+    request.type = RequestType::kDeparture;
+  }
+  send_frame(encode_request(request));
+}
+
+bool DaemonClient::next_response(WireResponse& response) {
+  const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+  while (true) {
+    if (auto payload = assembler_.next(); payload.has_value()) {
+      response = decode_response(*payload);
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw ConnectionLost{errno_message("client: poll")};
+    }
+    if (ready == 0) return false;
+    std::uint8_t buffer[65536];
+    const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      assembler_.feed(buffer, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    throw ConnectionLost{got == 0 ? "client: daemon closed the connection"
+                                  : errno_message("client: recv")};
+  }
+}
+
+std::uint64_t DaemonClient::replay(const std::vector<StreamEvent>& events,
+                                   std::size_t stop_after) {
+  if (fd_ < 0) connect();
+  const std::uint64_t last_seq = events.size();
+  std::uint64_t sent_this_call = 0;
+  std::uint64_t next_send = frontier_;
+  std::size_t attempts = 0;
+
+  while (frontier_ <= last_seq) {
+    if (sent_this_call >= stop_after && next_send > frontier_) {
+      // Budget spent; wait for the in-flight tail to ack below.
+    } else if (sent_this_call >= stop_after) {
+      break;  // budget spent and nothing in flight
+    }
+    try {
+      // Top up the window with idempotent sends.
+      while (next_send <= last_seq && next_send < frontier_ + options_.window &&
+             sent_this_call < stop_after) {
+        send_event(events, next_send);
+        ++next_send;
+        ++sent_this_call;
+      }
+
+      WireResponse response;
+      if (!next_response(response)) {
+        // Timeout: everything unacked is resent from the frontier — the
+        // daemon suppresses whatever it already admitted (kDuplicate).
+        if (++attempts >= options_.max_attempts) {
+          throw SimulationError("client: replay timed out after " +
+                                std::to_string(attempts) + " attempts at seq " +
+                                std::to_string(frontier_));
+        }
+        backoff_sleep(attempts - 1);
+        next_send = frontier_;
+        continue;
+      }
+      bool overloaded = false;
+      std::uint64_t retry_after_ms = 0;
+      // Drain the whole burst the group commit produced before acting.
+      do {
+        switch (response.type) {
+          case ResponseType::kAck:
+          case ResponseType::kDuplicate:
+            if (response.next_expected > frontier_) {
+              frontier_ = response.next_expected;
+              attempts = 0;  // progress resets the give-up counter
+            }
+            break;
+          case ResponseType::kOutOfOrder:
+            // A shed predecessor nacked our pipelined successors; rewind.
+            if (response.next_expected > frontier_) {
+              frontier_ = response.next_expected;
+            }
+            next_send = frontier_;
+            break;
+          case ResponseType::kOverloaded:
+            overloaded = true;
+            retry_after_ms = std::max(retry_after_ms, response.retry_after_ms);
+            if (response.next_expected > frontier_) {
+              frontier_ = response.next_expected;
+            }
+            break;
+          case ResponseType::kShuttingDown:
+            throw ConnectionLost{"client: daemon is shutting down"};
+          case ResponseType::kInvalid:
+          case ResponseType::kError:
+          case ResponseType::kMalformed:
+            throw SimulationError("client: daemon rejected seq " +
+                                  std::to_string(response.seq) + ": " +
+                                  response.text);
+          default:
+            break;  // stats/metrics strays: ignore
+        }
+      } while (assembler_.buffered_bytes() > 0 && next_response(response));
+      if (overloaded) {
+        // Explicit shed: honor the daemon's pacing hint, then resend the
+        // nacked suffix from the frontier.
+        if (++attempts >= options_.max_attempts) {
+          throw SimulationError(
+              "client: daemon overloaded; gave up after " +
+              std::to_string(attempts) + " attempts at seq " +
+              std::to_string(frontier_));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(retry_after_ms));
+        next_send = frontier_;
+      }
+    } catch (const ConnectionLost&) {
+      // Daemon crashed (or shut down) mid-replay: reconnect with backoff.
+      // connect() rewinds the frontier to the restarted daemon's
+      // resume_from; everything acked before the crash stays acked because
+      // the checkpoint persisted the frontier with the packing.
+      if (++attempts >= options_.max_attempts) throw;
+      close_socket();
+      backoff_sleep(attempts - 1);
+      connect();
+      next_send = frontier_;
+    }
+  }
+  return frontier_ - 1;
+}
+
+WireResponse DaemonClient::request_reply(const WireRequest& request,
+                                         std::initializer_list<ResponseType> types) {
+  if (fd_ < 0) connect();
+  std::size_t attempts = 0;
+  while (true) {
+    try {
+      send_frame(encode_request(request));
+      WireResponse response;
+      while (true) {
+        if (!next_response(response)) {
+          throw ConnectionLost{"client: request timed out"};
+        }
+        const bool match = std::find(types.begin(), types.end(),
+                                     response.type) != types.end();
+        if (match) return response;
+        if (response.type == ResponseType::kInvalid ||
+            response.type == ResponseType::kError ||
+            response.type == ResponseType::kMalformed) {
+          throw SimulationError("client: daemon rejected request: " +
+                                response.text);
+        }
+        // Event acks from a previous replay burst: frontier bookkeeping,
+        // then keep waiting for the reply we asked for.
+        if (response.next_expected > frontier_) frontier_ = response.next_expected;
+      }
+    } catch (const ConnectionLost& lost) {
+      if (++attempts >= options_.max_attempts) {
+        throw SimulationError("client: gave up after " +
+                              std::to_string(attempts) + " attempts (" +
+                              lost.reason + ")");
+      }
+      close_socket();
+      backoff_sleep(attempts - 1);
+      connect();
+    }
+  }
+}
+
+ResultDigest DaemonClient::finish() {
+  WireRequest request;
+  request.type = RequestType::kFinish;
+  return request_reply(request, {ResponseType::kResult}).digest;
+}
+
+std::string DaemonClient::metrics() {
+  WireRequest request;
+  request.type = RequestType::kMetrics;
+  return request_reply(request, {ResponseType::kMetrics}).text;
+}
+
+WireResponse DaemonClient::stats() {
+  WireRequest request;
+  request.type = RequestType::kStats;
+  return request_reply(request, {ResponseType::kStats});
+}
+
+void DaemonClient::shutdown() {
+  if (fd_ < 0) connect();
+  WireRequest request;
+  request.type = RequestType::kShutdown;
+  try {
+    send_frame(encode_request(request));
+    WireResponse response;
+    while (next_response(response)) {
+      if (response.type == ResponseType::kShuttingDown) break;
+    }
+  } catch (const ConnectionLost&) {
+    // The daemon exiting under us IS the success path here.
+  }
+  close_socket();
+}
+
+}  // namespace mutdbp::daemon

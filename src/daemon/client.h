@@ -1,0 +1,109 @@
+// DaemonClient: the replay side of the crash-safety contract.
+//
+// The client owns everything the daemon cannot promise: it numbers its
+// events (1-based), keeps the acked frontier the daemon echoes back in
+// every response, resends idempotently from that frontier after a timeout,
+// honors kOverloaded retry_after_ms with bounded exponential backoff, and
+// reconnects after a connection loss (daemon crash, kill -9) — rewinding
+// its replay to the resume_from the restarted daemon hands back in HelloOk.
+// Duplicate sends are safe by construction (the daemon suppresses anything
+// below the frontier), so the client retries aggressively and correctness
+// never depends on the network delivering anything exactly once.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/streaming.h"
+#include "daemon/protocol.h"
+
+namespace mutdbp::daemon {
+
+struct ClientOptions {
+  /// Unix socket path; "" means TCP (host:port) instead.
+  std::string unix_socket;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Client identity: keys the ack frontier on the daemon. Two clients must
+  /// never share one identity.
+  std::string client_id = "client";
+  /// Max unacked events in flight (pipelining depth).
+  std::size_t window = 64;
+  /// Response wait before an idempotent resend from the acked frontier.
+  std::chrono::milliseconds timeout{2000};
+  /// Bounded exponential backoff between reconnect/resend attempts.
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_max{500};
+  /// Consecutive no-progress attempts (timeouts, refused connects, resets)
+  /// before the client gives up with a SimulationError.
+  std::size_t max_attempts = 30;
+};
+
+class DaemonClient {
+ public:
+  explicit DaemonClient(ClientOptions options);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Connects (with retry/backoff) and performs the Hello handshake.
+  /// Subsequent calls after a connection loss reconnect transparently; the
+  /// replay methods call this themselves as needed.
+  void connect();
+
+  /// Run configuration from the daemon's HelloOk (valid after connect()).
+  [[nodiscard]] const WireResponse& hello() const noexcept { return hello_; }
+
+  /// Replays `events` (event i carries sequence i+1) through the window,
+  /// starting from the daemon's acked frontier — events the daemon already
+  /// admitted (this run or before a crash) are skipped or suppressed as
+  /// duplicates. Sends at most `stop_after` events this call (SIZE_MAX =
+  /// all), returns the acked frontier (next unacked sequence - 1 = events
+  /// acked). Throws SimulationError when the daemon rejects an event
+  /// (kInvalid/kError) or attempts are exhausted.
+  std::uint64_t replay(const std::vector<StreamEvent>& events,
+                       std::size_t stop_after = static_cast<std::size_t>(-1));
+
+  /// Finish the fleet and return the digest (kResult).
+  [[nodiscard]] ResultDigest finish();
+
+  /// Prometheus text of the daemon's merged metrics.
+  [[nodiscard]] std::string metrics();
+
+  /// Live daemon counters (kStats response).
+  [[nodiscard]] WireResponse stats();
+
+  /// Best-effort graceful shutdown request (the daemon drains and exits 0).
+  void shutdown();
+
+  /// Acked frontier: the next sequence number the daemon expects.
+  [[nodiscard]] std::uint64_t next_expected() const noexcept { return frontier_; }
+
+ private:
+  void connect_socket();
+  void close_socket() noexcept;
+  void send_frame(const std::vector<std::uint8_t>& frame);
+  void send_event(const std::vector<StreamEvent>& events, std::uint64_t seq);
+  /// Waits up to options_.timeout for one decoded response. Returns false
+  /// on timeout; throws on connection loss (caller reconnects).
+  [[nodiscard]] bool next_response(WireResponse& response);
+  /// Sends `request` and waits for a response of one of `types`, processing
+  /// (and discarding) interleaved event acks. Reconnects and retries on
+  /// connection loss.
+  [[nodiscard]] WireResponse request_reply(const WireRequest& request,
+                                           std::initializer_list<ResponseType> types);
+  void backoff_sleep(std::size_t attempt) const;
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameAssembler assembler_{CheckpointKind::kWireResponse};
+  WireResponse hello_;
+  std::uint64_t frontier_ = 1;  ///< next sequence the daemon expects
+};
+
+}  // namespace mutdbp::daemon

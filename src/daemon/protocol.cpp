@@ -1,0 +1,332 @@
+#include "daemon/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/error.h"
+
+namespace mutdbp::daemon {
+
+namespace {
+
+[[nodiscard]] RequestType parse_request_type(std::uint8_t raw) {
+  if (raw < static_cast<std::uint8_t>(RequestType::kHello) ||
+      raw > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+    throw ValidationError("wire: unknown request type " + std::to_string(raw));
+  }
+  return static_cast<RequestType>(raw);
+}
+
+[[nodiscard]] ResponseType parse_response_type(std::uint8_t raw) {
+  if (raw < static_cast<std::uint8_t>(ResponseType::kAck) ||
+      raw > static_cast<std::uint8_t>(ResponseType::kStats)) {
+    throw ValidationError("wire: unknown response type " + std::to_string(raw));
+  }
+  return static_cast<ResponseType>(raw);
+}
+
+void write_digest(BinaryWriter& payload, const ResultDigest& digest) {
+  payload.u64(digest.bins_opened);
+  payload.u64(digest.items);
+  payload.u64(digest.events);
+  payload.f64(digest.usage);
+  payload.f64(digest.lb_prop1);
+  payload.f64(digest.lb_prop2);
+  payload.f64(digest.lb_load_ceiling);
+  payload.f64(digest.lower_bound);
+  payload.u64(digest.placements);
+}
+
+[[nodiscard]] ResultDigest read_digest(BinaryReader& reader) {
+  ResultDigest digest;
+  digest.bins_opened = reader.u64();
+  digest.items = reader.u64();
+  digest.events = reader.u64();
+  digest.usage = reader.f64();
+  digest.lb_prop1 = reader.f64();
+  digest.lb_prop2 = reader.f64();
+  digest.lb_load_ceiling = reader.f64();
+  digest.lower_bound = reader.f64();
+  digest.placements = reader.u64();
+  return digest;
+}
+
+}  // namespace
+
+std::string ResultDigest::to_string() const {
+  std::ostringstream out;
+  out << "bins=" << bins_opened << " items=" << items << " events=" << events
+      << " usage=" << std::hexfloat << usage << " lb=" << lower_bound
+      << " (p1=" << lb_prop1 << " p2=" << lb_prop2 << " lc=" << lb_load_ceiling
+      << ")" << std::defaultfloat << " placements=" << std::hex << placements
+      << std::dec;
+  return out.str();
+}
+
+ResultDigest digest_of(const ShardedResult& result) {
+  ResultDigest digest;
+  digest.bins_opened = result.merged.bins_opened();
+  // The committed aggregates are the shard-order left folds, not the merged
+  // PackingResult's regrouped sums (those may differ in the last ulp).
+  digest.usage = result.bounds.usage;
+  digest.lb_prop1 = result.bounds.lb_prop1;
+  digest.lb_prop2 = result.bounds.lb_prop2;
+  digest.lb_load_ceiling = result.bounds.lb_load_ceiling;
+  digest.lower_bound = result.bounds.lower_bound;
+  for (const ShardOutcome& shard : result.shards) {
+    digest.items += shard.items;
+    digest.events += shard.events;
+  }
+
+  struct Row {
+    ItemId item;
+    std::uint64_t bin;
+    double size;
+    Time left;
+    Time right;
+  };
+  std::vector<Row> rows;
+  for (const BinRecord& bin : result.merged.bins()) {
+    for (const PlacementRecord& record : bin.items) {
+      rows.push_back({record.item, bin.index, record.size, record.active.left,
+                      record.active.right});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.item < b.item; });
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const Row& row : rows) {
+    BinaryWriter bytes;
+    bytes.u64(row.item);
+    bytes.u64(row.bin);
+    bytes.f64(row.size);
+    bytes.f64(row.left);
+    bytes.f64(row.right);
+    hash = fnv1a64(bytes.bytes().data(), bytes.bytes().size(), hash);
+  }
+  digest.placements = hash;
+  return digest;
+}
+
+std::vector<std::uint8_t> encode_request(const WireRequest& request) {
+  BinaryWriter payload;
+  payload.u8(static_cast<std::uint8_t>(request.type));
+  switch (request.type) {
+    case RequestType::kHello:
+      payload.string(request.client);
+      break;
+    case RequestType::kArrival:
+      payload.u64(request.seq);
+      payload.u64(request.id);
+      payload.f64(request.size);
+      payload.f64(request.t);
+      break;
+    case RequestType::kDeparture:
+      payload.u64(request.seq);
+      payload.u64(request.id);
+      payload.f64(request.t);
+      break;
+    case RequestType::kFinish:
+    case RequestType::kMetrics:
+    case RequestType::kStats:
+    case RequestType::kShutdown:
+      break;
+  }
+  return encode_frame(CheckpointKind::kWireRequest, payload);
+}
+
+WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
+  BinaryReader reader(payload);
+  WireRequest request;
+  request.type = parse_request_type(reader.u8());
+  switch (request.type) {
+    case RequestType::kHello:
+      request.client = reader.string();
+      if (request.client.empty()) {
+        throw ValidationError("wire: hello with an empty client identity");
+      }
+      break;
+    case RequestType::kArrival:
+      request.seq = reader.u64();
+      request.id = reader.u64();
+      request.size = reader.f64();
+      request.t = reader.f64();
+      break;
+    case RequestType::kDeparture:
+      request.seq = reader.u64();
+      request.id = reader.u64();
+      request.t = reader.f64();
+      break;
+    case RequestType::kFinish:
+    case RequestType::kMetrics:
+    case RequestType::kStats:
+    case RequestType::kShutdown:
+      break;
+  }
+  reader.expect_end();
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const WireResponse& response) {
+  BinaryWriter payload;
+  payload.u8(static_cast<std::uint8_t>(response.type));
+  payload.u64(response.seq);
+  payload.u64(response.next_expected);
+  switch (response.type) {
+    case ResponseType::kAck:
+      payload.u64(response.shard);
+      payload.u64(response.bin);
+      break;
+    case ResponseType::kHelloOk:
+      payload.string(response.algorithm);
+      payload.u64(response.num_shards);
+      payload.f64(response.capacity);
+      payload.f64(response.fit_epsilon);
+      payload.u64(response.algorithm_seed);
+      payload.u64(response.resume_from);
+      break;
+    case ResponseType::kOverloaded:
+      payload.u64(response.retry_after_ms);
+      break;
+    case ResponseType::kStats:
+      payload.u64(response.events_applied);
+      payload.u64(response.open_bins);
+      payload.u64(response.clients);
+      break;
+    case ResponseType::kResult:
+      write_digest(payload, response.digest);
+      break;
+    case ResponseType::kInvalid:
+    case ResponseType::kMalformed:
+    case ResponseType::kShuttingDown:
+    case ResponseType::kError:
+    case ResponseType::kMetrics:
+      payload.string(response.text);
+      break;
+    case ResponseType::kDuplicate:
+    case ResponseType::kOutOfOrder:
+      break;
+  }
+  return encode_frame(CheckpointKind::kWireResponse, payload);
+}
+
+WireResponse decode_response(const std::vector<std::uint8_t>& payload) {
+  BinaryReader reader(payload);
+  WireResponse response;
+  response.type = parse_response_type(reader.u8());
+  response.seq = reader.u64();
+  response.next_expected = reader.u64();
+  switch (response.type) {
+    case ResponseType::kAck:
+      response.shard = reader.u64();
+      response.bin = reader.u64();
+      break;
+    case ResponseType::kHelloOk:
+      response.algorithm = reader.string();
+      response.num_shards = reader.u64();
+      response.capacity = reader.f64();
+      response.fit_epsilon = reader.f64();
+      response.algorithm_seed = reader.u64();
+      response.resume_from = reader.u64();
+      break;
+    case ResponseType::kOverloaded:
+      response.retry_after_ms = reader.u64();
+      break;
+    case ResponseType::kStats:
+      response.events_applied = reader.u64();
+      response.open_bins = reader.u64();
+      response.clients = reader.u64();
+      break;
+    case ResponseType::kResult:
+      response.digest = read_digest(reader);
+      break;
+    case ResponseType::kInvalid:
+    case ResponseType::kMalformed:
+    case ResponseType::kShuttingDown:
+    case ResponseType::kError:
+    case ResponseType::kMetrics:
+      response.text = reader.string();
+      break;
+    case ResponseType::kDuplicate:
+    case ResponseType::kOutOfOrder:
+      break;
+  }
+  reader.expect_end();
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before growing: steady-state connections
+  // re-use one small buffer instead of creeping forward forever.
+  if (offset_ > 0 && offset_ == buffer_.size()) {
+    buffer_.clear();
+    offset_ = 0;
+  } else if (offset_ > kFrameHeaderBytes + kMaxWirePayloadBytes) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {
+  if (offset_ >= buffer_.size()) return std::nullopt;
+  FrameParse parse = parse_frame(buffer_.data() + offset_,
+                                 buffer_.size() - offset_, kind_, max_payload_);
+  if (parse.consumed == 0) return std::nullopt;
+  offset_ += parse.consumed;
+  return std::move(parse.payload);
+}
+
+// ---------------------------------------------------------------------------
+// FaultShim
+
+std::vector<TaggedRequest> FaultShim::ingest(std::uint64_t tag,
+                                             const WireRequest& request) {
+  if (!options_.enabled() || !request.is_event()) {
+    std::vector<TaggedRequest> out = flush();
+    out.push_back({tag, request});
+    return out;
+  }
+
+  std::vector<TaggedRequest> out;
+  // Age the held events first: one that has waited bound_k ingests is
+  // released ahead of this request (so the reorder window is exactly k).
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->release_after == 0) {
+      out.push_back(std::move(it->tagged));
+      it = held_.erase(it);
+    } else {
+      --it->release_after;
+      ++it;
+    }
+  }
+
+  if (rng_.bernoulli(options_.drop)) {
+    return out;  // swallowed: the ack never comes, the client must resend
+  }
+  if (rng_.bernoulli(options_.reorder) && options_.bound_k > 0) {
+    held_.push_back({{tag, request}, rng_.index(options_.bound_k) + 1});
+    return out;
+  }
+  out.push_back({tag, request});
+  if (rng_.bernoulli(options_.duplicate)) {
+    out.push_back({tag, request});
+  }
+  return out;
+}
+
+std::vector<TaggedRequest> FaultShim::flush() {
+  std::vector<TaggedRequest> out;
+  out.reserve(held_.size());
+  for (Held& held : held_) out.push_back(std::move(held.tagged));
+  held_.clear();
+  return out;
+}
+
+}  // namespace mutdbp::daemon

@@ -1,0 +1,231 @@
+// Wire protocol of mutdbpd, the crash-safe allocator daemon.
+//
+// Every message on a daemon socket is one MUTDBPC1 frame (core/checkpoint.h)
+// of kind kWireRequest or kWireResponse: the same magic/version/kind/size
+// header and FNV-1a checksum that armor checkpoints on disk armor every
+// frame in flight, so truncation, bit flips, and garbage on a connection
+// surface as ValidationErrors — answered with a typed Malformed nack, never
+// a crash (tests/fuzz_test.cpp, FuzzWireProtocol.*).
+//
+// Exactly-once semantics ride on per-client sequence numbers: a client
+// numbers its events 1, 2, 3, ... and the daemon admits only the exact next
+// sequence of that client's frontier. Everything below the frontier is a
+// resend and re-acked idempotently (Duplicate); everything above it is a gap
+// (OutOfOrder). Every event response carries the frontier back, so a client
+// can resynchronize its send window from any single response — including
+// the HelloOk after a daemon restart, whose resume_from tells the client
+// where to rewind its replay. Full spec: docs/daemon.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/sharded.h"
+#include "core/streaming.h"
+#include "util/rng.h"
+
+namespace mutdbp::daemon {
+
+/// Hard ceiling on a wire frame's declared payload size. A malformed (or
+/// hostile) length field can therefore never drive a large allocation; the
+/// daemon nacks the frame and drops the connection instead.
+inline constexpr std::uint64_t kMaxWirePayloadBytes = 1 << 20;
+
+/// Sentinel bin index in an Ack: the item was no longer active when the
+/// batch it arrived in was resolved (its departure was admitted in the same
+/// group commit, or the ack answers the departure itself).
+inline constexpr std::uint64_t kNoBin = std::numeric_limits<std::uint64_t>::max();
+
+enum class RequestType : std::uint8_t {
+  kHello = 1,      ///< introduce client identity; response is kHelloOk
+  kArrival = 2,    ///< sequenced event: place an item
+  kDeparture = 3,  ///< sequenced event: remove an item
+  kFinish = 4,     ///< drain + finish the fleet; response is kResult
+  kMetrics = 5,    ///< Prometheus text of the merged metrics
+  kStats = 6,      ///< live counters (events applied, open bins, clients)
+  kShutdown = 7,   ///< graceful drain + checkpoint + exit 0
+};
+
+enum class ResponseType : std::uint8_t {
+  kAck = 1,           ///< event admitted and applied; carries the placement
+  kHelloOk = 2,       ///< run configuration + the client's resume_from
+  kDuplicate = 3,     ///< seq below the frontier: already applied, re-acked
+  kOverloaded = 4,    ///< shed under backpressure; retry after retry_after_ms
+  kOutOfOrder = 5,    ///< seq above the frontier: resend from next_expected
+  kInvalid = 6,       ///< event rejected by validation (never reached a shard)
+  kMalformed = 7,     ///< frame failed decode; the connection will be closed
+  kShuttingDown = 8,  ///< daemon is draining; no further events admitted
+  kError = 9,         ///< internal failure; message in text
+  kResult = 10,       ///< final ResultDigest of the finished fleet
+  kMetrics = 11,      ///< Prometheus text in text
+  kStats = 12,        ///< live counters
+};
+
+/// One request frame, decoded. Fields beyond `type` are meaningful only for
+/// the request types that carry them (see encode_request()).
+struct WireRequest {
+  RequestType type = RequestType::kHello;
+  std::string client;  ///< kHello: client identity (keys the ack frontier)
+  std::uint64_t seq = 0;  ///< kArrival/kDeparture: 1-based per-client sequence
+  std::uint64_t id = 0;   ///< item id
+  double size = 0.0;      ///< kArrival only
+  double t = 0.0;         ///< event time
+
+  [[nodiscard]] bool is_event() const noexcept {
+    return type == RequestType::kArrival || type == RequestType::kDeparture;
+  }
+  [[nodiscard]] bool operator==(const WireRequest&) const noexcept = default;
+};
+
+/// Bit-comparable summary of a finished run: what the CI kill-9 smoke job
+/// and the chaos tests compare between a crashed-and-recovered daemon run
+/// and an uninterrupted batch run. Doubles are folded aggregates
+/// (ShardedResult::bounds — the committed left folds, not the merged
+/// PackingResult's regrouped sums) and compare bitwise through ==.
+struct ResultDigest {
+  std::uint64_t bins_opened = 0;
+  std::uint64_t items = 0;
+  std::uint64_t events = 0;
+  double usage = 0.0;
+  double lb_prop1 = 0.0;
+  double lb_prop2 = 0.0;
+  double lb_load_ceiling = 0.0;
+  double lower_bound = 0.0;
+  /// FNV-1a over (item id, global bin, size, interval) of every placement,
+  /// in item-id order: two equal digests mean the same items sat in the
+  /// same bins over the same intervals.
+  std::uint64_t placements = 0;
+
+  [[nodiscard]] bool operator==(const ResultDigest&) const noexcept = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Digest of a finished sharded run (the daemon's kFinish path and the
+/// client's local verification both call this).
+[[nodiscard]] ResultDigest digest_of(const ShardedResult& result);
+
+/// One response frame, decoded. `seq` echoes the request for event
+/// responses; `next_expected` is the client's frontier after this response
+/// (0 when the responder has no frontier for the connection yet).
+struct WireResponse {
+  ResponseType type = ResponseType::kError;
+  std::uint64_t seq = 0;
+  std::uint64_t next_expected = 0;
+  // kAck
+  std::uint64_t shard = 0;
+  std::uint64_t bin = kNoBin;
+  // kOverloaded
+  std::uint64_t retry_after_ms = 0;
+  // kHelloOk
+  std::string algorithm;
+  std::uint64_t num_shards = 0;
+  double capacity = 1.0;
+  double fit_epsilon = 0.0;
+  std::uint64_t algorithm_seed = 1;
+  std::uint64_t resume_from = 0;  ///< frontier to rewind the replay to
+  // kStats
+  std::uint64_t events_applied = 0;
+  std::uint64_t open_bins = 0;
+  std::uint64_t clients = 0;
+  // kResult
+  ResultDigest digest;
+  // kInvalid / kMalformed / kShuttingDown / kError / kMetrics
+  std::string text;
+
+  [[nodiscard]] bool operator==(const WireResponse&) const noexcept = default;
+};
+
+/// Serializes one complete kWireRequest frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& request);
+/// Serializes one complete kWireResponse frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const WireResponse& response);
+
+/// Parses a validated frame payload. Throws ValidationError on an unknown
+/// type byte or any payload that does not decode exactly.
+[[nodiscard]] WireRequest decode_request(const std::vector<std::uint8_t>& payload);
+[[nodiscard]] WireResponse decode_response(const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame assembler over a byte stream: feed() partial socket
+/// reads in, take complete validated payloads out. A ValidationError from
+/// next() (bad magic, oversized length, checksum mismatch, ...) poisons the
+/// stream — byte streams cannot be resynchronized after framing is lost, so
+/// the owner nacks once and closes the connection.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(CheckpointKind kind,
+                          std::uint64_t max_payload = kMaxWirePayloadBytes)
+      : kind_(kind), max_payload_(max_payload) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Next complete frame payload, or nullopt until more bytes arrive.
+  /// Throws ValidationError on malformed input (see class comment).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  CheckpointKind kind_;
+  std::uint64_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;  ///< consumed prefix, compacted lazily
+};
+
+/// Deterministic fault injection on the daemon's ingest path: every
+/// admitted event request passes through the shim, which may drop it
+/// (client must retry), duplicate it (idempotency must suppress), or hold
+/// it back for up to `bound_k` subsequent events (bounded reorder — the
+/// frontier must nack the events that overtook it). Seeded, so a chaos run
+/// is exactly reproducible. All probabilities 0 disables the shim entirely.
+struct FaultShimOptions {
+  std::uint64_t seed = 0;
+  double drop = 0.0;       ///< P(silently swallow; the ack never comes)
+  double duplicate = 0.0;  ///< P(deliver twice back to back)
+  double reorder = 0.0;    ///< P(hold back up to bound_k events)
+  std::size_t bound_k = 4;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+/// A shimmed request tagged with the opaque connection it arrived on (the
+/// daemon needs the origin back to address the ack).
+struct TaggedRequest {
+  std::uint64_t tag = 0;
+  WireRequest request;
+};
+
+class FaultShim {
+ public:
+  explicit FaultShim(FaultShimOptions options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Feeds one event request; returns the requests to deliver now, in
+  /// order. Non-event requests pass through untouched (and release nothing).
+  [[nodiscard]] std::vector<TaggedRequest> ingest(std::uint64_t tag,
+                                                  const WireRequest& request);
+
+  /// Releases every held request (called before drains and shutdowns so a
+  /// reordered event is delayed, never lost).
+  [[nodiscard]] std::vector<TaggedRequest> flush();
+
+ private:
+  struct Held {
+    TaggedRequest tagged;
+    std::size_t release_after;  ///< countdown in subsequent ingests
+  };
+
+  FaultShimOptions options_;
+  Rng rng_;
+  std::vector<Held> held_;
+};
+
+}  // namespace mutdbp::daemon

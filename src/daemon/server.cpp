@@ -1,0 +1,720 @@
+#include "daemon/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/error.h"
+#include "telemetry/export.h"
+
+namespace mutdbp::daemon {
+
+namespace {
+
+/// Signal flag shared with the handlers below: run() installs them, the
+/// poll loop reads the flag, graceful drain follows.
+volatile std::sig_atomic_t g_signal_stop = 0;
+
+extern "C" void daemon_signal_handler(int) { g_signal_stop = 1; }
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  // A stuck connection must never stall the loop; all socket IO is
+  // nonblocking and buffered.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw SimulationError(errno_message("daemon: fcntl(O_NONBLOCK)"));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DaemonCore
+
+DaemonCore::DaemonCore(DaemonConfig config) : config_(std::move(config)) {
+  if (config_.shim.enabled()) {
+    shim_ = std::make_unique<FaultShim>(config_.shim);
+  }
+  if (config_.restore && !config_.checkpoint_path.empty()) {
+    std::ifstream in(config_.checkpoint_path, std::ios::binary);
+    if (in) {
+      restore_from(in);
+      return;
+    }
+    // First boot: nothing to restore yet — a fresh fleet is the correct
+    // recovery from "no checkpoint was ever written".
+  }
+  build_fresh_fleet();
+}
+
+void DaemonCore::build_fresh_fleet() {
+  ShardedOptions options;
+  options.num_shards = config_.shards;
+  options.capacity = config_.capacity;
+  options.fit_epsilon = config_.fit_epsilon;
+  options.algorithm_seed = config_.seed;
+  options.telemetry = true;
+  options.producers = 1;  // the poll loop is the single producer
+  options.queue_capacity = config_.ring_capacity;
+  fleet_ = std::make_unique<ShardedSimulation>(
+      registry_factory(config_.algorithm, config_.seed, config_.fit_epsilon),
+      options);
+}
+
+void DaemonCore::restore_from(std::istream& in) {
+  // Frame 1: the daemon's own state — the admitted-time frontier and every
+  // client's ack frontier, exactly as acked at the checkpointed group
+  // commit.
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_frame(in, CheckpointKind::kDaemonState);
+  BinaryReader reader(payload);
+  last_t_ = reader.f64();
+  events_admitted_ = reader.u64();
+  const std::size_t clients = reader.count(/*min_element_bytes=*/16);
+  for (std::size_t i = 0; i < clients; ++i) {
+    std::string name = reader.string();
+    const std::uint64_t frontier = reader.u64();
+    next_expected_[std::move(name)] = frontier;
+  }
+  reader.expect_end();
+
+  // Frame 2..n: the fleet checkpoint. Its header overrides the configured
+  // algorithm/shards/capacity — the persisted run is authoritative.
+  const ShardedCheckpoint checkpoint = ShardedCheckpoint::read(in);
+  config_.algorithm = checkpoint.algorithm;
+  config_.shards = checkpoint.options.num_shards;
+  config_.capacity = checkpoint.options.capacity;
+  config_.fit_epsilon = checkpoint.options.fit_epsilon;
+  config_.seed = checkpoint.options.algorithm_seed;
+  fleet_ = ShardedSimulation::restore_unique(
+      checkpoint, registry_factory(checkpoint.algorithm,
+                                   checkpoint.options.algorithm_seed,
+                                   checkpoint.options.fit_epsilon));
+  // Rebuild the admission-side active set from the persisted event logs
+  // (arrival inserts, departure erases — the same replay the shards ran).
+  for (const StreamingCheckpoint& shard : checkpoint.shards) {
+    for (const StreamEvent& event : shard.events) {
+      if (event.kind == StreamEvent::Kind::kArrival) {
+        active_.insert(event.id);
+      } else {
+        active_.erase(event.id);
+      }
+    }
+  }
+}
+
+void DaemonCore::register_connection(std::uint64_t conn) {
+  conns_.emplace(conn, std::string());
+  telemetry_.on_connections(conns_.size());
+}
+
+void DaemonCore::drop_connection(std::uint64_t conn) {
+  conns_.erase(conn);
+  telemetry_.on_connections(conns_.size());
+}
+
+WireResponse DaemonCore::handle_hello(std::uint64_t conn,
+                                      const WireRequest& request) {
+  conns_[conn] = request.client;
+  auto [it, inserted] = next_expected_.try_emplace(request.client, 1);
+  WireResponse response;
+  response.type = ResponseType::kHelloOk;
+  response.algorithm = config_.algorithm;
+  response.num_shards = config_.shards;
+  response.capacity = config_.capacity;
+  response.fit_epsilon = config_.fit_epsilon;
+  response.algorithm_seed = config_.seed;
+  response.resume_from = it->second;
+  response.next_expected = it->second;
+  return response;
+}
+
+bool DaemonCore::admit(const WireRequest& request) {
+  const bool pushed =
+      request.type == RequestType::kArrival
+          ? fleet_->try_push_arrival(request.id, request.size, request.t)
+          : fleet_->try_push_departure(request.id, request.t);
+  if (pushed || config_.admission_wait.count() == 0) return pushed;
+  // Bounded backpressure: a short wait rides out a drain in progress, the
+  // deadline keeps a genuinely overloaded daemon responsive enough to shed.
+  const auto deadline = std::chrono::steady_clock::now() + config_.admission_wait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+    const bool retried =
+        request.type == RequestType::kArrival
+            ? fleet_->try_push_arrival(request.id, request.size, request.t)
+            : fleet_->try_push_departure(request.id, request.t);
+    if (retried) return true;
+  }
+  return false;
+}
+
+void DaemonCore::handle_event(std::uint64_t conn, const WireRequest& request,
+                              std::vector<Outgoing>& out) {
+  const auto conn_it = conns_.find(conn);
+  const std::string client =
+      conn_it == conns_.end() ? std::string() : conn_it->second;
+  WireResponse response;
+  response.seq = request.seq;
+  if (client.empty()) {
+    response.type = ResponseType::kError;
+    response.text = "event before hello: introduce a client identity first";
+    out.push_back({conn, response});
+    return;
+  }
+  std::uint64_t& frontier = next_expected_[client];
+  response.next_expected = frontier;
+
+  if (finished_ || shutdown_requested_) {
+    response.type = ResponseType::kShuttingDown;
+    response.text = "daemon is draining; no further events are admitted";
+    out.push_back({conn, response});
+    return;
+  }
+  if (failed_) {
+    response.type = ResponseType::kError;
+    response.text = failure_;
+    out.push_back({conn, response});
+    return;
+  }
+  if (request.seq < frontier) {
+    // Already admitted and applied (or about to be, in the pending batch) —
+    // the resend is suppressed and re-acked idempotently.
+    telemetry_.on_duplicate_suppressed();
+    response.type = ResponseType::kDuplicate;
+    out.push_back({conn, response});
+    return;
+  }
+  if (request.seq > frontier) {
+    telemetry_.on_out_of_order();
+    response.type = ResponseType::kOutOfOrder;
+    out.push_back({conn, response});
+    return;
+  }
+
+  // Validate before the fleet ever sees the event: an invalid event that
+  // reached a shard worker would poison the whole fleet.
+  std::string invalid;
+  if (request.t < last_t_) {
+    invalid = "event time " + std::to_string(request.t) +
+              " lies before the admitted frontier " + std::to_string(last_t_);
+  } else if (request.type == RequestType::kArrival) {
+    if (!(request.size > 0.0) || request.size > config_.capacity) {
+      invalid = "arrival size must be in (0, capacity]";
+    } else if (active_.count(request.id) != 0) {
+      invalid = "item " + std::to_string(request.id) + " is already active";
+    }
+  } else if (active_.count(request.id) == 0) {
+    invalid = "item " + std::to_string(request.id) + " is not active";
+  }
+  if (!invalid.empty()) {
+    response.type = ResponseType::kInvalid;
+    response.text = invalid;
+    out.push_back({conn, response});
+    return;
+  }
+
+  if (!admit(request)) {
+    // Shed with an explicit, typed nack — never a silent drop. The frontier
+    // does not advance, so any pipelined successors of this sequence get
+    // OutOfOrder nacks: shedding always cuts a suffix, which preserves the
+    // per-shard non-decreasing time order the fleet's determinism needs.
+    telemetry_.on_request_shed();
+    response.type = ResponseType::kOverloaded;
+    response.retry_after_ms = config_.retry_after_ms;
+    out.push_back({conn, response});
+    return;
+  }
+
+  telemetry_.on_request_admitted();
+  frontier = request.seq + 1;
+  last_t_ = request.t;
+  ++events_admitted_;
+  ++events_since_checkpoint_;
+  if (request.type == RequestType::kArrival) {
+    active_.insert(request.id);
+  } else {
+    active_.erase(request.id);
+  }
+  pending_.push_back({conn, client, request.seq, request.id,
+                      request.type == RequestType::kDeparture});
+}
+
+WireResponse DaemonCore::handle_finish() {
+  WireResponse response;
+  if (finished_) {
+    response.type = ResponseType::kError;
+    response.text = "fleet already finished";
+    return response;
+  }
+  if (!active_.empty()) {
+    response.type = ResponseType::kInvalid;
+    response.text = "finish with " + std::to_string(active_.size()) +
+                    " items still active";
+    return response;
+  }
+  finished_ = true;
+  try {
+    response.type = ResponseType::kResult;
+    response.digest = digest_of(fleet_->finish());
+  } catch (const std::exception& error) {
+    failed_ = true;
+    failure_ = error.what();
+    response.type = ResponseType::kError;
+    response.text = failure_;
+  }
+  return response;
+}
+
+WireResponse DaemonCore::handle_stats() const {
+  WireResponse response;
+  response.type = ResponseType::kStats;
+  response.events_applied = events_admitted_;
+  response.open_bins = finished_ ? 0 : fleet_->open_bin_count();
+  response.clients = next_expected_.size();
+  return response;
+}
+
+std::vector<Outgoing> DaemonCore::handle(std::uint64_t conn,
+                                         const WireRequest& request) {
+  std::vector<Outgoing> out;
+  switch (request.type) {
+    case RequestType::kHello:
+      out.push_back({conn, handle_hello(conn, request)});
+      return out;
+    case RequestType::kArrival:
+    case RequestType::kDeparture: {
+      if (shim_ != nullptr) {
+        for (const TaggedRequest& delivered : shim_->ingest(conn, request)) {
+          handle_event(delivered.tag, delivered.request, out);
+        }
+      } else {
+        handle_event(conn, request, out);
+      }
+      return out;
+    }
+    case RequestType::kFinish: {
+      // Settle every pending ack first: finish() spends the fleet, and the
+      // acks need its live engines for placement lookups.
+      std::vector<Outgoing> settled = flush();
+      settled.push_back({conn, handle_finish()});
+      return settled;
+    }
+    case RequestType::kMetrics: {
+      std::vector<Outgoing> settled = flush();
+      WireResponse response;
+      response.type = ResponseType::kMetrics;
+      response.text = metrics_text();
+      settled.push_back({conn, response});
+      return settled;
+    }
+    case RequestType::kStats:
+      out.push_back({conn, handle_stats()});
+      return out;
+    case RequestType::kShutdown: {
+      std::vector<Outgoing> settled = flush();
+      shutdown_requested_ = true;
+      WireResponse response;
+      response.type = ResponseType::kShuttingDown;
+      response.text = "draining; a final checkpoint will be written";
+      settled.push_back({conn, response});
+      return settled;
+    }
+  }
+  WireResponse response;
+  response.type = ResponseType::kError;
+  response.text = "unhandled request type";
+  out.push_back({conn, response});
+  return out;
+}
+
+std::vector<Outgoing> DaemonCore::flush() {
+  std::vector<Outgoing> out;
+  if (shim_ != nullptr && !finished_ && !failed_) {
+    // A held (reordered) event must be delayed, never lost: release
+    // everything before the group commit, tagged with its original conn so
+    // the ack (or nack) still reaches the right client.
+    for (const TaggedRequest& delivered : shim_->flush()) {
+      handle_event(delivered.tag, delivered.request, out);
+    }
+  }
+  if (pending_.empty()) {
+    maybe_checkpoint();
+    return out;
+  }
+  try {
+    if (!finished_) fleet_->drain();
+  } catch (const std::exception& error) {
+    failed_ = true;
+    failure_ = error.what();
+  }
+  for (const PendingAck& pending : pending_) {
+    WireResponse response;
+    if (failed_) {
+      response.type = ResponseType::kError;
+      response.text = failure_;
+    } else {
+      response.type = ResponseType::kAck;
+      response.shard = shard_of(pending.id, config_.shards);
+      if (!pending.departure) {
+        // Departed within the same group commit → the sentinel: the event
+        // was applied, the item just is not resident any more.
+        const std::optional<BinIndex> bin = fleet_->active_bin_of(pending.id);
+        response.bin = bin.has_value() ? static_cast<std::uint64_t>(*bin) : kNoBin;
+      }
+    }
+    response.seq = pending.seq;
+    response.next_expected = next_expected_[pending.client];
+    out.push_back({pending.conn, response});
+  }
+  pending_.clear();
+  maybe_checkpoint();
+  return out;
+}
+
+void DaemonCore::maybe_checkpoint() {
+  if (config_.checkpoint_path.empty() || finished_ || failed_) return;
+  const bool by_events = config_.checkpoint_every_events > 0 &&
+                         events_since_checkpoint_ >= config_.checkpoint_every_events;
+  const bool by_time =
+      config_.checkpoint_every.count() > 0 && events_since_checkpoint_ > 0 &&
+      std::chrono::steady_clock::now() - last_checkpoint_ >= config_.checkpoint_every;
+  if (by_events || by_time) checkpoint();
+}
+
+void DaemonCore::checkpoint() {
+  if (config_.checkpoint_path.empty() || finished_ || failed_) return;
+  const auto start = std::chrono::steady_clock::now();
+  const std::string tmp = config_.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SimulationError("daemon: cannot write checkpoint " + tmp);
+    }
+    BinaryWriter payload;
+    payload.f64(last_t_);
+    payload.u64(events_admitted_);
+    payload.u64(next_expected_.size());
+    for (const auto& [client, frontier] : next_expected_) {
+      payload.string(client);
+      payload.u64(frontier);
+    }
+    write_checkpoint_frame(out, CheckpointKind::kDaemonState, payload);
+    fleet_->snapshot(out);  // drains; we are at a group-commit boundary
+    out.flush();
+    if (!out) {
+      throw SimulationError("daemon: checkpoint write failed: " + tmp);
+    }
+  }
+  // Atomic publish: a crash mid-write leaves the previous checkpoint (or
+  // none) in place, never a torn frame.
+  if (std::rename(tmp.c_str(), config_.checkpoint_path.c_str()) != 0) {
+    throw SimulationError(errno_message("daemon: checkpoint rename"));
+  }
+  events_since_checkpoint_ = 0;
+  last_checkpoint_ = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(last_checkpoint_ - start).count();
+  telemetry_.on_checkpoint_written(seconds);
+}
+
+std::string DaemonCore::metrics_text() {
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  snapshots.push_back(telemetry_.metrics().snapshot());
+  if (!finished_) {
+    fleet_->drain();
+    snapshots.push_back(fleet_->merged_metrics());
+  }
+  std::ostringstream out;
+  telemetry::write_prometheus(out, telemetry::merge_snapshots(snapshots));
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// DaemonServer
+
+struct DaemonServer::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  FrameAssembler assembler{CheckpointKind::kWireRequest};
+  std::vector<std::uint8_t> outbuf;
+  std::size_t outoff = 0;
+  bool close_after_flush = false;
+};
+
+DaemonServer::DaemonServer(DaemonCore& core, ServerOptions options)
+    : core_(core), options_(std::move(options)) {}
+
+DaemonServer::~DaemonServer() {
+  for (auto& [id, connection] : connections_) {
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (!options_.unix_socket.empty() && bound_) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+}
+
+void DaemonServer::bind() {
+  if (bound_) return;
+  if (options_.unix_socket.empty() && !options_.tcp) {
+    throw ValidationError("daemon: no listener configured (need a Unix socket "
+                          "path and/or TCP)");
+  }
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      throw ValidationError("daemon: Unix socket path too long: " +
+                            options_.unix_socket);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) throw SimulationError(errno_message("daemon: socket(unix)"));
+    ::unlink(options_.unix_socket.c_str());  // stale socket from a kill -9
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(unix_fd_, 64) < 0) {
+      throw SimulationError(errno_message("daemon: bind/listen(unix)"));
+    }
+    set_nonblocking(unix_fd_);
+  }
+  if (options_.tcp) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) throw SimulationError(errno_message("daemon: socket(tcp)"));
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(tcp_fd_, 64) < 0) {
+      throw SimulationError(errno_message("daemon: bind/listen(tcp)"));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      bound_port_ = ntohs(addr.sin_port);
+    }
+    set_nonblocking(tcp_fd_);
+  }
+  bound_ = true;
+  if (options_.announce) {
+    std::printf("mutdbpd: listening (unix=%s tcp=%u)\n",
+                options_.unix_socket.empty() ? "-" : options_.unix_socket.c_str(),
+                static_cast<unsigned>(bound_port_));
+    std::fflush(stdout);
+  }
+}
+
+void DaemonServer::accept_ready(int listener_fd) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EWOULDBLOCK: drained the backlog
+    set_nonblocking(fd);
+    auto connection = std::make_unique<Connection>();
+    connection->id = next_conn_id_++;
+    connection->fd = fd;
+    core_.register_connection(connection->id);
+    connections_.emplace(connection->id, std::move(connection));
+  }
+}
+
+void DaemonServer::queue(Connection& connection, const WireResponse& response) {
+  const std::vector<std::uint8_t> frame = encode_response(response);
+  connection.outbuf.insert(connection.outbuf.end(), frame.begin(), frame.end());
+}
+
+void DaemonServer::route(const std::vector<Outgoing>& outgoings) {
+  for (const Outgoing& outgoing : outgoings) {
+    const auto it = connections_.find(outgoing.conn);
+    if (it != connections_.end()) queue(*it->second, outgoing.response);
+    // A vanished connection simply loses its response; the client's resend
+    // machinery (idempotent seqs) recovers on reconnect.
+  }
+}
+
+bool DaemonServer::read_ready(Connection& connection) {
+  std::uint8_t buffer[65536];
+  while (true) {
+    const ssize_t got = ::recv(connection.fd, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      connection.assembler.feed(buffer, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // Decode every complete frame. A malformed frame gets one typed nack and
+  // closes the connection — framing on a byte stream cannot be recovered.
+  while (true) {
+    std::optional<std::vector<std::uint8_t>> payload;
+    try {
+      payload = connection.assembler.next();
+    } catch (const std::exception& error) {
+      core_.telemetry().on_malformed_frame();
+      WireResponse nack;
+      nack.type = ResponseType::kMalformed;
+      nack.text = error.what();
+      queue(connection, nack);
+      connection.close_after_flush = true;
+      return true;
+    }
+    if (!payload.has_value()) break;
+    WireRequest request;
+    try {
+      request = decode_request(*payload);
+    } catch (const std::exception& error) {
+      core_.telemetry().on_malformed_frame();
+      WireResponse nack;
+      nack.type = ResponseType::kMalformed;
+      nack.text = error.what();
+      queue(connection, nack);
+      connection.close_after_flush = true;
+      return true;
+    }
+    route(core_.handle(connection.id, request));
+  }
+  return true;
+}
+
+bool DaemonServer::write_ready(Connection& connection) {
+  while (connection.outoff < connection.outbuf.size()) {
+    const ssize_t sent =
+        ::send(connection.fd, connection.outbuf.data() + connection.outoff,
+               connection.outbuf.size() - connection.outoff, MSG_NOSIGNAL);
+    if (sent > 0) {
+      connection.outoff += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (sent < 0 && errno == EINTR) continue;
+    return false;  // EPIPE/ECONNRESET: peer is gone
+  }
+  connection.outbuf.clear();
+  connection.outoff = 0;
+  return !connection.close_after_flush;
+}
+
+void DaemonServer::close_connection(std::uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::close(it->second->fd);
+  connections_.erase(it);
+  core_.drop_connection(conn_id);
+}
+
+void DaemonServer::graceful_drain() {
+  // Settle the last group commit, push the final acks out best-effort, then
+  // persist. SIGTERM exits 0 with a checkpoint equal to everything acked.
+  route(core_.flush());
+  for (auto& [id, connection] : connections_) {
+    (void)write_ready(*connection);
+  }
+  core_.checkpoint();
+}
+
+void DaemonServer::stop() noexcept { stop_requested_.store(true); }
+
+int DaemonServer::run() {
+  bind();
+  g_signal_stop = 0;
+  struct sigaction action{};
+  action.sa_handler = daemon_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_term{};
+  struct sigaction old_int{};
+  sigaction(SIGTERM, &action, &old_term);
+  sigaction(SIGINT, &action, &old_int);
+
+  int exit_code = 0;
+  while (true) {
+    if (g_signal_stop != 0 || stop_requested_.load() ||
+        core_.shutdown_requested()) {
+      break;
+    }
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 2);
+    if (unix_fd_ >= 0) fds.push_back({unix_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    const std::size_t listeners = fds.size();
+    std::vector<std::uint64_t> order;
+    order.reserve(connections_.size());
+    for (auto& [id, connection] : connections_) {
+      short events = POLLIN;
+      if (connection->outoff < connection->outbuf.size()) events |= POLLOUT;
+      fds.push_back({connection->fd, events, 0});
+      order.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), options_.poll_interval_ms);
+    if (ready < 0 && errno != EINTR) {
+      std::fprintf(stderr, "mutdbpd: poll failed: %s\n", std::strerror(errno));
+      exit_code = 1;
+      break;
+    }
+
+    std::size_t index = 0;
+    if (unix_fd_ >= 0) {
+      if ((fds[index].revents & POLLIN) != 0) accept_ready(unix_fd_);
+      ++index;
+    }
+    if (tcp_fd_ >= 0) {
+      if ((fds[index].revents & POLLIN) != 0) accept_ready(tcp_fd_);
+      ++index;
+    }
+    std::vector<std::uint64_t> dead;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const pollfd& pfd = fds[listeners + i];
+      const auto it = connections_.find(order[i]);
+      if (it == connections_.end()) continue;
+      Connection& connection = *it->second;
+      bool alive = true;
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = read_ready(connection);
+      }
+      if (alive) alive = write_ready(connection);
+      if (!alive) dead.push_back(order[i]);
+    }
+
+    // The group commit: everything admitted during this sweep drains and
+    // acks in one batch (and the checkpoint cadence is evaluated).
+    route(core_.flush());
+    for (auto& [id, connection] : connections_) {
+      bool alive = write_ready(*connection);
+      if (!alive &&
+          std::find(dead.begin(), dead.end(), id) == dead.end()) {
+        dead.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : dead) close_connection(id);
+  }
+
+  if (exit_code == 0) graceful_drain();
+  sigaction(SIGTERM, &old_term, nullptr);
+  sigaction(SIGINT, &old_int, nullptr);
+  return exit_code;
+}
+
+}  // namespace mutdbp::daemon

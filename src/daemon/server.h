@@ -1,0 +1,216 @@
+// mutdbpd: the crash-safe allocator daemon.
+//
+// Two layers, split so the whole protocol state machine is testable without
+// a socket:
+//
+//  * DaemonCore — owns the ShardedSimulation fleet, the per-client ack
+//    frontiers (exactly-once admission), the pending group-commit acks, the
+//    fault-injection shim, and checkpointing. handle() consumes one decoded
+//    request and returns the responses to send; flush() performs the group
+//    commit (drain the fleet, resolve every pending ack's placement, write
+//    a checkpoint when the cadence says so). Pure in-memory: the in-process
+//    protocol tests drive it directly (tests/daemon_test.cpp).
+//  * DaemonServer — the poll(2) loop: Unix socket + TCP listeners,
+//    per-connection FrameAssembler and outbound buffer, SIGTERM/SIGINT
+//    graceful drain (flush, checkpoint, exit 0).
+//
+// Crash safety contract (docs/daemon.md): the daemon checkpoints only at
+// group-commit boundaries, where the fleet is drained and every admitted
+// event has been acked — so the persisted client frontiers equal exactly
+// what clients saw acked. After a kill -9, a restart with --restore plus
+// clients replaying from their acked frontier reconverges to a final
+// packing bit-identical to an uninterrupted run (the deterministic-replay
+// guarantee of core/streaming.h carried end to end over the wire).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sharded.h"
+#include "daemon/protocol.h"
+#include "telemetry/telemetry.h"
+
+namespace mutdbp::daemon {
+
+struct DaemonConfig {
+  std::string algorithm = "FirstFit";
+  std::size_t shards = 1;
+  double capacity = 1.0;
+  double fit_epsilon = kDefaultFitEpsilon;
+  std::uint64_t seed = 1;
+  /// Slots per shard ingest ring (power of two). Small rings + a fast
+  /// client = the overload path; see docs/daemon.md "Overload behavior".
+  std::size_t ring_capacity = 1 << 12;
+  /// Bounded admission wait before an event is shed with kOverloaded. Zero
+  /// means a single non-blocking try_push.
+  std::chrono::microseconds admission_wait{500};
+  /// What a kOverloaded nack tells the client to wait before resending.
+  std::uint64_t retry_after_ms = 10;
+  /// Checkpoint file ("" disables checkpointing entirely).
+  std::string checkpoint_path;
+  /// Restore from checkpoint_path at startup. A missing file is tolerated
+  /// (first boot); a corrupt file is an error.
+  bool restore = false;
+  /// Checkpoint cadence: after this many admitted events (0 = off) ...
+  std::uint64_t checkpoint_every_events = 0;
+  /// ... or after this much wall-clock time (0 = off).
+  std::chrono::milliseconds checkpoint_every{0};
+  FaultShimOptions shim;
+};
+
+/// A response addressed to one connection (DaemonServer routes it).
+struct Outgoing {
+  std::uint64_t conn = 0;
+  WireResponse response;
+};
+
+class DaemonCore {
+ public:
+  /// Builds a fresh fleet, or restores one from config.checkpoint_path when
+  /// config.restore is set and the file exists (the restored checkpoint's
+  /// algorithm/shard/option header overrides the config's).
+  explicit DaemonCore(DaemonConfig config);
+
+  DaemonCore(const DaemonCore&) = delete;
+  DaemonCore& operator=(const DaemonCore&) = delete;
+
+  void register_connection(std::uint64_t conn);
+  void drop_connection(std::uint64_t conn);
+
+  /// Consumes one decoded request. Immediate responses (nacks, hello,
+  /// metrics, ...) are returned; admitted events join the pending group
+  /// commit and are acked by the next flush().
+  [[nodiscard]] std::vector<Outgoing> handle(std::uint64_t conn,
+                                             const WireRequest& request);
+
+  /// The group commit: releases the shim's held events, drains the fleet,
+  /// resolves every pending ack's placement, and writes a checkpoint when
+  /// the event/time cadence has been reached. Call after each poll sweep.
+  [[nodiscard]] std::vector<Outgoing> flush();
+
+  /// Writes a checkpoint now (atomic tmp + rename). The fleet must be at a
+  /// group-commit boundary — call right after flush(). No-op without a
+  /// checkpoint path or after finish.
+  void checkpoint();
+
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_requested_;
+  }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::uint64_t events_admitted() const noexcept {
+    return events_admitted_;
+  }
+  [[nodiscard]] const DaemonConfig& config() const noexcept { return config_; }
+  [[nodiscard]] telemetry::Telemetry& telemetry() noexcept { return telemetry_; }
+  /// Merged Prometheus text: daemon counters + every shard's engine metrics.
+  [[nodiscard]] std::string metrics_text();
+
+ private:
+  struct PendingAck {
+    std::uint64_t conn = 0;
+    std::string client;
+    std::uint64_t seq = 0;
+    ItemId id = 0;
+    bool departure = false;
+  };
+
+  [[nodiscard]] WireResponse handle_hello(std::uint64_t conn,
+                                          const WireRequest& request);
+  void handle_event(std::uint64_t conn, const WireRequest& request,
+                    std::vector<Outgoing>& out);
+  [[nodiscard]] WireResponse handle_finish();
+  [[nodiscard]] WireResponse handle_stats() const;
+  [[nodiscard]] bool admit(const WireRequest& request);
+  void restore_from(std::istream& in);
+  void build_fresh_fleet();
+  void maybe_checkpoint();
+
+  DaemonConfig config_;
+  telemetry::Telemetry telemetry_;  ///< daemon-level counters (docs/daemon.md)
+  std::unique_ptr<ShardedSimulation> fleet_;
+  std::unique_ptr<FaultShim> shim_;  ///< null unless config.shim.enabled()
+  /// conn -> client identity (bound by Hello; "" until then).
+  std::unordered_map<std::uint64_t, std::string> conns_;
+  /// Per-client ack frontier: the next sequence number this client may
+  /// send. std::map so checkpoints serialize clients in a canonical order.
+  std::map<std::string, std::uint64_t> next_expected_;
+  std::unordered_set<ItemId> active_;  ///< admitted, not yet departed
+  std::vector<PendingAck> pending_;
+  Time last_t_ = -std::numeric_limits<double>::infinity();
+  std::uint64_t events_admitted_ = 0;
+  std::uint64_t events_since_checkpoint_ = 0;
+  std::chrono::steady_clock::time_point last_checkpoint_ =
+      std::chrono::steady_clock::now();
+  bool finished_ = false;
+  bool shutdown_requested_ = false;
+  bool failed_ = false;
+  std::string failure_;  ///< first fleet failure, echoed in kError nacks
+};
+
+struct ServerOptions {
+  std::string unix_socket;            ///< path; "" disables the Unix listener
+  std::uint16_t tcp_port = 0;         ///< 0 disables TCP; see tcp_port() for
+                                      ///< the ephemeral-port case
+  bool tcp = false;                   ///< enable TCP (port 0 = ephemeral)
+  int poll_interval_ms = 20;          ///< poll timeout between group commits
+  bool announce = true;               ///< print the "listening" line (CI waits
+                                      ///< for it before starting clients)
+};
+
+class DaemonServer {
+ public:
+  DaemonServer(DaemonCore& core, ServerOptions options);
+  ~DaemonServer();
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  /// Binds the listeners (throws SimulationError on failure). Separate from
+  /// run() so in-process tests learn the ephemeral TCP port before the loop
+  /// starts.
+  void bind();
+
+  /// The poll loop. Returns the process exit code: 0 after a graceful drain
+  /// (SIGTERM/SIGINT/protocol shutdown/stop()), 1 after an internal failure.
+  int run();
+
+  /// Thread-safe stop request for in-process tests (the loop exits through
+  /// the same graceful drain as SIGTERM).
+  void stop() noexcept;
+
+  /// Actual TCP port after bind() (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept { return bound_port_; }
+
+ private:
+  struct Connection;
+
+  void accept_ready(int listener_fd);
+  /// False when the connection died and must be dropped.
+  [[nodiscard]] bool read_ready(Connection& connection);
+  [[nodiscard]] bool write_ready(Connection& connection);
+  void queue(Connection& connection, const WireResponse& response);
+  void route(const std::vector<Outgoing>& outgoings);
+  void close_connection(std::uint64_t conn_id);
+  void graceful_drain();
+
+  DaemonCore& core_;
+  ServerOptions options_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> stop_requested_{false};
+  bool bound_ = false;
+};
+
+}  // namespace mutdbp::daemon

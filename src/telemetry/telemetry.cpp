@@ -79,6 +79,29 @@ Telemetry::Telemetry(TelemetryOptions options)
       "mutdbp_jobs_replaced_total", "evicted jobs successfully re-placed");
   handles_.jobs_dropped = metrics_.counter("mutdbp_jobs_dropped_total",
                                            "evicted jobs never re-placed");
+  handles_.daemon_admitted = metrics_.counter(
+      "mutdbp_daemon_admitted_total", "daemon requests admitted to the fleet");
+  handles_.daemon_shed = metrics_.counter(
+      "mutdbp_daemon_shed_total",
+      "daemon requests shed under overload (answered with a typed nack)");
+  handles_.daemon_duplicates = metrics_.counter(
+      "mutdbp_daemon_duplicate_suppressed_total",
+      "client resends suppressed by the idempotency frontier");
+  handles_.daemon_out_of_order = metrics_.counter(
+      "mutdbp_daemon_out_of_order_total",
+      "daemon requests rejected for arriving ahead of the acked frontier");
+  handles_.daemon_malformed = metrics_.counter(
+      "mutdbp_daemon_malformed_frames_total",
+      "wire frames rejected by validation (bad magic/version/size/checksum)");
+  handles_.daemon_checkpoints = metrics_.counter(
+      "mutdbp_daemon_checkpoints_total", "daemon checkpoints written");
+  handles_.daemon_connections = metrics_.gauge(
+      "mutdbp_daemon_connections", "currently connected daemon clients");
+  handles_.daemon_checkpoint_seconds = metrics_.gauge(
+      "mutdbp_daemon_checkpoint_seconds", "latency of the last daemon checkpoint");
+  handles_.daemon_checkpoint_latency = metrics_.histogram(
+      "mutdbp_daemon_checkpoint_latency", exponential_buckets(0.0001, 2.0, 16),
+      "daemon checkpoint write latencies in seconds");
   handles_.trace_dropped = metrics_.counter(
       "mutdbp_trace_dropped_total",
       "trace records overwritten by ring overflow (oldest-first)");
@@ -210,6 +233,28 @@ void Telemetry::on_job_dropped(std::uint64_t job, double t) {
   if (options_.trace) {
     trace({t, job, 0, 0.0, 0.0, TraceKind::kDrop});
   }
+}
+
+void Telemetry::on_request_admitted() { metrics_.add(handles_.daemon_admitted); }
+
+void Telemetry::on_request_shed() { metrics_.add(handles_.daemon_shed); }
+
+void Telemetry::on_duplicate_suppressed() {
+  metrics_.add(handles_.daemon_duplicates);
+}
+
+void Telemetry::on_out_of_order() { metrics_.add(handles_.daemon_out_of_order); }
+
+void Telemetry::on_malformed_frame() { metrics_.add(handles_.daemon_malformed); }
+
+void Telemetry::on_checkpoint_written(double seconds) {
+  metrics_.add(handles_.daemon_checkpoints);
+  metrics_.set(handles_.daemon_checkpoint_seconds, seconds);
+  metrics_.observe(handles_.daemon_checkpoint_latency, seconds);
+}
+
+void Telemetry::on_connections(std::size_t count) {
+  metrics_.set(handles_.daemon_connections, static_cast<double>(count));
 }
 
 }  // namespace mutdbp::telemetry

@@ -93,6 +93,23 @@ class Telemetry {
   void on_job_replaced(std::uint64_t job, std::uint64_t server, double t);
   void on_job_dropped(std::uint64_t job, double t);
 
+  // ---- daemon hooks (daemon/server.h, docs/daemon.md) ---------------
+  void on_request_admitted();
+  /// Overload shed: the fleet's ingest ring stayed full past the admission
+  /// timeout and the daemon answered Overloaded (never a silent drop).
+  void on_request_shed();
+  /// A client resent an already-admitted sequence number; the daemon
+  /// suppressed the duplicate and re-acked idempotently.
+  void on_duplicate_suppressed();
+  /// A request arrived ahead of the client's acked frontier (a gap).
+  void on_out_of_order();
+  /// A frame failed validation (bad magic/version/kind/size/checksum).
+  void on_malformed_frame();
+  void on_checkpoint_written(double seconds);
+  /// Current connected-client count (gauges are set-only; the single-threaded
+  /// poll loop owns the authoritative count).
+  void on_connections(std::size_t count);
+
   /// Pre-registered handles of the standard catalog, exposed so callers can
   /// read or extend them without string lookups.
   struct Handles {
@@ -114,6 +131,16 @@ class Telemetry {
     CounterHandle retries_scheduled;
     CounterHandle jobs_replaced;
     CounterHandle jobs_dropped;
+    // daemon (mutdbpd)
+    CounterHandle daemon_admitted;     ///< mutdbp_daemon_admitted_total
+    CounterHandle daemon_shed;         ///< mutdbp_daemon_shed_total
+    CounterHandle daemon_duplicates;   ///< mutdbp_daemon_duplicate_suppressed_total
+    CounterHandle daemon_out_of_order; ///< mutdbp_daemon_out_of_order_total
+    CounterHandle daemon_malformed;    ///< mutdbp_daemon_malformed_frames_total
+    CounterHandle daemon_checkpoints;  ///< mutdbp_daemon_checkpoints_total
+    GaugeHandle daemon_connections;    ///< mutdbp_daemon_connections
+    GaugeHandle daemon_checkpoint_seconds;  ///< last checkpoint write latency
+    HistogramHandle daemon_checkpoint_latency;  ///< checkpoint write latencies
     // telemetry self-observation
     CounterHandle trace_dropped;  ///< mutdbp_trace_dropped_total
     // ratio monitor gauges

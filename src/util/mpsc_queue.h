@@ -121,6 +121,25 @@ class MpscQueue {
     }
   }
 
+  /// Bounded-wait push: like push(), but gives up once `timeout` has
+  /// elapsed and returns false (the value is not enqueued). True on
+  /// success. The admission-control building block: a producer that must
+  /// not block forever behind a slow consumer sheds explicitly instead.
+  /// Throws ValidationError if the queue was closed while waiting.
+  bool push_for(std::size_t producer, const T& value,
+                std::chrono::microseconds timeout) {
+    if (try_push(producer, value)) return true;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!try_push(producer, value)) {
+      if (closed_.load(std::memory_order_acquire)) {
+        throw ValidationError("MpscQueue: push_for() after close()");
+      }
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
   /// Consumer side: drains every ring in slot order; returns the total
   /// number of elements consumed.
   template <class F>

@@ -68,6 +68,53 @@ TEST(MpscQueue, PushAfterCloseOnFullRingThrows) {
   EXPECT_THROW(queue.push(0, 3), ValidationError);
 }
 
+TEST(MpscQueue, PushForTimesOutOnAFullRingWithoutEnqueueing) {
+  MpscQueue<int> queue(1, 2);
+  ASSERT_TRUE(queue.try_push(0, 1));
+  ASSERT_TRUE(queue.try_push(0, 2));
+  // No consumer drains: the bounded wait must expire and report the shed.
+  EXPECT_FALSE(queue.push_for(0, 3, std::chrono::microseconds(200)));
+
+  // The rejected value was NOT stored: draining yields exactly the two
+  // admitted elements, and the freed ring accepts a retry immediately.
+  std::vector<int> seen;
+  queue.drain([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.push_for(0, 3, std::chrono::microseconds(0)));
+}
+
+TEST(MpscQueue, PushForSucceedsOnceAConsumerFreesSpace) {
+  MpscQueue<int> queue(1, 2);
+  ASSERT_TRUE(queue.try_push(0, 1));
+  ASSERT_TRUE(queue.try_push(0, 2));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.drain([](int) {});
+  });
+  // Generous bound: the drain above lands well inside it, so the waiting
+  // push admits instead of shedding.
+  EXPECT_TRUE(queue.push_for(0, 3, std::chrono::seconds(5)));
+  consumer.join();
+  std::vector<int> seen;
+  queue.drain([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{3}));
+}
+
+TEST(MpscQueue, PushForThrowsWhenClosedWhileWaiting) {
+  MpscQueue<int> queue(1, 2);
+  ASSERT_TRUE(queue.try_push(0, 1));
+  ASSERT_TRUE(queue.try_push(0, 2));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.close();
+  });
+  // The ring never frees and the queue closes mid-wait: the push must
+  // surface the shutdown as an error, not keep spinning or return false.
+  EXPECT_THROW((void)queue.push_for(0, 3, std::chrono::seconds(60)),
+               ValidationError);
+  closer.join();
+}
+
 TEST(MpscQueue, CloseWakesAWaitingConsumer) {
   MpscQueue<int> queue(1, 8);
   std::atomic<bool> woke{false};

@@ -407,6 +407,50 @@ TEST(Sharded, ShardFailurePropagatesToTheCaller) {
   EXPECT_THROW(fleet.finish(), Error);
 }
 
+TEST(Sharded, FailedShardKeepsDrainingSoBackpressureNeverDeadlocks) {
+  // A deliberately tiny ring behind a poisoned shard: after the failure the
+  // worker must keep draining (and discarding), so producers riding the
+  // blocking backpressure path always make progress — a dead worker plus a
+  // full ring would hang this test forever. The error then surfaces on the
+  // ingest thread at the next drain(), and stays sticky.
+  ShardedOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = 8;
+  ShardedSimulation fleet(registry_factory("FirstFit"), options);
+  // Poison: departure of an item that never arrived (the engine throws).
+  fleet.push_departure(42, 0.0);
+  // Many times the ring capacity of further events, all blocking pushes.
+  for (ItemId id = 0; id < 64; ++id) {
+    fleet.push_arrival(1000 + id, 0.25, 1.0 + static_cast<double>(id));
+  }
+  EXPECT_THROW(fleet.drain(), Error);
+  EXPECT_THROW(fleet.drain(), Error);  // the failure is sticky
+}
+
+TEST(Sharded, TryPushShedsOnAFullRingWithoutEnqueueing) {
+  // The daemon's admission-control primitive: a full ring reports false and
+  // the event is NOT stored — after the shard drains, everything admitted
+  // (and only that) has been applied.
+  ShardedOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = 4;
+  ShardedSimulation fleet(registry_factory("FirstFit"), options);
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  for (ItemId id = 0; id < 4096; ++id) {
+    const double t = static_cast<double>(id);
+    if (fleet.try_push_arrival(id, 0.01, t)) {
+      ++admitted;
+    } else {
+      ++shed;
+    }
+  }
+  fleet.drain();
+  EXPECT_EQ(fleet.events_applied(), admitted);
+  EXPECT_EQ(admitted + shed, 4096u);
+  EXPECT_GT(admitted, 0u);
+}
+
 TEST(Sharded, RoutingIsDeterministicAndCoversAllShards) {
   EXPECT_EQ(shard_of(12345, 1), 0u);
   for (const std::size_t n : kShardCounts) {
