@@ -2,7 +2,9 @@
 // arrivals): how do the algorithms fare in the high-µ regime the theory
 // targets, and how does capping VM lifetimes (reducing µ) change the cost?
 // Production cloud traces are not available offline; DESIGN.md documents
-// this synthetic substitute.
+// this synthetic substitute. --trace replays a recorded trace (CSV or
+// MUTDBPT1 binary, --format to force; docs/traces.md) through the same
+// lifetime-cap sweep instead of generating the synthetic cluster.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -11,6 +13,8 @@
 #include "bench_common.h"
 #include "core/simulation.h"
 #include "opt/lower_bounds.h"
+#include "trace/format.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "workload/cluster.h"
 
@@ -25,13 +29,23 @@ ItemList cap_lifetimes(const ItemList& vms, double max_lifetime) {
     const double lifetime = std::min(vm.duration(), max_lifetime);
     capped.push_back(make_item(vm.id, vm.size, vm.arrival(), vm.arrival() + lifetime));
   }
-  return ItemList(std::move(capped));
+  return ItemList(std::move(capped), vms.capacity());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mutdbp::bench::CsvExporter csv_export(argc, argv);
+  Flags flags(argc, argv);
+  const mutdbp::bench::CsvExporter csv_export(flags);
+  const std::string trace_path = flags.get_string(
+      "trace", "",
+      "replay this trace (CSV or MUTDBPT1 binary) instead of the synthetic "
+      "cluster workload");
+  const std::string format_name = flags.get_string(
+      "format", "auto", "trace format: auto | csv | binary (auto: sniff the file)");
+  if (flags.finish("E16 cluster-trace bench; prints tables, see DESIGN.md SS7")) {
+    return 0;
+  }
   bench::print_header(
       "E16: synthetic VM-cluster trace",
       "the paper's cloud-server setting at realistic scale (heavy-tailed "
@@ -40,8 +54,15 @@ int main(int argc, char** argv) {
       "(smaller mu) barely moves the random-trace ratio — the mu dependence "
       "is a worst-case, not an average-case, phenomenon");
 
-  workload::ClusterWorkloadSpec spec;
-  const ItemList full = workload::generate_cluster(spec);
+  ItemList full;
+  if (trace_path.empty()) {
+    workload::ClusterWorkloadSpec spec;
+    full = workload::generate_cluster(spec);
+  } else {
+    full = trace::read_trace_any(trace_path,
+                                 trace::parse_trace_format(format_name));
+    std::printf("replaying %s instead of the synthetic cluster\n", trace_path.c_str());
+  }
   std::printf("VMs: %zu over %.0f hours\n\n", full.size(), full.span());
 
   Table table({"lifetime_cap_h", "mu", "algorithm", "servers", "usage_h", "ratio_ub",

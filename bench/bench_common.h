@@ -109,14 +109,16 @@ class CsvExporter {
  public:
   CsvExporter(int argc, const char* const* argv) {
     Flags flags(argc, argv);
-    dir_ = flags.get_string("csv_dir", "",
-                            "directory to also write result tables as CSV");
-    telemetry_ = std::make_unique<TelemetrySink>(flags);
+    init(flags);
     if (flags.finish("Experiment bench; prints tables, see DESIGN.md SS7")) {
       std::exit(0);
     }
-    if (enabled()) std::filesystem::create_directories(dir_);
   }
+
+  /// Registers into a caller-owned parser instead of finishing one — for
+  /// benches that add their own flags (e.g. --trace/--format) alongside the
+  /// shared CSV/telemetry ones. The caller calls flags.finish().
+  explicit CsvExporter(Flags& flags) { init(flags); }
 
   [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
 
@@ -130,6 +132,13 @@ class CsvExporter {
   }
 
  private:
+  void init(Flags& flags) {
+    dir_ = flags.get_string("csv_dir", "",
+                            "directory to also write result tables as CSV");
+    telemetry_ = std::make_unique<TelemetrySink>(flags);
+    if (enabled()) std::filesystem::create_directories(dir_);
+  }
+
   std::string dir_;
   std::unique_ptr<TelemetrySink> telemetry_;  ///< writes exports at exit
 };

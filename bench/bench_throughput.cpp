@@ -1,12 +1,19 @@
 // E8 — systems microbenchmark (google-benchmark): packing throughput of the
-// simulation engine per algorithm and instance size, in items/second.
+// simulation engine per algorithm and instance size, in items/second; plus
+// trace-ingest throughput of the CSV text reader vs the MUTDBPT1 binary
+// columnar reader over the same items (docs/traces.md — CI soft-gates the
+// binary/CSV ratio from the BM_TraceIngest* rows).
+#include <filesystem>
+
 #include <benchmark/benchmark.h>
 
 #include "algorithms/any_fit.h"
 #include "algorithms/registry.h"
 #include "bench_common.h"
 #include "core/simulation.h"
+#include "trace/binary_trace.h"
 #include "workload/generators.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -72,6 +79,73 @@ void BM_SimulatorWithTimelines(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 
+// ---- trace ingest: CSV text parse vs MUTDBPT1 columnar decode ----
+
+struct TraceFiles {
+  std::string csv;
+  std::string binary;
+};
+
+// The same 50k-item workload written once per process in both formats;
+// every ingest iteration then measures a full open-parse-validate cycle.
+const TraceFiles& trace_files() {
+  static const TraceFiles files = [] {
+    const ItemList items = workload_of_size(50000);
+    const auto dir = std::filesystem::temp_directory_path();
+    TraceFiles f;
+    f.csv = (dir / "mutdbp_bench_trace.csv").string();
+    f.binary = (dir / "mutdbp_bench_trace.mtrace").string();
+    workload::write_trace_file(f.csv, items);
+    trace::write_binary_trace_file(f.binary, items);
+    return f;
+  }();
+  return files;
+}
+
+void BM_TraceIngestCsv(benchmark::State& state) {
+  const TraceFiles& files = trace_files();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const ItemList items = workload::read_trace_file(files.csv);
+    n = items.size();
+    benchmark::DoNotOptimize(items.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_TraceIngestBinary(benchmark::State& state) {
+  const TraceFiles& files = trace_files();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const ItemList items = trace::BinaryTraceReader::open(files.binary).read_all();
+    n = items.size();
+    benchmark::DoNotOptimize(items.items().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+// Pure block-at-a-time scan over an already-open mmap reader: the zero-copy
+// rate a streaming replay sees once the file is mapped (no ItemList, no
+// duplicate-id set).
+void BM_TraceScanBinary(benchmark::State& state) {
+  const TraceFiles& files = trace_files();
+  const auto reader = trace::BinaryTraceReader::open(files.binary);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    double total = 0.0;
+    n = 0;
+    reader.for_each_block([&](std::span<const Item> block) {
+      for (const Item& item : block) total += item.size;
+      n += block.size();
+    });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FirstFit)->Arg(1000)->Arg(10000)->Arg(50000);
@@ -80,6 +154,9 @@ BENCHMARK(BM_NextFit)->Arg(1000)->Arg(10000)->Arg(50000);
 BENCHMARK(BM_HybridFirstFit)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_FirstFitSnapshotPath)->Arg(50000);
 BENCHMARK(BM_SimulatorWithTimelines)->Arg(10000);
+BENCHMARK(BM_TraceIngestCsv)->Arg(50000);
+BENCHMARK(BM_TraceIngestBinary)->Arg(50000);
+BENCHMARK(BM_TraceScanBinary)->Arg(50000);
 
 int main(int argc, char** argv) {
   mutdbp::bench::add_machine_context();

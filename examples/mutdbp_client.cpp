@@ -10,8 +10,14 @@
 // crash-recovery gate CI runs with a kill -9 in the middle.
 //
 //   mutdbp_client --socket=/tmp/mutdbp.sock --trace=trace.csv
-//   mutdbp_client --socket=/tmp/mutdbp.sock --trace=trace.csv
+//   mutdbp_client --socket=/tmp/mutdbp.sock --trace=trace.mtrace
 //   mutdbp_client ... --stop-after-events=300 --finish=0   # partial replay
+//
+// Traces may be CSV or MUTDBPT1 binary (--format, default sniffed). A
+// binary trace streams straight from the mmap'd columnar reader to wire
+// frames — BinaryTraceReader::stream_events() already yields the canonical
+// event order, so no CSV parse and no ItemList sit in the send path (the
+// ItemList is materialized only when --verify replays locally).
 //
 // Exit codes: 0 ok, 1 error, 2 digest mismatch.
 
@@ -25,6 +31,8 @@
 #include "core/sharded.h"
 #include "core/streaming.h"
 #include "daemon/client.h"
+#include "trace/binary_trace.h"
+#include "trace/format.h"
 #include "util/flags.h"
 #include "workload/trace.h"
 
@@ -45,7 +53,9 @@ int main(int argc, char** argv) {
   options.max_attempts = static_cast<std::size_t>(flags.get_int(
       "max-attempts", 30, "consecutive failed attempts before giving up"));
   const std::string trace_path =
-      flags.get_string("trace", "", "trace CSV to replay");
+      flags.get_string("trace", "", "trace to replay (CSV or MUTDBPT1 binary)");
+  const std::string format_name = flags.get_string(
+      "format", "auto", "trace format: auto | csv | binary (auto: sniff the file)");
   const std::int64_t stop_after =
       flags.get_int("stop-after-events", -1, "send at most N events (-1 = all)");
   const bool do_finish = flags.get_bool(
@@ -70,26 +80,44 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(hello.resume_from));
 
     mutdbp::ItemList items;
+    bool items_loaded = false;
     if (!trace_path.empty()) {
-      items = mutdbp::workload::read_trace_file(trace_path, hello.capacity);
+      const auto format = mutdbp::trace::detect_trace_format(
+          trace_path, mutdbp::trace::parse_trace_format(format_name));
       std::vector<mutdbp::StreamEvent> events;
-      events.reserve(items.schedule().size());
-      for (const mutdbp::ScheduledEvent& event : items.schedule()) {
-        mutdbp::StreamEvent stream_event;
-        stream_event.kind = event.is_arrival
-                                ? mutdbp::StreamEvent::Kind::kArrival
-                                : mutdbp::StreamEvent::Kind::kDeparture;
-        stream_event.id = event.id;
-        stream_event.size = event.is_arrival ? event.size : 0.0;
-        stream_event.t = event.t;
-        events.push_back(stream_event);
+      if (format == mutdbp::trace::TraceFormat::kBinary) {
+        // Zero-copy send path: mmap'd columns -> canonical event order ->
+        // wire frames. The ItemList is deferred to --verify below.
+        const auto reader = mutdbp::trace::BinaryTraceReader::open(trace_path);
+        if (reader.meta().capacity != hello.capacity) {
+          throw mutdbp::ValidationError(
+              "trace records capacity " +
+              std::to_string(reader.meta().capacity) +
+              " but the daemon packs at " + std::to_string(hello.capacity));
+        }
+        events = reader.stream_events();
+      } else {
+        items = mutdbp::workload::read_trace_file(trace_path, hello.capacity);
+        items_loaded = true;
+        events.reserve(items.schedule().size());
+        for (const mutdbp::ScheduledEvent& event : items.schedule()) {
+          mutdbp::StreamEvent stream_event;
+          stream_event.kind = event.is_arrival
+                                  ? mutdbp::StreamEvent::Kind::kArrival
+                                  : mutdbp::StreamEvent::Kind::kDeparture;
+          stream_event.id = event.id;
+          stream_event.size = event.is_arrival ? event.size : 0.0;
+          stream_event.t = event.t;
+          events.push_back(stream_event);
+        }
       }
       const std::size_t budget = stop_after < 0
                                      ? static_cast<std::size_t>(-1)
                                      : static_cast<std::size_t>(stop_after);
       const std::uint64_t acked = client.replay(events, budget);
-      std::printf("mutdbp_client: %llu/%zu events acked\n",
-                  static_cast<unsigned long long>(acked), events.size());
+      std::printf("mutdbp_client: %llu/%zu events acked (%s trace)\n",
+                  static_cast<unsigned long long>(acked), events.size(),
+                  std::string(to_string(format)).c_str());
     }
 
     int exit_code = 0;
@@ -99,6 +127,9 @@ int main(int argc, char** argv) {
       if (do_verify) {
         if (trace_path.empty()) {
           throw mutdbp::ValidationError("--verify needs --trace");
+        }
+        if (!items_loaded) {
+          items = mutdbp::trace::BinaryTraceReader::open(trace_path).read_all();
         }
         mutdbp::ShardedOptions sharded;
         sharded.num_shards = hello.num_shards;

@@ -1,9 +1,16 @@
-// Replay an item trace (CSV: id,size,arrival,departure) through a chosen
-// algorithm. Without --trace, generates a demo trace, writes it next to the
-// binary, and replays it — so the example is runnable out of the box.
+// Replay an item trace through a chosen algorithm. Traces may be CSV
+// (id,size,arrival,departure) or MUTDBPT1 binary (docs/traces.md); --format
+// defaults to sniffing the file, so both work with no extra flags. Without
+// --trace, generates a demo trace, writes it next to the binary, and
+// replays it — so the example is runnable out of the box.
 //
-//   ./examples/trace_replay [--trace file.csv] [--algorithm FirstFit]
-//                           [--capacity 1.0] [--save demo_trace.csv] [--audit]
+//   ./examples/trace_replay [--trace file.csv|file.mtrace] [--format auto]
+//                           [--algorithm FirstFit] [--capacity 1.0]
+//                           [--save demo_trace.csv] [--audit]
+//
+// Every replay ends with a "result digest:" line — the packing_digest() of
+// the final PackingResult — so CI can assert that the CSV and binary ingest
+// paths of the same trace make bit-identical decisions.
 //
 // --audit attaches the InvariantAuditor (core/auditor.h) to the replay: the
 // whole run is re-checked event by event against a shadow model and any
@@ -44,6 +51,7 @@
 // lower bounds are cross-checked bit-for-bit against the batch opt:: sweep
 // and the replay exits non-zero on mismatch.
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -57,6 +65,7 @@
 #include "core/streaming.h"
 #include "opt/lower_bounds.h"
 #include "telemetry/export.h"
+#include "trace/format.h"
 #include "telemetry/report_html.h"
 #include "telemetry/telemetry.h"
 #include "util/flags.h"
@@ -162,6 +171,12 @@ void write_exports(const mutdbp::telemetry::Telemetry& telemetry,
     telemetry::write_report_file(report_path, telemetry);
     std::printf("[report written to %s]\n", report_path.c_str());
   }
+}
+
+// The one line CI greps to compare ingest paths: identical digests mean the
+// two runs made bit-identical packing decisions (core/packing_result.h).
+void print_result_digest(const mutdbp::PackingResult& result) {
+  std::printf("result digest: %016" PRIx64 "\n", mutdbp::packing_digest(result));
 }
 
 // Feeds `items` through a StreamingSimulation (optionally resuming from a
@@ -289,6 +304,7 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
   }
   std::printf("verified: placements and usage identical to an uninterrupted "
               "batch run\n");
+  print_result_digest(streamed);
   if (telemetry != nullptr) {
     if (!check_monitor(items, *telemetry, streamed.total_usage_time())) return 1;
     if (enforce_bound && !enforce_theorem_bound(*telemetry, items.mu())) return 2;
@@ -403,6 +419,7 @@ int drive_sharded(mutdbp::ShardedSimulation& fleet, const mutdbp::ItemList& item
   }
   std::printf("verified: merged placements and folded bounds identical to an "
               "uninterrupted batch sharded run\n");
+  print_result_digest(result.merged);
 
   if (result.num_shards == 1) {
     const auto reference = make_algorithm(algorithm_name, options.algorithm_seed,
@@ -479,11 +496,15 @@ int run_sharded_replay(const mutdbp::ItemList& items,
 int main(int argc, char** argv) {
   using namespace mutdbp;
   Flags flags(argc, argv);
-  const std::string trace_path =
-      flags.get_string("trace", "", "input trace CSV (empty: generate a demo)");
+  const std::string trace_path = flags.get_string(
+      "trace", "", "input trace, CSV or MUTDBPT1 binary (empty: generate a demo)");
+  const std::string format_name = flags.get_string(
+      "format", "auto", "trace format: auto | csv | binary (auto: sniff the file)");
   const std::string algorithm_name =
       flags.get_string("algorithm", "FirstFit", "packing algorithm name");
-  const double capacity = flags.get_double("capacity", 1.0, "bin capacity");
+  const double capacity = flags.get_double(
+      "capacity", 0.0,
+      "bin capacity (0: a binary trace's recorded capacity, 1.0 for CSV)");
   const std::string save_path =
       flags.get_string("save", "demo_trace.csv", "where to save the demo trace");
   const bool audit = flags.get_bool(
@@ -562,8 +583,11 @@ int main(int argc, char** argv) {
     std::printf("no --trace given: generated a demo trace (%zu items) -> %s\n\n",
                 items.size(), save_path.c_str());
   } else {
-    items = workload::read_trace_file(trace_path, capacity);
-    std::printf("loaded %zu items from %s\n\n", items.size(), trace_path.c_str());
+    const trace::TraceFormat format = trace::detect_trace_format(
+        trace_path, trace::parse_trace_format(format_name));
+    items = trace::read_trace_any(trace_path, format, capacity);
+    std::printf("loaded %zu items from %s (%s)\n\n", items.size(),
+                trace_path.c_str(), std::string(to_string(format)).c_str());
   }
 
   if (shards > 0) {
@@ -613,6 +637,16 @@ int main(int argc, char** argv) {
               eval.opt_exact ? " (tight)" : "");
   std::printf("achieved ratio:   <= %.3f (First Fit guarantee: mu+4 = %.3f)\n",
               eval.ratio_upper_estimate(), eval.mu + 4.0);
+
+  // Digest via a bare re-simulate: the reset contract makes the placements
+  // identical to the evaluation's run, and attaching no telemetry keeps the
+  // counters cross-checked below from double-counting.
+  {
+    SimulationOptions digest_options;
+    digest_options.fit_epsilon = fit_epsilon;
+    digest_options.audit = false;
+    print_result_digest(simulate(items, *algorithm, digest_options));
+  }
 
   if (want_telemetry) {
     // Cross-check: the exported counters must agree with the evaluation the

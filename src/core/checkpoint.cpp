@@ -65,6 +65,11 @@ void BinaryWriter::string(std::string_view v) {
   bytes_.insert(bytes_.end(), v.begin(), v.end());
 }
 
+void BinaryWriter::raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
 void BinaryReader::need(std::size_t n) const {
   if (size_ - pos_ < n) {
     throw ValidationError("checkpoint: payload truncated (need " +
@@ -115,6 +120,13 @@ std::string BinaryReader::string() {
   return out;
 }
 
+const std::uint8_t* BinaryReader::raw(std::size_t size) {
+  need(size);
+  const std::uint8_t* view = data_ + pos_;
+  pos_ += size;
+  return view;
+}
+
 std::size_t BinaryReader::count(std::size_t min_element_bytes) {
   const std::uint64_t n = u64();
   if (min_element_bytes == 0) min_element_bytes = 1;
@@ -145,9 +157,9 @@ std::vector<std::uint8_t> encode_frame(CheckpointKind kind,
   return frame;
 }
 
-FrameParse parse_frame(const std::uint8_t* data, std::size_t size,
-                       CheckpointKind kind, std::uint64_t max_payload) {
-  FrameParse out;
+FrameRef parse_frame_view(const std::uint8_t* data, std::size_t size,
+                          CheckpointKind kind, std::uint64_t max_payload) {
+  FrameRef out;
   // Reject a wrong magic on the available prefix: garbage on a socket fails
   // immediately instead of waiting for a full header that never comes.
   const std::size_t magic_check = std::min(size, kMagic.size());
@@ -184,8 +196,19 @@ FrameParse parse_frame(const std::uint8_t* data, std::size_t size,
     throw ValidationError("frame: checksum mismatch (corrupted frame)");
   }
   out.consumed = static_cast<std::size_t>(total);
-  out.payload.assign(data + kHeaderBytes,
-                     data + kHeaderBytes + static_cast<std::size_t>(payload_size));
+  out.payload = data + kHeaderBytes;
+  out.payload_size = static_cast<std::size_t>(payload_size);
+  return out;
+}
+
+FrameParse parse_frame(const std::uint8_t* data, std::size_t size,
+                       CheckpointKind kind, std::uint64_t max_payload) {
+  const FrameRef view = parse_frame_view(data, size, kind, max_payload);
+  FrameParse out;
+  out.consumed = view.consumed;
+  if (view.consumed != 0) {
+    out.payload.assign(view.payload, view.payload + view.payload_size);
+  }
   return out;
 }
 

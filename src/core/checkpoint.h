@@ -53,6 +53,19 @@ enum class CheckpointKind : std::uint32_t {
   kWireRequest = 6,
   /// One response of the mutdbpd wire protocol.
   kWireResponse = 7,
+  /// Header frame of a MUTDBPT1 binary columnar trace file (trace/
+  /// binary_trace.h, docs/traces.md): format version, capacity, block-size
+  /// hint. Trace files reuse the checkpoint frame machinery verbatim, so
+  /// every block on disk carries the same magic/version/kind/size/FNV-1a
+  /// armor as a checkpoint frame.
+  kTraceHeader = 8,
+  /// One columnar block of a binary trace: SoA columns (ids, sizes,
+  /// arrivals, departures) with delta/varint-encoded id and time columns.
+  kTraceBlock = 9,
+  /// Footer frame of a binary trace: event count, min/max times, content
+  /// digest, and the per-block offset index enabling O(1) metadata queries
+  /// and random block access.
+  kTraceFooter = 10,
 };
 
 /// FNV-1a 64-bit over a byte range (also used by the golden-master tests to
@@ -69,6 +82,9 @@ class BinaryWriter {
   void f64(double v);  ///< IEEE-754 bit pattern via u64
   void boolean(bool v);
   void string(std::string_view v);  ///< u64 length + bytes
+  /// Appends `size` raw bytes verbatim (columnar codecs build their encoded
+  /// streams out-of-line and splice them in with one copy).
+  void raw(const void* data, std::size_t size);
 
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
     return bytes_;
@@ -93,6 +109,11 @@ class BinaryReader {
   [[nodiscard]] double f64();
   [[nodiscard]] bool boolean();
   [[nodiscard]] std::string string();
+
+  /// Bounds-checked view of the next `size` payload bytes; advances past
+  /// them. The pointer stays valid as long as the underlying buffer does —
+  /// the zero-copy counterpart of string() for columnar codecs.
+  [[nodiscard]] const std::uint8_t* raw(std::size_t size);
 
   /// A u64 element count for a sequence whose elements occupy at least
   /// `min_element_bytes` each; rejects counts the remaining payload cannot
@@ -129,6 +150,15 @@ struct FrameParse {
   std::vector<std::uint8_t> payload;
 };
 
+/// Zero-copy result of one incremental parse attempt: the payload is a view
+/// into the caller's buffer, not a copy (see parse_frame_view).
+struct FrameRef {
+  /// Bytes consumed from the front of the buffer; 0 means "incomplete".
+  std::size_t consumed = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_size = 0;
+};
+
 /// Attempts to parse one complete frame of `kind` from the front of
 /// `data..data+size`. Returns consumed == 0 when the buffer does not yet
 /// hold the whole frame; otherwise consumes exactly one frame and returns
@@ -138,6 +168,14 @@ struct FrameParse {
 /// `max_payload`, or a checksum mismatch — throws ValidationError and
 /// consumes nothing, exactly like the stream reader.
 [[nodiscard]] FrameParse parse_frame(
+    const std::uint8_t* data, std::size_t size, CheckpointKind kind,
+    std::uint64_t max_payload = std::numeric_limits<std::uint64_t>::max());
+
+/// parse_frame without the payload copy: the returned view aliases `data`,
+/// so the checksum-validated payload can be decoded in place. This is what
+/// the mmap'd binary-trace reader runs per block (trace/binary_trace.h);
+/// parse_frame is a thin copying wrapper over it.
+[[nodiscard]] FrameRef parse_frame_view(
     const std::uint8_t* data, std::size_t size, CheckpointKind kind,
     std::uint64_t max_payload = std::numeric_limits<std::uint64_t>::max());
 

@@ -1,10 +1,12 @@
 #include "core/packing_result.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "core/checkpoint.h"
 #include "core/error.h"
 
 namespace mutdbp {
@@ -151,6 +153,24 @@ double PackingResult::average_utilization() const noexcept {
   }
   const Time usage = total_usage_time();
   return usage > 0.0 ? level_integral / usage : 0.0;
+}
+
+std::uint64_t packing_digest(const PackingResult& result) {
+  std::uint64_t h = fnv1a64(nullptr, 0);
+  const auto mix = [&h](std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); };
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (const BinRecord& bin : result.bins()) {
+    mix(bin.index);
+    mix(bits(bin.usage.left));
+    mix(bits(bin.usage.right));
+    for (const PlacementRecord& placement : bin.items) {
+      mix(placement.item);
+      mix(bits(placement.size));
+      mix(bits(placement.active.left));
+      mix(bits(placement.active.right));
+    }
+  }
+  return h;
 }
 
 }  // namespace mutdbp

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -103,5 +104,13 @@ class PackingResult {
   mutable std::unordered_map<ItemId, BinIndex> assignment_;
   mutable bool assignment_built_ = false;
 };
+
+/// Order-sensitive FNV-1a digest of the full packing: bin index, usage
+/// interval (IEEE-754 bit patterns), then every placement (item, size,
+/// activity interval) in placement order. Two runs produce the same digest
+/// iff they made bit-identical decisions — the golden-master suite pins
+/// these values and trace_replay prints one per run so CI can compare the
+/// CSV and binary ingest paths end to end.
+[[nodiscard]] std::uint64_t packing_digest(const PackingResult& result);
 
 }  // namespace mutdbp

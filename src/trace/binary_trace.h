@@ -1,0 +1,200 @@
+// MUTDBPT1: the binary columnar on-disk trace format, with a streaming
+// writer and an mmap zero-copy reader (docs/traces.md).
+//
+// CSV read_trace is row-by-row text parsing — fine for demo traces, a wall
+// at the hundreds-of-millions-of-events scale the ROADMAP targets. This
+// format stores the same items column-wise and replays as a sequential
+// scan of checksummed blocks:
+//
+//   offset 0   magic            "MUTDBPT1" (8 bytes)
+//   frame      kTraceHeader     trace version, capacity, block-size hint
+//   frame*     kTraceBlock      columnar SoA block (<= block_items items)
+//   frame      kTraceFooter     counts, min/max times, digest, block index
+//   tail       footer offset    u64 LE byte offset of the footer frame
+//
+// Every frame is a MUTDBPC1 checkpoint frame (core/checkpoint.h) — magic,
+// version, kind, length, FNV-1a checksum — so truncation and bit flips
+// surface as clean ValidationErrors exactly like corrupted checkpoints (the
+// fuzz suite enforces this, tests/fuzz_test.cpp). Inside a block the
+// columns are:
+//
+//   u64  count
+//   u64  id_bytes        + zigzag-delta varints of the id column
+//   f64* sizes           raw IEEE-754 bit patterns, count * 8 bytes
+//   u64  arrival_bytes   + zigzag-delta varints of arrival bit patterns
+//   u64  departure_bytes + zigzag-delta varints of departure bit patterns
+//
+// (trace/codec.h; delta chains restart per block, so blocks decode
+// independently). The footer's per-block index (offset, count, id and time
+// ranges) makes metadata queries O(1) without touching any block, and lets
+// the reader hand out one block at a time — a replay never has to
+// materialize the full ItemList.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/item_list.h"
+#include "core/streaming.h"
+
+namespace mutdbp::trace {
+
+/// Current MUTDBPT1 format version (carried in the header frame's payload,
+/// on top of the frame machinery's own version). Bump on layout changes;
+/// readers reject other versions with a ValidationError naming both.
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// The 8-byte file magic; also what detect_trace_format() sniffs.
+inline constexpr char kTraceMagic[8] = {'M', 'U', 'T', 'D', 'B', 'P', 'T', '1'};
+
+/// Default items per block: big enough to amortize frame overhead, small
+/// enough that a block decode stays cache-friendly.
+inline constexpr std::size_t kDefaultTraceBlockItems = 4096;
+
+/// Hard per-block cap enforced by reader and writer: a hostile count field
+/// can never drive a larger allocation than this.
+inline constexpr std::uint64_t kMaxTraceBlockItems = 1u << 22;
+
+/// One entry of the footer's block index.
+struct TraceBlockMeta {
+  std::uint64_t offset = 0;  ///< file offset of the block's frame
+  std::uint64_t items = 0;
+  ItemId min_id = 0;
+  ItemId max_id = 0;
+  Time min_arrival = 0.0;
+  Time max_departure = 0.0;
+};
+
+/// Footer metadata: everything about a trace that is knowable in O(1).
+struct TraceMeta {
+  std::uint64_t items = 0;
+  double capacity = 1.0;
+  Time min_arrival = 0.0;    ///< 0 when the trace is empty
+  Time max_departure = 0.0;  ///< 0 when the trace is empty
+  /// FNV-1a over every item tuple (id, size, arrival, departure bit
+  /// patterns) in file order — the same digest trace_digest() computes
+  /// from an ItemList, so CSV and binary content can be compared without
+  /// a full item-by-item diff.
+  std::uint64_t digest = 0;
+  std::vector<TraceBlockMeta> blocks;
+};
+
+/// Content digest of an item sequence (see TraceMeta::digest).
+[[nodiscard]] std::uint64_t trace_digest(const ItemList& items);
+/// Incremental form: fold one item into a running digest (seed with
+/// fnv1a64(nullptr, 0)).
+[[nodiscard]] std::uint64_t trace_digest_mix(std::uint64_t h, const Item& item);
+
+struct BinaryTraceWriterOptions {
+  double capacity = 1.0;
+  std::size_t block_items = kDefaultTraceBlockItems;
+};
+
+/// Streaming writer: items go out block by block as they are add()ed, so a
+/// converter never holds more than one block in memory. finish() writes the
+/// footer and tail; the destructor does NOT finish (an abandoned writer
+/// leaves a truncated file the reader rejects, never a silently short one).
+class BinaryTraceWriter {
+ public:
+  BinaryTraceWriter(std::ostream& out, BinaryTraceWriterOptions options = {});
+
+  /// Validates like ItemList does (finite values, size in (0, capacity],
+  /// departure after arrival) so every written trace is readable.
+  void add(const Item& item);
+
+  /// Flushes the open block, writes footer + tail, and returns the final
+  /// metadata. Must be called exactly once, after which add() throws.
+  const TraceMeta& finish();
+
+  [[nodiscard]] std::uint64_t items_written() const noexcept {
+    return meta_.items + block_.size();
+  }
+
+ private:
+  void flush_block();
+
+  std::ostream& out_;
+  BinaryTraceWriterOptions options_;
+  std::vector<Item> block_;  ///< buffered items of the open block
+  TraceMeta meta_;
+  std::uint64_t offset_ = 0;  ///< bytes written so far
+  std::uint64_t digest_;
+  bool finished_ = false;
+};
+
+/// Writes `items` as one binary trace file (convenience over the streaming
+/// writer; the ItemList's capacity is recorded in the file).
+TraceMeta write_binary_trace_file(const std::string& path, const ItemList& items,
+                                  std::size_t block_items = kDefaultTraceBlockItems);
+
+/// mmap-based zero-copy reader. Construction validates magic, header,
+/// footer, and the block index (O(blocks), touching no block data); block
+/// payloads are checksum-verified and decoded on access, straight out of
+/// the mapping. Any corruption — truncation, bit flips, hostile lengths,
+/// garbage footers — throws ValidationError, never crashes or misparses.
+class BinaryTraceReader {
+ public:
+  /// Maps `path` read-only (falls back to buffered reading when mmap is
+  /// unavailable for the file) and validates the skeleton.
+  [[nodiscard]] static BinaryTraceReader open(const std::string& path);
+  /// Reader over an in-memory image (takes ownership). Fuzzers and tests.
+  [[nodiscard]] static BinaryTraceReader from_bytes(std::vector<std::uint8_t> bytes);
+  /// Reader over borrowed bytes; the caller keeps them alive.
+  [[nodiscard]] static BinaryTraceReader from_view(const std::uint8_t* data,
+                                                   std::size_t size);
+
+  /// O(1) metadata straight from the footer.
+  [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return meta_.blocks.size();
+  }
+
+  /// Decodes block `b` into `out` (cleared first). The vector is reusable
+  /// across calls — the block-at-a-time replay loop allocates once.
+  void read_block(std::size_t b, std::vector<Item>& out) const;
+
+  /// Streams every block through `fn(std::span<const Item>)` with one
+  /// reusable buffer: replaying never materializes the full ItemList.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    std::vector<Item> buffer;
+    for (std::size_t b = 0; b < meta_.blocks.size(); ++b) {
+      read_block(b, buffer);
+      fn(std::span<const Item>(buffer));
+    }
+  }
+
+  /// Full decode into a validated ItemList (capacity from the file).
+  /// Rejects duplicate item ids exactly like the CSV reader.
+  [[nodiscard]] ItemList read_all() const;
+
+  /// The canonical event schedule as StreamEvents — primary key time,
+  /// departures before arrivals at equal times, ties in id order (exactly
+  /// ItemList::schedule()) — built straight from the mapped columns. This
+  /// is what mutdbp_client streams to the daemon without a CSV parse or an
+  /// ItemList in the loop.
+  [[nodiscard]] std::vector<StreamEvent> stream_events() const;
+
+ private:
+  BinaryTraceReader(std::shared_ptr<const void> holder, const std::uint8_t* data,
+                    std::size_t size);
+
+  /// Parses + validates magic, header frame, footer frame, block index.
+  void parse_skeleton();
+  /// Validated zero-copy view of block `b`'s frame payload.
+  [[nodiscard]] std::pair<const std::uint8_t*, std::size_t> block_payload(
+      std::size_t b) const;
+
+  std::shared_ptr<const void> holder_;  ///< keeps the mapping/bytes alive
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t footer_offset_ = 0;
+  TraceMeta meta_;
+};
+
+}  // namespace mutdbp::trace

@@ -1,0 +1,109 @@
+// Delta/varint column codec for the MUTDBPT1 binary trace format.
+//
+// A column of u64 values (item ids, or IEEE-754 bit patterns of times) is
+// stored as zigzag(v[i] - v[i-1]) LEB128 varints, with the delta chain
+// starting from 0 at the head of every block (blocks decode independently,
+// so the reader can random-access or parallelize over them). Sorted id
+// columns collapse to one byte per element; sorted time columns shrink
+// because the bit patterns of nearby same-sign doubles are themselves
+// nearby integers (the IEEE-754 ordering trick). Unsorted columns stay
+// correct — deltas wrap mod 2^64 and zigzag round-trips every value — they
+// just compress less.
+//
+// The decode loop is branch-light in the style of SNIPPETS.md §3
+// (pbwt_exp.hpp): <bit> intrinsics size the varints and the hot path reads
+// one byte per continuation bit with no function calls. Every read is
+// bounds-checked against the column's declared byte length; overruns and
+// over-long varints throw ValidationError (the frame checksum in front of
+// this codec makes corruption astronomically unlikely to reach it, but the
+// fuzzers drive it directly).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.h"
+
+namespace mutdbp::trace {
+
+/// Maps signed deltas to small unsigned values: 0,-1,1,-2,2 -> 0,1,2,3,4.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (0 - (v & 1)));
+}
+
+/// LEB128: 7 value bits per byte, high bit = continuation; at most 10 bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Encoded size without encoding: ceil(bit_width / 7), and 1 for zero.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) noexcept {
+  return v == 0 ? 1
+               : (static_cast<std::size_t>(64 - std::countl_zero(v)) + 6) / 7;
+}
+
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Appends a u64 column as a zigzag-delta varint stream (chain starts at 0).
+inline void encode_delta_column(const std::uint64_t* values, std::size_t count,
+                                std::vector<std::uint8_t>& out) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Two's-complement wraparound keeps the delta exact for any u64 pair.
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(values[i] - prev)));
+    prev = values[i];
+  }
+}
+
+/// Bounds-checked decoder over one encoded column.
+class DeltaColumnReader {
+ public:
+  DeltaColumnReader(const std::uint8_t* data, std::size_t size) noexcept
+      : p_(data), end_(data + size) {}
+
+  /// Next value of the chain. Throws ValidationError on a truncated or
+  /// over-long varint.
+  [[nodiscard]] std::uint64_t next() {
+    std::uint64_t raw = 0;
+    int shift = 0;
+    while (true) {
+      if (p_ == end_) {
+        throw ValidationError("trace codec: varint column truncated");
+      }
+      const std::uint8_t byte = *p_++;
+      if (shift == 63 && byte > 1) {
+        // The 10th byte may only contribute bit 63: anything else encodes
+        // more than 64 bits and can never come from the writer.
+        throw ValidationError("trace codec: over-long varint");
+      }
+      raw |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) {
+        throw ValidationError("trace codec: over-long varint");
+      }
+    }
+    prev_ += static_cast<std::uint64_t>(zigzag_decode(raw));
+    return prev_;
+  }
+
+  /// True when the column's declared bytes were consumed exactly.
+  [[nodiscard]] bool exhausted() const noexcept { return p_ == end_; }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  std::uint64_t prev_ = 0;
+};
+
+}  // namespace mutdbp::trace

@@ -1,0 +1,63 @@
+#include "trace/format.h"
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/error.h"
+#include "trace/binary_trace.h"
+#include "workload/trace.h"
+
+namespace mutdbp::trace {
+
+TraceFormat parse_trace_format(std::string_view value) {
+  if (value == "auto") return TraceFormat::kAuto;
+  if (value == "csv") return TraceFormat::kCsv;
+  if (value == "binary") return TraceFormat::kBinary;
+  throw ValidationError("trace format '" + std::string(value) +
+                        "' is not one of auto, csv, binary");
+}
+
+std::string_view to_string(TraceFormat format) noexcept {
+  switch (format) {
+    case TraceFormat::kAuto: return "auto";
+    case TraceFormat::kCsv: return "csv";
+    case TraceFormat::kBinary: return "binary";
+  }
+  return "?";
+}
+
+TraceFormat detect_trace_format(const std::string& path, TraceFormat requested) {
+  if (requested != TraceFormat::kAuto) return requested;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ValidationError("trace: cannot open " + path);
+  char head[sizeof(kTraceMagic)] = {};
+  in.read(head, sizeof(head));
+  const bool is_binary =
+      static_cast<std::size_t>(in.gcount()) == sizeof(head) &&
+      std::memcmp(head, kTraceMagic, sizeof(head)) == 0;
+  return is_binary ? TraceFormat::kBinary : TraceFormat::kCsv;
+}
+
+ItemList read_trace_any(const std::string& path, TraceFormat format,
+                        double capacity) {
+  switch (detect_trace_format(path, format)) {
+    case TraceFormat::kCsv:
+      return workload::read_trace_file(path, capacity == 0.0 ? 1.0 : capacity);
+    case TraceFormat::kBinary: {
+      const BinaryTraceReader reader = BinaryTraceReader::open(path);
+      if (capacity != 0.0 && capacity != reader.meta().capacity) {
+        throw ValidationError(
+            "trace: requested capacity " + std::to_string(capacity) +
+            " disagrees with the capacity recorded in " + path + " (" +
+            std::to_string(reader.meta().capacity) + ")");
+      }
+      return reader.read_all();
+    }
+    case TraceFormat::kAuto:
+      break;  // unreachable: detect_trace_format never returns kAuto
+  }
+  throw ValidationError("trace: unresolved format for " + path);
+}
+
+}  // namespace mutdbp::trace

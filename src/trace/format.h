@@ -1,0 +1,37 @@
+// Trace format selection: the `--format auto|csv|binary` plumbing shared by
+// trace_replay, trace_convert, mutdbp_client, and the benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/item_list.h"
+
+namespace mutdbp::trace {
+
+enum class TraceFormat {
+  kAuto,    ///< sniff the file's first bytes (MUTDBPT1 magic → binary)
+  kCsv,     ///< workload::read_trace / write_trace text format
+  kBinary,  ///< MUTDBPT1 columnar format (binary_trace.h)
+};
+
+/// Parses a --format flag value ("auto", "csv", "binary"); throws
+/// ValidationError on anything else, naming the accepted spellings.
+[[nodiscard]] TraceFormat parse_trace_format(std::string_view value);
+
+[[nodiscard]] std::string_view to_string(TraceFormat format) noexcept;
+
+/// Resolves kAuto by sniffing `path`'s first 8 bytes for the MUTDBPT1
+/// magic (anything else — including a short file — is CSV, matching the
+/// text reader's row-level diagnostics). kCsv/kBinary pass through.
+[[nodiscard]] TraceFormat detect_trace_format(const std::string& path,
+                                              TraceFormat requested = TraceFormat::kAuto);
+
+/// Reads `path` as `format` (kAuto sniffs first) into a validated ItemList.
+/// CSV uses `capacity`; binary uses the capacity recorded in the file and
+/// throws ValidationError if `capacity` is given (non-zero) and disagrees.
+[[nodiscard]] ItemList read_trace_any(const std::string& path,
+                                      TraceFormat format = TraceFormat::kAuto,
+                                      double capacity = 0.0);
+
+}  // namespace mutdbp::trace

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -13,13 +14,23 @@
 
 namespace mutdbp::workload {
 
+// Emitting max_digits10 significant digits makes text round-trips bit-exact
+// for every finite double: read_trace(write_trace(items)) reproduces the
+// identical IEEE-754 bit patterns, which the trace digests
+// (trace/binary_trace.h) and the binary<->CSV conversion property test rely
+// on. The static_assert pins the %.*g precision to the IEEE-754 binary64
+// guarantee rather than a magic 17.
+static_assert(std::numeric_limits<double>::max_digits10 == 17,
+              "write_trace precision assumes IEEE-754 binary64");
+
 void write_trace(std::ostream& out, const ItemList& items) {
+  constexpr int kPrecision = std::numeric_limits<double>::max_digits10;
   out << "id,size,arrival,departure\n";
   char buf[160];
   for (const auto& item : items) {
-    // %.17g round-trips doubles exactly.
-    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%.17g,%.17g,%.17g\n", item.id,
-                  item.size, item.arrival(), item.departure());
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ",%.*g,%.*g,%.*g\n", item.id,
+                  kPrecision, item.size, kPrecision, item.arrival(),
+                  kPrecision, item.departure());
     out << buf;
   }
 }

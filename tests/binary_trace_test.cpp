@@ -1,0 +1,395 @@
+// MUTDBPT1 binary trace tests (src/trace/): round-trip and CSV-equivalence
+// properties, O(1) footer metadata, the stream_events() ordering contract,
+// writer/reader misuse rejections, and a golden binary trace pinned next to
+// the packing goldens so any byte-level format drift fails loudly.
+//
+// The central property (ISSUE satellite): for every ItemList,
+//   read_trace(write_trace(items)) == BinaryTraceReader(convert(...)).read_all()
+// item for item, bit for bit — CSV at max_digits10 and MUTDBPT1 columns are
+// two lossless encodings of the same item tuples, so trace digests and
+// replay digests agree across formats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/item_list.h"
+#include "core/streaming.h"
+#include "test_support.h"
+#include "trace/binary_trace.h"
+#include "trace/codec.h"
+#include "trace/format.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+#ifndef MUTDBP_GOLDENS_DIR
+#error "tests/CMakeLists.txt must define MUTDBP_GOLDENS_DIR"
+#endif
+#ifndef MUTDBP_DEMO_TRACE_PATH
+#error "tests/CMakeLists.txt must define MUTDBP_DEMO_TRACE_PATH"
+#endif
+
+namespace mutdbp::trace {
+namespace {
+
+using mutdbp::testing::ScopedTempDir;
+
+void expect_items_equal(const ItemList& expected, const ItemList& actual,
+                        const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  EXPECT_EQ(expected.capacity(), actual.capacity()) << what;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected.items()[i], actual.items()[i]) << what << ", item " << i;
+  }
+}
+
+/// Families that stress the columnar codec: id deltas that are negative,
+/// huge, or wrap; times with full 17-digit mantissas; sizes down at the
+/// bottom of the subnormal range. All are valid items (finite, size in
+/// (0, capacity], departure > arrival) — the point is that encoding is
+/// lossless for them, not that they are rejected.
+ItemList adversarial_items() {
+  std::vector<Item> items;
+  const std::uint64_t max_id = std::numeric_limits<std::uint64_t>::max();
+  items.push_back(make_item(max_id, 0.5, 0.0, 1.0));             // first delta = max u64
+  items.push_back(make_item(0, 1e-300, 0.25, 0.75));             // delta wraps negative
+  items.push_back(make_item(max_id / 2, 1.0, 1.0 / 3.0, 2.0 / 3.0 + 1.0));
+  items.push_back(make_item(7, 0.1234567890123456, 0.1 + 0.2, 1e9 + 0.1));
+  items.push_back(make_item(8, std::numeric_limits<double>::min(),
+                            std::numeric_limits<double>::denorm_min(), 4e5));
+  items.push_back(make_item(9, 0.875, 1e-17, 1e17));
+  return ItemList(std::move(items), 1.0);
+}
+
+std::vector<ItemList> property_workloads() {
+  std::vector<ItemList> workloads;
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 200 + 37 * seed;
+    spec.seed = seed;
+    spec.size_dist = workload::SizeDistribution::kBoundedPareto;
+    spec.duration_dist = workload::DurationDistribution::kLogNormalClipped;
+    workloads.push_back(workload::generate(spec));
+  }
+  workloads.push_back(adversarial_items());
+  workloads.push_back(ItemList({make_item(3, 0.5, 0.0, 1.0)}, 2.5));  // capacity != 1
+  return workloads;
+}
+
+// ---------------------------------------------------------------------------
+// Codec primitives
+
+TEST(TraceCodec, ZigzagRoundTripsExtremes) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(), std::int64_t{123456789},
+        std::int64_t{-987654321}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes — the reason deltas compress.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(TraceCodec, DeltaColumnRoundTripsHostileSequences) {
+  const std::vector<std::uint64_t> values = {
+      std::numeric_limits<std::uint64_t>::max(), 0, 5, 4,
+      std::numeric_limits<std::uint64_t>::max() / 2, 6, 7};
+  std::vector<std::uint8_t> encoded;
+  encode_delta_column(values.data(), values.size(), encoded);
+  DeltaColumnReader reader(encoded.data(), encoded.size());
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(reader.next(), v);
+  }
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_THROW((void)reader.next(), ValidationError);  // past the end
+}
+
+TEST(TraceCodec, TruncatedVarintIsACleanError) {
+  // First value 2^63: the delta from 0 is int64 min, whose zigzag code is
+  // u64 max — the one varint that needs all 10 bytes.
+  std::vector<std::uint8_t> encoded;
+  const std::uint64_t big = std::uint64_t{1} << 63;
+  encode_delta_column(&big, 1, encoded);
+  ASSERT_EQ(encoded.size(), kMaxVarintBytes);
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    DeltaColumnReader reader(encoded.data(), keep);
+    EXPECT_THROW((void)reader.next(), ValidationError) << "kept " << keep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip and CSV-equivalence properties
+
+TEST(BinaryTrace, RoundTripIsBitExactAcrossBlockSizes) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.file("trace.mtrace").string();
+  for (const ItemList& items : property_workloads()) {
+    // 1-item blocks, tiny blocks, one big block: same items either way.
+    for (const std::size_t block_items : {std::size_t{1}, std::size_t{7},
+                                          kDefaultTraceBlockItems}) {
+      const TraceMeta written = write_binary_trace_file(path, items, block_items);
+      EXPECT_EQ(written.items, items.size());
+      EXPECT_EQ(written.digest, trace_digest(items));
+      const auto reader = BinaryTraceReader::open(path);
+      expect_items_equal(items, reader.read_all(),
+                         "block_items=" + std::to_string(block_items));
+    }
+  }
+}
+
+TEST(BinaryTrace, CsvAndBinaryReadsAgreeItemForItem) {
+  // The satellite property: read_trace(csv) ≡ BinaryTraceReader(convert(csv)).
+  ScopedTempDir tmp;
+  const std::string csv_path = tmp.file("trace.csv").string();
+  const std::string bin_path = tmp.file("trace.mtrace").string();
+  for (const ItemList& items : property_workloads()) {
+    workload::write_trace_file(csv_path, items);
+    const ItemList from_csv =
+        workload::read_trace_file(csv_path, items.capacity());
+    // CSV at max_digits10 is itself lossless...
+    expect_items_equal(items, from_csv, "csv round trip");
+    // ...and converting what the CSV reader produced yields identical items
+    // and an identical content digest through the binary path.
+    write_binary_trace_file(bin_path, from_csv, /*block_items=*/64);
+    const auto reader = BinaryTraceReader::open(bin_path);
+    expect_items_equal(from_csv, reader.read_all(), "csv->binary");
+    EXPECT_EQ(reader.meta().digest, trace_digest(from_csv));
+  }
+}
+
+TEST(BinaryTrace, ReadTraceAnyDispatchesOnMagicAndChecksCapacity) {
+  ScopedTempDir tmp;
+  const ItemList items = property_workloads().front();
+  const std::string csv_path = tmp.file("t.csv").string();
+  const std::string bin_path = tmp.file("t.mtrace").string();
+  workload::write_trace_file(csv_path, items);
+  write_binary_trace_file(bin_path, items);
+
+  EXPECT_EQ(detect_trace_format(csv_path), TraceFormat::kCsv);
+  EXPECT_EQ(detect_trace_format(bin_path), TraceFormat::kBinary);
+  expect_items_equal(items, read_trace_any(csv_path), "any/csv");
+  expect_items_equal(items, read_trace_any(bin_path), "any/binary");
+  // Forcing the wrong format on a binary file is a clean rejection.
+  EXPECT_THROW((void)read_trace_any(bin_path, TraceFormat::kCsv), ValidationError);
+  // A non-zero capacity must agree with what the binary file recorded.
+  EXPECT_THROW((void)read_trace_any(bin_path, TraceFormat::kBinary, 2.0),
+               ValidationError);
+  EXPECT_NO_THROW((void)read_trace_any(bin_path, TraceFormat::kBinary, 1.0));
+  EXPECT_THROW((void)parse_trace_format("yaml"), ValidationError);
+}
+
+// ---------------------------------------------------------------------------
+// Metadata, block iteration, event streaming
+
+TEST(BinaryTrace, FooterMetadataMatchesRecomputedValues) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.file("meta.mtrace").string();
+  const ItemList items = property_workloads().front();
+  write_binary_trace_file(path, items, /*block_items=*/32);
+  const auto reader = BinaryTraceReader::open(path);
+  const TraceMeta& meta = reader.meta();
+
+  EXPECT_EQ(meta.items, items.size());
+  EXPECT_EQ(meta.capacity, items.capacity());
+  EXPECT_EQ(meta.digest, trace_digest(items));
+  double min_arrival = std::numeric_limits<double>::infinity();
+  double max_departure = -std::numeric_limits<double>::infinity();
+  for (const auto& item : items) {
+    min_arrival = std::min(min_arrival, item.arrival());
+    max_departure = std::max(max_departure, item.departure());
+  }
+  EXPECT_EQ(meta.min_arrival, min_arrival);
+  EXPECT_EQ(meta.max_departure, max_departure);
+
+  // The block index tiles the item sequence: counts sum to the total and
+  // every per-block range brackets exactly its own items.
+  ASSERT_EQ(reader.block_count(), (items.size() + 31) / 32);
+  std::uint64_t indexed = 0;
+  std::size_t next_item = 0;
+  std::vector<Item> block;
+  for (std::size_t b = 0; b < reader.block_count(); ++b) {
+    const TraceBlockMeta& bm = meta.blocks[b];
+    indexed += bm.items;
+    reader.read_block(b, block);
+    ASSERT_EQ(block.size(), bm.items);
+    for (const Item& item : block) {
+      EXPECT_EQ(item, items.items()[next_item++]);
+      EXPECT_GE(item.id, bm.min_id);
+      EXPECT_LE(item.id, bm.max_id);
+      EXPECT_GE(item.arrival(), bm.min_arrival);
+      EXPECT_LE(item.departure(), bm.max_departure);
+    }
+  }
+  EXPECT_EQ(indexed, meta.items);
+  EXPECT_EQ(next_item, items.size());
+}
+
+TEST(BinaryTrace, ForEachBlockStreamsEveryItemOnce) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.file("blocks.mtrace").string();
+  const ItemList items = property_workloads().front();
+  write_binary_trace_file(path, items, /*block_items=*/17);
+  const auto reader = BinaryTraceReader::open(path);
+  std::vector<Item> streamed;
+  reader.for_each_block([&](std::span<const Item> block) {
+    streamed.insert(streamed.end(), block.begin(), block.end());
+  });
+  expect_items_equal(items, ItemList(std::move(streamed), items.capacity()),
+                     "for_each_block");
+}
+
+TEST(BinaryTrace, StreamEventsMatchTheCanonicalSchedule) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.file("events.mtrace").string();
+  for (const ItemList& items : property_workloads()) {
+    write_binary_trace_file(path, items, /*block_items=*/16);
+    const auto reader = BinaryTraceReader::open(path);
+    const std::vector<StreamEvent> events = reader.stream_events();
+    const std::vector<ScheduledEvent>& schedule = items.schedule();
+    ASSERT_EQ(events.size(), schedule.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].t, schedule[i].t) << i;
+      EXPECT_EQ(events[i].id, schedule[i].id) << i;
+      EXPECT_EQ(events[i].kind == StreamEvent::Kind::kArrival,
+                schedule[i].is_arrival)
+          << i;
+      if (schedule[i].is_arrival) {
+        EXPECT_EQ(events[i].size, schedule[i].size) << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases and misuse
+
+TEST(BinaryTrace, EmptyTraceRoundTrips) {
+  ScopedTempDir tmp;
+  const std::string path = tmp.file("empty.mtrace").string();
+  const TraceMeta written = write_binary_trace_file(path, ItemList({}, 3.0));
+  EXPECT_EQ(written.items, 0u);
+  EXPECT_TRUE(written.blocks.empty());
+  const auto reader = BinaryTraceReader::open(path);
+  EXPECT_EQ(reader.block_count(), 0u);
+  const ItemList back = reader.read_all();
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.capacity(), 3.0);
+  EXPECT_TRUE(reader.stream_events().empty());
+}
+
+TEST(BinaryTrace, WriterRejectsInvalidItemsAndMisuse) {
+  std::ostringstream out;
+  BinaryTraceWriter writer(out, {.capacity = 1.0, .block_items = 4});
+  EXPECT_THROW(writer.add(make_item(1, 0.0, 0.0, 1.0)), ValidationError);  // size 0
+  EXPECT_THROW(writer.add(make_item(1, 1.5, 0.0, 1.0)), ValidationError);  // > capacity
+  EXPECT_THROW(writer.add(make_item(1, 0.5, 1.0, 1.0)), ValidationError);  // empty interval
+  EXPECT_THROW(writer.add(make_item(1, std::numeric_limits<double>::quiet_NaN(),
+                                    0.0, 1.0)),
+               ValidationError);
+  writer.add(make_item(1, 0.5, 0.0, 1.0));
+  (void)writer.finish();
+  EXPECT_THROW(writer.add(make_item(2, 0.5, 0.0, 1.0)), ValidationError);
+  EXPECT_THROW((void)writer.finish(), ValidationError);
+
+  std::ostringstream out2;
+  EXPECT_THROW((BinaryTraceWriter(out2, {.capacity = 0.0})), ValidationError);
+  EXPECT_THROW((BinaryTraceWriter(out2, {.capacity = 1.0, .block_items = 0})),
+               ValidationError);
+  EXPECT_THROW(
+      (BinaryTraceWriter(out2, {.capacity = 1.0,
+                                .block_items = kMaxTraceBlockItems + 1})),
+      ValidationError);
+}
+
+TEST(BinaryTrace, DuplicateIdsAreRejectedLikeTheCsvReader) {
+  // The writer streams and cannot see duplicates across blocks; read_all()
+  // enforces the same uniqueness contract read_trace does.
+  std::ostringstream out;
+  BinaryTraceWriter writer(out, {.capacity = 1.0, .block_items = 1});
+  writer.add(make_item(5, 0.5, 0.0, 1.0));
+  writer.add(make_item(5, 0.25, 2.0, 3.0));
+  (void)writer.finish();
+  const std::string bytes = out.str();
+  const auto reader = BinaryTraceReader::from_view(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  EXPECT_THROW((void)reader.read_all(), ValidationError);
+  // Block-level access still works: each block alone is valid.
+  std::vector<Item> block;
+  EXPECT_NO_THROW(reader.read_block(1, block));
+}
+
+TEST(BinaryTrace, OpenRejectsMissingAndForeignFiles) {
+  ScopedTempDir tmp;
+  EXPECT_THROW((void)BinaryTraceReader::open(tmp.file("absent.mtrace").string()),
+               ValidationError);
+  const std::string csv = tmp.file("plain.csv").string();
+  workload::write_trace_file(csv, adversarial_items());
+  EXPECT_THROW((void)BinaryTraceReader::open(csv), ValidationError);
+}
+
+// ---------------------------------------------------------------------------
+// Golden binary trace
+//
+// tests/goldens/demo_trace.mtrace is the checked-in MUTDBPT1 encoding of the
+// demo CSV trace. Pinning actual bytes (not just behaviour) makes any format
+// drift — codec changes, frame layout, footer fields — fail here even when
+// round-trips still pass, exactly like the packing goldens. Regenerate after
+// reviewing the diff: MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenBinaryTrace
+
+std::string golden_trace_path() {
+  return std::string(MUTDBP_GOLDENS_DIR) + "/demo_trace.mtrace";
+}
+
+TEST(GoldenBinaryTrace, DemoTraceEncodingIsStable) {
+  const bool update = []() {
+    const char* env = std::getenv("MUTDBP_UPDATE_GOLDENS");
+    return env != nullptr && std::string(env) == "1";
+  }();
+  const ItemList demo = workload::read_trace_file(MUTDBP_DEMO_TRACE_PATH);
+
+  if (update) {
+    write_binary_trace_file(golden_trace_path(), demo);
+    GTEST_SKIP() << "golden binary trace rewritten at " << golden_trace_path();
+  }
+
+  ScopedTempDir tmp;
+  const std::string fresh = tmp.file("demo.mtrace").string();
+  write_binary_trace_file(fresh, demo);
+
+  const auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path
+                    << " — generate it once with: MUTDBP_UPDATE_GOLDENS=1 "
+                       "ctest -R GoldenBinaryTrace";
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string golden_bytes = read_bytes(golden_trace_path());
+  const std::string fresh_bytes = read_bytes(fresh);
+  ASSERT_FALSE(golden_bytes.empty());
+  EXPECT_EQ(golden_bytes, fresh_bytes)
+      << "the MUTDBPT1 encoding of the demo trace changed; if the format "
+         "change is intentional, bump kTraceFormatVersion and regenerate "
+         "with MUTDBP_UPDATE_GOLDENS=1 ctest -R GoldenBinaryTrace";
+
+  // And the golden file itself reads back to the demo items with the
+  // expected content digest.
+  const auto reader = BinaryTraceReader::open(golden_trace_path());
+  EXPECT_EQ(reader.meta().digest, trace_digest(demo));
+  expect_items_equal(demo, reader.read_all(), "golden binary trace");
+}
+
+}  // namespace
+}  // namespace mutdbp::trace

@@ -21,6 +21,7 @@
 #include "daemon/server.h"
 #include "opt/bin_packing.h"
 #include "opt/opt_integral.h"
+#include "trace/binary_trace.h"
 #include "util/rng.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -438,6 +439,241 @@ TEST(FuzzCheckpoint, RandomBytesNeverCrashTheReader) {
       dump_crash_artifact("garbage", trial, "", garbage,
                           std::string("unexpected exception type: ") + e.what());
       FAIL() << "garbage raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+// ---- MUTDBPT1 binary traces vs truncation, bit flips, and hostile metadata
+//
+// Contract (trace/binary_trace.h): any corrupted trace file — truncation,
+// bit flips, hostile block lengths, garbage footers — surfaces as a clean
+// ValidationError from the reader, never a crash, never a silently
+// different item list. Same budget and artifact scheme as the checkpoint
+// fuzzers above.
+
+/// A valid random binary trace (the mutation baseline).
+std::string random_binary_trace_bytes(std::uint64_t seed, ItemList* out_items) {
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 20 + seed % 100;
+  spec.seed = seed;
+  const ItemList items = workload::generate(spec);
+  std::ostringstream out(std::ios::binary);
+  trace::BinaryTraceWriter writer(
+      out, {items.capacity(), 16 + static_cast<std::size_t>(seed % 48)});
+  for (const Item& item : items) writer.add(item);
+  (void)writer.finish();
+  if (out_items != nullptr) *out_items = items;
+  return out.str();
+}
+
+enum class TraceReadOutcome { kOk, kRejected };
+
+/// Runs the full reader pipeline (skeleton parse + every block + read_all)
+/// over in-memory bytes. ValidationError -> kRejected; any other exception
+/// propagates (the fuzzers turn that into a FAIL with an artifact).
+TraceReadOutcome try_read_binary_trace(const std::string& bytes, ItemList* out) {
+  try {
+    const auto reader = trace::BinaryTraceReader::from_view(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ItemList items = reader.read_all();
+    if (out != nullptr) *out = std::move(items);
+    return TraceReadOutcome::kOk;
+  } catch (const ValidationError&) {
+    return TraceReadOutcome::kRejected;
+  }
+}
+
+[[nodiscard]] std::uint64_t read_u64_le_at(const std::string& bytes,
+                                           std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(bytes[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void write_u64_le_at(std::string& bytes, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Recomputes the FNV-1a checksum of the frame starting at `frame_offset`
+/// after its payload was mutated, so hostile *semantic* values reach the
+/// validation layers behind the checksum. No-op when the frame's claimed
+/// extent no longer fits the buffer (the length checks reject it first).
+void fix_frame_checksum(std::string& bytes, std::size_t frame_offset) {
+  if (frame_offset + kFrameHeaderBytes > bytes.size()) return;
+  const std::uint64_t payload_size = read_u64_le_at(bytes, frame_offset + 16);
+  const std::uint64_t head = kFrameHeaderBytes + payload_size;
+  if (payload_size > bytes.size() ||
+      frame_offset + head + kFrameChecksumBytes > bytes.size()) {
+    return;
+  }
+  const std::uint64_t checksum =
+      fnv1a64(bytes.data() + frame_offset, static_cast<std::size_t>(head));
+  write_u64_le_at(bytes, frame_offset + static_cast<std::size_t>(head), checksum);
+}
+
+TEST(FuzzBinaryTrace, TruncationIsAlwaysACleanValidationError) {
+  const std::size_t iters = fuzz_iters(40);
+  Rng rng(0x7ACE);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::uint64_t seed = rng.uniform_u64(1, 1u << 24);
+    const std::string bytes = random_binary_trace_bytes(seed, nullptr);
+    const std::size_t len = rng.uniform_u64(0, bytes.size() - 1);
+    const std::string truncated = bytes.substr(0, len);
+    try {
+      if (try_read_binary_trace(truncated, nullptr) == TraceReadOutcome::kOk) {
+        dump_crash_artifact("trace-truncation", seed, bytes, truncated,
+                            "truncated to " + std::to_string(len) +
+                                " bytes but still read successfully");
+        FAIL() << "truncated trace (len " << len << "/" << bytes.size()
+               << ") was accepted";
+      }
+    } catch (const std::exception& e) {
+      dump_crash_artifact("trace-truncation", seed, bytes, truncated,
+                          std::string("unexpected exception type: ") + e.what());
+      FAIL() << "truncation raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+TEST(FuzzBinaryTrace, BitFlipsAreRejectedOrReadIdentically) {
+  const std::size_t iters = fuzz_iters(60);
+  Rng rng(0xB1F5);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::uint64_t seed = rng.uniform_u64(1, 1u << 24);
+    ItemList original;
+    const std::string bytes = random_binary_trace_bytes(seed, &original);
+    std::string corrupted = bytes;
+    const std::size_t flips = 1 + rng.uniform_u64(0, 7);
+    std::string detail = "bit flips at:";
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_u64(0, corrupted.size() - 1);
+      const int bit = static_cast<int>(rng.uniform_u64(0, 7));
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+      detail += " " + std::to_string(pos) + ":" + std::to_string(bit);
+    }
+    if (corrupted == bytes) continue;  // flips cancelled out
+    try {
+      ItemList read_back;
+      if (try_read_binary_trace(corrupted, &read_back) == TraceReadOutcome::kOk) {
+        // The checksums should make this unreachable; a mutant that slips
+        // through must still read as THE original trace.
+        const bool identical = read_back.size() == original.size() &&
+                               read_back.capacity() == original.capacity() &&
+                               std::equal(read_back.begin(), read_back.end(),
+                                          original.begin());
+        if (!identical) {
+          dump_crash_artifact("trace-bitflip", seed, bytes, corrupted,
+                              detail + "\nmutant read as a DIFFERENT item list "
+                              "(silent divergence)");
+          FAIL() << "bit-flipped trace read differently (" << detail << ")";
+        }
+      }
+    } catch (const std::exception& e) {
+      dump_crash_artifact("trace-bitflip", seed, bytes, corrupted,
+                          detail + "\nunexpected exception type: " + e.what());
+      FAIL() << "bit flip raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+TEST(FuzzBinaryTrace, GarbageNeverCrashesTheReader) {
+  const std::size_t iters = fuzz_iters(60);
+  Rng rng(0x6AB5);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    std::string garbage(rng.uniform_u64(0, 512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform_u64(0, 255));
+    if (rng.bernoulli(0.4) && garbage.size() >= 8) {
+      // Real magic so the fuzzer reaches the tail/footer/header validation.
+      garbage.replace(0, 8, "MUTDBPT1");
+    }
+    try {
+      if (try_read_binary_trace(garbage, nullptr) == TraceReadOutcome::kOk) {
+        dump_crash_artifact("trace-garbage", trial, "", garbage,
+                            "random bytes were accepted as a binary trace");
+        FAIL() << "garbage was accepted as a binary trace";
+      }
+    } catch (const std::exception& e) {
+      dump_crash_artifact("trace-garbage", trial, "", garbage,
+                          std::string("unexpected exception type: ") + e.what());
+      FAIL() << "garbage raised a non-ValidationError: " << e.what();
+    }
+  }
+}
+
+TEST(FuzzBinaryTrace, HostileLengthsAndFootersAreCleanRejections) {
+  // Target the length-bearing metadata specifically: the trailing footer
+  // offset, block frames' size fields, and the footer payload's block index
+  // — with checksums *re-fixed* after the mutation, so the hostile values
+  // reach the structural validation behind the checksum instead of being
+  // absorbed by it. A mutation that happens to reproduce a valid image must
+  // read back identically; everything else must be a ValidationError.
+  const std::size_t iters = fuzz_iters(80);
+  Rng rng(0x0FF5);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::uint64_t seed = rng.uniform_u64(1, 1u << 24);
+    ItemList original;
+    const std::string bytes = random_binary_trace_bytes(seed, &original);
+    std::string corrupted = bytes;
+    const std::size_t footer_offset =
+        static_cast<std::size_t>(read_u64_le_at(bytes, bytes.size() - 8));
+    std::string detail;
+
+    const std::uint64_t hostile =
+        rng.bernoulli(0.5) ? rng.uniform_u64(0, bytes.size() * 2)
+                           : rng.uniform_u64(0, ~std::uint64_t{0});
+    switch (rng.uniform_u64(0, 2)) {
+      case 0: {  // tail: point the footer offset anywhere
+        write_u64_le_at(corrupted, corrupted.size() - 8, hostile);
+        detail = "tail footer offset := " + std::to_string(hostile);
+        break;
+      }
+      case 1: {  // a frame's declared payload size (header or first block)
+        const std::size_t frame_offset =
+            rng.bernoulli(0.5) ? 8 : footer_offset;
+        write_u64_le_at(corrupted, frame_offset + 16, hostile);
+        fix_frame_checksum(corrupted, frame_offset);
+        detail = "frame@" + std::to_string(frame_offset) +
+                 " payload size := " + std::to_string(hostile);
+        break;
+      }
+      default: {  // a u64 inside the footer payload (counts, offsets, index)
+        const std::size_t payload_size = static_cast<std::size_t>(
+            read_u64_le_at(bytes, footer_offset + 16));
+        const std::size_t pos = footer_offset + kFrameHeaderBytes +
+                                rng.uniform_u64(0, payload_size - 8);
+        write_u64_le_at(corrupted, pos, hostile);
+        fix_frame_checksum(corrupted, footer_offset);
+        detail = "footer payload u64@" + std::to_string(pos) +
+                 " := " + std::to_string(hostile);
+        break;
+      }
+    }
+    if (corrupted == bytes) continue;
+
+    try {
+      ItemList read_back;
+      if (try_read_binary_trace(corrupted, &read_back) == TraceReadOutcome::kOk) {
+        const bool identical = read_back.size() == original.size() &&
+                               std::equal(read_back.begin(), read_back.end(),
+                                          original.begin());
+        if (!identical) {
+          dump_crash_artifact("trace-hostile", seed, bytes, corrupted,
+                              detail + "\nhostile metadata read as a DIFFERENT "
+                              "item list");
+          FAIL() << "hostile metadata read differently (" << detail << ")";
+        }
+      }
+    } catch (const std::exception& e) {
+      dump_crash_artifact("trace-hostile", seed, bytes, corrupted,
+                          detail + "\nunexpected exception type: " + e.what());
+      FAIL() << "hostile metadata raised a non-ValidationError: " << e.what();
     }
   }
 }

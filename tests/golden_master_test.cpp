@@ -48,24 +48,9 @@ std::uint64_t bits_of(double v) {
   return bits;
 }
 
-/// Order-sensitive digest of the full packing: bin index, usage interval,
-/// then every placement (item, size, activity interval) in placement order.
-std::uint64_t digest_of(const PackingResult& result) {
-  std::uint64_t h = fnv1a64(nullptr, 0);
-  const auto mix = [&h](std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); };
-  for (const BinRecord& bin : result.bins()) {
-    mix(bin.index);
-    mix(bits_of(bin.usage.left));
-    mix(bits_of(bin.usage.right));
-    for (const PlacementRecord& placement : bin.items) {
-      mix(placement.item);
-      mix(bits_of(placement.size));
-      mix(bits_of(placement.active.left));
-      mix(bits_of(placement.active.right));
-    }
-  }
-  return h;
-}
+// The placement digest itself is packing_digest() (core/packing_result.h) —
+// shared with trace_replay's "result digest:" lines, so the goldens pinned
+// here and the CI ingest-parity gate speak the same hash.
 
 struct Workload {
   std::string name;
@@ -141,7 +126,7 @@ TEST(GoldenMaster, PackingsMatchCheckedInGoldens) {
       Golden golden;
       golden.bins = result.bins_opened();
       golden.usage_bits = bits_of(result.total_usage_time());
-      golden.digest = digest_of(result);
+      golden.digest = packing_digest(result);
       actual[workload.name + "/" + algorithm] = golden;
     }
   }
