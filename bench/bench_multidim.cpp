@@ -1,7 +1,16 @@
 // E11 — the paper's §IX future work: multi-dimensional MinUsageTime DBP.
-// Sweeps dimensionality and cross-dimension demand correlation, comparing
-// the MD generalizations of First Fit / Best Fit / Next Fit and the
-// dot-product heuristic against the per-dimension load-ceiling lower bound.
+// Two sections:
+//   1. Quality sweep: dimensionality × cross-dimension demand correlation,
+//      comparing the vector Any Fit family (VFF/VBF/VWF/VNF), the
+//      DVBP-paper Best Fit variants (dominant-resource, L2) and the
+//      dot-product heuristic against the per-dimension load-ceiling lower
+//      bound.
+//   2. Kernel throughput: the VectorCapacityTree placement kernel against
+//      the snapshot reference path (MDWithSnapshots<>), digest-verified —
+//      the same run must come out bit-identical on both paths before its
+//      timing counts.
+// --smoke shrinks both sections to CI size; CI greps the parity line.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -11,10 +20,41 @@
 #include "util/stats.h"
 #include "util/table.h"
 
+namespace {
+
+using namespace mutdbp;
+using namespace mutdbp::md;
+
+double run_seconds(const MDItemList& items, MDPackingAlgorithm& algorithm,
+                   MDPackingResult& result_out) {
+  MDSimulationOptions options;
+  options.capacity = items.capacity();
+  options.track_bounds = false;  // measure the placement kernel itself
+  const auto start = std::chrono::steady_clock::now();
+  MDSimulation sim(algorithm, options);
+  sim.reserve(items.size());
+  for (const MDScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      (void)sim.arrive(event.id, items[event.item_pos].demand, event.t);
+    } else {
+      sim.depart(event.id, event.t);
+    }
+  }
+  result_out = sim.finish();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const mutdbp::bench::CsvExporter csv_export(argc, argv);
-  using namespace mutdbp;
-  using namespace mutdbp::md;
+  Flags flags(argc, argv);
+  const mutdbp::bench::CsvExporter csv_export(flags);
+  const bool smoke = flags.get_bool(
+      "smoke", false, "tiny workloads + fewer seeds (CI smoke run)");
+  if (flags.finish("E11 multidim bench; prints tables, see DESIGN.md SS7")) {
+    return 0;
+  }
   bench::print_header(
       "E11: multi-dimensional MinUsageTime DBP (SS IX future work)",
       "\"extend the MinUsageTime DBP problem to the multi-dimensional "
@@ -25,15 +65,17 @@ int main(int argc, char** argv) {
       "balance-seeking dot-product, which spreads items and keeps more "
       "bins alive");
 
+  const std::size_t sweep_items = smoke ? 120 : 400;
+  const std::uint64_t sweep_seeds = smoke ? 2 : 8;
   Table table({"dims", "correlation", "algorithm", "mean_ratio", "worst_ratio"});
   for (const std::size_t dims : {1u, 2u, 4u}) {
     for (const double correlation : {1.0, 0.0, -1.0}) {
       if (dims == 1 && correlation != 1.0) continue;  // meaningless in 1-D
       for (const auto& name : md_algorithm_names()) {
         RunningStats ratios;
-        for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        for (std::uint64_t seed = 1; seed <= sweep_seeds; ++seed) {
           MDWorkloadSpec spec;
-          spec.num_items = 400;
+          spec.num_items = sweep_items;
           spec.dimensions = dims;
           spec.correlation = correlation;
           spec.seed = seed;
@@ -54,5 +96,54 @@ int main(int argc, char** argv) {
   std::printf("\nratios vs max-over-dimensions load-ceiling lower bound (a weaker\n"
               "reference than the scalar exact integral, so absolute values are\n"
               "higher; compare across rows, not against E4).\n");
+
+  // --- Section 2: placement kernel vs snapshot reference -------------------
+  std::printf("\nkernel throughput: VectorCapacityTree vs snapshot reference "
+              "(MDWithSnapshots<>)\n");
+  const std::size_t kernel_items = smoke ? 2000 : 20000;
+  MDWorkloadSpec spec;
+  spec.num_items = kernel_items;
+  spec.dimensions = 2;
+  spec.correlation = 0.0;
+  spec.seed = 7;
+  spec.duration_max = 6.0;
+  const MDItemList items = generate_md(spec);
+  const double events = 2.0 * static_cast<double>(items.size());
+
+  Table kernel_table({"algorithm", "path", "events_per_sec", "bins"});
+  bool parity = true;
+  for (const auto& name : {"VectorFirstFit", "VectorBestFit"}) {
+    const auto tree_algo = make_md_algorithm(name);
+    MDPackingResult tree_result;
+    const double tree_s = run_seconds(items, *tree_algo, tree_result);
+
+    MDPackingResult ref_result;
+    double ref_s = 0.0;
+    if (std::string_view(name) == "VectorFirstFit") {
+      MDWithSnapshots<VectorFirstFit> reference;
+      ref_s = run_seconds(items, reference, ref_result);
+    } else {
+      MDWithSnapshots<VectorBestFit> reference;
+      ref_s = run_seconds(items, reference, ref_result);
+    }
+    if (md_packing_digest(tree_result) != md_packing_digest(ref_result)) {
+      parity = false;
+    }
+    kernel_table.add_row({std::string(name), "tree",
+                          Table::num(events / tree_s, 0),
+                          Table::num(tree_result.bins_opened())});
+    kernel_table.add_row({std::string(name), "snapshot",
+                          Table::num(events / ref_s, 0),
+                          Table::num(ref_result.bins_opened())});
+  }
+  std::cout << kernel_table;
+  csv_export.add("multidim_kernel", kernel_table);
+  if (!parity) {
+    std::fprintf(stderr, "KERNEL PARITY FAILED: tree and snapshot paths "
+                 "diverged — timings above are meaningless\n");
+    return 1;
+  }
+  std::printf("kernel parity: tree and snapshot digests identical on every "
+              "timed run\n");
   return 0;
 }

@@ -42,6 +42,16 @@
 // checkpoint file is a MUTDBPC1 fleet header frame followed by one
 // per-shard streaming frame.
 //
+// Vector mode (docs/multidim.md): --dims N replays a D-dimensional vector
+// trace (CSV columns id,size0..size{D-1},arrival,departure) through the
+// multidim engine instead; without --trace a deterministic demo vector
+// trace is generated and saved. --algorithm accepts the vector registry
+// names (VectorFirstFit, DominantBestFit, ...) or the scalar shorthand
+// (FirstFit -> VectorFirstFit). --checkpoint-every / --stop-after-events /
+// --restore work identically — checkpoints are kVectorStreamingSimulation
+// MUTDBPC1 frames — and a completed streaming run is digest-verified
+// against a one-shot batch md_simulate() of the same trace.
+//
 // Ratio monitoring (docs/observability.md): --report out.html writes the
 // self-contained HTML dashboard. --adversarial next_fit|pinning|decoy
 // replays a generated adversarial family (size --n, duration spread --mu)
@@ -63,6 +73,9 @@
 #include "core/sharded.h"
 #include "core/simulation.h"
 #include "core/streaming.h"
+#include "multidim/md_algorithms.h"
+#include "multidim/md_streaming.h"
+#include "multidim/md_trace.h"
 #include "opt/lower_bounds.h"
 #include "telemetry/export.h"
 #include "trace/format.h"
@@ -313,6 +326,231 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Vector (DVBP) replay: --dims N.
+// ---------------------------------------------------------------------------
+
+// The vector counterpart of print_result_digest — same grep-able line, so
+// the CI digest-parity smoke compares scalar and vector runs identically.
+void print_md_result_digest(const mutdbp::md::MDPackingResult& result) {
+  std::printf("result digest: %016" PRIx64 "\n",
+              mutdbp::md::md_packing_digest(result));
+}
+
+// Deterministic demo vector workload: the scalar demo generator drives
+// dimension 0 and a splitmix64 hash of (id, d) fills the others, so every
+// platform produces byte-identical traces (the CI smoke pins digests).
+mutdbp::md::MDItemList generate_md_demo(std::size_t dims, std::size_t num_items) {
+  using namespace mutdbp;
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = num_items;
+  spec.seed = 2026;
+  spec.duration_max = 6.0;
+  const ItemList scalar = workload::generate(spec);
+  std::vector<md::MDItem> md_items;
+  md_items.reserve(scalar.size());
+  for (const Item& item : scalar) {
+    std::vector<double> demand(dims);
+    demand[0] = item.size;
+    for (std::size_t d = 1; d < dims; ++d) {
+      std::uint64_t x = item.id * 0x9e3779b97f4a7c15ULL + d;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      demand[d] = 0.05 + 0.9 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+    }
+    md_items.push_back(md::make_md_item(item.id, std::move(demand),
+                                        item.arrival(), item.departure()));
+  }
+  return md::MDItemList(std::move(md_items), std::vector<double>(dims, 1.0));
+}
+
+// Accepts both registry spellings: the vector names ("VectorFirstFit") and
+// the scalar shorthand ("FirstFit", the --algorithm default).
+std::string resolve_md_algorithm_name(const std::string& name) {
+  const std::vector<std::string> names = mutdbp::md::md_algorithm_names();
+  if (std::find(names.begin(), names.end(), name) != names.end()) return name;
+  const std::string prefixed = "Vector" + name;
+  if (std::find(names.begin(), names.end(), prefixed) != names.end()) {
+    return prefixed;
+  }
+  return name;  // let make_md_algorithm produce the canonical error
+}
+
+// Replays a D-dimensional trace through the vector engine — batch
+// md_simulate() by default, MDStreamingSimulation when any streaming flag
+// is given. A streaming run that reaches the end of the trace verifies its
+// digest against a one-shot batch run, exactly like the scalar path.
+int run_multidim(std::size_t dims, const std::string& trace_path,
+                 const std::string& algorithm_flag, double capacity_flag,
+                 const std::string& save_path, std::int64_t checkpoint_every,
+                 const std::string& checkpoint_path,
+                 const std::string& restore_path, std::int64_t stop_after_events,
+                 mutdbp::telemetry::Telemetry* telemetry,
+                 const std::string& metrics_path) {
+  using namespace mutdbp;
+  using namespace mutdbp::md;
+
+  MDItemList items;
+  if (trace_path.empty()) {
+    items = generate_md_demo(dims, 200);
+    write_md_trace_file(save_path, items);
+    std::printf("no --trace given: generated a %zu-dimensional demo trace "
+                "(%zu items) -> %s\n\n",
+                dims, items.size(), save_path.c_str());
+  } else {
+    const double cap = capacity_flag > 0.0 ? capacity_flag : 1.0;
+    items = read_md_trace_file(trace_path, std::vector<double>(dims, cap));
+    std::printf("loaded %zu vector items (%zu dims) from %s\n\n", items.size(),
+                dims, trace_path.c_str());
+  }
+
+  const bool streaming = checkpoint_every > 0 || stop_after_events > 0 ||
+                         !restore_path.empty();
+  const MDLowerBounds bounds = md_lower_bounds(items);
+
+  if (!streaming) {
+    const auto algorithm =
+        make_md_algorithm(resolve_md_algorithm_name(algorithm_flag));
+    const MDPackingResult result =
+        md_simulate(items, *algorithm, kDefaultFitEpsilon, telemetry);
+    const double usage = result.total_usage_time();
+    const double lb = bounds.combined();
+    std::printf("algorithm:        %s\n",
+                std::string(algorithm->name()).c_str());
+    std::printf("dimensions:       %zu\n", dims);
+    std::printf("mu:               %.3f\n", items.mu());
+    std::printf("total usage:      %.3f\n", usage);
+    std::printf("bins opened:      %zu\n", result.bins_opened());
+    std::printf("OPT lower bound:  %.3f (prop1 %.3f, prop2 %.3f, "
+                "load-ceiling %.3f)\n",
+                lb, bounds.prop1, bounds.prop2, bounds.load_ceiling);
+    if (lb > 0.0) std::printf("achieved ratio:   <= %.3f\n", usage / lb);
+    print_md_result_digest(result);
+    if (telemetry != nullptr && !metrics_path.empty()) {
+      telemetry::write_metrics_file(metrics_path, *telemetry);
+      std::printf("[metrics written to %s]\n", metrics_path.c_str());
+    }
+    return 0;
+  }
+
+  std::unique_ptr<MDPackingAlgorithm> algorithm;
+  std::unique_ptr<MDStreamingSimulation> stream;
+  if (!restore_path.empty()) {
+    std::ifstream in(restore_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open checkpoint %s\n", restore_path.c_str());
+      return 1;
+    }
+    const MDStreamingCheckpoint checkpoint = MDStreamingCheckpoint::read(in);
+    algorithm = make_md_algorithm(checkpoint.algorithm,
+                                  checkpoint.options.fit_epsilon);
+    stream = std::make_unique<MDStreamingSimulation>(
+        MDStreamingSimulation::restore(checkpoint, *algorithm, telemetry));
+    std::printf("restored from %s: algorithm %s, %zu events applied, "
+                "%zu servers rented, %zu jobs running\n",
+                restore_path.c_str(), checkpoint.algorithm.c_str(),
+                stream->events_applied(), stream->open_bin_count(),
+                stream->active_items());
+    if (stream->engine().dimensions() != dims) {
+      std::fprintf(stderr, "checkpoint has %zu dimensions but --dims is %zu\n",
+                   stream->engine().dimensions(), dims);
+      return 1;
+    }
+  } else {
+    algorithm = make_md_algorithm(resolve_md_algorithm_name(algorithm_flag));
+    MDStreamingOptions options;
+    options.capacity = items.capacity();
+    options.telemetry = telemetry;
+    stream = std::make_unique<MDStreamingSimulation>(*algorithm, options);
+  }
+
+  const auto& schedule = items.schedule();
+  if (stream->events_applied() > schedule.size()) {
+    std::fprintf(stderr, "checkpoint has %zu events but the trace only has %zu — "
+                 "restored against the wrong trace?\n",
+                 stream->events_applied(), schedule.size());
+    return 1;
+  }
+
+  auto write_checkpoint = [&]() -> bool {
+    std::ofstream out(checkpoint_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write checkpoint %s\n",
+                   checkpoint_path.c_str());
+      return false;
+    }
+    stream->snapshot(out);
+    return true;
+  };
+
+  std::size_t checkpoints_written = 0;
+  ScopedSignalGuard signal_guard;
+  for (std::size_t i = stream->events_applied(); i < schedule.size(); ++i) {
+    if (g_interrupted != 0 && !checkpoint_path.empty()) {
+      if (!write_checkpoint()) return 1;
+      std::printf("interrupted after %zu events; final checkpoint -> %s "
+                  "(resume with --restore)\n",
+                  stream->events_applied(), checkpoint_path.c_str());
+      return 0;
+    }
+    const MDScheduledEvent& event = schedule[i];
+    if (event.is_arrival) {
+      stream->push_arrival(event.id, items[event.item_pos].demand, event.t);
+    } else {
+      stream->push_departure(event.id, event.t);
+    }
+    stream->flush();
+    if (checkpoint_every > 0 &&
+        stream->events_applied() % static_cast<std::size_t>(checkpoint_every) ==
+            0) {
+      if (!write_checkpoint()) return 1;
+      ++checkpoints_written;
+    }
+    if (stop_after_events > 0 &&
+        stream->events_applied() >=
+            static_cast<std::size_t>(stop_after_events)) {
+      if (!write_checkpoint()) return 1;
+      std::printf("stopped after %zu events (simulated crash); checkpoint -> "
+                  "%s\n",
+                  stream->events_applied(), checkpoint_path.c_str());
+      return 0;
+    }
+  }
+  if (checkpoints_written > 0) {
+    std::printf("%zu checkpoints written to %s\n", checkpoints_written,
+                checkpoint_path.c_str());
+  }
+
+  const std::string algorithm_name(stream->algorithm_name());
+  const double stream_fit_epsilon = stream->options().fit_epsilon;
+  const MDPackingResult streamed = stream->finish();
+
+  // End-to-end verification: the streamed (and possibly restored) run must
+  // be digest-identical to one uninterrupted batch run.
+  const auto reference = make_md_algorithm(algorithm_name, stream_fit_epsilon);
+  const MDPackingResult batch = md_simulate(items, *reference, stream_fit_epsilon);
+  std::printf("streaming run: %zu events, %zu servers, total usage %.3f, "
+              "OPT lower bound %.3f\n",
+              stream->events_applied(), streamed.bins_opened(),
+              streamed.total_usage_time(), bounds.combined());
+  if (md_packing_digest(streamed) != md_packing_digest(batch)) {
+    std::fprintf(stderr, "VERIFICATION FAILED: vector streaming result "
+                 "diverges from batch md_simulate()\n");
+    return 1;
+  }
+  std::printf("verified: vector placements digest-identical to an "
+              "uninterrupted batch run\n");
+  print_md_result_digest(streamed);
+  if (telemetry != nullptr && !metrics_path.empty()) {
+    telemetry::write_metrics_file(metrics_path, *telemetry);
+    std::printf("[metrics written to %s]\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 // Feeds the trace through an already-constructed fleet (fresh or restored),
 // handling the checkpoint/crash flags, then verifies the merged result
 // against a batch run_sharded() of the same trace — and, for one shard,
@@ -542,7 +780,28 @@ int main(int argc, char** argv) {
   const std::int64_t shards = flags.get_int(
       "shards", 0,
       "replay through an N-shard allocator fleet (0: single-threaded)");
+  const std::int64_t dims = flags.get_int(
+      "dims", 0,
+      "vector (DVBP) mode: replay a D-dimensional vector trace through the "
+      "multidim engine (0: scalar)");
   if (flags.finish("Replay an item trace through a packing algorithm")) return 0;
+
+  if (dims > 0) {
+    if (!adversarial.empty() || shards > 0 || !trace_out_path.empty() ||
+        !report_path.empty() || enforce_bound || audit) {
+      std::fprintf(stderr,
+                   "--dims is not wired for --adversarial/--shards/"
+                   "--trace-out/--report/--enforce-bound/--audit; use the "
+                   "scalar replay for those\n");
+      return 1;
+    }
+    telemetry::Telemetry md_telemetry;
+    return run_multidim(static_cast<std::size_t>(dims), trace_path,
+                        algorithm_name, capacity, save_path, checkpoint_every,
+                        checkpoint_path, restore_path, stop_after_events,
+                        metrics_path.empty() ? nullptr : &md_telemetry,
+                        metrics_path);
+  }
 
   ItemList items;
   double fit_epsilon = kDefaultFitEpsilon;

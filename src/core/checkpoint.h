@@ -66,6 +66,10 @@ enum class CheckpointKind : std::uint32_t {
   /// digest, and the per-block offset index enabling O(1) metadata queries
   /// and random block access.
   kTraceFooter = 10,
+  /// Checkpoint of a vector (multi-dimensional) streaming run: algorithm
+  /// name, dims + per-dimension capacity, and the applied event log with
+  /// vector demands (multidim/md_streaming.h).
+  kVectorStreamingSimulation = 11,
 };
 
 /// FNV-1a 64-bit over a byte range (also used by the golden-master tests to

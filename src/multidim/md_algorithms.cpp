@@ -1,22 +1,61 @@
 #include "multidim/md_algorithms.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace mutdbp::md {
 namespace {
 
-double normalized_fill(const MDBinSnapshot& bin) {
-  double total = 0.0;
-  for (std::size_t d = 0; d < bin.level.size(); ++d) {
-    total += bin.level[d] / bin.capacity[d];
+/// The reference-path fill, matching VectorCapacityTree::fill_from bitwise:
+/// raw level at dims == 1, otherwise the configured measure with uniform
+/// 1/D weights (the only weighting the registry exposes).
+double snapshot_fill(const MDBinSnapshot& bin, FitMeasure measure) {
+  const std::size_t dims = bin.level.size();
+  if (dims == 1) return bin.level[0];
+  switch (measure) {
+    case FitMeasure::kWeightedSum: {
+      const double w = 1.0 / static_cast<double>(dims);
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        fill += w * (bin.level[d] / bin.capacity[d]);
+      }
+      return fill;
+    }
+    case FitMeasure::kDominant: {
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        fill = std::max(fill, bin.level[d] / bin.capacity[d]);
+      }
+      return fill;
+    }
+    case FitMeasure::kL2: {
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double u = bin.level[d] / bin.capacity[d];
+        fill += u * u;
+      }
+      return fill;
+    }
   }
-  return total / static_cast<double>(bin.level.size());
+  return 0.0;  // unreachable
+}
+
+double dot_product_score(std::span<const double> demand,
+                         std::span<const double> level,
+                         std::span<const double> capacity) {
+  double score = 0.0;
+  for (std::size_t d = 0; d < demand.size(); ++d) {
+    const double residual = (capacity[d] - level[d]) / capacity[d];
+    score += (demand[d] / capacity[d]) * residual;
+  }
+  return score;
 }
 
 }  // namespace
 
-Placement MDAnyFit::place(const MDArrivalView& item,
-                          std::span<const MDBinSnapshot> open_bins) {
+Placement VectorAnyFit::place(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> open_bins) {
   fitting_.clear();
   for (const auto& bin : open_bins) {
     if (md_fits(bin, item.demand, fit_epsilon_)) fitting_.push_back(bin);
@@ -25,12 +64,95 @@ Placement MDAnyFit::place(const MDArrivalView& item,
   return pick(item, fitting_);
 }
 
-BinIndex MDBestFit::pick(const MDArrivalView&,
-                         std::span<const MDBinSnapshot> fitting) {
+Placement TreeVectorAnyFit::place(const MDArrivalView& item,
+                                  std::span<const MDBinSnapshot> open_bins) {
+  // An attached instance is driven by an MDSimulation that passes an empty
+  // span (needs_snapshots() == false) — answer from the tree. Explicit
+  // snapshots (tests, MDWithSnapshots<>) take the reference scan path.
+  if (open_bins.empty() && attached_) {
+    std::optional<BinIndex> hit;
+    switch (query_) {
+      case TreeQuery::kFirstFit:
+        hit = tree_.first_fit(item.demand);
+        break;
+      case TreeQuery::kBestFit:
+        hit = tree_.best_fit(item.demand);
+        break;
+      case TreeQuery::kWorstFit:
+        hit = tree_.worst_fit(item.demand);
+        break;
+      case TreeQuery::kLastFit:
+        hit = tree_.last_fit(item.demand);
+        break;
+      case TreeQuery::kDotProduct: {
+        fitting_scratch_.clear();
+        tree_.collect_fitting(item.demand, fitting_scratch_);
+        double best_score = -std::numeric_limits<double>::infinity();
+        for (const BinIndex bin : fitting_scratch_) {
+          const double score = dot_product_score(item.demand, tree_.levels(bin),
+                                                 tree_.capacity());
+          // Strict >: the enumeration is index-ascending, so ties keep the
+          // lowest-indexed bin — same rule as the reference scan.
+          if (score > best_score) {
+            best_score = score;
+            hit = bin;
+          }
+        }
+        break;
+      }
+    }
+    if (!hit.has_value()) return std::nullopt;  // the Any Fit property
+    return *hit;
+  }
+  return VectorAnyFit::place(item, open_bins);
+}
+
+void TreeVectorAnyFit::on_simulation_begin(std::span<const double> capacity,
+                                           double /*fit_epsilon*/) {
+  // The tree applies this instance's own epsilon, exactly as the snapshot
+  // scan applies it in md_fits().
+  tree_.begin(capacity, fit_epsilon(), track_fill_order_, measure_);
+  attached_ = true;
+}
+
+void TreeVectorAnyFit::on_bin_opened(BinIndex bin, const MDArrivalView& first_item) {
+  if (!attached_) return;
+  const BinIndex assigned = tree_.append(first_item.demand);
+  if (assigned != bin) {
+    throw std::logic_error(
+        "TreeVectorAnyFit: bin indices out of sync with the simulation");
+  }
+}
+
+void TreeVectorAnyFit::on_item_placed(BinIndex bin, const MDArrivalView& /*item*/,
+                                      std::span<const double> new_levels) {
+  if (attached_) tree_.set_levels(bin, new_levels);
+}
+
+void TreeVectorAnyFit::on_item_departed(BinIndex bin,
+                                        std::span<const double> /*demand*/,
+                                        std::span<const double> new_levels,
+                                        Time /*t*/) {
+  if (attached_) tree_.set_levels(bin, new_levels);
+}
+
+void TreeVectorAnyFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  if (attached_) tree_.close(bin);
+}
+
+void TreeVectorAnyFit::reset() { attached_ = false; }
+
+BinIndex VectorFirstFit::pick(const MDArrivalView& /*item*/,
+                              std::span<const MDBinSnapshot> fitting) {
+  return fitting.front().index;  // fitting is sorted by opening order
+}
+
+BinIndex VectorBestFit::pick(const MDArrivalView& /*item*/,
+                             std::span<const MDBinSnapshot> fitting) {
   BinIndex best = fitting.front().index;
-  double best_fill = normalized_fill(fitting.front());
+  double best_fill = snapshot_fill(fitting.front(), measure());
   for (const auto& bin : fitting.subspan(1)) {
-    const double fill = normalized_fill(bin);
+    const double fill = snapshot_fill(bin, measure());
     if (fill > best_fill) {
       best_fill = fill;
       best = bin.index;
@@ -39,19 +161,31 @@ BinIndex MDBestFit::pick(const MDArrivalView&,
   return best;
 }
 
-BinIndex MDDotProduct::pick(const MDArrivalView& item,
-                            std::span<const MDBinSnapshot> fitting) {
-  // Maximize dot(normalized demand, normalized residual capacity): prefer
-  // the bin with room exactly where this item needs it, so complementary
-  // items share bins and no dimension is stranded.
+BinIndex VectorWorstFit::pick(const MDArrivalView& /*item*/,
+                              std::span<const MDBinSnapshot> fitting) {
   BinIndex best = fitting.front().index;
-  double best_score = -1.0;
-  for (const auto& bin : fitting) {
-    double score = 0.0;
-    for (std::size_t d = 0; d < item.demand.size(); ++d) {
-      const double residual = (bin.capacity[d] - bin.level[d]) / bin.capacity[d];
-      score += (item.demand[d] / bin.capacity[d]) * residual;
+  double best_fill = snapshot_fill(fitting.front(), measure());
+  for (const auto& bin : fitting.subspan(1)) {
+    const double fill = snapshot_fill(bin, measure());
+    if (fill < best_fill) {
+      best_fill = fill;
+      best = bin.index;
     }
+  }
+  return best;
+}
+
+BinIndex VectorLastFit::pick(const MDArrivalView& /*item*/,
+                             std::span<const MDBinSnapshot> fitting) {
+  return fitting.back().index;
+}
+
+BinIndex VectorDotProduct::pick(const MDArrivalView& item,
+                                std::span<const MDBinSnapshot> fitting) {
+  BinIndex best = fitting.front().index;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& bin : fitting) {
+    const double score = dot_product_score(item.demand, bin.level, bin.capacity);
     if (score > best_score) {
       best_score = score;
       best = bin.index;
@@ -60,8 +194,27 @@ BinIndex MDDotProduct::pick(const MDArrivalView& item,
   return best;
 }
 
-Placement MDNextFit::place(const MDArrivalView& item,
-                           std::span<const MDBinSnapshot> open_bins) {
+Placement VectorNextFit::place(const MDArrivalView& item,
+                               std::span<const MDBinSnapshot> open_bins) {
+  // Kernel path: answer in O(D) from the hook-tracked levels of the
+  // available bin, with the identical fit predicate.
+  if (open_bins.empty() && attached_) {
+    if (available_.has_value()) {
+      bool fits = true;
+      for (std::size_t d = 0; d < item.demand.size(); ++d) {
+        if (available_levels_[d] + item.demand[d] > capacity_[d] + fit_epsilon_) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) return *available_;
+      // Doesn't fit: the available bin becomes unavailable forever.
+      available_.reset();
+    }
+    return std::nullopt;  // open a new bin; on_bin_opened marks it available
+  }
+
+  // Reference path (explicit snapshots: tests, MDWithSnapshots<>).
   if (available_.has_value()) {
     for (const auto& bin : open_bins) {
       if (bin.index == *available_) {
@@ -74,17 +227,86 @@ Placement MDNextFit::place(const MDArrivalView& item,
   return std::nullopt;
 }
 
+void VectorNextFit::on_simulation_begin(std::span<const double> capacity,
+                                        double /*fit_epsilon*/) {
+  capacity_.assign(capacity.begin(), capacity.end());
+  attached_ = true;
+}
+
+void VectorNextFit::on_bin_opened(BinIndex bin, const MDArrivalView& first_item) {
+  available_ = bin;
+  available_levels_.assign(first_item.demand.begin(), first_item.demand.end());
+}
+
+void VectorNextFit::on_item_placed(BinIndex bin, const MDArrivalView& /*item*/,
+                                   std::span<const double> new_levels) {
+  if (available_ == bin) {
+    available_levels_.assign(new_levels.begin(), new_levels.end());
+  }
+}
+
+void VectorNextFit::on_item_departed(BinIndex bin, std::span<const double> /*demand*/,
+                                     std::span<const double> new_levels,
+                                     Time /*t*/) {
+  if (available_ == bin) {
+    available_levels_.assign(new_levels.begin(), new_levels.end());
+  }
+}
+
+void VectorNextFit::on_bin_closed(BinIndex bin, Time /*close_time*/) {
+  // An available bin can close (all its items depart); the next arrival
+  // then opens a fresh bin.
+  if (available_ == bin) available_.reset();
+}
+
+void VectorNextFit::reset() {
+  available_.reset();
+  available_levels_.clear();
+  attached_ = false;
+}
+
 std::vector<std::string> md_algorithm_names() {
-  return {"MDFirstFit", "MDBestFit", "MDDotProduct", "MDNextFit"};
+  return {"VectorFirstFit", "VectorBestFit",  "VectorWorstFit",
+          "VectorLastFit",  "VectorNextFit",  "DominantBestFit",
+          "L2BestFit",      "DotProduct"};
 }
 
 std::unique_ptr<MDPackingAlgorithm> make_md_algorithm(std::string_view name,
                                                       double fit_epsilon) {
-  if (name == "MDFirstFit") return std::make_unique<MDFirstFit>(fit_epsilon);
-  if (name == "MDBestFit") return std::make_unique<MDBestFit>(fit_epsilon);
-  if (name == "MDDotProduct") return std::make_unique<MDDotProduct>(fit_epsilon);
-  if (name == "MDNextFit") return std::make_unique<MDNextFit>(fit_epsilon);
+  if (name == "VectorFirstFit") return std::make_unique<VectorFirstFit>(fit_epsilon);
+  if (name == "VectorBestFit") {
+    return std::make_unique<VectorBestFit>(FitMeasure::kWeightedSum,
+                                           "VectorBestFit", fit_epsilon);
+  }
+  if (name == "VectorWorstFit") {
+    return std::make_unique<VectorWorstFit>(FitMeasure::kWeightedSum,
+                                            "VectorWorstFit", fit_epsilon);
+  }
+  if (name == "VectorLastFit") return std::make_unique<VectorLastFit>(fit_epsilon);
+  if (name == "VectorNextFit") return std::make_unique<VectorNextFit>(fit_epsilon);
+  if (name == "DominantBestFit") {
+    return std::make_unique<VectorBestFit>(FitMeasure::kDominant,
+                                           "DominantBestFit", fit_epsilon);
+  }
+  if (name == "L2BestFit") {
+    return std::make_unique<VectorBestFit>(FitMeasure::kL2, "L2BestFit",
+                                           fit_epsilon);
+  }
+  if (name == "DotProduct") return std::make_unique<VectorDotProduct>(fit_epsilon);
   throw std::invalid_argument("unknown MD algorithm: " + std::string(name));
+}
+
+std::optional<std::string> md_scalar_counterpart(std::string_view name) {
+  if (name == "VectorFirstFit") return "FirstFit";
+  if (name == "VectorBestFit") return "BestFit";
+  if (name == "VectorWorstFit") return "WorstFit";
+  if (name == "VectorLastFit") return "LastFit";
+  if (name == "VectorNextFit") return "NextFit";
+  // The fill measures reduce to the raw level in 1-D, so the norm-based
+  // Best Fit variants all degenerate to scalar Best Fit.
+  if (name == "DominantBestFit") return "BestFit";
+  if (name == "L2BestFit") return "BestFit";
+  return std::nullopt;  // DotProduct
 }
 
 }  // namespace mutdbp::md

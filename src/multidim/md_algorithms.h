@@ -1,69 +1,111 @@
-// Multi-dimensional packing rules: the natural generalizations of the
-// scalar Any Fit family plus the dot-product heuristic from the vector
-// bin packing literature.
+// The vector Any Fit family (VFF/VBF/VWF/VNF) plus the DVBP-paper rules:
+// the dominant-resource and norm-based Best Fit variants Lee & Tang's
+// evaluation covers, and the dot-product heuristic from the vector bin
+// packing literature (Panigrahy et al.).
+//
+// Mirrors algorithms/any_fit.h structure exactly:
+//  * VectorAnyFit — the snapshot reference path: place() filters the open
+//    bins per-dimension (md_fits) and delegates to pick().
+//  * TreeVectorAnyFit — the incremental kernel: maintains a
+//    VectorCapacityTree through the engine hooks and answers place() from
+//    a tree query without materializing snapshots. Handed explicit
+//    snapshots (tests, the MDWithSnapshots<> adapter) it falls back to the
+//    reference scan; the kernel tests assert both paths pick identical
+//    bins.
+//
+// Exactness contract at dims == 1: every registered algorithm with a
+// scalar counterpart (md_scalar_counterpart) makes bit-identical decisions
+// to it — the fill measures all reduce to the raw level in 1-D (see
+// vector_capacity_tree.h), so e.g. DominantBestFit degenerates to BestFit.
+// tests/multidim_differential_test.cpp pins the digests.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "multidim/md_core.h"
+#include "multidim/vector_capacity_tree.h"
 
 namespace mutdbp::md {
 
 /// Any Fit base: never opens a bin while some open bin fits the item in
-/// every dimension.
-class MDAnyFit : public MDPackingAlgorithm {
+/// every dimension. Snapshot (reference) path.
+class VectorAnyFit : public MDPackingAlgorithm {
  public:
-  explicit MDAnyFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+  explicit VectorAnyFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
       : fit_epsilon_(fit_epsilon) {}
+
   [[nodiscard]] Placement place(const MDArrivalView& item,
-                                std::span<const MDBinSnapshot> open_bins) final;
+                                std::span<const MDBinSnapshot> open_bins) override;
+
+  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
 
  protected:
+  /// Chooses among `fitting` (non-empty, sorted by bin index).
   [[nodiscard]] virtual BinIndex pick(const MDArrivalView& item,
                                       std::span<const MDBinSnapshot> fitting) = 0;
-  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
 
  private:
   double fit_epsilon_;
-  std::vector<MDBinSnapshot> fitting_;
+  std::vector<MDBinSnapshot> fitting_;  // reused across calls
 };
 
-/// Lowest-indexed fitting bin (First Fit).
-class MDFirstFit final : public MDAnyFit {
+/// Any Fit on the vector placement kernel (see file comment).
+class TreeVectorAnyFit : public VectorAnyFit {
  public:
-  using MDAnyFit::MDAnyFit;
-  [[nodiscard]] std::string_view name() const noexcept override { return "MDFirstFit"; }
+  /// Which VectorCapacityTree query answers place(); fixed per instance so
+  /// place() dispatches through one predictable switch (the scalar
+  /// TreeAnyFit rationale). kDotProduct enumerates fitting bins
+  /// (collect_fitting) and scores them — still one pruned subtree walk.
+  enum class TreeQuery { kFirstFit, kBestFit, kWorstFit, kLastFit, kDotProduct };
 
- protected:
-  [[nodiscard]] BinIndex pick(const MDArrivalView&,
-                              std::span<const MDBinSnapshot> fitting) override {
-    return fitting.front().index;
-  }
+  TreeVectorAnyFit(TreeQuery query, FitMeasure measure,
+                   double fit_epsilon = kDefaultFitEpsilon,
+                   bool track_fill_order = false) noexcept
+      : VectorAnyFit(fit_epsilon),
+        query_(query),
+        measure_(measure),
+        track_fill_order_(track_fill_order) {}
+
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return false; }
+
+  [[nodiscard]] Placement place(const MDArrivalView& item,
+                                std::span<const MDBinSnapshot> open_bins) override;
+
+  void on_simulation_begin(std::span<const double> capacity,
+                           double fit_epsilon) override;
+  void on_bin_opened(BinIndex bin, const MDArrivalView& first_item) override;
+  void on_item_placed(BinIndex bin, const MDArrivalView& item,
+                      std::span<const double> new_levels) override;
+  void on_item_departed(BinIndex bin, std::span<const double> demand,
+                        std::span<const double> new_levels, Time t) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  /// The kernel state (exposed for tests).
+  [[nodiscard]] const VectorCapacityTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] FitMeasure measure() const noexcept { return measure_; }
+
+ private:
+  VectorCapacityTree tree_;
+  TreeQuery query_;
+  FitMeasure measure_;
+  bool track_fill_order_;
+  bool attached_ = false;  ///< an MDSimulation has bound this instance
+  std::vector<BinIndex> fitting_scratch_;  ///< kDotProduct enumeration
 };
 
-/// Fullest fitting bin by normalized aggregate level (Best Fit analogue).
-class MDBestFit final : public MDAnyFit {
+/// Vector First Fit (VFF): lowest-indexed bin with room in every dimension.
+class VectorFirstFit : public TreeVectorAnyFit {
  public:
-  using MDAnyFit::MDAnyFit;
-  [[nodiscard]] std::string_view name() const noexcept override { return "MDBestFit"; }
-
- protected:
-  [[nodiscard]] BinIndex pick(const MDArrivalView&,
-                              std::span<const MDBinSnapshot> fitting) override;
-};
-
-/// Dot-product heuristic (Panigrahy et al.): place in the fitting bin
-/// maximizing the dot product of the item's normalized demand with the
-/// bin's normalized residual capacity — complementary items share bins so
-/// no single dimension strands the rest.
-class MDDotProduct final : public MDAnyFit {
- public:
-  using MDAnyFit::MDAnyFit;
+  explicit VectorFirstFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeVectorAnyFit(TreeQuery::kFirstFit, FitMeasure::kWeightedSum,
+                         fit_epsilon) {}
   [[nodiscard]] std::string_view name() const noexcept override {
-    return "MDDotProduct";
+    return "VectorFirstFit";
   }
 
  protected:
@@ -71,27 +113,130 @@ class MDDotProduct final : public MDAnyFit {
                               std::span<const MDBinSnapshot> fitting) override;
 };
 
-/// One bin available at a time (Next Fit analogue).
-class MDNextFit final : public MDPackingAlgorithm {
+/// Vector Best Fit (VBF): fullest fitting bin under a pluggable fill
+/// measure (ties: lowest index). The registered variants are this class
+/// under different measures/names: VectorBestFit (weighted sum, the Lee &
+/// Tang default), DominantBestFit (dominant resource / max-norm),
+/// L2BestFit (quadratic norm).
+class VectorBestFit : public TreeVectorAnyFit {
  public:
-  explicit MDNextFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+  explicit VectorBestFit(FitMeasure measure = FitMeasure::kWeightedSum,
+                         std::string name = "VectorBestFit",
+                         double fit_epsilon = kDefaultFitEpsilon)
+      : TreeVectorAnyFit(TreeQuery::kBestFit, measure, fit_epsilon,
+                         /*track_fill_order=*/true),
+        name_(std::move(name)) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> fitting) override;
+
+ private:
+  std::string name_;
+};
+
+/// Vector Worst Fit (VWF): emptiest fitting bin under the fill measure
+/// (ties: lowest index).
+class VectorWorstFit : public TreeVectorAnyFit {
+ public:
+  explicit VectorWorstFit(FitMeasure measure = FitMeasure::kWeightedSum,
+                          std::string name = "VectorWorstFit",
+                          double fit_epsilon = kDefaultFitEpsilon)
+      : TreeVectorAnyFit(TreeQuery::kWorstFit, measure, fit_epsilon,
+                         /*track_fill_order=*/true),
+        name_(std::move(name)) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> fitting) override;
+
+ private:
+  std::string name_;
+};
+
+/// Vector Last Fit: most recently opened fitting bin.
+class VectorLastFit : public TreeVectorAnyFit {
+ public:
+  explicit VectorLastFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeVectorAnyFit(TreeQuery::kLastFit, FitMeasure::kWeightedSum,
+                         fit_epsilon) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "VectorLastFit";
+  }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> fitting) override;
+};
+
+/// Dot-product heuristic: among fitting bins, maximize
+/// Σ_d (demand_d/cap_d) · (residual_d/cap_d) — prefer the bin with room
+/// exactly where this item needs it, so complementary items share bins and
+/// no single dimension strands the rest. No scalar counterpart (in 1-D it
+/// degenerates to Worst Fit's preference but scores, not levels, break
+/// ties), so it is excluded from the dims=1 differential suite.
+class VectorDotProduct : public TreeVectorAnyFit {
+ public:
+  explicit VectorDotProduct(double fit_epsilon = kDefaultFitEpsilon) noexcept
+      : TreeVectorAnyFit(TreeQuery::kDotProduct, FitMeasure::kWeightedSum,
+                         fit_epsilon) {}
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "DotProduct";
+  }
+
+ protected:
+  [[nodiscard]] BinIndex pick(const MDArrivalView& item,
+                              std::span<const MDBinSnapshot> fitting) override;
+};
+
+/// Vector Next Fit (VNF): one bin available at a time — mirrors the scalar
+/// NextFit hook-tracked O(D) kernel path exactly.
+class VectorNextFit : public MDPackingAlgorithm {
+ public:
+  explicit VectorNextFit(double fit_epsilon = kDefaultFitEpsilon) noexcept
       : fit_epsilon_(fit_epsilon) {}
-  [[nodiscard]] std::string_view name() const noexcept override { return "MDNextFit"; }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "VectorNextFit";
+  }
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return false; }
+
   [[nodiscard]] Placement place(const MDArrivalView& item,
                                 std::span<const MDBinSnapshot> open_bins) override;
-  void on_bin_opened(BinIndex bin, const MDArrivalView&) override { available_ = bin; }
-  void on_bin_closed(BinIndex bin, Time) override {
-    if (available_ == bin) available_.reset();
+  void on_simulation_begin(std::span<const double> capacity,
+                           double fit_epsilon) override;
+  void on_bin_opened(BinIndex bin, const MDArrivalView& first_item) override;
+  void on_item_placed(BinIndex bin, const MDArrivalView& item,
+                      std::span<const double> new_levels) override;
+  void on_item_departed(BinIndex bin, std::span<const double> demand,
+                        std::span<const double> new_levels, Time t) override;
+  void on_bin_closed(BinIndex bin, Time close_time) override;
+  void reset() override;
+
+  [[nodiscard]] std::optional<BinIndex> available_bin() const noexcept {
+    return available_;
   }
-  void reset() override { available_.reset(); }
 
  private:
   double fit_epsilon_;
   std::optional<BinIndex> available_;
+  std::vector<double> available_levels_;  ///< hook-tracked levels of available_
+  std::vector<double> capacity_;          ///< from on_simulation_begin
+  bool attached_ = false;
 };
 
+/// Names accepted by make_md_algorithm, in canonical comparison order.
 [[nodiscard]] std::vector<std::string> md_algorithm_names();
+
 [[nodiscard]] std::unique_ptr<MDPackingAlgorithm> make_md_algorithm(
     std::string_view name, double fit_epsilon = kDefaultFitEpsilon);
+
+/// The scalar registry name a vector algorithm is bit-identical to at
+/// dims == 1 (the differential suite's pairing); nullopt when there is
+/// none (DotProduct).
+[[nodiscard]] std::optional<std::string> md_scalar_counterpart(
+    std::string_view name);
 
 }  // namespace mutdbp::md

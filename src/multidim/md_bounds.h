@@ -1,0 +1,153 @@
+// Vector generalizations of the §III.C lower bounds on OPT_total, in both
+// incremental (live) and batch form — the multidim counterpart of
+// telemetry/ratio_monitor.h's LowerBoundAccumulator + opt/lower_bounds.h.
+//
+//  * Proposition 1 (time–space):  LB₁ = max_d ∫ load_d(t) dt / cap_d —
+//    every dimension's time–space product must be served, so the tightest
+//    dimension bounds the fleet.
+//  * Proposition 2 (span):        LB₂ = span(R) — unchanged: whenever any
+//    item is active at least one server is on, whatever its demand vector.
+//  * Load ceiling:                LB₃ = ∫ max(max_d ceil(load_d(t)/cap_d),
+//    1{active}) dt — the max over dimensions is taken INSIDE the integral
+//    (at every instant the bin count must cover the worst dimension at
+//    that instant), which dominates the max-of-integrals form.
+//
+// Exactness contract: at dims == 1, VectorLowerBoundAccumulator executes
+// the identical floating-point operations in the identical order as the
+// scalar LowerBoundAccumulator, so a 1-D vector run's bounds are bitwise
+// equal to the scalar monitor's and to opt/lower_bounds.cpp's batch sweep
+// (the multidim differential suite pins this). The batch functions below
+// feed the canonical MDItemList::schedule() order — time ascending,
+// departures before arrivals at equal times, id order within a kind — the
+// same discipline that makes streaming ≡ batch everywhere else.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace mutdbp::md {
+
+class MDItemList;
+
+/// Incremental sweep maintaining the three vector lower bounds. Feed
+/// events in canonical schedule order (advance_to(t), then apply the load
+/// delta); read any bound at any point. MDSimulation keeps one of these
+/// live; the batch functions below run the same class over a whole list,
+/// so live ≡ batch holds bitwise by construction.
+class VectorLowerBoundAccumulator {
+ public:
+  VectorLowerBoundAccumulator() { reset({&kUnitCapacity, 1}); }
+  explicit VectorLowerBoundAccumulator(std::span<const double> capacity) {
+    reset(capacity);
+  }
+
+  void reset(std::span<const double> capacity) {
+    capacity_.assign(capacity.begin(), capacity.end());
+    load_.assign(capacity_.size(), 0.0);
+    load_integral_.assign(capacity_.size(), 0.0);
+    active_ = 0;
+    span_ = 0.0;
+    ceiling_integral_ = 0.0;
+    prev_t_ = -std::numeric_limits<double>::infinity();
+  }
+
+  /// Accrues all three integrals over [prev event time, t) with the current
+  /// load vector, constant between events. Idle stretches contribute
+  /// nothing. Mirrors the scalar accumulator's arithmetic op-for-op.
+  void advance_to(double t) noexcept {
+    if (t > prev_t_) {
+      if (active_ > 0) {
+        const double dt = t - prev_t_;
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          load_integral_[d] += load_[d] * dt;
+        }
+        span_ += dt;
+        // The same 1e-9 ceiling slack as the scalar sweep, per dimension;
+        // the fold starts at 1.0 exactly like std::max(1.0, ceil(...)).
+        double bins = 1.0;
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          const double needed = std::ceil(load_[d] / capacity_[d] - 1e-9);
+          if (needed > bins) bins = needed;
+        }
+        ceiling_integral_ += bins * dt;
+      }
+      prev_t_ = t;
+    }
+  }
+
+  void apply_arrival(std::span<const double> demand) noexcept {
+    for (std::size_t d = 0; d < capacity_.size(); ++d) load_[d] += demand[d];
+    ++active_;
+  }
+  void apply_departure(std::span<const double> demand) noexcept {
+    for (std::size_t d = 0; d < capacity_.size(); ++d) load_[d] -= demand[d];
+    --active_;
+    if (active_ == 0) {
+      // Cancel floating-point residue, exactly like the scalar accumulator.
+      for (double& l : load_) l = 0.0;
+    }
+  }
+
+  /// Proposition 1 (vector): max_d ∫ load_d dt / cap_d.
+  [[nodiscard]] double prop1() const noexcept {
+    double best = load_integral_[0] / capacity_[0];
+    for (std::size_t d = 1; d < capacity_.size(); ++d) {
+      const double lb = load_integral_[d] / capacity_[d];
+      if (lb > best) best = lb;
+    }
+    return best;
+  }
+  /// Proposition 2: span(R) accumulated so far.
+  [[nodiscard]] double prop2() const noexcept { return span_; }
+  /// ∫ max(max_d ceil(load_d/cap_d), 1{active}) dt accumulated so far.
+  [[nodiscard]] double load_ceiling() const noexcept { return ceiling_integral_; }
+  /// max of the three: the certified lower bound on OPT_total.
+  [[nodiscard]] double combined() const noexcept {
+    double best = prop1();
+    if (span_ > best) best = span_;
+    if (ceiling_integral_ > best) best = ceiling_integral_;
+    return best;
+  }
+
+  [[nodiscard]] std::size_t dims() const noexcept { return capacity_.size(); }
+  [[nodiscard]] std::span<const double> capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::span<const double> load() const noexcept { return load_; }
+  [[nodiscard]] std::size_t active() const noexcept { return active_; }
+
+ private:
+  static constexpr double kUnitCapacity = 1.0;
+
+  std::vector<double> capacity_;
+  std::vector<double> load_;           ///< total active demand per dimension
+  std::vector<double> load_integral_;  ///< ∫ load_d dt per dimension
+  std::size_t active_ = 0;
+  double span_ = 0.0;
+  double ceiling_integral_ = 0.0;
+  double prev_t_ = -std::numeric_limits<double>::infinity();
+};
+
+/// The three bounds of one batch sweep (md_lower_bounds).
+struct MDLowerBounds {
+  double prop1 = 0.0;
+  double prop2 = 0.0;
+  double load_ceiling = 0.0;
+  [[nodiscard]] double combined() const noexcept {
+    double best = prop1;
+    if (prop2 > best) best = prop2;
+    if (load_ceiling > best) best = load_ceiling;
+    return best;
+  }
+};
+
+/// One canonical-order sweep computing all three batch bounds.
+[[nodiscard]] MDLowerBounds md_lower_bounds(const MDItemList& items);
+
+[[nodiscard]] double md_prop1_bound(const MDItemList& items);
+[[nodiscard]] double md_prop2_bound(const MDItemList& items);
+[[nodiscard]] double md_load_ceiling_bound(const MDItemList& items);
+[[nodiscard]] double md_combined_lower_bound(const MDItemList& items);
+
+}  // namespace mutdbp::md

@@ -1,42 +1,73 @@
 #include "multidim/md_core.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
 #include <string>
-#include <unordered_map>
+
+#include "core/checkpoint.h"
+#include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace mutdbp::md {
 
+namespace {
+
+[[noreturn]] void throw_item_error(std::size_t row, ItemId id, const std::string& what) {
+  throw ValidationError("MDItemList: item " + std::to_string(id) + " (row " +
+                        std::to_string(row) + "): " + what);
+}
+
+}  // namespace
+
 MDItemList::MDItemList(std::vector<MDItem> items, std::vector<double> capacity)
     : items_(std::move(items)), capacity_(std::move(capacity)) {
-  if (capacity_.empty()) throw std::invalid_argument("MDItemList: no dimensions");
+  if (capacity_.empty()) throw ValidationError("MDItemList: no dimensions");
   for (const double c : capacity_) {
-    if (!(c > 0.0)) throw std::invalid_argument("MDItemList: capacity must be > 0");
+    if (!std::isfinite(c) || !(c > 0.0)) {
+      throw ValidationError(
+          "MDItemList: capacity must be finite and > 0 in every dimension");
+    }
   }
-  for (const auto& item : items_) {
+  for (std::size_t row = 0; row < items_.size(); ++row) {
+    const MDItem& item = items_[row];
     if (item.demand.size() != capacity_.size()) {
-      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
-                                  " has wrong dimensionality");
+      throw_item_error(row, item.id,
+                       "has " + std::to_string(item.demand.size()) +
+                           " dimensions, expected " +
+                           std::to_string(capacity_.size()));
     }
-    bool positive = false;
     for (std::size_t d = 0; d < capacity_.size(); ++d) {
-      if (item.demand[d] < 0.0 || item.demand[d] > capacity_[d]) {
-        throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
-                                    " demand outside [0, capacity]");
+      // ItemList-grade validation, per dimension: demand must be finite and
+      // in (0, capacity]. The `!(x > 0)` form also rejects NaN, which the
+      // old prototype let straight through.
+      if (!std::isfinite(item.demand[d]) || !(item.demand[d] > 0.0) ||
+          item.demand[d] > capacity_[d]) {
+        throw_item_error(
+            row, item.id,
+            "demand[" + std::to_string(d) + "] must be in (0, capacity]");
       }
-      positive = positive || item.demand[d] > 0.0;
     }
-    if (!positive) {
-      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
-                                  " has zero demand");
-    }
-    if (!(item.active.left < item.active.right)) {
-      throw std::invalid_argument("MDItemList: item " + std::to_string(item.id) +
-                                  " has empty activity interval");
+    if (!std::isfinite(item.active.left) || !std::isfinite(item.active.right) ||
+        !(item.active.left < item.active.right)) {
+      throw_item_error(row, item.id, "departure must be after arrival");
     }
   }
+  // Canonical schedule: time ascending; departures before arrivals at equal
+  // times; id order within a kind — ItemList::schedule(), verbatim.
+  schedule_.reserve(items_.size() * 2);
+  for (std::size_t pos = 0; pos < items_.size(); ++pos) {
+    const MDItem& item = items_[pos];
+    schedule_.push_back({item.arrival(), item.id, pos, true});
+    schedule_.push_back({item.departure(), item.id, pos, false});
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const MDScheduledEvent& a, const MDScheduledEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.is_arrival != b.is_arrival) return !a.is_arrival;
+              return a.id < b.id;
+            });
 }
 
 double MDItemList::mu() const noexcept {
@@ -51,60 +82,43 @@ double MDItemList::mu() const noexcept {
 }
 
 Time MDItemList::span() const {
-  IntervalSet set;
   std::vector<Interval> intervals;
   intervals.reserve(items_.size());
   for (const auto& item : items_) intervals.push_back(item.active);
+  // Sorted insertion keeps IntervalSet::insert O(1) amortized, as the
+  // scalar active_union() does.
   std::sort(intervals.begin(), intervals.end(),
             [](const Interval& a, const Interval& b) { return a.left < b.left; });
+  IntervalSet set;
   for (const auto& iv : intervals) set.insert(iv);
   return set.total_length();
 }
 
 double MDItemList::load_ceiling_bound() const {
-  if (items_.empty()) return 0.0;
-  struct Event {
-    Time t;
-    const MDItem* item;
-    bool arrival;
-  };
-  std::vector<Event> events;
-  events.reserve(items_.size() * 2);
-  for (const auto& item : items_) {
-    events.push_back({item.arrival(), &item, true});
-    events.push_back({item.departure(), &item, false});
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.t != b.t) return a.t < b.t;
-    return a.arrival < b.arrival;  // departures first
-  });
+  return md_lower_bounds(*this).load_ceiling;
+}
 
-  std::vector<double> load(capacity_.size(), 0.0);
-  std::size_t active = 0;
-  double integral = 0.0;
-  Time prev = events.front().t;
-  for (const auto& event : events) {
-    if (event.t > prev) {
-      if (active > 0) {
-        double bins = 1.0;
-        for (std::size_t d = 0; d < capacity_.size(); ++d) {
-          bins = std::max(bins, std::ceil(load[d] / capacity_[d] - 1e-9));
-        }
-        integral += bins * (event.t - prev);
-      }
-      prev = event.t;
-    }
-    for (std::size_t d = 0; d < capacity_.size(); ++d) {
-      load[d] += event.arrival ? event.item->demand[d] : -event.item->demand[d];
-    }
-    if (event.arrival) {
-      ++active;
+MDLowerBounds md_lower_bounds(const MDItemList& items) {
+  if (items.empty()) return {};
+  VectorLowerBoundAccumulator acc(items.capacity());
+  for (const MDScheduledEvent& event : items.schedule()) {
+    acc.advance_to(event.t);
+    if (event.is_arrival) {
+      acc.apply_arrival(items[event.item_pos].demand);
     } else {
-      --active;
+      acc.apply_departure(items[event.item_pos].demand);
     }
-    if (active == 0) std::fill(load.begin(), load.end(), 0.0);
   }
-  return integral;
+  return {acc.prop1(), acc.prop2(), acc.load_ceiling()};
+}
+
+double md_prop1_bound(const MDItemList& items) { return md_lower_bounds(items).prop1; }
+double md_prop2_bound(const MDItemList& items) { return md_lower_bounds(items).prop2; }
+double md_load_ceiling_bound(const MDItemList& items) {
+  return md_lower_bounds(items).load_ceiling;
+}
+double md_combined_lower_bound(const MDItemList& items) {
+  return md_lower_bounds(items).combined();
 }
 
 bool md_fits(const MDBinSnapshot& bin, std::span<const double> demand,
@@ -115,107 +129,332 @@ bool md_fits(const MDBinSnapshot& bin, std::span<const double> demand,
   return true;
 }
 
-MDPackingResult md_simulate(const MDItemList& items, MDPackingAlgorithm& algorithm,
-                            double fit_epsilon) {
-  algorithm.reset();
-
-  struct BinState {
-    BinIndex index = 0;
-    Time open_time = 0.0;
-    std::vector<double> level;
-    std::size_t active_count = 0;
-    std::vector<ItemId> members;
-    bool open = false;
-    Time close_time = 0.0;
-  };
-  std::vector<BinState> bins;
-  std::vector<BinIndex> open_bins;
-  std::unordered_map<ItemId, BinIndex> bin_of;
-
-  struct Event {
-    Time t;
-    bool arrival;
-    const MDItem* item;
-  };
-  std::vector<Event> events;
-  events.reserve(items.size() * 2);
-  for (const auto& item : items) {
-    events.push_back({item.arrival(), true, &item});
-    events.push_back({item.departure(), false, &item});
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.t != b.t) return a.t < b.t;
-    if (a.arrival != b.arrival) return !a.arrival;
-    return a.item->id < b.item->id;
-  });
-
-  for (const auto& event : events) {
-    const MDItem& item = *event.item;
-    if (event.arrival) {
-      std::vector<MDBinSnapshot> snaps;
-      snaps.reserve(open_bins.size());
-      for (const BinIndex idx : open_bins) {
-        snaps.push_back(MDBinSnapshot{idx, bins[idx].level, items.capacity(),
-                                      bins[idx].open_time, bins[idx].active_count});
-      }
-      const Placement choice =
-          algorithm.place(MDArrivalView{item.id, item.demand, event.t}, snaps);
-      if (choice.has_value()) {
-        const BinIndex target = *choice;
-        if (!std::binary_search(open_bins.begin(), open_bins.end(), target)) {
-          throw std::logic_error(std::string(algorithm.name()) +
-                                 ": placement into a bin that is not open");
-        }
-        BinState& bin = bins[target];
-        for (std::size_t d = 0; d < item.demand.size(); ++d) {
-          if (bin.level[d] + item.demand[d] > items.capacity()[d] + fit_epsilon) {
-            throw std::logic_error(std::string(algorithm.name()) +
-                                   ": overfilled dimension " + std::to_string(d));
-          }
-          bin.level[d] += item.demand[d];
-        }
-        ++bin.active_count;
-        bin.members.push_back(item.id);
-        bin_of[item.id] = target;
-      } else {
-        BinState bin;
-        bin.index = bins.size();
-        bin.open_time = event.t;
-        bin.level = item.demand;
-        bin.active_count = 1;
-        bin.members.push_back(item.id);
-        bin.open = true;
-        bin_of[item.id] = bin.index;
-        open_bins.push_back(bin.index);
-        bins.push_back(std::move(bin));
-        algorithm.on_bin_opened(bins.back().index,
-                                MDArrivalView{item.id, item.demand, event.t});
-      }
-    } else {
-      const BinIndex target = bin_of.at(item.id);
-      BinState& bin = bins[target];
-      for (std::size_t d = 0; d < item.demand.size(); ++d) {
-        bin.level[d] -= item.demand[d];
-      }
-      --bin.active_count;
-      if (bin.active_count == 0) {
-        std::fill(bin.level.begin(), bin.level.end(), 0.0);
-        bin.open = false;
-        bin.close_time = event.t;
-        open_bins.erase(
-            std::lower_bound(open_bins.begin(), open_bins.end(), target));
-        algorithm.on_bin_closed(target, event.t);
-      }
+std::uint64_t md_packing_digest(const MDPackingResult& result) {
+  // Byte-compatible with the scalar packing_digest() at dims == 1 (header
+  // comment): the only difference is the demand loop, which emits exactly
+  // one word — the size — in 1-D.
+  std::uint64_t h = fnv1a64(nullptr, 0);
+  const auto mix = [&h](std::uint64_t v) { h = fnv1a64(&v, sizeof(v), h); };
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (const MDBinRecord& bin : result.bins) {
+    mix(bin.index);
+    mix(bits(bin.usage.left));
+    mix(bits(bin.usage.right));
+    for (const MDPlacementRecord& placement : bin.items) {
+      mix(placement.item);
+      for (const double demand : placement.demand) mix(bits(demand));
+      mix(bits(placement.active.left));
+      mix(bits(placement.active.right));
     }
   }
+  return h;
+}
 
-  MDPackingResult result;
-  result.bins.reserve(bins.size());
-  for (const auto& bin : bins) {
-    result.bins.push_back(
-        MDBinRecord{bin.index, {bin.open_time, bin.close_time}, bin.members});
+// ---------------------------------------------------------------------------
+// MDSimulation
+
+MDSimulation::MDSimulation(MDPackingAlgorithm& algorithm, MDSimulationOptions options)
+    : algorithm_(algorithm),
+      options_(std::move(options)),
+      now_(-std::numeric_limits<double>::infinity()),
+      usage_prev_t_(-std::numeric_limits<double>::infinity()) {
+  if (options_.capacity.empty()) {
+    throw ValidationError("MDSimulation: capacity must name at least one dimension");
   }
+  for (const double c : options_.capacity) {
+    if (!std::isfinite(c) || !(c > 0.0)) {
+      throw ValidationError(
+          "MDSimulation: capacity must be finite and > 0 in every dimension");
+    }
+  }
+  if (options_.fit_epsilon < 0.0) {
+    throw ValidationError("MDSimulation: fit_epsilon must be >= 0");
+  }
+  // Same contract as the scalar engine: start from the algorithm's fresh
+  // state so any two runs over identical events decide identically.
+  algorithm_.reset();
+  use_snapshots_ = algorithm_.needs_snapshots();
+  algorithm_.on_simulation_begin(options_.capacity, options_.fit_epsilon);
+  if (options_.track_bounds) bounds_.reset(options_.capacity);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->on_run_begin(this, algorithm_.name(), options_.capacity[0]);
+    auto& metrics = options_.telemetry->metrics();
+    ctr_items_placed_ = metrics.counter("mutdbp_md_items_placed_total",
+                                        "vector items placed across MD runs");
+    ctr_items_departed_ = metrics.counter("mutdbp_md_items_departed_total",
+                                          "vector items departed across MD runs");
+    ctr_bins_opened_ = metrics.counter("mutdbp_md_bins_opened_total",
+                                       "bins opened across MD runs");
+    ctr_bins_closed_ = metrics.counter("mutdbp_md_bins_closed_total",
+                                       "bins closed across MD runs");
+  }
+}
+
+MDSimulation::~MDSimulation() = default;
+MDSimulation::MDSimulation(MDSimulation&&) noexcept = default;
+
+void MDSimulation::advance_time(Time t) {
+  if (t < now_) {
+    throw ValidationError("MDSimulation: time moved backwards (event at t=" +
+                          std::to_string(t) + " < now=" + std::to_string(now_) + ")");
+  }
+  now_ = t;
+  // Usage integral accrues with the open-bin count as it stood before the
+  // event at t (the count only changes at events).
+  if (t > usage_prev_t_) {
+    if (open_count_ > 0) {
+      usage_integral_ += static_cast<double>(open_count_) * (t - usage_prev_t_);
+    }
+    usage_prev_t_ = t;
+  }
+}
+
+void MDSimulation::report_bounds(Time t) {
+  if (options_.telemetry == nullptr || !options_.track_bounds) return;
+  options_.telemetry->monitor().on_vector_event(this, t, open_count_,
+                                                bounds_.prop1(), bounds_.prop2(),
+                                                bounds_.load_ceiling());
+}
+
+BinIndex MDSimulation::arrive(ItemId id, std::span<const double> demand, Time t) {
+  if (finished_) throw SimulationError("MDSimulation: arrive() after finish()");
+  if (demand.size() != options_.capacity.size()) {
+    throw ValidationError("MDSimulation: item " + std::to_string(id) + " has " +
+                          std::to_string(demand.size()) + " dimensions, expected " +
+                          std::to_string(options_.capacity.size()));
+  }
+  for (std::size_t d = 0; d < demand.size(); ++d) {
+    if (!std::isfinite(demand[d]) || !(demand[d] > 0.0) ||
+        demand[d] > options_.capacity[d]) {
+      throw ValidationError("MDSimulation: item " + std::to_string(id) +
+                            " demand[" + std::to_string(d) +
+                            "] must be in (0, capacity]");
+    }
+  }
+  advance_time(t);
+  const auto [slot, inserted] =
+      active_.try_emplace(id, ActiveRef{0, placements_.size()});
+  if (!inserted) {
+    throw ValidationError("MDSimulation: item id " + std::to_string(id) +
+                          " is already active");
+  }
+
+  const MDArrivalView view{id, demand, t};
+  Placement choice;
+  if (use_snapshots_) {
+    snapshot_scratch_.clear();
+    for (BinIndex idx = open_head_; idx != kNoBin; idx = bins_[idx].open_next) {
+      const BinState& bin = bins_[idx];
+      snapshot_scratch_.push_back(MDBinSnapshot{idx, bin.level, options_.capacity,
+                                                bin.open_time, bin.active_count});
+    }
+    choice = algorithm_.place(view, snapshot_scratch_);
+  } else {
+    choice = algorithm_.place(view, {});
+  }
+
+  BinIndex target = 0;
+  if (choice.has_value()) {
+    target = *choice;
+    if (target >= bins_.size() || !bins_[target].open) {
+      active_.erase(id);
+      throw SimulationError(std::string(algorithm_.name()) + " placed item " +
+                            std::to_string(id) + " in bin " +
+                            std::to_string(target) + " which is not open");
+    }
+    BinState& bin = bins_[target];
+    for (std::size_t d = 0; d < demand.size(); ++d) {
+      if (bin.level[d] + demand[d] > options_.capacity[d] + options_.fit_epsilon) {
+        active_.erase(id);
+        throw SimulationError(std::string(algorithm_.name()) + " overfilled bin " +
+                              std::to_string(target) + " dimension " +
+                              std::to_string(d) + " with item " +
+                              std::to_string(id));
+      }
+    }
+    // Validate every dimension first, then mutate: a throw leaves the bin
+    // untouched.
+    for (std::size_t d = 0; d < demand.size(); ++d) bin.level[d] += demand[d];
+    ++bin.active_count;
+    slot->second.bin = target;
+    placements_.push_back(
+        {target,
+         {id,
+          std::vector<double>(demand.begin(), demand.end()),
+          {t, std::numeric_limits<double>::infinity()}}});
+    algorithm_.on_item_placed(target, view, bin.level);
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->metrics().add(ctr_items_placed_);
+    }
+  } else {
+    target = static_cast<BinIndex>(bins_.size());
+    BinState bin;
+    bin.index = target;
+    bin.open_time = t;
+    bin.open = true;
+    bin.level.assign(demand.begin(), demand.end());
+    bin.active_count = 1;
+    bin.open_prev = open_tail_;
+    bins_.push_back(std::move(bin));
+    if (open_tail_ != kNoBin) {
+      bins_[open_tail_].open_next = target;
+    } else {
+      open_head_ = target;
+    }
+    open_tail_ = target;
+    ++open_count_;
+    max_concurrent_ = std::max(max_concurrent_, open_count_);
+    slot->second.bin = target;
+    placements_.push_back(
+        {target,
+         {id,
+          std::vector<double>(demand.begin(), demand.end()),
+          {t, std::numeric_limits<double>::infinity()}}});
+    algorithm_.on_bin_opened(target, view);
+    if (options_.telemetry != nullptr) {
+      auto& metrics = options_.telemetry->metrics();
+      metrics.add(ctr_items_placed_);
+      metrics.add(ctr_bins_opened_);
+    }
+  }
+  if (options_.track_bounds) {
+    bounds_.advance_to(t);
+    bounds_.apply_arrival(demand);
+  }
+  report_bounds(t);
+  return target;
+}
+
+void MDSimulation::close_bin(BinState& bin, Time t) {
+  bin.open = false;
+  bin.close_time = t;
+  if (bin.open_prev != kNoBin) {
+    bins_[bin.open_prev].open_next = bin.open_next;
+  } else {
+    open_head_ = bin.open_next;
+  }
+  if (bin.open_next != kNoBin) {
+    bins_[bin.open_next].open_prev = bin.open_prev;
+  } else {
+    open_tail_ = bin.open_prev;
+  }
+  bin.open_prev = bin.open_next = kNoBin;
+  --open_count_;
+  algorithm_.on_bin_closed(bin.index, t);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().add(ctr_bins_closed_);
+  }
+}
+
+void MDSimulation::depart(ItemId id, Time t) {
+  if (finished_) throw SimulationError("MDSimulation: depart() after finish()");
+  advance_time(t);
+  const auto it = active_.find(id);
+  if (it == active_.end()) {
+    throw ValidationError("MDSimulation: departing item " + std::to_string(id) +
+                          " is not active");
+  }
+  const ActiveRef ref = it->second;
+  active_.erase(it);
+  BinState& bin = bins_[ref.bin];
+  MDPlacementRecord& record = placements_[ref.placement_pos].record;
+  record.active.right = t;
+  const std::vector<double>& demand = record.demand;
+  for (std::size_t d = 0; d < demand.size(); ++d) bin.level[d] -= demand[d];
+  --bin.active_count;
+  if (bin.active_count == 0) {
+    // Cancel floating-point residue before the hook, exactly like the
+    // scalar engine, so hooks observe the zeroed levels.
+    std::fill(bin.level.begin(), bin.level.end(), 0.0);
+  }
+  algorithm_.on_item_departed(ref.bin, demand, bin.level, t);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().add(ctr_items_departed_);
+  }
+  if (bin.active_count == 0) close_bin(bin, t);
+  if (options_.track_bounds) {
+    bounds_.advance_to(t);
+    bounds_.apply_departure(demand);
+  }
+  report_bounds(t);
+}
+
+MDPackingResult MDSimulation::materialize(bool final) const {
+  MDPackingResult result;
+  result.bins.reserve(bins_.size());
+  for (const BinState& bin : bins_) {
+    MDBinRecord record;
+    record.index = bin.index;
+    record.usage = {bin.open_time, bin.open ? now_ : bin.close_time};
+    result.bins.push_back(std::move(record));
+  }
+  for (const PooledPlacement& placement : placements_) {
+    MDPlacementRecord record = placement.record;
+    if (record.active.right == std::numeric_limits<double>::infinity()) {
+      // Only reachable from partial_result(): still-active placements are
+      // cut at the frontier. finish() requires every item to have departed.
+      record.active.right = now_;
+    }
+    result.bins[placement.bin].items.push_back(std::move(record));
+  }
+  (void)final;
   return result;
+}
+
+MDPackingResult MDSimulation::finish() {
+  if (finished_) throw SimulationError("MDSimulation: finish() called twice");
+  if (!active_.empty()) {
+    throw SimulationError("MDSimulation: finish() with " +
+                          std::to_string(active_.size()) + " items still active");
+  }
+  finished_ = true;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->on_run_finished(this, std::isfinite(now_) ? now_ : 0.0);
+  }
+  return materialize(/*final=*/true);
+}
+
+MDPackingResult MDSimulation::partial_result() const {
+  if (finished_) {
+    throw SimulationError("MDSimulation: partial_result() after finish()");
+  }
+  return materialize(/*final=*/false);
+}
+
+void MDSimulation::reserve(std::size_t expected_items) {
+  placements_.reserve(placements_.size() + expected_items);
+  active_.reserve(expected_items);
+}
+
+MDBoundsState MDSimulation::bounds_state() const noexcept {
+  MDBoundsState state;
+  state.usage = usage_integral_;
+  if (options_.track_bounds) {
+    state.prop1 = bounds_.prop1();
+    state.prop2 = bounds_.prop2();
+    state.load_ceiling = bounds_.load_ceiling();
+    state.lower_bound = bounds_.combined();
+    state.ratio = state.lower_bound > 0.0 ? state.usage / state.lower_bound : 0.0;
+  }
+  return state;
+}
+
+MDPackingResult md_simulate(const MDItemList& items, MDPackingAlgorithm& algorithm,
+                            double fit_epsilon, telemetry::Telemetry* telemetry) {
+  MDSimulationOptions options;
+  options.capacity = items.capacity();
+  options.fit_epsilon = fit_epsilon;
+  options.telemetry = telemetry;
+  MDSimulation sim(algorithm, std::move(options));
+  sim.reserve(items.size());
+  for (const MDScheduledEvent& event : items.schedule()) {
+    if (event.is_arrival) {
+      (void)sim.arrive(event.id, items[event.item_pos].demand, event.t);
+    } else {
+      sim.depart(event.id, event.t);
+    }
+  }
+  return sim.finish();
 }
 
 }  // namespace mutdbp::md

@@ -1,22 +1,43 @@
 // Multi-dimensional MinUsageTime DBP — the extension the paper names as
-// future work in §IX: "extend the MinUsageTime DBP problem to the
+// future work in §IX ("extend the MinUsageTime DBP problem to the
 // multi-dimensional version to model multiple types of resources (e.g.,
-// CPU and memory) for online cloud server allocation."
+// CPU and memory) for online cloud server allocation"), grown here into
+// the full Dynamic Vector Bin Packing track (docs/multidim.md; Murhekar
+// et al. 2023, Lee & Tang).
 //
 // Items demand a vector of resources; a bin (server) holds a vector
-// capacity, and feasibility is per-dimension. Everything else (half-open
+// capacity, and feasibility is per-dimension. Everything else — half-open
 // activity intervals, usage periods, the MinUsageTime objective, the
-// online constraint) carries over from the scalar core.
+// online constraint, the canonical event order (time ascending, departures
+// before arrivals at equal times, id order within a kind) — carries over
+// from the scalar core, and so does the engine architecture: MDSimulation
+// is the incremental arrive/depart engine (the vector Simulation),
+// md_simulate() the batch wrapper over it, and MDStreamingSimulation
+// (md_streaming.h) the buffered/checkpointable face.
+//
+// Exactness contract: a dims == 1 vector run executes the same decisions
+// and the same floating-point operations as the scalar engine, so its
+// md_packing_digest() equals the scalar packing_digest() bit-for-bit for
+// every algorithm pair with a scalar counterpart
+// (tests/multidim_differential_test.cpp pins this).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/algorithm.h"
 #include "core/interval.h"
 #include "core/item.h"
+#include "multidim/md_bounds.h"
+#include "telemetry/metrics.h"
+
+namespace mutdbp::telemetry {
+class Telemetry;
+}  // namespace mutdbp::telemetry
 
 namespace mutdbp::md {
 
@@ -35,7 +56,22 @@ struct MDItem {
   return MDItem{id, std::move(demand), {arrival, departure}};
 }
 
+/// One event of the canonical schedule (the vector ScheduledEvent).
+struct MDScheduledEvent {
+  Time t = 0.0;
+  ItemId id = 0;
+  std::size_t item_pos = 0;  ///< index into MDItemList::items()
+  bool is_arrival = false;
+};
+
 /// A validated multi-dimensional item list with vector capacity.
+///
+/// Validation is ItemList-grade (core/item_list.h): every capacity entry
+/// finite and > 0; every demand entry finite and in (0, capacity_d] — a
+/// zero or negative demand in any dimension is rejected, exactly as the
+/// scalar list rejects non-positive sizes; finite non-empty activity
+/// interval. Errors are ValidationError and name the offending row
+/// (position in the input vector) and item id.
 class MDItemList {
  public:
   MDItemList() = default;
@@ -54,52 +90,103 @@ class MDItemList {
   }
   [[nodiscard]] std::size_t dimensions() const noexcept { return capacity_.size(); }
 
+  /// The canonical event schedule (built once at construction): time
+  /// ascending; departures before arrivals at equal times; id order within
+  /// a kind — ItemList::schedule(), verbatim. Every consumer (batch
+  /// driver, bounds sweeps, streaming feeders) walks this order, which is
+  /// what makes their floating-point results bitwise comparable.
+  [[nodiscard]] const std::vector<MDScheduledEvent>& schedule() const noexcept {
+    return schedule_;
+  }
+
   [[nodiscard]] double mu() const noexcept;
   [[nodiscard]] Time span() const;
 
-  /// Lower bound on OPT_total: max over dimensions d of
-  /// integral of max(ceil(load_d(t)/cap_d), [anything active]) dt.
+  /// Lower bound on OPT_total: ∫ max(max_d ceil(load_d(t)/cap_d),
+  /// 1{active}) dt (one md_lower_bounds() sweep; md_bounds.h).
   [[nodiscard]] double load_ceiling_bound() const;
 
  private:
   std::vector<MDItem> items_;
   std::vector<double> capacity_;
+  std::vector<MDScheduledEvent> schedule_;
 };
 
 struct MDBinSnapshot {
   BinIndex index = 0;
-  std::vector<double> level;            ///< per-dimension usage
-  std::vector<double> capacity;         ///< per-dimension capacity
+  std::vector<double> level;     ///< per-dimension usage
+  std::vector<double> capacity;  ///< per-dimension capacity
   Time open_time = 0.0;
   std::size_t item_count = 0;
 };
 
 struct MDArrivalView {
   ItemId id = 0;
-  std::vector<double> demand;
+  std::span<const double> demand;
   Time time = 0.0;
 };
 
+/// The shared per-dimension fit predicate (the scalar fits() arithmetic,
+/// per dimension: level + demand <= capacity + epsilon).
 [[nodiscard]] bool md_fits(const MDBinSnapshot& bin, std::span<const double> demand,
                            double fit_epsilon = kDefaultFitEpsilon) noexcept;
 
+/// The online vector packing algorithm interface — PackingAlgorithm
+/// (core/algorithm.h) with vector levels. Snapshot path by default;
+/// incremental kernels answer needs_snapshots() == false and maintain
+/// their own state (a VectorCapacityTree) through the hooks.
 class MDPackingAlgorithm {
  public:
   virtual ~MDPackingAlgorithm() = default;
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual Placement place(const MDArrivalView& item,
                                         std::span<const MDBinSnapshot> open_bins) = 0;
+  [[nodiscard]] virtual bool needs_snapshots() const noexcept { return true; }
+  virtual void on_simulation_begin(std::span<const double> /*capacity*/,
+                                   double /*fit_epsilon*/) {}
   virtual void on_bin_opened(BinIndex /*bin*/, const MDArrivalView& /*first*/) {}
   virtual void on_bin_closed(BinIndex /*bin*/, Time /*close_time*/) {}
+  /// After `item` was placed into the already-open `bin` (the opening
+  /// placement is on_bin_opened instead — the scalar hook contract).
+  virtual void on_item_placed(BinIndex /*bin*/, const MDArrivalView& /*item*/,
+                              std::span<const double> /*new_levels*/) {}
+  /// After an item of demand `demand` left `bin` (called even when the
+  /// departure closes the bin; on_bin_closed follows in that case).
+  virtual void on_item_departed(BinIndex /*bin*/, std::span<const double> /*demand*/,
+                                std::span<const double> /*new_levels*/, Time /*t*/) {}
   virtual void reset() {}
 };
 
-/// One packed bin's record (usage period + member items).
+/// Differential-testing adapter, mirroring WithSnapshots<> for the scalar
+/// family: forces an incremental vector algorithm back onto the snapshot
+/// reference path.
+template <class Algorithm>
+class MDWithSnapshots final : public Algorithm {
+ public:
+  using Algorithm::Algorithm;
+  [[nodiscard]] bool needs_snapshots() const noexcept override { return true; }
+};
+
+/// One item's stay in a bin: the vector PlacementRecord.
+struct MDPlacementRecord {
+  ItemId item = 0;
+  std::vector<double> demand;
+  Interval active;
+};
+
+/// One packed bin's record: usage period + placements in arrival order.
 struct MDBinRecord {
   BinIndex index = 0;
   Interval usage;
-  std::vector<ItemId> items;
+  std::vector<MDPlacementRecord> items;
+
   [[nodiscard]] Time usage_time() const noexcept { return usage.length(); }
+  [[nodiscard]] std::vector<ItemId> item_ids() const {
+    std::vector<ItemId> ids;
+    ids.reserve(items.size());
+    for (const auto& placement : items) ids.push_back(placement.item);
+    return ids;
+  }
 };
 
 struct MDPackingResult {
@@ -113,10 +200,141 @@ struct MDPackingResult {
   [[nodiscard]] std::size_t bins_opened() const noexcept { return bins.size(); }
 };
 
-/// Batch driver, mirroring the scalar simulate(): departures before
-/// arrivals at equal times; placements validated per dimension.
+/// Order-sensitive FNV-1a digest over the complete vector packing: per bin
+/// its index and usage-interval bit patterns, then per placement the item
+/// id, every demand component's bit pattern, and the activity interval's
+/// bit patterns. At dims == 1 this hashes the exact byte sequence of the
+/// scalar packing_digest() (core/packing_result.h), so 1-D vector runs and
+/// scalar runs are directly digest-comparable.
+[[nodiscard]] std::uint64_t md_packing_digest(const MDPackingResult& result);
+
+struct MDSimulationOptions {
+  /// Per-dimension bin capacity. Must be non-empty for direct MDSimulation
+  /// use; md_simulate() fills it from the item list.
+  std::vector<double> capacity;
+  double fit_epsilon = kDefaultFitEpsilon;
+  /// Maintain the live VectorLowerBoundAccumulator (md_bounds.h). Costs
+  /// O(D) per event; the live ratio view and telemetry need it.
+  bool track_bounds = true;
+  /// Optional sink: wires the vector run into the metrics counters and the
+  /// live ratio monitor (externally-computed vector bounds; see
+  /// RatioMonitor::on_vector_event). Never serialized.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// The live competitive-ratio view of a vector run.
+struct MDBoundsState {
+  double usage = 0.0;  ///< ∫ open_bins dt so far
+  double prop1 = 0.0;
+  double prop2 = 0.0;
+  double load_ceiling = 0.0;
+  double lower_bound = 0.0;  ///< max of the three
+  double ratio = 0.0;        ///< usage / lower_bound (0 while LB is 0)
+};
+
+/// The incremental vector engine — Simulation (core/simulation.h) with
+/// vector items. Events must arrive in time-monotone order (the caller
+/// owns merge discipline; MDStreamingSimulation buffers and merges).
+/// Validates every placement per dimension: SimulationError on algorithm
+/// misbehavior, ValidationError on bad input.
+class MDSimulation {
+ public:
+  MDSimulation(MDPackingAlgorithm& algorithm, MDSimulationOptions options);
+  ~MDSimulation();
+  MDSimulation(MDSimulation&&) noexcept;
+
+  /// Processes one arrival; returns the bin it was placed in.
+  BinIndex arrive(ItemId id, std::span<const double> demand, Time t);
+  /// Processes one departure; closes the bin when it empties.
+  void depart(ItemId id, Time t);
+
+  /// Completes the run (every item must have departed).
+  [[nodiscard]] MDPackingResult finish();
+  /// The packing so far: open bins and still-active placements are
+  /// truncated at now(). The run continues unaffected.
+  [[nodiscard]] MDPackingResult partial_result() const;
+
+  void reserve(std::size_t expected_items);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t dimensions() const noexcept {
+    return options_.capacity.size();
+  }
+  [[nodiscard]] std::size_t open_bin_count() const noexcept { return open_count_; }
+  [[nodiscard]] std::size_t bins_opened() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t active_items() const noexcept { return active_.size(); }
+  [[nodiscard]] std::size_t max_concurrent_bins() const noexcept {
+    return max_concurrent_;
+  }
+  [[nodiscard]] const MDSimulationOptions& options() const noexcept {
+    return options_;
+  }
+  /// Live bounds/ratio state (all zeros when track_bounds is off).
+  [[nodiscard]] MDBoundsState bounds_state() const noexcept;
+  [[nodiscard]] const VectorLowerBoundAccumulator& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  static constexpr BinIndex kNoBin = static_cast<BinIndex>(-1);
+
+  struct BinState {
+    BinIndex index = 0;
+    Time open_time = 0.0;
+    Time close_time = 0.0;
+    std::vector<double> level;
+    std::size_t active_count = 0;
+    bool open = false;
+    BinIndex open_prev = kNoBin;
+    BinIndex open_next = kNoBin;
+  };
+  struct ActiveRef {
+    BinIndex bin = 0;
+    std::size_t placement_pos = 0;
+  };
+  struct PooledPlacement {
+    BinIndex bin = 0;
+    MDPlacementRecord record;
+  };
+
+  void advance_time(Time t);
+  void close_bin(BinState& bin, Time t);
+  void report_bounds(Time t);
+  [[nodiscard]] MDPackingResult materialize(bool final) const;
+
+  MDPackingAlgorithm& algorithm_;
+  MDSimulationOptions options_;
+  bool use_snapshots_ = true;
+  Time now_;
+  bool finished_ = false;
+
+  std::vector<BinState> bins_;
+  BinIndex open_head_ = kNoBin;
+  BinIndex open_tail_ = kNoBin;
+  std::size_t open_count_ = 0;
+  std::size_t max_concurrent_ = 0;
+  std::vector<PooledPlacement> placements_;
+  std::unordered_map<ItemId, ActiveRef> active_;
+
+  std::vector<MDBinSnapshot> snapshot_scratch_;
+  VectorLowerBoundAccumulator bounds_;
+  double usage_integral_ = 0.0;
+  Time usage_prev_t_;
+
+  // Telemetry counter handles (registered once at construction when a sink
+  // is attached; zero-cost otherwise).
+  telemetry::CounterHandle ctr_items_placed_{};
+  telemetry::CounterHandle ctr_items_departed_{};
+  telemetry::CounterHandle ctr_bins_opened_{};
+  telemetry::CounterHandle ctr_bins_closed_{};
+};
+
+/// Batch driver: one pass over items.schedule() through an MDSimulation —
+/// the vector simulate(). Departures before arrivals at equal times;
+/// placements validated per dimension.
 [[nodiscard]] MDPackingResult md_simulate(const MDItemList& items,
                                           MDPackingAlgorithm& algorithm,
-                                          double fit_epsilon = kDefaultFitEpsilon);
+                                          double fit_epsilon = kDefaultFitEpsilon,
+                                          telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace mutdbp::md

@@ -1,0 +1,207 @@
+#include "multidim/md_streaming.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/error.h"
+#include "core/streaming.h"
+
+namespace mutdbp::md {
+
+namespace {
+
+MDSimulationOptions to_simulation_options(const MDStreamingOptions& options) {
+  MDSimulationOptions sim;
+  sim.capacity = options.capacity;
+  sim.fit_epsilon = options.fit_epsilon;
+  sim.track_bounds = options.track_bounds;
+  sim.telemetry = options.telemetry;
+  return sim;
+}
+
+}  // namespace
+
+MDStreamingSimulation::MDStreamingSimulation(MDPackingAlgorithm& algorithm,
+                                             MDStreamingOptions options)
+    : algorithm_(algorithm), options_(std::move(options)) {
+  // Same contract as md_simulate(): the engine resets the algorithm to its
+  // fresh state, so streaming and batch runs decide identically.
+  sim_ = std::make_unique<MDSimulation>(algorithm_,
+                                        to_simulation_options(options_));
+}
+
+void MDStreamingSimulation::reserve(std::size_t expected_items) {
+  sim_->reserve(expected_items);
+  // Arrival + departure per item: the applied log sees about twice as many
+  // events as there are items.
+  log_.reserve(log_.size() + 2 * expected_items);
+}
+
+void MDStreamingSimulation::throw_frontier_violation(Time t) const {
+  throw ValidationError(
+      "MDStreamingSimulation: batch event at t=" + std::to_string(t) +
+      " lies before the applied frontier t=" + std::to_string(sim_->now()) +
+      " (batches may be internally unordered, but never reach back "
+      "across a flush)");
+}
+
+void MDStreamingSimulation::apply(const MDStreamEvent& event) {
+  switch (event.kind) {
+    case MDStreamEvent::Kind::kArrival:
+      (void)sim_->arrive(event.id, event.demand, event.t);
+      break;
+    case MDStreamEvent::Kind::kDeparture:
+      sim_->depart(event.id, event.t);
+      break;
+  }
+  log_.push_back(event);
+  crash_after_events_kill_point();
+}
+
+std::size_t MDStreamingSimulation::flush() {
+  if (pending_.size() == 1) {
+    // A one-event batch is already in canonical order; only the frontier
+    // check remains.
+    const MDStreamEvent& event = pending_.front();
+    if (event.t < sim_->now()) throw_frontier_violation(event.t);
+    apply(event);
+    pending_.clear();
+    return 1;
+  }
+  return flush_batch();
+}
+
+std::size_t MDStreamingSimulation::flush_batch() {
+  if (pending_.empty()) return 0;
+  // Validate the batch boundary before touching the engine: a rejected
+  // batch leaves the applied state exactly as it was.
+  const Time frontier = sim_->now();
+  for (const MDStreamEvent& event : pending_) {
+    if (event.t < frontier) throw_frontier_violation(event.t);
+  }
+  // Canonical merge: time, then departures before arrivals (half-open
+  // activity intervals), then id — MDItemList::schedule() order, which is
+  // what makes streaming bit-identical to batch md_simulate().
+  const auto canonical_order = [](const MDStreamEvent& a, const MDStreamEvent& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.kind != b.kind) return a.kind == MDStreamEvent::Kind::kDeparture;
+    return a.id < b.id;
+  };
+  if (!std::is_sorted(pending_.begin(), pending_.end(), canonical_order)) {
+    std::sort(pending_.begin(), pending_.end(), canonical_order);
+  }
+  const std::size_t applied = pending_.size();
+  for (const MDStreamEvent& event : pending_) apply(event);
+  pending_.clear();
+  return applied;
+}
+
+MDPackingResult MDStreamingSimulation::partial_result() {
+  (void)flush();
+  return sim_->partial_result();
+}
+
+MDPackingResult MDStreamingSimulation::finish() {
+  (void)flush();
+  return sim_->finish();
+}
+
+void MDStreamingSimulation::snapshot(std::ostream& out) {
+  (void)flush();
+  MDStreamingCheckpoint checkpoint;
+  checkpoint.algorithm = std::string(algorithm_.name());
+  checkpoint.options = options_;
+  checkpoint.options.telemetry = nullptr;
+  checkpoint.events = log_;
+  checkpoint.write(out);
+}
+
+void MDStreamingCheckpoint::write(std::ostream& out) const {
+  BinaryWriter payload;
+  payload.string(algorithm);
+  payload.u64(options.capacity.size());
+  for (const double c : options.capacity) payload.f64(c);
+  payload.f64(options.fit_epsilon);
+  payload.boolean(options.track_bounds);
+  payload.u64(events.size());
+  for (const MDStreamEvent& event : events) {
+    payload.u8(static_cast<std::uint8_t>(event.kind));
+    payload.u64(event.id);
+    payload.u64(event.demand.size());
+    for (const double d : event.demand) payload.f64(d);
+    payload.f64(event.t);
+  }
+  write_checkpoint_frame(out, CheckpointKind::kVectorStreamingSimulation, payload);
+}
+
+MDStreamingCheckpoint MDStreamingCheckpoint::read(std::istream& in) {
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_frame(in, CheckpointKind::kVectorStreamingSimulation);
+  BinaryReader reader(payload);
+  MDStreamingCheckpoint checkpoint;
+  checkpoint.algorithm = reader.string();
+  const std::size_t dims = reader.count(/*min_element_bytes=*/8);
+  if (dims == 0) {
+    throw ValidationError("checkpoint: vector run with zero dimensions");
+  }
+  checkpoint.options.capacity.reserve(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    checkpoint.options.capacity.push_back(reader.f64());
+  }
+  checkpoint.options.fit_epsilon = reader.f64();
+  checkpoint.options.track_bounds = reader.boolean();
+  const std::size_t n = reader.count(/*min_element_bytes=*/1 + 8 + 8 + 8);
+  checkpoint.events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MDStreamEvent event;
+    const std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(MDStreamEvent::Kind::kDeparture)) {
+      throw ValidationError("checkpoint: invalid vector stream event kind " +
+                            std::to_string(kind));
+    }
+    event.kind = static_cast<MDStreamEvent::Kind>(kind);
+    event.id = reader.u64();
+    const std::size_t demand_dims = reader.count(/*min_element_bytes=*/8);
+    if (event.kind == MDStreamEvent::Kind::kArrival && demand_dims != dims) {
+      throw ValidationError(
+          "checkpoint: arrival demand dimensionality mismatch");
+    }
+    event.demand.reserve(demand_dims);
+    for (std::size_t d = 0; d < demand_dims; ++d) {
+      event.demand.push_back(reader.f64());
+    }
+    event.t = reader.f64();
+    checkpoint.events.push_back(std::move(event));
+  }
+  reader.expect_end();
+  return checkpoint;
+}
+
+MDStreamingSimulation MDStreamingSimulation::restore(
+    const MDStreamingCheckpoint& checkpoint, MDPackingAlgorithm& algorithm,
+    telemetry::Telemetry* telemetry) {
+  if (algorithm.name() != checkpoint.algorithm) {
+    throw ValidationError(
+        "MDStreamingSimulation::restore: checkpoint was taken with algorithm "
+        "'" +
+        checkpoint.algorithm + "' but '" + std::string(algorithm.name()) +
+        "' was supplied");
+  }
+  MDStreamingOptions options = checkpoint.options;
+  options.telemetry = telemetry;
+  MDStreamingSimulation stream(algorithm, std::move(options));
+  // Deterministic replay in the recorded application order: the engine, the
+  // kernel trees, per-algorithm state, and the telemetry counters all
+  // rebuild to exactly the pre-snapshot state.
+  for (const MDStreamEvent& event : checkpoint.events) stream.apply(event);
+  return stream;
+}
+
+MDStreamingSimulation MDStreamingSimulation::restore(
+    std::istream& in, MDPackingAlgorithm& algorithm,
+    telemetry::Telemetry* telemetry) {
+  return restore(MDStreamingCheckpoint::read(in), algorithm, telemetry);
+}
+
+}  // namespace mutdbp::md

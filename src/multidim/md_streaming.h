@@ -1,0 +1,145 @@
+// MDStreamingSimulation: the streaming/checkpointable face of the vector
+// engine — StreamingSimulation (core/streaming.h) with vector demands.
+//
+// Same contract, same guarantees: events pushed between two flush() calls
+// may come in any order and are merged into the canonical event order
+// (time; departures before arrivals at equal times; id order within a
+// kind), so feeding a trace through any batch granularity produces an
+// MDPackingResult bit-identical to one-shot md_simulate() — the multidim
+// differential suite enforces this for every registered vector algorithm.
+// Checkpoints are the applied event log in a kVectorStreamingSimulation
+// MUTDBPC1 frame; restore() replays it through a fresh engine, rebuilding
+// open bins, VectorCapacityTree kernel state, per-algorithm state, and
+// (when a sink is attached) telemetry, bit-for-bit. The scalar
+// crash-injection kill point (MUTDBP_CRASH_AFTER_EVENTS) fires on vector
+// events too — the counter is process-global.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "multidim/md_core.h"
+
+namespace mutdbp::md {
+
+/// One buffered vector streaming event. Departures carry an empty demand
+/// (the engine knows the vector from the arrival).
+struct MDStreamEvent {
+  enum class Kind : std::uint8_t {
+    kArrival = 0,
+    kDeparture = 1,
+  };
+  Kind kind = Kind::kArrival;
+  ItemId id = 0;
+  std::vector<double> demand;  ///< kArrival only
+  Time t = 0.0;
+
+  [[nodiscard]] bool operator==(const MDStreamEvent&) const noexcept = default;
+};
+
+struct MDStreamingOptions {
+  std::vector<double> capacity;  ///< per-dimension bin capacity
+  double fit_epsilon = kDefaultFitEpsilon;
+  bool track_bounds = true;
+  /// Telemetry sink (not serialized — pointers don't survive processes;
+  /// pass a sink to restore() and replay regenerates every counter).
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Payload of a vector streaming checkpoint in parsed form, exposed so
+/// registry-driven consumers (trace_replay --dims) can read the header,
+/// build the algorithm by name, and then restore.
+struct MDStreamingCheckpoint {
+  std::string algorithm;         ///< MDPackingAlgorithm::name() of the run
+  MDStreamingOptions options{};  ///< telemetry pointer is always null here
+  std::vector<MDStreamEvent> events;  ///< applied log, in application order
+
+  /// Parses and validates one kVectorStreamingSimulation frame. Throws
+  /// ValidationError on any corruption.
+  [[nodiscard]] static MDStreamingCheckpoint read(std::istream& in);
+  void write(std::ostream& out) const;
+};
+
+class MDStreamingSimulation {
+ public:
+  explicit MDStreamingSimulation(MDPackingAlgorithm& algorithm,
+                                 MDStreamingOptions options);
+
+  MDStreamingSimulation(MDStreamingSimulation&&) = default;
+
+  /// Buffers one event; nothing is applied until flush().
+  void push(MDStreamEvent event) { pending_.push_back(std::move(event)); }
+  void push_arrival(ItemId id, std::vector<double> demand, Time t) {
+    push({MDStreamEvent::Kind::kArrival, id, std::move(demand), t});
+  }
+  void push_departure(ItemId id, Time t) {
+    push({MDStreamEvent::Kind::kDeparture, id, {}, t});
+  }
+
+  /// Merges the buffered batch into canonical event order and applies it.
+  /// Every buffered event must be at or after the last applied time
+  /// (ValidationError otherwise, checked before anything is applied).
+  /// Returns the number of events applied.
+  std::size_t flush();
+
+  void reserve(std::size_t expected_items);
+
+  /// Materializes the packing so far (flushes first); the run continues.
+  [[nodiscard]] MDPackingResult partial_result();
+
+  /// Completes the run (flushes first; every item must have departed).
+  [[nodiscard]] MDPackingResult finish();
+
+  /// Serializes the run to one checkpoint frame (flushes first).
+  void snapshot(std::ostream& out);
+
+  /// Rebuilds a run from a parsed checkpoint. `algorithm` must be a fresh
+  /// (or resettable) instance equivalent to the one that produced the
+  /// checkpoint — same name (validated), same constructor parameters.
+  [[nodiscard]] static MDStreamingSimulation restore(
+      const MDStreamingCheckpoint& checkpoint, MDPackingAlgorithm& algorithm,
+      telemetry::Telemetry* telemetry = nullptr);
+  /// Convenience: read + restore in one call.
+  [[nodiscard]] static MDStreamingSimulation restore(
+      std::istream& in, MDPackingAlgorithm& algorithm,
+      telemetry::Telemetry* telemetry = nullptr);
+
+  [[nodiscard]] const MDSimulation& engine() const noexcept { return *sim_; }
+  [[nodiscard]] const MDStreamingOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] std::string_view algorithm_name() const noexcept {
+    return algorithm_.name();
+  }
+  [[nodiscard]] std::size_t events_applied() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t buffered_events() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] Time now() const noexcept { return sim_->now(); }
+  [[nodiscard]] std::size_t open_bin_count() const noexcept {
+    return sim_->open_bin_count();
+  }
+  [[nodiscard]] std::size_t bins_opened() const noexcept {
+    return sim_->bins_opened();
+  }
+  [[nodiscard]] std::size_t active_items() const noexcept {
+    return sim_->active_items();
+  }
+
+ private:
+  void apply(const MDStreamEvent& event);
+  std::size_t flush_batch();
+  [[noreturn]] void throw_frontier_violation(Time t) const;
+
+  MDPackingAlgorithm& algorithm_;
+  MDStreamingOptions options_;
+  std::unique_ptr<MDSimulation> sim_;
+  std::vector<MDStreamEvent> pending_;  ///< current unflushed batch
+  std::vector<MDStreamEvent> log_;      ///< applied events, application order
+};
+
+}  // namespace mutdbp::md

@@ -1,0 +1,135 @@
+#include "multidim/md_trace.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/error.h"
+#include "util/csv.h"
+
+namespace mutdbp::md {
+
+// Same round-trip guarantee as workload/trace.cpp: max_digits10 output
+// makes read(write(items)) reproduce identical IEEE-754 bit patterns.
+static_assert(std::numeric_limits<double>::max_digits10 == 17,
+              "write_md_trace precision assumes IEEE-754 binary64");
+
+void write_md_trace(std::ostream& out, const MDItemList& items) {
+  constexpr int kPrecision = std::numeric_limits<double>::max_digits10;
+  out << "id";
+  for (std::size_t d = 0; d < items.dimensions(); ++d) out << ",size" << d;
+  out << ",arrival,departure\n";
+  char buf[64];
+  for (const auto& item : items) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, item.id);
+    out << buf;
+    for (const double demand : item.demand) {
+      std::snprintf(buf, sizeof(buf), ",%.*g", kPrecision, demand);
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",%.*g,%.*g\n", kPrecision, item.arrival(),
+                  kPrecision, item.departure());
+    out << buf;
+  }
+}
+
+void write_md_trace_file(const std::string& path, const MDItemList& items) {
+  std::ofstream out(path);
+  if (!out) throw ValidationError("write_md_trace_file: cannot open " + path);
+  write_md_trace(out, items);
+}
+
+namespace {
+
+ItemId parse_item_id(const std::string& field, const std::string& context) {
+  ItemId id = 0;
+  const auto* begin = field.data();
+  const auto* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, id);
+  if (ec != std::errc() || ptr != end) {
+    throw ValidationError(context + ": item id '" + field +
+                          "' is not a non-negative integer");
+  }
+  return id;
+}
+
+double parse_finite(const std::string& field, const std::string& context,
+                    const char* what) {
+  // Reject "nan"/"inf" spellings with the row number, exactly as the scalar
+  // reader does (workload/trace.cpp rationale).
+  double value = 0.0;
+  try {
+    value = parse_double(field, context);
+  } catch (const std::invalid_argument& e) {
+    throw ValidationError(e.what());
+  }
+  if (!std::isfinite(value)) {
+    throw ValidationError(context + ": " + what + " '" + field +
+                          "' is not finite");
+  }
+  return value;
+}
+
+}  // namespace
+
+MDItemList read_md_trace(std::istream& in, std::vector<double> capacity) {
+  if (capacity.empty()) {
+    throw ValidationError("read_md_trace: capacity names no dimensions");
+  }
+  const std::size_t dims = capacity.size();
+  const CsvDocument doc = read_csv(in);
+  std::vector<MDItem> items;
+  items.reserve(doc.rows.size());
+  std::unordered_set<ItemId> seen;
+  seen.reserve(doc.rows.size());
+  std::size_t line = 0;
+  for (const auto& row : doc.rows) {
+    ++line;
+    const std::string context = "vector trace row " + std::to_string(line);
+    if (row.size() != dims + 3) {
+      throw ValidationError(context + ": expected " + std::to_string(dims + 3) +
+                            " fields (id,size0..size" + std::to_string(dims - 1) +
+                            ",arrival,departure), got " +
+                            std::to_string(row.size()));
+    }
+    const ItemId id = parse_item_id(row[0], context);
+    std::vector<double> demand;
+    demand.reserve(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      demand.push_back(
+          parse_finite(row[1 + d], context, ("size" + std::to_string(d)).c_str()));
+    }
+    const double arrival = parse_finite(row[1 + dims], context, "arrival");
+    const double departure = parse_finite(row[2 + dims], context, "departure");
+    // Range checks here too (MDItemList re-validates, but its row numbers
+    // are vector positions; the CSV reader's errors must name the CSV row).
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (!(demand[d] > 0.0) || demand[d] > capacity[d]) {
+        throw ValidationError(context + ": size" + std::to_string(d) +
+                              " must be in (0, capacity]");
+      }
+    }
+    if (!(arrival < departure)) {
+      throw ValidationError(context + ": departure must be after arrival");
+    }
+    if (!seen.insert(id).second) {
+      throw ValidationError(context + ": duplicate item id " + std::to_string(id));
+    }
+    items.push_back(make_md_item(id, std::move(demand), arrival, departure));
+  }
+  return MDItemList(std::move(items), std::move(capacity));
+}
+
+MDItemList read_md_trace_file(const std::string& path,
+                              std::vector<double> capacity) {
+  std::ifstream in(path);
+  if (!in) throw ValidationError("read_md_trace_file: cannot open " + path);
+  return read_md_trace(in, std::move(capacity));
+}
+
+}  // namespace mutdbp::md

@@ -1,0 +1,30 @@
+// Vector item trace persistence: CSV with columns
+// id,size0,...,size{D-1},arrival,departure — the multidim counterpart of
+// workload/trace.h. Lines beginning with '#' are comments; a header row is
+// optional. Round-trips are bit-exact (max_digits10 output, like the
+// scalar writer).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "multidim/md_core.h"
+
+namespace mutdbp::md {
+
+/// Writes `items` as CSV (with a header row naming every dimension).
+void write_md_trace(std::ostream& out, const MDItemList& items);
+void write_md_trace_file(const std::string& path, const MDItemList& items);
+
+/// Reads a vector trace against `capacity` (its size fixes the expected
+/// per-row dimension count). Validates demands/durations like MDItemList
+/// does, and additionally rejects malformed rows with a row-numbered
+/// ValidationError: wrong field counts, non-integer ids, duplicate item
+/// ids, and NaN/inf demands or times.
+[[nodiscard]] MDItemList read_md_trace(std::istream& in,
+                                       std::vector<double> capacity);
+[[nodiscard]] MDItemList read_md_trace_file(const std::string& path,
+                                            std::vector<double> capacity);
+
+}  // namespace mutdbp::md

@@ -1,0 +1,317 @@
+#include "multidim/vector_capacity_tree.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/error.h"
+
+namespace mutdbp::md {
+
+namespace {
+// Same small floor as the scalar tree: depth hugs the concurrently-open
+// bin count, and every update walks leaf-to-root.
+constexpr std::size_t kMinLeafCap = 16;
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t cap = kMinLeafCap;
+  while (cap < n) cap *= 2;
+  return cap;
+}
+}  // namespace
+
+void VectorCapacityTree::begin(std::span<const double> capacity, double fit_epsilon,
+                               bool track_fill_order, FitMeasure measure,
+                               std::span<const double> weights) {
+  if (capacity.empty()) {
+    throw ValidationError("VectorCapacityTree: no dimensions");
+  }
+  for (const double c : capacity) {
+    if (!(c > 0.0)) {
+      throw ValidationError("VectorCapacityTree: capacity must be > 0 in every "
+                            "dimension");
+    }
+  }
+  if (fit_epsilon < 0.0) {
+    throw ValidationError("VectorCapacityTree: fit_epsilon must be >= 0");
+  }
+  if (!weights.empty() && weights.size() != capacity.size()) {
+    throw ValidationError("VectorCapacityTree: weights must match dimensions");
+  }
+  dims_ = capacity.size();
+  capacity_.assign(capacity.begin(), capacity.end());
+  if (weights.empty()) {
+    weights_.assign(dims_, 1.0 / static_cast<double>(dims_));
+  } else {
+    weights_.assign(weights.begin(), weights.end());
+  }
+  fit_epsilon_ = fit_epsilon;
+  track_fill_order_ = track_fill_order;
+  measure_ = measure;
+  open_count_ = 0;
+  leaf_cap_ = 0;
+  slot_count_ = 0;
+  min_.clear();
+  slot_bin_.clear();
+  bin_slot_.clear();
+  levels_.clear();
+  fills_.clear();
+  by_fill_.clear();
+}
+
+double VectorCapacityTree::fill_from(const double* level) const noexcept {
+  // 1-D specialization: the raw level, bitwise, whatever the measure — the
+  // exactness contract the dims=1 differential suite rests on (file
+  // comment).
+  if (dims_ == 1) return level[0];
+  switch (measure_) {
+    case FitMeasure::kWeightedSum: {
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims_; ++d) {
+        fill += weights_[d] * (level[d] / capacity_[d]);
+      }
+      return fill;
+    }
+    case FitMeasure::kDominant: {
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims_; ++d) {
+        fill = std::max(fill, level[d] / capacity_[d]);
+      }
+      return fill;
+    }
+    case FitMeasure::kL2: {
+      double fill = 0.0;
+      for (std::size_t d = 0; d < dims_; ++d) {
+        const double u = level[d] / capacity_[d];
+        fill += u * u;
+      }
+      return fill;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+void VectorCapacityTree::fill_index_insert(const FillEntry& e) {
+  by_fill_.insert(
+      std::lower_bound(by_fill_.begin(), by_fill_.end(), e, FillOrder{}), e);
+}
+
+void VectorCapacityTree::fill_index_erase(const FillEntry& e) noexcept {
+  // Unique and always present: callers erase exactly what they inserted
+  // (fills_ caches the inserted key so it is found bitwise).
+  const auto it = std::lower_bound(by_fill_.begin(), by_fill_.end(), e, FillOrder{});
+  by_fill_.erase(it);
+}
+
+void VectorCapacityTree::update_slot(std::size_t slot, const double* level) {
+  std::size_t node = leaf_cap_ + slot;
+  for (std::size_t d = 0; d < dims_; ++d) min_[node * dims_ + d] = level[d];
+  for (node /= 2; node >= 1; node /= 2) {
+    const std::size_t l = 2 * node, r = 2 * node + 1;
+    bool changed = false;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double a = min_[l * dims_ + d], b = min_[r * dims_ + d];
+      const double m = a <= b ? a : b;
+      if (min_[node * dims_ + d] != m) {
+        min_[node * dims_ + d] = m;
+        changed = true;
+      }
+    }
+    // Unchanged in every dimension means every higher ancestor recombines
+    // identical inputs (levels are stored, never recomputed): stop.
+    if (!changed) break;
+  }
+}
+
+void VectorCapacityTree::rebuild(std::size_t new_leaf_cap) {
+  min_.assign(2 * new_leaf_cap * dims_, kClosed);
+  leaf_cap_ = new_leaf_cap;
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    const double* level = levels_.data() + slot_bin_[s] * dims_;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      min_[(leaf_cap_ + s) * dims_ + d] = level[d];
+    }
+  }
+  for (std::size_t i = leaf_cap_ - 1; i >= 1; --i) {
+    const std::size_t l = 2 * i, r = 2 * i + 1;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      const double a = min_[l * dims_ + d], b = min_[r * dims_ + d];
+      min_[i * dims_ + d] = a <= b ? a : b;
+    }
+  }
+}
+
+void VectorCapacityTree::compact() {
+  std::size_t live = 0;
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    const BinIndex bin = slot_bin_[s];
+    if (levels_[bin * dims_] == kClosed) continue;
+    slot_bin_[live] = bin;  // relative order preserved: index order intact
+    bin_slot_[bin] = live;
+    ++live;
+  }
+  slot_bin_.resize(live);
+  slot_count_ = live;
+  rebuild(pow2_at_least(2 * live));
+}
+
+void VectorCapacityTree::throw_not_open(const char* op, BinIndex bin) const {
+  throw SimulationError("VectorCapacityTree: " + std::string(op) +
+                        " on unknown or closed bin " + std::to_string(bin));
+}
+
+BinIndex VectorCapacityTree::append(std::span<const double> level) {
+  if (level.size() != dims_) {
+    throw SimulationError("VectorCapacityTree: append with wrong dimensionality");
+  }
+  const BinIndex bin = bin_count();
+  levels_.insert(levels_.end(), level.begin(), level.end());
+  if (slot_count_ == leaf_cap_) {
+    // Same amortization as the scalar tree: reclaim when mostly dead,
+    // otherwise genuinely grow.
+    if (open_count_ + 1 <= leaf_cap_ / 2) {
+      compact();
+    } else {
+      rebuild(leaf_cap_ == 0 ? kMinLeafCap : leaf_cap_ * 2);
+    }
+  }
+  const std::size_t slot = slot_count_++;
+  slot_bin_.push_back(bin);
+  bin_slot_.push_back(slot);
+  update_slot(slot, levels_.data() + bin * dims_);
+  ++open_count_;
+  if (track_fill_order_) {
+    const double fill = fill_from(levels_.data() + bin * dims_);
+    fills_.push_back(fill);
+    fill_index_insert({fill, bin});
+  } else {
+    fills_.push_back(0.0);
+  }
+  return bin;
+}
+
+void VectorCapacityTree::set_levels(BinIndex bin, std::span<const double> level) {
+  if (!is_open(bin)) throw_not_open("set_levels", bin);
+  if (level.size() != dims_) {
+    throw SimulationError("VectorCapacityTree: set_levels with wrong dimensionality");
+  }
+  double* stored = levels_.data() + bin * dims_;
+  if (track_fill_order_) {
+    fill_index_erase({fills_[bin], bin});
+    std::copy(level.begin(), level.end(), stored);
+    const double fill = fill_from(stored);
+    fills_[bin] = fill;
+    fill_index_insert({fill, bin});
+  } else {
+    std::copy(level.begin(), level.end(), stored);
+  }
+  update_slot(bin_slot_[bin], stored);
+}
+
+void VectorCapacityTree::close(BinIndex bin) {
+  if (!is_open(bin)) throw_not_open("close", bin);
+  if (track_fill_order_) fill_index_erase({fills_[bin], bin});
+  double* stored = levels_.data() + bin * dims_;
+  for (std::size_t d = 0; d < dims_; ++d) stored[d] = kClosed;
+  update_slot(bin_slot_[bin], stored);
+  --open_count_;
+  if (leaf_cap_ > kMinLeafCap && open_count_ * 4 <= slot_count_) compact();
+}
+
+std::optional<BinIndex> VectorCapacityTree::first_fit(
+    std::span<const double> demand) const {
+  if (slot_count_ == 0 || !node_may_fit(1, demand)) return std::nullopt;
+  // Backtracking DFS, left child first: leaves are visited in slot order —
+  // which agrees with bin-index order — and the leaf test is exact (a
+  // leaf's minima ARE its bin's levels), so the first fitting leaf is the
+  // lowest-indexed fitting bin. In 1-D node_may_fit is exact and no
+  // subtree is ever entered in vain.
+  dfs_stack_.clear();
+  dfs_stack_.push_back(1);
+  while (!dfs_stack_.empty()) {
+    const std::size_t node = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (!node_may_fit(node, demand)) continue;
+    if (node >= leaf_cap_) return slot_bin_[node - leaf_cap_];
+    dfs_stack_.push_back(2 * node + 1);  // right explored after left
+    dfs_stack_.push_back(2 * node);
+  }
+  return std::nullopt;
+}
+
+std::optional<BinIndex> VectorCapacityTree::last_fit(
+    std::span<const double> demand) const {
+  if (slot_count_ == 0 || !node_may_fit(1, demand)) return std::nullopt;
+  dfs_stack_.clear();
+  dfs_stack_.push_back(1);
+  while (!dfs_stack_.empty()) {
+    const std::size_t node = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (!node_may_fit(node, demand)) continue;
+    if (node >= leaf_cap_) return slot_bin_[node - leaf_cap_];
+    dfs_stack_.push_back(2 * node);  // left explored after right
+    dfs_stack_.push_back(2 * node + 1);
+  }
+  return std::nullopt;
+}
+
+std::optional<BinIndex> VectorCapacityTree::best_fit(
+    std::span<const double> demand) const {
+  if (!track_fill_order_) {
+    throw SimulationError("VectorCapacityTree: best_fit requires track_fill_order");
+  }
+  // Scan from the full end of the (fill ↑, index ↓) order. The first entry
+  // passing the exact vector fit test has the maximal fill among fitting
+  // bins; within a fill tie class the reversed order is index-ascending,
+  // so the lowest index wins ties — the scalar Best Fit rule. At dims=1
+  // fitting entries form a prefix of the order (the predicate is monotone
+  // in the level), making this the scalar boundary search's answer.
+  for (auto it = by_fill_.rbegin(); it != by_fill_.rend(); ++it) {
+    if (fits_levels(levels_.data() + it->second * dims_, demand)) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BinIndex> VectorCapacityTree::worst_fit(
+    std::span<const double> demand) const {
+  if (!track_fill_order_) {
+    throw SimulationError("VectorCapacityTree: worst_fit requires track_fill_order");
+  }
+  // Scan from the empty end. Within a fill tie class entries are stored
+  // index-descending, so after the first fitting entry the scan continues
+  // through the rest of its class taking the last fitting one — the lowest
+  // index among equally-empty fitting bins, the scalar Worst Fit tie rule.
+  for (auto it = by_fill_.begin(); it != by_fill_.end(); ++it) {
+    if (!fits_levels(levels_.data() + it->second * dims_, demand)) continue;
+    BinIndex chosen = it->second;
+    const double fill = it->first;
+    for (++it; it != by_fill_.end() && it->first == fill; ++it) {
+      if (fits_levels(levels_.data() + it->second * dims_, demand)) {
+        chosen = it->second;
+      }
+    }
+    return chosen;
+  }
+  return std::nullopt;
+}
+
+void VectorCapacityTree::collect_fitting(std::span<const double> demand,
+                                         std::vector<BinIndex>& out) const {
+  if (slot_count_ == 0 || !node_may_fit(1, demand)) return;
+  dfs_stack_.clear();
+  dfs_stack_.push_back(1);
+  while (!dfs_stack_.empty()) {
+    const std::size_t node = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (!node_may_fit(node, demand)) continue;
+    if (node >= leaf_cap_) {
+      out.push_back(slot_bin_[node - leaf_cap_]);
+      continue;
+    }
+    dfs_stack_.push_back(2 * node + 1);
+    dfs_stack_.push_back(2 * node);
+  }
+}
+
+}  // namespace mutdbp::md

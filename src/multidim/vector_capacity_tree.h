@@ -1,0 +1,187 @@
+// VectorCapacityTree: the multi-resource counterpart of the scalar
+// CapacityTree (core/capacity_tree.h) — a tournament tree over the
+// per-dimension levels of the bins opened so far, answering the vector
+// Any Fit placement queries without the prototype's full linear scan:
+//
+//   * first_fit(d)  — lowest-indexed open bin with room in every dimension,
+//   * last_fit(d)   — highest-indexed such bin,
+//   * best_fit(d)   — fullest fitting bin under the configured fill measure,
+//   * worst_fit(d)  — emptiest fitting bin under the configured fill measure,
+//   * collect_fitting(d) — every fitting bin in index order (what the
+//     score-maximizing rules, e.g. the dot-product heuristic, iterate).
+//
+// Each internal node caches the *component-wise minimum* of its subtree's
+// level vectors. The per-dimension predicate `level[d] + demand[d] <=
+// capacity[d] + fit_epsilon` (md_fits, verbatim) holding on a node's
+// minima is a necessary condition for the subtree to contain a fitting
+// bin — the minima of different dimensions may come from different bins —
+// so first/last fit run a pruned backtracking descent. In one dimension
+// the condition is exact, no backtracking ever happens, and the walk
+// degenerates to the scalar CapacityTree descent: every query returns the
+// same bin the scalar tree would, which is what makes the dims=1
+// differential suite bit-exact. With d dimensions the pruning still skips
+// every subtree that is saturated in *some* dimension, which is the common
+// case that makes the linear scan expensive.
+//
+// Fill measures (best_fit/worst_fit ordering) are pluggable at begin():
+//
+//   * kWeightedSum — Σ_d w_d · level_d / cap_d  (default, w_d = 1/D; the
+//     natural generalization of the scalar level and the measure the
+//     vector Best Fit of Lee & Tang's DVBP evaluation uses),
+//   * kDominant    — max_d level_d / cap_d  (dominant-resource / max-norm:
+//     a bin is as full as its most loaded dimension),
+//   * kL2          — Σ_d (level_d / cap_d)²  (quadratic norm: penalizes
+//     imbalance between dimensions).
+//
+// Exactness contract at dims == 1: every measure reduces to the *raw
+// level* (no normalization is applied in 1-D), so the (fill ↑, index ↓)
+// order coincides bitwise with the scalar tree's (level ↑, index ↓) order
+// and best/worst fit select the scalar bin, ties included. For dims > 1
+// ties are broken toward the lowest bin index, mirroring the scalar rules.
+//
+// Like the scalar tree, closed bins keep their index forever and are
+// marked with +infinity levels (which fail every fit test); dead slots are
+// reclaimed by the same amortized compaction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace mutdbp::md {
+
+/// How best_fit/worst_fit order bins by "fullness". See the file comment;
+/// all measures coincide (raw level) at dims == 1.
+enum class FitMeasure : std::uint8_t {
+  kWeightedSum = 0,
+  kDominant = 1,
+  kL2 = 2,
+};
+
+class VectorCapacityTree {
+ public:
+  VectorCapacityTree() = default;
+
+  /// (Re)initializes for a fresh run: forgets all bins, stores the vector
+  /// capacity and fit epsilon used by every subsequent query.
+  /// `track_fill_order` enables the auxiliary sorted index best_fit() and
+  /// worst_fit() require (First/Last Fit pay nothing for it). `weights`
+  /// applies to kWeightedSum only; empty means uniform 1/D.
+  void begin(std::span<const double> capacity, double fit_epsilon,
+             bool track_fill_order = false,
+             FitMeasure measure = FitMeasure::kWeightedSum,
+             std::span<const double> weights = {});
+
+  /// Registers the next bin (indices assigned 0,1,2,... in call order,
+  /// mirroring opening-order bin indices). O(D log m) amortized.
+  BinIndex append(std::span<const double> level);
+
+  /// Updates an open bin's level vector after a placement or departure.
+  /// O(D log m).
+  void set_levels(BinIndex bin, std::span<const double> level);
+
+  /// Marks a bin closed; no query can return it again. O(D log m).
+  void close(BinIndex bin);
+
+  [[nodiscard]] std::optional<BinIndex> first_fit(std::span<const double> demand) const;
+  [[nodiscard]] std::optional<BinIndex> last_fit(std::span<const double> demand) const;
+  /// Require begin(..., track_fill_order = true).
+  [[nodiscard]] std::optional<BinIndex> best_fit(std::span<const double> demand) const;
+  [[nodiscard]] std::optional<BinIndex> worst_fit(std::span<const double> demand) const;
+
+  /// Appends every open bin the demand fits into to `out`, in ascending
+  /// index order (pruned subtree walk). The enumeration hook for
+  /// query-dependent scoring rules (dot-product et al.).
+  void collect_fitting(std::span<const double> demand,
+                       std::vector<BinIndex>& out) const;
+
+  [[nodiscard]] std::span<const double> levels(BinIndex bin) const {
+    return {levels_.data() + bin * dims_, dims_};
+  }
+  [[nodiscard]] double level(BinIndex bin, std::size_t dim) const {
+    return levels_[bin * dims_ + dim];
+  }
+  /// The configured fill measure evaluated on an open bin's current levels.
+  [[nodiscard]] double fill_of(BinIndex bin) const {
+    return fill_from(levels_.data() + bin * dims_);
+  }
+  [[nodiscard]] bool is_open(BinIndex bin) const {
+    return bin * dims_ < levels_.size() && levels_[bin * dims_] != kClosed;
+  }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return dims_ == 0 ? 0 : levels_.size() / dims_;
+  }
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_count_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+  [[nodiscard]] std::span<const double> capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double fit_epsilon() const noexcept { return fit_epsilon_; }
+  [[nodiscard]] FitMeasure measure() const noexcept { return measure_; }
+
+ private:
+  static constexpr double kClosed = std::numeric_limits<double>::infinity();
+
+  /// The shared fit predicate over a level vector, verbatim md_fits()
+  /// arithmetic (closed/padding slots hold +inf levels and always fail).
+  [[nodiscard]] bool fits_levels(const double* level,
+                                 std::span<const double> demand) const noexcept {
+    for (std::size_t d = 0; d < dims_; ++d) {
+      if (!(level[d] + demand[d] <= capacity_[d] + fit_epsilon_)) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] bool node_may_fit(std::size_t node,
+                                  std::span<const double> demand) const noexcept {
+    return fits_levels(min_.data() + node * dims_, demand);
+  }
+
+  [[nodiscard]] double fill_from(const double* level) const noexcept;
+
+  void update_slot(std::size_t slot, const double* level);
+  [[noreturn]] void throw_not_open(const char* op, BinIndex bin) const;
+
+  using FillEntry = std::pair<double, BinIndex>;  // (fill, bin)
+  /// (fill ascending, index descending) — the scalar LevelOrder, verbatim,
+  /// over the configured fill measure.
+  struct FillOrder {
+    bool operator()(const FillEntry& a, const FillEntry& b) const noexcept {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    }
+  };
+  void fill_index_insert(const FillEntry& e);
+  void fill_index_erase(const FillEntry& e) noexcept;
+
+  void rebuild(std::size_t new_leaf_cap);
+  void compact();
+
+  std::size_t dims_ = 0;
+  std::vector<double> capacity_;
+  std::vector<double> weights_;  ///< kWeightedSum multipliers (size dims_)
+  double fit_epsilon_ = kDefaultFitEpsilon;
+  bool track_fill_order_ = false;
+  FitMeasure measure_ = FitMeasure::kWeightedSum;
+  std::size_t open_count_ = 0;
+
+  // Implicit tournament tree over slots, exactly as the scalar tree
+  // (core/capacity_tree.h's layout comment applies) except every node
+  // carries dims_ contiguous minima: node i's vector lives at
+  // min_[i*dims_ .. (i+1)*dims_).
+  std::size_t leaf_cap_ = 0;
+  std::size_t slot_count_ = 0;
+  std::vector<double> min_;
+  std::vector<BinIndex> slot_bin_;
+  std::vector<std::size_t> bin_slot_;
+  std::vector<double> levels_;  ///< bin-major flat levels; +inf once closed
+  std::vector<double> fills_;  ///< cached fill per bin (track_fill_order_ only)
+
+  std::vector<FillEntry> by_fill_;  ///< sorted by FillOrder
+  mutable std::vector<std::size_t> dfs_stack_;  ///< query scratch (single-threaded)
+};
+
+}  // namespace mutdbp::md

@@ -1,6 +1,11 @@
 // Lower bounds on OPT_total(R) (§III.C, Propositions 1 and 2), plus the
 // stronger pointwise bound ∫ max(ceil(load(t)/cap), [load(t)>0]) dt used by
 // large-scale benches where the repacking integral is too expensive.
+//
+// The DVBP track generalizes all three per-dimension (multidim/md_bounds.h);
+// the vector accumulator replays this module's exact operation order so its
+// dims=1 values are bitwise-equal — any change to the arithmetic here must
+// be mirrored there (the multidim differential suite will catch a drift).
 #pragma once
 
 #include "core/item_list.h"

@@ -56,6 +56,10 @@ void RatioMonitor::begin_run(const void* owner, std::string_view algorithm,
   algorithm_.assign(algorithm);
   mu_reference_ = 0.0;
   bounds_.reset(capacity);
+  external_bounds_ = false;
+  ext_prop1_ = 0.0;
+  ext_prop2_ = 0.0;
+  ext_load_ceiling_ = 0.0;
   usage_ = 0.0;
   open_bins_ = 0;
   last_t_ = -std::numeric_limits<double>::infinity();
@@ -89,9 +93,23 @@ void RatioMonitor::step_to_locked(double t) {
   bounds_.advance_to(t);
 }
 
+double RatioMonitor::lb_prop1_locked() const noexcept {
+  return external_bounds_ ? ext_prop1_ : bounds_.prop1();
+}
+double RatioMonitor::lb_prop2_locked() const noexcept {
+  return external_bounds_ ? ext_prop2_ : bounds_.prop2();
+}
+double RatioMonitor::lb_load_ceiling_locked() const noexcept {
+  return external_bounds_ ? ext_load_ceiling_ : bounds_.load_ceiling();
+}
+double RatioMonitor::lb_combined_locked() const noexcept {
+  if (!external_bounds_) return bounds_.combined();
+  return std::max({ext_prop1_, ext_prop2_, ext_load_ceiling_});
+}
+
 void RatioMonitor::after_event_locked(double t) {
   ++events_;
-  const double lb = bounds_.combined();
+  const double lb = lb_combined_locked();
   const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
   if (lb >= warmup_lb_ && ratio > peak_ratio_) {
     peak_ratio_ = ratio;
@@ -117,15 +135,15 @@ void RatioMonitor::after_event_locked(double t) {
 
 void RatioMonitor::publish_gauges_locked() {
   if (registry_ == nullptr) return;
-  const double lb = bounds_.combined();
+  const double lb = lb_combined_locked();
   const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
   const double gap = mu_reference_ > 0.0
                          ? (mu_reference_ + 4.0) * lb - usage_
                          : std::numeric_limits<double>::quiet_NaN();
   registry_->set(gauges_.ratio_current, ratio);
-  registry_->set(gauges_.lb_prop1, bounds_.prop1());
-  registry_->set(gauges_.lb_prop2, bounds_.prop2());
-  registry_->set(gauges_.lb_load_ceiling, bounds_.load_ceiling());
+  registry_->set(gauges_.lb_prop1, lb_prop1_locked());
+  registry_->set(gauges_.lb_prop2, lb_prop2_locked());
+  registry_->set(gauges_.lb_load_ceiling, lb_load_ceiling_locked());
   registry_->set(gauges_.bound_gap, gap);
 }
 
@@ -157,12 +175,26 @@ void RatioMonitor::on_open_bins(const void* owner, double t, std::size_t open_bi
   // accompany it at the same instant.
 }
 
+void RatioMonitor::on_vector_event(const void* owner, double t,
+                                   std::size_t open_bins, double prop1,
+                                   double prop2, double load_ceiling) {
+  const std::scoped_lock lock(mutex_);
+  if (owner != owner_ || finished_) return;
+  step_to_locked(t);  // bounds_ stays idle: no load was ever applied to it
+  external_bounds_ = true;
+  ext_prop1_ = prop1;
+  ext_prop2_ = prop2;
+  ext_load_ceiling_ = load_ceiling;
+  open_bins_ = open_bins;
+  after_event_locked(t);
+}
+
 void RatioMonitor::finish_run(const void* owner, double t) {
   const std::scoped_lock lock(mutex_);
   if (owner != owner_ || finished_) return;
   step_to_locked(t);
   finished_ = true;
-  const double lb = bounds_.combined();
+  const double lb = lb_combined_locked();
   const double ratio = lb > 0.0 ? usage_ / lb : 0.0;
   // Always retain the final point, whatever the stride was.
   if (events_ > 0 &&
@@ -195,10 +227,10 @@ RatioRunState RatioMonitor::current() const {
   state.capacity = bounds_.capacity();
   state.mu_reference = mu_reference_;
   state.usage = usage_;
-  state.lb_prop1 = bounds_.prop1();
-  state.lb_prop2 = bounds_.prop2();
-  state.lb_load_ceiling = bounds_.load_ceiling();
-  state.lower_bound = bounds_.combined();
+  state.lb_prop1 = lb_prop1_locked();
+  state.lb_prop2 = lb_prop2_locked();
+  state.lb_load_ceiling = lb_load_ceiling_locked();
+  state.lower_bound = lb_combined_locked();
   state.ratio = state.lower_bound > 0.0 ? usage_ / state.lower_bound : 0.0;
   state.peak_ratio = peak_ratio_;
   state.peak_ratio_t = peak_ratio_t_;

@@ -189,6 +189,15 @@ class RatioMonitor {
   /// Covers natural departures AND evictions: either way the load drops.
   void on_departure(const void* owner, double size, double t);
   void on_open_bins(const void* owner, double t, std::size_t open_bins);
+  /// Vector-run entry point (multidim/md_core.h): the engine computes its
+  /// own Prop 1 / Prop 2 / load-ceiling bounds (this library sits below
+  /// multidim and cannot), so each event delivers them ready-made along
+  /// with the open-bin count. Switches the monitor to external-bounds mode
+  /// for the rest of the run: gauges, peak tracking, the sampler, and the
+  /// archived summary all read the supplied values instead of the scalar
+  /// accumulator. begin_run reverts to scalar mode.
+  void on_vector_event(const void* owner, double t, std::size_t open_bins,
+                       double prop1, double prop2, double load_ceiling);
   void finish_run(const void* owner, double t);
 
   // ---- read side ----------------------------------------------------
@@ -204,6 +213,10 @@ class RatioMonitor {
   void step_to_locked(double t);
   void after_event_locked(double t);
   void publish_gauges_locked();
+  [[nodiscard]] double lb_prop1_locked() const noexcept;
+  [[nodiscard]] double lb_prop2_locked() const noexcept;
+  [[nodiscard]] double lb_load_ceiling_locked() const noexcept;
+  [[nodiscard]] double lb_combined_locked() const noexcept;
 
   mutable std::mutex mutex_;
   MetricsRegistry* registry_ = nullptr;  ///< null until bind()
@@ -216,6 +229,12 @@ class RatioMonitor {
   std::string algorithm_;
   double mu_reference_ = 0.0;
   LowerBoundAccumulator bounds_;
+  // External-bounds mode (on_vector_event): the run's bounds arrive
+  // precomputed and bounds_ stays idle.
+  bool external_bounds_ = false;
+  double ext_prop1_ = 0.0;
+  double ext_prop2_ = 0.0;
+  double ext_load_ceiling_ = 0.0;
   double usage_ = 0.0;
   std::size_t open_bins_ = 0;
   double last_t_ = -std::numeric_limits<double>::infinity();

@@ -22,6 +22,8 @@
 #include "algorithms/registry.h"
 #include "core/checkpoint.h"
 #include "core/simulation.h"
+#include "multidim/md_algorithms.h"
+#include "multidim/md_trace.h"
 #include "workload/adversarial.h"
 #include "workload/trace.h"
 
@@ -30,6 +32,9 @@
 #endif
 #ifndef MUTDBP_DEMO_TRACE_PATH
 #error "tests/CMakeLists.txt must define MUTDBP_DEMO_TRACE_PATH"
+#endif
+#ifndef MUTDBP_VECTOR_TRACE_PATH
+#error "tests/CMakeLists.txt must define MUTDBP_VECTOR_TRACE_PATH"
 #endif
 
 namespace mutdbp {
@@ -129,6 +134,22 @@ TEST(GoldenMaster, PackingsMatchCheckedInGoldens) {
       golden.digest = packing_digest(result);
       actual[workload.name + "/" + algorithm] = golden;
     }
+  }
+
+  // The DVBP track pins its packings in the same goldens file: the
+  // committed 2-D vector trace through every registered vector algorithm,
+  // keyed "vector_demo/<algorithm>", digests from md_packing_digest()
+  // (byte-compatible with packing_digest() — same FNV-1a stream).
+  const md::MDItemList vector_items =
+      md::read_md_trace_file(MUTDBP_VECTOR_TRACE_PATH, {1.0, 1.0});
+  for (const std::string& algorithm : md::md_algorithm_names()) {
+    const auto algo = md::make_md_algorithm(algorithm);
+    const md::MDPackingResult result = md::md_simulate(vector_items, *algo);
+    Golden golden;
+    golden.bins = result.bins_opened();
+    golden.usage_bits = bits_of(result.total_usage_time());
+    golden.digest = md::md_packing_digest(result);
+    actual["vector_demo/" + algorithm] = golden;
   }
 
   if (update) {

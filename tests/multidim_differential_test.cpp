@@ -1,0 +1,371 @@
+// The DVBP differential wall. Three equivalences, each enforced for every
+// registered vector algorithm:
+//
+//  1. dims == 1 ≡ scalar: a 1-D vector run must be BIT-IDENTICAL (bins,
+//     usage bit patterns, placement digest) to its scalar counterpart
+//     (md_scalar_counterpart) on the same workload — random workloads and
+//     the paper's adversarial families alike. This is what certifies the
+//     vector engine, kernel, and fill measures as a strict generalization.
+//  2. streaming ≡ batch: feeding any batch granularity, shuffled inside
+//     each chunk, through MDStreamingSimulation must reproduce one-shot
+//     md_simulate() digests exactly — with a checkpoint→restore at a
+//     random cut in the loop.
+//  3. tree kernel ≡ snapshot reference: the VectorCapacityTree fast path
+//     and the MDWithSnapshots<> linear-scan path must make identical
+//     decisions (vector_kernel_test.cpp drills the tree itself).
+//
+// The `MDDifferential` suite is the tier-1 subset; `SlowMDDifferential`
+// (ctest label `slow`) widens the sweep; `FuzzMultidim` (label `fuzz`)
+// flips checkpoint bits and asserts every corruption dies as a
+// ValidationError, never as a crash or a silently different packing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "core/error.h"
+#include "core/packing_result.h"
+#include "core/simulation.h"
+#include "multidim/md_algorithms.h"
+#include "multidim/md_streaming.h"
+#include "multidim/md_workload.h"
+#include "opt/lower_bounds.h"
+#include "telemetry/telemetry.h"
+#include "util/rng.h"
+#include "workload/adversarial.h"
+#include "workload/generators.h"
+
+namespace mutdbp::md {
+namespace {
+
+/// Lifts a scalar workload to a 1-D vector list, id-for-id.
+MDItemList to_one_dim(const ItemList& items) {
+  std::vector<MDItem> md_items;
+  md_items.reserve(items.size());
+  for (const Item& item : items) {
+    md_items.push_back(
+        make_md_item(item.id, {item.size}, item.arrival(), item.departure()));
+  }
+  return MDItemList(std::move(md_items), {items.capacity()});
+}
+
+MDItemList random_md_workload(Rng& rng, std::size_t dims) {
+  MDWorkloadSpec spec;
+  spec.num_items = 40 + static_cast<std::size_t>(rng.uniform_u64(0, 120));
+  spec.dimensions = dims;
+  spec.seed = rng.uniform_u64(1, 1u << 30);
+  spec.correlation = -1.0 + 2.0 * rng.next_double();
+  spec.duration_max = 2.0 + 5.0 * rng.next_double();
+  return generate_md(spec);
+}
+
+void expect_md_identical(const MDPackingResult& a, const MDPackingResult& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.bins_opened(), b.bins_opened()) << label;
+  ASSERT_EQ(a.total_usage_time(), b.total_usage_time()) << label;
+  ASSERT_EQ(md_packing_digest(a), md_packing_digest(b)) << label;
+}
+
+// ---- 1. dims == 1 ≡ scalar --------------------------------------------
+
+void expect_scalar_equivalence(const ItemList& scalar_items,
+                               double fit_epsilon, const std::string& label) {
+  const MDItemList vector_items = to_one_dim(scalar_items);
+  for (const auto& name : md_algorithm_names()) {
+    const auto counterpart = md_scalar_counterpart(name);
+    if (!counterpart) continue;  // DotProduct: no scalar twin
+    const auto scalar_algo =
+        make_algorithm(*counterpart, /*seed=*/1, fit_epsilon);
+    SimulationOptions scalar_options;
+    scalar_options.fit_epsilon = fit_epsilon;
+    const PackingResult scalar =
+        simulate(scalar_items, *scalar_algo, scalar_options);
+
+    const auto vector_algo = make_md_algorithm(name, fit_epsilon);
+    const MDPackingResult vector =
+        md_simulate(vector_items, *vector_algo, fit_epsilon);
+
+    const std::string context = label + "/" + name + " vs " + *counterpart;
+    ASSERT_EQ(vector.bins_opened(), scalar.bins_opened()) << context;
+    ASSERT_EQ(vector.total_usage_time(), scalar.total_usage_time()) << context;
+    // The two digests hash identical byte sequences at dims == 1, so this
+    // single comparison pins every placement, demand bit pattern, and
+    // usage interval across the two engines.
+    ASSERT_EQ(md_packing_digest(vector), packing_digest(scalar)) << context;
+  }
+}
+
+TEST(MDDifferential, Dims1BitIdenticalToScalarOnRandomWorkloads) {
+  Rng rng(2026);
+  for (int round = 0; round < 3; ++round) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 80 + 40 * static_cast<std::size_t>(round);
+    spec.seed = rng.uniform_u64(1, 1u << 30);
+    spec.duration_max = 3.0 + 2.0 * round;
+    expect_scalar_equivalence(workload::generate(spec), kDefaultFitEpsilon,
+                              "random" + std::to_string(round));
+  }
+}
+
+TEST(MDDifferential, Dims1BitIdenticalToScalarOnAdversarialFamilies) {
+  const auto nf = workload::next_fit_lower_bound_instance(8, 6.0);
+  expect_scalar_equivalence(nf.items, nf.recommended_fit_epsilon, "next_fit");
+  const auto pin = workload::any_fit_pinning_instance(8, 6.0);
+  expect_scalar_equivalence(pin.items, pin.recommended_fit_epsilon, "pinning");
+  const auto decoy = workload::best_fit_decoy_instance(4, 6.0);
+  expect_scalar_equivalence(decoy.items, decoy.recommended_fit_epsilon,
+                            "decoy");
+}
+
+// ---- 2. streaming ≡ batch ---------------------------------------------
+
+/// One randomized scenario: random chunking of the canonical schedule,
+/// shuffled inside each chunk, an optional checkpoint→restore at a random
+/// flush boundary, then a digest comparison against batch md_simulate().
+void run_md_scenario(const std::string& algorithm, const MDItemList& items,
+                     Rng& rng, bool with_restore) {
+  const auto batch_algo = make_md_algorithm(algorithm);
+  const MDPackingResult batch = md_simulate(items, *batch_algo);
+
+  auto stream_algo = make_md_algorithm(algorithm);
+  MDStreamingOptions options;
+  options.capacity = items.capacity();
+  auto stream =
+      std::make_unique<MDStreamingSimulation>(*stream_algo, options);
+
+  const std::size_t total = items.schedule().size();
+  const std::size_t restore_at =
+      with_restore ? rng.uniform_u64(0, total) : total + 1;
+
+  std::unique_ptr<MDPackingAlgorithm> restored_algo;
+  std::size_t i = 0;
+  std::vector<MDStreamEvent> chunk;
+  while (i < total) {
+    const std::size_t chunk_size =
+        std::min<std::size_t>(1 + rng.uniform_u64(0, 15), total - i);
+    chunk.clear();
+    for (std::size_t k = 0; k < chunk_size; ++k, ++i) {
+      const MDScheduledEvent& event = items.schedule()[i];
+      if (event.is_arrival) {
+        chunk.push_back({MDStreamEvent::Kind::kArrival, event.id,
+                         items[event.item_pos].demand, event.t});
+      } else {
+        chunk.push_back({MDStreamEvent::Kind::kDeparture, event.id, {}, event.t});
+      }
+    }
+    // Shuffle inside the chunk: flush() owns the canonical re-ordering.
+    for (std::size_t k = chunk.size(); k > 1; --k) {
+      std::swap(chunk[k - 1], chunk[rng.uniform_u64(0, k - 1)]);
+    }
+    for (MDStreamEvent& event : chunk) stream->push(std::move(event));
+    stream->flush();
+
+    if (with_restore && stream->events_applied() >= restore_at &&
+        restored_algo == nullptr) {
+      std::ostringstream out(std::ios::binary);
+      stream->snapshot(out);
+      std::istringstream in(out.str(), std::ios::binary);
+      restored_algo = make_md_algorithm(algorithm);
+      stream = std::make_unique<MDStreamingSimulation>(
+          MDStreamingSimulation::restore(in, *restored_algo));
+    }
+  }
+
+  const std::string label =
+      algorithm + (with_restore ? "+restore" : "") + " dims=" +
+      std::to_string(items.dimensions());
+  expect_md_identical(stream->finish(), batch, label);
+}
+
+TEST(MDDifferential, StreamingMatchesBatchForEveryAlgorithm) {
+  Rng rng(7);
+  for (const std::size_t dims : {1u, 2u, 3u}) {
+    const MDItemList items = random_md_workload(rng, dims);
+    for (const auto& name : md_algorithm_names()) {
+      run_md_scenario(name, items, rng, /*with_restore=*/false);
+    }
+  }
+}
+
+TEST(MDDifferential, CheckpointRestoreAtRandomCutsForEveryAlgorithm) {
+  Rng rng(8);
+  const MDItemList items = random_md_workload(rng, 2);
+  for (const auto& name : md_algorithm_names()) {
+    run_md_scenario(name, items, rng, /*with_restore=*/true);
+  }
+}
+
+TEST(MDDifferential, RestoreRejectsAlgorithmMismatch) {
+  Rng rng(9);
+  const MDItemList items = random_md_workload(rng, 2);
+  auto ff = make_md_algorithm("VectorFirstFit");
+  MDStreamingOptions options;
+  options.capacity = items.capacity();
+  MDStreamingSimulation stream(*ff, options);
+  const MDScheduledEvent& first = items.schedule().front();
+  stream.push_arrival(first.id, items[first.item_pos].demand, first.t);
+  (void)stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  auto bf = make_md_algorithm("VectorBestFit");
+  EXPECT_THROW((void)MDStreamingSimulation::restore(in, *bf), ValidationError);
+}
+
+// ---- live bounds & telemetry -------------------------------------------
+
+TEST(MDDifferential, LiveBoundsMatchBatchSweepBitForBit) {
+  Rng rng(10);
+  for (const std::size_t dims : {1u, 3u}) {
+    const MDItemList items = random_md_workload(rng, dims);
+    VectorFirstFit ff;
+    MDSimulationOptions options;
+    options.capacity = items.capacity();
+    MDSimulation sim(ff, options);
+    for (const MDScheduledEvent& event : items.schedule()) {
+      if (event.is_arrival) {
+        (void)sim.arrive(event.id, items[event.item_pos].demand, event.t);
+      } else {
+        sim.depart(event.id, event.t);
+      }
+    }
+    const MDBoundsState live = sim.bounds_state();
+    const MDLowerBounds batch = md_lower_bounds(items);
+    ASSERT_EQ(live.prop1, batch.prop1);
+    ASSERT_EQ(live.prop2, batch.prop2);
+    ASSERT_EQ(live.load_ceiling, batch.load_ceiling);
+    ASSERT_EQ(live.lower_bound, batch.combined());
+    (void)sim.finish();
+  }
+}
+
+TEST(MDDifferential, RatioMonitorSeesVectorBounds) {
+  Rng rng(11);
+  const MDItemList items = random_md_workload(rng, 2);
+  telemetry::Telemetry telemetry;
+  VectorFirstFit ff;
+  const MDPackingResult result =
+      md_simulate(items, ff, kDefaultFitEpsilon, &telemetry);
+  const telemetry::RatioRunState state = telemetry.monitor().current();
+  ASSERT_TRUE(state.finished);
+  const MDLowerBounds batch = md_lower_bounds(items);
+  ASSERT_EQ(state.lb_prop1, batch.prop1);
+  ASSERT_EQ(state.lb_prop2, batch.prop2);
+  ASSERT_EQ(state.lb_load_ceiling, batch.load_ceiling);
+  ASSERT_EQ(state.lower_bound, batch.combined());
+  ASSERT_NEAR(state.usage, result.total_usage_time(),
+              1e-9 * std::max(1.0, result.total_usage_time()));
+
+  const auto snapshot = telemetry.metrics().snapshot();
+  const auto* placed = snapshot.find_counter("mutdbp_md_items_placed_total");
+  ASSERT_NE(placed, nullptr);
+  ASSERT_EQ(placed->value, static_cast<double>(items.size()));
+}
+
+// ---- slow tier ----------------------------------------------------------
+
+TEST(SlowMDDifferential, WideRandomizedSweep) {
+  Rng rng(12);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t dims = 1 + static_cast<std::size_t>(rng.uniform_u64(0, 3));
+    const MDItemList items = random_md_workload(rng, dims);
+    for (const auto& name : md_algorithm_names()) {
+      run_md_scenario(name, items, rng, /*with_restore=*/(round % 2 == 1));
+    }
+  }
+}
+
+TEST(SlowMDDifferential, Dims1ScalarSweep) {
+  Rng rng(13);
+  for (int round = 0; round < 20; ++round) {
+    workload::RandomWorkloadSpec spec;
+    spec.num_items = 40 + static_cast<std::size_t>(rng.uniform_u64(0, 160));
+    spec.seed = rng.uniform_u64(1, 1u << 30);
+    spec.arrival_rate = 1.0 + 4.0 * rng.next_double();
+    spec.duration_max = 2.0 + 6.0 * rng.next_double();
+    expect_scalar_equivalence(workload::generate(spec), kDefaultFitEpsilon,
+                              "sweep" + std::to_string(round));
+  }
+}
+
+// ---- fuzz tier ----------------------------------------------------------
+
+std::size_t fuzz_iterations(std::size_t base) {
+  if (const char* env = std::getenv("MUTDBP_FUZZ_ITERS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return base;
+}
+
+TEST(FuzzMultidim, CorruptCheckpointsNeverCrashOrDivergeSilently) {
+  Rng rng(14);
+  const MDItemList items = random_md_workload(rng, 2);
+  auto ff = make_md_algorithm("VectorFirstFit");
+  MDStreamingOptions options;
+  options.capacity = items.capacity();
+  MDStreamingSimulation stream(*ff, options);
+  const std::size_t half = items.schedule().size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const MDScheduledEvent& event = items.schedule()[i];
+    if (event.is_arrival) {
+      stream.push_arrival(event.id, items[event.item_pos].demand, event.t);
+    } else {
+      stream.push_departure(event.id, event.t);
+    }
+  }
+  (void)stream.flush();
+  std::ostringstream out(std::ios::binary);
+  stream.snapshot(out);
+  const std::string pristine = out.str();
+
+  // The pristine frame restores; every single-bit flip and every
+  // truncation must throw ValidationError (frame checksum, bounds-checked
+  // reader, payload validation) — never crash, never restore quietly into
+  // a different packing.
+  const std::size_t iters = fuzz_iterations(300);
+  for (std::size_t round = 0; round < iters; ++round) {
+    std::string corrupt = pristine;
+    if (round % 4 == 0) {
+      corrupt.resize(rng.uniform_u64(0, corrupt.size() - 1));
+    } else {
+      const std::size_t byte = rng.uniform_u64(0, corrupt.size() - 1);
+      corrupt[byte] = static_cast<char>(
+          corrupt[byte] ^ static_cast<char>(1u << rng.uniform_u64(0, 7)));
+    }
+    std::istringstream in(corrupt, std::ios::binary);
+    auto fresh = make_md_algorithm("VectorFirstFit");
+    try {
+      const MDStreamingSimulation restored =
+          MDStreamingSimulation::restore(in, *fresh);
+      // A flip that survives the checksum is astronomically unlikely; a
+      // truncation at exactly full length is the one benign case.
+      ASSERT_EQ(corrupt.size(), pristine.size());
+      ASSERT_EQ(corrupt, pristine);
+      ASSERT_EQ(restored.events_applied(), stream.events_applied());
+    } catch (const ValidationError&) {
+      // expected
+    }
+  }
+}
+
+TEST(FuzzMultidim, RandomWorkloadsKeepAllEquivalences) {
+  Rng rng(15);
+  const std::size_t iters = fuzz_iterations(10);
+  for (std::size_t round = 0; round < iters; ++round) {
+    const std::size_t dims = 1 + static_cast<std::size_t>(rng.uniform_u64(0, 3));
+    const MDItemList items = random_md_workload(rng, dims);
+    const auto names = md_algorithm_names();
+    const auto& name = names[rng.uniform_u64(0, names.size() - 1)];
+    run_md_scenario(name, items, rng, /*with_restore=*/(round % 3 == 0));
+  }
+}
+
+}  // namespace
+}  // namespace mutdbp::md

@@ -1,0 +1,9 @@
+# Processed by CTest after the gtest discovery scripts (TEST_INCLUDE_FILES
+# run in registration order), so `multidim_discovered_tests` — the TEST_LIST
+# of the DVBP discovery block — is already populated. gtest_discover_tests
+# flattens multi-element LABELS lists while forwarding properties, so the
+# dual tier1+multidim labeling is applied here instead, where the list
+# literal reaches set_tests_properties intact.
+foreach(mutdbp_md_test ${multidim_discovered_tests})
+  set_tests_properties("${mutdbp_md_test}" PROPERTIES LABELS "tier1;multidim")
+endforeach()

@@ -1,5 +1,9 @@
-// Parameterized sweeps for the multi-dimensional extension, mirroring the
-// scalar property suite.
+// Parameterized sweeps for the DVBP track, mirroring the scalar property
+// suite: structural invariants (every item placed once, capacity never
+// exceeded), the Any Fit property for the vector Any Fit family, lower
+// bounds below every algorithm's usage, fit-predicate monotonicity, and
+// bit-level determinism — across dimensionality × demand correlation ×
+// seed.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -66,42 +70,50 @@ TEST_P(MDSweep, UsageAtLeastSpanAndLoadCeiling) {
   }
 }
 
-TEST_P(MDSweep, AnyFitPropertyForMDAnyFitFamily) {
+TEST_P(MDSweep, EveryLowerBoundBelowEveryAlgorithmsUsage) {
+  // The point of the vector Prop 1 / Prop 2 / load-ceiling generalizations:
+  // each is a certified lower bound on OPT_total, so every online
+  // algorithm's usage must sit at or above all three — on every workload.
   const MDItemList items = generate_md(GetParam().spec);
-  // MDFirstFit/MDBestFit/MDDotProduct derive from MDAnyFit: a new bin means
-  // nothing fit. Verify by replaying levels at each opening.
-  for (const auto& name : {"MDFirstFit", "MDBestFit", "MDDotProduct"}) {
+  const MDLowerBounds bounds = md_lower_bounds(items);
+  EXPECT_GE(bounds.prop1, 0.0);
+  EXPECT_GE(bounds.prop2, 0.0);
+  EXPECT_GE(bounds.load_ceiling, bounds.prop1 - 1e-9);  // ceiling dominates load
+  for (const auto& name : md_algorithm_names()) {
     const auto algo = make_md_algorithm(name);
     const MDPackingResult result = md_simulate(items, *algo);
-    // For each bin's opening item, every other bin open at that instant
-    // must have lacked room in some dimension.
+    EXPECT_GE(result.total_usage_time(), bounds.combined() - 1e-6) << name;
+  }
+}
+
+TEST_P(MDSweep, AnyFitPropertyForVectorAnyFitFamily) {
+  const MDItemList items = generate_md(GetParam().spec);
+  // The vector Any Fit family (and the scoring rules built on it) opens a
+  // new bin only when the arriving vector fits no open bin. Verify by
+  // reconstructing every other bin's level vector at each opening instant.
+  for (const auto& name : {"VectorFirstFit", "VectorBestFit", "DotProduct"}) {
+    const auto algo = make_md_algorithm(name);
+    const MDPackingResult result = md_simulate(items, *algo);
     for (const auto& bin : result.bins) {
-      const ItemId opener = bin.items.front();
-      const MDItem* opener_item = nullptr;
-      for (const auto& item : items) {
-        if (item.id == opener) opener_item = &item;
-      }
-      ASSERT_NE(opener_item, nullptr);
-      const Time t = opener_item->arrival();
+      const MDPlacementRecord& opener = bin.items.front();
+      const Time t = opener.active.left;
       for (const auto& other : result.bins) {
         if (other.index == bin.index || !other.usage.contains(t)) continue;
         if (other.usage.left == t) continue;  // opened at the same instant
-        // Reconstruct the other bin's level just before t.
+        // The other bin's level just before the opener was placed: every
+        // member active at t, except same-instant arrivals at or after the
+        // opener in id order (they were not yet placed).
         std::vector<double> level(items.dimensions(), 0.0);
-        for (const ItemId member : other.items) {
-          for (const auto& item : items) {
-            if (item.id != member) continue;
-            if (item.active.contains(t) &&
-                !(item.arrival() == t && item.id >= opener)) {
-              for (std::size_t d = 0; d < level.size(); ++d) {
-                level[d] += item.demand[d];
-              }
-            }
+        for (const MDPlacementRecord& member : other.items) {
+          if (!member.active.contains(t)) continue;
+          if (member.active.left == t && member.item >= opener.item) continue;
+          for (std::size_t d = 0; d < level.size(); ++d) {
+            level[d] += member.demand[d];
           }
         }
         bool fits_everywhere = true;
         for (std::size_t d = 0; d < level.size(); ++d) {
-          if (level[d] + opener_item->demand[d] > items.capacity()[d] + 1e-12) {
+          if (level[d] + opener.demand[d] > items.capacity()[d] + 1e-12) {
             fits_everywhere = false;
           }
         }
@@ -113,14 +125,41 @@ TEST_P(MDSweep, AnyFitPropertyForMDAnyFitFamily) {
   }
 }
 
-TEST_P(MDSweep, Deterministic) {
+TEST_P(MDSweep, FitPredicateIsMonotoneInDemand) {
+  // md_fits is per-dimension and monotone: shrinking any demand component
+  // never turns a fit into a non-fit. Checked over every bin snapshot the
+  // workload's own placements produce.
+  const MDItemList items = generate_md(GetParam().spec);
+  const auto algo = make_md_algorithm("VectorFirstFit");
+  const MDPackingResult result = md_simulate(items, *algo);
+  for (const auto& bin : result.bins) {
+    MDBinSnapshot snapshot;
+    snapshot.index = bin.index;
+    snapshot.capacity = items.capacity();
+    snapshot.level.assign(items.dimensions(), 0.0);
+    for (const auto& member : bin.items) {
+      for (std::size_t d = 0; d < snapshot.level.size(); ++d) {
+        snapshot.level[d] += 0.5 * member.demand[d];
+      }
+    }
+    for (const auto& probe : items) {
+      if (!md_fits(snapshot, probe.demand)) continue;
+      std::vector<double> smaller = probe.demand;
+      for (double& x : smaller) x *= 0.5;
+      EXPECT_TRUE(md_fits(snapshot, smaller))
+          << "shrinking the demand broke a fit in bin " << bin.index;
+    }
+  }
+}
+
+TEST_P(MDSweep, DeterministicToTheBit) {
   const MDItemList items = generate_md(GetParam().spec);
   for (const auto& name : md_algorithm_names()) {
     const auto a1 = make_md_algorithm(name);
     const auto a2 = make_md_algorithm(name);
     const MDPackingResult r1 = md_simulate(items, *a1);
     const MDPackingResult r2 = md_simulate(items, *a2);
-    EXPECT_DOUBLE_EQ(r1.total_usage_time(), r2.total_usage_time()) << name;
+    EXPECT_EQ(md_packing_digest(r1), md_packing_digest(r2)) << name;
     EXPECT_EQ(r1.bins_opened(), r2.bins_opened()) << name;
   }
 }

@@ -1,10 +1,27 @@
+// Unit tests for the vector (DVBP) track: MDItemList validation (the
+// ItemList-grade per-dimension checks), the engine's scalar-mirroring
+// semantics, the vector algorithm registry, the CSV vector trace
+// round-trip, and the dims == 1 digest compatibility with the scalar
+// engine. The cross-cutting equivalences (streaming ≡ batch, dims=1 ≡
+// scalar for every algorithm) live in multidim_differential_test.cpp.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
+#include "algorithms/any_fit.h"
+#include "algorithms/registry.h"
+#include "core/error.h"
+#include "core/simulation.h"
 #include "multidim/md_algorithms.h"
 #include "multidim/md_core.h"
+#include "multidim/md_trace.h"
 #include "multidim/md_workload.h"
+#include "opt/lower_bounds.h"
+#include "workload/generators.h"
 
 namespace mutdbp::md {
 namespace {
@@ -13,13 +30,57 @@ MDItemList two_dim(std::vector<MDItem> items) {
   return MDItemList(std::move(items), {1.0, 1.0});
 }
 
+std::string error_of(std::vector<MDItem> items,
+                     std::vector<double> capacity = {1.0, 1.0}) {
+  try {
+    MDItemList list(std::move(items), std::move(capacity));
+  } catch (const ValidationError& e) {
+    return e.what();
+  }
+  return "";
+}
+
 TEST(MDItemListTest, ValidatesDimensionsAndRanges) {
-  EXPECT_THROW(MDItemList({make_md_item(1, {0.5}, 0, 1)}, {}), std::invalid_argument);
-  EXPECT_THROW(two_dim({make_md_item(1, {0.5}, 0, 1)}), std::invalid_argument);
-  EXPECT_THROW(two_dim({make_md_item(1, {0.5, 1.5}, 0, 1)}), std::invalid_argument);
-  EXPECT_THROW(two_dim({make_md_item(1, {0.0, 0.0}, 0, 1)}), std::invalid_argument);
-  EXPECT_THROW(two_dim({make_md_item(1, {0.5, 0.5}, 1, 1)}), std::invalid_argument);
-  EXPECT_NO_THROW(two_dim({make_md_item(1, {0.0, 0.5}, 0, 1)}));  // one zero dim ok
+  EXPECT_THROW(MDItemList({make_md_item(1, {0.5}, 0, 1)}, {}), ValidationError);
+  EXPECT_THROW(two_dim({make_md_item(1, {0.5}, 0, 1)}), ValidationError);
+  EXPECT_THROW(two_dim({make_md_item(1, {0.5, 1.5}, 0, 1)}), ValidationError);
+  EXPECT_THROW(two_dim({make_md_item(1, {0.0, 0.0}, 0, 1)}), ValidationError);
+  EXPECT_THROW(two_dim({make_md_item(1, {0.5, 0.5}, 1, 1)}), ValidationError);
+}
+
+TEST(MDItemListTest, RejectsZeroNegativeAndNaNPerDimension) {
+  // ItemList-grade validation per dimension: the prototype accepted a zero
+  // demand in one dimension ("free in dim d"); the engine's accounting and
+  // the lower bounds both assume strictly positive demands, so the list
+  // must reject them like the scalar list rejects non-positive sizes.
+  EXPECT_THROW(two_dim({make_md_item(1, {0.0, 0.5}, 0, 1)}), ValidationError);
+  EXPECT_THROW(two_dim({make_md_item(1, {0.5, -0.1}, 0, 1)}), ValidationError);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(two_dim({make_md_item(1, {nan, 0.5}, 0, 1)}), ValidationError);
+  EXPECT_THROW(
+      two_dim({make_md_item(
+          1, {0.5, std::numeric_limits<double>::infinity()}, 0, 1)}),
+      ValidationError);
+}
+
+TEST(MDItemListTest, ErrorsNameRowAndItem) {
+  const std::string zero = error_of({make_md_item(7, {0.5, 0.5}, 0, 1),
+                                     make_md_item(8, {0.5, 0.0}, 0, 1)});
+  EXPECT_NE(zero.find("item 8"), std::string::npos) << zero;
+  EXPECT_NE(zero.find("row 1"), std::string::npos) << zero;
+  EXPECT_NE(zero.find("demand[1]"), std::string::npos) << zero;
+
+  const std::string dims = error_of({make_md_item(3, {0.5}, 0, 1)});
+  EXPECT_NE(dims.find("item 3"), std::string::npos) << dims;
+  EXPECT_NE(dims.find("expected 2"), std::string::npos) << dims;
+}
+
+TEST(MDItemListTest, ValidatesCapacity) {
+  EXPECT_THROW(MDItemList({}, {1.0, 0.0}), ValidationError);
+  EXPECT_THROW(MDItemList({}, {-1.0}), ValidationError);
+  EXPECT_THROW(MDItemList({}, {std::numeric_limits<double>::infinity()}),
+               ValidationError);
+  EXPECT_NO_THROW(MDItemList({}, {2.0, 0.5}));
 }
 
 TEST(MDItemListTest, MuAndSpan) {
@@ -30,11 +91,43 @@ TEST(MDItemListTest, MuAndSpan) {
   EXPECT_DOUBLE_EQ(items.span(), 5.5);  // [0,4.5) + [6,7)
 }
 
+TEST(MDItemListTest, ScheduleIsCanonical) {
+  // Departures before arrivals at equal times; id order within a kind.
+  const MDItemList items = two_dim({make_md_item(2, {0.5, 0.5}, 0.0, 1.0),
+                                    make_md_item(1, {0.5, 0.5}, 1.0, 2.0)});
+  const auto& schedule = items.schedule();
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_TRUE(schedule[0].is_arrival);
+  EXPECT_EQ(schedule[0].id, 2u);
+  EXPECT_FALSE(schedule[1].is_arrival);  // t=1: departure of 2 first
+  EXPECT_EQ(schedule[1].id, 2u);
+  EXPECT_TRUE(schedule[2].is_arrival);
+  EXPECT_EQ(schedule[2].id, 1u);
+}
+
 TEST(MDItemListTest, LoadCeilingTakesWorstDimension) {
   // Dim 0 load 1.2 on [0,1): needs 2 bins; dim 1 load 0.4: needs 1.
   const MDItemList items = two_dim({make_md_item(1, {0.6, 0.2}, 0.0, 1.0),
                                     make_md_item(2, {0.6, 0.2}, 0.0, 1.0)});
   EXPECT_DOUBLE_EQ(items.load_ceiling_bound(), 2.0);
+}
+
+TEST(MDBounds, VectorProp1AndProp2ReduceToScalarAtOneDim) {
+  const std::vector<Item> scalar_items = {make_item(1, 0.5, 0.0, 2.0),
+                                          make_item(2, 0.3, 1.0, 4.0),
+                                          make_item(3, 0.9, 3.0, 5.0)};
+  const ItemList scalar(scalar_items, 1.0);
+  std::vector<MDItem> md_items;
+  for (const auto& item : scalar_items) {
+    md_items.push_back(
+        make_md_item(item.id, {item.size}, item.arrival(), item.departure()));
+  }
+  const MDItemList vec(std::move(md_items), {1.0});
+  const MDLowerBounds bounds = md_lower_bounds(vec);
+  EXPECT_EQ(bounds.prop1, opt::prop1_time_space_bound(scalar));
+  EXPECT_EQ(bounds.prop2, opt::prop2_span_bound(scalar));
+  EXPECT_EQ(bounds.load_ceiling, opt::load_ceiling_bound(scalar));
+  EXPECT_EQ(bounds.combined(), opt::combined_lower_bound(scalar));
 }
 
 TEST(MDFits, PerDimensionCheck) {
@@ -53,11 +146,11 @@ TEST(MDSimulate, FirstFitTwoDimensions) {
       make_md_item(2, {0.3, 0.5}, 1.0, 3.0),  // 0.8+0.5 > 1 in dim 1 -> bin 1
       make_md_item(3, {0.6, 0.1}, 2.0, 3.0),  // fits bin 0 (0.9, 0.9)
   });
-  MDFirstFit ff;
+  VectorFirstFit ff;
   const MDPackingResult result = md_simulate(items, ff);
   ASSERT_EQ(result.bins_opened(), 2u);
-  EXPECT_EQ(result.bins[0].items, (std::vector<ItemId>{1, 3}));
-  EXPECT_EQ(result.bins[1].items, (std::vector<ItemId>{2}));
+  EXPECT_EQ(result.bins[0].item_ids(), (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(result.bins[1].item_ids(), (std::vector<ItemId>{2}));
   EXPECT_DOUBLE_EQ(result.total_usage_time(), 4.0 + 2.0);
 }
 
@@ -67,7 +160,7 @@ TEST(MDSimulate, ReducesToScalarInOneDimension) {
   const MDItemList items({make_md_item(1, {1.0}, 0.0, 1.0),
                           make_md_item(2, {1.0}, 1.0, 2.0)},
                          {1.0});
-  MDFirstFit ff;
+  VectorFirstFit ff;
   const MDPackingResult result = md_simulate(items, ff);
   EXPECT_EQ(result.bins_opened(), 2u);
   EXPECT_DOUBLE_EQ(result.total_usage_time(), 2.0);
@@ -82,11 +175,11 @@ TEST(MDSimulate, DotProductPrefersComplementaryBin) {
       make_md_item(2, {0.9, 0.2}, 0.0, 10.0),   // bin 1 (collides in dim 1)
       make_md_item(3, {0.05, 0.08}, 1.0, 2.0),  // fits both
   });
-  MDFirstFit ff;
+  VectorFirstFit ff;
   const MDPackingResult ff_result = md_simulate(items, ff);
   EXPECT_EQ(ff_result.bins[0].items.size(), 2u);  // FF: item 3 -> bin 0
 
-  MDDotProduct dp;
+  VectorDotProduct dp;
   const MDPackingResult dp_result = md_simulate(items, dp);
   // scores: bin0 = .05*.8 + .08*.1 = .048; bin1 = .05*.1 + .08*.8 = .069.
   EXPECT_EQ(dp_result.bins[1].items.size(), 2u);  // DP: item 3 -> bin 1
@@ -98,10 +191,10 @@ TEST(MDSimulate, NextFitKeepsOneAvailableBin) {
       make_md_item(2, {0.6, 0.1}, 0.0, 10.0),   // not fit bin0 -> bin1
       make_md_item(3, {0.1, 0.1}, 0.0, 10.0),   // fits bin0 too, but NF -> bin1
   });
-  MDNextFit nf;
+  VectorNextFit nf;
   const MDPackingResult result = md_simulate(items, nf);
   ASSERT_EQ(result.bins_opened(), 2u);
-  EXPECT_EQ(result.bins[1].items, (std::vector<ItemId>{2, 3}));
+  EXPECT_EQ(result.bins[1].item_ids(), (std::vector<ItemId>{2, 3}));
 }
 
 TEST(MDSimulate, BestFitPicksFullest) {
@@ -110,9 +203,107 @@ TEST(MDSimulate, BestFitPicksFullest) {
       make_md_item(2, {0.4, 0.4}, 0.0, 10.0),   // bin 1 (does not fit bin 0)
       make_md_item(3, {0.2, 0.2}, 1.0, 2.0),    // fits both; BF -> bin 0
   });
-  MDBestFit bf;
+  VectorBestFit bf;
   const MDPackingResult result = md_simulate(items, bf);
-  EXPECT_EQ(result.bins[0].items, (std::vector<ItemId>{1, 3}));
+  EXPECT_EQ(result.bins[0].item_ids(), (std::vector<ItemId>{1, 3}));
+}
+
+TEST(MDSimulate, DominantMeasureDiffersFromWeightedSum) {
+  // bin 0 levels (0.8, 0.1): weighted-sum fill 0.45, dominant fill 0.8.
+  // bin 1 levels (0.5, 0.5): weighted-sum fill 0.50, dominant fill 0.5.
+  // A small item fitting both goes to bin 1 under weighted sum (fuller)
+  // but to bin 0 under the dominant-resource measure.
+  const MDItemList items = two_dim({
+      make_md_item(1, {0.8, 0.1}, 0.0, 10.0),  // opens bin 0
+      make_md_item(2, {0.5, 0.5}, 0.0, 10.0),  // collides dim 0 -> bin 1
+      make_md_item(3, {0.1, 0.1}, 1.0, 2.0),   // fits both
+  });
+  const auto weighted = make_md_algorithm("VectorBestFit");
+  const MDPackingResult ws = md_simulate(items, *weighted);
+  EXPECT_EQ(ws.bins[1].items.size(), 2u);
+
+  const auto dominant = make_md_algorithm("DominantBestFit");
+  const MDPackingResult dom = md_simulate(items, *dominant);
+  EXPECT_EQ(dom.bins[0].items.size(), 2u);
+}
+
+TEST(MDSimulate, PartialResultTruncatesAtNow) {
+  MDSimulationOptions options;
+  options.capacity = {1.0, 1.0};
+  VectorFirstFit ff;
+  MDSimulation sim(ff, options);
+  (void)sim.arrive(1, std::vector<double>{0.5, 0.5}, 0.0);
+  (void)sim.arrive(2, std::vector<double>{0.6, 0.6}, 1.0);
+  const MDPackingResult partial = sim.partial_result();
+  ASSERT_EQ(partial.bins_opened(), 2u);
+  EXPECT_DOUBLE_EQ(partial.bins[0].usage.right, 1.0);
+  EXPECT_THROW((void)sim.finish(), SimulationError);  // items still active
+  sim.depart(1, 2.0);
+  sim.depart(2, 2.0);
+  const MDPackingResult done = sim.finish();
+  EXPECT_DOUBLE_EQ(done.total_usage_time(), 2.0 + 1.0);
+}
+
+TEST(MDDigest, OneDimDigestMatchesScalarPackingDigest) {
+  // The cornerstone of the differential wall: at dims == 1 the vector
+  // digest hashes the exact byte sequence of the scalar digest, so runs
+  // from the two engines are directly comparable.
+  workload::RandomWorkloadSpec spec;
+  spec.num_items = 60;
+  spec.seed = 99;
+  const ItemList scalar_items = workload::generate(spec);
+  std::vector<MDItem> md_items;
+  for (const auto& item : scalar_items) {
+    md_items.push_back(
+        make_md_item(item.id, {item.size}, item.arrival(), item.departure()));
+  }
+  const MDItemList vector_items(std::move(md_items), {scalar_items.capacity()});
+
+  FirstFit scalar_ff;
+  const PackingResult scalar_result = simulate(scalar_items, scalar_ff);
+  VectorFirstFit vector_ff;
+  const MDPackingResult vector_result = md_simulate(vector_items, vector_ff);
+  EXPECT_EQ(md_packing_digest(vector_result), packing_digest(scalar_result));
+}
+
+TEST(MDTrace, RoundTripsBitExactly) {
+  MDWorkloadSpec spec;
+  spec.num_items = 50;
+  spec.dimensions = 3;
+  spec.seed = 4;
+  const MDItemList items = generate_md(spec);
+  std::stringstream buffer;
+  write_md_trace(buffer, items);
+  const MDItemList reread = read_md_trace(buffer, {1.0, 1.0, 1.0});
+  ASSERT_EQ(reread.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(reread[i].id, items[i].id);
+    EXPECT_EQ(reread[i].demand, items[i].demand);  // bit-exact, not near
+    EXPECT_EQ(reread[i].arrival(), items[i].arrival());
+    EXPECT_EQ(reread[i].departure(), items[i].departure());
+  }
+}
+
+TEST(MDTrace, RejectsMalformedRowsWithRowNumbers) {
+  const auto read = [](const std::string& text) {
+    std::istringstream in(text);
+    return read_md_trace(in, {1.0, 1.0});
+  };
+  EXPECT_THROW((void)read("id,size0,size1,arrival,departure\n1,0.5,0.5,0\n"),
+               ValidationError);  // wrong field count
+  EXPECT_THROW((void)read("1,0.5,nan,0,1\n"), ValidationError);
+  EXPECT_THROW((void)read("1,0.5,0.5,0,1\n1,0.2,0.2,0,1\n"),
+               ValidationError);  // duplicate id
+  EXPECT_THROW(
+      (void)read("id,size0,size1,arrival,departure\nx,0.5,0.5,0,1\n"),
+      ValidationError);  // non-integer id (header consumed separately)
+  try {
+    (void)read("1,0.5,0.5,0,1\n2,0.5,0.0,0,1\n");
+    FAIL() << "zero demand accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(MDGenerate, RespectsSpecAndDeterminism) {
@@ -168,11 +359,16 @@ TEST(MDGenerate, Validates) {
   EXPECT_THROW((void)generate_md(spec), std::invalid_argument);
 }
 
-TEST(MDRegistry, CreatesAll) {
+TEST(MDRegistry, CreatesAllAndNamesScalarCounterparts) {
   for (const auto& name : md_algorithm_names()) {
     const auto algo = make_md_algorithm(name);
     EXPECT_EQ(algo->name(), name);
+    if (const auto scalar = md_scalar_counterpart(name)) {
+      // The counterpart must exist in the scalar registry.
+      EXPECT_NO_THROW((void)make_algorithm(*scalar)) << name;
+    }
   }
+  EXPECT_FALSE(md_scalar_counterpart("DotProduct").has_value());
   EXPECT_THROW((void)make_md_algorithm("bogus"), std::invalid_argument);
 }
 
@@ -188,7 +384,8 @@ TEST(MDInvariant, CapacityNeverViolated) {
     const MDPackingResult result = md_simulate(items, *algo);
     EXPECT_GT(result.bins_opened(), 0u) << name;
     EXPECT_GE(result.total_usage_time(), items.span() - 1e-9) << name;
-    EXPECT_GE(result.total_usage_time(), items.load_ceiling_bound() - 1e-6) << name;
+    EXPECT_GE(result.total_usage_time(), items.load_ceiling_bound() - 1e-6)
+        << name;
   }
 }
 

@@ -1,0 +1,339 @@
+// VectorCapacityTree kernel tests: every query is checked against a
+// brute-force linear scan over a mirrored bin set — the tree is an index,
+// never an authority, so any divergence from the scan is a kernel bug.
+// The randomized sweeps churn bins (append/update/close) to exercise the
+// backtracking descent, the fill-order index, and the amortized
+// compaction; dedicated tests pin dims == 1 scalar-exactness and the
+// documented tie-breaking rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/error.h"
+#include "multidim/vector_capacity_tree.h"
+#include "util/rng.h"
+
+namespace mutdbp::md {
+namespace {
+
+/// Brute-force mirror of the tree: flat level vectors plus an open flag.
+class ScanModel {
+ public:
+  ScanModel(std::vector<double> capacity, double fit_epsilon, FitMeasure measure)
+      : capacity_(std::move(capacity)),
+        fit_epsilon_(fit_epsilon),
+        measure_(measure) {}
+
+  BinIndex append(std::span<const double> level) {
+    bins_.emplace_back(level.begin(), level.end());
+    open_.push_back(true);
+    return static_cast<BinIndex>(bins_.size() - 1);
+  }
+  void set_levels(BinIndex bin, std::span<const double> level) {
+    bins_[bin].assign(level.begin(), level.end());
+  }
+  void close(BinIndex bin) { open_[bin] = false; }
+
+  [[nodiscard]] bool fits(BinIndex bin, std::span<const double> demand) const {
+    if (!open_[bin]) return false;
+    for (std::size_t d = 0; d < capacity_.size(); ++d) {
+      if (!(bins_[bin][d] + demand[d] <= capacity_[d] + fit_epsilon_)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] double fill(BinIndex bin) const {
+    const auto& level = bins_[bin];
+    if (capacity_.size() == 1) return level[0];  // raw level in 1-D
+    double value = 0.0;
+    switch (measure_) {
+      case FitMeasure::kWeightedSum:
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          value += (level[d] / capacity_[d]) /
+                   static_cast<double>(capacity_.size());
+        }
+        break;
+      case FitMeasure::kDominant:
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          value = std::max(value, level[d] / capacity_[d]);
+        }
+        break;
+      case FitMeasure::kL2:
+        for (std::size_t d = 0; d < capacity_.size(); ++d) {
+          const double frac = level[d] / capacity_[d];
+          value += frac * frac;
+        }
+        break;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::optional<BinIndex> first_fit(
+      std::span<const double> demand) const {
+    for (BinIndex bin = 0; bin < bins_.size(); ++bin) {
+      if (fits(bin, demand)) return bin;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<BinIndex> last_fit(
+      std::span<const double> demand) const {
+    for (BinIndex bin = bins_.size(); bin-- > 0;) {
+      if (fits(bin, demand)) return bin;
+    }
+    return std::nullopt;
+  }
+  /// Fullest fitting bin, ties to the lowest index ((fill ↑, index ↓)
+  /// order scanned from the top — the documented rule).
+  [[nodiscard]] std::optional<BinIndex> best_fit(
+      std::span<const double> demand) const {
+    std::optional<BinIndex> best;
+    for (BinIndex bin = 0; bin < bins_.size(); ++bin) {
+      if (!fits(bin, demand)) continue;
+      if (!best || fill(bin) > fill(*best)) best = bin;
+    }
+    return best;
+  }
+  [[nodiscard]] std::optional<BinIndex> worst_fit(
+      std::span<const double> demand) const {
+    std::optional<BinIndex> worst;
+    for (BinIndex bin = 0; bin < bins_.size(); ++bin) {
+      if (!fits(bin, demand)) continue;
+      if (!worst || fill(bin) < fill(*worst)) worst = bin;
+    }
+    return worst;
+  }
+  [[nodiscard]] std::vector<BinIndex> collect_fitting(
+      std::span<const double> demand) const {
+    std::vector<BinIndex> out;
+    for (BinIndex bin = 0; bin < bins_.size(); ++bin) {
+      if (fits(bin, demand)) out.push_back(bin);
+    }
+    return out;
+  }
+  [[nodiscard]] std::size_t open_count() const {
+    return static_cast<std::size_t>(
+        std::count(open_.begin(), open_.end(), true));
+  }
+  [[nodiscard]] std::size_t bin_count() const { return bins_.size(); }
+  [[nodiscard]] const std::vector<bool>& open() const { return open_; }
+
+ private:
+  std::vector<double> capacity_;
+  double fit_epsilon_;
+  FitMeasure measure_;
+  std::vector<std::vector<double>> bins_;
+  std::vector<bool> open_;
+};
+
+std::vector<double> random_vector(Rng& rng, std::size_t dims, double lo,
+                                  double hi) {
+  std::vector<double> v(dims);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Churns `rounds` random operations through tree and model in lockstep,
+/// cross-checking every query against the scan after each mutation.
+void churn_and_check(std::size_t dims, FitMeasure measure, std::uint64_t seed,
+                     std::size_t rounds) {
+  Rng rng(seed);
+  const std::vector<double> capacity(dims, 1.0);
+  VectorCapacityTree tree;
+  tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true, measure);
+  ScanModel model(capacity, kDefaultFitEpsilon, measure);
+
+  std::vector<BinIndex> open_bins;
+  std::vector<BinIndex> scratch;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::uint64_t op = rng.uniform_u64(0, 9);
+    if (op < 4 || open_bins.empty()) {
+      const auto level = random_vector(rng, dims, 0.0, 0.9);
+      const BinIndex from_tree = tree.append(level);
+      const BinIndex from_model = model.append(level);
+      ASSERT_EQ(from_tree, from_model);
+      open_bins.push_back(from_tree);
+    } else if (op < 8) {
+      const BinIndex bin = open_bins[rng.index(open_bins.size())];
+      const auto level = random_vector(rng, dims, 0.0, 1.0);
+      tree.set_levels(bin, level);
+      model.set_levels(bin, level);
+    } else {
+      const std::size_t pick = rng.index(open_bins.size());
+      const BinIndex bin = open_bins[pick];
+      tree.close(bin);
+      model.close(bin);
+      open_bins.erase(open_bins.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    ASSERT_EQ(tree.open_count(), model.open_count());
+    const auto demand = random_vector(rng, dims, 0.05, 0.7);
+    ASSERT_EQ(tree.first_fit(demand), model.first_fit(demand)) << "round " << round;
+    ASSERT_EQ(tree.last_fit(demand), model.last_fit(demand)) << "round " << round;
+    ASSERT_EQ(tree.best_fit(demand), model.best_fit(demand)) << "round " << round;
+    ASSERT_EQ(tree.worst_fit(demand), model.worst_fit(demand)) << "round " << round;
+    scratch.clear();
+    tree.collect_fitting(demand, scratch);
+    ASSERT_EQ(scratch, model.collect_fitting(demand)) << "round " << round;
+    for (const BinIndex bin : open_bins) {
+      ASSERT_DOUBLE_EQ(tree.fill_of(bin), model.fill(bin));
+    }
+  }
+}
+
+TEST(VectorKernel, MatchesLinearScanOneDimension) {
+  churn_and_check(1, FitMeasure::kWeightedSum, 21, 400);
+}
+
+TEST(VectorKernel, MatchesLinearScanTwoDimensionsEveryMeasure) {
+  churn_and_check(2, FitMeasure::kWeightedSum, 22, 400);
+  churn_and_check(2, FitMeasure::kDominant, 23, 400);
+  churn_and_check(2, FitMeasure::kL2, 24, 400);
+}
+
+TEST(VectorKernel, MatchesLinearScanFourDimensions) {
+  churn_and_check(4, FitMeasure::kDominant, 25, 300);
+}
+
+TEST(VectorKernel, BacktrackingFindsBinBehindMisleadingMinima) {
+  // Two bins arranged so the subtree minima (0.1, 0.1) pass the fit test
+  // while neither bin's actual vector does in both dimensions at once —
+  // except bin 2, deeper in the tree. A non-backtracking descent that
+  // trusts the minima would stop early.
+  VectorCapacityTree tree;
+  const std::vector<double> capacity{1.0, 1.0};
+  tree.begin(capacity, kDefaultFitEpsilon);
+  (void)tree.append(std::vector<double>{0.1, 0.9});  // room in 0 only
+  (void)tree.append(std::vector<double>{0.9, 0.1});  // room in 1 only
+  const BinIndex fits_both = tree.append(std::vector<double>{0.3, 0.3});
+  const std::vector<double> demand{0.5, 0.5};
+  ASSERT_EQ(tree.first_fit(demand), std::optional<BinIndex>(fits_both));
+  ASSERT_EQ(tree.last_fit(demand), std::optional<BinIndex>(fits_both));
+  // Saturate the only fitting bin: now every leaf fails even though the
+  // root minima still look feasible (0.1, 0.1).
+  tree.set_levels(fits_both, std::vector<double>{0.9, 0.9});
+  ASSERT_EQ(tree.first_fit(demand), std::nullopt);
+  ASSERT_EQ(tree.last_fit(demand), std::nullopt);
+}
+
+TEST(VectorKernel, BestAndWorstBreakFillTiesTowardLowestIndex) {
+  VectorCapacityTree tree;
+  const std::vector<double> capacity{1.0, 1.0};
+  tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true);
+  (void)tree.append(std::vector<double>{0.4, 0.4});
+  (void)tree.append(std::vector<double>{0.4, 0.4});  // identical fill
+  (void)tree.append(std::vector<double>{0.4, 0.4});
+  const std::vector<double> demand{0.1, 0.1};
+  EXPECT_EQ(tree.best_fit(demand), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.worst_fit(demand), std::optional<BinIndex>(0));
+}
+
+TEST(VectorKernel, MeasuresDisagreeOnTheFullestBin) {
+  // bin 0 is fullest under kDominant (one hot dimension), bin 1 under
+  // kWeightedSum (higher average) — the pluggable measure must change the
+  // best_fit answer on the same bin set.
+  const std::vector<double> capacity{1.0, 1.0};
+  const std::vector<double> hot{0.8, 0.1};   // dominant 0.8, mean 0.45
+  const std::vector<double> even{0.5, 0.5};  // dominant 0.5, mean 0.50
+  const std::vector<double> demand{0.1, 0.1};
+  for (const FitMeasure measure :
+       {FitMeasure::kWeightedSum, FitMeasure::kDominant}) {
+    VectorCapacityTree tree;
+    tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true, measure);
+    (void)tree.append(hot);
+    (void)tree.append(even);
+    const BinIndex expected = measure == FitMeasure::kDominant ? 0 : 1;
+    EXPECT_EQ(tree.best_fit(demand), std::optional<BinIndex>(expected))
+        << "measure " << static_cast<int>(measure);
+  }
+}
+
+TEST(VectorKernel, WeightedSumHonorsCustomWeights) {
+  // With all weight on dimension 0, bin 0 (heavy in dim 0) is fuller than
+  // bin 1 even though bin 1 has the higher uniform average.
+  const std::vector<double> capacity{1.0, 1.0};
+  const std::vector<double> weights{1.0, 0.0};
+  VectorCapacityTree tree;
+  tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true,
+             FitMeasure::kWeightedSum, weights);
+  (void)tree.append(std::vector<double>{0.6, 0.0});
+  (void)tree.append(std::vector<double>{0.4, 0.9});
+  const std::vector<double> demand{0.05, 0.05};
+  EXPECT_EQ(tree.best_fit(demand), std::optional<BinIndex>(0));
+  EXPECT_EQ(tree.worst_fit(demand), std::optional<BinIndex>(1));
+}
+
+TEST(VectorKernel, ClosedBinsNeverComeBack) {
+  VectorCapacityTree tree;
+  const std::vector<double> capacity{1.0};
+  tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true);
+  const BinIndex a = tree.append(std::vector<double>{0.2});
+  const BinIndex b = tree.append(std::vector<double>{0.3});
+  tree.close(a);
+  EXPECT_FALSE(tree.is_open(a));
+  EXPECT_TRUE(tree.is_open(b));
+  EXPECT_EQ(tree.open_count(), 1u);
+  const std::vector<double> demand{0.1};
+  EXPECT_EQ(tree.first_fit(demand), std::optional<BinIndex>(b));
+  tree.close(b);
+  EXPECT_EQ(tree.open_count(), 0u);
+  EXPECT_EQ(tree.first_fit(demand), std::nullopt);
+  // Indices are stable forever: the next append continues the sequence.
+  const BinIndex c = tree.append(std::vector<double>{0.0});
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(tree.first_fit(demand), std::optional<BinIndex>(c));
+}
+
+TEST(VectorKernel, CompactionSurvivesMassChurn) {
+  // Open and close thousands of bins with a handful alive at a time; the
+  // amortized compaction must keep queries exact throughout (checked via
+  // the model) and bin_count() reflects every index ever assigned.
+  Rng rng(26);
+  const std::vector<double> capacity{1.0, 1.0};
+  VectorCapacityTree tree;
+  tree.begin(capacity, kDefaultFitEpsilon, /*track_fill_order=*/true);
+  ScanModel model(capacity, kDefaultFitEpsilon, FitMeasure::kWeightedSum);
+  std::vector<BinIndex> open_bins;
+  for (std::size_t round = 0; round < 3000; ++round) {
+    if (open_bins.size() < 8) {
+      const auto level = random_vector(rng, 2, 0.0, 0.8);
+      const BinIndex bin = tree.append(level);
+      ASSERT_EQ(bin, model.append(level));
+      open_bins.push_back(bin);
+    } else {
+      const std::size_t pick = rng.index(open_bins.size());
+      tree.close(open_bins[pick]);
+      model.close(open_bins[pick]);
+      open_bins.erase(open_bins.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (round % 64 == 0) {
+      const auto demand = random_vector(rng, 2, 0.05, 0.5);
+      ASSERT_EQ(tree.first_fit(demand), model.first_fit(demand));
+      ASSERT_EQ(tree.best_fit(demand), model.best_fit(demand));
+    }
+  }
+  EXPECT_EQ(tree.bin_count(), model.bin_count());
+  EXPECT_EQ(tree.open_count(), model.open_count());
+}
+
+TEST(VectorKernel, RejectsOperationsOnClosedBins) {
+  VectorCapacityTree tree;
+  const std::vector<double> capacity{1.0};
+  tree.begin(capacity, kDefaultFitEpsilon);
+  const BinIndex bin = tree.append(std::vector<double>{0.5});
+  tree.close(bin);
+  EXPECT_THROW(tree.set_levels(bin, std::vector<double>{0.1}), SimulationError);
+  EXPECT_THROW(tree.close(bin), SimulationError);
+  // best/worst without the fill index is a contract violation, not a miss.
+  EXPECT_THROW((void)tree.best_fit(std::vector<double>{0.1}), SimulationError);
+  EXPECT_THROW((void)tree.worst_fit(std::vector<double>{0.1}), SimulationError);
+}
+
+}  // namespace
+}  // namespace mutdbp::md
