@@ -1,0 +1,183 @@
+// mutdbp_top — live fleet introspection for a running mutdbpd
+// (docs/daemon.md "kWireStats", docs/observability.md).
+//
+// Polls the daemon's kWireStats snapshot and renders a refreshing table:
+// admission counters, per-shard health (queue depth, high-water, stalls),
+// and operation-latency quantiles. One daemon, one terminal, zero setup:
+//
+//   ./examples/mutdbp_top --socket=/tmp/mutdbp.sock
+//   ./examples/mutdbp_top --port=7070 --interval-ms=500
+//   ./examples/mutdbp_top --socket=/tmp/mutdbp.sock --once
+//
+// --once polls a single snapshot and prints it as stable "key value" lines
+// (no screen control), which is what the CI smoke greps:
+//
+//   admitted 1000
+//   shed 0
+//   ...
+#include <cinttypes>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "daemon/client.h"
+#include "util/flags.h"
+
+namespace {
+
+using mutdbp::daemon::WireStatsSnapshot;
+
+/// Human scale for a latency in seconds: "854ns", "12.3us", "4.56ms", "1.2s".
+std::string fmt_seconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1e-6) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  }
+  return buffer;
+}
+
+void render(const WireStatsSnapshot& stats, const std::string& endpoint,
+            bool live) {
+  if (live) std::printf("\x1b[H\x1b[2J");  // home + clear: a true refresh
+  std::printf("mutdbp_top — %s  (snapshot v%u)\n", endpoint.c_str(),
+              stats.version);
+  std::printf("uptime %.1fs   last checkpoint %s   connections %" PRIu64
+              "   clients %zu\n",
+              stats.uptime_seconds,
+              stats.last_checkpoint_age_seconds < 0.0
+                  ? "never"
+                  : (fmt_seconds(stats.last_checkpoint_age_seconds) + " ago")
+                        .c_str(),
+              stats.connections, stats.frontiers.size());
+  std::printf("admitted %" PRIu64 "   applied %" PRIu64 "   open bins %" PRIu64
+              "   last_t %.3f\n",
+              stats.events_admitted, stats.events_applied, stats.open_bins,
+              stats.last_t);
+  std::printf("shed %" PRIu64 "   duplicates %" PRIu64 "   out-of-order %" PRIu64
+              "   malformed %" PRIu64 "   checkpoints %" PRIu64
+              "   watchdog %" PRIu64 "\n",
+              stats.events_shed, stats.duplicates_suppressed,
+              stats.out_of_order, stats.malformed_frames,
+              stats.checkpoints_written, stats.watchdog_fires);
+  std::printf("admission: wait budget %" PRIu64 "us, overload retry hint %" PRIu64
+              "ms\n",
+              stats.admission_wait_us, stats.retry_after_ms);
+
+  if (!stats.shards.empty()) {
+    std::printf("\n%5s %10s %10s %7s %9s %7s %10s\n", "shard", "pushed",
+                "drained", "depth", "hi-water", "stalls", "stalled");
+    for (const auto& shard : stats.shards) {
+      std::printf("%5" PRIu64 " %10" PRIu64 " %10" PRIu64 " %7" PRIu64
+                  " %9" PRIu64 " %7" PRIu64 " %10s\n",
+                  shard.shard, shard.events_pushed, shard.events_drained,
+                  shard.queue_depth, shard.queue_depth_high_water, shard.stalls,
+                  fmt_seconds(shard.stall_seconds).c_str());
+    }
+  }
+
+  bool header = false;
+  for (const auto& histogram : stats.histograms) {
+    if (histogram.count == 0) continue;  // a quiet op earns no row
+    if (!header) {
+      std::printf("\n%-40s %8s %9s %9s %9s %9s\n", "latency", "count", "p50",
+                  "p90", "p99", "max");
+      header = true;
+    }
+    std::printf("%-40s %8" PRIu64 " %9s %9s %9s %9s\n", histogram.name.c_str(),
+                histogram.count, fmt_seconds(histogram.p50).c_str(),
+                fmt_seconds(histogram.p90).c_str(),
+                fmt_seconds(histogram.p99).c_str(),
+                fmt_seconds(histogram.max).c_str());
+  }
+
+  if (!live && !stats.frontiers.empty()) {
+    std::printf("\n");
+    for (const auto& frontier : stats.frontiers) {
+      std::printf("frontier %s %" PRIu64 "\n", frontier.client.c_str(),
+                  frontier.next_expected);
+    }
+  }
+  std::fflush(stdout);
+}
+
+/// --once: every field as one "key value" line, stable enough to grep in CI.
+void render_once_keys(const WireStatsSnapshot& stats) {
+  std::printf("version %u\n", stats.version);
+  std::printf("uptime_seconds %.3f\n", stats.uptime_seconds);
+  std::printf("last_checkpoint_age_seconds %.3f\n",
+              stats.last_checkpoint_age_seconds);
+  std::printf("admitted %" PRIu64 "\n", stats.events_admitted);
+  std::printf("applied %" PRIu64 "\n", stats.events_applied);
+  std::printf("shed %" PRIu64 "\n", stats.events_shed);
+  std::printf("duplicates %" PRIu64 "\n", stats.duplicates_suppressed);
+  std::printf("out_of_order %" PRIu64 "\n", stats.out_of_order);
+  std::printf("malformed %" PRIu64 "\n", stats.malformed_frames);
+  std::printf("checkpoints %" PRIu64 "\n", stats.checkpoints_written);
+  std::printf("watchdog %" PRIu64 "\n", stats.watchdog_fires);
+  std::printf("open_bins %" PRIu64 "\n", stats.open_bins);
+  std::printf("connections %" PRIu64 "\n", stats.connections);
+  std::printf("clients %zu\n", stats.frontiers.size());
+  std::printf("shards %zu\n", stats.shards.size());
+  std::printf("histograms %zu\n", stats.histograms.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mutdbp::Flags flags(argc, argv);
+  mutdbp::daemon::ClientOptions options;
+  options.unix_socket =
+      flags.get_string("socket", "", "daemon Unix socket path ('' = TCP)");
+  options.host = flags.get_string("host", "127.0.0.1", "daemon TCP host");
+  options.port = static_cast<std::uint16_t>(
+      flags.get_int("port", 0, "daemon TCP port (with no --socket)"));
+  options.client_id = flags.get_string(
+      "client-id", "mutdbp_top", "client identity (must not collide with a "
+      "replaying client)");
+  const std::int64_t interval_ms = flags.get_int(
+      "interval-ms", 1000, "refresh interval between polls");
+  const std::int64_t count = flags.get_int(
+      "count", 0, "stop after N refreshes (0 = until interrupted)");
+  const bool once = flags.get_bool(
+      "once", false, "poll one snapshot, print greppable key/value lines, exit");
+  if (flags.finish("mutdbp_top: live introspection of a running mutdbpd")) {
+    return 0;
+  }
+  if (options.unix_socket.empty() && options.port == 0) {
+    std::fprintf(stderr, "mutdbp_top: need --socket or --port\n");
+    return 1;
+  }
+  const std::string endpoint =
+      options.unix_socket.empty()
+          ? options.host + ":" + std::to_string(options.port)
+          : options.unix_socket;
+
+  try {
+    mutdbp::daemon::DaemonClient client(options);
+    if (once) {
+      const WireStatsSnapshot stats = client.wire_stats().stats;
+      render(stats, endpoint, /*live=*/false);
+      std::printf("\n");
+      render_once_keys(stats);
+      return 0;
+    }
+    for (std::int64_t polls = 0; count == 0 || polls < count; ++polls) {
+      if (polls > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      render(client.wire_stats().stats, endpoint, /*live=*/true);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "mutdbp_top: %s\n", error.what());
+    return 1;
+  }
+}

@@ -17,6 +17,7 @@
 #include <fstream>
 
 #include "daemon/server.h"
+#include "telemetry/flight_recorder.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -46,6 +47,19 @@ int main(int argc, char** argv) {
       "checkpoint-every-events", 0, "checkpoint cadence in admitted events"));
   config.checkpoint_every = std::chrono::milliseconds(flags.get_int(
       "checkpoint-every-ms", 0, "checkpoint cadence in wall-clock ms"));
+  config.watchdog_budget = std::chrono::milliseconds(flags.get_int(
+      "watchdog-budget-ms", 0,
+      "record (never kill) flush/checkpoint/ack slower than this (0 = off)"));
+  config.flight_dump_path = flags.get_string(
+      "flight-dump", "",
+      "postmortem flight-recorder dump path ('' = checkpoint + '.flight', "
+      "'off' = disabled)");
+  config.metrics_path = flags.get_string(
+      "metrics-every-path", "",
+      "periodic Prometheus re-export target (atomic tmp+rename)");
+  config.metrics_every_events = static_cast<std::uint64_t>(flags.get_int(
+      "metrics-every", 0,
+      "re-export metrics every N admitted events (needs --metrics-every-path)"));
   config.shim.seed = static_cast<std::uint64_t>(
       flags.get_int("shim-seed", 0, "fault-injection shim seed"));
   config.shim.drop =
@@ -75,8 +89,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Flight recorder defaults on next to the checkpoint: a kill -9 postmortem
+  // should not require anyone to have thought of a flag first.
+  if (config.flight_dump_path == "off") {
+    config.flight_dump_path.clear();
+  } else if (config.flight_dump_path.empty() && !config.checkpoint_path.empty()) {
+    config.flight_dump_path = config.checkpoint_path + ".flight";
+  }
+
   try {
     mutdbp::daemon::DaemonCore core(config);
+    if (!config.flight_dump_path.empty()) {
+      mutdbp::telemetry::install_flight_dump_on_fatal_signals();
+    }
     mutdbp::daemon::DaemonServer server(core, server_options);
     const int exit_code = server.run();
     if (!metrics_out.empty()) {

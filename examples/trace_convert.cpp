@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/error.h"
+#include "telemetry/flight_recorder.h"
 #include "trace/binary_trace.h"
 #include "trace/format.h"
 #include "util/flags.h"
@@ -26,6 +27,27 @@
 namespace {
 
 using mutdbp::trace::TraceFormat;
+
+/// `--flight`: print a flight-recorder postmortem dump (docs/observability.md
+/// "Flight recorder") as one line per record, oldest first, timestamps
+/// relative to the first record.
+int print_flight(const std::string& path) {
+  using namespace mutdbp::telemetry;
+  const FlightDump dump = read_flight_dump(path);
+  std::printf("flight dump: %s\n", path.c_str());
+  std::printf("version:  %u\n", dump.version);
+  std::printf("capacity: %" PRIu64 " records/thread\n", dump.capacity_per_thread);
+  std::printf("dropped:  %" PRIu64 "\n", dump.dropped);
+  std::printf("records:  %zu\n", dump.records.size());
+  const std::uint64_t epoch = dump.records.empty() ? 0 : dump.records.front().nanos;
+  for (const FlightRecord& record : dump.records) {
+    std::printf("  +%14.6f ms  %-16s thread=%-3u a=%-20" PRIu64 " b=%" PRIu64 "\n",
+                static_cast<double>(record.nanos - epoch) * 1e-6,
+                std::string(to_string(static_cast<FlightKind>(record.kind))).c_str(),
+                record.thread, record.a, record.b);
+  }
+  return 0;
+}
 
 int print_info(const std::string& path, TraceFormat format, double capacity) {
   using namespace mutdbp;
@@ -83,9 +105,12 @@ int main(int argc, char** argv) {
       "verify", false, "read the output back and require a bit-exact round-trip");
   const bool info = flags.get_bool(
       "info", false, "print the input's metadata and exit (no conversion)");
+  const std::string flight = flags.get_string(
+      "flight", "", "print a flight-recorder postmortem dump and exit");
   if (flags.finish("Convert traces between CSV and MUTDBPT1 binary")) return 0;
 
   try {
+    if (!flight.empty()) return print_flight(flight);
     if (in_path.empty()) {
       std::fprintf(stderr, "--in is required\n");
       return 1;

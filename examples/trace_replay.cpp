@@ -167,6 +167,22 @@ bool enforce_theorem_bound(const mutdbp::telemetry::Telemetry& telemetry,
   return true;
 }
 
+// Periodic live re-export during a streaming replay, atomic tmp + rename: a
+// scraper tailing the file never sees a torn exposition (same publish
+// contract as the daemon's checkpoints).
+bool export_metrics_atomic(const std::string& path,
+                           const mutdbp::telemetry::Telemetry& telemetry) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    mutdbp::telemetry::write_prometheus(out, telemetry.metrics().snapshot());
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 void write_exports(const mutdbp::telemetry::Telemetry& telemetry,
                    const std::string& metrics_path,
                    const std::string& trace_out_path,
@@ -198,7 +214,7 @@ void print_result_digest(const mutdbp::PackingResult& result) {
 int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_name,
                   bool audit, double fit_epsilon, std::int64_t checkpoint_every,
                   const std::string& checkpoint_path, const std::string& restore_path,
-                  std::int64_t stop_after_events,
+                  std::int64_t stop_after_events, std::int64_t metrics_every,
                   mutdbp::telemetry::Telemetry* telemetry, bool enforce_bound,
                   const std::string& metrics_path, const std::string& trace_out_path,
                   const std::string& report_path) {
@@ -271,6 +287,14 @@ int run_streaming(const mutdbp::ItemList& items, const std::string& algorithm_na
       stream->push_departure(event.id, event.t);
     }
     stream->flush();
+    if (metrics_every > 0 && telemetry != nullptr && !metrics_path.empty() &&
+        stream->events_applied() % static_cast<std::size_t>(metrics_every) == 0) {
+      if (!export_metrics_atomic(metrics_path, *telemetry)) {
+        std::fprintf(stderr, "cannot re-export metrics to %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+    }
     if (checkpoint_every > 0 &&
         stream->events_applied() % static_cast<std::size_t>(checkpoint_every) == 0) {
       if (!write_checkpoint()) return 1;
@@ -761,6 +785,10 @@ int main(int argc, char** argv) {
   const std::int64_t stop_after_events = flags.get_int(
       "stop-after-events", 0,
       "streaming mode: abandon the run after N events (simulated crash)");
+  const std::int64_t metrics_every = flags.get_int(
+      "metrics-every", 0,
+      "streaming mode: re-export --metrics (Prometheus, atomic tmp+rename) "
+      "every N applied events");
   const std::string report_path = flags.get_string(
       "report", "", "write a self-contained HTML run dashboard to this file");
   const std::string adversarial = flags.get_string(
@@ -867,12 +895,12 @@ int main(int argc, char** argv) {
   telemetry::Telemetry telemetry;
   telemetry.monitor().set_warmup_lb(bound_warmup_lb);
 
-  const bool streaming =
-      checkpoint_every > 0 || stop_after_events > 0 || !restore_path.empty();
+  const bool streaming = checkpoint_every > 0 || stop_after_events > 0 ||
+                         metrics_every > 0 || !restore_path.empty();
   if (streaming) {
     return run_streaming(items, algorithm_name, audit, fit_epsilon,
                          checkpoint_every, checkpoint_path, restore_path,
-                         stop_after_events,
+                         stop_after_events, metrics_every,
                          want_telemetry ? &telemetry : nullptr, enforce_bound,
                          metrics_path, trace_out_path, report_path);
   }

@@ -70,6 +70,10 @@ enum class CheckpointKind : std::uint32_t {
   /// name, dims + per-dimension capacity, and the applied event log with
   /// vector demands (multidim/md_streaming.h).
   kVectorStreamingSimulation = 11,
+  /// Flight-recorder postmortem dump (telemetry/flight_recorder.h). The
+  /// frame is written by telemetry — which cannot link this library — so
+  /// the writer there re-implements this layout; keep the two in sync.
+  kFlightRecorder = 12,
 };
 
 /// FNV-1a 64-bit over a byte range (also used by the golden-master tests to

@@ -11,6 +11,7 @@
 
 #include "core/checkpoint.h"
 #include "core/error.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "util/flat_hash.h"
 #include "util/mpsc_queue.h"
@@ -223,6 +224,12 @@ struct ShardedSimulation::Shard {
   alignas(64) std::atomic<std::uint64_t> applied{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;  ///< set before failed, read after (acq/rel)
+  // Health introspection (ShardHealth / kWireStats). high_water is
+  // worker-owned (plain store); the stall counters are producer-side and
+  // accumulate with relaxed adds — none of it steers control flow.
+  alignas(64) std::atomic<std::uint64_t> queue_high_water{0};
+  std::atomic<std::uint64_t> stalls{0};
+  std::atomic<std::uint64_t> stall_nanos{0};
 };
 
 ShardedSimulation::ShardedSimulation(const AlgorithmFactory& factory,
@@ -359,6 +366,17 @@ void ShardedSimulation::worker_loop(std::size_t shard_index) {
       shard.queue->wait();
       continue;
     }
+    // Health bookkeeping before the apply: the drained batch size is the
+    // queue depth the worker just observed, the best cheap proxy for how
+    // far producers ran ahead.
+    const std::size_t drained = shard.batch.size();
+    if (drained > shard.queue_high_water.load(std::memory_order_relaxed)) {
+      shard.queue_high_water.store(drained, std::memory_order_relaxed);
+      if (shard.telemetry) shard.telemetry->on_shard_queue_high_water(drained);
+    }
+    if (shard.telemetry) shard.telemetry->on_shard_batch_drained(drained);
+    telemetry::FlightRecorder::instance().record(
+        telemetry::FlightKind::kShardDrain, shard.index, drained);
     // After a failure the worker keeps draining (and discarding) so
     // producers blocked on a full ring always make progress; the error
     // surfaces on the next drain()/finish().
@@ -410,7 +428,22 @@ void ShardedSimulation::push_event(const StreamEvent& event, std::size_t produce
   }
   Shard& shard = *shards_[shard_of(event.id, shards_.size())];
   shard.pushed.fetch_add(1, std::memory_order_relaxed);
-  shard.queue->push(producer, event);
+  if (!shard.queue->try_push(producer, event)) {
+    // Backpressure stall: measure how long this producer was held up, but
+    // only on the miss path — the uncontended push stays clock-free.
+    const auto stall_begin = std::chrono::steady_clock::now();
+    shard.queue->push(producer, event);
+    const auto stalled = std::chrono::steady_clock::now() - stall_begin;
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stalled).count());
+    shard.stalls.fetch_add(1, std::memory_order_relaxed);
+    shard.stall_nanos.fetch_add(nanos, std::memory_order_relaxed);
+    if (shard.telemetry) {
+      shard.telemetry->on_shard_stall(static_cast<double>(nanos) * 1e-9, event.t);
+    }
+    telemetry::FlightRecorder::instance().record(telemetry::FlightKind::kStall,
+                                                 shard.index, nanos);
+  }
 }
 
 bool ShardedSimulation::try_push_event(const StreamEvent& event,
@@ -544,6 +577,26 @@ std::optional<BinIndex> ShardedSimulation::active_bin_of(ItemId id) const {
 
 telemetry::Telemetry* ShardedSimulation::shard_telemetry(std::size_t shard) const {
   return shards_.at(shard)->telemetry.get();
+}
+
+std::vector<ShardHealth> ShardedSimulation::shard_health() const {
+  std::vector<ShardHealth> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardHealth health;
+    health.shard = shard->index;
+    health.events_pushed = shard->pushed.load(std::memory_order_relaxed);
+    health.events_drained = shard->applied.load(std::memory_order_acquire);
+    health.queue_depth = shard->queue ? shard->queue->approx_size() : 0;
+    health.queue_depth_high_water =
+        shard->queue_high_water.load(std::memory_order_relaxed);
+    health.stalls = shard->stalls.load(std::memory_order_relaxed);
+    health.stall_seconds =
+        static_cast<double>(shard->stall_nanos.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(health);
+  }
+  return out;
 }
 
 telemetry::MetricsSnapshot ShardedSimulation::merged_metrics() const {

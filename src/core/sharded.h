@@ -146,6 +146,22 @@ struct MergedLowerBounds {
   double ratio = 0.0;  ///< usage / lower_bound (0 while the LB is 0)
 };
 
+/// Live health view of one shard, for introspection (kWireStats,
+/// docs/daemon.md). Reads are exact when the fleet is quiescent and
+/// racy-but-monotonic estimates otherwise — never used for control flow.
+struct ShardHealth {
+  std::size_t shard = 0;
+  std::uint64_t events_pushed = 0;   ///< accepted by push/try_push
+  std::uint64_t events_drained = 0;  ///< applied by the worker
+  std::uint64_t queue_depth = 0;     ///< events currently in the MPSC queue
+  /// Largest drain batch the worker has consumed (≈ peak queue depth).
+  std::uint64_t queue_depth_high_water = 0;
+  /// Producer-side backpressure: how often and for how long push_arrival /
+  /// push_departure blocked on a full ring.
+  std::uint64_t stalls = 0;
+  double stall_seconds = 0.0;
+};
+
 /// The merged run-level view a sharded run produces.
 struct ShardedResult {
   std::size_t num_shards = 0;
@@ -253,6 +269,9 @@ class ShardedSimulation {
   [[nodiscard]] std::optional<BinIndex> active_bin_of(ItemId id) const;
   /// Shard s's private telemetry, or null when telemetry is off.
   [[nodiscard]] telemetry::Telemetry* shard_telemetry(std::size_t shard) const;
+  /// Per-shard health gauges, shard order (see ShardHealth for the read
+  /// consistency contract). Works with telemetry on or off.
+  [[nodiscard]] std::vector<ShardHealth> shard_health() const;
   /// Snapshots of every shard's private metrics (telemetry runs only),
   /// merged by name — the live fleet-level counter view. Quiescent-only,
   /// like active_bin_of().

@@ -8,6 +8,7 @@
 
 #include "core/checkpoint.h"
 #include "core/error.h"
+#include "telemetry/flight_recorder.h"
 
 namespace mutdbp {
 
@@ -42,7 +43,10 @@ void crash_after_events_kill_point() noexcept {
   if (remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
     // Dirty death on purpose: abort() skips every destructor and atexit
     // handler, so whatever checkpoint state is on disk is exactly what a
-    // kill -9 would have left behind.
+    // kill -9 would have left behind. The flight recorder is the one thing
+    // allowed to survive: its postmortem dump is the whole reason the kill
+    // point exists, and dump_armed() is a no-op unless a daemon armed it.
+    telemetry::FlightRecorder::instance().dump_armed();
     std::fprintf(stderr,
                  "mutdbp: MUTDBP_CRASH_AFTER_EVENTS kill point reached — "
                  "aborting without cleanup\n");

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace mutdbp::daemon {
 
@@ -210,12 +211,15 @@ std::uint64_t DaemonClient::replay(const std::vector<StreamEvent>& events,
     }
     try {
       // Top up the window with idempotent sends.
+      bool sent_this_burst = false;
       while (next_send <= last_seq && next_send < frontier_ + options_.window &&
              sent_this_call < stop_after) {
         send_event(events, next_send);
         ++next_send;
         ++sent_this_call;
+        sent_this_burst = true;
       }
+      const auto burst_sent_at = std::chrono::steady_clock::now();
 
       WireResponse response;
       if (!next_response(response)) {
@@ -229,6 +233,14 @@ std::uint64_t DaemonClient::replay(const std::vector<StreamEvent>& events,
         backoff_sleep(attempts - 1);
         next_send = frontier_;
         continue;
+      }
+      if (sent_this_burst && options_.telemetry != nullptr) {
+        // Send-to-first-response of the burst: the group-commit round trip
+        // as the client experiences it.
+        options_.telemetry->on_client_round_trip(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          burst_sent_at)
+                .count());
       }
       bool overloaded = false;
       std::uint64_t retry_after_ms = 0;
@@ -269,15 +281,20 @@ std::uint64_t DaemonClient::replay(const std::vector<StreamEvent>& events,
         }
       } while (assembler_.buffered_bytes() > 0 && next_response(response));
       if (overloaded) {
-        // Explicit shed: honor the daemon's pacing hint, then resend the
-        // nacked suffix from the frontier.
+        // Explicit shed: the daemon's pacing hint wins over the client's own
+        // exponential backoff — the server knows its drain rate; the backoff
+        // is only the fallback when no hint was carried.
         if (++attempts >= options_.max_attempts) {
           throw SimulationError(
               "client: daemon overloaded; gave up after " +
               std::to_string(attempts) + " attempts at seq " +
               std::to_string(frontier_));
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(retry_after_ms));
+        if (retry_after_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(retry_after_ms));
+        } else {
+          backoff_sleep(attempts - 1);
+        }
         next_send = frontier_;
       }
     } catch (const ConnectionLost&) {
@@ -301,6 +318,7 @@ WireResponse DaemonClient::request_reply(const WireRequest& request,
   std::size_t attempts = 0;
   while (true) {
     try {
+      const auto sent_at = std::chrono::steady_clock::now();
       send_frame(encode_request(request));
       WireResponse response;
       while (true) {
@@ -309,7 +327,15 @@ WireResponse DaemonClient::request_reply(const WireRequest& request,
         }
         const bool match = std::find(types.begin(), types.end(),
                                      response.type) != types.end();
-        if (match) return response;
+        if (match) {
+          if (options_.telemetry != nullptr) {
+            options_.telemetry->on_client_round_trip(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sent_at)
+                    .count());
+          }
+          return response;
+        }
         if (response.type == ResponseType::kInvalid ||
             response.type == ResponseType::kError ||
             response.type == ResponseType::kMalformed) {
@@ -349,6 +375,12 @@ WireResponse DaemonClient::stats() {
   WireRequest request;
   request.type = RequestType::kStats;
   return request_reply(request, {ResponseType::kStats});
+}
+
+WireResponse DaemonClient::wire_stats() {
+  WireRequest request;
+  request.type = RequestType::kWireStats;
+  return request_reply(request, {ResponseType::kWireStats});
 }
 
 void DaemonClient::shutdown() {

@@ -21,6 +21,10 @@
 #include "core/streaming.h"
 #include "daemon/protocol.h"
 
+namespace mutdbp::telemetry {
+class Telemetry;
+}  // namespace mutdbp::telemetry
+
 namespace mutdbp::daemon {
 
 struct ClientOptions {
@@ -41,6 +45,9 @@ struct ClientOptions {
   /// Consecutive no-progress attempts (timeouts, refused connects, resets)
   /// before the client gives up with a SimulationError.
   std::size_t max_attempts = 30;
+  /// Optional sink for client-side observability (round-trip latencies into
+  /// mutdbp_daemon_client_rtt_latency). Not owned; must outlive the client.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class DaemonClient {
@@ -77,6 +84,9 @@ class DaemonClient {
 
   /// Live daemon counters (kStats response).
   [[nodiscard]] WireResponse stats();
+
+  /// Versioned stats snapshot (kWireStats response; .stats carries it).
+  [[nodiscard]] WireResponse wire_stats();
 
   /// Best-effort graceful shutdown request (the daemon drains and exits 0).
   void shutdown();

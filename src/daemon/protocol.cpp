@@ -13,7 +13,7 @@ namespace {
 
 [[nodiscard]] RequestType parse_request_type(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(RequestType::kHello) ||
-      raw > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+      raw > static_cast<std::uint8_t>(RequestType::kWireStats)) {
     throw ValidationError("wire: unknown request type " + std::to_string(raw));
   }
   return static_cast<RequestType>(raw);
@@ -21,7 +21,7 @@ namespace {
 
 [[nodiscard]] ResponseType parse_response_type(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(ResponseType::kAck) ||
-      raw > static_cast<std::uint8_t>(ResponseType::kStats)) {
+      raw > static_cast<std::uint8_t>(ResponseType::kWireStats)) {
     throw ValidationError("wire: unknown response type " + std::to_string(raw));
   }
   return static_cast<ResponseType>(raw);
@@ -51,6 +51,114 @@ void write_digest(BinaryWriter& payload, const ResultDigest& digest) {
   digest.lower_bound = reader.f64();
   digest.placements = reader.u64();
   return digest;
+}
+
+void write_stats(BinaryWriter& payload, const WireStatsSnapshot& stats) {
+  payload.u32(stats.version);
+  payload.f64(stats.uptime_seconds);
+  payload.f64(stats.last_checkpoint_age_seconds);
+  payload.f64(stats.last_t);
+  payload.u64(stats.events_admitted);
+  payload.u64(stats.events_shed);
+  payload.u64(stats.duplicates_suppressed);
+  payload.u64(stats.out_of_order);
+  payload.u64(stats.malformed_frames);
+  payload.u64(stats.checkpoints_written);
+  payload.u64(stats.watchdog_fires);
+  payload.u64(stats.events_applied);
+  payload.u64(stats.open_bins);
+  payload.u64(stats.connections);
+  payload.u64(stats.retry_after_ms);
+  payload.u64(stats.admission_wait_us);
+  payload.u64(stats.frontiers.size());
+  for (const WireFrontier& frontier : stats.frontiers) {
+    payload.string(frontier.client);
+    payload.u64(frontier.next_expected);
+  }
+  payload.u64(stats.shards.size());
+  for (const WireShardHealth& shard : stats.shards) {
+    payload.u64(shard.shard);
+    payload.u64(shard.events_pushed);
+    payload.u64(shard.events_drained);
+    payload.u64(shard.queue_depth);
+    payload.u64(shard.queue_depth_high_water);
+    payload.u64(shard.stalls);
+    payload.f64(shard.stall_seconds);
+  }
+  payload.u64(stats.histograms.size());
+  for (const WireHistogramSummary& histogram : stats.histograms) {
+    payload.string(histogram.name);
+    payload.u64(histogram.count);
+    payload.f64(histogram.sum);
+    payload.f64(histogram.min);
+    payload.f64(histogram.max);
+    payload.f64(histogram.p50);
+    payload.f64(histogram.p90);
+    payload.f64(histogram.p99);
+  }
+}
+
+[[nodiscard]] WireStatsSnapshot read_stats(BinaryReader& reader) {
+  WireStatsSnapshot stats;
+  stats.version = reader.u32();
+  if (stats.version != kWireStatsVersion) {
+    throw ValidationError("wire: unknown stats snapshot version " +
+                          std::to_string(stats.version));
+  }
+  stats.uptime_seconds = reader.f64();
+  stats.last_checkpoint_age_seconds = reader.f64();
+  stats.last_t = reader.f64();
+  stats.events_admitted = reader.u64();
+  stats.events_shed = reader.u64();
+  stats.duplicates_suppressed = reader.u64();
+  stats.out_of_order = reader.u64();
+  stats.malformed_frames = reader.u64();
+  stats.checkpoints_written = reader.u64();
+  stats.watchdog_fires = reader.u64();
+  stats.events_applied = reader.u64();
+  stats.open_bins = reader.u64();
+  stats.connections = reader.u64();
+  stats.retry_after_ms = reader.u64();
+  stats.admission_wait_us = reader.u64();
+  // Minimum element sizes below keep corrupt counts from driving huge
+  // reserves: a frontier is at least a string length + u64, a shard row is
+  // six u64s + one f64, a histogram summary a string length + u64 + six f64s.
+  const std::size_t num_frontiers = reader.count(16);
+  stats.frontiers.reserve(num_frontiers);
+  for (std::size_t i = 0; i < num_frontiers; ++i) {
+    WireFrontier frontier;
+    frontier.client = reader.string();
+    frontier.next_expected = reader.u64();
+    stats.frontiers.push_back(std::move(frontier));
+  }
+  const std::size_t num_shards = reader.count(56);
+  stats.shards.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    WireShardHealth shard;
+    shard.shard = reader.u64();
+    shard.events_pushed = reader.u64();
+    shard.events_drained = reader.u64();
+    shard.queue_depth = reader.u64();
+    shard.queue_depth_high_water = reader.u64();
+    shard.stalls = reader.u64();
+    shard.stall_seconds = reader.f64();
+    stats.shards.push_back(shard);
+  }
+  const std::size_t num_histograms = reader.count(64);
+  stats.histograms.reserve(num_histograms);
+  for (std::size_t i = 0; i < num_histograms; ++i) {
+    WireHistogramSummary histogram;
+    histogram.name = reader.string();
+    histogram.count = reader.u64();
+    histogram.sum = reader.f64();
+    histogram.min = reader.f64();
+    histogram.max = reader.f64();
+    histogram.p50 = reader.f64();
+    histogram.p90 = reader.f64();
+    histogram.p99 = reader.f64();
+    stats.histograms.push_back(std::move(histogram));
+  }
+  return stats;
 }
 
 }  // namespace
@@ -132,6 +240,7 @@ std::vector<std::uint8_t> encode_request(const WireRequest& request) {
     case RequestType::kMetrics:
     case RequestType::kStats:
     case RequestType::kShutdown:
+    case RequestType::kWireStats:
       break;
   }
   return encode_frame(CheckpointKind::kWireRequest, payload);
@@ -163,6 +272,7 @@ WireRequest decode_request(const std::vector<std::uint8_t>& payload) {
     case RequestType::kMetrics:
     case RequestType::kStats:
     case RequestType::kShutdown:
+    case RequestType::kWireStats:
       break;
   }
   reader.expect_end();
@@ -197,6 +307,9 @@ std::vector<std::uint8_t> encode_response(const WireResponse& response) {
       break;
     case ResponseType::kResult:
       write_digest(payload, response.digest);
+      break;
+    case ResponseType::kWireStats:
+      write_stats(payload, response.stats);
       break;
     case ResponseType::kInvalid:
     case ResponseType::kMalformed:
@@ -241,6 +354,9 @@ WireResponse decode_response(const std::vector<std::uint8_t>& payload) {
       break;
     case ResponseType::kResult:
       response.digest = read_digest(reader);
+      break;
+    case ResponseType::kWireStats:
+      response.stats = read_stats(reader);
       break;
     case ResponseType::kInvalid:
     case ResponseType::kMalformed:

@@ -49,6 +49,7 @@ enum class RequestType : std::uint8_t {
   kMetrics = 5,    ///< Prometheus text of the merged metrics
   kStats = 6,      ///< live counters (events applied, open bins, clients)
   kShutdown = 7,   ///< graceful drain + checkpoint + exit 0
+  kWireStats = 8,  ///< versioned stats snapshot (WireStatsSnapshot)
 };
 
 enum class ResponseType : std::uint8_t {
@@ -64,6 +65,7 @@ enum class ResponseType : std::uint8_t {
   kResult = 10,       ///< final ResultDigest of the finished fleet
   kMetrics = 11,      ///< Prometheus text in text
   kStats = 12,        ///< live counters
+  kWireStats = 13,    ///< versioned stats snapshot (WireStatsSnapshot)
 };
 
 /// One request frame, decoded. Fields beyond `type` are meaningful only for
@@ -109,6 +111,77 @@ struct ResultDigest {
 /// client's local verification both call this).
 [[nodiscard]] ResultDigest digest_of(const ShardedResult& result);
 
+/// Version of the kWireStats snapshot payload. Bumped whenever a field is
+/// added or its meaning changes; decode_response() rejects versions it does
+/// not know, so a mixed-version fleet fails loudly instead of misreading.
+inline constexpr std::uint32_t kWireStatsVersion = 1;
+
+/// Frontier of one client, as carried by kWireStats.
+struct WireFrontier {
+  std::string client;
+  std::uint64_t next_expected = 0;
+
+  [[nodiscard]] bool operator==(const WireFrontier&) const noexcept = default;
+};
+
+/// One shard's health gauges (mirror of core/sharded.h ShardHealth).
+struct WireShardHealth {
+  std::uint64_t shard = 0;
+  std::uint64_t events_pushed = 0;
+  std::uint64_t events_drained = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_depth_high_water = 0;
+  std::uint64_t stalls = 0;
+  double stall_seconds = 0.0;
+
+  [[nodiscard]] bool operator==(const WireShardHealth&) const noexcept = default;
+};
+
+/// Summary of one latency histogram: the full bucket vectors stay home, the
+/// quantiles travel. Quantiles are 0 when the histogram is empty (never NaN
+/// — the snapshot must compare and serialize cleanly).
+struct WireHistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] bool operator==(const WireHistogramSummary&) const noexcept =
+      default;
+};
+
+/// The kWireStats response body: one versioned, self-contained view of a
+/// live daemon (docs/daemon.md#kwirestats). `mutdbp_top` renders it.
+struct WireStatsSnapshot {
+  std::uint32_t version = kWireStatsVersion;
+  double uptime_seconds = 0.0;
+  /// Seconds since the last checkpoint finished; -1 when none was written.
+  double last_checkpoint_age_seconds = -1.0;
+  double last_t = 0.0;  ///< admitted event-time frontier
+  std::uint64_t events_admitted = 0;
+  std::uint64_t events_shed = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t watchdog_fires = 0;
+  std::uint64_t events_applied = 0;
+  std::uint64_t open_bins = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t retry_after_ms = 0;     ///< Overloaded nack hint (config)
+  std::uint64_t admission_wait_us = 0;  ///< admission wait budget (config)
+  std::vector<WireFrontier> frontiers;           ///< client order (sorted)
+  std::vector<WireShardHealth> shards;           ///< shard order
+  std::vector<WireHistogramSummary> histograms;  ///< catalog order
+
+  [[nodiscard]] bool operator==(const WireStatsSnapshot&) const noexcept =
+      default;
+};
+
 /// One response frame, decoded. `seq` echoes the request for event
 /// responses; `next_expected` is the client's frontier after this response
 /// (0 when the responder has no frontier for the connection yet).
@@ -134,6 +207,8 @@ struct WireResponse {
   std::uint64_t clients = 0;
   // kResult
   ResultDigest digest;
+  // kWireStats
+  WireStatsSnapshot stats;
   // kInvalid / kMalformed / kShuttingDown / kError / kMetrics
   std::string text;
 

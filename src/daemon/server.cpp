@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -20,10 +21,17 @@
 
 #include "core/error.h"
 #include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 
 namespace mutdbp::daemon {
 
 namespace {
+
+/// Operation codes carried in the `a` payload of kWatchdog flight records
+/// (docs/observability.md "Flight recorder").
+constexpr std::uint64_t kWatchdogOpFlush = 1;
+constexpr std::uint64_t kWatchdogOpCheckpoint = 2;
+constexpr std::uint64_t kWatchdogOpAck = 3;
 
 /// Signal flag shared with the handlers below: run() installs them, the
 /// poll loop reads the flag, graceful drain follows.
@@ -50,6 +58,12 @@ void set_nonblocking(int fd) {
 // DaemonCore
 
 DaemonCore::DaemonCore(DaemonConfig config) : config_(std::move(config)) {
+  if (!config_.flight_dump_path.empty()) {
+    telemetry::FlightRecorder::instance().arm(config_.flight_dump_path);
+  }
+  telemetry_.on_admission_config(
+      static_cast<double>(config_.retry_after_ms),
+      static_cast<double>(config_.admission_wait.count()));
   if (config_.shim.enabled()) {
     shim_ = std::make_unique<FaultShim>(config_.shim);
   }
@@ -57,6 +71,9 @@ DaemonCore::DaemonCore(DaemonConfig config) : config_(std::move(config)) {
     std::ifstream in(config_.checkpoint_path, std::ios::binary);
     if (in) {
       restore_from(in);
+      telemetry::FlightRecorder::instance().record(
+          telemetry::FlightKind::kRestore, events_admitted_,
+          next_expected_.size());
       return;
     }
     // First boot: nothing to restore yet — a fresh fleet is the correct
@@ -124,6 +141,8 @@ void DaemonCore::restore_from(std::istream& in) {
 void DaemonCore::register_connection(std::uint64_t conn) {
   conns_.emplace(conn, std::string());
   telemetry_.on_connections(conns_.size());
+  telemetry::FlightRecorder::instance().record(
+      telemetry::FlightKind::kReconnect, conn, conns_.size());
 }
 
 void DaemonCore::drop_connection(std::uint64_t conn) {
@@ -155,16 +174,26 @@ bool DaemonCore::admit(const WireRequest& request) {
   if (pushed || config_.admission_wait.count() == 0) return pushed;
   // Bounded backpressure: a short wait rides out a drain in progress, the
   // deadline keeps a genuinely overloaded daemon responsive enough to shed.
-  const auto deadline = std::chrono::steady_clock::now() + config_.admission_wait;
+  // Only this contended path is timed — the uncontended admission above
+  // stays clock-free.
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + config_.admission_wait;
+  bool admitted = false;
   while (std::chrono::steady_clock::now() < deadline) {
     std::this_thread::yield();
     const bool retried =
         request.type == RequestType::kArrival
             ? fleet_->try_push_arrival(request.id, request.size, request.t)
             : fleet_->try_push_departure(request.id, request.t);
-    if (retried) return true;
+    if (retried) {
+      admitted = true;
+      break;
+    }
   }
-  return false;
+  telemetry_.on_admission_wait(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return admitted;
 }
 
 void DaemonCore::handle_event(std::uint64_t conn, const WireRequest& request,
@@ -238,6 +267,8 @@ void DaemonCore::handle_event(std::uint64_t conn, const WireRequest& request,
     // OutOfOrder nacks: shedding always cuts a suffix, which preserves the
     // per-shard non-decreasing time order the fleet's determinism needs.
     telemetry_.on_request_shed();
+    telemetry::FlightRecorder::instance().record(telemetry::FlightKind::kShed,
+                                                 request.seq, request.id);
     response.type = ResponseType::kOverloaded;
     response.retry_after_ms = config_.retry_after_ms;
     out.push_back({conn, response});
@@ -249,13 +280,17 @@ void DaemonCore::handle_event(std::uint64_t conn, const WireRequest& request,
   last_t_ = request.t;
   ++events_admitted_;
   ++events_since_checkpoint_;
+  ++events_since_metrics_;
+  telemetry::FlightRecorder::instance().record(telemetry::FlightKind::kAdmission,
+                                               events_admitted_, request.id);
   if (request.type == RequestType::kArrival) {
     active_.insert(request.id);
   } else {
     active_.erase(request.id);
   }
   pending_.push_back({conn, client, request.seq, request.id,
-                      request.type == RequestType::kDeparture});
+                      request.type == RequestType::kDeparture,
+                      std::chrono::steady_clock::now()});
 }
 
 WireResponse DaemonCore::handle_finish() {
@@ -290,6 +325,74 @@ WireResponse DaemonCore::handle_stats() const {
   response.events_applied = events_admitted_;
   response.open_bins = finished_ ? 0 : fleet_->open_bin_count();
   response.clients = next_expected_.size();
+  return response;
+}
+
+WireResponse DaemonCore::handle_wire_stats() {
+  WireResponse response;
+  response.type = ResponseType::kWireStats;
+  WireStatsSnapshot& stats = response.stats;
+  const auto now = std::chrono::steady_clock::now();
+  stats.uptime_seconds = std::chrono::duration<double>(now - started_).count();
+  stats.last_checkpoint_age_seconds =
+      checkpoints_written_ > 0
+          ? std::chrono::duration<double>(now - last_checkpoint_).count()
+          : -1.0;
+  stats.last_t = std::isfinite(last_t_) ? last_t_ : 0.0;
+
+  // Caller responsibility (handle() honors it): the fleet is quiescent at a
+  // group-commit boundary, so the metric shards can be snapshotted without
+  // racing writers.
+  std::vector<telemetry::MetricsSnapshot> snapshots;
+  snapshots.push_back(telemetry_.metrics().snapshot());
+  if (!finished_) snapshots.push_back(fleet_->merged_metrics());
+  const telemetry::MetricsSnapshot merged =
+      telemetry::merge_snapshots(snapshots);
+  const auto counter = [&merged](std::string_view name) -> std::uint64_t {
+    const auto* found = merged.find_counter(name);
+    return found != nullptr ? found->value : 0;
+  };
+  stats.events_admitted = events_admitted_;
+  stats.events_shed = counter("mutdbp_daemon_shed_total");
+  stats.duplicates_suppressed = counter("mutdbp_daemon_duplicate_suppressed_total");
+  stats.out_of_order = counter("mutdbp_daemon_out_of_order_total");
+  stats.malformed_frames = counter("mutdbp_daemon_malformed_frames_total");
+  stats.checkpoints_written = checkpoints_written_;
+  stats.watchdog_fires = counter("mutdbp_daemon_watchdog_total");
+  stats.open_bins = finished_ ? 0 : fleet_->open_bin_count();
+  stats.connections = conns_.size();
+  stats.retry_after_ms = config_.retry_after_ms;
+  stats.admission_wait_us =
+      static_cast<std::uint64_t>(config_.admission_wait.count());
+
+  stats.frontiers.reserve(next_expected_.size());
+  for (const auto& [client, frontier] : next_expected_) {
+    stats.frontiers.push_back({client, frontier});
+  }
+  for (const ShardHealth& health : fleet_->shard_health()) {
+    stats.events_applied += health.events_drained;
+    stats.shards.push_back({health.shard, health.events_pushed,
+                            health.events_drained, health.queue_depth,
+                            health.queue_depth_high_water, health.stalls,
+                            health.stall_seconds});
+  }
+  for (const telemetry::HistogramSnapshot& histogram : merged.histograms) {
+    // The operation-latency family only: the engine's size/fill histograms
+    // have their own exports and would bloat every poll.
+    if (histogram.name.find("_latency") == std::string::npos) continue;
+    WireHistogramSummary summary;
+    summary.name = histogram.name;
+    summary.count = histogram.count;
+    summary.sum = histogram.sum;
+    if (histogram.count > 0) {
+      summary.min = histogram.min;
+      summary.max = histogram.max;
+      summary.p50 = histogram.quantile(0.5);
+      summary.p90 = histogram.quantile(0.9);
+      summary.p99 = histogram.quantile(0.99);
+    }
+    stats.histograms.push_back(std::move(summary));
+  }
   return response;
 }
 
@@ -329,8 +432,17 @@ std::vector<Outgoing> DaemonCore::handle(std::uint64_t conn,
     case RequestType::kStats:
       out.push_back({conn, handle_stats()});
       return out;
+    case RequestType::kWireStats: {
+      // Settle first: the snapshot then reads a quiescent fleet (metric
+      // shards must not race writers) at a group-commit boundary.
+      std::vector<Outgoing> settled = flush();
+      settled.push_back({conn, handle_wire_stats()});
+      return settled;
+    }
     case RequestType::kShutdown: {
       std::vector<Outgoing> settled = flush();
+      telemetry::FlightRecorder::instance().record(
+          telemetry::FlightKind::kShutdown, events_admitted_);
       shutdown_requested_ = true;
       WireResponse response;
       response.type = ResponseType::kShuttingDown;
@@ -360,12 +472,17 @@ std::vector<Outgoing> DaemonCore::flush() {
     maybe_checkpoint();
     return out;
   }
+  auto& recorder = telemetry::FlightRecorder::instance();
+  recorder.record(telemetry::FlightKind::kFlushBegin, pending_.size());
+  const auto start = std::chrono::steady_clock::now();
   try {
     if (!finished_) fleet_->drain();
   } catch (const std::exception& error) {
     failed_ = true;
     failure_ = error.what();
   }
+  double max_ack_seconds = 0.0;
+  const auto drained_at = std::chrono::steady_clock::now();
   for (const PendingAck& pending : pending_) {
     WireResponse response;
     if (failed_) {
@@ -384,10 +501,66 @@ std::vector<Outgoing> DaemonCore::flush() {
     response.seq = pending.seq;
     response.next_expected = next_expected_[pending.client];
     out.push_back({pending.conn, response});
+    const double ack_seconds =
+        std::chrono::duration<double>(drained_at - pending.admitted_at).count();
+    telemetry_.on_ack_latency(ack_seconds);
+    max_ack_seconds = std::max(max_ack_seconds, ack_seconds);
   }
+  const double flush_seconds =
+      std::chrono::duration<double>(drained_at - start).count();
+  telemetry_.on_flush_committed(flush_seconds);
+  recorder.record(telemetry::FlightKind::kFlushEnd, pending_.size(),
+                  static_cast<std::uint64_t>(flush_seconds * 1e9));
+  watchdog("flush", kWatchdogOpFlush, flush_seconds);
+  watchdog("ack", kWatchdogOpAck, max_ack_seconds);
   pending_.clear();
   maybe_checkpoint();
+  maybe_export_metrics();
   return out;
+}
+
+void DaemonCore::watchdog(const char* op, std::uint64_t op_code,
+                          double seconds) {
+  if (config_.watchdog_budget.count() <= 0) return;
+  const double budget =
+      std::chrono::duration<double>(config_.watchdog_budget).count();
+  if (seconds <= budget) return;
+  telemetry_.on_watchdog_fired(seconds,
+                               std::isfinite(last_t_) ? last_t_ : 0.0);
+  telemetry::FlightRecorder::instance().record(
+      telemetry::FlightKind::kWatchdog, op_code,
+      static_cast<std::uint64_t>(seconds * 1e9));
+  std::fprintf(stderr, "mutdbpd: watchdog: %s took %.3f ms (budget %.3f ms)\n",
+               op, seconds * 1e3, budget * 1e3);
+}
+
+void DaemonCore::maybe_export_metrics() {
+  if (config_.metrics_path.empty() || config_.metrics_every_events == 0 ||
+      finished_ || failed_) {
+    return;
+  }
+  if (events_since_metrics_ < config_.metrics_every_events) return;
+  events_since_metrics_ = 0;
+  // Atomic publish, same contract as the checkpoint: a scraper never sees a
+  // torn exposition file.
+  const std::string tmp = config_.metrics_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "mutdbpd: cannot write metrics %s\n", tmp.c_str());
+      return;
+    }
+    out << metrics_text();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "mutdbpd: metrics write failed: %s\n", tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), config_.metrics_path.c_str()) != 0) {
+    std::fprintf(stderr, "mutdbpd: metrics rename failed: %s\n",
+                 std::strerror(errno));
+  }
 }
 
 void DaemonCore::maybe_checkpoint() {
@@ -402,6 +575,9 @@ void DaemonCore::maybe_checkpoint() {
 
 void DaemonCore::checkpoint() {
   if (config_.checkpoint_path.empty() || finished_ || failed_) return;
+  auto& recorder = telemetry::FlightRecorder::instance();
+  recorder.record(telemetry::FlightKind::kCheckpointBegin,
+                  events_since_checkpoint_, events_admitted_);
   const auto start = std::chrono::steady_clock::now();
   const std::string tmp = config_.checkpoint_path + ".tmp";
   {
@@ -430,10 +606,14 @@ void DaemonCore::checkpoint() {
     throw SimulationError(errno_message("daemon: checkpoint rename"));
   }
   events_since_checkpoint_ = 0;
+  ++checkpoints_written_;
   last_checkpoint_ = std::chrono::steady_clock::now();
   const double seconds =
       std::chrono::duration<double>(last_checkpoint_ - start).count();
   telemetry_.on_checkpoint_written(seconds);
+  recorder.record(telemetry::FlightKind::kCheckpointEnd, events_admitted_,
+                  static_cast<std::uint64_t>(seconds * 1e9));
+  watchdog("checkpoint", kWatchdogOpCheckpoint, seconds);
 }
 
 std::string DaemonCore::metrics_text() {

@@ -64,6 +64,18 @@ struct DaemonConfig {
   std::uint64_t checkpoint_every_events = 0;
   /// ... or after this much wall-clock time (0 = off).
   std::chrono::milliseconds checkpoint_every{0};
+  /// Slow-operation watchdog budget for flush/checkpoint/ack (0 = off). An
+  /// over-budget operation is recorded (counter, trace, flight record,
+  /// stderr line) — the watchdog never kills anything.
+  std::chrono::nanoseconds watchdog_budget{0};
+  /// Arm the process flight recorder with this postmortem dump path ("" =
+  /// leave the recorder as-is). Dumped on fatal signals and crash points.
+  std::string flight_dump_path;
+  /// Periodic Prometheus re-export: every metrics_every_events admitted
+  /// events, write metrics_text() to metrics_path (atomic tmp + rename).
+  /// Either one empty/zero disables the export.
+  std::string metrics_path;
+  std::uint64_t metrics_every_events = 0;
   FaultShimOptions shim;
 };
 
@@ -121,6 +133,7 @@ class DaemonCore {
     std::uint64_t seq = 0;
     ItemId id = 0;
     bool departure = false;
+    std::chrono::steady_clock::time_point admitted_at;
   };
 
   [[nodiscard]] WireResponse handle_hello(std::uint64_t conn,
@@ -129,10 +142,14 @@ class DaemonCore {
                     std::vector<Outgoing>& out);
   [[nodiscard]] WireResponse handle_finish();
   [[nodiscard]] WireResponse handle_stats() const;
+  [[nodiscard]] WireResponse handle_wire_stats();
   [[nodiscard]] bool admit(const WireRequest& request);
   void restore_from(std::istream& in);
   void build_fresh_fleet();
   void maybe_checkpoint();
+  void maybe_export_metrics();
+  /// Records (never kills) when a watched operation overran the budget.
+  void watchdog(const char* op, std::uint64_t op_code, double seconds);
 
   DaemonConfig config_;
   telemetry::Telemetry telemetry_;  ///< daemon-level counters (docs/daemon.md)
@@ -148,6 +165,10 @@ class DaemonCore {
   Time last_t_ = -std::numeric_limits<double>::infinity();
   std::uint64_t events_admitted_ = 0;
   std::uint64_t events_since_checkpoint_ = 0;
+  std::uint64_t events_since_metrics_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::chrono::steady_clock::time_point last_checkpoint_ =
       std::chrono::steady_clock::now();
   bool finished_ = false;

@@ -1,0 +1,461 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/error.h"
+
+namespace mutdbp::telemetry {
+
+namespace {
+
+// ---- MUTDBPC1 frame constants, mirrored from core/checkpoint.h ----------
+//
+// telemetry links below core, so the frame layout is re-implemented here
+// rather than calling core/checkpoint.cpp. Byte compatibility is pinned by
+// FlightRecorder.DumpIsAValidCheckpointFrame, which round-trips a dump
+// through the real core reader.
+constexpr char kFrameMagic[8] = {'M', 'U', 'T', 'D', 'B', 'P', 'C', '1'};
+constexpr std::uint32_t kFrameVersion = 1;   // core kCheckpointVersion
+constexpr std::uint32_t kFrameKind = 12;     // CheckpointKind::kFlightRecorder
+constexpr std::size_t kFrameHeaderBytes = 24;
+constexpr std::size_t kFrameChecksumBytes = 8;
+
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t size) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void put_u32(unsigned char* out, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const unsigned char* in) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::size_t kRecordBytes = 32;
+// Payload prefix: u32 dump version, u64 ring capacity, u64 dropped,
+// u64 record count.
+constexpr std::size_t kPayloadPrefixBytes = 4 + 8 + 8 + 8;
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t next_recorder_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t now_nanos() noexcept {
+  // One epoch per process, pinned by the first recorder's constructor, so
+  // every recorder's timestamps live on the same timeline.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+// Raw-POSIX tmp+rename write. Async-signal-safe; returns false on any
+// failure (the crash path has nobody to report to).
+bool write_file_atomic(const char* tmp_path, const char* final_path,
+                       const unsigned char* data, std::size_t size) noexcept {
+  const int fd = ::open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp_path);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0 || ::rename(tmp_path, final_path) != 0) {
+    ::unlink(tmp_path);
+    return false;
+  }
+  return true;
+}
+
+// Thread-local ring cache, keyed by process-unique recorder id (same scheme
+// as MetricsRegistry's shard cache). A nullptr ring means this thread was
+// past kMaxThreads and its records are counted as dropped.
+struct RingRef {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+  bool dropper = false;
+};
+
+std::vector<RingRef>& ring_cache() noexcept {
+  thread_local std::vector<RingRef> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::string_view to_string(FlightKind kind) noexcept {
+  switch (kind) {
+    case FlightKind::kAdmission: return "admission";
+    case FlightKind::kShed: return "shed";
+    case FlightKind::kFlushBegin: return "flush_begin";
+    case FlightKind::kFlushEnd: return "flush_end";
+    case FlightKind::kCheckpointBegin: return "checkpoint_begin";
+    case FlightKind::kCheckpointEnd: return "checkpoint_end";
+    case FlightKind::kShardDrain: return "shard_drain";
+    case FlightKind::kReconnect: return "reconnect";
+    case FlightKind::kWatchdog: return "watchdog";
+    case FlightKind::kStall: return "stall";
+    case FlightKind::kRestore: return "restore";
+    case FlightKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t slot_index)
+      : slot(slot_index), slots(capacity) {}
+
+  const std::uint32_t slot;
+  alignas(64) std::atomic<std::uint64_t> cursor{0};
+  std::vector<FlightRecord> slots;
+};
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_thread, bool enabled)
+    : capacity_(round_up_pow2(std::max<std::size_t>(capacity_per_thread, 2))),
+      id_(next_recorder_id()),
+      enabled_(enabled) {
+  now_nanos();  // pin the process epoch before any recording
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = [] {
+    std::size_t capacity = kDefaultCapacityPerThread;
+    if (const char* env = std::getenv("MUTDBP_FLIGHT_RING");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 1) {
+        capacity = static_cast<std::size_t>(parsed);
+      }
+    }
+    // Intentionally leaked: fatal-signal handlers may dump during static
+    // destruction, after a function-local static object would be gone.
+    return new FlightRecorder(capacity);
+  }();
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::local_ring_slow() noexcept {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t index = rings_.size();
+  if (index >= kMaxThreads) {
+    ring_cache().push_back({id_, nullptr, true});
+    return nullptr;
+  }
+  rings_.push_back(std::make_unique<Ring>(capacity_, static_cast<std::uint32_t>(index)));
+  Ring* ring = rings_.back().get();
+  ring_cache().push_back({id_, ring, false});
+  ring_table_[index].store(ring, std::memory_order_release);
+  ring_count_.store(index + 1, std::memory_order_release);
+  return ring;
+}
+
+void FlightRecorder::record(FlightKind kind, std::uint64_t a,
+                            std::uint64_t b) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = nullptr;
+  for (const RingRef& ref : ring_cache()) {
+    if (ref.recorder_id == id_) {
+      if (ref.dropper) {
+        thread_overflow_drops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      ring = static_cast<Ring*>(ref.ring);
+      break;
+    }
+  }
+  if (ring == nullptr) {
+    ring = local_ring_slow();
+    if (ring == nullptr) {
+      thread_overflow_drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  const std::uint64_t n = ring->cursor.load(std::memory_order_relaxed);
+  FlightRecord& slot = ring->slots[n & (capacity_ - 1)];
+  slot.nanos = now_nanos();
+  slot.kind = static_cast<std::uint32_t>(kind);
+  slot.thread = ring->slot;
+  slot.a = a;
+  slot.b = b;
+  // Release-publish the slot so a dumper that observes the new cursor also
+  // observes the stores above (the dump path is still best-effort for the
+  // record being written at crash time).
+  ring->cursor.store(n + 1, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::scratch_bytes_needed() const noexcept {
+  return kFrameHeaderBytes + kPayloadPrefixBytes +
+         kMaxThreads * capacity_ * kRecordBytes + kFrameChecksumBytes;
+}
+
+void FlightRecorder::arm(const std::string& path) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t n = std::min(path.size(), kPathBytes - 1);
+  std::memcpy(path_, path.data(), n);
+  path_[n] = '\0';
+  const std::string tmp = std::string(path_) + ".tmp";
+  const std::size_t m = std::min(tmp.size(), kPathBytes - 1);
+  std::memcpy(tmp_path_, tmp.data(), m);
+  tmp_path_[m] = '\0';
+  // Sized for the worst case (every thread slot full), so dump_armed()
+  // never needs to allocate or regrow — signal handlers can use it.
+  scratch_.resize(scratch_bytes_needed());
+  set_enabled(true);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::disarm() noexcept {
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FlightRecorder::armed() const noexcept {
+  return armed_.load(std::memory_order_acquire);
+}
+
+std::string FlightRecorder::armed_path() const {
+  const std::scoped_lock lock(mutex_);
+  return std::string(path_);
+}
+
+std::size_t FlightRecorder::serialize_frame(unsigned char* out,
+                                            std::size_t cap) const noexcept {
+  // Pass 1: freeze every ring's cursor so the record count and the records
+  // written agree even while writers keep going.
+  std::uint64_t cursors[kMaxThreads];
+  const std::size_t ring_count =
+      std::min(ring_count_.load(std::memory_order_acquire), kMaxThreads);
+  std::uint64_t total = 0;
+  std::uint64_t dropped = thread_overflow_drops_.load(std::memory_order_relaxed);
+  for (std::size_t r = 0; r < ring_count; ++r) {
+    const Ring* ring = ring_table_[r].load(std::memory_order_acquire);
+    const std::uint64_t cursor =
+        ring == nullptr ? 0 : ring->cursor.load(std::memory_order_acquire);
+    cursors[r] = cursor;
+    const std::uint64_t kept = std::min<std::uint64_t>(cursor, capacity_);
+    total += kept;
+    dropped += cursor - kept;
+  }
+  const std::size_t payload =
+      kPayloadPrefixBytes + static_cast<std::size_t>(total) * kRecordBytes;
+  const std::size_t frame = kFrameHeaderBytes + payload + kFrameChecksumBytes;
+  if (frame > cap) return 0;
+
+  unsigned char* p = out;
+  std::memcpy(p, kFrameMagic, sizeof(kFrameMagic));
+  put_u32(p + 8, kFrameVersion);
+  put_u32(p + 12, kFrameKind);
+  put_u64(p + 16, payload);
+  p += kFrameHeaderBytes;
+  put_u32(p, kDumpVersion);
+  put_u64(p + 4, capacity_);
+  put_u64(p + 12, dropped);
+  put_u64(p + 20, total);
+  p += kPayloadPrefixBytes;
+  for (std::size_t r = 0; r < ring_count; ++r) {
+    const Ring* ring = ring_table_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t cursor = cursors[r];
+    const std::uint64_t kept = std::min<std::uint64_t>(cursor, capacity_);
+    for (std::uint64_t i = cursor - kept; i < cursor; ++i) {
+      const FlightRecord& rec = ring->slots[i & (capacity_ - 1)];
+      put_u64(p, rec.nanos);
+      put_u32(p + 8, rec.kind);
+      put_u32(p + 12, rec.thread);
+      put_u64(p + 16, rec.a);
+      put_u64(p + 24, rec.b);
+      p += kRecordBytes;
+    }
+  }
+  put_u64(p, fnv1a64(out, kFrameHeaderBytes + payload));
+  return frame;
+}
+
+bool FlightRecorder::dump_armed() noexcept {
+  if (!armed()) return false;
+  // No mutex: rings are append-only and published through atomics, and the
+  // scratch was fully sized at arm() time. The only race is with arm()
+  // itself re-running concurrently, which the daemon never does.
+  const std::size_t frame = serialize_frame(scratch_.data(), scratch_.size());
+  if (frame == 0) return false;
+  return write_file_atomic(tmp_path_, path_, scratch_.data(), frame);
+}
+
+bool FlightRecorder::dump(const std::string& path) const {
+  std::vector<unsigned char> buffer(scratch_bytes_needed());
+  const std::size_t frame = serialize_frame(buffer.data(), buffer.size());
+  if (frame == 0) return false;
+  const std::string tmp = path + ".tmp";
+  return write_file_atomic(tmp.c_str(), path.c_str(), buffer.data(), frame);
+}
+
+std::vector<FlightRecord> FlightRecorder::records() const {
+  std::vector<FlightRecord> out;
+  const std::scoped_lock lock(mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t cursor = ring->cursor.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(cursor, capacity_);
+    for (std::uint64_t i = cursor - kept; i < cursor; ++i) {
+      out.push_back(ring->slots[i & (capacity_ - 1)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.nanos < b.nanos;
+                   });
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->cursor.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::total_dropped() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t dropped = thread_overflow_drops_.load(std::memory_order_relaxed);
+  for (const auto& ring : rings_) {
+    const std::uint64_t cursor = ring->cursor.load(std::memory_order_acquire);
+    dropped += cursor - std::min<std::uint64_t>(cursor, capacity_);
+  }
+  return dropped;
+}
+
+namespace {
+
+void flight_fatal_signal_handler(int sig) {
+  FlightRecorder::instance().dump_armed();
+  // SA_RESETHAND already restored the default disposition; re-raise so the
+  // process dies with the original signal (same exit status, same core).
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_flight_dump_on_fatal_signals() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &flight_fatal_signal_handler;
+  action.sa_flags = SA_RESETHAND | SA_NODEFER;
+  sigemptyset(&action.sa_mask);
+  for (const int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+FlightDump read_flight_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ValidationError("read_flight_dump: cannot open '" + path + "'");
+  }
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const std::size_t min_size =
+      kFrameHeaderBytes + kPayloadPrefixBytes + kFrameChecksumBytes;
+  if (bytes.size() < min_size) {
+    throw ValidationError("read_flight_dump: '" + path + "' is truncated");
+  }
+  if (std::memcmp(bytes.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw ValidationError("read_flight_dump: bad magic in '" + path + "'");
+  }
+  if (get_u32(bytes.data() + 8) != kFrameVersion) {
+    throw ValidationError("read_flight_dump: unsupported frame version in '" +
+                          path + "'");
+  }
+  if (get_u32(bytes.data() + 12) != kFrameKind) {
+    throw ValidationError("read_flight_dump: '" + path +
+                          "' is not a flight-recorder frame");
+  }
+  const std::uint64_t payload = get_u64(bytes.data() + 16);
+  if (payload < kPayloadPrefixBytes ||
+      bytes.size() != kFrameHeaderBytes + payload + kFrameChecksumBytes) {
+    throw ValidationError("read_flight_dump: size mismatch in '" + path + "'");
+  }
+  const std::uint64_t expected =
+      get_u64(bytes.data() + kFrameHeaderBytes + payload);
+  const std::uint64_t actual =
+      fnv1a64(bytes.data(), kFrameHeaderBytes + static_cast<std::size_t>(payload));
+  if (expected != actual) {
+    throw ValidationError("read_flight_dump: checksum mismatch in '" + path + "'");
+  }
+
+  const unsigned char* p = bytes.data() + kFrameHeaderBytes;
+  FlightDump dump;
+  dump.version = get_u32(p);
+  if (dump.version != FlightRecorder::kDumpVersion) {
+    throw ValidationError("read_flight_dump: unsupported dump version in '" +
+                          path + "'");
+  }
+  dump.capacity_per_thread = get_u64(p + 4);
+  dump.dropped = get_u64(p + 12);
+  const std::uint64_t count = get_u64(p + 20);
+  const std::uint64_t record_bytes = payload - kPayloadPrefixBytes;
+  if (record_bytes % kRecordBytes != 0 || count != record_bytes / kRecordBytes) {
+    throw ValidationError("read_flight_dump: record count disagrees with "
+                          "payload size in '" + path + "'");
+  }
+  p += kPayloadPrefixBytes;
+  dump.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i, p += kRecordBytes) {
+    FlightRecord rec;
+    rec.nanos = get_u64(p);
+    rec.kind = get_u32(p + 8);
+    rec.thread = get_u32(p + 12);
+    rec.a = get_u64(p + 16);
+    rec.b = get_u64(p + 24);
+    dump.records.push_back(rec);
+  }
+  std::stable_sort(dump.records.begin(), dump.records.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     return a.nanos < b.nanos;
+                   });
+  return dump;
+}
+
+}  // namespace mutdbp::telemetry

@@ -1,0 +1,181 @@
+#pragma once
+
+/// Always-on crash-postmortem flight recorder.
+///
+/// A FlightRecorder keeps a bounded ring of compact timestamped records per
+/// writing thread (admissions, flushes, checkpoints, sheds, reconnects,
+/// shard drains, watchdog fires, ...). Recording is lock-free: the hot path
+/// is one enabled-branch, a thread-local ring lookup, and a handful of
+/// relaxed stores into a preallocated slot. When the recorder is disabled
+/// the cost is exactly one branch.
+///
+/// The whole point of the recorder is the dump you get when the process
+/// dies. `arm()` names a destination file and preallocates every byte the
+/// dump needs, so `dump_armed()` is safe to call from fatal-signal handlers
+/// and from the MUTDBP_CRASH_AFTER_EVENTS kill point: it serializes the
+/// rings into the preallocated scratch buffer and writes the file with raw
+/// POSIX calls (open/write/rename — tmp+rename, so readers never observe a
+/// torn file). The dump is a standard MUTDBPC1 frame (kind 12,
+/// CheckpointKind::kFlightRecorder) so the existing checkpoint tooling can
+/// validate its checksum; `read_flight_dump()` parses it back and
+/// `trace_convert --flight` pretty-prints it.
+///
+/// This header lives in telemetry/, which sits *below* core in the link
+/// order, so the frame writer here is a self-contained re-implementation of
+/// the MUTDBPC1 layout (same magic, version, kind, size, FNV-1a trailer) —
+/// it must stay byte-compatible with core/checkpoint.h.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mutdbp::telemetry {
+
+/// What happened. Values are stable wire constants (they appear in dump
+/// files); only append.
+enum class FlightKind : std::uint32_t {
+  kAdmission = 1,        ///< a = daemon events admitted so far, b = item id
+  kShed = 2,             ///< a = client seq, b = item id
+  kFlushBegin = 3,       ///< a = pending acks entering the group commit
+  kFlushEnd = 4,         ///< a = acks resolved, b = duration nanos
+  kCheckpointBegin = 5,  ///< a = events admitted at checkpoint start
+  kCheckpointEnd = 6,    ///< a = events admitted, b = duration nanos
+  kShardDrain = 7,       ///< a = shard index, b = batch size drained
+  kReconnect = 8,        ///< a = connection id
+  kWatchdog = 9,         ///< a = watched op (FlightKind), b = duration nanos
+  kStall = 10,           ///< a = shard index, b = stall nanos
+  kRestore = 11,         ///< a = events admitted after restore
+  kShutdown = 12,        ///< a = events admitted at shutdown request
+};
+
+/// Human label for a record kind ("admission", "flush_end", ...); "unknown"
+/// for values this build does not know (dumps from newer builds).
+std::string_view to_string(FlightKind kind) noexcept;
+
+/// One ring entry: 32 bytes, fixed layout, meaning of a/b keyed by kind.
+struct FlightRecord {
+  std::uint64_t nanos = 0;  ///< steady-clock nanos since process epoch
+  std::uint32_t kind = 0;   ///< FlightKind wire value
+  std::uint32_t thread = 0; ///< recorder-assigned slot of the writing thread
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool operator==(const FlightRecord&) const = default;
+};
+
+/// A parsed dump file.
+struct FlightDump {
+  std::uint32_t version = 0;
+  std::uint64_t capacity_per_thread = 0;
+  std::uint64_t dropped = 0;              ///< records lost to ring overwrite
+  std::vector<FlightRecord> records;      ///< merged, ordered by nanos
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerThread = 4096;
+  /// Dump payload format version.
+  static constexpr std::uint32_t kDumpVersion = 1;
+  /// Rings beyond this many threads drop their records (counted).
+  static constexpr std::size_t kMaxThreads = 128;
+
+  /// `capacity_per_thread` is rounded up to a power of two. `enabled`
+  /// defaults to false so library users (benches, batch runs) pay exactly
+  /// one branch per record() call; the daemon flips it on at boot.
+  explicit FlightRecorder(std::size_t capacity_per_thread = kDefaultCapacityPerThread,
+                          bool enabled = false);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the daemon and the kill point share.
+  static FlightRecorder& instance();
+
+  /// Hot path. One branch when disabled; otherwise a thread-local ring
+  /// lookup plus relaxed stores. Never throws, never allocates after the
+  /// calling thread's first record.
+  void record(FlightKind kind, std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Names the postmortem destination, enables the recorder, and
+  /// preallocates the dump scratch so dump_armed() never allocates. The
+  /// path is truncated to fit a fixed buffer (rare; keep paths < 512 bytes).
+  void arm(const std::string& path);
+  void disarm() noexcept;
+  bool armed() const noexcept;
+  std::string armed_path() const;
+
+  /// Writes the postmortem dump to the armed path (tmp+rename). Safe from
+  /// fatal-signal handlers after arm(): no allocation, no locks beyond a
+  /// try_lock that degrades to a best-effort racy read, raw POSIX IO.
+  /// Returns false when unarmed or the write failed. Idempotent — later
+  /// calls overwrite with a fresher snapshot.
+  bool dump_armed() noexcept;
+
+  /// Convenience dump for tools and tests (allocates; not signal-safe).
+  /// Same frame format as dump_armed().
+  bool dump(const std::string& path) const;
+
+  /// Merged, nanos-ordered view of every ring. Quiescent callers get an
+  /// exact snapshot; concurrent writers make it best-effort.
+  std::vector<FlightRecord> records() const;
+
+  std::uint64_t total_recorded() const noexcept;
+  /// Records lost to ring overwrite plus records dropped because more than
+  /// kMaxThreads threads recorded.
+  std::uint64_t total_dropped() const noexcept;
+  std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+ private:
+  struct Ring;
+
+  Ring* local_ring_slow() noexcept;
+  /// Serializes a complete MUTDBPC1 frame into `out` (at most `cap` bytes);
+  /// returns the frame size, or 0 if `cap` is too small.
+  std::size_t serialize_frame(unsigned char* out, std::size_t cap) const noexcept;
+  std::size_t scratch_bytes_needed() const noexcept;
+
+  const std::size_t capacity_;  // power of two
+  const std::uint64_t id_;      // process-unique, keys the TLS cache
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> thread_overflow_drops_{0};
+
+  mutable std::mutex mutex_;                   // ring registration + arming
+  std::vector<std::unique_ptr<Ring>> rings_;   // owned storage
+  // Signal-safe iteration view of rings_: slots are published after the
+  // ring is fully constructed and never removed.
+  std::atomic<Ring*> ring_table_[kMaxThreads] = {};
+  std::atomic<std::size_t> ring_count_{0};
+
+  // Armed state. Fixed-size path buffers and a preallocated scratch keep
+  // dump_armed() allocation-free.
+  static constexpr std::size_t kPathBytes = 512;
+  std::atomic<bool> armed_{false};
+  char path_[kPathBytes] = {};
+  char tmp_path_[kPathBytes] = {};
+  std::vector<unsigned char> scratch_;
+};
+
+/// Installs SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL handlers that call
+/// FlightRecorder::instance().dump_armed() and then re-raise with the
+/// default disposition, so exit codes and core dumps are unchanged.
+/// Process-global; call once from a main() that owns signal handling.
+void install_flight_dump_on_fatal_signals();
+
+/// Parses a dump file written by dump()/dump_armed(). Validates the
+/// MUTDBPC1 magic, version, kind and FNV-1a checksum; throws
+/// ValidationError on any mismatch. Records come back ordered by nanos.
+FlightDump read_flight_dump(const std::string& path);
+
+}  // namespace mutdbp::telemetry

@@ -95,13 +95,50 @@ Telemetry::Telemetry(TelemetryOptions options)
       "wire frames rejected by validation (bad magic/version/size/checksum)");
   handles_.daemon_checkpoints = metrics_.counter(
       "mutdbp_daemon_checkpoints_total", "daemon checkpoints written");
+  handles_.daemon_watchdog = metrics_.counter(
+      "mutdbp_daemon_watchdog_total",
+      "slow-op watchdog fires (flush/checkpoint/ack over budget; records only)");
   handles_.daemon_connections = metrics_.gauge(
       "mutdbp_daemon_connections", "currently connected daemon clients");
   handles_.daemon_checkpoint_seconds = metrics_.gauge(
       "mutdbp_daemon_checkpoint_seconds", "latency of the last daemon checkpoint");
+  handles_.daemon_retry_after_ms = metrics_.gauge(
+      "mutdbp_daemon_retry_after_ms",
+      "retry hint carried by the daemon's Overloaded nacks (config)");
+  handles_.daemon_admission_wait_us = metrics_.gauge(
+      "mutdbp_daemon_admission_wait_us",
+      "bounded admission wait before a request is shed (config)");
   handles_.daemon_checkpoint_latency = metrics_.histogram(
       "mutdbp_daemon_checkpoint_latency", exponential_buckets(0.0001, 2.0, 16),
       "daemon checkpoint write latencies in seconds");
+  // One shared bucket ladder (1µs .. ~2s) for the operation-latency family:
+  // identical bounds keep merge_snapshots cell-wise and deterministic.
+  const std::vector<double> latency_buckets = exponential_buckets(1e-6, 2.0, 22);
+  handles_.daemon_admission_wait_latency = metrics_.histogram(
+      "mutdbp_daemon_admission_wait_latency", latency_buckets,
+      "seconds spent waiting for ring space on contended admissions");
+  handles_.daemon_flush_latency = metrics_.histogram(
+      "mutdbp_daemon_flush_latency", latency_buckets,
+      "group-commit flush latencies in seconds (drain + ack resolution)");
+  handles_.daemon_ack_latency = metrics_.histogram(
+      "mutdbp_daemon_ack_latency", latency_buckets,
+      "admission-to-ack latencies in seconds (group-commit delay per event)");
+  handles_.daemon_client_rtt_latency = metrics_.histogram(
+      "mutdbp_daemon_client_rtt_latency", latency_buckets,
+      "client-observed request/ack round-trip latencies in seconds");
+  handles_.shard_events_drained = metrics_.counter(
+      "mutdbp_shard_events_drained_total",
+      "events drained from shard MPSC queues by worker threads");
+  handles_.shard_batches_drained = metrics_.counter(
+      "mutdbp_shard_batches_drained_total",
+      "drain batches consumed by shard worker threads");
+  handles_.shard_queue_high_water = metrics_.gauge(
+      "mutdbp_shard_queue_depth_high_water",
+      "largest drain batch (≈ queue depth) seen by this shard's worker; "
+      "summed across shards in merged exports — per-shard values via kWireStats");
+  handles_.shard_stall_latency = metrics_.histogram(
+      "mutdbp_shard_stall_latency", latency_buckets,
+      "producer backpressure stalls on full shard queues, in seconds");
   handles_.trace_dropped = metrics_.counter(
       "mutdbp_trace_dropped_total",
       "trace records overwritten by ring overflow (oldest-first)");
@@ -255,6 +292,51 @@ void Telemetry::on_checkpoint_written(double seconds) {
 
 void Telemetry::on_connections(std::size_t count) {
   metrics_.set(handles_.daemon_connections, static_cast<double>(count));
+}
+
+void Telemetry::on_admission_wait(double seconds) {
+  metrics_.observe(handles_.daemon_admission_wait_latency, seconds);
+}
+
+void Telemetry::on_flush_committed(double seconds) {
+  metrics_.observe(handles_.daemon_flush_latency, seconds);
+}
+
+void Telemetry::on_ack_latency(double seconds) {
+  metrics_.observe(handles_.daemon_ack_latency, seconds);
+}
+
+void Telemetry::on_client_round_trip(double seconds) {
+  metrics_.observe(handles_.daemon_client_rtt_latency, seconds);
+}
+
+void Telemetry::on_watchdog_fired(double seconds, double t) {
+  metrics_.add(handles_.daemon_watchdog);
+  if (options_.trace) {
+    trace({t, 0, 0, seconds, 0.0, TraceKind::kWatchdog});
+  }
+}
+
+void Telemetry::on_admission_config(double retry_after_ms,
+                                    double admission_wait_us) {
+  metrics_.set(handles_.daemon_retry_after_ms, retry_after_ms);
+  metrics_.set(handles_.daemon_admission_wait_us, admission_wait_us);
+}
+
+void Telemetry::on_shard_batch_drained(std::size_t events) {
+  metrics_.add(handles_.shard_batches_drained);
+  metrics_.add(handles_.shard_events_drained, static_cast<std::uint64_t>(events));
+}
+
+void Telemetry::on_shard_queue_high_water(std::size_t depth) {
+  metrics_.set(handles_.shard_queue_high_water, static_cast<double>(depth));
+}
+
+void Telemetry::on_shard_stall(double seconds, double t) {
+  metrics_.observe(handles_.shard_stall_latency, seconds);
+  if (options_.trace) {
+    trace({t, 0, 0, seconds, 0.0, TraceKind::kStall});
+  }
 }
 
 }  // namespace mutdbp::telemetry

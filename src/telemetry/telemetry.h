@@ -109,6 +109,31 @@ class Telemetry {
   /// Current connected-client count (gauges are set-only; the single-threaded
   /// poll loop owns the authoritative count).
   void on_connections(std::size_t count);
+  /// A contended admission: how long the daemon waited for ring space before
+  /// admitting or shedding. The uncontended fast path is not observed (it
+  /// would only measure the clock).
+  void on_admission_wait(double seconds);
+  /// One group commit resolved: drain + ack resolution latency.
+  void on_flush_committed(double seconds);
+  /// Admission-to-ack latency of one event (observed per ack at flush).
+  void on_ack_latency(double seconds);
+  /// One client request/ack round trip (DaemonClient side).
+  void on_client_round_trip(double seconds);
+  /// The slow-op watchdog saw flush/checkpoint/ack exceed its budget. It
+  /// only records (counter + kWatchdog trace event) — it never kills.
+  void on_watchdog_fired(double seconds, double t);
+  /// Publishes the daemon's admission-control config (ServerConfig) so the
+  /// Prometheus export shows the knobs next to the shed counter.
+  void on_admission_config(double retry_after_ms, double admission_wait_us);
+
+  // ---- sharded-fleet health hooks (core/sharded.h) ------------------
+  /// A shard worker drained one batch from its MPSC queue.
+  void on_shard_batch_drained(std::size_t events);
+  /// New high-water mark for the drained-batch size (≈ queue depth).
+  void on_shard_queue_high_water(std::size_t depth);
+  /// A producer stalled on a full shard queue for `seconds` (records a
+  /// kStall trace event at simulation time `t`).
+  void on_shard_stall(double seconds, double t);
 
   /// Pre-registered handles of the standard catalog, exposed so callers can
   /// read or extend them without string lookups.
@@ -138,9 +163,21 @@ class Telemetry {
     CounterHandle daemon_out_of_order; ///< mutdbp_daemon_out_of_order_total
     CounterHandle daemon_malformed;    ///< mutdbp_daemon_malformed_frames_total
     CounterHandle daemon_checkpoints;  ///< mutdbp_daemon_checkpoints_total
+    CounterHandle daemon_watchdog;     ///< mutdbp_daemon_watchdog_total
     GaugeHandle daemon_connections;    ///< mutdbp_daemon_connections
     GaugeHandle daemon_checkpoint_seconds;  ///< last checkpoint write latency
+    GaugeHandle daemon_retry_after_ms;      ///< Overloaded nack retry hint
+    GaugeHandle daemon_admission_wait_us;   ///< admission wait budget (config)
     HistogramHandle daemon_checkpoint_latency;  ///< checkpoint write latencies
+    HistogramHandle daemon_admission_wait_latency;  ///< contended admission waits
+    HistogramHandle daemon_flush_latency;  ///< group-commit flush latencies
+    HistogramHandle daemon_ack_latency;    ///< admission-to-ack latencies
+    HistogramHandle daemon_client_rtt_latency;  ///< client round trips
+    // sharded fleet health (core/sharded.h)
+    CounterHandle shard_events_drained;  ///< mutdbp_shard_events_drained_total
+    CounterHandle shard_batches_drained; ///< mutdbp_shard_batches_drained_total
+    GaugeHandle shard_queue_high_water;  ///< mutdbp_shard_queue_depth_high_water
+    HistogramHandle shard_stall_latency; ///< producer backpressure stalls
     // telemetry self-observation
     CounterHandle trace_dropped;  ///< mutdbp_trace_dropped_total
     // ratio monitor gauges

@@ -18,6 +18,8 @@ std::string_view to_string(TraceKind kind) noexcept {
     case TraceKind::kRetry: return "retry";
     case TraceKind::kFault: return "fault";
     case TraceKind::kDrop: return "drop";
+    case TraceKind::kWatchdog: return "watchdog";
+    case TraceKind::kStall: return "stall";
   }
   return "unknown";
 }

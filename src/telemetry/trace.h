@@ -29,6 +29,8 @@ enum class TraceKind : unsigned char {
   kRetry,      ///< an evicted job was re-placed (immediately or from queue)
   kFault,      ///< a fault instant (bin = victim; size 0 when it hit idle)
   kDrop,       ///< an evicted job was dropped (never re-placed)
+  kWatchdog,   ///< a watched daemon op overran its budget (size = seconds)
+  kStall,      ///< a producer stalled on a full shard queue (size = seconds)
 };
 
 [[nodiscard]] std::string_view to_string(TraceKind kind) noexcept;

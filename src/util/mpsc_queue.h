@@ -76,6 +76,15 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  /// Elements currently enqueued. Exact when both sides are quiescent; a
+  /// racy-but-monotonic estimate otherwise (health introspection, never
+  /// control flow).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
  private:
   std::vector<T> slots_;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< producer cursor
@@ -182,6 +191,13 @@ class MpscQueue {
       if (!ring->empty()) return false;
     }
     return true;
+  }
+
+  /// Sum of the per-ring approx_size() estimates (same caveats).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& ring : rings_) total += ring->approx_size();
+    return total;
   }
 
  private:

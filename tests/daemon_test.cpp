@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -29,6 +30,7 @@
 #include "daemon/client.h"
 #include "daemon/protocol.h"
 #include "daemon/server.h"
+#include "telemetry/flight_recorder.h"
 #include "test_support.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -217,6 +219,35 @@ TEST(DaemonProtocol, ResponseRoundTripsExactly) {
   invalid.seq = 4;
   invalid.text = "arrival size must be in (0, capacity]";
   responses.push_back(invalid);
+  // kWireStats carries the deepest payload in the protocol: nested frontier,
+  // shard-health, and histogram-summary lists all round-trip field-exactly.
+  WireResponse wire_stats;
+  wire_stats.type = ResponseType::kWireStats;
+  wire_stats.stats.uptime_seconds = 12.5;
+  wire_stats.stats.last_checkpoint_age_seconds = 0.25;
+  wire_stats.stats.last_t = 99.5;
+  wire_stats.stats.events_admitted = 1000;
+  wire_stats.stats.events_shed = 3;
+  wire_stats.stats.duplicates_suppressed = 2;
+  wire_stats.stats.out_of_order = 1;
+  wire_stats.stats.malformed_frames = 4;
+  wire_stats.stats.checkpoints_written = 7;
+  wire_stats.stats.watchdog_fires = 1;
+  wire_stats.stats.events_applied = 998;
+  wire_stats.stats.open_bins = 42;
+  wire_stats.stats.connections = 2;
+  wire_stats.stats.retry_after_ms = 10;
+  wire_stats.stats.admission_wait_us = 500;
+  wire_stats.stats.frontiers = {{"alpha", 1001}, {"beta", 1}};
+  wire_stats.stats.shards = {{0, 500, 500, 0, 17, 2, 0.125},
+                             {1, 498, 498, 0, 9, 0, 0.0}};
+  wire_stats.stats.histograms = {
+      {"mutdbp_daemon_flush_latency", 31, 0.5, 0.001, 0.125, 0.01, 0.05, 0.1},
+      {"mutdbp_daemon_ack_latency", 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}};
+  responses.push_back(wire_stats);
+  WireResponse empty_stats;  // a fresh daemon: all lists empty, never NaN
+  empty_stats.type = ResponseType::kWireStats;
+  responses.push_back(empty_stats);
   for (const WireResponse& response : responses) {
     const std::vector<std::uint8_t> frame = daemon::encode_response(response);
     daemon::FrameAssembler assembler(CheckpointKind::kWireResponse);
@@ -428,6 +459,85 @@ TEST(DaemonCore, OverloadShedsWithTypedNacksAndZeroSilentDrops) {
   const std::vector<Outgoing> out = core.handle(1, finish);
   ASSERT_EQ(out.back().response.type, ResponseType::kResult);
   EXPECT_EQ(out.back().response.digest, batch_digest(items, "FirstFit", 1));
+}
+
+// ---------------------------------------------------------------------------
+// DaemonCore: live introspection (kWireStats)
+
+TEST(DaemonCore, WireStatsSnapshotAgreesWithTheCounters) {
+  const ItemList items = demo_items();
+  const std::vector<StreamEvent> events = stream_events(items);
+  DaemonConfig config;
+  config.shards = 2;
+  config.retry_after_ms = 25;
+  config.admission_wait = std::chrono::microseconds(250);
+  DaemonCore core(config);
+  core.register_connection(1);
+  (void)core.handle(1, hello_request("c"));
+  drive_core(core, events, 1);
+
+  WireRequest request;
+  request.type = RequestType::kWireStats;
+  const std::vector<Outgoing> out = core.handle(1, request);
+  ASSERT_FALSE(out.empty());
+  const WireResponse& response = out.back().response;
+  ASSERT_EQ(response.type, ResponseType::kWireStats);
+  const daemon::WireStatsSnapshot& stats = response.stats;
+
+  EXPECT_EQ(stats.version, daemon::kWireStatsVersion);
+  EXPECT_GE(stats.uptime_seconds, 0.0);
+  EXPECT_LT(stats.last_checkpoint_age_seconds, 0.0);  // no checkpoint config
+  EXPECT_EQ(stats.events_admitted, events.size());
+  EXPECT_EQ(stats.events_applied, events.size());
+  EXPECT_EQ(stats.checkpoints_written, 0u);
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.retry_after_ms, 25u);
+  EXPECT_EQ(stats.admission_wait_us, 250u);
+  EXPECT_EQ(stats.open_bins, 0u);  // every demo item departed
+  EXPECT_DOUBLE_EQ(stats.last_t, events.back().t);
+
+  ASSERT_EQ(stats.frontiers.size(), 1u);
+  EXPECT_EQ(stats.frontiers[0].client, "c");
+  EXPECT_EQ(stats.frontiers[0].next_expected, events.size() + 1);
+
+  ASSERT_EQ(stats.shards.size(), 2u);
+  std::uint64_t drained = 0;
+  for (const daemon::WireShardHealth& shard : stats.shards) {
+    drained += shard.events_drained;
+    EXPECT_EQ(shard.queue_depth, 0u) << "fleet must be quiescent post-flush";
+    EXPECT_EQ(shard.events_pushed, shard.events_drained);
+    EXPECT_GE(shard.queue_depth_high_water, shard.queue_depth);
+  }
+  EXPECT_EQ(drained, events.size());
+
+  // Only the operation-latency family travels, and the ops that ran have
+  // consistent summaries (quantiles bracketed by min/max, p50 <= p99).
+  bool saw_flush = false;
+  bool saw_ack = false;
+  for (const daemon::WireHistogramSummary& histogram : stats.histograms) {
+    EXPECT_NE(histogram.name.find("_latency"), std::string::npos)
+        << histogram.name;
+    if (histogram.count == 0) continue;
+    EXPECT_LE(histogram.min, histogram.max) << histogram.name;
+    EXPECT_LE(histogram.p50, histogram.p99) << histogram.name;
+    EXPECT_LE(histogram.p99, histogram.max) << histogram.name;
+    if (histogram.name == "mutdbp_daemon_flush_latency") saw_flush = true;
+    if (histogram.name == "mutdbp_daemon_ack_latency") {
+      saw_ack = true;
+      EXPECT_EQ(histogram.count, events.size())
+          << "every admitted event contributes one ack-latency sample";
+    }
+  }
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_ack);
+
+  // The live snapshot survives the wire bit-exactly.
+  const std::vector<std::uint8_t> frame = daemon::encode_response(response);
+  daemon::FrameAssembler assembler(CheckpointKind::kWireResponse);
+  assembler.feed(frame.data(), frame.size());
+  const auto payload = assembler.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(daemon::decode_response(*payload), response);
 }
 
 // ---------------------------------------------------------------------------
@@ -730,6 +840,26 @@ TEST(DaemonChaos, Kill9RecoveryIsBitIdenticalToUninterruptedRun) {
     } else {
       EXPECT_TRUE(WIFSIGNALED(status))
           << "daemon was expected to die at the kill point";
+      // The flight recorder defaults to <checkpoint>.flight; a crash must
+      // leave a parseable postmortem dump whose records stop at the crash
+      // point. Admission runs ahead of the crash budget (which counts shard
+      // applies) by at most the client's in-flight window (32).
+      const std::string flight = checkpoint + ".flight";
+      ASSERT_TRUE(std::filesystem::exists(flight))
+          << "no postmortem flight dump at " << flight;
+      const telemetry::FlightDump dump = telemetry::read_flight_dump(flight);
+      ASSERT_FALSE(dump.records.empty());
+      std::uint64_t max_admitted = 0;
+      for (const telemetry::FlightRecord& record : dump.records) {
+        if (record.kind ==
+            static_cast<std::uint32_t>(telemetry::FlightKind::kAdmission)) {
+          max_admitted = std::max(max_admitted, record.a);
+        }
+      }
+      EXPECT_GT(max_admitted, 0u)
+          << "a mid-replay crash must have recorded admissions";
+      EXPECT_LE(max_admitted, kill_point + 64)
+          << "flight records claim admissions past the crash point";
     }
   }
   client_thread.join();

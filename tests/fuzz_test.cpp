@@ -846,6 +846,150 @@ TEST(FuzzWireProtocol, GarbageAndOversizedLengthsAreCleanRejections) {
   }
 }
 
+/// Builds a fully-populated kWireStats response — the deepest, most nested
+/// frame in the protocol (three variable-length lists, strings, doubles) —
+/// with deterministic but varied contents.
+std::string random_stats_response_bytes(Rng& rng) {
+  daemon::WireResponse response;
+  response.type = daemon::ResponseType::kWireStats;
+  daemon::WireStatsSnapshot& stats = response.stats;
+  stats.uptime_seconds = 1000.0 * rng.next_double();
+  stats.last_checkpoint_age_seconds = rng.bernoulli(0.5) ? rng.next_double() : -1.0;
+  stats.last_t = 100.0 * rng.next_double();
+  stats.events_admitted = rng.uniform_u64(0, 1u << 20);
+  stats.events_shed = rng.uniform_u64(0, 1u << 10);
+  stats.events_applied = stats.events_admitted;
+  stats.checkpoints_written = rng.uniform_u64(0, 64);
+  stats.connections = rng.uniform_u64(0, 8);
+  stats.retry_after_ms = rng.uniform_u64(0, 100);
+  stats.admission_wait_us = rng.uniform_u64(0, 1000);
+  const std::size_t clients = rng.uniform_u64(0, 4);
+  for (std::size_t i = 0; i < clients; ++i) {
+    stats.frontiers.push_back(
+        {"client-" + std::to_string(i), rng.uniform_u64(1, 1u << 20)});
+  }
+  const std::size_t shards = 1 + rng.uniform_u64(0, 7);
+  for (std::size_t i = 0; i < shards; ++i) {
+    stats.shards.push_back({i, rng.uniform_u64(0, 1u << 16),
+                            rng.uniform_u64(0, 1u << 16), rng.uniform_u64(0, 64),
+                            rng.uniform_u64(0, 256), rng.uniform_u64(0, 16),
+                            rng.next_double()});
+  }
+  const std::size_t histograms = rng.uniform_u64(0, 3);
+  for (std::size_t i = 0; i < histograms; ++i) {
+    stats.histograms.push_back({"mutdbp_fuzz_" + std::to_string(i) + "_latency",
+                                rng.uniform_u64(0, 1u << 16), rng.next_double(),
+                                rng.next_double(), rng.next_double(),
+                                rng.next_double(), rng.next_double(),
+                                rng.next_double()});
+  }
+  const std::vector<std::uint8_t> frame = daemon::encode_response(response);
+  return std::string(frame.begin(), frame.end());
+}
+
+/// feed_wire for the response direction (kWireResponse frames).
+WireOutcome feed_response(const std::string& bytes, std::size_t chunk,
+                          std::string* error_out) {
+  daemon::FrameAssembler assembler(CheckpointKind::kWireResponse);
+  std::size_t offset = 0;
+  bool decoded = false;
+  while (offset < bytes.size()) {
+    const std::size_t n = std::min(chunk, bytes.size() - offset);
+    assembler.feed(reinterpret_cast<const std::uint8_t*>(bytes.data()) + offset,
+                   n);
+    offset += n;
+    while (true) {
+      std::optional<std::vector<std::uint8_t>> payload;
+      try {
+        payload = assembler.next();
+      } catch (const ValidationError& error) {
+        *error_out = error.what();
+        return WireOutcome::kRejected;
+      }
+      if (!payload.has_value()) break;
+      try {
+        (void)daemon::decode_response(*payload);
+        decoded = true;
+      } catch (const ValidationError& error) {
+        *error_out = error.what();
+        return WireOutcome::kRejected;
+      }
+    }
+  }
+  return decoded ? WireOutcome::kDecoded : WireOutcome::kIncomplete;
+}
+
+TEST(FuzzWireProtocol, MalformedStatsFramesAreCleanRejections) {
+  const std::size_t iters = fuzz_iters(60);
+  Rng rng(0x57A7);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const std::string bytes = random_stats_response_bytes(rng);
+
+    // Truncation: a partial snapshot either waits for more bytes or is
+    // rejected; its nested lists must never decode as complete.
+    {
+      const std::size_t len = rng.uniform_u64(0, bytes.size() - 1);
+      const std::string truncated = bytes.substr(0, len);
+      const std::size_t chunk = 1 + rng.uniform_u64(0, 63);
+      std::string error;
+      if (feed_response(truncated, chunk, &error) == WireOutcome::kDecoded) {
+        dump_crash_artifact("stats-truncation", trial, bytes, truncated,
+                            "truncated to " + std::to_string(len) +
+                                " bytes but a stats response still decoded");
+        FAIL() << "truncated stats frame (len " << len << "/" << bytes.size()
+               << ") decoded as complete";
+      }
+    }
+
+    // Bit flips: rejected by the checksum, or decoded bit-identically —
+    // never a crash, never a silently different snapshot (the list counts
+    // are length-bounded, so a corrupt count cannot drive an allocation).
+    {
+      std::string corrupted = bytes;
+      std::string detail = "bit flips at:";
+      const std::size_t flips = 1 + rng.uniform_u64(0, 7);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t pos = rng.uniform_u64(0, corrupted.size() - 1);
+        const int bit = static_cast<int>(rng.uniform_u64(0, 7));
+        corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 << bit));
+        detail += " " + std::to_string(pos) + ":" + std::to_string(bit);
+      }
+      if (corrupted == bytes) continue;
+      std::string error;
+      if (feed_response(corrupted, 64, &error) == WireOutcome::kDecoded) {
+        daemon::FrameAssembler assembler(CheckpointKind::kWireResponse);
+        assembler.feed(reinterpret_cast<const std::uint8_t*>(corrupted.data()),
+                       corrupted.size());
+        const auto payload = assembler.next();
+        daemon::FrameAssembler reference(CheckpointKind::kWireResponse);
+        reference.feed(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                       bytes.size());
+        const auto original = reference.next();
+        if (!payload.has_value() || !original.has_value() ||
+            !(daemon::decode_response(*payload) ==
+              daemon::decode_response(*original))) {
+          dump_crash_artifact("stats-bitflip", trial, bytes, corrupted,
+                              detail + "\nstats frame decoded DIFFERENTLY");
+          FAIL() << "bit-flipped stats frame decoded to a different snapshot ("
+                 << detail << ")";
+        }
+      }
+    }
+  }
+
+  // A snapshot from the future (unknown version) is a typed error, not a
+  // misparse: the version gate fires before any field is trusted.
+  daemon::WireResponse future;
+  future.type = daemon::ResponseType::kWireStats;
+  future.stats.version = daemon::kWireStatsVersion + 1;
+  const std::vector<std::uint8_t> frame = daemon::encode_response(future);
+  daemon::FrameAssembler assembler(CheckpointKind::kWireResponse);
+  assembler.feed(frame.data(), frame.size());
+  const auto payload = assembler.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_THROW((void)daemon::decode_response(*payload), ValidationError);
+}
+
 TEST(FuzzWireProtocol, MalformedFramesLeaveTheDaemonCoreAlive) {
   // End-to-end on the state machine: interleave valid traffic with decode
   // failures (as the server loop experiences them) and check the core keeps

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,10 +15,13 @@
 #include "algorithms/registry.h"
 #include "analysis/disruption.h"
 #include "cloud/faults.h"
+#include "core/checkpoint.h"
 #include "core/error.h"
 #include "core/simulation.h"
 #include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
+#include "test_support.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "workload/generators.h"
@@ -172,6 +177,137 @@ TEST(MetricsRegistry, MergeAcrossThreadsIsDeterministic) {
   EXPECT_EQ(ha->max, hb->max);
   EXPECT_EQ(a.find_counter("t_ops_total")->value,
             b.find_counter("t_ops_total")->value);
+}
+
+// ---- latency histograms across shard splits -------------------------
+
+TEST(MetricsRegistry, LatencyMergeIsDeterministicAcrossShardCounts) {
+  // The same 6000 observations, split across 2, 3, or 4 per-shard
+  // registries and merged, must produce the identical histogram the
+  // kWireStats snapshot serves: counters are integers and every observed
+  // value is a dyadic rational (k/1024, k < 64), so the double sums are
+  // exact and therefore split- and order-independent.
+  const auto merged = [](std::size_t shards) {
+    std::vector<MetricsSnapshot> snaps;
+    for (std::size_t s = 0; s < shards; ++s) {
+      MetricsRegistry registry;
+      const CounterHandle c = registry.counter("t_drained_total");
+      const HistogramHandle h = registry.histogram(
+          "t_flush_latency", exponential_buckets(1e-6, 2.0, 22));
+      for (std::size_t i = s; i < 6000; i += shards) {
+        registry.add(c);
+        registry.observe(h, static_cast<double>(i % 64) / 1024.0);
+      }
+      snaps.push_back(registry.snapshot());
+    }
+    return merge_snapshots(snaps);
+  };
+
+  const MetricsSnapshot two = merged(2);
+  for (const std::size_t shards : {std::size_t{3}, std::size_t{4}}) {
+    const MetricsSnapshot other = merged(shards);
+    ASSERT_NE(two.find_counter("t_drained_total"), nullptr);
+    ASSERT_NE(other.find_counter("t_drained_total"), nullptr);
+    EXPECT_EQ(two.find_counter("t_drained_total")->value, 6000u);
+    EXPECT_EQ(other.find_counter("t_drained_total")->value, 6000u);
+    const HistogramSnapshot* a = two.find_histogram("t_flush_latency");
+    const HistogramSnapshot* b = other.find_histogram("t_flush_latency");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->counts, b->counts) << "shards=" << shards;
+    EXPECT_EQ(a->count, 6000u);
+    EXPECT_EQ(a->count, b->count);
+    EXPECT_EQ(a->sum, b->sum);  // bitwise: exact dyadic accumulation
+    EXPECT_EQ(a->min, b->min);
+    EXPECT_EQ(a->max, b->max);
+    EXPECT_EQ(a->quantile(0.5), b->quantile(0.5));
+    EXPECT_EQ(a->quantile(0.99), b->quantile(0.99));
+  }
+}
+
+// ---- flight recorder ------------------------------------------------
+
+TEST(FlightRecorder, RingOverflowKeepsTheNewestRecords) {
+  FlightRecorder recorder(8, /*enabled=*/true);
+  EXPECT_EQ(recorder.capacity_per_thread(), 8u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    recorder.record(FlightKind::kAdmission, i, 1000 + i);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 50u);
+  EXPECT_EQ(recorder.total_dropped(), 42u);
+
+  // Overwrite keeps exactly the newest ring-capacity records; a single
+  // writer's order survives the (stable) nanos merge.
+  const std::vector<FlightRecord> records = recorder.records();
+  ASSERT_EQ(records.size(), 8u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].kind,
+              static_cast<std::uint32_t>(FlightKind::kAdmission));
+    EXPECT_EQ(records[i].a, 42u + i);
+    EXPECT_EQ(records[i].b, 1042u + i);
+  }
+}
+
+TEST(FlightRecorder, DisabledRecorderCostsOnlyTheBranch) {
+  FlightRecorder recorder(8);  // disabled is the default
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record(FlightKind::kFlushBegin, 1);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_TRUE(recorder.records().empty());
+
+  recorder.set_enabled(true);
+  recorder.record(FlightKind::kFlushBegin, 2);
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+}
+
+TEST(FlightRecorder, DumpRoundTripsAndSpeaksMutdbpc1) {
+  testing::ScopedTempDir temp;
+  const std::string path = temp.file("postmortem.flight").string();
+  FlightRecorder recorder(16, /*enabled=*/true);
+  recorder.record(FlightKind::kFlushBegin, 3);
+  recorder.record(FlightKind::kFlushEnd, 3, 12345);
+  recorder.record(FlightKind::kCheckpointEnd, 100, 67890);
+  ASSERT_TRUE(recorder.dump(path));
+
+  const FlightDump dump = read_flight_dump(path);
+  EXPECT_EQ(dump.version, FlightRecorder::kDumpVersion);
+  EXPECT_EQ(dump.capacity_per_thread, 16u);
+  EXPECT_EQ(dump.dropped, 0u);
+  ASSERT_EQ(dump.records.size(), 3u);
+  EXPECT_EQ(dump.records[0].kind,
+            static_cast<std::uint32_t>(FlightKind::kFlushBegin));
+  EXPECT_EQ(dump.records[0].a, 3u);
+  EXPECT_EQ(dump.records[1].b, 12345u);
+  EXPECT_EQ(dump.records[2].a, 100u);
+  EXPECT_EQ(dump.records, recorder.records());
+  EXPECT_EQ(to_string(FlightKind::kFlushBegin), "flush_begin");
+
+  // The dump is a standard MUTDBPC1 frame: the core checkpoint reader must
+  // accept its magic, kind, and checksum byte-for-byte.
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_frame(in, CheckpointKind::kFlightRecorder);
+  EXPECT_FALSE(payload.empty());
+
+  // The signal-safe armed path writes an identical parse.
+  const std::string armed_path = temp.file("armed.flight").string();
+  recorder.arm(armed_path);
+  EXPECT_TRUE(recorder.armed());
+  ASSERT_TRUE(recorder.dump_armed());
+  const FlightDump armed = read_flight_dump(armed_path);
+  EXPECT_EQ(armed.records, dump.records);
+  EXPECT_EQ(armed.capacity_per_thread, dump.capacity_per_thread);
+  recorder.disarm();
+  EXPECT_FALSE(recorder.armed());
+  EXPECT_FALSE(recorder.dump_armed());  // unarmed: refuses, returns false
+
+  // Corruption surfaces as a typed error, never a misparse.
+  std::ofstream out(path, std::ios::binary | std::ios::in);
+  out.seekp(30);  // inside the record payload
+  out.put('\xFF');
+  out.close();
+  EXPECT_THROW((void)read_flight_dump(path), ValidationError);
 }
 
 // ---- event tracer ring ----------------------------------------------
